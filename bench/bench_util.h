@@ -1,0 +1,25 @@
+// Shared helpers for the experiment benches (e01..e12). Each bench
+// prints, via google-benchmark counters, the measured PRAM quantities
+// next to the paper's predicted shape so EXPERIMENTS.md can record
+// paper-vs-measured per claim.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "pram/metrics.h"
+
+namespace iph::bench {
+
+inline double log2d(double x) { return x > 1 ? std::log2(x) : 1.0; }
+
+/// Attach the core PRAM metrics to a benchmark state.
+inline void report_metrics(benchmark::State& state,
+                           const pram::Metrics& m) {
+  state.counters["steps"] = static_cast<double>(m.steps);
+  state.counters["work"] = static_cast<double>(m.work);
+  state.counters["max_procs"] = static_cast<double>(m.max_active);
+}
+
+}  // namespace iph::bench

@@ -1,0 +1,48 @@
+// E1 — Lemma 2.5: presorted 2-d hull in O(1) PRAM time with O(n log n)
+// processors, failure probability <= 2^{-n^(1/16)}.
+//
+// Reproduction target: `steps` stays flat as n grows 16x; work/(n log n)
+// stays bounded; observed sweep activity (the failure-sweeping safety
+// net) stays near zero at the default alpha.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/presorted_constant.h"
+#include "geom/workloads.h"
+#include "pram/machine.h"
+
+namespace {
+
+void e01(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto family = static_cast<iph::geom::Family2D>(state.range(1));
+  auto pts = iph::geom::make2d(family, n, 42);
+  iph::geom::sort_lex(pts);
+  iph::pram::Metrics last;
+  iph::core::PresortedConstantStats stats;
+  for (auto _ : state) {
+    iph::pram::Machine m(1, 7);
+    stats = {};
+    benchmark::DoNotOptimize(
+        iph::core::presorted_constant_hull(m, pts, &stats));
+    last = m.metrics();
+  }
+  iph::bench::report_metrics(state, last);
+  state.counters["work/nlogn"] =
+      static_cast<double>(last.work) /
+      (static_cast<double>(n) * iph::bench::log2d(static_cast<double>(n)));
+  state.counters["swept"] = static_cast<double>(stats.failures_swept);
+  state.SetLabel(iph::geom::family_name(family));
+}
+
+}  // namespace
+
+BENCHMARK(e01)
+    ->ArgsProduct({{1 << 12, 1 << 14, 1 << 16},
+                   {static_cast<long>(iph::geom::Family2D::kDisk),
+                    static_cast<long>(iph::geom::Family2D::kSquare),
+                    static_cast<long>(iph::geom::Family2D::kCircle)}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+// E2 — Theorem 2: presorted 2-d hull in O(log* n) time with ~n
+// processors. Reproduction target: steps grow like log*(n) (i.e. stay
+// within a small constant across a 64x size sweep), work/n stays modest,
+// and the measured recursion depth equals the log* level count.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/presorted_logstar.h"
+#include "geom/workloads.h"
+#include "pram/machine.h"
+#include "support/mathutil.h"
+
+namespace {
+
+void e02(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto pts = iph::geom::in_disk(n, 42);
+  iph::geom::sort_lex(pts);
+  iph::pram::Metrics last;
+  iph::core::LogstarStats stats;
+  for (auto _ : state) {
+    iph::pram::Machine m(1, 7);
+    stats = {};
+    benchmark::DoNotOptimize(
+        iph::core::presorted_logstar_hull(m, pts, &stats));
+    last = m.metrics();
+  }
+  iph::bench::report_metrics(state, last);
+  state.counters["depth"] = stats.recursion_depth;
+  state.counters["logstar_n"] = iph::support::log_star(n);
+  state.counters["steps/logstar"] =
+      static_cast<double>(last.steps) /
+      std::max(1u, iph::support::log_star(n));
+  state.counters["work/n"] =
+      static_cast<double>(last.work) / static_cast<double>(n);
+  state.counters["procs/n"] =
+      static_cast<double>(last.max_active) / static_cast<double>(n);
+}
+
+}  // namespace
+
+BENCHMARK(e02)
+    ->Arg(1 << 12)
+    ->Arg(1 << 14)
+    ->Arg(1 << 16)
+    ->Arg(1 << 18)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

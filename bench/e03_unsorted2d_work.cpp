@@ -1,0 +1,78 @@
+// E3 — Theorem 5: unsorted 2-d hull in O(log n) time and O(n log h)
+// work w.h.p. Reproduction target: across h-controlled workloads
+// (convex_k: h = k exactly; square: h ~ log n; disk: h ~ n^(1/3)),
+// work/(n log h) stays within one constant band and steps/log n stays
+// flat. Circle input (h ~ n/2) exceeds the fallback threshold and rides
+// the O(n log n) envelope instead — the paper's own switch.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/unsorted2d.h"
+#include "geom/workloads.h"
+#include "pram/machine.h"
+#include "seq/upper_hull.h"
+
+namespace {
+
+std::vector<iph::geom::Point2> workload(int kind, std::size_t n) {
+  switch (kind) {
+    case 0:
+      return iph::geom::convex_k(n, 16, 4242);  // h = 16 exactly
+    case 1:
+      return iph::geom::in_square(n, 4242);     // h ~ log n
+    case 2:
+      return iph::geom::in_disk(n, 4242);       // h ~ n^(1/3)
+    default:
+      return iph::geom::on_circle(n, 4242);     // h ~ n/2
+  }
+}
+
+const char* workload_name(int kind) {
+  switch (kind) {
+    case 0:
+      return "convex16";
+    case 1:
+      return "square";
+    case 2:
+      return "disk";
+    default:
+      return "circle";
+  }
+}
+
+void e03(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const int kind = static_cast<int>(state.range(1));
+  const auto pts = workload(kind, n);
+  const std::size_t h = iph::seq::upper_hull(pts).vertices.size();
+  iph::pram::Metrics last;
+  iph::core::Unsorted2DStats stats;
+  for (auto _ : state) {
+    iph::pram::Machine m(1, 11);
+    stats = {};
+    benchmark::DoNotOptimize(
+        iph::core::unsorted_hull_2d(m, pts, &stats));
+    last = m.metrics();
+  }
+  iph::bench::report_metrics(state, last);
+  const double nn = static_cast<double>(n);
+  state.counters["h"] = static_cast<double>(h);
+  state.counters["work/nlogh"] =
+      static_cast<double>(last.work) /
+      (nn * iph::bench::log2d(static_cast<double>(h)));
+  state.counters["work/nlogn"] =
+      static_cast<double>(last.work) / (nn * iph::bench::log2d(nn));
+  state.counters["steps/logn"] =
+      static_cast<double>(last.steps) / iph::bench::log2d(nn);
+  state.counters["fallback"] = stats.used_fallback ? 1 : 0;
+  state.SetLabel(workload_name(kind));
+}
+
+}  // namespace
+
+BENCHMARK(e03)
+    ->ArgsProduct({{1 << 12, 1 << 14, 1 << 16, 1 << 18}, {0, 1, 2, 3}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

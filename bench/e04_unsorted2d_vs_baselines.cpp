@@ -1,0 +1,73 @@
+// E4 — Theorem 5 against the baselines of the paper's Section 1:
+//   * the parallel non-output-sensitive O(n log n) path (our fallback,
+//     the Atallah-Goodrich substitute),
+//   * the sequential O(n log h) algorithms it matches in work
+//     (Kirkpatrick-Seidel, Chan), and QuickHull.
+// Fixed n, sweeping the true hull size h (convex_k workload):
+// reproduction target — Theorem 5's work tracks n log h (grows with h)
+// while the fallback's stays at n log n (flat), with the crossover at
+// moderate h; sequential baselines give wall-clock context.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+#include "bench_util.h"
+#include "core/fallback2d.h"
+#include "core/unsorted2d.h"
+#include "geom/workloads.h"
+#include "pram/machine.h"
+#include "seq/chan2d.h"
+#include "seq/kirkpatrick_seidel.h"
+#include "seq/quickhull2d.h"
+
+namespace {
+
+constexpr std::size_t kN = 1 << 15;
+
+void e04(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const auto pts = iph::geom::convex_k(kN, k, 7);
+  iph::pram::Metrics t5, fb;
+  for (auto _ : state) {
+    {
+      iph::pram::Machine m(1, 3);
+      benchmark::DoNotOptimize(iph::core::unsorted_hull_2d(m, pts));
+      t5 = m.metrics();
+    }
+    {
+      iph::pram::Machine m(1, 3);
+      benchmark::DoNotOptimize(iph::core::fallback_hull_2d(m, pts));
+      fb = m.metrics();
+    }
+  }
+  auto wall = [&](auto&& fn) {
+    const auto t0 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(fn());
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::micro>(t1 - t0).count();
+  };
+  state.counters["T5_work"] = static_cast<double>(t5.work);
+  state.counters["T5_steps"] = static_cast<double>(t5.steps);
+  state.counters["AG_work"] = static_cast<double>(fb.work);
+  state.counters["work_ratio"] =
+      static_cast<double>(t5.work) / static_cast<double>(fb.work);
+  state.counters["ks_us"] = wall([&] { return iph::seq::ks_upper_hull(pts); });
+  state.counters["chan_us"] =
+      wall([&] { return iph::seq::chan_upper_hull(pts); });
+  state.counters["qh_us"] =
+      wall([&] { return iph::seq::quickhull_upper(pts); });
+}
+
+}  // namespace
+
+BENCHMARK(e04)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(8192)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

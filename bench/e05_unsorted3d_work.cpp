@@ -1,0 +1,78 @@
+// E5 — Theorem 6: unsorted 3-d hull in O(log^2 n) time and
+// O(min{n log^2 h, n log n}) work w.h.p.
+//
+// Reproduction target: work / min(n log^2 h, n log n) bounded across
+// h-controlled workloads; steps / log^2 n flat. KNOWN DEVIATION (see
+// EXPERIMENTS.md): our realization of the paper's 4-way division (whose
+// correctness proof was deferred to the never-published full version)
+// leaks on random inputs; the certified Las Vegas fallback repairs it at
+// the O(n log n) half of the envelope — the `fallback` counter reports
+// how often. QuickHull wall time gives sequential context.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+#include "bench_util.h"
+#include "core/unsorted3d.h"
+#include "geom/workloads.h"
+#include "pram/machine.h"
+#include "seq/quickhull3d.h"
+
+namespace {
+
+std::vector<iph::geom::Point3> workload(int kind, std::size_t n) {
+  switch (kind) {
+    case 0:
+      return iph::geom::extreme_k3(n, 12, 5);  // h ~ 12
+    case 1:
+      return iph::geom::in_cube(n, 5);         // h ~ log^2 n
+    default:
+      return iph::geom::in_ball(n, 5);         // h ~ sqrt(n)
+  }
+}
+
+const char* workload_name(int kind) {
+  return kind == 0 ? "extreme12" : kind == 1 ? "cube" : "ball";
+}
+
+void e05(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const int kind = static_cast<int>(state.range(1));
+  const auto pts = workload(kind, n);
+  const auto oracle = iph::seq::quickhull_upper_hull3(pts);
+  const double h = std::max<double>(4, oracle.facets.size());
+  iph::pram::Metrics last;
+  iph::core::Unsorted3DStats stats;
+  for (auto _ : state) {
+    iph::pram::Machine m(1, 11);
+    stats = {};
+    benchmark::DoNotOptimize(iph::core::unsorted_hull_3d(m, pts, &stats));
+    last = m.metrics();
+  }
+  iph::bench::report_metrics(state, last);
+  const double nn = static_cast<double>(n);
+  const double lg = iph::bench::log2d(nn);
+  const double lh = iph::bench::log2d(h);
+  state.counters["h_facets"] = h;
+  state.counters["work/bound"] =
+      static_cast<double>(last.work) / std::min(nn * lh * lh, nn * lg);
+  state.counters["steps/log2n"] =
+      static_cast<double>(last.steps) / (lg * lg);
+  state.counters["fallback"] = stats.used_fallback ? 1 : 0;
+  state.counters["fb_reason"] = stats.fallback_reason;
+  const auto t0 = std::chrono::steady_clock::now();
+  benchmark::DoNotOptimize(iph::seq::quickhull_upper_hull3(pts));
+  const auto t1 = std::chrono::steady_clock::now();
+  state.counters["qh3_us"] =
+      std::chrono::duration<double, std::micro>(t1 - t0).count();
+  state.SetLabel(workload_name(kind));
+}
+
+}  // namespace
+
+BENCHMARK(e05)
+    ->ArgsProduct({{1 << 10, 1 << 12, 1 << 14}, {0, 1, 2}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

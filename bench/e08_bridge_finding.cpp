@@ -1,0 +1,62 @@
+// E8 — Lemmas 4.1-4.2: in-place bridge finding converges in a constant
+// number of sampling rounds with probability 1 - e^{-Omega(k^r)}.
+//
+// Reproduction target: the mean and maximum iteration count stay flat
+// as the problem size m grows 256x (k = m^(1/3) grows with it), and the
+// observed failure rate at the default alpha is zero across all trials.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "geom/workloads.h"
+#include "pram/machine.h"
+#include "primitives/inplace_bridge.h"
+#include "support/mathutil.h"
+
+namespace {
+
+void e08(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto pts = iph::geom::in_disk(n, 21);
+  constexpr int kTrials = 20;
+  int max_iters = 0, failures = 0;
+  double mean_iters = 0;
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    max_iters = failures = 0;
+    mean_iters = 0;
+    for (int t = 0; t < kTrials; ++t) {
+      iph::pram::Machine m(1, 777 + t);
+      std::vector<std::uint32_t> problem_of(n, 0);
+      iph::primitives::BridgeProblem pr;
+      pr.splitter = static_cast<iph::geom::Index>((t * 131) % n);
+      pr.size_est = n;
+      pr.k = std::max<std::uint64_t>(
+          2, iph::support::ipow_frac(n, 1.0 / 3.0));
+      const auto out =
+          iph::primitives::inplace_bridges_2d(m, pts, problem_of, {&pr, 1});
+      max_iters = std::max(max_iters, out[0].iterations);
+      mean_iters += out[0].iterations;
+      failures += out[0].ok ? 0 : 1;
+      steps = m.metrics().steps;
+    }
+  }
+  state.counters["steps"] = static_cast<double>(steps);
+  state.counters["mean_iters"] = mean_iters / kTrials;
+  state.counters["max_iters"] = max_iters;
+  state.counters["fail_rate"] = static_cast<double>(failures) / kTrials;
+  state.counters["k"] = static_cast<double>(
+      iph::support::ipow_frac(n, 1.0 / 3.0));
+}
+
+}  // namespace
+
+BENCHMARK(e08)
+    ->Arg(1 << 10)
+    ->Arg(1 << 12)
+    ->Arg(1 << 14)
+    ->Arg(1 << 16)
+    ->Arg(1 << 18)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+// E9 — Section 2.3, failure sweeping: running the randomized bridge
+// finder with a starved round budget (alpha = 1) leaves failures, which
+// the sweep repairs in O(1) extra steps via Ragde compaction + brute
+// force — the final hull is still exact.
+//
+// Reproduction target: at alpha = 1 a sizable fraction of the tree
+// problems fail and get swept; at the default alpha = 8 the sweep is
+// idle; total steps differ by a constant, never by a factor of n.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/presorted_constant.h"
+#include "geom/workloads.h"
+#include "pram/machine.h"
+
+namespace {
+
+void e09(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const int alpha = static_cast<int>(state.range(1));
+  auto pts = iph::geom::in_disk(n, 5);
+  iph::geom::sort_lex(pts);
+  iph::core::PresortedConstantStats stats;
+  iph::pram::Metrics last;
+  for (auto _ : state) {
+    iph::pram::Machine m(1, 13);
+    stats = {};
+    benchmark::DoNotOptimize(
+        iph::core::presorted_constant_hull(m, pts, &stats, alpha));
+    last = m.metrics();
+  }
+  iph::bench::report_metrics(state, last);
+  state.counters["problems"] = static_cast<double>(stats.tree_problems);
+  state.counters["swept"] = static_cast<double>(stats.failures_swept);
+  state.counters["sweep_frac"] =
+      stats.tree_problems
+          ? static_cast<double>(stats.failures_swept) / stats.tree_problems
+          : 0.0;
+  state.counters["retries"] = static_cast<double>(stats.retries);
+}
+
+}  // namespace
+
+BENCHMARK(e09)
+    ->ArgsProduct({{1 << 12, 1 << 15}, {1, 2, 8}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// E10 — Section 5 / Lemma 7 (Matias-Vishkin): an algorithm with PRAM
+// time t and work w runs on p processors in T <= t + w/p + t_c log t.
+//
+// The simulator tracks the REALIZED simulated time T(p) = sum over steps
+// of ceil(active/p) online; this bench prints it for the processor
+// ladder next to the Lemma 7 bound for a Theorem 5 run. Reproduction
+// target: realized T(p) <= bound for every p, with T(p) ~ w/p in the
+// work-dominated range and ~t once p exceeds the parallelism.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/unsorted2d.h"
+#include "geom/workloads.h"
+#include "pram/allocation.h"
+#include "pram/machine.h"
+
+namespace {
+
+void e10(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto pts = iph::geom::in_disk(n, 3);
+  iph::pram::Metrics last;
+  for (auto _ : state) {
+    iph::pram::Machine m(1, 7);
+    benchmark::DoNotOptimize(iph::core::unsorted_hull_2d(m, pts));
+    last = m.metrics();
+  }
+  const auto rep = iph::pram::allocation_report(last);
+  state.counters["t_ideal"] = static_cast<double>(rep.ideal_time);
+  state.counters["work"] = static_cast<double>(rep.work);
+  for (const auto& [p, tp] : rep.realized) {
+    if (p > 4096) continue;
+    state.counters["T(" + std::to_string(p) + ")"] =
+        static_cast<double>(tp);
+    state.counters["MVbound(" + std::to_string(p) + ")"] =
+        iph::pram::matias_vishkin_time(rep.ideal_time, rep.work, p);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(e10)
+    ->Arg(1 << 14)
+    ->Arg(1 << 16)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// E11 — Lemmas 5.1 / 6.1: random-splitter recursion depth. The paper
+// proves each subproblem shrinks below (15/16)^i n by level i w.h.p.,
+// so the recursion depth is O(log n) (2-d) and the 3-d division takes
+// O(log n) levels too.
+//
+// Reproduction target: measured levels / log_{16/15}(n) well below 1
+// across sizes and seeds (the paper's bound is loose); the distribution
+// of levels over seeds is tight.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_util.h"
+#include "core/unsorted2d.h"
+#include "core/unsorted3d.h"
+#include "geom/workloads.h"
+#include "pram/machine.h"
+
+namespace {
+
+void e11_2d(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  constexpr int kTrials = 10;
+  std::uint64_t max_levels = 0, sum_levels = 0;
+  for (auto _ : state) {
+    max_levels = sum_levels = 0;
+    for (int t = 0; t < kTrials; ++t) {
+      const auto pts = iph::geom::in_disk(n, 600 + t);
+      iph::pram::Machine m(1, t);
+      iph::core::Unsorted2DStats stats;
+      benchmark::DoNotOptimize(
+          iph::core::unsorted_hull_2d(m, pts, &stats));
+      max_levels = std::max(max_levels, stats.levels);
+      sum_levels += stats.levels;
+    }
+  }
+  const double bound =
+      std::log(static_cast<double>(n)) / std::log(16.0 / 15.0);
+  state.counters["mean_levels"] =
+      static_cast<double>(sum_levels) / kTrials;
+  state.counters["max_levels"] = static_cast<double>(max_levels);
+  state.counters["paper_bound_15_16"] = bound;
+  state.counters["max/bound"] = static_cast<double>(max_levels) / bound;
+}
+
+void e11_3d(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  constexpr int kTrials = 5;
+  std::uint64_t max_levels = 0;
+  for (auto _ : state) {
+    max_levels = 0;
+    for (int t = 0; t < kTrials; ++t) {
+      const auto pts = iph::geom::extreme_k3(n, 12, 600 + t);
+      iph::pram::Machine m(1, t);
+      iph::core::Unsorted3DStats stats;
+      benchmark::DoNotOptimize(
+          iph::core::unsorted_hull_3d(m, pts, &stats));
+      max_levels = std::max(max_levels, stats.levels);
+    }
+  }
+  state.counters["max_levels"] = static_cast<double>(max_levels);
+  state.counters["log2n"] = iph::bench::log2d(static_cast<double>(n));
+}
+
+}  // namespace
+
+BENCHMARK(e11_2d)
+    ->Arg(1 << 12)
+    ->Arg(1 << 15)
+    ->Arg(1 << 18)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(e11_3d)
+    ->Arg(1 << 10)
+    ->Arg(1 << 13)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

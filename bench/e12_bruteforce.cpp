@@ -1,0 +1,86 @@
+// E12 — Observations 2.2-2.3 and Lemma 2.4: the constant-time brute
+// force building blocks.
+//
+// Reproduction target: brute hull and brute bridge run in O(1) PRAM
+// steps with ~q^3 processor-work; the folklore Lemma 2.4 hull runs in
+// O(k)-flavoured steps with work ~q^(1+1/k) — our realization's measured
+// exponent (reported as the `exponent` counter: log_q(work)) sits
+// between 1 + 1/k and 1 + 2/k, the documented gap of DESIGN.md §8.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "bench_util.h"
+#include "geom/workloads.h"
+#include "hulltools/folklore_hull.h"
+#include "pram/machine.h"
+#include "primitives/brute_force_hull.h"
+#include "primitives/brute_force_lp.h"
+
+namespace {
+
+void e12_brute_hull(benchmark::State& state) {
+  const auto q = static_cast<std::size_t>(state.range(0));
+  auto pts = iph::geom::in_disk(q, 5);
+  iph::geom::sort_lex(pts);
+  iph::pram::Metrics last;
+  for (auto _ : state) {
+    iph::pram::Machine m(1, 3);
+    benchmark::DoNotOptimize(
+        iph::primitives::brute_hull_presorted(m, pts, 0, q));
+    last = m.metrics();
+  }
+  iph::bench::report_metrics(state, last);
+  state.counters["work/q^3"] =
+      static_cast<double>(last.work) / std::pow(static_cast<double>(q), 3);
+}
+
+void e12_brute_bridge(benchmark::State& state) {
+  const auto q = static_cast<std::size_t>(state.range(0));
+  const auto pts = iph::geom::in_disk(q, 7);
+  std::vector<iph::geom::Index> idx(q);
+  std::iota(idx.begin(), idx.end(), iph::geom::Index{0});
+  iph::pram::Metrics last;
+  for (auto _ : state) {
+    iph::pram::Machine m(1, 3);
+    benchmark::DoNotOptimize(
+        iph::primitives::brute_bridge_2d(m, pts, idx, 0));
+    last = m.metrics();
+  }
+  iph::bench::report_metrics(state, last);
+  state.counters["work/q^3"] =
+      static_cast<double>(last.work) / std::pow(static_cast<double>(q), 3);
+}
+
+void e12_folklore(benchmark::State& state) {
+  const auto q = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<unsigned>(state.range(1));
+  auto pts = iph::geom::in_disk(q, 9);
+  iph::geom::sort_lex(pts);
+  iph::pram::Metrics last;
+  for (auto _ : state) {
+    iph::pram::Machine m(1, 3);
+    benchmark::DoNotOptimize(
+        iph::hulltools::folklore_hull_presorted(m, pts, 0, q, k));
+    last = m.metrics();
+  }
+  iph::bench::report_metrics(state, last);
+  state.counters["exponent"] =
+      std::log(static_cast<double>(last.work)) /
+      std::log(static_cast<double>(q));
+  state.counters["claimed_1+1/k"] = 1.0 + 1.0 / k;
+}
+
+}  // namespace
+
+BENCHMARK(e12_brute_hull)->Arg(32)->Arg(64)->Arg(128)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(e12_brute_bridge)->Arg(32)->Arg(64)->Arg(128)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(e12_folklore)
+    ->ArgsProduct({{1 << 10, 1 << 13, 1 << 16}, {2, 3, 4}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

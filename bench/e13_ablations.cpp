@@ -1,0 +1,94 @@
+// E13 — ablations of the design choices DESIGN.md calls out:
+//   (a) alpha, the in-place-bridge round budget: too small starves the
+//       sampler and shifts cost into failure sweeping; too large wastes
+//       idle rounds. The paper leaves alpha as "a constant set in the
+//       analysis" — this sweep locates the knee.
+//   (b) k, the base-problem size exponent (the paper fixes k = s^(1/3)
+//       in 2-d so the k^3-processor brute force stays linear): the sweep
+//       shows s^(1/4) under-samples (more rounds) and s^(1/2) blows up
+//       base-solve work.
+//   (c) the fallback threshold l >= n^c of Section 4.1 step 3: smaller c
+//       abandons output-sensitivity early; larger c keeps splitting past
+//       the point where the O(n log n) algorithm is cheaper.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/unsorted2d.h"
+#include "geom/workloads.h"
+#include "pram/machine.h"
+#include "primitives/inplace_bridge.h"
+#include "support/mathutil.h"
+
+namespace {
+
+void e13_alpha(benchmark::State& state) {
+  const int alpha = static_cast<int>(state.range(0));
+  const auto pts = iph::geom::in_disk(1 << 14, 5);
+  iph::pram::Metrics last;
+  iph::core::Unsorted2DStats stats;
+  for (auto _ : state) {
+    iph::pram::Machine m(1, 7);
+    stats = {};
+    benchmark::DoNotOptimize(
+        iph::core::unsorted_hull_2d(m, pts, &stats, alpha));
+    last = m.metrics();
+  }
+  iph::bench::report_metrics(state, last);
+  state.counters["swept"] = static_cast<double>(stats.failures_swept);
+}
+
+void e13_base_k(benchmark::State& state) {
+  // Exponent e in k = m^e for a single whole-array bridge problem.
+  const double e = static_cast<double>(state.range(0)) / 100.0;
+  const std::size_t n = 1 << 15;
+  const auto pts = iph::geom::in_disk(n, 9);
+  iph::pram::Metrics last;
+  int iters = 0;
+  for (auto _ : state) {
+    iph::pram::Machine m(1, 11);
+    std::vector<std::uint32_t> problem_of(n, 0);
+    iph::primitives::BridgeProblem pr;
+    pr.splitter = 1234;
+    pr.size_est = n;
+    pr.k = std::max<std::uint64_t>(2, iph::support::ipow_frac(n, e));
+    const auto out =
+        iph::primitives::inplace_bridges_2d(m, pts, problem_of, {&pr, 1});
+    iters = out[0].iterations;
+    last = m.metrics();
+  }
+  iph::bench::report_metrics(state, last);
+  state.counters["k"] = static_cast<double>(
+      iph::support::ipow_frac(1 << 15, e));
+  state.counters["iters"] = iters;
+}
+
+void e13_threshold(benchmark::State& state) {
+  // Fallback threshold exponent c in l >= n^c (0 disables; the scoped
+  // entry point exposes the knob).
+  const double c = static_cast<double>(state.range(0)) / 100.0;
+  const std::size_t n = 1 << 14;
+  const auto pts = iph::geom::in_disk(n, 13);
+  const std::uint64_t threshold =
+      c == 0 ? 0 : iph::support::ipow_frac(n, c);
+  iph::pram::Metrics last;
+  for (auto _ : state) {
+    iph::pram::Machine m(1, 3);
+    std::vector<std::uint32_t> problem_of(n, 0);
+    benchmark::DoNotOptimize(iph::core::unsorted_2d_scoped(
+        m, pts, problem_of, 1, nullptr, 8, threshold));
+    last = m.metrics();
+  }
+  iph::bench::report_metrics(state, last);
+  state.counters["threshold"] = static_cast<double>(threshold);
+}
+
+}  // namespace
+
+BENCHMARK(e13_alpha)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(e13_base_k)->Arg(25)->Arg(33)->Arg(50)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(e13_threshold)->Arg(0)->Arg(13)->Arg(25)->Arg(50)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

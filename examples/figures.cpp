@@ -1,0 +1,168 @@
+// figures — regenerate the paper's three illustrative figures as SVG.
+//
+//   build/examples/figures [output_dir]
+//
+//   figure1.svg  "The Use of Point-Hull Invariance": a set of small
+//                upper hulls treated as points, with their common
+//                tangent (the hull analogue of a line through 2 points).
+//   figure2.svg  "2D convex hull by bridge-finding": a point set, a
+//                splitter, and the bridge edge found above it.
+//   figure3.svg  "Division of the point set" (3-d): the xy-projection of
+//                a point set, the facet above a splitter, and the two
+//                ridge chains dividing the plane into 4 regions.
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/unsorted2d.h"
+#include "core/unsorted3d.h"
+#include "geom/workloads.h"
+#include "hulltools/chain_ops.h"
+#include "pram/machine.h"
+#include "primitives/brute_force_lp.h"
+#include "seq/upper_hull.h"
+
+namespace {
+
+using iph::geom::Index;
+using iph::geom::Point2;
+
+struct Svg {
+  std::string body;
+  double minx = 1e30, miny = 1e30, maxx = -1e30, maxy = -1e30;
+
+  void grow(double x, double y) {
+    minx = std::min(minx, x);
+    maxx = std::max(maxx, x);
+    miny = std::min(miny, y);
+    maxy = std::max(maxy, y);
+  }
+  void dot(double x, double y, const char* color, double r = 4) {
+    grow(x, y);
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "<circle cx='%.1f' cy='%.1f' r='%.1f' fill='%s'/>\n", x,
+                  -y, r, color);
+    body += buf;
+  }
+  void line(double x1, double y1, double x2, double y2, const char* color,
+            double w = 2) {
+    grow(x1, y1);
+    grow(x2, y2);
+    char buf[200];
+    std::snprintf(buf, sizeof buf,
+                  "<line x1='%.1f' y1='%.1f' x2='%.1f' y2='%.1f' "
+                  "stroke='%s' stroke-width='%.1f'/>\n",
+                  x1, -y1, x2, -y2, color, w);
+    body += buf;
+  }
+  void save(const std::string& path) {
+    const double pad = 40;
+    std::ofstream out(path);
+    out << "<svg xmlns='http://www.w3.org/2000/svg' viewBox='"
+        << (minx - pad) << " " << (-maxy - pad) << " "
+        << (maxx - minx + 2 * pad) << " " << (maxy - miny + 2 * pad)
+        << "'>\n<rect x='" << (minx - pad) << "' y='" << (-maxy - pad)
+        << "' width='" << (maxx - minx + 2 * pad) << "' height='"
+        << (maxy - miny + 2 * pad) << "' fill='white'/>\n"
+        << body << "</svg>\n";
+    std::printf("wrote %s\n", path.c_str());
+  }
+};
+
+void draw_chain(Svg& svg, std::span<const Point2> pts,
+                std::span<const Index> chain, const char* color) {
+  for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+    svg.line(pts[chain[i]].x, pts[chain[i]].y, pts[chain[i + 1]].x,
+             pts[chain[i + 1]].y, color);
+  }
+}
+
+void figure1(const std::string& dir) {
+  // Three small hulls + the common tangent of the outer two.
+  Svg svg;
+  std::vector<Point2> pts;
+  std::vector<iph::hulltools::Chain> chains;
+  for (int g = 0; g < 3; ++g) {
+    auto blob = iph::geom::in_disk(60, 7 + g);
+    const std::size_t base = pts.size();
+    for (auto& p : blob) {
+      pts.push_back({p.x * 0.25e-3 + g * 700.0, p.y * 0.25e-3});
+    }
+    std::span<const Point2> sub(pts.data() + base, blob.size());
+    auto h = iph::seq::upper_hull(sub);
+    iph::hulltools::Chain c;
+    for (Index v : h.vertices) c.push_back(static_cast<Index>(v + base));
+    chains.push_back(std::move(c));
+  }
+  for (const auto& p : pts) svg.dot(p.x, p.y, "#bbbbbb", 2);
+  for (const auto& c : chains) draw_chain(svg, pts, c, "#2266cc");
+  iph::pram::Machine m(1);
+  const auto [a, b] =
+      iph::hulltools::common_tangent(m, pts, chains[0], chains[2], 4);
+  svg.line(pts[a].x, pts[a].y, pts[b].x, pts[b].y, "#cc3322", 3);
+  svg.dot(pts[a].x, pts[a].y, "#cc3322", 5);
+  svg.dot(pts[b].x, pts[b].y, "#cc3322", 5);
+  svg.save(dir + "/figure1.svg");
+}
+
+void figure2(const std::string& dir) {
+  Svg svg;
+  auto pts = iph::geom::in_disk(120, 5);
+  for (auto& p : pts) {
+    p.x *= 1e-3;
+    p.y *= 1e-3;
+  }
+  for (const auto& p : pts) svg.dot(p.x, p.y, "#888888", 3);
+  const Index splitter = 17;
+  svg.dot(pts[splitter].x, pts[splitter].y, "#22aa44", 6);
+  svg.line(pts[splitter].x, -1200, pts[splitter].x, 1200, "#22aa44", 1);
+  iph::pram::Machine m(1);
+  std::vector<Index> idx(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) idx[i] = static_cast<Index>(i);
+  const auto e = iph::primitives::brute_bridge_2d(m, pts, idx, splitter);
+  svg.line(pts[e.first].x, pts[e.first].y, pts[e.second].x, pts[e.second].y,
+           "#cc3322", 3);
+  const auto hull = iph::seq::upper_hull(pts);
+  draw_chain(svg, pts, hull.vertices, "#2266cc");
+  svg.save(dir + "/figure2.svg");
+}
+
+void figure3(const std::string& dir) {
+  Svg svg;
+  auto pts3 = iph::geom::in_ball(400, 9);
+  // xy-projection of the points.
+  for (const auto& p : pts3) svg.dot(p.x * 1e-3, p.y * 1e-3, "#999999", 2);
+  // Facet above a splitter + the two ridge chains from the 3-d run.
+  iph::pram::Machine m(1);
+  iph::core::Unsorted3DStats stats;
+  const auto r = iph::core::unsorted_hull_3d(m, pts3, &stats);
+  if (!r.facets.empty()) {
+    const auto& f = r.facets[0];
+    const double sx = 1e-3;
+    svg.line(pts3[f.a].x * sx, pts3[f.a].y * sx, pts3[f.b].x * sx,
+             pts3[f.b].y * sx, "#cc3322", 3);
+    svg.line(pts3[f.b].x * sx, pts3[f.b].y * sx, pts3[f.c].x * sx,
+             pts3[f.c].y * sx, "#cc3322", 3);
+    svg.line(pts3[f.c].x * sx, pts3[f.c].y * sx, pts3[f.a].x * sx,
+             pts3[f.a].y * sx, "#cc3322", 3);
+  }
+  // Ridges: xy-projections of the 3-d hull's silhouette edges (computed
+  // from the facet adjacency: boundary edges of the facet tiling).
+  for (const auto& f : r.facets) {
+    svg.line(pts3[f.a].x * 1e-3, pts3[f.a].y * 1e-3, pts3[f.b].x * 1e-3,
+             pts3[f.b].y * 1e-3, "#2266cc", 1);
+  }
+  svg.save(dir + "/figure3.svg");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string dir = argc > 1 ? argv[1] : ".";
+  figure1(dir);
+  figure2(dir);
+  figure3(dir);
+  return 0;
+}

@@ -1,0 +1,59 @@
+// gis_footprint — convex footprints of clustered spatial data.
+//
+//   build/examples/gis_footprint [clusters] [points_per_cluster]
+//
+// A GIS-flavoured scenario: sensor readings arrive grouped into
+// geographic clusters; each cluster's convex footprint (full hull) is
+// computed with the output-sensitive algorithm — exactly the regime the
+// paper targets (h is tiny compared to n, so Theorem 5's O(n log h) work
+// beats the O(n log n) baseline). The example prints per-cluster
+// footprint sizes, the aggregate PRAM cost, and the comparison against
+// running the non-output-sensitive fallback instead.
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/api.h"
+#include "geom/workloads.h"
+#include "support/rng.h"
+
+int main(int argc, char** argv) {
+  using namespace iph;
+  const std::size_t clusters = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 12;
+  const std::size_t per = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 20000;
+
+  support::Rng rng(2026, 0xF00);
+  std::uint64_t sensitive_work = 0, baseline_work = 0;
+  std::printf("cluster |      n | footprint | T5 work  | fallback work\n");
+  std::printf("--------+--------+-----------+----------+--------------\n");
+  for (std::size_t c = 0; c < clusters; ++c) {
+    // A dense Gaussian cluster, offset to its own map location.
+    auto pts = geom::gaussian2(per, 9000 + c);
+    const double ox = (rng.next_double() - 0.5) * 4.0e7;
+    const double oy = (rng.next_double() - 0.5) * 4.0e7;
+    for (auto& p : pts) {
+      p.x = p.x * 0.02 + ox;  // tight cluster: tiny hull
+      p.y = p.y * 0.02 + oy;
+    }
+    const FullHull2D foot = convex_hull_2d(pts);
+    Options fb;
+    fb.algo = Algo2D::kFallback;
+    const Hull2D base = upper_hull_2d(pts, fb);
+    sensitive_work += foot.metrics.work;
+    baseline_work += base.metrics.work;
+    std::printf("%7zu | %6zu | %9zu | %8llu | %llu\n", c, pts.size(),
+                foot.vertices.size(),
+                static_cast<unsigned long long>(foot.metrics.work),
+                static_cast<unsigned long long>(base.metrics.work));
+  }
+  std::printf("\ntotal output-sensitive work : %llu\n",
+              static_cast<unsigned long long>(sensitive_work));
+  std::printf("total fallback work (upper hulls only): %llu\n",
+              static_cast<unsigned long long>(baseline_work));
+  std::printf("(Theorem 5 computes BOTH chains of each footprint; the\n"
+              " fallback column is a single upper hull, so compare\n"
+              " sensitive/2 against it. At this scale the asymptotic\n"
+              " n log h vs n log n gap is offset by Theorem 5's larger\n"
+              " constants — bench e04 sweeps the crossover, n = %zu.)\n",
+              per);
+  return 0;
+}

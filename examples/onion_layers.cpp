@@ -1,0 +1,49 @@
+// onion_layers — repeated hull peeling ("onion" decomposition).
+//
+//   build/examples/onion_layers [n]
+//
+// Strips convex layers off a point set by repeatedly computing the full
+// hull with the output-sensitive algorithm and removing its vertices.
+// Stresses the library across MANY calls with shrinking n and small h —
+// the regime where the paper's O(n log h) work bound shines — and prints
+// per-layer sizes plus the cumulative PRAM cost.
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/api.h"
+#include "geom/workloads.h"
+
+int main(int argc, char** argv) {
+  using namespace iph;
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 50000;
+  std::vector<geom::Point2> pts = geom::in_disk(n, 99);
+
+  std::uint64_t total_work = 0, total_steps = 0;
+  std::size_t layer = 0;
+  std::printf("layer |  remaining | hull size\n");
+  std::printf("------+------------+----------\n");
+  while (pts.size() >= 3 && layer < 30) {
+    const FullHull2D hull = convex_hull_2d(pts);
+    total_work += hull.metrics.work;
+    total_steps += hull.metrics.steps;
+    std::printf("%5zu | %10zu | %zu\n", layer, pts.size(),
+                hull.vertices.size());
+    // Remove the layer's vertices.
+    std::vector<std::uint8_t> drop(pts.size(), 0);
+    for (const geom::Index v : hull.vertices) drop[v] = 1;
+    std::vector<geom::Point2> rest;
+    rest.reserve(pts.size() - hull.vertices.size());
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      if (!drop[i]) rest.push_back(pts[i]);
+    }
+    pts = std::move(rest);
+    ++layer;
+  }
+  std::printf("\npeeled %zu layers; cumulative PRAM steps=%llu work=%llu\n",
+              layer, static_cast<unsigned long long>(total_steps),
+              static_cast<unsigned long long>(total_work));
+  std::printf("(%zu points remain inside the last peeled layer)\n",
+              pts.size());
+  return 0;
+}

@@ -1,0 +1,58 @@
+// quickstart — the 60-second tour of the iph public API.
+//
+//   build/examples/quickstart
+//
+// Computes 2-d and 3-d hulls of random point sets with every algorithm
+// the paper contributes, and prints the PRAM cost next to each.
+#include <cstdio>
+
+#include "core/api.h"
+#include "geom/workloads.h"
+
+int main() {
+  using namespace iph;
+
+  // --- 2-d, unsorted input (Theorem 5) -------------------------------
+  const auto pts = geom::in_disk(100000, /*seed=*/42);
+  const Hull2D h = upper_hull_2d(pts);
+  std::printf("Theorem 5 (unsorted 2-d), n=%zu:\n", pts.size());
+  std::printf("  upper hull vertices : %zu\n",
+              h.result.upper.vertices.size());
+  std::printf("  PRAM time (steps)   : %llu\n",
+              static_cast<unsigned long long>(h.metrics.steps));
+  std::printf("  PRAM work           : %llu\n",
+              static_cast<unsigned long long>(h.metrics.work));
+  // Every point knows the hull edge above it (the paper's convention):
+  const geom::Index e = h.result.edge_above[0];
+  std::printf("  point 0 lies under hull edge %u -> %u\n",
+              h.result.upper.vertices[e], h.result.upper.vertices[e + 1]);
+
+  // --- 2-d, presorted input (Lemma 2.5, then Theorem 2) ---------------
+  auto sorted = pts;
+  geom::sort_lex(sorted);
+  Options o;
+  o.algo = Algo2D::kPresortedConstant;
+  const Hull2D hc = upper_hull_2d_presorted(sorted, o);
+  std::printf("\nLemma 2.5 (presorted, constant time): steps=%llu work=%llu\n",
+              static_cast<unsigned long long>(hc.metrics.steps),
+              static_cast<unsigned long long>(hc.metrics.work));
+  o.algo = Algo2D::kPresortedLogstar;
+  const Hull2D hl = upper_hull_2d_presorted(sorted, o);
+  std::printf("Theorem 2 (presorted, log* time):     steps=%llu work=%llu\n",
+              static_cast<unsigned long long>(hl.metrics.steps),
+              static_cast<unsigned long long>(hl.metrics.work));
+
+  // --- full hull -------------------------------------------------------
+  const FullHull2D full = convex_hull_2d(pts);
+  std::printf("\nfull convex hull: %zu vertices (CCW)\n",
+              full.vertices.size());
+
+  // --- 3-d (Theorem 6) -------------------------------------------------
+  const auto pts3 = geom::in_ball(20000, 7);
+  const Hull3D h3 = upper_hull_3d(pts3);
+  std::printf("\nTheorem 6 (unsorted 3-d), n=%zu: %zu facets, steps=%llu%s\n",
+              pts3.size(), h3.result.facets.size(),
+              static_cast<unsigned long long>(h3.metrics.steps),
+              h3.used_fallback ? " (repaired via fallback)" : "");
+  return 0;
+}

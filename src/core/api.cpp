@@ -1,0 +1,93 @@
+#include "core/api.h"
+
+#include "core/fallback2d.h"
+#include "core/presorted_constant.h"
+#include "core/presorted_logstar.h"
+#include "core/unsorted2d.h"
+#include "core/unsorted3d.h"
+#include "geom/validate.h"
+#include "pram/machine.h"
+#include "support/check.h"
+
+namespace iph {
+
+namespace {
+
+pram::Machine make_machine(const Options& o) {
+  return pram::Machine(o.threads, o.seed);
+}
+
+}  // namespace
+
+Hull2D upper_hull_2d(std::span<const geom::Point2> pts,
+                     const Options& opts) {
+  pram::Machine m = make_machine(opts);
+  Hull2D out;
+  switch (opts.algo) {
+    case Algo2D::kFallback:
+      out.result = core::fallback_hull_2d(m, pts);
+      break;
+    case Algo2D::kPresortedConstant:
+    case Algo2D::kPresortedLogstar:
+      IPH_CHECK(false && "presorted algorithm requested on unsorted entry "
+                         "point; use upper_hull_2d_presorted");
+      break;
+    case Algo2D::kAuto:
+    case Algo2D::kUnsorted:
+      out.result = core::unsorted_hull_2d(m, pts, nullptr, opts.alpha);
+      break;
+  }
+  out.metrics = m.metrics();
+  return out;
+}
+
+Hull2D upper_hull_2d_presorted(std::span<const geom::Point2> pts,
+                               const Options& opts) {
+  pram::Machine m = make_machine(opts);
+  Hull2D out;
+  switch (opts.algo) {
+    case Algo2D::kPresortedLogstar:
+      out.result = core::presorted_logstar_hull(m, pts);
+      break;
+    case Algo2D::kUnsorted:
+      out.result = core::unsorted_hull_2d(m, pts, nullptr, opts.alpha);
+      break;
+    case Algo2D::kFallback:
+      out.result = core::fallback_hull_2d(m, pts);
+      break;
+    case Algo2D::kAuto:
+    case Algo2D::kPresortedConstant:
+      out.result = core::presorted_constant_hull(m, pts, nullptr, opts.alpha);
+      break;
+  }
+  out.metrics = m.metrics();
+  return out;
+}
+
+FullHull2D convex_hull_2d(std::span<const geom::Point2> pts,
+                          const Options& opts) {
+  pram::Machine m = make_machine(opts);
+  FullHull2D out;
+  const auto upper = core::unsorted_hull_2d(m, pts, nullptr, opts.alpha);
+  std::vector<geom::Point2> neg(pts.size());
+  m.step(pts.size(), [&](std::uint64_t i) {
+    neg[i] = {pts[i].x, -pts[i].y};
+  });
+  const auto lower = core::unsorted_hull_2d(m, neg, nullptr, opts.alpha);
+  out.vertices = geom::full_hull_from_upper(upper.upper, lower.upper);
+  out.metrics = m.metrics();
+  return out;
+}
+
+Hull3D upper_hull_3d(std::span<const geom::Point3> pts,
+                     const Options& opts) {
+  pram::Machine m = make_machine(opts);
+  Hull3D out;
+  core::Unsorted3DStats stats;
+  out.result = core::unsorted_hull_3d(m, pts, &stats, opts.alpha);
+  out.metrics = m.metrics();
+  out.used_fallback = stats.used_fallback;
+  return out;
+}
+
+}  // namespace iph

@@ -1,0 +1,81 @@
+#include "core/fallback2d.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "hulltools/chain_ops.h"
+#include "primitives/brute_force_hull.h"
+#include "support/check.h"
+#include "support/mathutil.h"
+
+namespace iph::core {
+
+using geom::Index;
+using geom::Point2;
+
+geom::HullResult2D fallback_hull_2d_presorted(
+    pram::Machine& m, std::span<const Point2> pts,
+    std::span<const Index> order) {
+  const std::size_t n = order.size();
+  geom::HullResult2D out;
+  if (n == 0) return out;
+  // Materialize the sorted view (1 step, n work); all chain machinery
+  // then works on contiguous presorted data, and results are mapped back
+  // through `order` at the end.
+  std::vector<Point2> sorted(n);
+  m.step(n, [&](std::uint64_t i) { sorted[i] = pts[order[i]]; });
+
+  // Leaf chains: brute hulls of 8-point blocks (one logical step layer).
+  constexpr std::size_t kLeaf = 8;
+  std::vector<hulltools::Chain> chains;
+  {
+    const std::uint64_t steps_before = m.metrics().steps;
+    std::uint64_t max_steps = 0;
+    for (std::size_t lo = 0; lo < n; lo += kLeaf) {
+      const std::size_t hi = std::min(n, lo + kLeaf);
+      const std::uint64_t at = m.metrics().steps;
+      auto hr = primitives::brute_hull_presorted(m, sorted, lo, hi);
+      max_steps = std::max(max_steps, m.metrics().steps - at);
+      chains.push_back(std::move(hr.upper.vertices));
+    }
+    m.metrics().steps = steps_before + max_steps;
+  }
+  // Binary tangent-merge tournament: O(log n) lockstep rounds.
+  while (chains.size() > 1) {
+    const std::size_t groups = (chains.size() + 1) / 2;
+    std::vector<std::uint32_t> group_of(chains.size());
+    for (std::size_t c = 0; c < chains.size(); ++c) {
+      group_of[c] = static_cast<std::uint32_t>(c / 2);
+    }
+    chains = hulltools::merge_chain_groups(m, sorted, chains, group_of,
+                                           groups, 4);
+  }
+  const hulltools::Chain& chain = chains.front();
+  // Covering edges for every point (batched lockstep search).
+  std::vector<Index> queries(n);
+  std::iota(queries.begin(), queries.end(), Index{0});
+  const auto edges = hulltools::edges_above_chain(m, sorted, queries, chain,
+                                                  8);
+  // Map back to original indices.
+  out.upper.vertices.reserve(chain.size());
+  for (const Index v : chain) out.upper.vertices.push_back(order[v]);
+  out.edge_above.assign(pts.size(), geom::kNone);
+  m.step(n, [&](std::uint64_t i) { out.edge_above[order[i]] = edges[i]; });
+  return out;
+}
+
+geom::HullResult2D fallback_hull_2d(pram::Machine& m,
+                                    std::span<const Point2> pts) {
+  const std::size_t n = pts.size();
+  std::vector<Index> order(n);
+  std::iota(order.begin(), order.end(), Index{0});
+  std::sort(order.begin(), order.end(), [&](Index a, Index b) {
+    return geom::lex_less(pts[a], pts[b]);
+  });
+  // Charge the sort at Cole's merge-sort cost (see header).
+  const unsigned logn = n > 1 ? support::ceil_log2(n) : 1;
+  m.charge(logn, n);
+  return fallback_hull_2d_presorted(m, pts, order);
+}
+
+}  // namespace iph::core

@@ -1,0 +1,35 @@
+// The fallback parallel 2-d hull (Section 4.1 step 3): when the
+// output-sensitive recursion has discovered l >= n^(1/32) hull edges, the
+// total work is already Omega(n log n), so the paper switches to "any
+// O(log n) time, n processor algorithm, e.g. Atallah-Goodrich [6]".
+//
+// Realization (documented substitution, DESIGN.md §1): sorting is done
+// host-side and charged at Cole's published cost (O(log n) steps, O(n)
+// work per step) — implementing Cole's pipelined merge sort is out of
+// scope and bitonic sort would inflate the work envelope by a log
+// factor, distorting the Theorem 5 shape the benches measure. The hull
+// itself is computed genuinely in parallel: a binary tournament of
+// tangent merges over the sorted points (chain_ops), O(log n) lockstep
+// rounds, O(n) work per round, then a batched covering-edge search.
+#pragma once
+
+#include <span>
+
+#include "geom/hull_types.h"
+#include "geom/point.h"
+#include "pram/machine.h"
+
+namespace iph::core {
+
+/// Upper hull + per-point edge pointers of UNSORTED points.
+/// O(log n) PRAM step-rounds, O(n log n) work.
+geom::HullResult2D fallback_hull_2d(pram::Machine& m,
+                                    std::span<const geom::Point2> pts);
+
+/// The presorted inner part (sorted index order given): used by the
+/// fallback itself and by tests.
+geom::HullResult2D fallback_hull_2d_presorted(
+    pram::Machine& m, std::span<const geom::Point2> pts,
+    std::span<const geom::Index> order);
+
+}  // namespace iph::core

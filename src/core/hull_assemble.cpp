@@ -1,0 +1,57 @@
+#include "core/hull_assemble.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace iph::core {
+
+using geom::Index;
+using geom::Point2;
+
+geom::HullResult2D assemble_from_pairs(std::span<const Point2> pts,
+                                       std::span<const Index> pair_a,
+                                       std::span<const Index> pair_b) {
+
+  geom::HullResult2D r;
+  const std::size_t n = pts.size();
+  std::vector<Index> verts;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (pair_a[i] != geom::kNone) {
+      verts.push_back(pair_a[i]);
+      verts.push_back(pair_b[i]);
+    }
+  }
+  // Different tree nodes may name the same geometric vertex by different
+  // duplicate input indices: canonicalize by coordinates (keep the
+  // smallest index per coordinate pair).
+  std::sort(verts.begin(), verts.end(), [&](Index u, Index v) {
+    if (pts[u].x != pts[v].x) return pts[u].x < pts[v].x;
+    if (pts[u].y != pts[v].y) return pts[u].y < pts[v].y;
+    return u < v;
+  });
+  verts.erase(std::unique(verts.begin(), verts.end(),
+                          [&](Index u, Index v) { return pts[u] == pts[v]; }),
+              verts.end());
+  r.upper.vertices = verts;
+  const auto rank_of = [&](Index v) -> std::uint32_t {
+    const auto it = std::lower_bound(
+        verts.begin(), verts.end(), v, [&](Index u, Index w) {
+          if (pts[u].x != pts[w].x) return pts[u].x < pts[w].x;
+          return pts[u].y < pts[w].y;
+        });
+    IPH_DCHECK(it != verts.end() && pts[*it] == pts[v]);
+    return static_cast<std::uint32_t>(it - verts.begin());
+  };
+  r.edge_above.assign(n, geom::kNone);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (pair_a[i] != geom::kNone) {
+      r.edge_above[i] = rank_of(pair_a[i]);
+      IPH_DCHECK(rank_of(pair_b[i]) == r.edge_above[i] + 1);
+    }
+  }
+  return r;
+}
+
+
+}  // namespace iph::core

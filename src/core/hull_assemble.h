@@ -1,0 +1,22 @@
+// Shared output assembly: the paper's algorithms produce, for every
+// point, the hull edge above it as an endpoint pair (a, b). Every pair
+// is a global hull edge and every hull vertex appears as an endpoint of
+// its own pair (covering argument, presorted_constant.h), so the sorted
+// unique endpoint set IS the hull chain. Host-side presentation.
+#pragma once
+
+#include <span>
+
+#include "geom/hull_types.h"
+#include "geom/point.h"
+
+namespace iph::core {
+
+/// Build HullResult2D from per-point edge endpoint pairs. Entries with
+/// pair_a[i] == kNone keep edge_above[i] == kNone (legal only for
+/// degenerate inputs). Duplicate coordinates are canonicalized.
+geom::HullResult2D assemble_from_pairs(std::span<const geom::Point2> pts,
+                                       std::span<const geom::Index> pair_a,
+                                       std::span<const geom::Index> pair_b);
+
+}  // namespace iph::core

@@ -1,0 +1,305 @@
+#include "core/presorted_constant.h"
+
+#include "core/hull_assemble.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "geom/predicates.h"
+#include "hulltools/folklore_hull.h"
+#include "pram/cells.h"
+#include "primitives/brute_force_lp.h"
+#include "primitives/failure_sweep.h"
+#include "primitives/inplace_bridge.h"
+#include "support/check.h"
+#include "support/mathutil.h"
+
+namespace iph::core {
+
+using geom::Index;
+using geom::Point2;
+
+namespace {
+
+/// A tree bridge problem's node geometry.
+struct Node {
+  std::size_t lo, mid, hi;
+};
+
+}  // namespace
+
+geom::HullResult2D presorted_constant_hull(pram::Machine& m,
+                                           std::span<const Point2> pts,
+                                           PresortedConstantStats* stats,
+                                           int alpha) {
+  PresortedConstantStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  geom::HullResult2D r;
+  const std::size_t n = pts.size();
+  if (n == 0) return r;
+#ifndef NDEBUG
+  for (std::size_t i = 1; i < n; ++i) {
+    IPH_DCHECK(!geom::lex_less(pts[i], pts[i - 1]));
+  }
+#endif
+  // Degenerate single-column input.
+  if (pts.front().x == pts.back().x) {
+    r.upper.vertices.push_back(static_cast<Index>(n - 1));
+    r.edge_above.assign(n, geom::kNone);
+    return r;
+  }
+  // Small inputs: the deterministic Lemma 2.4 hull alone suffices.
+  if (n <= 64) {
+    return hulltools::folklore_hull_presorted(m, pts, 0, n, 3);
+  }
+
+  // --- block layer: Lemma 2.4 hulls for ranges below log^3 n ----------
+  const double log2n = std::log2(static_cast<double>(n));
+  const std::uint64_t want_block = static_cast<std::uint64_t>(
+      std::min<double>(static_cast<double>(n) / 2.0,
+                       std::max(8.0, log2n * log2n * log2n)));
+  const unsigned lb = support::floor_log2(want_block);
+  const std::size_t block = std::size_t{1} << lb;
+  const std::size_t nblocks = (n + block - 1) / block;
+
+  std::vector<geom::HullResult2D> blocks;
+  blocks.reserve(nblocks);
+  {
+    // Blocks run in the same logical PRAM steps; rebase time to the
+    // deepest block (work accumulates correctly).
+    const std::uint64_t steps_before = m.metrics().steps;
+    std::uint64_t max_steps = 0;
+    for (std::size_t lo = 0; lo < n; lo += block) {
+      const std::size_t hi = std::min(n, lo + block);
+      const std::uint64_t at = m.metrics().steps;
+      blocks.push_back(
+          hulltools::folklore_hull_presorted(m, pts, lo, hi, 3));
+      max_steps = std::max(max_steps, m.metrics().steps - at);
+    }
+    m.metrics().steps = steps_before + max_steps;
+  }
+
+  // --- tree layer: one bridge problem per node above the blocks -------
+  const unsigned ltop = support::ceil_log2(n);
+  const unsigned nlevels = ltop - lb;  // levels lb+1 .. ltop
+  std::vector<primitives::BridgeProblem> problems;
+  std::vector<Node> nodes;
+  // prob_at[li][j]: problem id of node j at level lb+1+li.
+  std::vector<std::vector<std::uint32_t>> prob_at(nlevels);
+  for (unsigned li = 0; li < nlevels; ++li) {
+    const unsigned lvl = lb + 1 + li;
+    const std::size_t range = std::size_t{1} << lvl;
+    const std::size_t count = (n + range - 1) / range;
+    prob_at[li].assign(count, primitives::kNoProblem);
+    for (std::size_t j = 0; j < count; ++j) {
+      const std::size_t lo = j * range;
+      const std::size_t mid = lo + range / 2;
+      if (mid >= n) continue;  // no right child
+      const std::size_t hi = std::min(n, lo + range);
+      if (pts[lo].x == pts[hi - 1].x) continue;  // single column
+      prob_at[li][j] = static_cast<std::uint32_t>(problems.size());
+      primitives::BridgeProblem pr;
+      pr.splitter = static_cast<Index>(mid);
+      pr.splitter_left = static_cast<Index>(mid - 1);
+      pr.size_est = hi - lo;
+      pr.k = std::max<std::uint64_t>(
+          2, support::ipow_frac(hi - lo, 1.0 / 3.0));
+      problems.push_back(pr);
+      nodes.push_back(Node{lo, mid, hi});
+    }
+  }
+  stats->tree_problems = problems.size();
+
+  // Units: point i at ancestor level li — the paper's n log n virtual
+  // processors.
+  const std::uint64_t nunits = static_cast<std::uint64_t>(n) * nlevels;
+  const auto unit_point = [nlevels](std::uint64_t u) {
+    return u / nlevels;
+  };
+  const auto unit_problem = [&](std::uint64_t u) -> std::uint32_t {
+    const std::uint64_t i = u / nlevels;
+    const unsigned li = static_cast<unsigned>(u % nlevels);
+    return prob_at[li][i >> (lb + 1 + li)];
+  };
+  auto outcomes = primitives::inplace_bridges_2d_units(
+      m, pts, nunits, unit_point, unit_problem, problems, alpha);
+
+  // --- failure sweeping (Section 2.3) ----------------------------------
+  {
+    std::vector<std::uint8_t> failed(problems.size(), 0);
+    bool any = false;
+    for (std::size_t p = 0; p < problems.size(); ++p) {
+      if (!outcomes[p].ok) {
+        failed[p] = 1;
+        any = true;
+      }
+    }
+    if (any) {
+      const std::uint64_t bound = std::max<std::uint64_t>(
+          8, support::ipow_frac(n, 1.0 / 16.0));
+      auto sweep = primitives::sweep_failures(m, failed, bound);
+      stats->sweep_ok = sweep.ok;
+      if (!sweep.ok) {
+        // Over-budget failure count (probability 2^-n^(1/16)): fall back
+        // to sweeping everything still unsolved, sequentially batched.
+        sweep.failed.clear();
+        for (std::uint32_t p = 0; p < problems.size(); ++p) {
+          if (failed[p]) sweep.failed.push_back(p);
+        }
+      }
+      stats->failures_swept = sweep.failed.size();
+      // Brute force each failed node over its FULL range (the paper's
+      // n^(3/4) processors per failure; ranges above n^(1/4) points are
+      // re-run through the sampling procedure instead, with retries).
+      const std::uint64_t brute_cap = std::max<std::uint64_t>(
+          64, support::ipow_frac(n, 0.25));
+      std::vector<std::vector<Index>> subsets;
+      std::vector<std::pair<Index, Index>> gaps;
+      std::vector<std::uint32_t> subset_prob;
+      std::vector<std::uint32_t> big_fails;
+      for (std::uint32_t p : sweep.failed) {
+        const Node& nd = nodes[p];
+        if (nd.hi - nd.lo <= brute_cap) {
+          std::vector<Index> sub(nd.hi - nd.lo);
+          for (std::size_t i = nd.lo; i < nd.hi; ++i) {
+            sub[i - nd.lo] = static_cast<Index>(i);
+          }
+          subsets.push_back(std::move(sub));
+          gaps.emplace_back(problems[p].left(), problems[p].splitter);
+          subset_prob.push_back(p);
+        } else {
+          big_fails.push_back(p);
+        }
+      }
+      const auto brute =
+          primitives::batched_brute_bridge_2d(m, pts, subsets, gaps);
+      for (std::size_t t = 0; t < brute.size(); ++t) {
+        auto& o = outcomes[subset_prob[t]];
+        o.a = brute[t].first;
+        o.b = brute[t].second;
+        o.ok = true;  // kNone (single-column) counts as resolved: no edge
+      }
+      // Oversized failures: retry the randomized procedure with a larger
+      // budget (exponentially unlikely to be needed at all).
+      for (int tries = 0; !big_fails.empty() && tries < 8; ++tries) {
+        ++stats->retries;
+        std::vector<primitives::BridgeProblem> retry_probs;
+        for (std::uint32_t p : big_fails) retry_probs.push_back(problems[p]);
+        std::vector<std::uint32_t> retry_map(problems.size(),
+                                             primitives::kNoProblem);
+        for (std::size_t t = 0; t < big_fails.size(); ++t) {
+          retry_map[big_fails[t]] = static_cast<std::uint32_t>(t);
+        }
+        const auto retry = primitives::inplace_bridges_2d_units(
+            m, pts, nunits, unit_point,
+            [&](std::uint64_t u) -> std::uint32_t {
+              const std::uint32_t p = unit_problem(u);
+              return p == primitives::kNoProblem ? p : retry_map[p];
+            },
+            retry_probs, alpha * (2 << tries));
+        std::vector<std::uint32_t> still;
+        for (std::size_t t = 0; t < big_fails.size(); ++t) {
+          if (retry[t].ok) {
+            outcomes[big_fails[t]] = retry[t];
+          } else {
+            still.push_back(big_fails[t]);
+          }
+        }
+        big_fails = std::move(still);
+      }
+      IPH_CHECK(big_fails.empty());
+    }
+  }
+
+  // --- cover resolution: highest ancestor whose bridge covers the point
+  // (batched Eppstein-Galil first-one per point, O(1) steps, n*L procs).
+  // Flag layout per point: t = 0 is the ROOT level (highest), so the
+  // first set flag is the highest covering ancestor.
+  pram::FlagArray covered(nunits);
+  m.step(nunits, [&](std::uint64_t u) {
+    const std::uint32_t p = unit_problem(u);
+    if (p == primitives::kNoProblem) return;
+    const auto& o = outcomes[p];
+    if (!o.ok || o.a == geom::kNone) return;
+    const std::uint64_t i = u / nlevels;
+    if (pts[o.a].x <= pts[i].x && pts[i].x <= pts[o.b].x) {
+      const unsigned li = static_cast<unsigned>(u % nlevels);
+      const unsigned t = nlevels - 1 - li;  // root first
+      covered.set(i * nlevels + t);
+    }
+  });
+  // NOTE: `covered` uses the same index space as units but re-keyed by t;
+  // the set above writes into (i, t) cells — one writer per cell since
+  // (i, li) <-> (i, t) is a bijection.
+  const unsigned sb = static_cast<unsigned>(
+      std::ceil(std::sqrt(static_cast<double>(nlevels))));
+  const unsigned bsz = (nlevels + sb - 1) / sb;
+  pram::FlagArray bne(static_cast<std::uint64_t>(n) * sb);
+  m.step(nunits, [&](std::uint64_t u) {
+    const std::uint64_t i = u / nlevels;
+    const unsigned t = static_cast<unsigned>(u % nlevels);
+    if (covered.get(i * nlevels + t)) bne.set(i * sb + t / bsz);
+  });
+  pram::FlagArray belim(static_cast<std::uint64_t>(n) * sb);
+  m.step(static_cast<std::uint64_t>(n) * sb * sb, [&](std::uint64_t u) {
+    const std::uint64_t i = u / (sb * sb);
+    const unsigned b = static_cast<unsigned>((u / sb) % sb);
+    const unsigned b2 = static_cast<unsigned>(u % sb);
+    if (b2 < b && bne.get(i * sb + b2)) belim.set(i * sb + b);
+  });
+  std::vector<std::uint32_t> bwin(n, 0xffffffffu);
+  m.step(static_cast<std::uint64_t>(n) * sb, [&](std::uint64_t u) {
+    const std::uint64_t i = u / sb;
+    const unsigned b = static_cast<unsigned>(u % sb);
+    if (bne.get(i * sb + b) && !belim.get(i * sb + b)) {
+      bwin[i] = b;  // unique writer: the leftmost non-empty block
+    }
+  });
+  pram::FlagArray eelim(static_cast<std::uint64_t>(n) * bsz);
+  m.step(static_cast<std::uint64_t>(n) * bsz * bsz, [&](std::uint64_t u) {
+    const std::uint64_t i = u / (bsz * bsz);
+    if (bwin[i] == 0xffffffffu) return;
+    const unsigned e = static_cast<unsigned>((u / bsz) % bsz);
+    const unsigned e2 = static_cast<unsigned>(u % bsz);
+    const unsigned base = bwin[i] * bsz;
+    if (e2 < e && base + e2 < nlevels &&
+        covered.get(i * nlevels + base + e2)) {
+      eelim.set(i * bsz + e);
+    }
+  });
+  std::vector<Index> pair_a(n, geom::kNone), pair_b(n, geom::kNone);
+  m.step(static_cast<std::uint64_t>(n) * bsz, [&](std::uint64_t u) {
+    const std::uint64_t i = u / bsz;
+    if (bwin[i] == 0xffffffffu) return;
+    const unsigned e = static_cast<unsigned>(u % bsz);
+    const unsigned t = bwin[i] * bsz + e;
+    if (t >= nlevels || !covered.get(i * nlevels + t) ||
+        eelim.get(i * bsz + e)) {
+      return;
+    }
+    // Unique writer: the highest covering ancestor.
+    const unsigned li = nlevels - 1 - t;
+    const std::uint32_t p = prob_at[li][i >> (lb + 1 + li)];
+    pair_a[i] = outcomes[p].a;
+    pair_b[i] = outcomes[p].b;
+  });
+  // Points with no covering tree ancestor fall back to their block edge.
+  m.step(n, [&](std::uint64_t i) {
+    if (pair_a[i] != geom::kNone) return;
+    const std::size_t b = i / block;
+    const Index e = blocks[b].edge_above[i - b * block];
+    if (e == geom::kNone) return;  // single-column block, interior point
+    pair_a[i] = blocks[b].upper.vertices[e];
+    pair_b[i] = blocks[b].upper.vertices[e + 1];
+  });
+  // Single-column-block interior points with no tree cover cannot exist
+  // for non-degenerate input (their column's top is covered and so are
+  // they); guard anyway.
+  for (std::size_t i = 0; i < n; ++i) {
+    IPH_CHECK(pair_a[i] != geom::kNone);
+  }
+  return assemble_from_pairs(pts, pair_a, pair_b);
+}
+
+}  // namespace iph::core

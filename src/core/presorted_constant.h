@@ -1,0 +1,41 @@
+// The presorted constant-time hull (Section 2.2-2.3, Lemma 2.5):
+// upper hull of n presorted points, O(1) PRAM time, O(n log n)
+// processors, failure probability <= 2^{-n^(1/16)}.
+//
+// Structure (the paper's):
+//   * a complete binary tree "on top" of the points; the bridge at every
+//     node whose range crosses a block boundary is found simultaneously —
+//     every point stands by one virtual processor PER ANCESTOR (that is
+//     the n log n processors) running in-place bridge finding;
+//   * nodes smaller than the block threshold (the paper's log^3 n) are
+//     resolved wholesale by the deterministic folklore hull (Lemma 2.4,
+//     k = 3) on each block;
+//   * failures are swept: compacted by Ragde's algorithm and re-solved
+//     by brute force with n^(3/4) processors each (Section 2.3);
+//   * each point then finds the highest ancestor whose bridge covers its
+//     x (a batched Eppstein-Galil first-one over its ancestor list) —
+//     that bridge is the hull edge above it.
+#pragma once
+
+#include <span>
+
+#include "geom/hull_types.h"
+#include "geom/point.h"
+#include "pram/machine.h"
+
+namespace iph::core {
+
+struct PresortedConstantStats {
+  std::uint64_t tree_problems = 0;   ///< bridge problems attempted
+  std::uint64_t failures_swept = 0;  ///< problems fixed by failure sweep
+  std::uint64_t retries = 0;         ///< oversized-problem retries
+  bool sweep_ok = true;              ///< Ragde sweep stayed in budget
+};
+
+/// Upper hull + per-point edge pointers of lexicographically sorted pts.
+/// alpha: the in-place-bridge iteration budget (the paper's constant).
+geom::HullResult2D presorted_constant_hull(
+    pram::Machine& m, std::span<const geom::Point2> pts,
+    PresortedConstantStats* stats = nullptr, int alpha = 8);
+
+}  // namespace iph::core

@@ -1,0 +1,98 @@
+#include "core/presorted_logstar.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/presorted_constant.h"
+#include "hulltools/chain_ops.h"
+#include "support/check.h"
+#include "support/mathutil.h"
+
+namespace iph::core {
+
+using geom::Index;
+using geom::Point2;
+
+namespace {
+
+constexpr std::size_t kBase = 4096;  // the constant-time subroutine's turf
+
+/// Recursive chain computation: groups of log^3(size) points, solved one
+/// level deeper, then tangent-merged. Returns the range's hull chain.
+hulltools::Chain logstar_chain(pram::Machine& m,
+                               std::span<const Point2> pts, std::size_t lo,
+                               std::size_t hi, unsigned depth,
+                               LogstarStats* stats) {
+  const std::size_t size = hi - lo;
+  stats->recursion_depth = std::max(stats->recursion_depth, depth);
+  if (size <= kBase) {
+    // Base: the Lemma 2.5 constant-time algorithm.
+    auto r = presorted_constant_hull(
+        m, std::span<const Point2>(pts.data() + lo, size));
+    hulltools::Chain c;
+    c.reserve(r.upper.vertices.size());
+    for (const Index v : r.upper.vertices) {
+      c.push_back(static_cast<Index>(v + lo));
+    }
+    return c;
+  }
+  const double lg = std::log2(static_cast<double>(size));
+  const std::size_t g = std::min(
+      size / 2,
+      std::max<std::size_t>(64, static_cast<std::size_t>(lg * lg * lg)));
+  // Solve the groups one recursion level deeper. The groups share PRAM
+  // steps logically; rebase time to the deepest group.
+  std::vector<hulltools::Chain> chains;
+  {
+    const std::uint64_t steps_before = m.metrics().steps;
+    std::uint64_t max_steps = 0;
+    for (std::size_t blo = lo; blo < hi; blo += g) {
+      const std::size_t bhi = std::min(hi, blo + g);
+      const std::uint64_t at = m.metrics().steps;
+      chains.push_back(logstar_chain(m, pts, blo, bhi, depth + 1, stats));
+      max_steps = std::max(max_steps, m.metrics().steps - at);
+    }
+    m.metrics().steps = steps_before + max_steps;
+  }
+  stats->groups += chains.size();
+  // Combine the group hulls "as points": radix-sqrt tangent-merge
+  // tournament — two lockstep rounds (the Lemma 2.6 substitute).
+  while (chains.size() > 1) {
+    const auto radix = std::max<std::uint64_t>(
+        2, static_cast<std::uint64_t>(
+               std::ceil(std::sqrt(static_cast<double>(chains.size())))));
+    const std::size_t groups = (chains.size() + radix - 1) / radix;
+    std::vector<std::uint32_t> group_of(chains.size());
+    for (std::size_t c = 0; c < chains.size(); ++c) {
+      group_of[c] = static_cast<std::uint32_t>(c / radix);
+    }
+    chains = hulltools::merge_chain_groups(m, pts, chains, group_of,
+                                           groups, 8);
+  }
+  return chains.front();
+}
+
+}  // namespace
+
+geom::HullResult2D presorted_logstar_hull(pram::Machine& m,
+                                          std::span<const Point2> pts,
+                                          LogstarStats* stats) {
+  LogstarStats local;
+  if (stats == nullptr) stats = &local;
+  geom::HullResult2D r;
+  const std::size_t n = pts.size();
+  if (n == 0) return r;
+  const hulltools::Chain chain = logstar_chain(m, pts, 0, n, 0, stats);
+  r.upper.vertices = chain;
+  if (chain.size() < 2) {
+    r.edge_above.assign(n, geom::kNone);
+    return r;
+  }
+  std::vector<Index> queries(n);
+  std::iota(queries.begin(), queries.end(), Index{0});
+  r.edge_above = hulltools::edges_above_chain(m, pts, queries, chain, 8);
+  return r;
+}
+
+}  // namespace iph::core

@@ -1,0 +1,37 @@
+// The O(log* n) presorted hull (Sections 2.4-2.6, Theorem 2).
+//
+// The paper's recursion: split the presorted input into groups of
+// log^b n points, solve each group recursively (depth log* n), failure-
+// sweep stragglers, then run the constant-time algorithm of Lemma 2.5 on
+// the group hulls "acting like points" — legal because that algorithm is
+// point-hull invariant (Observation 2.5): every primitive it performs on
+// points has an O(1)-time counterpart on upper hulls (Atallah-Goodrich,
+// chain_ops.h).
+//
+// Realization notes (DESIGN.md §8): the recursion bottoms out in the
+// Lemma 2.5 constant-time hull once groups fit log^3 of the original
+// size; the hull-of-hulls combine uses the lockstep tangent-merge
+// tournament with radix sqrt(#groups) (two rounds, O(1) lockstep steps)
+// — same time shape as Lemma 2.6, with the processor overshoot reported
+// by bench e02. At laptop scales log*(n) <= 2 recursion levels.
+#pragma once
+
+#include <span>
+
+#include "geom/hull_types.h"
+#include "geom/point.h"
+#include "pram/machine.h"
+
+namespace iph::core {
+
+struct LogstarStats {
+  unsigned recursion_depth = 0;  ///< the log* levels actually taken
+  std::uint64_t groups = 0;      ///< total groups across levels
+};
+
+/// Upper hull + per-point edge pointers of lexicographically sorted pts.
+geom::HullResult2D presorted_logstar_hull(pram::Machine& m,
+                                          std::span<const geom::Point2> pts,
+                                          LogstarStats* stats = nullptr);
+
+}  // namespace iph::core

@@ -1,0 +1,336 @@
+#include "core/unsorted2d.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/fallback2d.h"
+#include "core/hull_assemble.h"
+#include "geom/predicates.h"
+#include "pram/cells.h"
+#include "primitives/brute_force_lp.h"
+#include "primitives/inplace_bridge.h"
+#include "primitives/prefix_sum.h"
+#include "support/check.h"
+#include "support/mathutil.h"
+
+namespace iph::core {
+
+using geom::Index;
+using geom::Point2;
+
+namespace {
+
+/// Batched in-place random vote: one splitter per live problem
+/// (Corollary 3.1). Problems that stay empty after kAttempts rounds fall
+/// back to a deterministic priority-CRCW pick (counted in the stats; the
+/// lemma says this happens with probability <= 2(e/2)^-k).
+std::vector<Index> batched_votes(pram::Machine& m, std::uint64_t n,
+                                 std::span<const std::uint32_t> problem_of,
+                                 std::span<const std::uint64_t> size_est,
+                                 Unsorted2DStats* stats) {
+  const std::size_t np = size_est.size();
+  constexpr std::uint64_t kCells = 16;
+  constexpr int kAttempts = 3;
+  std::vector<Index> out(np, geom::kNone);
+  std::vector<pram::TallyCell> attempts(np * kCells);
+  std::vector<pram::MinCell> winner(np * kCells);
+  pram::TallyCell retries;
+  for (int round = 0; round < kAttempts; ++round) {
+    m.step(np * kCells, [&](std::uint64_t w) {
+      attempts[w].reset();
+      winner[w].reset();
+    });
+    m.step(n, [&](std::uint64_t i) {
+      const std::uint32_t p = problem_of[i];
+      if (p == primitives::kNoProblem || out[p] != geom::kNone) return;
+      auto rng = m.rng(i);
+      const double pw = std::min(
+          1.0, 8.0 / std::max<double>(1.0, static_cast<double>(size_est[p])));
+      if (!rng.bernoulli(pw)) return;
+      const std::uint64_t w = p * kCells + rng.next_below(kCells);
+      attempts[w].write();
+      winner[w].write(i);
+    });
+    // First collision-free cell per problem (Observation 2.1).
+    m.step_active(np, np * kCells, [&](std::uint64_t p) {
+      if (out[p] != geom::kNone) return;
+      for (std::uint64_t c = 0; c < kCells; ++c) {
+        if (attempts[p * kCells + c].read() == 1) {
+          out[p] = static_cast<Index>(winner[p * kCells + c].read());
+          return;
+        }
+      }
+      if (round + 1 < kAttempts) retries.write();
+    });
+  }
+  stats->vote_retries += retries.read();
+  // Deterministic fallback for the stragglers.
+  std::vector<pram::MinCell> fallback(np);
+  m.step(n, [&](std::uint64_t i) {
+    const std::uint32_t p = problem_of[i];
+    if (p != primitives::kNoProblem && out[p] == geom::kNone) {
+      fallback[p].write(i);
+    }
+  });
+  m.step(np, [&](std::uint64_t p) {
+    if (out[p] == geom::kNone && !fallback[p].empty()) {
+      out[p] = static_cast<Index>(fallback[p].read());
+    }
+  });
+  return out;
+}
+
+struct CoreResult {
+  std::vector<Index> pair_a;
+  std::vector<Index> pair_b;
+  bool wants_fallback = false;
+};
+
+/// The shared marriage-before-conquest loop over an initial problem
+/// partition. fallback_threshold: stop and report wants_fallback once
+/// the lower bound l on h reaches it (0 disables).
+CoreResult run_core(pram::Machine& m, std::span<const Point2> pts,
+                    std::vector<std::uint32_t> problem_of,
+                    std::vector<std::uint64_t> size_est,
+                    Unsorted2DStats* stats, int alpha,
+                    std::uint64_t fallback_threshold) {
+  const std::size_t n = pts.size();
+  CoreResult res;
+  res.pair_a.assign(n, geom::kNone);
+  res.pair_b.assign(n, geom::kNone);
+  auto& pair_a = res.pair_a;
+  auto& pair_b = res.pair_b;
+  std::uint64_t edges_found = 0;
+
+  const unsigned logn = std::max(1u, support::ceil_log2(std::max<std::size_t>(2, n)));
+  const std::uint64_t levels_per_phase =
+      std::max<std::uint64_t>(2, logn / 8);
+
+  for (std::uint64_t phase = 0;; ++phase) {
+    ++stats->phases;
+    for (std::uint64_t level = 0; level < levels_per_phase; ++level) {
+      if (size_est.empty()) break;
+      ++stats->levels;
+      const std::size_t np = size_est.size();
+      // 1. splitters.
+      const auto splitters =
+          batched_votes(m, n, problem_of, size_est, stats);
+      // 2. in-place bridges, k = s^(1/3).
+      std::vector<primitives::BridgeProblem> problems(np);
+      for (std::size_t p = 0; p < np; ++p) {
+        problems[p].splitter = splitters[p];
+        problems[p].size_est = size_est[p];
+        problems[p].k = std::max<std::uint64_t>(
+            2, support::ipow_frac(size_est[p], 1.0 / 3.0));
+      }
+      stats->bridge_problems += np;
+      auto outcomes =
+          primitives::inplace_bridges_2d(m, pts, problem_of, problems, alpha);
+      // 3. failure sweeping: re-run failures with the n^(1/4) budget.
+      {
+        std::vector<std::uint32_t> failed;
+        for (std::uint32_t p = 0; p < np; ++p) {
+          if (!outcomes[p].ok) failed.push_back(p);
+        }
+        for (int tries = 0; !failed.empty() && tries < 8; ++tries) {
+          stats->failures_swept += failed.size();
+          std::vector<primitives::BridgeProblem> retry(failed.size());
+          std::vector<std::uint32_t> remap(np, primitives::kNoProblem);
+          for (std::size_t t = 0; t < failed.size(); ++t) {
+            retry[t] = problems[failed[t]];
+            retry[t].k = std::max<std::uint64_t>(
+                retry[t].k, support::ipow_frac(n, 0.25));
+            remap[failed[t]] = static_cast<std::uint32_t>(t);
+          }
+          std::vector<std::uint32_t> retry_of(n, primitives::kNoProblem);
+          m.step(n, [&](std::uint64_t i) {
+            if (problem_of[i] != primitives::kNoProblem) {
+              retry_of[i] = remap[problem_of[i]];
+            }
+          });
+          const auto rr = primitives::inplace_bridges_2d(
+              m, pts, retry_of, retry, alpha * (1 << tries));
+          std::vector<std::uint32_t> still;
+          for (std::size_t t = 0; t < failed.size(); ++t) {
+            if (rr[t].ok) {
+              outcomes[failed[t]] = rr[t];
+            } else {
+              still.push_back(failed[t]);
+            }
+          }
+          failed = std::move(still);
+        }
+        IPH_CHECK(failed.empty());
+      }
+      // 4. classify every point against its problem's edge; build the
+      // children. Problems whose bridge is kNone are single-column
+      // leftovers: retire them.
+      std::vector<std::uint32_t> left_id(np, primitives::kNoProblem);
+      std::vector<std::uint32_t> right_id(np, primitives::kNoProblem);
+      std::vector<std::uint64_t> next_sizes;
+      std::vector<pram::TallyCell> child_count(2 * np);
+      m.step(n, [&](std::uint64_t i) {
+        const std::uint32_t p = problem_of[i];
+        if (p == primitives::kNoProblem) return;
+        const auto& o = outcomes[p];
+        if (o.a == geom::kNone) return;  // degenerate problem: retire
+        if (i == o.a) {
+          child_count[2 * p].write();
+          return;
+        }
+        if (i == o.b) {
+          child_count[2 * p + 1].write();
+          return;
+        }
+        if (pts[i].x < pts[o.a].x) {
+          child_count[2 * p].write();
+        } else if (pts[i].x > pts[o.b].x) {
+          child_count[2 * p + 1].write();
+        }
+      });
+      for (std::uint32_t p = 0; p < np; ++p) {
+        if (outcomes[p].a == geom::kNone) continue;
+        ++edges_found;
+        // A child of size 1 is just the surviving endpoint, which
+        // already holds its pointer: retire it immediately.
+        if (child_count[2 * p].read() > 1) {
+          left_id[p] = static_cast<std::uint32_t>(next_sizes.size());
+          next_sizes.push_back(child_count[2 * p].read());
+        }
+        if (child_count[2 * p + 1].read() > 1) {
+          right_id[p] = static_cast<std::uint32_t>(next_sizes.size());
+          next_sizes.push_back(child_count[2 * p + 1].read());
+        }
+      }
+      m.step(n, [&](std::uint64_t i) {
+        const std::uint32_t p = problem_of[i];
+        if (p == primitives::kNoProblem) return;
+        const auto& o = outcomes[p];
+        if (o.a == geom::kNone) {
+          problem_of[i] = primitives::kNoProblem;  // retired degenerate
+          return;
+        }
+        if (i == o.a || i == o.b) {
+          // Endpoints live on in their child (Kirkpatrick-Seidel keeps
+          // the bridge endpoints) and already know their edge.
+          pair_a[i] = o.a;
+          pair_b[i] = o.b;
+          problem_of[i] = (i == o.a) ? left_id[p] : right_id[p];
+          return;
+        }
+        if (pts[i].x < pts[o.a].x) {
+          problem_of[i] = left_id[p];
+        } else if (pts[i].x > pts[o.b].x) {
+          problem_of[i] = right_id[p];
+        } else {
+          // Under the edge: dead, pointing at it.
+          pair_a[i] = o.a;
+          pair_b[i] = o.b;
+          problem_of[i] = primitives::kNoProblem;
+        }
+      });
+      size_est = std::move(next_sizes);
+      if (size_est.empty()) break;
+    }
+    if (size_est.empty()) break;
+    // Phase end: count edges found + problems remaining via prefix sum
+    // (the paper's step 3) and decide on the fallback.
+    {
+      std::vector<std::uint64_t> live(size_est.size(), 1);
+      const std::uint64_t remaining =
+          primitives::prefix_sum_exclusive(m, live);
+      const std::uint64_t l = edges_found + remaining;
+      if (fallback_threshold != 0 && l >= fallback_threshold) {
+        res.wants_fallback = true;
+        stats->edges_found = edges_found;
+        return res;
+      }
+    }
+  }
+  stats->edges_found = edges_found;
+  return res;
+}
+
+}  // namespace
+
+geom::HullResult2D unsorted_hull_2d(pram::Machine& m,
+                                    std::span<const Point2> pts,
+                                    Unsorted2DStats* stats, int alpha) {
+  Unsorted2DStats local;
+  if (stats == nullptr) stats = &local;
+  geom::HullResult2D r;
+  const std::size_t n = pts.size();
+  if (n == 0) return r;
+  // Degenerate single-column input.
+  {
+    bool one_column = true;
+    Index top = 0;
+    for (std::size_t i = 1; i < n && one_column; ++i) {
+      if (pts[i].x != pts[0].x) one_column = false;
+    }
+    if (one_column) {
+      for (std::size_t i = 1; i < n; ++i) {
+        if (pts[i].y > pts[top].y) top = static_cast<Index>(i);
+      }
+      r.upper.vertices.push_back(top);
+      r.edge_above.assign(n, geom::kNone);
+      return r;
+    }
+  }
+  const std::uint64_t threshold =
+      std::max<std::uint64_t>(16, support::ipow_frac(n, 0.25));
+  auto core = run_core(m, pts, std::vector<std::uint32_t>(n, 0),
+                       std::vector<std::uint64_t>{n}, stats, alpha,
+                       threshold);
+  if (core.wants_fallback) {
+    stats->used_fallback = true;
+    // Work so far is Omega(n log h): switch to the O(n log n) parallel
+    // hull on the FULL input (Section 4.1 step 3).
+    return fallback_hull_2d(m, pts);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    IPH_CHECK(core.pair_a[i] != geom::kNone);
+  }
+  return assemble_from_pairs(pts, core.pair_a, core.pair_b);
+}
+
+Scoped2DResult unsorted_2d_scoped(pram::Machine& m,
+                                  std::span<const Point2> pts,
+                                  std::span<const std::uint32_t> problem_of,
+                                  std::size_t n_problems,
+                                  Unsorted2DStats* stats, int alpha,
+                                  std::uint64_t fallback_threshold) {
+  Unsorted2DStats local;
+  if (stats == nullptr) stats = &local;
+  const std::size_t n = pts.size();
+  // Per-problem sizes (one tally step).
+  std::vector<pram::TallyCell> count(std::max<std::size_t>(1, n_problems));
+  m.step(n, [&](std::uint64_t i) {
+    if (problem_of[i] != primitives::kNoProblem) count[problem_of[i]].write();
+  });
+  std::vector<std::uint64_t> sizes(n_problems);
+  std::vector<std::uint32_t> remap(n_problems, primitives::kNoProblem);
+  std::vector<std::uint64_t> live_sizes;
+  for (std::size_t p = 0; p < n_problems; ++p) {
+    sizes[p] = count[p].read();
+    if (sizes[p] >= 2) {
+      remap[p] = static_cast<std::uint32_t>(live_sizes.size());
+      live_sizes.push_back(sizes[p]);
+    }
+  }
+  std::vector<std::uint32_t> init(n, primitives::kNoProblem);
+  m.step(n, [&](std::uint64_t i) {
+    if (problem_of[i] != primitives::kNoProblem) {
+      init[i] = remap[problem_of[i]];
+    }
+  });
+  auto core = run_core(m, pts, std::move(init), std::move(live_sizes),
+                       stats, alpha, fallback_threshold);
+  Scoped2DResult out;
+  out.pair_a = std::move(core.pair_a);
+  out.pair_b = std::move(core.pair_b);
+  out.wants_fallback = core.wants_fallback;
+  return out;
+}
+
+}  // namespace iph::core

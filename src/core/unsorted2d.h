@@ -1,0 +1,75 @@
+// The unsorted output-sensitive 2-d hull (Section 4.1, Theorem 5):
+// O(log n) PRAM time, O(n log h) work, with very high probability.
+//
+// Quicksort-like marriage-before-conquest (after Kirkpatrick-Seidel),
+// but fully in-place: subproblems are never compacted — each point keeps
+// a problem id and a standing-by virtual processor. One level of
+// recursion:
+//   1. every active subproblem picks a splitter by in-place random vote
+//      (Corollary 3.1),
+//   2. finds the hull edge above it by in-place bridge finding
+//      (Lemma 4.2) with base size k = s^(1/3),
+//   3. failed subproblems are failure-swept: re-run with the full
+//      k = n^(1/4) workspace and n^(3/4)-processor budget (Section 2.3),
+//   4. every point classifies itself against the edge: strictly left /
+//      strictly right of the edge's x-span -> child subproblem; under
+//      the edge -> dead, pointing at the edge.
+// Phases of (log n)/32 levels: at each phase end the remaining problems
+// are counted with a parallel prefix sum; if the lower bound l on h has
+// reached n^(1/32), total work is already Theta(n log n) and the
+// algorithm switches to the fallback parallel hull on the FULL input
+// (Section 4.1 step 3).
+#pragma once
+
+#include <span>
+
+#include "geom/hull_types.h"
+#include "geom/point.h"
+#include "pram/machine.h"
+
+namespace iph::core {
+
+struct Unsorted2DStats {
+  std::uint64_t levels = 0;          ///< recursion levels executed
+  std::uint64_t phases = 0;          ///< phase resets
+  std::uint64_t bridge_problems = 0; ///< total bridge problems solved
+  std::uint64_t failures_swept = 0;  ///< problems re-run by failure sweep
+  std::uint64_t vote_retries = 0;    ///< random votes that needed retry
+  bool used_fallback = false;        ///< switched to the O(n log n) path
+  std::uint64_t edges_found = 0;     ///< hull edges discovered in-place
+};
+
+/// Upper hull + per-point edge pointers of UNSORTED points. O(log n)
+/// PRAM time, O(n log h) work w.h.p. `alpha` is the in-place-bridge
+/// round budget.
+geom::HullResult2D unsorted_hull_2d(pram::Machine& m,
+                                    std::span<const geom::Point2> pts,
+                                    Unsorted2DStats* stats = nullptr,
+                                    int alpha = 8);
+
+/// Scoped multi-problem core, used by the 3-d algorithm's inner 2-d
+/// calls (Section 4.3 step 3): solve MANY independent upper-hull
+/// problems over one point array (problem_of gives the initial
+/// partition; kNoProblem points idle). Returns the per-point hull-edge
+/// endpoint pairs within each problem's scope. When the work budget
+/// that would trigger the 2-d fallback is hit, the scoped core STOPS and
+/// sets wants_fallback instead (the 3-d caller must then fall back
+/// globally, exactly as the paper prescribes).
+struct Scoped2DResult {
+  std::vector<geom::Index> pair_a;
+  std::vector<geom::Index> pair_b;
+  bool wants_fallback = false;
+};
+
+/// fallback_threshold: report wants_fallback once the discovered-edge
+/// lower bound reaches it; 0 disables (the 3-d caller budgets depth
+/// itself, per Section 4.3 step 4).
+Scoped2DResult unsorted_2d_scoped(pram::Machine& m,
+                                  std::span<const geom::Point2> pts,
+                                  std::span<const std::uint32_t> problem_of,
+                                  std::size_t n_problems,
+                                  Unsorted2DStats* stats = nullptr,
+                                  int alpha = 8,
+                                  std::uint64_t fallback_threshold = 0);
+
+}  // namespace iph::core

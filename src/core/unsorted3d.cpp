@@ -1,0 +1,478 @@
+#include "core/unsorted3d.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <tuple>
+
+#include "core/unsorted2d.h"
+#include "geom/predicates.h"
+#include "pram/cells.h"
+#include "primitives/inplace_bridge.h"
+#include "seq/quickhull3d.h"
+#include "support/check.h"
+#include "support/mathutil.h"
+
+namespace iph::core {
+
+using geom::Facet3;
+using geom::Index;
+using geom::Point3;
+
+namespace {
+
+/// Upward-oriented facet normal (doubles; used only to build the
+/// facet-parallel projection directions, never for predicates).
+struct Normal {
+  double nx, ny, nz;
+};
+
+Normal facet_normal(const Point3& a, const Point3& b, const Point3& c) {
+  const double ux = b.x - a.x, uy = b.y - a.y, uz = b.z - a.z;
+  const double vx = c.x - a.x, vy = c.y - a.y, vz = c.z - a.z;
+  Normal n{uy * vz - uz * vy, uz * vx - ux * vz, ux * vy - uy * vx};
+  if (n.nz < 0) {
+    n.nx = -n.nx;
+    n.ny = -n.ny;
+    n.nz = -n.nz;
+  }
+  return n;
+}
+
+/// Certify the assembled facet surface (host check, charged one step of
+/// n + h work by the caller):
+///  1. every point is covered by its pointer facet (containment + below),
+///  2. the surface is locally convex across every shared edge,
+///  3. all points lie xy-inside every boundary (silhouette) edge.
+/// Local convexity of a covering piecewise-linear upper surface implies
+/// global convexity, so these checks certify the exact upper hull — any
+/// failure sends the caller to the fallback (Las Vegas repair).
+bool verify_surface(std::span<const Point3> pts,
+                    std::span<const Facet3> facets,
+                    std::span<const Index> pointer, int* fail_kind) {
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (pointer[i] == geom::kNone) {
+      *fail_kind = 1;
+      return false;
+    }
+    const Facet3& f = facets[pointer[i]];
+    if (!geom::xy_in_triangle(pts[f.a], pts[f.b], pts[f.c], pts[i]) ||
+        !geom::on_or_below_plane(pts[f.a], pts[f.b], pts[f.c], pts[i])) {
+      *fail_kind = 2;
+      return false;
+    }
+  }
+  // Edge -> (facet, opposite vertex) map.
+  std::map<std::pair<Index, Index>, std::vector<std::pair<Index, Index>>>
+      edges;
+  for (std::size_t t = 0; t < facets.size(); ++t) {
+    const Facet3& f = facets[t];
+    const Index v[3] = {f.a, f.b, f.c};
+    for (int e = 0; e < 3; ++e) {
+      Index x = v[e], y = v[(e + 1) % 3];
+      const Index opp = v[(e + 2) % 3];
+      if (x > y) std::swap(x, y);
+      edges[{x, y}].push_back({static_cast<Index>(t), opp});
+    }
+  }
+  for (const auto& [edge, adj] : edges) {
+    if (adj.size() > 2) {
+      *fail_kind = 3;
+      return false;  // broken tiling
+    }
+    if (adj.size() == 2) {
+      const Facet3& f0 = facets[adj[0].first];
+      const Facet3& f1 = facets[adj[1].first];
+      if (!geom::on_or_below_plane(pts[f0.a], pts[f0.b], pts[f0.c],
+                                   pts[adj[1].second]) ||
+          !geom::on_or_below_plane(pts[f1.a], pts[f1.b], pts[f1.c],
+                                   pts[adj[0].second])) {
+        *fail_kind = 4;
+        return false;
+      }
+    } else {
+      // Boundary (silhouette) edge: every point must be on the inner
+      // side in xy (inner = the side of the facet's opposite vertex).
+      const auto [x, y] = edge;
+      const int inner = geom::orient2d_xy(
+          pts[x], pts[y], pts[adj[0].second]);
+      if (inner == 0) {
+        *fail_kind = 5;
+        return false;
+      }
+      for (const auto& q : pts) {
+        const int s = geom::orient2d_xy(pts[x], pts[y], q);
+        if (s != 0 && s != inner) {
+          *fail_kind = 5;
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+geom::HullResult3D fallback_hull_3d(pram::Machine& m,
+                                    std::span<const Point3> pts) {
+  const std::size_t n = pts.size();
+  const unsigned logn = n > 1 ? support::ceil_log2(n) : 1;
+  // Reif-Sen "polling" runs in O(log n) time with n processors w.h.p.;
+  // our substitute computes the same output host-side and charges that
+  // published cost (DESIGN.md substitution table).
+  m.charge(logn, n);
+  return seq::quickhull_upper_hull3(pts);
+}
+
+geom::HullResult3D unsorted_hull_3d(pram::Machine& m,
+                                    std::span<const Point3> pts,
+                                    Unsorted3DStats* stats, int alpha) {
+  Unsorted3DStats local;
+  if (stats == nullptr) stats = &local;
+  geom::HullResult3D r;
+  const std::size_t n = pts.size();
+  r.facet_above.assign(n, geom::kNone);
+  if (n < 4) {
+    return seq::quickhull_upper_hull3(pts);  // trivial sizes
+  }
+
+  // Unit lists (multi-membership): unit u = point up[u] inside problem
+  // uq[u]. Initially one problem holding every point once.
+  std::vector<Index> up(n);
+  std::vector<std::uint32_t> uq(n, 0);
+  // A point with several memberships (fences) votes only through its
+  // PRIMARY one, so adjacent regions do not probe the same area twice.
+  std::vector<std::uint8_t> uprimary(n, 1);
+  for (std::size_t i = 0; i < n; ++i) up[i] = static_cast<Index>(i);
+  std::vector<std::uint64_t> psize{n};
+
+  // Output facets; pointer[i] indexes into it.
+  std::vector<Facet3> facets;
+  std::vector<Index>& pointer = r.facet_above;
+
+  const unsigned logn = support::ceil_log2(n);
+  const std::uint64_t fallback_threshold =
+      std::max<std::uint64_t>(32, support::ipow_frac(n, 0.25));
+  const std::uint64_t level_cap = 4 * logn + 16;
+  const std::uint64_t unit_cap = 8 * static_cast<std::uint64_t>(n);
+
+  while (!psize.empty()) {
+    if (stats->levels >= level_cap || facets.size() >= fallback_threshold ||
+        up.size() > unit_cap) {
+      stats->used_fallback = true;
+      stats->fallback_reason = stats->levels >= level_cap          ? 1
+                               : facets.size() >= fallback_threshold ? 2
+                                                                     : 3;
+      stats->facets_found = facets.size();
+      return fallback_hull_3d(m, pts);
+    }
+    ++stats->levels;
+    const std::size_t np = psize.size();
+    const std::uint64_t nu = up.size();
+    stats->max_units = std::max<std::uint64_t>(stats->max_units, nu);
+
+    // --- 1. splitters: in-place random vote among unpointered units ---
+    std::vector<Index> splitters(np, geom::kNone);
+    {
+      constexpr std::uint64_t kCells = 16;
+      std::vector<pram::TallyCell> attempts(np * kCells);
+      std::vector<pram::MinCell> winner(np * kCells);
+      for (int round = 0; round < 3; ++round) {
+        m.step(np * kCells, [&](std::uint64_t w) {
+          attempts[w].reset();
+          winner[w].reset();
+        });
+        m.step(nu, [&](std::uint64_t u) {
+          const std::uint32_t p = uq[u];
+          if (p == primitives::kNoProblem || splitters[p] != geom::kNone ||
+              pointer[up[u]] != geom::kNone || !uprimary[u]) {
+            return;
+          }
+          auto rng = m.rng(u);
+          const double pw = std::min(
+              1.0, 8.0 / std::max<double>(1.0,
+                                          static_cast<double>(psize[p])));
+          if (!rng.bernoulli(pw)) return;
+          const std::uint64_t w = p * kCells + rng.next_below(kCells);
+          attempts[w].write();
+          winner[w].write(up[u]);
+        });
+        m.step_active(np, np * kCells, [&](std::uint64_t p) {
+          if (splitters[p] != geom::kNone) return;
+          for (std::uint64_t c = 0; c < kCells; ++c) {
+            if (attempts[p * kCells + c].read() == 1) {
+              splitters[p] =
+                  static_cast<Index>(winner[p * kCells + c].read());
+              return;
+            }
+          }
+        });
+      }
+      // Deterministic stragglers / retirement of all-pointered problems.
+      std::vector<pram::MinCell> det(np);
+      m.step(nu, [&](std::uint64_t u) {
+        const std::uint32_t p = uq[u];
+        if (p != primitives::kNoProblem && splitters[p] == geom::kNone &&
+            pointer[up[u]] == geom::kNone && uprimary[u]) {
+          det[p].write(up[u]);
+        }
+      });
+      for (std::size_t p = 0; p < np; ++p) {
+        if (splitters[p] == geom::kNone && !det[p].empty()) {
+          splitters[p] = static_cast<Index>(det[p].read());
+        }
+      }
+    }
+    // Problems with no unpointered point retire now (splitter == kNone).
+
+    // --- 2. facet probes (Lemma 4.2, 3-d) ------------------------------
+    std::vector<primitives::BridgeProblem> problems(np);
+    for (std::size_t p = 0; p < np; ++p) {
+      problems[p].splitter = splitters[p] == geom::kNone
+                                 ? 0  // idle placeholder; masked below
+                                 : splitters[p];
+      problems[p].size_est = psize[p];
+      problems[p].k = std::max<std::uint64_t>(
+          2, support::ipow_frac(psize[p], 0.25));
+    }
+    const auto unit_point = [&](std::uint64_t u) {
+      return static_cast<std::uint64_t>(up[u]);
+    };
+    const auto unit_problem = [&](std::uint64_t u) -> std::uint32_t {
+      const std::uint32_t p = uq[u];
+      if (p == primitives::kNoProblem || splitters[p] == geom::kNone) {
+        return primitives::kNoProblem;
+      }
+      return p;
+    };
+    stats->probes += np;
+    auto outcomes = primitives::inplace_bridges_3d_units(
+        m, pts, nu, unit_point, unit_problem, problems, alpha);
+    // Failure sweeping: the n^(1/4) budget, retried with growing alpha.
+    {
+      std::vector<std::uint32_t> failed;
+      for (std::uint32_t p = 0; p < np; ++p) {
+        if (splitters[p] != geom::kNone && !outcomes[p].ok) {
+          failed.push_back(p);
+        }
+      }
+      for (int tries = 0; !failed.empty() && tries < 8; ++tries) {
+        stats->failures_swept += failed.size();
+        std::vector<primitives::BridgeProblem> retry(failed.size());
+        std::vector<std::uint32_t> remap(np, primitives::kNoProblem);
+        for (std::size_t t = 0; t < failed.size(); ++t) {
+          retry[t] = problems[failed[t]];
+          retry[t].k = std::max<std::uint64_t>(
+              retry[t].k, support::ipow_frac(n, 0.25));
+          remap[failed[t]] = static_cast<std::uint32_t>(t);
+        }
+        const auto rr = primitives::inplace_bridges_3d_units(
+            m, pts, nu, unit_point,
+            [&](std::uint64_t u) -> std::uint32_t {
+              const std::uint32_t p = unit_problem(u);
+              return p == primitives::kNoProblem ? p : remap[p];
+            },
+            retry, alpha * (1 << tries));
+        std::vector<std::uint32_t> still;
+        for (std::size_t t = 0; t < failed.size(); ++t) {
+          if (rr[t].ok) {
+            outcomes[failed[t]] = rr[t];
+          } else {
+            still.push_back(failed[t]);
+          }
+        }
+        failed = std::move(still);
+      }
+      // Problems that remain unsolved are xy-degenerate: retire them.
+      for (std::uint32_t p : failed) splitters[p] = geom::kNone;
+    }
+    // Record facets; assign pointers to covered points.
+    std::vector<Index> facet_id(np, geom::kNone);
+    for (std::size_t p = 0; p < np; ++p) {
+      if (splitters[p] == geom::kNone || !outcomes[p].ok ||
+          outcomes[p].facet.a == geom::kNone) {
+        splitters[p] = geom::kNone;  // retired
+        continue;
+      }
+      facet_id[p] = static_cast<Index>(facets.size());
+      facets.push_back(outcomes[p].facet);
+    }
+    stats->facets_found = facets.size();
+    // Fence points on a shared ridge can be covered by facets of BOTH
+    // adjacent problems in the same step: resolve with a priority cell.
+    std::vector<pram::MinCell> assign(n);
+    m.step(nu, [&](std::uint64_t u) {
+      const std::uint32_t p = uq[u];
+      if (p == primitives::kNoProblem || facet_id[p] == geom::kNone) return;
+      const Index i = up[u];
+      if (pointer[i] != geom::kNone) return;
+      const Facet3& f = facets[facet_id[p]];
+      if (geom::xy_in_triangle(pts[f.a], pts[f.b], pts[f.c], pts[i])) {
+        assign[i].write(facet_id[p]);
+      }
+    });
+    m.step(n, [&](std::uint64_t i) {
+      if (pointer[i] == geom::kNone && !assign[i].empty()) {
+        pointer[i] = static_cast<Index>(assign[i].read());
+      }
+    });
+
+    // --- 3. projections + the two inner 2-d runs ----------------------
+    std::vector<geom::Point2> proj1(nu), proj2(nu);
+    std::vector<std::uint32_t> live_of(nu, primitives::kNoProblem);
+    m.step(nu, [&](std::uint64_t u) {
+      const std::uint32_t p = uq[u];
+      if (p == primitives::kNoProblem || facet_id[p] == geom::kNone) return;
+      const Facet3& f = facets[facet_id[p]];
+      const Normal nm =
+          facet_normal(pts[f.a], pts[f.b], pts[f.c]);
+      const Point3& q = pts[up[u]];
+      proj1[u] = {q.x, q.z + q.y * nm.ny / nm.nz};
+      proj2[u] = {q.y, q.z + q.x * nm.nx / nm.nz};
+      live_of[u] = p;
+    });
+    Unsorted2DStats inner_stats;
+    const auto ridge1 =
+        unsorted_2d_scoped(m, proj1, live_of, np, &inner_stats, alpha);
+    const auto ridge2 =
+        unsorted_2d_scoped(m, proj2, live_of, np, &inner_stats, alpha);
+    stats->inner2d_levels += inner_stats.levels;
+    if (ridge1.wants_fallback || ridge2.wants_fallback) {
+      stats->used_fallback = true;
+      stats->fallback_reason = 4;
+      return fallback_hull_3d(m, pts);
+    }
+
+    // --- 4. classification: ridge sides -> up to 4 memberships --------
+    // side < 0 / > 0 pick one child; side == 0 or fence vertex joins
+    // both (the multi-membership fences).
+    std::vector<std::uint8_t> side_mask(nu, 0);  // bit0..3 = children
+    m.step(nu, [&](std::uint64_t u) {
+      const std::uint32_t p = live_of[u];
+      if (p == primitives::kNoProblem) return;
+      const Facet3& f = facets[facet_id[p]];
+      // The facet's own vertices border every child region: they are
+      // unconditional fences (the float-rounded projection directions do
+      // not guarantee they land exactly on the ridge chains).
+      if (up[u] == f.a || up[u] == f.b || up[u] == f.c) {
+        side_mask[u] = 0b1111;
+        return;
+      }
+      // Pointered units stay in their region as TESTERS: they no longer
+      // vote or sample, but they keep constraining the probes, so every
+      // facet dominates all points spatially assigned to its region.
+      const bool fence1 = ridge1.pair_a[u] == static_cast<Index>(u) ||
+                          ridge1.pair_b[u] == static_cast<Index>(u);
+      const bool fence2 = ridge2.pair_a[u] == static_cast<Index>(u) ||
+                          ridge2.pair_b[u] == static_cast<Index>(u);
+      const Point3& q = pts[up[u]];
+      int s1 = 0, s2 = 0;  // 0 = both sides (on the ridge's xy-path)
+      // The facets' xy-projections tile the plane and the ridge chains'
+      // xy-projections bound the regions: the side tests are exact 2-d
+      // orientations against the covering ridge edge's xy-projection.
+      if (!fence1 && ridge1.pair_a[u] != geom::kNone) {
+        const Point3& ua = pts[up[ridge1.pair_a[u]]];
+        const Point3& ub = pts[up[ridge1.pair_b[u]]];
+        s1 = geom::orient2d_xy(ua, ub, q);
+      }
+      if (!fence2 && ridge2.pair_a[u] != geom::kNone) {
+        const Point3& ua = pts[up[ridge2.pair_a[u]]];
+        const Point3& ub = pts[up[ridge2.pair_b[u]]];
+        s2 = geom::orient2d_xy(ua, ub, q);
+      }
+      std::uint8_t mask = 0;
+      for (int b1 = 0; b1 < 2; ++b1) {
+        if (s1 != 0 && b1 != (s1 > 0)) continue;
+        for (int b2 = 0; b2 < 2; ++b2) {
+          if (s2 != 0 && b2 != (s2 > 0)) continue;
+          mask |= static_cast<std::uint8_t>(1u << (2 * b1 + b2));
+        }
+      }
+      side_mask[u] = mask;
+    });
+    // Child bookkeeping: count unpointered members per child; children
+    // with none retire (their fences are done).
+    std::vector<pram::TallyCell> child_alive(4 * np);
+    std::vector<pram::TallyCell> child_total(4 * np);
+    m.step(nu, [&](std::uint64_t u) {
+      const std::uint32_t p = live_of[u];
+      if (p == primitives::kNoProblem || side_mask[u] == 0) return;
+      for (int c = 0; c < 4; ++c) {
+        if (side_mask[u] & (1u << c)) {
+          child_total[4 * p + c].write();
+          if (pointer[up[u]] == geom::kNone) child_alive[4 * p + c].write();
+        }
+      }
+    });
+    std::vector<std::uint32_t> child_id(4 * np, primitives::kNoProblem);
+    std::vector<std::uint64_t> next_sizes;
+    for (std::size_t s = 0; s < 4 * np; ++s) {
+      if (child_alive[s].read() > 0) {
+        child_id[s] = static_cast<std::uint32_t>(next_sizes.size());
+        next_sizes.push_back(child_total[s].read());
+      }
+    }
+    // Emit next-level units (host gather; charged one step, nu work).
+    std::vector<Index> next_up;
+    std::vector<std::uint32_t> next_uq;
+    std::vector<std::uint8_t> next_primary;
+    m.step_active(1, nu, [&](std::uint64_t) {
+      for (std::uint64_t u = 0; u < nu; ++u) {
+        const std::uint32_t p = live_of[u];
+        if (p == primitives::kNoProblem || side_mask[u] == 0) continue;
+        bool first = uprimary[u] != 0;
+        for (int c = 0; c < 4; ++c) {
+          if ((side_mask[u] & (1u << c)) &&
+              child_id[4 * p + c] != primitives::kNoProblem) {
+            next_up.push_back(up[u]);
+            next_uq.push_back(child_id[4 * p + c]);
+            next_primary.push_back(first ? 1 : 0);
+            first = false;
+          }
+        }
+      }
+    });
+    up = std::move(next_up);
+    uq = std::move(next_uq);
+    uprimary = std::move(next_primary);
+    psize = std::move(next_sizes);
+  }
+
+  // Deduplicate facets (adjacent problems can rediscover a shared one)
+  // and remap pointers. Host presentation.
+  std::map<std::tuple<Index, Index, Index>, Index> canon;
+  std::vector<Index> remap(facets.size());
+  std::vector<Facet3> unique_facets;
+  for (std::size_t f = 0; f < facets.size(); ++f) {
+    Index v[3] = {facets[f].a, facets[f].b, facets[f].c};
+    std::sort(v, v + 3);
+    const auto key = std::make_tuple(v[0], v[1], v[2]);
+    const auto it = canon.find(key);
+    if (it == canon.end()) {
+      canon.emplace(key, static_cast<Index>(unique_facets.size()));
+      remap[f] = static_cast<Index>(unique_facets.size());
+      unique_facets.push_back(facets[f]);
+    } else {
+      remap[f] = it->second;
+    }
+  }
+  for (auto& ptr : pointer) {
+    if (ptr != geom::kNone) ptr = remap[ptr];
+  }
+  r.facets = std::move(unique_facets);
+  // Certify the surface (one step, n + h work); on failure, repair with
+  // the fallback — the algorithm is Las Vegas: its output is always the
+  // exact upper hull.
+  m.step_active(1, n + r.facets.size(), [](std::uint64_t) {});
+  int fail_kind = 0;
+  if (!verify_surface(pts, r.facets, pointer, &fail_kind)) {
+    stats->used_fallback = true;
+    stats->fallback_reason = 5;
+    stats->verify_fail_kind = fail_kind;
+    return fallback_hull_3d(m, pts);
+  }
+  return r;
+}
+
+}  // namespace iph::core

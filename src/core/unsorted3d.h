@@ -1,0 +1,62 @@
+// The unsorted output-sensitive 3-d hull (Section 4.3, Theorem 6):
+// O(log^2 n) PRAM time, O(min{n log^2 h, n log n}) work, w.h.p.
+//
+// Structure (the paper's, after Edelsbrunner-Shi but splitting about a
+// random point instead of the ham-sandwich cut):
+//   1. each subproblem votes a random splitter and finds the hull facet
+//      above it with 3-d in-place bridge finding (Lemma 4.2, k=s^(1/4));
+//      failures are swept with the n^(1/4) budget;
+//   2. points whose xy-projection falls inside the facet's triangle are
+//      dead, pointing at it;
+//   3. all points are projected onto the xz- and yz-planes along
+//      directions PARALLEL TO THE FACET; the 2-d algorithm (Theorem 5)
+//      finds the upper hulls of both projections — these "ridge" chains
+//      are 3-d hull edge paths, and the facet itself projects to an edge
+//      of each chain;
+//   4. each point's position relative to the two ridges (which side of
+//      the vertical plane through its covering ridge edge) selects one
+//      of 4 child subproblems. Ridge vertices are the fences: they join
+//      every child they border (multi-membership — this is what keeps
+//      each child's hull identical to the global hull over its region).
+// Depth/size budgets and the l >= threshold test switch to the fallback
+// (Reif-Sen substitute: QuickHull charged at the published O(log n) time,
+// n processors — see DESIGN.md), as does a fallback request from the
+// inner 2-d calls, exactly as the paper's step 3 prescribes.
+#pragma once
+
+#include <span>
+
+#include "geom/hull_types.h"
+#include "geom/point.h"
+#include "pram/machine.h"
+
+namespace iph::core {
+
+struct Unsorted3DStats {
+  std::uint64_t levels = 0;
+  std::uint64_t probes = 0;           ///< facet probes attempted
+  std::uint64_t failures_swept = 0;
+  std::uint64_t inner2d_levels = 0;   ///< recursion depth spent in 2-d calls
+  std::uint64_t facets_found = 0;     ///< before any fallback
+  std::uint64_t max_units = 0;        ///< peak membership count (fences)
+  bool used_fallback = false;
+  /// Why the fallback fired: 0 none, 1 level cap, 2 facet threshold,
+  /// 3 unit blowup, 4 inner-2d request, 5 surface verification failed.
+  int fallback_reason = 0;
+  /// When fallback_reason == 5: 1 uncovered point, 2 bad coverage,
+  /// 3 broken tiling, 4 non-convex shared edge, 5 bad boundary edge.
+  int verify_fail_kind = 0;
+};
+
+/// Upper hull facets + per-point facet pointers of UNSORTED 3-d points.
+geom::HullResult3D unsorted_hull_3d(pram::Machine& m,
+                                    std::span<const geom::Point3> pts,
+                                    Unsorted3DStats* stats = nullptr,
+                                    int alpha = 8);
+
+/// The fallback (Reif-Sen substitute): QuickHull run host-side, charged
+/// at the published O(log n)-time, n-processor cost.
+geom::HullResult3D fallback_hull_3d(pram::Machine& m,
+                                    std::span<const geom::Point3> pts);
+
+}  // namespace iph::core

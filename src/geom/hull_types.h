@@ -1,0 +1,69 @@
+// Output representations for 2-d and 3-d upper hulls.
+//
+// The paper's output convention (Sections 2 and 4): every input point ends
+// up with a pointer to the hull edge (2-d) or facet (3-d) vertically above
+// it — one edge may be referenced by many points. We keep that convention:
+// results carry the hull itself plus the per-point "above" pointer array.
+//
+// An upper hull is a convex chain, monotone in x, that "curves to the
+// right" as one traverses it by increasing x (footnote 3 of the paper).
+// We store it as indices into the caller's point array, x-increasing.
+// The full convex hull is obtained from the upper hulls of the points and
+// of the y-negated points (helper below).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/point.h"
+
+namespace iph::geom {
+
+using Index = std::uint32_t;
+
+/// Sentinel for "no edge/facet" (e.g. hull vertices themselves, or the
+/// single-point degenerate hull which has no edges).
+inline constexpr Index kNone = 0xffffffffu;
+
+/// Upper hull of a 2-d point set: vertex indices with strictly increasing
+/// x (except the fully-degenerate equal-x input, which yields one vertex).
+/// Edge j joins vertices[j] and vertices[j+1]; there are vertices.size()-1
+/// edges.
+struct UpperHull2D {
+  std::vector<Index> vertices;
+
+  std::size_t edge_count() const noexcept {
+    return vertices.empty() ? 0 : vertices.size() - 1;
+  }
+};
+
+/// Result of a 2-d upper hull computation in the paper's convention.
+struct HullResult2D {
+  UpperHull2D upper;
+  /// For each input point, the index of the upper-hull edge at or above
+  /// it (kNone if the hull has no edges). Hull vertices point at an
+  /// incident edge.
+  std::vector<Index> edge_above;
+};
+
+/// A triangular upper-hull facet (indices into the caller's point array).
+struct Facet3 {
+  Index a = kNone;
+  Index b = kNone;
+  Index c = kNone;
+};
+
+/// Result of a 3-d upper hull computation in the paper's convention.
+struct HullResult3D {
+  std::vector<Facet3> facets;
+  /// For each input point, an index into facets for the facet whose
+  /// xy-projection contains the point and whose plane is at or above it.
+  std::vector<Index> facet_above;
+};
+
+/// Vertex indices of the full 2-d convex hull, counterclockwise, given the
+/// upper hulls of the points and of the y-negated points ("lower hull").
+std::vector<Index> full_hull_from_upper(const UpperHull2D& upper,
+                                        const UpperHull2D& lower_as_upper);
+
+}  // namespace iph::geom

@@ -1,0 +1,41 @@
+// Plain value types for 2-d and 3-d points.
+//
+// Coordinates are doubles. The workload generators (workloads.h) emit
+// coordinates in ranges for which the filtered predicates (predicates.h)
+// decide orientation signs correctly; degenerate-geometry tests use
+// integer-valued doubles so that zero determinants are exact.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+
+namespace iph::geom {
+
+struct Point2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr bool operator==(const Point2&, const Point2&) = default;
+};
+
+/// Lexicographic (x, then y) order — the sort order assumed by all
+/// "presorted" algorithms and by the upper-hull representation.
+constexpr bool lex_less(const Point2& a, const Point2& b) noexcept {
+  return a.x < b.x || (a.x == b.x && a.y < b.y);
+}
+
+struct Point3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  friend constexpr bool operator==(const Point3&, const Point3&) = default;
+};
+
+constexpr bool lex_less(const Point3& a, const Point3& b) noexcept {
+  if (a.x != b.x) return a.x < b.x;
+  if (a.y != b.y) return a.y < b.y;
+  return a.z < b.z;
+}
+
+}  // namespace iph::geom

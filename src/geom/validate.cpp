@@ -1,0 +1,244 @@
+#include "geom/validate.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "geom/predicates.h"
+
+namespace iph::geom {
+
+namespace {
+
+void set_err(std::string* err, const std::string& msg) {
+  if (err != nullptr) *err = msg;
+}
+
+}  // namespace
+
+std::vector<Index> full_hull_from_upper(const UpperHull2D& upper,
+                                        const UpperHull2D& lower_as_upper) {
+  // lower_as_upper is the upper hull of the y-negated points, so traversed
+  // in decreasing x it is the lower hull of the original points.
+  std::vector<Index> out;
+  // Counterclockwise: lower hull left-to-right, then upper hull
+  // right-to-left, dropping the shared endpoints once.
+  for (auto it = lower_as_upper.vertices.begin();
+       it != lower_as_upper.vertices.end(); ++it) {
+    out.push_back(*it);
+  }
+  for (auto it = upper.vertices.rbegin(); it != upper.vertices.rend(); ++it) {
+    out.push_back(*it);
+  }
+  // Remove consecutive duplicates (shared extreme points).
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  if (out.size() > 1 && out.front() == out.back()) out.pop_back();
+  return out;
+}
+
+bool validate_upper_hull(std::span<const Point2> pts, const UpperHull2D& hull,
+                         std::string* err) {
+  const auto& v = hull.vertices;
+  if (pts.empty()) {
+    if (!v.empty()) {
+      set_err(err, "hull nonempty for empty input");
+      return false;
+    }
+    return true;
+  }
+  if (v.empty()) {
+    set_err(err, "hull empty for nonempty input");
+    return false;
+  }
+  for (Index idx : v) {
+    if (idx >= pts.size()) {
+      set_err(err, "vertex index out of range");
+      return false;
+    }
+  }
+  // Endpoints must be the lexicographic extremes.
+  std::size_t lo = 0, hi = 0;
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    if (lex_less(pts[i], pts[lo])) lo = i;
+    if (lex_less(pts[hi], pts[i])) hi = i;
+  }
+  // Degenerate: all points share one x => hull is the single max-y point.
+  if (pts[lo].x == pts[hi].x) {
+    if (v.size() != 1 || pts[v[0]].x != pts[hi].x ||
+        pts[v[0]].y != pts[hi].y) {
+      set_err(err, "equal-x input must yield the single topmost point");
+      return false;
+    }
+    return true;
+  }
+  // The leftmost hull vertex must be the topmost point of the minimum-x
+  // column, and symmetrically on the right.
+  const Point2 pl = pts[v.front()], pr = pts[v.back()];
+  if (pl.x != pts[lo].x || pr.x != pts[hi].x) {
+    set_err(err, "hull endpoints are not at extreme x");
+    return false;
+  }
+  for (const auto& p : pts) {
+    if (p.x == pl.x && p.y > pl.y) {
+      set_err(err, "left endpoint is not topmost in its column");
+      return false;
+    }
+    if (p.x == pr.x && p.y > pr.y) {
+      set_err(err, "right endpoint is not topmost in its column");
+      return false;
+    }
+  }
+  // Strictly increasing x and strict right turns.
+  for (std::size_t j = 1; j < v.size(); ++j) {
+    if (!(pts[v[j - 1]].x < pts[v[j]].x)) {
+      set_err(err, "vertex x not strictly increasing");
+      return false;
+    }
+  }
+  for (std::size_t j = 2; j < v.size(); ++j) {
+    if (orient2d(pts[v[j - 2]], pts[v[j - 1]], pts[v[j]]) >= 0) {
+      std::ostringstream os;
+      os << "non-right turn at hull vertex " << j - 1
+         << " (collinear or reflex)";
+      set_err(err, os.str());
+      return false;
+    }
+  }
+  // Every point on or below the chain: binary-search the covering edge.
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const Point2& p = pts[i];
+    // Find the last vertex with x <= p.x.
+    auto it = std::upper_bound(
+        v.begin(), v.end(), p.x,
+        [&](double x, Index idx) { return x < pts[idx].x; });
+    if (it == v.begin()) {
+      set_err(err, "point left of hull range");
+      return false;
+    }
+    const std::size_t j = static_cast<std::size_t>(it - v.begin()) - 1;
+    if (j + 1 < v.size()) {
+      if (!on_or_below(pts[v[j]], pts[v[j + 1]], p)) {
+        std::ostringstream os;
+        os << "point " << i << " above hull edge " << j;
+        set_err(err, os.str());
+        return false;
+      }
+    } else {
+      // p.x equals the right endpoint's x.
+      if (p.y > pts[v[j]].y) {
+        set_err(err, "point above right hull endpoint");
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool validate_edge_above(std::span<const Point2> pts, const HullResult2D& r,
+                         std::string* err) {
+  const auto& v = r.upper.vertices;
+  if (r.edge_above.size() != pts.size()) {
+    set_err(err, "edge_above size mismatch");
+    return false;
+  }
+  const std::size_t edges = r.upper.edge_count();
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const Index e = r.edge_above[i];
+    if (edges == 0) {
+      if (e != kNone) {
+        set_err(err, "edge pointer set but hull has no edges");
+        return false;
+      }
+      continue;
+    }
+    if (e == kNone || e >= edges) {
+      std::ostringstream os;
+      os << "point " << i << " has invalid edge pointer";
+      set_err(err, os.str());
+      return false;
+    }
+    const Point2 a = pts[v[e]], b = pts[v[e + 1]];
+    const Point2& p = pts[i];
+    if (!(a.x <= p.x && p.x <= b.x)) {
+      std::ostringstream os;
+      os << "point " << i << " not in x-range of its edge";
+      set_err(err, os.str());
+      return false;
+    }
+    if (!on_or_below(a, b, p)) {
+      std::ostringstream os;
+      os << "point " << i << " above its assigned edge";
+      set_err(err, os.str());
+      return false;
+    }
+  }
+  return true;
+}
+
+bool validate_hull3d(std::span<const Point3> pts, const HullResult3D& r,
+                     bool require_all_assigned, std::string* err) {
+  if (r.facet_above.size() != pts.size()) {
+    set_err(err, "facet_above size mismatch");
+    return false;
+  }
+  for (std::size_t f = 0; f < r.facets.size(); ++f) {
+    const Facet3& t = r.facets[f];
+    if (t.a >= pts.size() || t.b >= pts.size() || t.c >= pts.size()) {
+      set_err(err, "facet vertex index out of range");
+      return false;
+    }
+    const Point3 &a = pts[t.a], &b = pts[t.b], &c = pts[t.c];
+    if (orient2d_xy(a, b, c) == 0) {
+      std::ostringstream os;
+      os << "facet " << f << " degenerate in xy-projection";
+      set_err(err, os.str());
+      return false;
+    }
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      if (!on_or_below_plane(a, b, c, pts[i])) {
+        std::ostringstream os;
+        os << "point " << i << " above facet " << f << "'s plane";
+        set_err(err, os.str());
+        return false;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const Index f = r.facet_above[i];
+    if (f == kNone) {
+      if (require_all_assigned) {
+        std::ostringstream os;
+        os << "point " << i << " unassigned";
+        set_err(err, os.str());
+        return false;
+      }
+      continue;
+    }
+    if (f >= r.facets.size()) {
+      set_err(err, "facet pointer out of range");
+      return false;
+    }
+    const Facet3& t = r.facets[f];
+    if (!xy_in_triangle(pts[t.a], pts[t.b], pts[t.c], pts[i])) {
+      std::ostringstream os;
+      os << "point " << i << " not under its facet's xy-projection";
+      set_err(err, os.str());
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Index> hull3d_vertex_set(const HullResult3D& r) {
+  std::vector<Index> v;
+  v.reserve(r.facets.size() * 3);
+  for (const Facet3& f : r.facets) {
+    v.push_back(f.a);
+    v.push_back(f.b);
+    v.push_back(f.c);
+  }
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+}  // namespace iph::geom

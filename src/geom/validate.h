@@ -1,0 +1,43 @@
+// Validators: structural and semantic checks for hull results.
+//
+// These are the oracles the test suite and the failure-injection benches
+// lean on. They are deliberately independent of the algorithms under test
+// (no code shared with src/seq or src/core hull construction) and favour
+// clarity over speed: validation is O(n log h) / O(n * f).
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "geom/hull_types.h"
+#include "geom/point.h"
+
+namespace iph::geom {
+
+/// Checks that `hull` is THE upper hull of `pts`:
+///  * vertex x strictly increasing, first/last are the lex-min/max points,
+///  * consecutive turns are strictly right (no collinear vertices kept),
+///  * every input point lies on or below the chain.
+/// On failure returns false and, if err != nullptr, a diagnostic.
+bool validate_upper_hull(std::span<const Point2> pts, const UpperHull2D& hull,
+                         std::string* err = nullptr);
+
+/// Checks the per-point pointers of a HullResult2D: each point's edge
+/// covers the point's x and has the point on or below its line.
+bool validate_edge_above(std::span<const Point2> pts, const HullResult2D& r,
+                         std::string* err = nullptr);
+
+/// Checks a 3-d result: every facet has all points on or below its plane;
+/// every point's facet pointer covers it in xy and dominates it in z.
+/// `require_all_assigned` additionally demands facet_above[i] != kNone for
+/// every point (degenerate inputs may legitimately leave points
+/// unassigned when the upper hull is a point/segment).
+bool validate_hull3d(std::span<const Point3> pts, const HullResult3D& r,
+                     bool require_all_assigned = true,
+                     std::string* err = nullptr);
+
+/// The set of distinct vertex indices appearing in the facets of r,
+/// sorted — used to compare against an oracle's upper-hull vertex set.
+std::vector<Index> hull3d_vertex_set(const HullResult3D& r);
+
+}  // namespace iph::geom

@@ -1,0 +1,340 @@
+#include "geom/workloads.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace iph::geom {
+
+namespace {
+
+using support::Rng;
+
+constexpr double kPi = 3.14159265358979323846;
+constexpr double kScale = 1.0e6;  // base coordinate magnitude
+
+double gauss(Rng& rng) {
+  // Box-Muller (one value; wastes the pair partner for simplicity).
+  double u1 = rng.next_double();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = rng.next_double();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * kPi * u2);
+}
+
+}  // namespace
+
+std::vector<Point2> on_circle(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed, 0xC19C1E);
+  std::vector<Point2> pts(n);
+  for (auto& p : pts) {
+    const double t = rng.next_double() * 2.0 * kPi;
+    p = {kScale * std::cos(t), kScale * std::sin(t)};
+  }
+  return pts;
+}
+
+std::vector<Point2> in_disk(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed, 0xD15C);
+  std::vector<Point2> pts(n);
+  for (auto& p : pts) {
+    const double t = rng.next_double() * 2.0 * kPi;
+    const double r = kScale * std::sqrt(rng.next_double());
+    p = {r * std::cos(t), r * std::sin(t)};
+  }
+  return pts;
+}
+
+std::vector<Point2> in_square(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed, 0x5CAAE);
+  std::vector<Point2> pts(n);
+  for (auto& p : pts) {
+    p = {(rng.next_double() * 2.0 - 1.0) * kScale,
+         (rng.next_double() * 2.0 - 1.0) * kScale};
+  }
+  return pts;
+}
+
+std::vector<Point2> gaussian2(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed, 0x6A55);
+  std::vector<Point2> pts(n);
+  for (auto& p : pts) {
+    p = {kScale * gauss(rng), kScale * gauss(rng)};
+  }
+  return pts;
+}
+
+std::vector<Point2> convex_k(std::size_t n, std::size_t k,
+                             std::uint64_t seed) {
+  IPH_CHECK(k >= 2 && k <= n);
+  Rng rng(seed, 0xC0EF);
+  std::vector<Point2> pts;
+  pts.reserve(n);
+  // k extreme points on a concave-down arc (angles in (0.1*pi, 0.9*pi),
+  // increasing): they are in strictly convex position and form exactly the
+  // upper hull of the final set.
+  std::vector<Point2> arc(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const double jitter = k > 2 ? (rng.next_double() - 0.5) * 0.5 : 0.0;
+    const double frac =
+        k == 1 ? 0.5
+               : (static_cast<double>(i) + 0.5 + jitter) / static_cast<double>(k);
+    const double t = kPi * (0.1 + 0.8 * frac);
+    // x = -cos(t) increases with i; y = sin(t) > 0: a concave-down arc.
+    arc[i] = {-kScale * std::cos(t), kScale * std::sin(t)};
+  }
+  for (const auto& p : arc) pts.push_back(p);
+  // Interior points: strictly-interior convex combinations of 3 distinct
+  // non-collinear arc points. Minimum weight 0.15 keeps them well below
+  // the chain relative to double rounding at this coordinate scale.
+  for (std::size_t i = k; i < n; ++i) {
+    std::size_t a = 0, b = 0, c = 0;
+    if (k == 2) {
+      // Degenerate family: put extras strictly below the segment.
+      const double w = 0.15 + 0.7 * rng.next_double();
+      const Point2 m{arc[0].x + w * (arc[1].x - arc[0].x),
+                     arc[0].y + w * (arc[1].y - arc[0].y)};
+      pts.push_back({m.x, m.y - kScale * (0.05 + rng.next_double())});
+      continue;
+    }
+    a = rng.next_below(k);
+    do {
+      b = rng.next_below(k);
+    } while (b == a);
+    do {
+      c = rng.next_below(k);
+    } while (c == a || c == b);
+    double wa = 0.15 + rng.next_double();
+    double wb = 0.15 + rng.next_double();
+    double wc = 0.15 + rng.next_double();
+    const double s = wa + wb + wc;
+    wa /= s;
+    wb /= s;
+    wc /= s;
+    pts.push_back({wa * arc[a].x + wb * arc[b].x + wc * arc[c].x,
+                   wa * arc[a].y + wb * arc[b].y + wc * arc[c].y});
+  }
+  // Shuffle so "unsorted input" really is unsorted.
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(pts[i - 1], pts[rng.next_below(i)]);
+  }
+  return pts;
+}
+
+std::vector<Point2> collinear2(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed, 0xC011);
+  std::vector<Point2> pts(n);
+  // Integer-valued doubles on the line y = x/2 (x even): orientation zero
+  // is exact.
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto t = static_cast<double>(i);
+    pts[i] = {2.0 * t, t};
+  }
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(pts[i - 1], pts[rng.next_below(i)]);
+  }
+  return pts;
+}
+
+std::vector<Point2> with_duplicates(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed, 0xD0B5);
+  const std::size_t d =
+      std::max<std::size_t>(1, static_cast<std::size_t>(std::sqrt(
+                                   static_cast<double>(n))));
+  std::vector<Point2> sites(d);
+  for (auto& p : sites) {
+    p = {static_cast<double>(rng.next_below(1 << 20)),
+         static_cast<double>(rng.next_below(1 << 20))};
+  }
+  std::vector<Point2> pts(n);
+  for (auto& p : pts) p = sites[rng.next_below(d)];
+  return pts;
+}
+
+std::vector<Point2> lattice2(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed, 0x1A77);
+  const auto side = static_cast<std::uint64_t>(
+      2.0 * std::sqrt(static_cast<double>(n)) + 2.0);
+  std::vector<Point2> pts(n);
+  for (auto& p : pts) {
+    p = {static_cast<double>(rng.next_below(side)),
+         static_cast<double>(rng.next_below(side))};
+  }
+  return pts;
+}
+
+std::vector<Point3> on_sphere(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed, 0x5EEE);
+  std::vector<Point3> pts(n);
+  for (auto& p : pts) {
+    double x = gauss(rng), y = gauss(rng), z = gauss(rng);
+    double norm = std::sqrt(x * x + y * y + z * z);
+    if (norm < 1e-12) {
+      x = 1.0;
+      norm = 1.0;
+    }
+    p = {kScale * x / norm, kScale * y / norm, kScale * z / norm};
+  }
+  return pts;
+}
+
+std::vector<Point3> in_ball(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed, 0xBA11);
+  std::vector<Point3> pts(n);
+  for (auto& p : pts) {
+    double x = gauss(rng), y = gauss(rng), z = gauss(rng);
+    double norm = std::sqrt(x * x + y * y + z * z);
+    if (norm < 1e-12) {
+      x = 1.0;
+      norm = 1.0;
+    }
+    const double r = kScale * std::cbrt(rng.next_double());
+    p = {r * x / norm, r * y / norm, r * z / norm};
+  }
+  return pts;
+}
+
+std::vector<Point3> in_cube(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed, 0xC0BE);
+  std::vector<Point3> pts(n);
+  for (auto& p : pts) {
+    p = {(rng.next_double() * 2.0 - 1.0) * kScale,
+         (rng.next_double() * 2.0 - 1.0) * kScale,
+         (rng.next_double() * 2.0 - 1.0) * kScale};
+  }
+  return pts;
+}
+
+std::vector<Point3> extreme_k3(std::size_t n, std::size_t k,
+                               std::uint64_t seed) {
+  IPH_CHECK(k >= 4 && k <= n);
+  Rng rng(seed, 0xE37E);
+  std::vector<Point3> pts = on_sphere(k, seed ^ 0x333);
+  pts.reserve(n);
+  // Interior points: strictly-interior combinations of 4 sphere points.
+  for (std::size_t i = k; i < n; ++i) {
+    std::size_t idx[4];
+    for (auto& v : idx) v = rng.next_below(k);
+    double w[4];
+    double s = 0;
+    for (auto& v : w) {
+      v = 0.15 + rng.next_double();
+      s += v;
+    }
+    Point3 p{0, 0, 0};
+    for (int j = 0; j < 4; ++j) {
+      p.x += w[j] / s * pts[idx[j]].x;
+      p.y += w[j] / s * pts[idx[j]].y;
+      p.z += w[j] / s * pts[idx[j]].z;
+    }
+    // Pull toward the centroid so the point is strictly interior even if
+    // the 4 chosen sphere points coincide or are coplanar.
+    pts.push_back({p.x * 0.8, p.y * 0.8, p.z * 0.8});
+  }
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(pts[i - 1], pts[rng.next_below(i)]);
+  }
+  return pts;
+}
+
+std::vector<Point3> on_paraboloid(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed, 0xBABA);
+  std::vector<Point3> pts(n);
+  for (auto& p : pts) {
+    const double t = rng.next_double() * 2.0 * kPi;
+    const double r = kScale * std::sqrt(rng.next_double());
+    const double x = r * std::cos(t), y = r * std::sin(t);
+    p = {x, y, -(x * x + y * y) / kScale};
+  }
+  return pts;
+}
+
+std::vector<Point2> make2d(Family2D f, std::size_t n, std::uint64_t seed) {
+  switch (f) {
+    case Family2D::kCircle:
+      return on_circle(n, seed);
+    case Family2D::kDisk:
+      return in_disk(n, seed);
+    case Family2D::kSquare:
+      return in_square(n, seed);
+    case Family2D::kGaussian:
+      return gaussian2(n, seed);
+    case Family2D::kConvexK:
+      if (n < 2) return in_disk(n, seed);  // k-extreme needs >= 2 points
+      return convex_k(n, std::min(n, std::max<std::size_t>(2, n / 8)), seed);
+    case Family2D::kCollinear:
+      return collinear2(n, seed);
+    case Family2D::kDuplicates:
+      return with_duplicates(n, seed);
+    case Family2D::kLattice:
+      return lattice2(n, seed);
+  }
+  return {};
+}
+
+std::string family_name(Family2D f) {
+  switch (f) {
+    case Family2D::kCircle:
+      return "circle";
+    case Family2D::kDisk:
+      return "disk";
+    case Family2D::kSquare:
+      return "square";
+    case Family2D::kGaussian:
+      return "gaussian";
+    case Family2D::kConvexK:
+      return "convex_k";
+    case Family2D::kCollinear:
+      return "collinear";
+    case Family2D::kDuplicates:
+      return "duplicates";
+    case Family2D::kLattice:
+      return "lattice";
+  }
+  return "unknown";
+}
+
+std::vector<Point3> make3d(Family3D f, std::size_t n, std::uint64_t seed) {
+  switch (f) {
+    case Family3D::kSphere:
+      return on_sphere(n, seed);
+    case Family3D::kBall:
+      return in_ball(n, seed);
+    case Family3D::kCube:
+      return in_cube(n, seed);
+    case Family3D::kExtremeK:
+      return extreme_k3(n, std::max<std::size_t>(4, n / 8), seed);
+    case Family3D::kParaboloid:
+      return on_paraboloid(n, seed);
+  }
+  return {};
+}
+
+std::string family_name(Family3D f) {
+  switch (f) {
+    case Family3D::kSphere:
+      return "sphere";
+    case Family3D::kBall:
+      return "ball";
+    case Family3D::kCube:
+      return "cube";
+    case Family3D::kExtremeK:
+      return "extreme_k";
+    case Family3D::kParaboloid:
+      return "paraboloid";
+  }
+  return "unknown";
+}
+
+void sort_lex(std::vector<Point2>& pts) {
+  std::sort(pts.begin(), pts.end(),
+            [](const Point2& a, const Point2& b) { return lex_less(a, b); });
+}
+
+void sort_lex(std::vector<Point3>& pts) {
+  std::sort(pts.begin(), pts.end(),
+            [](const Point3& a, const Point3& b) { return lex_less(a, b); });
+}
+
+}  // namespace iph::geom

@@ -1,0 +1,110 @@
+// Workload generators with controlled output size h.
+//
+// The paper's output-sensitive bounds (Theorems 5 and 6) are claims about
+// how work scales with the hull size h, so the benches need point
+// distributions whose hull size is known:
+//   2-d:  on_circle    h = n            (every point extreme)
+//         in_disk      h ~ n^(1/3)
+//         in_square    h ~ log n
+//         convex_k     upper hull size exactly k
+//         gaussian     h ~ sqrt(log n)
+//   3-d:  on_sphere    h ~ n
+//         in_ball      h ~ sqrt(n)
+//         in_cube      h ~ log^2 n
+//         extreme_k3   hull vertices ~ k
+//         on_paraboloid  every point on the upper hull's boundary
+// plus degenerate torture inputs (collinear, duplicates, lattice) for the
+// robustness tests. Coordinates are integer-valued doubles (|c| <= 2^26)
+// wherever degeneracies matter so that zero orientations are exact.
+//
+// All generators are deterministic in (n, seed).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/point.h"
+
+namespace iph::geom {
+
+// --- 2-d families ------------------------------------------------------
+
+std::vector<Point2> on_circle(std::size_t n, std::uint64_t seed);
+std::vector<Point2> in_disk(std::size_t n, std::uint64_t seed);
+std::vector<Point2> in_square(std::size_t n, std::uint64_t seed);
+std::vector<Point2> gaussian2(std::size_t n, std::uint64_t seed);
+
+/// Exactly k points on a concave-down arc (the upper hull) plus n-k points
+/// strictly inside their convex hull: the upper hull has exactly k
+/// vertices. Requires 2 <= k <= n.
+std::vector<Point2> convex_k(std::size_t n, std::size_t k,
+                             std::uint64_t seed);
+
+/// All points on one non-vertical line (upper hull = 2 endpoints).
+std::vector<Point2> collinear2(std::size_t n, std::uint64_t seed);
+
+/// Points drawn from only ~sqrt(n) distinct locations (many duplicates).
+std::vector<Point2> with_duplicates(std::size_t n, std::uint64_t seed);
+
+/// Integer lattice points (many collinear triples).
+std::vector<Point2> lattice2(std::size_t n, std::uint64_t seed);
+
+// --- 3-d families ------------------------------------------------------
+
+std::vector<Point3> on_sphere(std::size_t n, std::uint64_t seed);
+std::vector<Point3> in_ball(std::size_t n, std::uint64_t seed);
+std::vector<Point3> in_cube(std::size_t n, std::uint64_t seed);
+
+/// ~k points on a sphere plus n-k points well inside.
+std::vector<Point3> extreme_k3(std::size_t n, std::size_t k,
+                               std::uint64_t seed);
+
+/// Points on the downward paraboloid z = -(x^2+y^2)/s: their upper hull
+/// is the 3-d Delaunay lift, every point is a hull vertex.
+std::vector<Point3> on_paraboloid(std::size_t n, std::uint64_t seed);
+
+// --- family registries for parameterized tests -------------------------
+
+enum class Family2D {
+  kCircle,
+  kDisk,
+  kSquare,
+  kGaussian,
+  kConvexK,   // k = max(2, n/8)
+  kCollinear,
+  kDuplicates,
+  kLattice,
+};
+
+inline constexpr Family2D kAllFamilies2D[] = {
+    Family2D::kCircle,    Family2D::kDisk,       Family2D::kSquare,
+    Family2D::kGaussian,  Family2D::kConvexK,    Family2D::kCollinear,
+    Family2D::kDuplicates, Family2D::kLattice,
+};
+
+std::vector<Point2> make2d(Family2D f, std::size_t n, std::uint64_t seed);
+std::string family_name(Family2D f);
+
+enum class Family3D {
+  kSphere,
+  kBall,
+  kCube,
+  kExtremeK,  // k = max(4, n/8)
+  kParaboloid,
+};
+
+inline constexpr Family3D kAllFamilies3D[] = {
+    Family3D::kSphere, Family3D::kBall, Family3D::kCube,
+    Family3D::kExtremeK, Family3D::kParaboloid,
+};
+
+std::vector<Point3> make3d(Family3D f, std::size_t n, std::uint64_t seed);
+std::string family_name(Family3D f);
+
+/// Sort points lexicographically (the precondition of the presorted
+/// algorithms).
+void sort_lex(std::vector<Point2>& pts);
+void sort_lex(std::vector<Point3>& pts);
+
+}  // namespace iph::geom

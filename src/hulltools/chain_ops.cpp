@@ -1,0 +1,297 @@
+#include "hulltools/chain_ops.h"
+
+#include <algorithm>
+
+#include "geom/predicates.h"
+#include "pram/cells.h"
+#include "primitives/lockstep_search.h"
+#include "support/check.h"
+
+namespace iph::hulltools {
+
+using geom::Index;
+using geom::Point2;
+
+namespace {
+
+/// slope(v->w) > slope(v->r)? (w, r strictly right of v)
+bool steeper_right(std::span<const Point2> pts, Index v, Index w, Index r) {
+  return geom::orient2d(pts[v], pts[w], pts[r]) < 0;  // r below line v->w
+}
+
+/// slope(u->v) < slope(l->v)? (u, l strictly left of v)
+bool shallower_left(std::span<const Point2> pts, Index v, Index u, Index l) {
+  return geom::orient2d(pts[l], pts[v], pts[u]) > 0;  // u above line l->v
+}
+
+}  // namespace
+
+std::vector<Chain> merge_chain_groups(pram::Machine& m,
+                                      std::span<const Point2> pts,
+                                      std::span<const Chain> chains,
+                                      std::span<const std::uint32_t> group_of,
+                                      std::size_t num_groups,
+                                      std::uint64_t g) {
+  const std::size_t nc = chains.size();
+  IPH_CHECK(group_of.size() == nc);
+  IPH_CHECK(g >= 2);
+  std::vector<std::vector<std::uint32_t>> members(num_groups);
+  for (std::size_t c = 0; c < nc; ++c) {
+    IPH_CHECK(group_of[c] < num_groups);
+    members[group_of[c]].push_back(static_cast<std::uint32_t>(c));
+  }
+#ifndef NDEBUG
+  // Chains within a group must be x-disjoint and x-ordered.
+  for (const auto& ms : members) {
+    for (std::size_t t = 1; t < ms.size(); ++t) {
+      const Chain& prev = chains[ms[t - 1]];
+      const Chain& cur = chains[ms[t]];
+      if (!prev.empty() && !cur.empty()) {
+        IPH_DCHECK(pts[prev.back()].x <= pts[cur.front()].x);
+      }
+    }
+  }
+#endif
+
+  // Enumerate searches: one per (vertex v, other chain j in v's group).
+  struct Search {
+    std::uint32_t chain_c;  // v's chain
+    std::uint32_t pos;      // v's position in its chain
+    std::uint32_t chain_j;  // the probed chain
+  };
+  std::vector<Search> searches;
+  for (std::size_t gi = 0; gi < num_groups; ++gi) {
+    for (std::uint32_t c : members[gi]) {
+      for (std::uint32_t j : members[gi]) {
+        if (j == c || chains[j].empty()) continue;
+        for (std::uint32_t p = 0; p < chains[c].size(); ++p) {
+          searches.push_back({c, p, j});
+        }
+      }
+    }
+  }
+  const std::size_t ns = searches.size();
+
+  // Batch 1: first index of chain_j with x >= v.x.
+  std::vector<std::uint64_t> lo(ns, 0), hi(ns);
+  for (std::size_t s = 0; s < ns; ++s) {
+    hi[s] = chains[searches[s].chain_j].size();
+  }
+  const auto ge = primitives::lockstep_partition_point(
+      m, lo, hi, g, [&](std::uint64_t s, std::uint64_t i) {
+        const Search& q = searches[s];
+        return pts[chains[q.chain_j][i]].x <
+               pts[chains[q.chain_c][q.pos]].x;
+      });
+  // first index with x > v.x: strict chains have <= 1 vertex per x.
+  std::vector<std::uint64_t> gt(ns);
+  m.step(ns, [&](std::uint64_t s) {
+    const Search& q = searches[s];
+    const Chain& cj = chains[q.chain_j];
+    gt[s] = ge[s];
+    if (ge[s] < cj.size() &&
+        pts[cj[ge[s]]].x == pts[chains[q.chain_c][q.pos]].x) {
+      gt[s] = ge[s] + 1;
+    }
+  });
+
+  // Batch 2: right tangent peak over [gt, len) (searching the edge range
+  // [gt, len-1); empty ranges return gt).
+  std::vector<std::uint64_t> rlo(ns), rhi(ns);
+  for (std::size_t s = 0; s < ns; ++s) {
+    const std::uint64_t len = chains[searches[s].chain_j].size();
+    rlo[s] = gt[s];
+    rhi[s] = len > 0 && gt[s] < len - 1 ? len - 1 : gt[s];
+  }
+  const auto rpeak = primitives::lockstep_partition_point(
+      m, rlo, rhi, g, [&](std::uint64_t s, std::uint64_t t) {
+        const Search& q = searches[s];
+        const Chain& cj = chains[q.chain_j];
+        const Point2& v = pts[chains[q.chain_c][q.pos]];
+        return geom::orient2d(v, pts[cj[t]], pts[cj[t + 1]]) > 0;
+      });
+
+  // Batch 3: left tangent valley over [0, ge) (edge range [0, ge-1)).
+  std::vector<std::uint64_t> llo(ns, 0), lhi(ns);
+  for (std::size_t s = 0; s < ns; ++s) {
+    lhi[s] = ge[s] > 0 ? ge[s] - 1 : 0;
+  }
+  const auto lvalley = primitives::lockstep_partition_point(
+      m, llo, lhi, g, [&](std::uint64_t s, std::uint64_t t) {
+        const Search& q = searches[s];
+        const Chain& cj = chains[q.chain_j];
+        const Point2& v = pts[chains[q.chain_c][q.pos]];
+        return geom::orient2d(pts[cj[t]], v, pts[cj[t + 1]]) > 0;
+      });
+
+  // Combine: per vertex, fold its own-chain neighbours and the per-chain
+  // tangent candidates into L (min left slope) and R (max right slope),
+  // apply the same-x kill rule, and test the strict right turn L-v-R.
+  // One step; each search contributes O(1) work.
+  std::vector<std::uint64_t> voff{0};
+  for (const Chain& c : chains) voff.push_back(voff.back() + c.size());
+  pram::FlagArray dead(voff.back());
+  std::vector<Index> bestL(voff.back(), geom::kNone);
+  std::vector<Index> bestR(voff.back(), geom::kNone);
+  m.step_active(voff.back(), voff.back(), [&](std::uint64_t vid) {
+    // Own-chain neighbours.
+    std::size_t c = static_cast<std::size_t>(
+        std::upper_bound(voff.begin(), voff.end(), vid) - voff.begin() - 1);
+    const std::uint32_t p = static_cast<std::uint32_t>(vid - voff[c]);
+    if (p > 0) bestL[vid] = chains[c][p - 1];
+    if (p + 1 < chains[c].size()) bestR[vid] = chains[c][p + 1];
+  });
+  // Same-x kill rule (dead is an OR-flag array: racing sets are legal).
+  m.step(ns, [&](std::uint64_t s) {
+    const Search& q = searches[s];
+    const Index v = chains[q.chain_c][q.pos];
+    const Chain& cj = chains[q.chain_j];
+    if (ge[s] < cj.size() && pts[cj[ge[s]]].x == pts[v].x) {
+      const Index u = cj[ge[s]];
+      if (pts[u].y > pts[v].y ||
+          (pts[u].y == pts[v].y && q.chain_j < q.chain_c)) {
+        dead.set(voff[q.chain_c] + q.pos);
+      }
+    }
+  });
+
+  // Candidate folding must be race-free: do it per VERTEX, looping over
+  // that vertex's searches (each vertex owns its fold).
+  std::vector<std::vector<std::uint32_t>> searches_of(voff.back());
+  for (std::size_t s = 0; s < ns; ++s) {
+    const Search& q = searches[s];
+    searches_of[voff[q.chain_c] + q.pos].push_back(
+        static_cast<std::uint32_t>(s));
+  }
+  m.step_active(voff.back(), std::max<std::uint64_t>(ns, 1),
+                [&](std::uint64_t vid) {
+    const Index v = [&] {
+      std::size_t c = static_cast<std::size_t>(
+          std::upper_bound(voff.begin(), voff.end(), vid) - voff.begin() -
+          1);
+      return chains[c][vid - voff[c]];
+    }();
+    for (const std::uint32_t s : searches_of[vid]) {
+      const Search& q = searches[s];
+      const Chain& cj = chains[q.chain_j];
+      if (gt[s] < cj.size()) {
+        const Index w = cj[rpeak[s]];
+        if (bestR[vid] == geom::kNone ||
+            steeper_right(pts, v, w, bestR[vid])) {
+          bestR[vid] = w;
+        }
+      }
+      if (ge[s] > 0) {
+        const Index u = cj[lvalley[s]];
+        if (bestL[vid] == geom::kNone ||
+            shallower_left(pts, v, u, bestL[vid])) {
+          bestL[vid] = u;
+        }
+      }
+    }
+  });
+  // Survivor test.
+  m.step(voff.back(), [&](std::uint64_t vid) {
+    if (dead.get(vid)) return;
+    const Index l = bestL[vid], r = bestR[vid];
+    if (l == geom::kNone || r == geom::kNone) return;  // endpoint: lives
+    const Index v = [&] {
+      std::size_t c = static_cast<std::size_t>(
+          std::upper_bound(voff.begin(), voff.end(), vid) - voff.begin() -
+          1);
+      return chains[c][vid - voff[c]];
+    }();
+    if (geom::orient2d(pts[l], pts[v], pts[r]) >= 0) dead.set(vid);
+  });
+
+  // Assemble per-group merged chains (x order == chain, pos order).
+  std::vector<Chain> out(num_groups);
+  m.step_active(num_groups, voff.back(), [&](std::uint64_t gi) {
+    for (const std::uint32_t c : members[gi]) {
+      for (std::uint32_t p = 0; p < chains[c].size(); ++p) {
+        if (!dead.get(voff[c] + p)) out[gi].push_back(chains[c][p]);
+      }
+    }
+  });
+  return out;
+}
+
+std::pair<Index, Index> common_tangent(pram::Machine& m,
+                                       std::span<const Point2> pts,
+                                       const Chain& a, const Chain& b,
+                                       std::uint64_t g) {
+  IPH_CHECK(!a.empty() && !b.empty());
+  IPH_CHECK(pts[a.back()].x < pts[b.front()].x);
+  const Chain cs[2] = {a, b};
+  const std::uint32_t gof[2] = {0, 0};
+  const auto merged = merge_chain_groups(
+      m, pts, std::span<const Chain>(cs, 2),
+      std::span<const std::uint32_t>(gof, 2), 1, g);
+  const Chain& mc = merged[0];
+  // The tangent joins the last survivor of a and the first of b.
+  Index left = geom::kNone, right = geom::kNone;
+  for (const Index v : mc) {
+    bool in_a = false;
+    // Chains are x-separated, so membership is an x test.
+    in_a = pts[v].x <= pts[a.back()].x;
+    if (in_a) {
+      left = v;
+    } else {
+      right = v;
+      break;
+    }
+  }
+  IPH_CHECK(left != geom::kNone && right != geom::kNone);
+  return {left, right};
+}
+
+std::vector<Index> extreme_vs_lines(
+    pram::Machine& m, std::span<const Point2> pts,
+    std::span<const Chain* const> chain_of,
+    std::span<const std::pair<Index, Index>> lines, std::uint64_t g) {
+  const std::size_t ns = lines.size();
+  IPH_CHECK(chain_of.size() == ns);
+  std::vector<std::uint64_t> lo(ns, 0), hi(ns);
+  for (std::size_t s = 0; s < ns; ++s) {
+    const std::size_t len = chain_of[s]->size();
+    hi[s] = len > 0 ? len - 1 : 0;
+  }
+  const auto peak = primitives::lockstep_partition_point(
+      m, lo, hi, g, [&](std::uint64_t s, std::uint64_t t) {
+        const Chain& c = *chain_of[s];
+        const Point2& la = pts[lines[s].first];
+        const Point2& lb = pts[lines[s].second];
+        // Advance while the next vertex is more extreme in the line's
+        // upward normal: cross(la->lb, c[t]->c[t+1]) > 0.
+        return geom::cross_diff_sign(la, lb, pts[c[t]], pts[c[t + 1]]) > 0;
+      });
+  std::vector<Index> out(ns, geom::kNone);
+  m.step(ns, [&](std::uint64_t s) {
+    if (!chain_of[s]->empty()) out[s] = (*chain_of[s])[peak[s]];
+  });
+  return out;
+}
+
+std::vector<Index> edges_above_chain(pram::Machine& m,
+                                     std::span<const Point2> pts,
+                                     std::span<const Index> queries,
+                                     const Chain& chain, std::uint64_t g) {
+  const std::size_t ns = queries.size();
+  std::vector<Index> out(ns, geom::kNone);
+  if (chain.size() < 2) return out;
+  std::vector<std::uint64_t> lo(ns, 0), hi(ns, chain.size());
+  const auto part = primitives::lockstep_partition_point(
+      m, lo, hi, g, [&](std::uint64_t s, std::uint64_t i) {
+        return pts[chain[i]].x <= pts[queries[s]].x;
+      });
+  const std::uint64_t edges = chain.size() - 1;
+  m.step(ns, [&](std::uint64_t s) {
+    if (part[s] == 0) return;  // query left of the chain: no cover
+    std::uint64_t e = part[s] - 1;
+    if (e == edges) --e;  // rightmost column
+    out[s] = static_cast<Index>(e);
+  });
+  return out;
+}
+
+}  // namespace iph::hulltools

@@ -1,0 +1,80 @@
+// Constant-time operations on upper-hull chains (Section 2.4 of the
+// paper; Atallah-Goodrich [6]): the primitives that make algorithms
+// "point-hull invariant". Each operation runs in O(c) PRAM steps using
+// the lockstep g-ary search engine with g ~ L^(1/c):
+//
+//   * extreme_vs_line  — the chain vertex extreme in a line's normal
+//     direction, i.e. "does the hull cross above this line, and where"
+//     (the hull analogue of point/line sidedness);
+//   * merge_chain_groups — merge groups of x-disjoint chains into their
+//     joint upper hulls (the hull analogue of 'hull of a point set');
+//   * common_tangent   — upper common tangent of two x-separated chains
+//     (the hull analogue of 'line through two points');
+//   * edges_above_chain — covering edge per query point (output step).
+//
+// All operations are BATCHED: many instances advance in the same PRAM
+// steps, because the host algorithms run one instance per tree node /
+// subproblem simultaneously.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geom/hull_types.h"
+#include "geom/point.h"
+#include "pram/machine.h"
+
+namespace iph::hulltools {
+
+/// A chain: global point indices, strictly increasing x, strictly convex
+/// (right turns), as produced by every upper-hull routine in this repo.
+using Chain = std::vector<geom::Index>;
+
+/// Merge chains into per-group upper hulls. chains[i] belongs to group
+/// group_of[i]; within a group, chains must be x-disjoint and listed in
+/// increasing x order (contiguous blocks of a presorted array satisfy
+/// this). Survivor rule: vertex v lives iff
+///     min slope(u, v) over vertices u left of v
+///   > max slope(v, w) over vertices w right of v
+/// and no vertex shares v's x with a larger y (or equal y and smaller
+/// chain id). Each bound is found with one lockstep tangent search per
+/// (vertex, other chain) pair. O(c) PRAM steps with g = L^(1/c).
+std::vector<Chain> merge_chain_groups(pram::Machine& m,
+                                      std::span<const geom::Point2> pts,
+                                      std::span<const Chain> chains,
+                                      std::span<const std::uint32_t> group_of,
+                                      std::size_t num_groups,
+                                      std::uint64_t g);
+
+/// Upper common tangent (a, b) of two x-separated chains (A entirely
+/// left of B): the unique pair with every vertex of both chains on or
+/// below line(a, b). Implemented as a 2-chain merge; the tangent is the
+/// edge spanning the gap.
+std::pair<geom::Index, geom::Index> common_tangent(
+    pram::Machine& m, std::span<const geom::Point2> pts, const Chain& a,
+    const Chain& b, std::uint64_t g);
+
+/// Batched "hull vs line" extreme-point queries: for query q, the vertex
+/// of chain_of(q) with maximum signed distance above the directed line
+/// through (lines[q].first -> lines[q].second) — the first point-hull
+/// invariant primitive (side-of-line lifted to hulls). Returns the
+/// vertex index per query; the caller tests its orientation against the
+/// line to learn crossed/not-crossed.
+std::vector<geom::Index> extreme_vs_lines(
+    pram::Machine& m, std::span<const geom::Point2> pts,
+    std::span<const Chain* const> chain_of,
+    std::span<const std::pair<geom::Index, geom::Index>> lines,
+    std::uint64_t g);
+
+/// Covering hull edge per query point: for each query point index q,
+/// the edge of `chain` whose x-span contains pts[q].x (clamped to the
+/// last edge for the rightmost column), or kNone when the chain has no
+/// edges. Batched lockstep search, O(c) steps.
+std::vector<geom::Index> edges_above_chain(pram::Machine& m,
+                                           std::span<const geom::Point2> pts,
+                                           std::span<const geom::Index> queries,
+                                           const Chain& chain,
+                                           std::uint64_t g);
+
+}  // namespace iph::hulltools

@@ -1,0 +1,65 @@
+#include "hulltools/folklore_hull.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "hulltools/chain_ops.h"
+#include "primitives/brute_force_hull.h"
+#include "support/check.h"
+#include "support/mathutil.h"
+
+namespace iph::hulltools {
+
+using geom::Index;
+using geom::Point2;
+
+geom::HullResult2D folklore_hull_presorted(pram::Machine& m,
+                                           std::span<const Point2> pts,
+                                           std::size_t lo, std::size_t hi,
+                                           unsigned k_levels) {
+  IPH_CHECK(k_levels >= 1);
+  IPH_CHECK(lo <= hi && hi <= pts.size());
+  const std::size_t q = hi - lo;
+  if (q <= 32) return primitives::brute_hull_presorted(m, pts, lo, hi);
+
+  const std::uint64_t radix = std::max<std::uint64_t>(
+      2, support::ipow_frac(q, 1.0 / (2.0 * k_levels)));
+
+  // Bottom: brute-force hull of each block. The per-block calls run in
+  // the same logical PRAM steps; the simulator executes them serially,
+  // so rebase the step counter to the deepest block (work adds, as it
+  // should).
+  std::vector<Chain> chains;
+  {
+    const std::uint64_t steps_before = m.metrics().steps;
+    std::uint64_t max_steps = 0;
+    for (std::size_t blo = lo; blo < hi; blo += radix) {
+      const std::size_t bhi = std::min(hi, blo + radix);
+      const std::uint64_t at = m.metrics().steps;
+      auto hr = primitives::brute_hull_presorted(m, pts, blo, bhi);
+      max_steps = std::max(max_steps, m.metrics().steps - at);
+      chains.push_back(std::move(hr.upper.vertices));
+    }
+    m.metrics().steps = steps_before + max_steps;
+  }
+
+  // 2k merge rounds of radix-way grouping.
+  while (chains.size() > 1) {
+    const std::size_t groups = (chains.size() + radix - 1) / radix;
+    std::vector<std::uint32_t> group_of(chains.size());
+    for (std::size_t c = 0; c < chains.size(); ++c) {
+      group_of[c] = static_cast<std::uint32_t>(c / radix);
+    }
+    chains = merge_chain_groups(m, pts, chains, group_of, groups, radix);
+  }
+
+  geom::HullResult2D r;
+  r.upper.vertices = std::move(chains.front());
+  std::vector<Index> queries(q);
+  std::iota(queries.begin(), queries.end(), static_cast<Index>(lo));
+  r.edge_above =
+      edges_above_chain(m, pts, queries, r.upper.vertices, radix);
+  return r;
+}
+
+}  // namespace iph::hulltools

@@ -1,0 +1,28 @@
+// The "folklore" hull of Lemma 2.4: upper hull of n presorted points in
+// O(k) time with ~n^(1+1/k) processors, deterministically.
+//
+// The paper cites this without proof ("part of the folklore ... details
+// in the final version", which never appeared). Our realization — see
+// DESIGN.md §8: blocks of size n^(1/(2k)) are hulled by the O(1)-time
+// brute force (Observation 2.3, block^3 processors each), then 2k rounds
+// of radix-way chain merging (chain_ops) with lockstep radix
+// g = n^(1/(2k)) collapse the blocks into the hull. Bench e12 reports the
+// measured steps/processors next to the lemma's claim.
+#pragma once
+
+#include <span>
+
+#include "geom/hull_types.h"
+#include "geom/point.h"
+#include "pram/machine.h"
+
+namespace iph::hulltools {
+
+/// Upper hull + per-point covering-edge pointers of the presorted range
+/// pts[lo, hi). Indices are global. `k_levels` is the lemma's k.
+geom::HullResult2D folklore_hull_presorted(pram::Machine& m,
+                                           std::span<const geom::Point2> pts,
+                                           std::size_t lo, std::size_t hi,
+                                           unsigned k_levels);
+
+}  // namespace iph::hulltools

@@ -1,0 +1,33 @@
+#include "pram/allocation.h"
+
+#include <cmath>
+
+namespace iph::pram {
+
+AllocationReport allocation_report(const Metrics& m) {
+  AllocationReport r;
+  r.ideal_time = m.steps;
+  r.work = m.work;
+  r.max_procs = m.max_active;
+  for (std::size_t i = 0; i < kTrackedProcCounts.size(); ++i) {
+    r.realized.emplace_back(kTrackedProcCounts[i], m.time_at_p[i]);
+  }
+  return r;
+}
+
+double matias_vishkin_time(std::uint64_t t, std::uint64_t w, std::uint64_t p,
+                           double t_c) {
+  if (p == 0) p = 1;
+  const double log_t = t > 1 ? std::log2(static_cast<double>(t)) : 0.0;
+  return static_cast<double>(t) + static_cast<double>(w) / p + t_c * log_t;
+}
+
+double matias_vishkin_work(std::uint64_t t, std::uint64_t w, std::uint64_t p,
+                           double t_c) {
+  if (p == 0) p = 1;
+  const double log_t = t > 1 ? std::log2(static_cast<double>(t)) : 0.0;
+  return static_cast<double>(p) * static_cast<double>(t) +
+         static_cast<double>(w) + static_cast<double>(p) * t_c * log_t;
+}
+
+}  // namespace iph::pram

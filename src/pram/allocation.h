@@ -1,0 +1,40 @@
+// Processor allocation accounting (Section 5 of the paper, Lemma 7).
+//
+// The paper's algorithms assume n (or n log n) virtual processors; Lemma 7
+// (Matias-Vishkin) says an algorithm with time t and work w runs on p real
+// processors in time T = t + w/p + t_c log t. The Machine already performs
+// the simulation (virtual procs multiplexed onto threads) and Metrics
+// tracks the realized T(p) = sum_steps ceil(active_s / p). This header
+// exposes both the realized values and the Lemma 7 prediction so bench
+// e10 can print them side by side.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "pram/metrics.h"
+
+namespace iph::pram {
+
+struct AllocationReport {
+  std::uint64_t ideal_time = 0;  ///< t: PRAM steps with unbounded procs.
+  std::uint64_t work = 0;        ///< w.
+  std::uint64_t max_procs = 0;   ///< peak processor requirement.
+  /// (p, realized T(p)) pairs for the tracked processor ladder.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> realized;
+};
+
+/// Extract the allocation view of a metrics block.
+AllocationReport allocation_report(const Metrics& m);
+
+/// Lemma 7 upper bound on simulated time with p processors:
+///   T <= t + w/p + t_c * log2(t), with t_c the compaction constant.
+double matias_vishkin_time(std::uint64_t t, std::uint64_t w, std::uint64_t p,
+                           double t_c = 1.0);
+
+/// Lemma 7 upper bound on simulated work: W <= p*t + w + p * t_c * log2(t).
+double matias_vishkin_work(std::uint64_t t, std::uint64_t w, std::uint64_t p,
+                           double t_c = 1.0);
+
+}  // namespace iph::pram

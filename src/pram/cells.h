@@ -1,0 +1,168 @@
+// Concurrent-write resolution cells for the CRCW PRAM simulator.
+//
+// The paper assumes a CRCW PRAM: when several processors write one memory
+// cell in the same step, the machine resolves the conflict by a fixed rule.
+// On real hardware a racing plain write is UB, so inside a Machine::step
+// all racing writes must go through one of these cells:
+//
+//   OrCell       — CRCW "common"-style boolean OR (the paper's "this
+//                  amounts to an OR" ancestor check, and the all-dead test).
+//   TallyCell    — counts the writers (used to detect collisions in the
+//                  random-sample procedure and to count failures).
+//   MinCell/MaxCell — combining by min/max (priority CRCW when the written
+//                  value is the processor id; also used for tournament
+//                  argmin/argmax in the brute-force hull/LP).
+//   ClaimSlot<T> — "arbitrary" CRCW for an arbitrary payload type: exactly
+//                  one writer wins and deposits its payload; losers can
+//                  detect that they lost. This models the paper's workspace
+//                  cells in the random-sample procedure.
+//
+// All operations use relaxed atomics: a PRAM step is bracketed by the
+// machine's barrier (an acquire/release fence via the pool join), and
+// within a step the cells are the only legal racing accesses.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace iph::pram {
+
+/// Boolean OR combining cell.
+class OrCell {
+ public:
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+  void write_true() noexcept { v_.store(1, std::memory_order_relaxed); }
+  bool read() const noexcept { return v_.load(std::memory_order_relaxed) != 0; }
+
+ private:
+  std::atomic<std::uint32_t> v_{0};
+};
+
+/// Writer-counting cell.
+class TallyCell {
+ public:
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+  /// Returns the number of writers that arrived before this one.
+  std::uint64_t write() noexcept {
+    return v_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::uint64_t read() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Min-combining cell over uint64 (priority CRCW when values are pids).
+class MinCell {
+ public:
+  static constexpr std::uint64_t kEmpty =
+      std::numeric_limits<std::uint64_t>::max();
+
+  void reset() noexcept { v_.store(kEmpty, std::memory_order_relaxed); }
+  void write(std::uint64_t x) noexcept {
+    std::uint64_t cur = v_.load(std::memory_order_relaxed);
+    while (x < cur &&
+           !v_.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
+    }
+  }
+  std::uint64_t read() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  bool empty() const noexcept { return read() == kEmpty; }
+
+ private:
+  std::atomic<std::uint64_t> v_{kEmpty};
+};
+
+/// Max-combining cell over uint64.
+class MaxCell {
+ public:
+  static constexpr std::uint64_t kEmpty = 0;
+
+  void reset() noexcept { v_.store(kEmpty, std::memory_order_relaxed); }
+  void write(std::uint64_t x) noexcept {
+    std::uint64_t cur = v_.load(std::memory_order_relaxed);
+    while (x > cur &&
+           !v_.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
+    }
+  }
+  std::uint64_t read() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{kEmpty};
+};
+
+/// Arbitrary-CRCW slot for a payload of type T: the first writer to claim
+/// the slot deposits its payload. "First to claim" is a legal resolution of
+/// the Arbitrary rule (some single writer succeeds, unspecified which).
+///
+/// Usage within one step: if claim() returns true the caller may write the
+/// payload via value() — no other thread will touch it. Readers must wait
+/// for the next step (standard CRCW read/write phase discipline).
+template <typename T>
+class ClaimSlot {
+ public:
+  void reset() noexcept {
+    claimed_.store(0, std::memory_order_relaxed);
+    attempts_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Attempt to claim the slot; also records the attempt so collisions are
+  /// observable (step 3 of the paper's random-sample procedure).
+  bool claim() noexcept {
+    attempts_.fetch_add(1, std::memory_order_relaxed);
+    std::uint32_t expected = 0;
+    return claimed_.compare_exchange_strong(expected, 1,
+                                            std::memory_order_relaxed);
+  }
+
+  bool is_claimed() const noexcept {
+    return claimed_.load(std::memory_order_relaxed) != 0;
+  }
+
+  /// Number of claim attempts this step (>=2 means a collision occurred).
+  std::uint64_t attempts() const noexcept {
+    return attempts_.load(std::memory_order_relaxed);
+  }
+
+  T& value() noexcept { return value_; }
+  const T& value() const noexcept { return value_; }
+
+ private:
+  std::atomic<std::uint32_t> claimed_{0};
+  std::atomic<std::uint64_t> attempts_{0};
+  T value_{};
+};
+
+/// An array of OR-combinable flags: the CRCW idiom "many processors write
+/// 1 into cell i" made race-free. Backed by relaxed atomic bytes; also
+/// usable as plain owned storage (set/clear by the owning pid).
+class FlagArray {
+ public:
+  FlagArray() = default;
+  explicit FlagArray(std::size_t n) : v_(n) {}
+
+  void assign(std::size_t n) { v_ = std::vector<std::atomic<std::uint8_t>>(n); }
+  std::size_t size() const noexcept { return v_.size(); }
+
+  void set(std::size_t i) noexcept {
+    v_[i].store(1, std::memory_order_relaxed);
+  }
+  void clear(std::size_t i) noexcept {
+    v_[i].store(0, std::memory_order_relaxed);
+  }
+  bool get(std::size_t i) const noexcept {
+    return v_[i].load(std::memory_order_relaxed) != 0;
+  }
+
+ private:
+  std::vector<std::atomic<std::uint8_t>> v_;
+};
+
+}  // namespace iph::pram

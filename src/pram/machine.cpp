@@ -1,0 +1,96 @@
+#include "pram/machine.h"
+
+#include "support/check.h"
+#include "support/env.h"
+
+namespace iph::pram {
+
+namespace {
+
+std::uint64_t pick_chunk(std::uint64_t n, unsigned threads) {
+  // Aim for ~8 chunks per thread for dynamic balance, but never tiny
+  // chunks: the per-chunk dispatch cost must stay negligible.
+  const std::uint64_t target = n / (std::uint64_t{threads} * 8 + 1) + 1;
+  return target < 256 ? 256 : target;
+}
+
+}  // namespace
+
+Machine::Machine(unsigned threads, std::uint64_t seed)
+    : seed_(seed),
+      threads_(threads == 0 ? support::env_threads() : threads) {
+  // Worker 0 is the calling thread; spawn threads_-1 helpers.
+  for (unsigned i = 1; i < threads_; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+Machine::~Machine() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  cv_job_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void Machine::run_range(std::uint64_t n, RangeFn fn, void* ctx) {
+  IPH_CHECK(fn != nullptr);
+  if (threads_ <= 1 || n < 2048 || workers_.empty()) {
+    fn(ctx, 0, n);
+    return;
+  }
+  const std::uint64_t chunk = pick_chunk(n, threads_);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_fn_ = fn;
+    job_ctx_ = ctx;
+    job_n_ = n;
+    job_chunk_ = chunk;
+    job_next_.store(0, std::memory_order_relaxed);
+    workers_remaining_ = static_cast<unsigned>(workers_.size());
+    ++job_generation_;
+  }
+  cv_job_.notify_all();
+  // The calling thread participates.
+  std::uint64_t lo;
+  while ((lo = job_next_.fetch_add(chunk, std::memory_order_relaxed)) < n) {
+    const std::uint64_t hi = lo + chunk < n ? lo + chunk : n;
+    fn(ctx, lo, hi);
+  }
+  // Barrier: wait for helpers to drain.
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_done_.wait(lk, [this] { return workers_remaining_ == 0; });
+}
+
+void Machine::worker_loop(unsigned /*worker_id*/) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    RangeFn fn;
+    void* ctx;
+    std::uint64_t n, chunk;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_job_.wait(lk, [&] {
+        return shutdown_ || job_generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = job_generation_;
+      fn = job_fn_;
+      ctx = job_ctx_;
+      n = job_n_;
+      chunk = job_chunk_;
+    }
+    std::uint64_t lo;
+    while ((lo = job_next_.fetch_add(chunk, std::memory_order_relaxed)) < n) {
+      const std::uint64_t hi = lo + chunk < n ? lo + chunk : n;
+      fn(ctx, lo, hi);
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--workers_remaining_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+}  // namespace iph::pram

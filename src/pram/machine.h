@@ -1,0 +1,139 @@
+// The CRCW PRAM simulator.
+//
+// A Machine executes synchronous PRAM steps: step(n, fn) runs fn(pid) for
+// every virtual processor pid in [0, n), then barriers. One call = one unit
+// of PRAM time; the work charged is the number of active processors. The
+// virtual processors are multiplexed onto a persistent pool of hardware
+// threads (this is exactly the Matias-Vishkin simulation of Lemma 7 in the
+// paper; Metrics tracks both the ideal PRAM time and T(p) for a ladder of
+// p values).
+//
+// Concurrency discipline inside a step (enforced by convention, validated
+// by the test suite):
+//   * a processor may freely read shared memory written in *earlier* steps;
+//   * racing writes in the *same* step must go through the combining cells
+//     of cells.h (Or/Tally/Min/Max/ClaimSlot);
+//   * a plain write is legal only to locations owned by exactly one pid.
+//
+// Randomness: rng(pid) returns a counter-based generator keyed on
+// (seed, current step, pid), so results are bit-reproducible regardless of
+// how the pool schedules chunks.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "pram/metrics.h"
+#include "support/rng.h"
+
+namespace iph::pram {
+
+class Machine {
+ public:
+  /// threads == 0 selects support::env_threads().
+  explicit Machine(unsigned threads = 0,
+                   std::uint64_t seed = 0x19910722ULL);
+  ~Machine();
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  /// One synchronous CRCW step with n active virtual processors.
+  /// fn must be callable as fn(std::uint64_t pid).
+  template <typename Fn>
+  void step(std::uint64_t n, Fn&& fn) {
+    step_active(n, n, std::forward<Fn>(fn));
+  }
+
+  /// One step that iterates pid over [0, n) but charges only `active` work.
+  /// Used when processors attached to dead elements stand by: the paper's
+  /// output-sensitive work bounds count only operations of live processors,
+  /// so callers pass the live count. (The iteration over dead pids costs
+  /// real wall-clock but not PRAM work.)
+  template <typename Fn>
+  void step_active(std::uint64_t n, std::uint64_t active, Fn&& fn) {
+    if (n > 0) {
+      using F = std::remove_reference_t<Fn>;
+      auto thunk = [](void* ctx, std::uint64_t lo, std::uint64_t hi) {
+        F& f = *static_cast<F*>(ctx);
+        for (std::uint64_t i = lo; i < hi; ++i) f(i);
+      };
+      run_range(n, thunk, &fn);
+    }
+    ++step_index_;
+    metrics_.record_step(active);
+  }
+
+  /// Account abstract PRAM cost without executing anything (used when a
+  /// sub-procedure's cost is charged analytically, e.g. a documented
+  /// substitution whose concrete implementation is sequential).
+  void charge(std::uint64_t steps, std::uint64_t work_per_step) {
+    for (std::uint64_t s = 0; s < steps; ++s) {
+      metrics_.record_step(work_per_step);
+    }
+    step_index_ += steps;
+  }
+
+  /// Counter-based RNG for processor pid at the current step.
+  support::Rng rng(std::uint64_t pid) const noexcept {
+    return support::Rng(support::mix3(seed_, 0xabcdef, step_index_), pid);
+  }
+
+  std::uint64_t seed() const noexcept { return seed_; }
+  std::uint64_t step_index() const noexcept { return step_index_; }
+  unsigned threads() const noexcept { return threads_; }
+
+  Metrics& metrics() noexcept { return metrics_; }
+  const Metrics& metrics() const noexcept { return metrics_; }
+  PhaseMetrics& phases() noexcept { return phases_; }
+
+  /// Scoped phase marker: accumulates the metrics delta of its lifetime
+  /// into phases()[name].
+  class Phase {
+   public:
+    Phase(Machine& m, std::string name)
+        : m_(m), name_(std::move(name)), start_(m.metrics()) {}
+    ~Phase() { m_.phases()[name_].add(m_.metrics().delta_since(start_)); }
+    Phase(const Phase&) = delete;
+    Phase& operator=(const Phase&) = delete;
+
+   private:
+    Machine& m_;
+    std::string name_;
+    Metrics start_;
+  };
+
+ private:
+  using RangeFn = void (*)(void*, std::uint64_t, std::uint64_t);
+  void run_range(std::uint64_t n, RangeFn fn, void* ctx);
+  void worker_loop(unsigned worker_id);
+
+  std::uint64_t seed_;
+  std::uint64_t step_index_ = 0;
+  Metrics metrics_;
+  PhaseMetrics phases_;
+
+  // --- thread pool ---
+  unsigned threads_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_job_;
+  std::condition_variable cv_done_;
+  std::uint64_t job_generation_ = 0;
+  unsigned workers_remaining_ = 0;
+  bool shutdown_ = false;
+  // Current job (valid while workers_remaining_ > 0).
+  RangeFn job_fn_ = nullptr;
+  void* job_ctx_ = nullptr;
+  std::uint64_t job_n_ = 0;
+  std::uint64_t job_chunk_ = 0;
+  std::atomic<std::uint64_t> job_next_{0};
+};
+
+}  // namespace iph::pram

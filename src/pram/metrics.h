@@ -1,0 +1,67 @@
+// PRAM cost accounting.
+//
+// Every bound in the paper is phrased in the PRAM cost model:
+//   time  = number of synchronous steps,
+//   procs = number of (virtual) processors alive in a step,
+//   work  = sum over steps of active processors.
+// Metrics records exactly these. In addition, for Lemma 7 (Matias-Vishkin
+// processor allocation, Section 5 of the paper) we track, online, the
+// simulated time T(p) = sum over steps of ceil(active/p) for a fixed
+// ladder of p values, so bench e10 can report the T = t + w/p trade-off
+// without storing a per-step trace.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace iph::pram {
+
+/// Processor counts for which simulated time T(p) is tracked online.
+inline constexpr std::array<std::uint64_t, 12> kTrackedProcCounts = {
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096};
+
+struct Metrics {
+  std::uint64_t steps = 0;       ///< PRAM time (synchronous steps).
+  std::uint64_t work = 0;        ///< Sum of active processors over steps.
+  std::uint64_t max_active = 0;  ///< Processor requirement (peak).
+  /// T(p) = sum_steps ceil(active/p) for p in kTrackedProcCounts.
+  std::array<std::uint64_t, kTrackedProcCounts.size()> time_at_p{};
+
+  void record_step(std::uint64_t active) noexcept {
+    steps += 1;
+    work += active;
+    if (active > max_active) max_active = active;
+    for (std::size_t i = 0; i < kTrackedProcCounts.size(); ++i) {
+      const std::uint64_t p = kTrackedProcCounts[i];
+      time_at_p[i] += (active + p - 1) / p;
+    }
+  }
+
+  /// Accumulate another metrics block (used for phase roll-ups).
+  void add(const Metrics& o) noexcept {
+    steps += o.steps;
+    work += o.work;
+    if (o.max_active > max_active) max_active = o.max_active;
+    for (std::size_t i = 0; i < time_at_p.size(); ++i) {
+      time_at_p[i] += o.time_at_p[i];
+    }
+  }
+
+  Metrics delta_since(const Metrics& earlier) const noexcept {
+    Metrics d;
+    d.steps = steps - earlier.steps;
+    d.work = work - earlier.work;
+    d.max_active = max_active;  // peak is not differencable; keep current
+    for (std::size_t i = 0; i < time_at_p.size(); ++i) {
+      d.time_at_p[i] = time_at_p[i] - earlier.time_at_p[i];
+    }
+    return d;
+  }
+};
+
+/// Named per-phase metric roll-up (e.g. "sample", "base-solve", "sweep").
+using PhaseMetrics = std::map<std::string, Metrics>;
+
+}  // namespace iph::pram

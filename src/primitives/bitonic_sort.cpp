@@ -1,0 +1,67 @@
+#include "primitives/bitonic_sort.h"
+
+#include <vector>
+
+#include "support/mathutil.h"
+
+namespace iph::primitives {
+
+namespace {
+
+/// Generic bitonic network over np (power-of-two) elements; less(a, b)
+/// defines the order, swap(a, b) exchanges them. Each compare-exchange
+/// pair is owned by exactly one processor per step.
+template <typename LessFn, typename SwapFn>
+void bitonic(pram::Machine& m, std::uint64_t np, const LessFn& less,
+             const SwapFn& swap) {
+  for (std::uint64_t k = 2; k <= np; k <<= 1) {
+    for (std::uint64_t j = k >> 1; j > 0; j >>= 1) {
+      m.step(np / 2, [&, k, j](std::uint64_t pid) {
+        // Enumerate the np/2 disjoint (i, i^j) pairs with i's j-bit zero.
+        const std::uint64_t low = pid & (j - 1);
+        const std::uint64_t i = ((pid & ~(j - 1)) << 1) | low;
+        const std::uint64_t partner = i | j;
+        const bool ascending = (i & k) == 0;
+        if (less(partner, i) == ascending) swap(i, partner);
+      });
+    }
+  }
+}
+
+}  // namespace
+
+void bitonic_sort_points(pram::Machine& m,
+                         std::span<const geom::Point2> pts,
+                         std::span<geom::Index> idx) {
+  const std::uint64_t n = idx.size();
+  if (n < 2) return;
+  const std::uint64_t np = support::ceil_pow2(n);
+  std::vector<geom::Index> buf(np, geom::kNone);  // kNone sorts last
+  m.step(n, [&](std::uint64_t pid) { buf[pid] = idx[pid]; });
+  bitonic(
+      m, np,
+      [&](std::uint64_t a, std::uint64_t b) {
+        if (buf[a] == geom::kNone) return false;
+        if (buf[b] == geom::kNone) return true;
+        if (geom::lex_less(pts[buf[a]], pts[buf[b]])) return true;
+        if (geom::lex_less(pts[buf[b]], pts[buf[a]])) return false;
+        return buf[a] < buf[b];  // duplicate points: stable by index
+      },
+      [&](std::uint64_t a, std::uint64_t b) { std::swap(buf[a], buf[b]); });
+  m.step(n, [&](std::uint64_t pid) { idx[pid] = buf[pid]; });
+}
+
+void bitonic_sort_keys(pram::Machine& m, std::span<std::uint64_t> keys) {
+  const std::uint64_t n = keys.size();
+  if (n < 2) return;
+  const std::uint64_t np = support::ceil_pow2(n);
+  std::vector<std::uint64_t> buf(np, ~std::uint64_t{0});
+  m.step(n, [&](std::uint64_t pid) { buf[pid] = keys[pid]; });
+  bitonic(
+      m, np,
+      [&](std::uint64_t a, std::uint64_t b) { return buf[a] < buf[b]; },
+      [&](std::uint64_t a, std::uint64_t b) { std::swap(buf[a], buf[b]); });
+  m.step(n, [&](std::uint64_t pid) { keys[pid] = buf[pid]; });
+}
+
+}  // namespace iph::primitives

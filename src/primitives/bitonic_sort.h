@@ -1,0 +1,26 @@
+// Bitonic sort on the PRAM simulator: O(log^2 n) steps, n/2 processors
+// per step, deterministic. Substrate for the fallback paths that need
+// sorted input (the Atallah-Goodrich-style parallel hull used when the
+// output-sensitive recursion gives up, Section 4.1 step 3): the paper
+// charges those paths O(n log n) work, which bitonic sort respects up to
+// the extra log factor in depth (documented in DESIGN.md).
+#pragma once
+
+#include <span>
+
+#include "geom/hull_types.h"
+#include "geom/point.h"
+#include "pram/machine.h"
+
+namespace iph::primitives {
+
+/// Sort `idx` (indices into pts) into lexicographic point order.
+void bitonic_sort_points(pram::Machine& m,
+                         std::span<const geom::Point2> pts,
+                         std::span<geom::Index> idx);
+
+/// Sort raw 64-bit keys ascending (used by tests and the allocation
+/// bench).
+void bitonic_sort_keys(pram::Machine& m, std::span<std::uint64_t> keys);
+
+}  // namespace iph::primitives

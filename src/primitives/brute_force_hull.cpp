@@ -1,0 +1,146 @@
+#include "primitives/brute_force_hull.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "geom/predicates.h"
+#include "pram/cells.h"
+#include "primitives/lockstep_search.h"
+#include "support/check.h"
+#include "support/mathutil.h"
+
+namespace iph::primitives {
+
+using geom::Index;
+using geom::Point2;
+
+namespace {
+
+/// Assemble the ordered vertex chain and edge pointers from successor
+/// links + left-cover marks (host-side presentation; the per-point
+/// pointers the algorithms consume are already computed on the PRAM).
+geom::HullResult2D assemble(std::size_t lo, std::size_t hi, Index first,
+                            std::span<const Index> succ,
+                            std::span<const Index> left_cover) {
+  geom::HullResult2D r;
+  const std::size_t q = hi - lo;
+  // Chain walk.
+  std::vector<Index> pos_in_chain(q, geom::kNone);
+  Index v = first;
+  while (v != geom::kNone) {
+    pos_in_chain[v - lo] = static_cast<Index>(r.upper.vertices.size());
+    r.upper.vertices.push_back(v);
+    v = succ[v - lo];
+  }
+  // Edge pointers: left_cover[p] is the hull vertex covering p from the
+  // left; its chain position is the edge index (clamped at the last
+  // edge for points in the rightmost column).
+  r.edge_above.assign(q, geom::kNone);
+  const std::size_t edges = r.upper.edge_count();
+  if (edges == 0) return r;
+  for (std::size_t p = 0; p < q; ++p) {
+    Index cover = left_cover[p];
+    IPH_CHECK(cover != geom::kNone);
+    Index e = pos_in_chain[cover - lo];
+    IPH_CHECK(e != geom::kNone);
+    if (e == edges) --e;  // rightmost vertex: use the edge ending there
+    r.edge_above[p] = e;
+  }
+  return r;
+}
+
+}  // namespace
+
+geom::HullResult2D brute_hull_presorted(pram::Machine& m,
+                                        std::span<const Point2> pts,
+                                        std::size_t lo, std::size_t hi) {
+  IPH_CHECK(lo <= hi && hi <= pts.size());
+  const std::size_t q = hi - lo;
+  geom::HullResult2D r;
+  if (q == 0) return r;
+
+  // Degenerate single-column input: hull is the topmost point.
+  if (pts[lo].x == pts[hi - 1].x) {
+    r.upper.vertices.push_back(static_cast<Index>(hi - 1));
+    r.edge_above.assign(q, geom::kNone);
+    return r;
+  }
+
+  // Candidate edge (i,j), local i < j, is invalidated by tester t when:
+  //  * the pair is vertical (xi == xj),
+  //  * t is strictly above line(i,j),
+  //  * t is on the line but outside [xi, xj] (the pair is not maximal),
+  //  * t duplicates an endpoint with a smaller index (dedupe ties).
+  pram::FlagArray bad(q * q);
+  m.step(q * q * q, [&](std::uint64_t pid) {
+    const std::uint64_t i = pid / (q * q);
+    const std::uint64_t j = (pid / q) % q;
+    const std::uint64_t t = pid % q;
+    if (i >= j) return;
+    const Point2& a = pts[lo + i];
+    const Point2& b = pts[lo + j];
+    if (a.x == b.x) {
+      if (t == 0) bad.set(i * q + j);
+      return;
+    }
+    if (t == i || t == j) return;
+    const Point2& c = pts[lo + t];
+    const int o = geom::orient2d(a, b, c);
+    if (o > 0) {
+      bad.set(i * q + j);
+      return;
+    }
+    if (o == 0) {
+      if (c.x < a.x || c.x > b.x) {
+        bad.set(i * q + j);
+      } else if ((c == a && t < i) || (c == b && t < j)) {
+        bad.set(i * q + j);
+      }
+    }
+  });
+  // Surviving edges: record successor links and flag hull vertices.
+  std::vector<pram::MinCell> succ_cell(q);
+  pram::FlagArray is_vertex(q);
+  m.step(q * q, [&](std::uint64_t pid) {
+    const std::uint64_t i = pid / q;
+    const std::uint64_t j = pid % q;
+    if (i >= j || bad.get(i * q + j)) return;
+    succ_cell[i].write(j);
+    is_vertex.set(i);
+    is_vertex.set(j);
+  });
+  // Left cover per point: the max-index hull vertex with x <= point's x.
+  // (Presorted input: index order == x order.)
+  std::vector<pram::MaxCell> cover(q);
+  m.step(q * q, [&](std::uint64_t pid) {
+    const std::uint64_t i = pid / q;  // hull vertex candidate
+    const std::uint64_t p = pid % q;  // point
+    if (!is_vertex.get(i)) return;
+    if (pts[lo + i].x <= pts[lo + p].x) {
+      cover[p].write(i + 1);  // +1: MaxCell's empty value is 0
+    }
+  });
+  // Extract owned copies (one step).
+  std::vector<Index> succ(q, geom::kNone);
+  std::vector<Index> left_cover(q, geom::kNone);
+  pram::MinCell first_cell;
+  m.step(q, [&](std::uint64_t i) {
+    if (succ_cell[i].read() != pram::MinCell::kEmpty) {
+      succ[i] = static_cast<Index>(lo + succ_cell[i].read());
+    }
+    if (cover[i].read() != pram::MaxCell::kEmpty) {
+      left_cover[i] = static_cast<Index>(lo + cover[i].read() - 1);
+    }
+    if (is_vertex.get(i) && succ_cell[i].read() != pram::MinCell::kEmpty) {
+      // The chain head is the hull vertex that is nobody's successor;
+      // equivalently the smallest-index vertex (presorted, leftmost).
+      first_cell.write(i);
+    }
+  });
+  IPH_CHECK(!first_cell.empty());
+  return assemble(lo, hi, static_cast<Index>(lo + first_cell.read()),
+                  std::span<const Index>(succ),
+                  std::span<const Index>(left_cover));
+}
+
+}  // namespace iph::primitives

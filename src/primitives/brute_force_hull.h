@@ -1,0 +1,36 @@
+// Constant-time brute-force upper hull (Observation 2.3) and the
+// "folklore" O(k)-time n^(1+1/k)-processor hull (Lemma 2.4).
+//
+// Observation 2.3 scheme, O(1) PRAM steps with q^3 processors on a
+// presorted contiguous range of q points:
+//   * processor (i,j,t) invalidates candidate edge (i,j) if tester t is
+//     strictly above its line, or is collinear outside its x-span
+//     (maximality), or exposes a duplicate-endpoint tie;
+//   * each surviving edge is maximal and unique per left endpoint: the
+//     left endpoint records its successor (priority CRCW);
+//   * each point finds the hull vertex covering it from the left with one
+//     max-combining write (q^2 processors).
+// The ordered vertex chain is then assembled host-side by walking the
+// successor list (presentation only — the per-point edge pointers, the
+// paper's actual output, are already in place).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "geom/hull_types.h"
+#include "geom/point.h"
+#include "pram/machine.h"
+
+namespace iph::primitives {
+
+/// Upper hull + per-point edge pointers for the presorted contiguous
+/// range pts[lo, hi). All indices in the result are GLOBAL (refer to
+/// pts). O(1) PRAM steps; (hi-lo)^3 processors.
+/// (The folklore Lemma 2.4 variant lives in hulltools/folklore_hull.h —
+/// it is built on the chain-merge machinery there.)
+geom::HullResult2D brute_hull_presorted(pram::Machine& m,
+                                        std::span<const geom::Point2> pts,
+                                        std::size_t lo, std::size_t hi);
+
+}  // namespace iph::primitives

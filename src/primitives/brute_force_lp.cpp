@@ -1,0 +1,190 @@
+#include "primitives/brute_force_lp.h"
+
+#include <algorithm>
+#include <bit>
+#include <vector>
+
+#include "geom/predicates.h"
+#include "pram/cells.h"
+#include "support/check.h"
+
+namespace iph::primitives {
+
+using geom::Index;
+using geom::Point2;
+using geom::Point3;
+
+namespace {
+
+/// Locate pid's problem given cumulative pid budgets (exclusive prefix).
+std::size_t locate(std::span<const std::uint64_t> cum, std::uint64_t pid) {
+  const auto it = std::upper_bound(cum.begin(), cum.end(), pid);
+  return static_cast<std::size_t>(it - cum.begin()) - 1;
+}
+
+std::uint64_t key_of_span(double span) {
+  // Non-negative doubles order like their bit patterns; +1 so a zero
+  // span still differs from MaxCell's empty value.
+  return std::bit_cast<std::uint64_t>(span) + 1;
+}
+
+}  // namespace
+
+std::vector<std::pair<Index, Index>> batched_brute_bridge_2d(
+    pram::Machine& m, std::span<const Point2> pts,
+    std::span<const std::vector<Index>> subsets,
+    std::span<const std::pair<Index, Index>> gaps) {
+  const std::size_t np = subsets.size();
+  IPH_CHECK(gaps.size() == np);
+  std::vector<std::pair<Index, Index>> out(
+      np, {geom::kNone, geom::kNone});
+  // Pid budgets: k^3 for the tester sweep, k^2 for the reductions.
+  std::vector<std::uint64_t> cum3{0}, cum2{0};
+  for (const auto& s : subsets) {
+    const std::uint64_t k = s.size();
+    cum3.push_back(cum3.back() + k * k * k);
+    cum2.push_back(cum2.back() + k * k);
+  }
+  if (cum3.back() == 0) return out;
+
+  pram::FlagArray bad(cum2.back());
+  m.step(cum3.back(), [&](std::uint64_t pid) {
+    const std::size_t p = locate(cum3, pid);
+    const auto& sub = subsets[p];
+    const std::uint64_t k = sub.size();
+    const std::uint64_t local = pid - cum3[p];
+    const std::uint64_t i = local / (k * k);
+    const std::uint64_t j = (local / k) % k;
+    const std::uint64_t t = local % k;
+    if (i >= j) return;
+    Point2 a = pts[sub[i]];
+    Point2 b = pts[sub[j]];
+    if (a.x > b.x) std::swap(a, b);
+    const double gl = pts[gaps[p].first].x;
+    const double gr = pts[gaps[p].second].x;
+    if (a.x == b.x || !(a.x <= gl && gr <= b.x)) {
+      if (t == 0) bad.set(cum2[p] + i * k + j);
+      return;
+    }
+    if (t == i || t == j) return;
+    if (geom::orient2d(a, b, pts[sub[t]]) > 0) {
+      bad.set(cum2[p] + i * k + j);
+    }
+  });
+  // Longest valid span per problem, then smallest pair id.
+  std::vector<pram::MaxCell> best_span(np);
+  m.step(cum2.back(), [&](std::uint64_t pid) {
+    const std::size_t p = locate(cum2, pid);
+    const auto& sub = subsets[p];
+    const std::uint64_t k = sub.size();
+    const std::uint64_t local = pid - cum2[p];
+    const std::uint64_t i = local / k;
+    const std::uint64_t j = local % k;
+    if (i >= j || bad.get(pid)) return;
+    best_span[p].write(
+        key_of_span(std::abs(pts[sub[i]].x - pts[sub[j]].x)));
+  });
+  std::vector<pram::MinCell> best_pair(np);
+  m.step(cum2.back(), [&](std::uint64_t pid) {
+    const std::size_t p = locate(cum2, pid);
+    const auto& sub = subsets[p];
+    const std::uint64_t k = sub.size();
+    const std::uint64_t local = pid - cum2[p];
+    const std::uint64_t i = local / k;
+    const std::uint64_t j = local % k;
+    if (i >= j || bad.get(pid)) return;
+    if (key_of_span(std::abs(pts[sub[i]].x - pts[sub[j]].x)) ==
+        best_span[p].read()) {
+      best_pair[p].write(local);
+    }
+  });
+  m.step(np, [&](std::uint64_t p) {
+    if (best_pair[p].empty()) return;
+    const auto& sub = subsets[p];
+    const std::uint64_t k = sub.size();
+    const std::uint64_t id = best_pair[p].read();
+    Index a = sub[id / k];
+    Index b = sub[id % k];
+    if (pts[a].x > pts[b].x) std::swap(a, b);
+    out[p] = {a, b};
+  });
+  return out;
+}
+
+std::pair<Index, Index> brute_bridge_2d(pram::Machine& m,
+                                        std::span<const Point2> pts,
+                                        std::span<const Index> subset,
+                                        Index splitter) {
+  std::vector<std::vector<Index>> subsets{
+      std::vector<Index>(subset.begin(), subset.end())};
+  const std::pair<Index, Index> gaps[1] = {{splitter, splitter}};
+  return batched_brute_bridge_2d(m, pts, subsets, gaps)[0];
+}
+
+std::vector<geom::Facet3> batched_brute_facet_3d(
+    pram::Machine& m, std::span<const Point3> pts,
+    std::span<const std::vector<Index>> subsets,
+    std::span<const Index> splitters) {
+  const std::size_t np = subsets.size();
+  IPH_CHECK(splitters.size() == np);
+  std::vector<geom::Facet3> out(np);
+  std::vector<std::uint64_t> cum4{0}, cum3{0};
+  for (const auto& s : subsets) {
+    const std::uint64_t k = s.size();
+    cum4.push_back(cum4.back() + k * k * k * k);
+    cum3.push_back(cum3.back() + k * k * k);
+  }
+  if (cum4.back() == 0) return out;
+
+  pram::FlagArray bad(cum3.back());
+  m.step(cum4.back(), [&](std::uint64_t pid) {
+    const std::size_t p = locate(cum4, pid);
+    const auto& sub = subsets[p];
+    const std::uint64_t k = sub.size();
+    const std::uint64_t local = pid - cum4[p];
+    const std::uint64_t i = local / (k * k * k);
+    const std::uint64_t j = (local / (k * k)) % k;
+    const std::uint64_t l = (local / k) % k;
+    const std::uint64_t t = local % k;
+    if (!(i < j && j < l)) return;
+    const std::uint64_t cell = cum3[p] + (i * k + j) * k + l;
+    const Point3 &a = pts[sub[i]], &b = pts[sub[j]], &c = pts[sub[l]];
+    const bool degenerate = geom::orient2d_xy(a, b, c) == 0;
+    if (t == 0 &&
+        (degenerate || !geom::xy_in_triangle(a, b, c, pts[splitters[p]]))) {
+      bad.set(cell);
+    }
+    if (degenerate || t == i || t == j || t == l) return;
+    if (!geom::on_or_below_plane(a, b, c, pts[sub[t]])) bad.set(cell);
+  });
+  std::vector<pram::MinCell> best(np);
+  m.step(cum3.back(), [&](std::uint64_t pid) {
+    const std::size_t p = locate(cum3, pid);
+    const std::uint64_t k = subsets[p].size();
+    const std::uint64_t local = pid - cum3[p];
+    const std::uint64_t i = local / (k * k);
+    const std::uint64_t j = (local / k) % k;
+    const std::uint64_t l = local % k;
+    if (!(i < j && j < l)) return;
+    if (!bad.get(pid)) best[p].write(local);
+  });
+  m.step(np, [&](std::uint64_t p) {
+    if (best[p].empty()) return;
+    const auto& sub = subsets[p];
+    const std::uint64_t k = sub.size();
+    const std::uint64_t id = best[p].read();
+    out[p] = geom::Facet3{sub[id / (k * k)], sub[(id / k) % k],
+                          sub[id % k]};
+  });
+  return out;
+}
+
+geom::Facet3 brute_facet_3d(pram::Machine& m, std::span<const Point3> pts,
+                            std::span<const Index> subset, Index splitter) {
+  std::vector<std::vector<Index>> subsets{
+      std::vector<Index>(subset.begin(), subset.end())};
+  const Index splitters[1] = {splitter};
+  return batched_brute_facet_3d(m, pts, subsets, splitters)[0];
+}
+
+}  // namespace iph::primitives

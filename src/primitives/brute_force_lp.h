@@ -1,0 +1,64 @@
+// Constant-time brute-force linear programming (Observation 2.2), in the
+// geometric form the paper actually uses it in (Observation 2.4): bridge
+// finding. Given k constraints (points) the 2-d LP is solved with k^3
+// processors by checking every candidate pair against every tester; the
+// 3-d LP with k^4 processors over triples. O(1) PRAM steps.
+//
+// These are the "base problem" solvers inside Alon-Megiddo / in-place
+// bridge finding, and the brute-force half of failure sweeping.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+
+#include "geom/hull_types.h"
+#include "geom/point.h"
+#include "pram/machine.h"
+
+namespace iph::primitives {
+
+/// The upper-hull edge of the points listed in `subset` (global indices
+/// into pts) that lies vertically above the splitter point: returns
+/// (a, b), global, with pts[a].x <= pts[splitter].x <= pts[b].x and every
+/// subset point on or below line(a, b). Among collinear candidates the
+/// longest edge wins (so collinear interior points end up ON the edge,
+/// keeping hulls strict); remaining ties break to the smallest local pair
+/// id, deterministically. Returns (kNone, kNone) when no valid pair
+/// exists (all subset points share the splitter's x-column).
+/// The splitter must be listed in `subset`. O(1) steps, |subset|^3 procs.
+std::pair<geom::Index, geom::Index> brute_bridge_2d(
+    pram::Machine& m, std::span<const geom::Point2> pts,
+    std::span<const geom::Index> subset, geom::Index splitter);
+
+/// 3-d analogue: the upper-hull facet of the subset whose xy-projection
+/// contains the splitter's xy-projection, with every subset point on or
+/// below its plane. Ties break to the smallest local triple id. Returns
+/// a facet with a == kNone when no valid triple exists (xy-degenerate
+/// subset). O(1) steps, |subset|^4 processors.
+geom::Facet3 brute_facet_3d(pram::Machine& m,
+                            std::span<const geom::Point3> pts,
+                            std::span<const geom::Index> subset,
+                            geom::Index splitter);
+
+/// Batched forms: solve many independent base problems in the SAME PRAM
+/// steps (the paper's simultaneous subproblems; the step count must not
+/// grow with the number of problems). Processor count is the sum of the
+/// per-problem k^3 / k^4 costs.
+///
+/// The 2-d splitter is a GAP (left, right): a valid edge must satisfy
+/// pts[a].x <= pts[left].x and pts[right].x <= pts[b].x. Passing
+/// left == right recovers the "edge above one point" problem; the
+/// presorted tree algorithm passes (mid-1, mid) so that bridges span the
+/// tree boundary even when a hull vertex sits exactly on it.
+std::vector<std::pair<geom::Index, geom::Index>> batched_brute_bridge_2d(
+    pram::Machine& m, std::span<const geom::Point2> pts,
+    std::span<const std::vector<geom::Index>> subsets,
+    std::span<const std::pair<geom::Index, geom::Index>> gaps);
+
+std::vector<geom::Facet3> batched_brute_facet_3d(
+    pram::Machine& m, std::span<const geom::Point3> pts,
+    std::span<const std::vector<geom::Index>> subsets,
+    std::span<const geom::Index> splitters);
+
+}  // namespace iph::primitives

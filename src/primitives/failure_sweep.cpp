@@ -1,0 +1,24 @@
+#include "primitives/failure_sweep.h"
+
+#include "primitives/ragde.h"
+
+namespace iph::primitives {
+
+SweepResult sweep_failures(pram::Machine& m,
+                           std::span<const std::uint8_t> failed_flags,
+                           std::uint64_t bound) {
+  SweepResult r;
+  const RagdeResult rr = ragde_compact(m, failed_flags, bound);
+  r.used_fallback = rr.used_fallback;
+  if (!rr.ok) {
+    r.ok = false;
+    return r;
+  }
+  // Dense order = slot order (deterministic).
+  for (const std::uint32_t v : rr.slots) {
+    if (v != kRagdeEmpty) r.failed.push_back(v);
+  }
+  return r;
+}
+
+}  // namespace iph::primitives

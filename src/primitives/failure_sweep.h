@@ -1,0 +1,44 @@
+// Failure sweeping (Section 2.3).
+//
+// A randomized sub-procedure run on many subproblems leaves, with
+// probability close to 1, only a handful of unsolved "failures". The
+// technique: compact the failure ids into a tiny area (Ragde, Lemma 2.1)
+// — which also verifies there are few enough of them — then grant each
+// failure a super-linear processor budget and finish it by brute force
+// (Observation 2.2 / Lemma 2.4), all in O(1) extra PRAM time. This turns
+// a per-subproblem confidence p(m) into the global p(n).
+//
+// This header provides the compaction half as a reusable utility; the
+// "brute force the failures" half is dimension- and caller-specific
+// (presorted tree nodes brute-force their contiguous ranges; the
+// unsorted algorithms re-run in-place bridge finding with k = n^(1/4)).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pram/machine.h"
+
+namespace iph::primitives {
+
+struct SweepResult {
+  /// Dense list of failed subproblem ids (deterministic order).
+  std::vector<std::uint32_t> failed;
+  /// False when there were more failures than the sweep budget allows
+  /// (the almost-never branch; callers fall back to their O(n log n)
+  /// algorithm, as the paper does when l >= n^(1/32)).
+  bool ok = true;
+  /// True if Ragde's modulus search resorted to its fallback.
+  bool used_fallback = false;
+};
+
+/// Compact the set bits of `failed_flags` (one per subproblem) into a
+/// dense id list using Ragde's approximate compaction. `bound` is the
+/// expected-failure budget (the paper uses n^(1/16) failures compacted
+/// into an n^(1/4) area). O(1) PRAM steps.
+SweepResult sweep_failures(pram::Machine& m,
+                           std::span<const std::uint8_t> failed_flags,
+                           std::uint64_t bound);
+
+}  // namespace iph::primitives

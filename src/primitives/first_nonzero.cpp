@@ -1,0 +1,65 @@
+#include "primitives/first_nonzero.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "pram/cells.h"
+
+namespace iph::primitives {
+
+namespace {
+
+/// Leftmost set flag among s flags using s^2 processors in 3 steps:
+/// processor (i,j), j < i, eliminates i when flag j is set; the unique
+/// survivor with its flag set writes itself.
+std::uint64_t leftmost_small(pram::Machine& m, std::uint64_t s,
+                             const std::function<bool(std::uint64_t)>& flag,
+                             pram::FlagArray& eliminated,
+                             pram::MinCell& winner) {
+  winner.reset();
+  m.step(s, [&](std::uint64_t pid) { eliminated.clear(pid); });
+  m.step(s * s, [&](std::uint64_t pid) {
+    const std::uint64_t i = pid / s;
+    const std::uint64_t j = pid % s;
+    if (j < i && flag(j)) eliminated.set(i);
+  });
+  m.step(s, [&](std::uint64_t pid) {
+    if (flag(pid) && !eliminated.get(pid)) {
+      // Exactly one processor writes (the true leftmost); MinCell keeps
+      // the access a legal CRCW write regardless.
+      winner.write(pid);
+    }
+  });
+  return winner.empty() ? kNotFound : winner.read();
+}
+
+}  // namespace
+
+std::uint64_t first_nonzero(pram::Machine& m,
+                            std::span<const std::uint8_t> flags) {
+  const std::uint64_t n = flags.size();
+  if (n == 0) return kNotFound;
+  const auto block =
+      static_cast<std::uint64_t>(std::ceil(std::sqrt(static_cast<double>(n))));
+  const std::uint64_t blocks = (n + block - 1) / block;
+  pram::FlagArray block_nonempty(blocks);
+  // One CRCW step: OR of each block (all writers store 1).
+  m.step(n, [&](std::uint64_t pid) {
+    if (flags[pid] != 0) block_nonempty.set(pid / block);
+  });
+  pram::FlagArray scratch(std::max(blocks, block));
+  pram::MinCell cell;
+  const std::uint64_t b = leftmost_small(
+      m, blocks, [&](std::uint64_t i) { return block_nonempty.get(i); },
+      scratch, cell);
+  if (b == kNotFound) return kNotFound;
+  const std::uint64_t lo = b * block;
+  const std::uint64_t hi = std::min(n, lo + block);
+  const std::uint64_t inner = leftmost_small(
+      m, hi - lo, [&](std::uint64_t i) { return flags[lo + i] != 0; },
+      scratch, cell);
+  return lo + inner;
+}
+
+}  // namespace iph::primitives

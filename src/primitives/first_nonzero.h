@@ -1,0 +1,30 @@
+// Constant-time leftmost-nonzero (Observation 2.1, Eppstein-Galil).
+//
+// The paper uses this twice: to pick a representative from the random
+// sample workspace (Corollary 3.1) and to find "the lowest ancestor of p
+// that is not covered" in the presorted algorithm. The classic scheme:
+// split the array into sqrt(n) blocks; in one CRCW step mark non-empty
+// blocks; find the leftmost non-empty block with (sqrt n)^2 = n
+// processors by pairwise elimination; find the leftmost element inside it
+// the same way. 4 PRAM steps, n processors, deterministic.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "pram/machine.h"
+
+namespace iph::pram {
+class Machine;
+}
+
+namespace iph::primitives {
+
+inline constexpr std::uint64_t kNotFound = ~std::uint64_t{0};
+
+/// Index of the first i with flags[i] != 0, or kNotFound. O(1) PRAM steps
+/// with |flags| processors (pairwise elimination over sqrt-blocks).
+std::uint64_t first_nonzero(pram::Machine& m,
+                            std::span<const std::uint8_t> flags);
+
+}  // namespace iph::primitives

@@ -1,0 +1,255 @@
+#include "primitives/inplace_bridge.h"
+
+#include <algorithm>
+
+#include "geom/predicates.h"
+#include "pram/cells.h"
+#include "primitives/brute_force_lp.h"
+#include "support/check.h"
+
+namespace iph::primitives {
+
+using geom::Index;
+using geom::Point2;
+using geom::Point3;
+
+namespace {
+
+/// Shared driver for the 2-d and 3-d procedures over generic units
+/// (unit = one virtual processor standing by one point within one
+/// problem; a point may appear in several units/problems). The
+/// dimension-specific parts are the base solver and the violation test.
+template <typename SolveBasesFn, typename ViolatesFn, typename HasSolnFn>
+std::vector<BridgeOutcome> run_bridges(
+    pram::Machine& m, std::uint64_t n_units, const UnitPointFn& unit_point,
+    const UnitProblemFn& unit_problem,
+    std::span<const BridgeProblem> problems, int alpha,
+    SolveBasesFn&& solve_bases, ViolatesFn&& violates,
+    HasSolnFn&& has_solution) {
+  const std::size_t np = problems.size();
+  std::vector<BridgeOutcome> out(np);
+  if (np == 0) return out;
+
+  // Workspace: 16k claim cells per problem (the paper's constant).
+  std::vector<std::uint64_t> ws_off{0};
+  for (const auto& pr : problems) {
+    IPH_CHECK(pr.k >= 1);
+    ws_off.push_back(ws_off.back() + 16 * pr.k);
+  }
+  const std::uint64_t ws_total = ws_off.back();
+  std::vector<pram::TallyCell> attempts(ws_total);
+  std::vector<pram::MinCell> winner(ws_total);
+
+  // survivor[u]: unit u's point still violates its problem's solution.
+  pram::FlagArray survivor(n_units);
+  std::vector<std::uint8_t> done(np, 0);
+  std::vector<double> prob(np);
+  m.step(n_units, [&](std::uint64_t u) {
+    if (unit_problem(u) != kNoProblem) survivor.set(u);
+  });
+  for (std::size_t p = 0; p < np; ++p) {
+    const double mm = std::max<double>(1.0, problems[p].size_est);
+    prob[p] = std::min(1.0, 2.0 * problems[p].k / mm);
+  }
+
+  for (int round = 1; round <= alpha; ++round) {
+    // --- sample survivors into the workspace -------------------------
+    m.step(ws_total, [&](std::uint64_t w) {
+      attempts[w].reset();
+      winner[w].reset();
+    });
+    m.step(n_units, [&](std::uint64_t u) {
+      const std::uint32_t p = unit_problem(u);
+      if (p == kNoProblem || done[p] || !survivor.get(u)) return;
+      auto rng = m.rng(u);
+      if (!rng.bernoulli(prob[p])) return;
+      const std::uint64_t cells = 16 * problems[p].k;
+      const std::uint64_t w = ws_off[p] + rng.next_below(cells);
+      attempts[w].write();
+      winner[w].write(unit_point(u));
+    });
+    // --- gather base problems (splitter + previous basis + sample) ---
+    std::vector<std::size_t> live;
+    std::vector<std::vector<Index>> live_subsets;
+    {
+      std::vector<std::vector<Index>> subsets(np);
+      m.step_active(np, ws_total + np, [&](std::uint64_t p) {
+        if (done[p]) return;
+        auto& sub = subsets[p];
+        sub.push_back(problems[p].splitter);
+        if (problems[p].left() != problems[p].splitter) {
+          sub.push_back(problems[p].left());
+        }
+        if (out[p].a != geom::kNone) sub.push_back(out[p].a);
+        if (out[p].b != geom::kNone) sub.push_back(out[p].b);
+        if (out[p].facet.a != geom::kNone) {
+          sub.push_back(out[p].facet.a);
+          sub.push_back(out[p].facet.b);
+          sub.push_back(out[p].facet.c);
+        }
+        for (std::uint64_t w = ws_off[p]; w < ws_off[p + 1]; ++w) {
+          if (attempts[w].read() == 1) {
+            sub.push_back(static_cast<Index>(winner[w].read()));
+          }
+        }
+      });
+      for (std::size_t p = 0; p < np; ++p) {
+        if (done[p]) continue;
+        live.push_back(p);
+        live_subsets.push_back(std::move(subsets[p]));
+      }
+    }
+    // --- solve the bases (batched, O(1) steps) ------------------------
+    solve_bases(live, live_subsets, out);
+    // --- violation sweep ----------------------------------------------
+    std::vector<pram::OrCell> has_survivor(np);
+    m.step(n_units, [&](std::uint64_t u) {
+      const std::uint32_t p = unit_problem(u);
+      if (p == kNoProblem || done[p]) return;
+      if (!has_solution(out[p]) || violates(unit_point(u), out[p])) {
+        survivor.set(u);
+        has_survivor[p].write_true();
+      } else {
+        survivor.clear(u);
+      }
+    });
+    // --- bookkeeping ----------------------------------------------------
+    bool all_done = true;
+    for (std::size_t p = 0; p < np; ++p) {
+      if (done[p]) continue;
+      out[p].iterations = round;
+      if (!has_survivor[p].read() && has_solution(out[p])) {
+        out[p].ok = true;
+        done[p] = 1;
+      } else {
+        // Escalate: p_t = min(1, 2k p_{t-1}).
+        prob[p] = std::min(1.0, 2.0 * problems[p].k * prob[p]);
+        all_done = false;
+      }
+    }
+    if (all_done) break;
+  }
+  return out;
+}
+
+template <typename SolveBasesFn, typename ViolatesFn, typename HasSolnFn>
+std::vector<BridgeOutcome> run_bridges_flat(
+    pram::Machine& m, std::size_t n,
+    std::span<const std::uint32_t> problem_of,
+    std::span<const BridgeProblem> problems, int alpha,
+    SolveBasesFn&& solve_bases, ViolatesFn&& violates,
+    HasSolnFn&& has_solution) {
+  return run_bridges(
+      m, n, [](std::uint64_t u) { return u; },
+      [&](std::uint64_t u) { return problem_of[u]; }, problems, alpha,
+      std::forward<SolveBasesFn>(solve_bases),
+      std::forward<ViolatesFn>(violates),
+      std::forward<HasSolnFn>(has_solution));
+}
+
+/// 2-d violation test: a point violates the candidate bridge when it is
+/// strictly above its line, or ON the line but outside the edge's x-span
+/// (the bridge must be the MAXIMAL collinear edge, or collinear hull
+/// points would yield non-strict chains downstream).
+struct Violates2D {
+  std::span<const Point2> pts;
+  bool operator()(std::uint64_t i, const BridgeOutcome& sol) const {
+    const Point2 &a = pts[sol.a], &b = pts[sol.b];
+    const int o = geom::orient2d(a, b, pts[i]);
+    if (o > 0) return true;
+    if (o == 0 && (pts[i].x < a.x || pts[i].x > b.x)) return true;
+    return false;
+  }
+};
+
+struct Solve2D {
+  pram::Machine& m;
+  std::span<const Point2> pts;
+  std::span<const BridgeProblem> problems;
+  void operator()(const std::vector<std::size_t>& live,
+                  std::span<const std::vector<Index>> subsets,
+                  std::vector<BridgeOutcome>& out) const {
+    std::vector<std::pair<Index, Index>> gaps;
+    gaps.reserve(live.size());
+    for (const std::size_t p : live) {
+      gaps.emplace_back(problems[p].left(), problems[p].splitter);
+    }
+    const auto edges = batched_brute_bridge_2d(m, pts, subsets, gaps);
+    for (std::size_t t = 0; t < live.size(); ++t) {
+      out[live[t]].a = edges[t].first;
+      out[live[t]].b = edges[t].second;
+    }
+  }
+};
+
+struct Solve3D {
+  pram::Machine& m;
+  std::span<const Point3> pts;
+  std::span<const BridgeProblem> problems;
+  void operator()(const std::vector<std::size_t>& live,
+                  std::span<const std::vector<Index>> subsets,
+                  std::vector<BridgeOutcome>& out) const {
+    std::vector<Index> splitters;
+    splitters.reserve(live.size());
+    for (const std::size_t p : live) splitters.push_back(problems[p].splitter);
+    const auto facets = batched_brute_facet_3d(m, pts, subsets, splitters);
+    for (std::size_t t = 0; t < live.size(); ++t) {
+      out[live[t]].facet = facets[t];
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<BridgeOutcome> inplace_bridges_2d(
+    pram::Machine& m, std::span<const Point2> pts,
+    std::span<const std::uint32_t> problem_of,
+    std::span<const BridgeProblem> problems, int alpha) {
+  IPH_CHECK(problem_of.size() == pts.size());
+  return run_bridges_flat(
+      m, pts.size(), problem_of, problems, alpha, Solve2D{m, pts, problems},
+      Violates2D{pts},
+      [](const BridgeOutcome& sol) { return sol.a != geom::kNone; });
+}
+
+std::vector<BridgeOutcome> inplace_bridges_2d_units(
+    pram::Machine& m, std::span<const Point2> pts, std::uint64_t n_units,
+    const UnitPointFn& unit_point, const UnitProblemFn& unit_problem,
+    std::span<const BridgeProblem> problems, int alpha) {
+  return run_bridges(
+      m, n_units, unit_point, unit_problem, problems, alpha,
+      Solve2D{m, pts, problems}, Violates2D{pts},
+      [](const BridgeOutcome& sol) { return sol.a != geom::kNone; });
+}
+
+std::vector<BridgeOutcome> inplace_bridges_3d(
+    pram::Machine& m, std::span<const Point3> pts,
+    std::span<const std::uint32_t> problem_of,
+    std::span<const BridgeProblem> problems, int alpha) {
+  IPH_CHECK(problem_of.size() == pts.size());
+  return run_bridges_flat(
+      m, pts.size(), problem_of, problems, alpha, Solve3D{m, pts, problems},
+      [&](std::uint64_t i, const BridgeOutcome& sol) {
+        const auto& f = sol.facet;
+        return !geom::on_or_below_plane(pts[f.a], pts[f.b], pts[f.c],
+                                        pts[i]);
+      },
+      [](const BridgeOutcome& sol) { return sol.facet.a != geom::kNone; });
+}
+
+std::vector<BridgeOutcome> inplace_bridges_3d_units(
+    pram::Machine& m, std::span<const Point3> pts, std::uint64_t n_units,
+    const UnitPointFn& unit_point, const UnitProblemFn& unit_problem,
+    std::span<const BridgeProblem> problems, int alpha) {
+  return run_bridges(
+      m, n_units, unit_point, unit_problem, problems, alpha,
+      Solve3D{m, pts, problems},
+      [&](std::uint64_t i, const BridgeOutcome& sol) {
+        const auto& f = sol.facet;
+        return !geom::on_or_below_plane(pts[f.a], pts[f.b], pts[f.c],
+                                        pts[i]);
+      },
+      [](const BridgeOutcome& sol) { return sol.facet.a != geom::kNone; });
+}
+
+}  // namespace iph::primitives

@@ -1,0 +1,104 @@
+// In-place bridge finding (Section 3.3 of the paper, Lemmas 4.1-4.2).
+//
+// The bridge problem: among the points of problem j (scattered through
+// the input array, identified only by problem_of[i] == j — never
+// compacted or reordered), find the upper-hull edge (2-d) or facet (3-d)
+// vertically above problem j's splitter point.
+//
+// The procedure per problem, all problems advancing in the SAME PRAM
+// steps (this is the point of being in-place):
+//   1. survivors (initially: all of the problem's points) sample
+//      themselves into the problem's 16k-cell workspace with escalating
+//      probability p_1 = 2k/m, p_t = min(1, 2k * p_{t-1}) — so p_t = 1
+//      from the 4th round on, realizing the paper's "then perform
+//      compaction of the survivors into the base problem": once p = 1
+//      every survivor attempts every round and, with the survivor count
+//      down to ~k^(1/5) (Lemma 4.1), all of them land in the workspace;
+//   2. the base problem (sample + previous basis + splitter) is solved
+//      deterministically by the O(1)-time brute force (Observation 2.2);
+//   3. every point of the problem tests the new solution; violators are
+//      the next round's survivors. No survivors => the base solution is
+//      supported by the whole problem: it IS the bridge.
+// A problem that still has survivors after `alpha` rounds is reported
+// failed (ok = false) — the caller failure-sweeps it (Section 2.3).
+//
+// Confidence: Lemma 4.2 — failure probability e^{-Omega(k^r)}; bench e08
+// measures the iteration histogram and failure rate.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "geom/hull_types.h"
+#include "geom/point.h"
+#include "pram/machine.h"
+
+namespace iph::primitives {
+
+/// problem_of value for points not participating in any problem.
+inline constexpr std::uint32_t kNoProblem = 0xffffffffu;
+
+struct BridgeProblem {
+  geom::Index splitter = geom::kNone;  ///< global point index
+  std::uint64_t size_est = 0;          ///< ~ number of the problem's points
+  std::uint64_t k = 0;                 ///< base-problem size parameter
+  /// 2-d gap semantics (see batched_brute_bridge_2d): the bridge must
+  /// satisfy a.x <= pts[splitter_left].x and pts[splitter].x <= b.x.
+  /// kNone (default) means splitter_left == splitter, i.e. the plain
+  /// "edge above one point" problem. The presorted tree algorithm sets
+  /// splitter_left = mid-1 and splitter = mid so bridges span the tree
+  /// boundary even when a hull vertex sits exactly on it.
+  geom::Index splitter_left = geom::kNone;
+
+  geom::Index left() const noexcept {
+    return splitter_left == geom::kNone ? splitter : splitter_left;
+  }
+};
+
+struct BridgeOutcome {
+  geom::Index a = geom::kNone;  ///< bridge left endpoint (2-d)
+  geom::Index b = geom::kNone;  ///< bridge right endpoint (2-d)
+  geom::Facet3 facet;           ///< bridge facet (3-d)
+  bool ok = false;              ///< solved within alpha rounds
+  int iterations = 0;           ///< rounds used (== alpha when !ok)
+};
+
+inline constexpr int kDefaultAlpha = 8;  // the paper's constant (ours, e08)
+
+/// Solve all 2-d bridge problems simultaneously. O(alpha) PRAM steps.
+std::vector<BridgeOutcome> inplace_bridges_2d(
+    pram::Machine& m, std::span<const geom::Point2> pts,
+    std::span<const std::uint32_t> problem_of,
+    std::span<const BridgeProblem> problems, int alpha = kDefaultAlpha);
+
+/// Multi-membership form: a point may belong to SEVERAL problems at once
+/// (in the presorted tree algorithm every point participates in one
+/// bridge problem per ancestor, which is where the O(n log n) processor
+/// bound of Lemma 2.5 comes from). The caller enumerates `n_units`
+/// virtual processors; unit u stands by point unit_point(u) inside
+/// problem unit_problem(u) (kNoProblem units are idle).
+using UnitPointFn = std::function<std::uint64_t(std::uint64_t)>;
+using UnitProblemFn = std::function<std::uint32_t(std::uint64_t)>;
+
+std::vector<BridgeOutcome> inplace_bridges_2d_units(
+    pram::Machine& m, std::span<const geom::Point2> pts,
+    std::uint64_t n_units, const UnitPointFn& unit_point,
+    const UnitProblemFn& unit_problem,
+    std::span<const BridgeProblem> problems, int alpha = kDefaultAlpha);
+
+std::vector<BridgeOutcome> inplace_bridges_3d_units(
+    pram::Machine& m, std::span<const geom::Point3> pts,
+    std::uint64_t n_units, const UnitPointFn& unit_point,
+    const UnitProblemFn& unit_problem,
+    std::span<const BridgeProblem> problems, int alpha = kDefaultAlpha);
+
+/// 3-d analogue (facet through the splitter, Lemma 4.2's 3-d case with
+/// k = p^(1/4)).
+std::vector<BridgeOutcome> inplace_bridges_3d(
+    pram::Machine& m, std::span<const geom::Point3> pts,
+    std::span<const std::uint32_t> problem_of,
+    std::span<const BridgeProblem> problems, int alpha = kDefaultAlpha);
+
+}  // namespace iph::primitives

@@ -1,0 +1,103 @@
+#include "primitives/inplace_compaction.h"
+
+#include <algorithm>
+
+#include "pram/cells.h"
+#include "primitives/ragde.h"
+#include "support/check.h"
+#include "support/mathutil.h"
+
+namespace iph::primitives {
+
+InplaceCompactionResult inplace_compact(pram::Machine& m,
+                                        std::span<const std::uint8_t> flags,
+                                        std::uint64_t bound, double delta) {
+  InplaceCompactionResult res;
+  const std::uint64_t n = flags.size();
+  if (n == 0) {
+    res.ok = true;
+    return res;
+  }
+  IPH_CHECK(delta > 0.0 && delta < 1.0);
+  if (bound < 2) bound = 2;
+  constexpr std::uint32_t kEmpty = kRagdeEmpty;
+
+  // Group geometry: ~bound^4 * S level-0 groups (the lemma's m^(4e+d)
+  // with m^e = bound), refined by S = m^delta per iteration.
+  const std::uint64_t S =
+      std::max<std::uint64_t>(2, support::ipow_frac(n, delta));
+  const std::uint64_t g0 = std::min(
+      n, std::max<std::uint64_t>(1, support::ipow_sat(bound, 4) / 2) * S);
+
+  // Per-element state (owned writes only):
+  //   len     — current group length (uniform per level),
+  //   within  — element's offset inside its current group,
+  //   pslot   — compact slot of the element's group (kEmpty before
+  //             level 0 runs, where the group id itself addresses the
+  //             bit array).
+  std::uint64_t len = (n + g0 - 1) / g0;
+  std::uint64_t domain = (n + len - 1) / len;  // bit-array size this level
+  std::vector<std::uint64_t> within(n);
+  std::vector<std::uint32_t> pslot(n, kEmpty);
+  bool level0 = true;
+
+  for (int iter = 0; iter < 64; ++iter) {
+    res.iterations = iter + 1;
+    pram::FlagArray bits(domain);
+    std::vector<std::uint32_t> cell_of(n, kEmpty);
+    const std::uint64_t cur_len = len;
+    m.step(n, [&](std::uint64_t pid) {
+      if (!flags[pid]) return;
+      std::uint32_t cell;
+      if (level0) {
+        cell = static_cast<std::uint32_t>(pid / cur_len);
+        within[pid] = pid % cur_len;
+      } else {
+        if (pslot[pid] == kEmpty) return;
+        cell = static_cast<std::uint32_t>(pslot[pid] * S +
+                                          within[pid] / cur_len);
+        within[pid] = within[pid] % cur_len;
+      }
+      cell_of[pid] = cell;
+      bits.set(cell);
+    });
+    // Ragde wants a byte view; one owned-write step converts.
+    std::vector<std::uint8_t> bytes(domain);
+    m.step(domain, [&](std::uint64_t c) { bytes[c] = bits.get(c) ? 1 : 0; });
+    const RagdeResult rr = ragde_compact(m, bytes, bound);
+    res.used_fallback |= rr.used_fallback;
+    if (!rr.ok) {
+      res.ok = false;
+      return res;
+    }
+    // Reverse map cell -> slot, then update each element's group slot.
+    std::vector<std::uint32_t> slot_of_cell(domain, kEmpty);
+    m.step(rr.slots.size(), [&](std::uint64_t s) {
+      if (rr.slots[s] != kRagdeEmpty) {
+        slot_of_cell[rr.slots[s]] = static_cast<std::uint32_t>(s);
+      }
+    });
+    m.step(n, [&](std::uint64_t pid) {
+      pslot[pid] =
+          cell_of[pid] == kEmpty ? kEmpty : slot_of_cell[cell_of[pid]];
+    });
+    level0 = false;
+    if (cur_len <= 1) {
+      // Singleton groups: pslot is the final placement.
+      res.slots.assign(rr.slots.size(), kEmpty);
+      m.step(n, [&](std::uint64_t pid) {
+        if (flags[pid] && pslot[pid] != kEmpty) {
+          res.slots[pslot[pid]] = static_cast<std::uint32_t>(pid);
+        }
+      });
+      res.ok = true;
+      return res;
+    }
+    len = (cur_len + S - 1) / S;
+    domain = rr.slots.size() * S;
+  }
+  IPH_CHECK(false && "inplace_compact failed to converge");
+  return res;
+}
+
+}  // namespace iph::primitives

@@ -1,0 +1,48 @@
+// In-place approximate compaction (Section 3.2, Lemma 3.2).
+//
+// Ragde's compaction (ragde.h) is not in-place: it addresses elements by
+// their global index, which after compaction is lost. The paper's
+// in-place variant keeps elements where they are and compacts a *group
+// id* bit-array instead, iteratively refining groups:
+//
+//   split the m-array into m^(4e+d) groups; mark the groups holding a
+//   non-zero; Ragde-compact those marks; split every surviving group
+//   into m^d subgroups and repeat, (1-4e-d)/d = O(1) times, until groups
+//   are singletons.
+//
+// Each iteration is O(1) PRAM steps and touches only the element's own
+// cell plus O(m^(4e+d)) workspace, so the input array is never reordered.
+// The caller's non-zero elements end up addressable through a compact
+// slot table of size < 2*bound^2 <= bound^4.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pram/machine.h"
+
+namespace iph::primitives {
+
+struct InplaceCompactionResult {
+  /// True iff every flagged element received a compact slot.
+  bool ok = false;
+  /// slots[j] = input index, or kRagdeEmpty (0xffffffff) for free slots.
+  /// Size < 2*bound^2.
+  std::vector<std::uint32_t> slots;
+  /// Number of group-refinement iterations executed (the lemma's 1/delta).
+  int iterations = 0;
+  /// True iff any internal Ragde call used its tally fallback.
+  bool used_fallback = false;
+};
+
+/// Compact the (at most `bound`) flagged elements of an array of size
+/// flags.size() into a slot table of size O(bound^2), in O(1) PRAM steps,
+/// without moving any input element. `delta` is the lemma's group-split
+/// exponent (0 < delta < 1).
+InplaceCompactionResult inplace_compact(pram::Machine& m,
+                                        std::span<const std::uint8_t> flags,
+                                        std::uint64_t bound,
+                                        double delta = 0.25);
+
+}  // namespace iph::primitives

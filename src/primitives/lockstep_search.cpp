@@ -1,0 +1,76 @@
+#include "primitives/lockstep_search.h"
+
+#include <algorithm>
+
+#include "pram/cells.h"
+
+namespace iph::primitives {
+
+std::vector<std::uint64_t> lockstep_partition_point(
+    pram::Machine& m, std::span<const std::uint64_t> lo,
+    std::span<const std::uint64_t> hi, std::uint64_t g,
+    const PartitionPred& pred) {
+  const std::uint64_t b = lo.size();
+  IPH_CHECK(hi.size() == b);
+  IPH_CHECK(g >= 2);
+  std::vector<std::uint64_t> cur_lo(lo.begin(), lo.end());
+  std::vector<std::uint64_t> cur_hi(hi.begin(), hi.end());
+  // probe_true[s * (g+1) + t]: outcome of search s's t-th probe.
+  pram::FlagArray probe_true(b * (g + 1));
+
+  for (int guard = 0; guard < 128; ++guard) {
+    // Done when every range is empty.
+    bool any = false;
+    for (std::uint64_t s = 0; s < b; ++s) {
+      if (cur_lo[s] < cur_hi[s]) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) break;
+    // One g-ary round: probe g-1 interior pivots (plus range endpoints
+    // implicitly known). Probe t of search s sits at
+    //   lo + (len * (t+1)) / g, t in [0, g-1).
+    m.step(b * (g - 1), [&](std::uint64_t pid) {
+      const std::uint64_t s = pid / (g - 1);
+      const std::uint64_t t = pid % (g - 1);
+      const std::uint64_t len = cur_hi[s] - cur_lo[s];
+      if (len == 0) return;
+      const std::uint64_t pos = cur_lo[s] + (len * (t + 1)) / g;
+      if (pos >= cur_hi[s]) return;  // tiny ranges probe fewer pivots
+      if (pred(s, pos)) {
+        probe_true.set(s * (g + 1) + t);
+      } else {
+        probe_true.clear(s * (g + 1) + t);
+      }
+    });
+    // Narrow every range (one step, b processors; each search reads its
+    // own g-1 probe outcomes — charge g-1 operations per search).
+    m.step_active(b, b * (g - 1), [&](std::uint64_t s) {
+      const std::uint64_t len = cur_hi[s] - cur_lo[s];
+      if (len == 0) return;
+      std::uint64_t new_lo = cur_lo[s];
+      std::uint64_t new_hi = cur_hi[s];
+      for (std::uint64_t t = 0; t < g - 1; ++t) {
+        const std::uint64_t pos = cur_lo[s] + (len * (t + 1)) / g;
+        if (pos >= cur_hi[s]) break;
+        if (probe_true.get(s * (g + 1) + t)) {
+          // Partition point is strictly after pos.
+          new_lo = std::max(new_lo, pos + 1);
+        } else {
+          new_hi = std::min(new_hi, pos);
+          break;
+        }
+      }
+      cur_lo[s] = new_lo;
+      cur_hi[s] = new_hi;
+    });
+  }
+  // cur_lo == cur_hi == the partition point.
+  for (std::uint64_t s = 0; s < b; ++s) {
+    IPH_CHECK(cur_lo[s] == cur_hi[s]);
+  }
+  return cur_lo;
+}
+
+}  // namespace iph::primitives

@@ -1,0 +1,38 @@
+// Batched lockstep g-ary search on the PRAM simulator.
+//
+// Runs B independent partition-point searches simultaneously, one g-ary
+// round per PRAM step, so that B searches over ranges of length L finish
+// in ceil(log_g L) + 1 steps with B*(g-1) processors per step. This is
+// the workhorse behind the O(1)-time hull primitives of Atallah-Goodrich
+// (common tangents, line/hull intersection — Section 2.4 of the paper)
+// and the merge phase of the folklore Lemma 2.4 hull: choosing
+// g = L^(1/c) gives c+1 steps.
+//
+// Each search s owns a range [lo_s, hi_s) and a monotone predicate
+// pred(s, i) that is true on a prefix of the range and false on the
+// suffix; the result is the partition point (first false index, == hi_s
+// when pred is true everywhere).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "pram/machine.h"
+#include "support/check.h"
+
+namespace iph::primitives {
+
+/// Monotone predicate for search s at index i. Must be pure and safe to
+/// evaluate concurrently.
+using PartitionPred = std::function<bool(std::uint64_t s, std::uint64_t i)>;
+
+/// Returns, for each search s, the first index in [lo[s], hi[s]) where
+/// pred(s, .) is false (== hi[s] if none). g >= 2 probes per round.
+std::vector<std::uint64_t> lockstep_partition_point(
+    pram::Machine& m, std::span<const std::uint64_t> lo,
+    std::span<const std::uint64_t> hi, std::uint64_t g,
+    const PartitionPred& pred);
+
+}  // namespace iph::primitives

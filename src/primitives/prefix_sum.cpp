@@ -1,0 +1,60 @@
+#include "primitives/prefix_sum.h"
+
+#include "support/check.h"
+#include "support/mathutil.h"
+
+namespace iph::primitives {
+
+std::uint64_t prefix_sum_exclusive(pram::Machine& m,
+                                   std::span<std::uint64_t> data) {
+  const std::uint64_t n = data.size();
+  if (n == 0) return 0;
+  // Work on a power-of-two padded scratch buffer (textbook Blelloch
+  // up/down sweep): O(log n) steps, O(n) work, all writes owned.
+  const std::uint64_t np = support::ceil_pow2(n);
+  const unsigned levels = support::ceil_log2(np);
+  std::vector<std::uint64_t> buf(np, 0);
+  m.step(n, [&](std::uint64_t pid) { buf[pid] = data[pid]; });
+  for (unsigned d = 0; d < levels; ++d) {
+    const std::uint64_t stride = std::uint64_t{1} << (d + 1);
+    const std::uint64_t half = std::uint64_t{1} << d;
+    m.step(np / stride, [&, stride, half](std::uint64_t pid) {
+      buf[pid * stride + stride - 1] += buf[pid * stride + half - 1];
+    });
+  }
+  std::uint64_t total = 0;
+  m.step(1, [&](std::uint64_t) {
+    total = buf[np - 1];
+    buf[np - 1] = 0;
+  });
+  for (unsigned d = levels; d-- > 0;) {
+    const std::uint64_t stride = std::uint64_t{1} << (d + 1);
+    const std::uint64_t half = std::uint64_t{1} << d;
+    m.step(np / stride, [&, stride, half](std::uint64_t pid) {
+      const std::uint64_t lo = pid * stride + half - 1;
+      const std::uint64_t hi = pid * stride + stride - 1;
+      const std::uint64_t t = buf[lo];
+      buf[lo] = buf[hi];
+      buf[hi] += t;
+    });
+  }
+  m.step(n, [&](std::uint64_t pid) { data[pid] = buf[pid]; });
+  return total;
+}
+
+std::uint64_t compact_indices(pram::Machine& m,
+                              std::span<const std::uint8_t> keep,
+                              std::span<std::uint32_t> out) {
+  const std::uint64_t n = keep.size();
+  if (n == 0) return 0;
+  std::vector<std::uint64_t> rank(n);
+  m.step(n, [&](std::uint64_t pid) { rank[pid] = keep[pid] ? 1 : 0; });
+  const std::uint64_t count = prefix_sum_exclusive(m, rank);
+  IPH_CHECK(out.size() >= count);
+  m.step(n, [&](std::uint64_t pid) {
+    if (keep[pid]) out[rank[pid]] = static_cast<std::uint32_t>(pid);
+  });
+  return count;
+}
+
+}  // namespace iph::primitives

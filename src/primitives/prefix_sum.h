@@ -1,0 +1,31 @@
+// Parallel prefix sum (Ladner-Fischer) on the PRAM simulator.
+//
+// Used by the paper in step 3 of the unsorted algorithms: "use parallel
+// prefix sum to compact the remaining points and find the number of
+// subproblems remaining". O(log n) steps, O(n) work per step (the
+// classic non-work-optimal up/down-sweep; work-optimality is irrelevant
+// here because the paper charges O(n log n)-work fallbacks at the points
+// where prefix sums are taken).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pram/machine.h"
+
+namespace iph::primitives {
+
+/// In-place EXCLUSIVE prefix sum over data (Blelloch up/down sweep).
+/// Returns the total sum. 2*ceil(log2 n) + O(1) PRAM steps.
+std::uint64_t prefix_sum_exclusive(pram::Machine& m,
+                                   std::span<std::uint64_t> data);
+
+/// Stable parallel compaction built on the scan: writes the indices i with
+/// keep[i] != 0, in increasing order, to the front of `out` and returns
+/// how many there are. out.size() must be >= the number of kept items.
+std::uint64_t compact_indices(pram::Machine& m,
+                              std::span<const std::uint8_t> keep,
+                              std::span<std::uint32_t> out);
+
+}  // namespace iph::primitives

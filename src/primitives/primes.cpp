@@ -1,0 +1,32 @@
+#include "primitives/primes.h"
+
+#include "support/check.h"
+
+namespace iph::primitives {
+
+namespace {
+
+bool is_prime(std::uint64_t x) {
+  if (x < 2) return false;
+  for (std::uint64_t d = 2; d * d <= x; ++d) {
+    if (x % d == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> primes_at_least(std::uint64_t lo,
+                                           std::size_t count) {
+  std::vector<std::uint64_t> out;
+  out.reserve(count);
+  std::uint64_t x = lo < 2 ? 2 : lo;
+  while (out.size() < count) {
+    if (is_prime(x)) out.push_back(x);
+    ++x;
+    IPH_CHECK(x < (std::uint64_t{1} << 40));  // runaway guard
+  }
+  return out;
+}
+
+}  // namespace iph::primitives

@@ -1,0 +1,15 @@
+// Small prime utilities for the Ragde-style modulus-search compaction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace iph::primitives {
+
+/// The first `count` primes that are >= lo (simple segmented trial sieve;
+/// results are memoized per (lo, count) call site pattern via an internal
+/// growing sieve). Thread-compatible: callers invoke from host code only.
+std::vector<std::uint64_t> primes_at_least(std::uint64_t lo,
+                                           std::size_t count);
+
+}  // namespace iph::primitives

@@ -1,0 +1,88 @@
+#include "primitives/ragde.h"
+
+#include <algorithm>
+
+#include "pram/cells.h"
+#include "primitives/prefix_sum.h"
+#include "primitives/primes.h"
+#include "support/check.h"
+
+namespace iph::primitives {
+
+namespace {
+constexpr int kCandidates = 8;
+}
+
+RagdeResult ragde_compact(pram::Machine& m,
+                          std::span<const std::uint8_t> flags,
+                          std::uint64_t bound) {
+  RagdeResult r;
+  const std::uint64_t n = flags.size();
+  if (bound < 2) bound = 2;
+  const auto primes = primes_at_least(bound * bound, kCandidates);
+
+  // One scatter region per candidate modulus. A constant number of
+  // regions keeps this O(1) PRAM steps with O(n) processors per step.
+  std::vector<std::vector<pram::MinCell>> region(kCandidates);
+  for (int c = 0; c < kCandidates; ++c) {
+    region[c] = std::vector<pram::MinCell>(primes[c]);
+  }
+  // Scatter: every flagged element writes its index to slot (i mod p_c)
+  // of every candidate region (priority CRCW resolves collisions).
+  m.step(n, [&](std::uint64_t pid) {
+    if (flags[pid] == 0) return;
+    for (int c = 0; c < kCandidates; ++c) {
+      region[c][pid % primes[c]].write(pid);
+    }
+  });
+  // Collision check: an element that reads back a different index marks
+  // the candidate bad.
+  pram::FlagArray bad(kCandidates);
+  m.step(n, [&](std::uint64_t pid) {
+    if (flags[pid] == 0) return;
+    for (int c = 0; c < kCandidates; ++c) {
+      if (region[c][pid % primes[c]].read() != pid) bad.set(c);
+    }
+  });
+  int chosen = -1;
+  for (int c = 0; c < kCandidates; ++c) {
+    if (!bad.get(c)) {
+      chosen = c;
+      break;
+    }
+  }
+  if (chosen >= 0) {
+    r.ok = true;
+    r.slots.assign(primes[chosen], kRagdeEmpty);
+    m.step(primes[chosen], [&](std::uint64_t pid) {
+      const std::uint64_t v = region[chosen][pid].read();
+      if (v != pram::MinCell::kEmpty) {
+        r.slots[pid] = static_cast<std::uint32_t>(v);
+      }
+    });
+    return r;
+  }
+  // Fallback: exact dense placement by prefix-sum rank. Deterministic
+  // and stable; O(log n) steps rather than O(1) — acceptable because the
+  // primary scheme handles every in-contract input (see header).
+  r.used_fallback = true;
+  std::vector<std::uint64_t> rank(n);
+  m.step(n, [&](std::uint64_t pid) { rank[pid] = flags[pid] ? 1 : 0; });
+  const std::uint64_t k = prefix_sum_exclusive(m, rank);
+  // More elements than the lemma's precondition allows: report failure
+  // (this is the "determine whether k < n^(1/4)" outcome).
+  if (k > bound * bound) {
+    r.ok = false;
+    return r;
+  }
+  r.ok = true;
+  r.slots.assign(std::max<std::uint64_t>(k, 1), kRagdeEmpty);
+  m.step(n, [&](std::uint64_t pid) {
+    if (flags[pid] != 0) {
+      r.slots[rank[pid]] = static_cast<std::uint32_t>(pid);
+    }
+  });
+  return r;
+}
+
+}  // namespace iph::primitives

@@ -1,0 +1,51 @@
+// Approximate compaction (Lemma 2.1, after Ragde ICALP'90).
+//
+// Contract of the lemma: given an array of size n containing at most k
+// non-zero elements, determine whether k < n^(1/4), and if so compress
+// the non-zero elements into an area of size k^4, in O(1) time with n
+// processors, deterministically, on a CRCW PRAM.
+//
+// Realization (documented substitution, see DESIGN.md §8): Ragde's
+// deterministic construction searches for an injective modulus; we keep
+// the modulus-search structure but test a FIXED constant number (8) of
+// prime moduli p >= bound^2 in parallel CRCW rounds — each round is one
+// scatter + one collision check. If every candidate collides (provably
+// impossible for k <= bound when the candidate set contains an injective
+// prime; merely unlikely otherwise) we fall back to an exact rank-based
+// placement using a Sum-CRCW tally, still O(1) steps, and report it via
+// used_fallback so the benches can count how often the primary scheme
+// suffices (e07/e09 observe: always, on every workload they generate).
+// The area is the chosen prime < 2*bound^2 <= bound^4 for bound >= 2,
+// within the lemma's k^4 budget.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pram/machine.h"
+
+namespace iph::primitives {
+
+inline constexpr std::uint32_t kRagdeEmpty = 0xffffffffu;
+
+struct RagdeResult {
+  /// True iff every flagged element was placed into `slots`.
+  bool ok = false;
+  /// True iff the tally fallback produced the placement.
+  bool used_fallback = false;
+  /// Compact area: slots[j] is an input index or kRagdeEmpty. Size is the
+  /// chosen modulus (< 2*bound^2), or exactly the element count when the
+  /// fallback placed them densely.
+  std::vector<std::uint32_t> slots;
+};
+
+/// Compact the indices i with flags[i] != 0 into a small area.
+/// `bound`: the k of the lemma (callers pass ~n^(1/4) or the failure
+/// budget); ok=false means more than `bound`^2-ish elements were present
+/// (the "determine whether k < n^(1/4)" half of the lemma).
+RagdeResult ragde_compact(pram::Machine& m,
+                          std::span<const std::uint8_t> flags,
+                          std::uint64_t bound);
+
+}  // namespace iph::primitives

@@ -1,0 +1,82 @@
+#include "primitives/random_sample.h"
+
+#include <algorithm>
+
+#include "pram/cells.h"
+#include "support/check.h"
+
+namespace iph::primitives {
+
+SampleResult random_sample(pram::Machine& m, std::uint64_t n,
+                           const ActiveFn& active, std::uint64_t m_est,
+                           std::uint64_t k) {
+  SampleResult res;
+  IPH_CHECK(k >= 1);
+  if (m_est == 0) m_est = 1;
+  const std::uint64_t ws = 16 * k;
+  const double p_write =
+      std::min(1.0, 2.0 * static_cast<double>(k) / static_cast<double>(m_est));
+
+  // Workspace cells: a permanently-claimed id plus per-round collision
+  // bookkeeping (attempt count and a priority-CRCW winner).
+  std::vector<std::uint32_t> taken(ws, 0xffffffffu);
+  std::vector<pram::TallyCell> attempts(ws);
+  std::vector<pram::MinCell> winner(ws);
+  // retry[i] != 0 while element i still wants a slot this round.
+  pram::FlagArray retry(n);
+
+  // Round 0: every active element flips the 2k/m coin.
+  m.step(n, [&](std::uint64_t pid) {
+    if (active(pid) && m.rng(pid).bernoulli(p_write)) retry.set(pid);
+  });
+
+  std::vector<std::uint64_t> choice(n);  // slot picked this round (owned)
+  for (int round = 0; round < kSampleRounds; ++round) {
+    m.step(ws, [&](std::uint64_t pid) {
+      attempts[pid].reset();
+      winner[pid].reset();
+    });
+    // Attempt: pick a uniformly random cell, register the attempt.
+    m.step(n, [&](std::uint64_t pid) {
+      if (!retry.get(pid)) return;
+      const std::uint64_t slot = m.rng(pid).next_below(ws);
+      choice[pid] = slot;
+      attempts[slot].write();
+      winner[slot].write(pid);
+    });
+    // Resolve: sole attempter on a still-free cell takes it; everyone
+    // else (collision victims, or attempts on already-taken cells)
+    // retries next round.
+    m.step(n, [&](std::uint64_t pid) {
+      if (!retry.get(pid)) return;
+      const std::uint64_t slot = choice[pid];
+      if (taken[slot] == 0xffffffffu && attempts[slot].read() == 1 &&
+          winner[slot].read() == pid) {
+        taken[slot] = static_cast<std::uint32_t>(pid);
+        retry.clear(pid);
+      }
+    });
+  }
+  // Collect the sample in cell order (1 step, ws work).
+  m.step_active(1, ws, [&](std::uint64_t) {
+    for (std::uint64_t s = 0; s < ws; ++s) {
+      if (taken[s] != 0xffffffffu) res.members.push_back(taken[s]);
+    }
+  });
+  const std::uint64_t got = res.members.size();
+  res.ok = got >= (k + 1) / 2 && got <= 4 * k;
+  return res;
+}
+
+std::uint64_t random_vote(pram::Machine& m, std::uint64_t n,
+                          const ActiveFn& active, std::uint64_t m_est,
+                          std::uint64_t k) {
+  const SampleResult s = random_sample(m, n, active, m_est, k);
+  if (s.members.empty()) return kNoVote;
+  // The sample is collected in workspace-cell order and cell choices are
+  // uniform, so the first member is a uniformly random attempter
+  // (Corollary 3.1's "first written location" rule).
+  return s.members.front();
+}
+
+}  // namespace iph::primitives

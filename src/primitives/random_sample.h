@@ -1,0 +1,61 @@
+// In-place random sample and random vote (Section 3.1, Lemma 3.1 and
+// Corollary 3.1).
+//
+// Given m active elements scattered through an array of n (no reordering,
+// no contiguity assumption — each element has a virtual processor
+// "standing by"), draw a uniformly random sample of size Theta(k) into a
+// workspace of 16k cells:
+//   1. each active processor decides to attempt a write w.p. 2k/m,
+//   2. attempters pick a uniformly random workspace cell and try to claim
+//      it,
+//   3. claimers detect collisions (other attempts on their cell),
+//   4. collision victims retry, up to d rounds.
+// All steps are O(1) PRAM time. The sample is uniform and of size in
+// [k/2, 4k] with probability >= 1 - 2(e/2)^{-k} (Lemma 3.1).
+//
+// The random vote picks ONE uniformly random active element: draw a
+// sample, then take the first occupied workspace cell (Observation 2.1 /
+// Eppstein-Galil) — cell choices being uniform, the first occupied cell
+// is occupied by a uniformly random attempter.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "pram/machine.h"
+
+namespace iph::primitives {
+
+/// Active-element predicate: invoked as active(i) for i in [0, n).
+/// Must be safe to call concurrently (read-only state).
+using ActiveFn = std::function<bool(std::uint64_t)>;
+
+struct SampleResult {
+  /// Input indices sampled, in workspace-cell order (deterministic given
+  /// the machine seed and step index).
+  std::vector<std::uint32_t> members;
+  /// True iff |members| landed in [k/2, 4k] (the Lemma 3.1 event).
+  bool ok = false;
+};
+
+inline constexpr int kSampleRounds = 4;  // the paper's constant d
+
+/// Draw a Theta(k) sample of the active elements. m_est estimates the
+/// number of active elements (sets the write probability 2k/m). O(1)
+/// PRAM steps; workspace 16k cells.
+SampleResult random_sample(pram::Machine& m, std::uint64_t n,
+                           const ActiveFn& active, std::uint64_t m_est,
+                           std::uint64_t k);
+
+inline constexpr std::uint64_t kNoVote = ~std::uint64_t{0};
+
+/// Pick one active element uniformly at random (Corollary 3.1), or
+/// kNoVote if the sample came back empty (retry with larger k or smaller
+/// m_est; happens w.p. <= 2(e/2)^{-k} when m_est is within 2x of m).
+std::uint64_t random_vote(pram::Machine& m, std::uint64_t n,
+                          const ActiveFn& active, std::uint64_t m_est,
+                          std::uint64_t k);
+
+}  // namespace iph::primitives

@@ -1,0 +1,127 @@
+#include "seq/chan2d.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "geom/predicates.h"
+#include "seq/upper_hull.h"
+#include "support/check.h"
+
+namespace iph::seq {
+
+using geom::Index;
+using geom::Point2;
+
+Index chan_tangent(std::span<const Point2> pts,
+                   std::span<const Index> chain, const Point2& p) {
+  // Suffix of chain vertices strictly right of p.
+  auto first = std::upper_bound(
+      chain.begin(), chain.end(), p.x,
+      [&](double x, Index idx) { return x < pts[idx].x; });
+  if (first == chain.end()) return geom::kNone;
+  const std::size_t lo0 = static_cast<std::size_t>(first - chain.begin());
+  std::size_t lo = lo0, hi = chain.size() - 1;
+  // Slope of p->w_t is unimodal over the convex suffix; find its peak:
+  // advance while the next vertex is strictly above line(p, current).
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (geom::orient2d(p, pts[chain[mid]], pts[chain[mid + 1]]) > 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  // Prefer the farthest collinear vertex (strict hulls skip the nearer).
+  while (lo + 1 < chain.size() &&
+         geom::orient2d(p, pts[chain[lo]], pts[chain[lo + 1]]) == 0) {
+    ++lo;
+  }
+  return static_cast<Index>(lo);
+}
+
+geom::UpperHull2D chan_upper_hull(std::span<const Point2> pts) {
+  geom::UpperHull2D hull;
+  const std::size_t n = pts.size();
+  if (n == 0) return hull;
+  Index l = 0, r = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (pts[i].x < pts[l].x || (pts[i].x == pts[l].x && pts[i].y > pts[l].y)) {
+      l = static_cast<Index>(i);
+    }
+    if (pts[i].x > pts[r].x || (pts[i].x == pts[r].x && pts[i].y > pts[r].y)) {
+      r = static_cast<Index>(i);
+    }
+  }
+  if (pts[l].x == pts[r].x) {
+    hull.vertices.push_back(l);
+    return hull;
+  }
+  for (std::uint64_t m = 8;; m = std::min<std::uint64_t>(
+                                n, m * m > m ? m * m : n)) {
+    if (m > n) m = n;
+    // Group the points and hull each group.
+    const std::size_t groups = (n + m - 1) / m;
+    std::vector<std::vector<Index>> chains(groups);
+    for (std::size_t g = 0; g < groups; ++g) {
+      const std::size_t lo = g * m, hi = std::min<std::size_t>(n, lo + m);
+      std::vector<Index> idx(hi - lo);
+      std::iota(idx.begin(), idx.end(), static_cast<Index>(lo));
+      std::sort(idx.begin(), idx.end(), [&](Index a, Index b) {
+        return geom::lex_less(pts[a], pts[b]);
+      });
+      // Monotone-chain scan over the sorted group.
+      std::vector<Index>& v = chains[g];
+      std::size_t start = 0;
+      while (start + 1 < idx.size() &&
+             pts[idx[start + 1]].x == pts[idx[0]].x) {
+        ++start;
+      }
+      v.push_back(idx[start]);
+      for (std::size_t i = start + 1; i < idx.size(); ++i) {
+        const Point2& p = pts[idx[i]];
+        if (p == pts[v.back()]) continue;
+        while (v.size() >= 2 &&
+               geom::orient2d(pts[v[v.size() - 2]], pts[v.back()], p) >= 0) {
+          v.pop_back();
+        }
+        if (pts[v.back()].x == p.x) {
+          v.back() = idx[i];
+        } else {
+          v.push_back(idx[i]);
+        }
+      }
+    }
+    // Wrap: at most m steps of gift wrapping over group tangents.
+    std::vector<Index> chain{l};
+    bool ok = false;
+    for (std::uint64_t step = 0; step < m; ++step) {
+      const Index cur = chain.back();
+      if (cur == r) {
+        ok = true;
+        break;
+      }
+      Index best = geom::kNone;
+      for (const auto& gch : chains) {
+        const Index t = chan_tangent(pts, gch, pts[cur]);
+        if (t == geom::kNone) continue;
+        const Index cand = gch[t];
+        if (best == geom::kNone) {
+          best = cand;
+          continue;
+        }
+        const int o = geom::orient2d(pts[cur], pts[best], pts[cand]);
+        if (o > 0 || (o == 0 && pts[cand].x > pts[best].x)) best = cand;
+      }
+      IPH_CHECK(best != geom::kNone);
+      chain.push_back(best);
+    }
+    if (ok || chain.back() == r) {
+      hull.vertices = std::move(chain);
+      return hull;
+    }
+    IPH_CHECK(m < n);  // m == n must always succeed
+  }
+}
+
+}  // namespace iph::seq

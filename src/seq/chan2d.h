@@ -1,0 +1,26 @@
+// Chan's output-sensitive upper hull — the second sequential O(n log h)
+// baseline (group-and-wrap with guessed hull size m = 2^(2^t)). Included
+// alongside Kirkpatrick-Seidel so e04 can show both sequential
+// output-sensitive shapes next to the paper's parallel one.
+#pragma once
+
+#include <span>
+
+#include "geom/hull_types.h"
+#include "geom/point.h"
+
+namespace iph::seq {
+
+/// Upper hull of arbitrary-order points in O(n log h) time.
+geom::UpperHull2D chan_upper_hull(std::span<const geom::Point2> pts);
+
+/// Rightward upper tangent from p to a strict convex chain (x-increasing,
+/// right-turning): returns the index WITHIN `chain` of the vertex v
+/// maximizing the slope of p->v among vertices with x > p.x, preferring
+/// the largest x on ties; returns geom::kNone if no vertex lies right of
+/// p. O(log |chain|). Exposed for tests and reused by hulltools.
+geom::Index chan_tangent(std::span<const geom::Point2> pts,
+                         std::span<const geom::Index> chain,
+                         const geom::Point2& p);
+
+}  // namespace iph::seq

@@ -1,0 +1,99 @@
+#include "seq/giftwrap3d.h"
+
+#include <deque>
+#include <unordered_set>
+#include <vector>
+
+#include "geom/predicates.h"
+#include "seq/graham.h"
+#include "support/check.h"
+
+namespace iph::seq {
+
+using geom::Facet3;
+using geom::Index;
+using geom::Point3;
+
+namespace {
+
+std::uint64_t edge_key(Index a, Index b) {
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
+
+geom::HullResult3D giftwrap_upper_hull3(std::span<const Point3> pts) {
+  geom::HullResult3D r;
+  const std::size_t n = pts.size();
+  r.facet_above.assign(n, geom::kNone);
+  if (n < 3) return r;
+
+  // Silhouette: the upper hull's boundary projects onto the 2-d convex
+  // hull of the xy-projections. For each projected hull location the
+  // boundary vertex is the max-z point of that column.
+  std::vector<geom::Point2> proj(n);
+  for (std::size_t i = 0; i < n; ++i) proj[i] = {pts[i].x, pts[i].y};
+  std::vector<Index> hull2 = graham_hull(proj);
+  if (hull2.size() < 3) return r;  // xy-degenerate: no facets
+  for (Index& v : hull2) {
+    // Lift to the top point of the column (exact xy match).
+    for (std::size_t i = 0; i < n; ++i) {
+      if (pts[i].x == pts[v].x && pts[i].y == pts[v].y &&
+          pts[i].z > pts[v].z) {
+        v = static_cast<Index>(i);
+      }
+    }
+  }
+
+  // BFS over directed edges wanting their left facet (left in the
+  // xy-projection, hull2 being counterclockwise).
+  std::unordered_set<std::uint64_t> done;
+  std::deque<std::pair<Index, Index>> queue;
+  for (std::size_t k = 0; k < hull2.size(); ++k) {
+    const Index u = hull2[k];
+    const Index v = hull2[(k + 1) % hull2.size()];
+    queue.emplace_back(u, v);
+    // The reverse silhouette edge has nothing on its left: pre-mark it.
+    done.insert(edge_key(v, u));
+  }
+  while (!queue.empty()) {
+    const auto [u, v] = queue.front();
+    queue.pop_front();
+    if (!done.insert(edge_key(u, v)).second) continue;
+    // Pivot: among points strictly left of u->v in xy, the one whose
+    // plane(u,v,w) dominates all others ("above" is a total preorder in
+    // the rotation angle about the edge, so one pass suffices).
+    Index w = geom::kNone;
+    for (std::size_t t = 0; t < n; ++t) {
+      const auto it = static_cast<Index>(t);
+      if (it == u || it == v) continue;
+      if (geom::orient2d_xy(pts[u], pts[v], pts[t]) <= 0) continue;
+      if (w == geom::kNone ||
+          !geom::on_or_below_plane(pts[u], pts[v], pts[w], pts[t])) {
+        w = it;
+      }
+    }
+    if (w == geom::kNone) continue;  // silhouette edge reached
+    r.facets.push_back(Facet3{u, v, w});
+    done.insert(edge_key(v, w));
+    done.insert(edge_key(w, u));
+    if (done.find(edge_key(w, v)) == done.end()) queue.emplace_back(w, v);
+    if (done.find(edge_key(u, w)) == done.end()) queue.emplace_back(u, w);
+    IPH_CHECK(r.facets.size() <= 4 * n);  // wrap runaway guard
+  }
+
+  // Per-point facet pointers (oracle brute force).
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t f = 0; f < r.facets.size(); ++f) {
+      const Facet3& t = r.facets[f];
+      if (geom::xy_in_triangle(pts[t.a], pts[t.b], pts[t.c], pts[i]) &&
+          geom::on_or_below_plane(pts[t.a], pts[t.b], pts[t.c], pts[i])) {
+        r.facet_above[i] = static_cast<Index>(f);
+        break;
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace iph::seq

@@ -1,0 +1,23 @@
+// 3-d upper hull by gift wrapping (Chand-Kapur style pivoting restricted
+// to upward-facing facets) — the exact O(n·h) oracle the parallel 3-d
+// algorithm is validated against, and the paper's O(n h)-work brute
+// comparator in e05.
+//
+// General-position expectations: no two points share an xy-projection
+// among hull candidates, no 4 hull points coplanar, no 3 projected hull
+// points collinear. The random 3-d workload families satisfy these with
+// probability 1; degenerate inputs degrade gracefully (facets remain
+// valid upper-hull facets; some points may stay unassigned).
+#pragma once
+
+#include <span>
+
+#include "geom/hull_types.h"
+#include "geom/point.h"
+
+namespace iph::seq {
+
+/// Upper hull facets + per-point facet pointers of pts.
+geom::HullResult3D giftwrap_upper_hull3(std::span<const geom::Point3> pts);
+
+}  // namespace iph::seq

@@ -1,0 +1,48 @@
+#include "seq/graham.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "geom/predicates.h"
+
+namespace iph::seq {
+
+using geom::Index;
+using geom::Point2;
+
+std::vector<Index> graham_hull(std::span<const Point2> pts) {
+  const std::size_t n = pts.size();
+  std::vector<Index> order(n);
+  std::iota(order.begin(), order.end(), Index{0});
+  std::sort(order.begin(), order.end(), [&](Index a, Index b) {
+    return geom::lex_less(pts[a], pts[b]);
+  });
+  order.erase(std::unique(order.begin(), order.end(),
+                          [&](Index a, Index b) { return pts[a] == pts[b]; }),
+              order.end());
+  const std::size_t m = order.size();
+  if (m <= 2) return order;
+
+  // Andrew's variant of Graham scan: lower chain then upper chain.
+  std::vector<Index> h(2 * m);
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < m; ++i) {  // lower hull (CCW start)
+    while (k >= 2 &&
+           geom::orient2d(pts[h[k - 2]], pts[h[k - 1]], pts[order[i]]) <= 0) {
+      --k;
+    }
+    h[k++] = order[i];
+  }
+  const std::size_t lower_end = k + 1;
+  for (std::size_t i = m - 1; i-- > 0;) {  // upper hull
+    while (k >= lower_end &&
+           geom::orient2d(pts[h[k - 2]], pts[h[k - 1]], pts[order[i]]) <= 0) {
+      --k;
+    }
+    h[k++] = order[i];
+  }
+  h.resize(k - 1);  // last point equals the first
+  return h;
+}
+
+}  // namespace iph::seq

@@ -1,0 +1,20 @@
+// Graham's scan — full convex hull baseline (CCW order), Graham 1972.
+// Used as the oracle for the full-hull public API and in the e04 baseline
+// table.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geom/hull_types.h"
+#include "geom/point.h"
+
+namespace iph::seq {
+
+/// Indices of the convex hull vertices of pts in counterclockwise order,
+/// starting from the lexicographically smallest vertex. Strict hull
+/// (collinear boundary points excluded). Handles duplicates and fully
+/// collinear inputs (hull degenerates to 1 or 2 vertices).
+std::vector<geom::Index> graham_hull(std::span<const geom::Point2> pts);
+
+}  // namespace iph::seq

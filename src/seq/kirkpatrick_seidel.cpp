@@ -1,0 +1,187 @@
+#include "seq/kirkpatrick_seidel.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "geom/predicates.h"
+#include "support/check.h"
+
+namespace iph::seq {
+
+using geom::Index;
+using geom::Point2;
+
+namespace {
+
+/// sign(slope(p1->q1) - slope(p2->q2)); requires q.x > p.x in both pairs.
+int slope_cmp(std::span<const Point2> pts, std::pair<Index, Index> a,
+              std::pair<Index, Index> b) {
+  return -geom::cross_diff_sign(pts[a.first], pts[a.second], pts[b.first],
+                                pts[b.second]);
+}
+
+/// sign((u.y - K u.x) - (v.y - K v.x)) where K = slope(c->d), d.x > c.x.
+int support_cmp(std::span<const Point2> pts, Index u, Index v, Index c,
+                Index d) {
+  return -geom::cross_diff_sign(pts[v], pts[u], pts[c], pts[d]);
+}
+
+}  // namespace
+
+std::pair<Index, Index> ks_bridge(std::span<const Point2> pts,
+                                  std::span<const Index> cand_in, double a) {
+  std::vector<Index> cand(cand_in.begin(), cand_in.end());
+  for (int guard = 0; guard < 128; ++guard) {
+    IPH_CHECK(cand.size() >= 2);
+    if (cand.size() == 2) {
+      Index i = cand[0], j = cand[1];
+      if (pts[i].x > pts[j].x) std::swap(i, j);
+      IPH_CHECK(pts[i].x <= a && pts[j].x > a);
+      return {i, j};
+    }
+    // Pair up. Equal-x pairs: the lower point can be neither bridge
+    // endpoint (endpoints are topmost in their column), discard it.
+    std::vector<std::pair<Index, Index>> pairs;
+    std::vector<Index> next;
+    pairs.reserve(cand.size() / 2);
+    std::size_t t = 0;
+    for (; t + 1 < cand.size(); t += 2) {
+      Index u = cand[t], v = cand[t + 1];
+      if (pts[u].x == pts[v].x) {
+        next.push_back(pts[u].y >= pts[v].y ? u : v);
+      } else {
+        if (pts[u].x > pts[v].x) std::swap(u, v);
+        pairs.emplace_back(u, v);
+      }
+    }
+    if (t < cand.size()) next.push_back(cand[t]);  // odd leftover
+    if (pairs.empty()) {
+      // Only equal-x pairs this round; they already shrank the set.
+      cand = std::move(next);
+      continue;
+    }
+    // Median slope pair (c, d).
+    const std::size_t mid = pairs.size() / 2;
+    std::nth_element(pairs.begin(), pairs.begin() + mid, pairs.end(),
+                     [&](const auto& x, const auto& y) {
+                       return slope_cmp(pts, x, y) < 0;
+                     });
+    const Index c = pairs[mid].first, d = pairs[mid].second;
+    // Extreme points of direction K = slope(c,d): among all maximizers of
+    // y - Kx, pk has min x and pm has max x.
+    Index best = cand[0];
+    for (Index u : cand) {
+      if (support_cmp(pts, u, best, c, d) > 0) best = u;
+    }
+    Index pk = best, pm = best;
+    for (Index u : cand) {
+      if (support_cmp(pts, u, best, c, d) == 0) {
+        if (pts[u].x < pts[pk].x) pk = u;
+        if (pts[u].x > pts[pm].x) pm = u;
+      }
+    }
+    if (pts[pk].x <= a && pts[pm].x > a) {
+      return {pk, pm};
+    }
+    if (pts[pm].x <= a) {
+      // Support lies left of the line: bridge slope s* < K. In any pair
+      // with slope >= K the left point can be neither endpoint.
+      for (const auto& [p, q] : pairs) {
+        if (slope_cmp(pts, {p, q}, {c, d}) >= 0) {
+          next.push_back(q);
+        } else {
+          next.push_back(p);
+          next.push_back(q);
+        }
+      }
+    } else {
+      // Support right of the line: s* > K; in pairs with slope <= K the
+      // right point can be neither endpoint.
+      for (const auto& [p, q] : pairs) {
+        if (slope_cmp(pts, {p, q}, {c, d}) <= 0) {
+          next.push_back(p);
+        } else {
+          next.push_back(p);
+          next.push_back(q);
+        }
+      }
+    }
+    cand = std::move(next);
+  }
+  IPH_CHECK(false && "ks_bridge failed to converge");
+  return {geom::kNone, geom::kNone};
+}
+
+namespace {
+
+void connect(std::span<const Point2> pts, Index l, Index r,
+             std::vector<Index>& s, std::vector<Index>& out) {
+  // Median x of the candidate set, adjusted so that at least one
+  // candidate lies strictly right of it (r does: pts[r].x > a).
+  std::vector<Index> byx = s;
+  const std::size_t mid = (byx.size() - 1) / 2;
+  std::nth_element(byx.begin(), byx.begin() + mid, byx.end(),
+                   [&](Index u, Index v) { return pts[u].x < pts[v].x; });
+  double a = pts[byx[mid]].x;
+  if (a >= pts[r].x) {
+    // Median column is the right endpoint's: pick the largest x below it.
+    a = pts[l].x;
+    for (Index u : s) {
+      if (pts[u].x < pts[r].x && pts[u].x > a) a = pts[u].x;
+    }
+  }
+  const auto [i, j] = ks_bridge(pts, s, a);
+  if (i != l) {
+    std::vector<Index> left;
+    for (Index u : s) {
+      if (pts[u].x < pts[i].x || u == i) left.push_back(u);
+    }
+    connect(pts, l, i, left, out);
+  }
+  out.push_back(j);
+  if (j != r) {
+    std::vector<Index> right;
+    for (Index u : s) {
+      if (pts[u].x > pts[j].x || u == j) right.push_back(u);
+    }
+    connect(pts, j, r, right, out);
+  }
+}
+
+}  // namespace
+
+geom::UpperHull2D ks_upper_hull(std::span<const Point2> pts) {
+  geom::UpperHull2D hull;
+  const std::size_t n = pts.size();
+  if (n == 0) return hull;
+  Index l = 0, r = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (pts[i].x < pts[l].x || (pts[i].x == pts[l].x && pts[i].y > pts[l].y)) {
+      l = static_cast<Index>(i);
+    }
+    if (pts[i].x > pts[r].x || (pts[i].x == pts[r].x && pts[i].y > pts[r].y)) {
+      r = static_cast<Index>(i);
+    }
+  }
+  hull.vertices.push_back(l);
+  if (pts[l].x == pts[r].x) return hull;  // all points in one column
+  std::vector<Index> s;
+  s.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Keep one candidate per duplicate coordinate pair is unnecessary;
+    // the bridge handles duplicates. Exclude only points sharing a column
+    // with an endpoint but lying lower (they cannot be hull vertices and
+    // the endpoints already represent those columns).
+    const auto idx = static_cast<Index>(i);
+    if (idx == l || idx == r) continue;
+    if (pts[i].x == pts[l].x || pts[i].x == pts[r].x) continue;
+    s.push_back(idx);
+  }
+  s.push_back(l);
+  s.push_back(r);
+  connect(pts, l, r, s, hull.vertices);
+  return hull;
+}
+
+}  // namespace iph::seq

@@ -1,0 +1,30 @@
+// Kirkpatrick-Seidel "ultimate planar convex hull" — the sequential
+// O(n log h) upper-hull algorithm the paper's Theorem 5 matches in work
+// ([21] in the paper). Marriage-before-conquest: find the bridge over the
+// median vertical line by prune-and-search on slope medians, then recurse
+// on the two sides.
+//
+// All decisions (slope comparisons, support-point selection, sidedness)
+// go through the exact predicates, so the implementation is robust for
+// every double input, including the degenerate torture workloads.
+#pragma once
+
+#include <span>
+
+#include "geom/hull_types.h"
+#include "geom/point.h"
+
+namespace iph::seq {
+
+/// Upper hull of arbitrary-order points in O(n log h) time.
+geom::UpperHull2D ks_upper_hull(std::span<const geom::Point2> pts);
+
+/// The bridge subroutine, exposed for tests: given candidate indices
+/// `cand` (at least one point with x <= a and one with x > a) returns the
+/// upper-hull edge (i, j) of the candidate set with pts[i].x <= a <
+/// pts[j].x. Linear time in |cand|.
+std::pair<geom::Index, geom::Index> ks_bridge(
+    std::span<const geom::Point2> pts, std::span<const geom::Index> cand,
+    double a);
+
+}  // namespace iph::seq

@@ -1,0 +1,94 @@
+#include "seq/quickhull2d.h"
+
+#include <vector>
+
+#include "geom/predicates.h"
+
+namespace iph::seq {
+
+using geom::Index;
+using geom::Point2;
+
+namespace {
+
+// Signed double area of (a,b,p): > 0 when p is above/left of a->b. Used
+// only to pick the "farthest" pivot (a performance heuristic); all
+// correctness-bearing tests use the exact orient2d.
+double cross_val(const Point2& a, const Point2& b, const Point2& p) {
+  return (b.x - a.x) * (p.y - a.y) - (b.y - a.y) * (p.x - a.x);
+}
+
+void rec(std::span<const Point2> pts, Index l, Index r,
+         std::vector<Index>& cand, std::vector<Index>& out) {
+  if (cand.empty()) return;
+  // Pivot: the candidate with maximum double cross value. Near-ties may
+  // pick a non-extreme pivot; that only deepens recursion, never breaks
+  // correctness (partition tests below are exact).
+  Index f = cand[0];
+  double best = cross_val(pts[l], pts[r], pts[f]);
+  for (Index c : cand) {
+    const double v = cross_val(pts[l], pts[r], pts[c]);
+    if (v > best) {
+      best = v;
+      f = c;
+    }
+  }
+  std::vector<Index> left, right;
+  for (Index c : cand) {
+    if (c == f) continue;
+    if (geom::orient2d(pts[l], pts[f], pts[c]) > 0) {
+      left.push_back(c);
+    } else if (geom::orient2d(pts[f], pts[r], pts[c]) > 0) {
+      right.push_back(c);
+    }
+  }
+  cand.clear();
+  cand.shrink_to_fit();
+  rec(pts, l, f, left, out);
+  out.push_back(f);
+  rec(pts, f, r, right, out);
+}
+
+}  // namespace
+
+geom::UpperHull2D quickhull_upper(std::span<const Point2> pts) {
+  geom::UpperHull2D hull;
+  const std::size_t n = pts.size();
+  if (n == 0) return hull;
+  // Endpoints: topmost of the min-x column and topmost of the max-x column.
+  Index l = 0, r = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (pts[i].x < pts[l].x || (pts[i].x == pts[l].x && pts[i].y > pts[l].y)) {
+      l = static_cast<Index>(i);
+    }
+    if (pts[i].x > pts[r].x || (pts[i].x == pts[r].x && pts[i].y > pts[r].y)) {
+      r = static_cast<Index>(i);
+    }
+  }
+  if (pts[l].x == pts[r].x) {
+    hull.vertices.push_back(l == r ? l : (pts[l].y >= pts[r].y ? l : r));
+    return hull;
+  }
+  std::vector<Index> cand;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (geom::orient2d(pts[l], pts[r], pts[i]) > 0) {
+      cand.push_back(static_cast<Index>(i));
+    }
+  }
+  std::vector<Index> chain;
+  chain.push_back(l);
+  rec(pts, l, r, cand, chain);
+  chain.push_back(r);
+  // Strictify: drop collinear junction vertices (exact tests).
+  auto& v = hull.vertices;
+  for (Index idx : chain) {
+    while (v.size() >= 2 &&
+           geom::orient2d(pts[v[v.size() - 2]], pts[v.back()], pts[idx]) >= 0) {
+      v.pop_back();
+    }
+    v.push_back(idx);
+  }
+  return hull;
+}
+
+}  // namespace iph::seq

@@ -1,0 +1,18 @@
+// QuickHull (upper-hull variant) — the classic divide-and-conquer
+// baseline: O(n log n) expected on random inputs, O(n^2) worst case.
+// Included because the paper's unsorted algorithm is quicksort-like
+// (Section 4.1 compares its structure to randomized quicksort /
+// marriage-before-conquest); e04 reports QuickHull next to it.
+#pragma once
+
+#include <span>
+
+#include "geom/hull_types.h"
+#include "geom/point.h"
+
+namespace iph::seq {
+
+/// Upper hull of arbitrary-order points; indices refer to the input array.
+geom::UpperHull2D quickhull_upper(std::span<const geom::Point2> pts);
+
+}  // namespace iph::seq

@@ -1,0 +1,267 @@
+#include "seq/quickhull3d.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "geom/predicates.h"
+#include "support/check.h"
+
+namespace iph::seq {
+
+using geom::Facet3;
+using geom::Index;
+using geom::Point3;
+
+namespace {
+
+struct Face {
+  Index a, b, c;
+  std::vector<Index> outside;
+  bool alive = true;
+};
+
+std::uint64_t ekey(Index u, Index v) {
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+/// Approximate signed volume, used only to pick the farthest outside
+/// point (a heuristic; correctness rests on the exact predicates).
+double vol_approx(const Point3& a, const Point3& b, const Point3& c,
+                  const Point3& d) {
+  const double adx = a.x - d.x, ady = a.y - d.y, adz = a.z - d.z;
+  const double bdx = b.x - d.x, bdy = b.y - d.y, bdz = b.z - d.z;
+  const double cdx = c.x - d.x, cdy = c.y - d.y, cdz = c.z - d.z;
+  return adx * (bdy * cdz - bdz * cdy) - ady * (bdx * cdz - bdz * cdx) +
+         adz * (bdx * cdy - bdy * cdx);
+}
+
+bool collinear3(const Point3& a, const Point3& b, const Point3& c) {
+  return geom::orient2d({a.x, a.y}, {b.x, b.y}, {c.x, c.y}) == 0 &&
+         geom::orient2d({a.x, a.z}, {b.x, b.z}, {c.x, c.z}) == 0 &&
+         geom::orient2d({a.y, a.z}, {b.y, b.z}, {c.y, c.z}) == 0;
+}
+
+}  // namespace
+
+std::vector<Facet3> quickhull3(std::span<const Point3> pts) {
+  const std::size_t n = pts.size();
+  std::vector<Facet3> out;
+  if (n < 4) return out;
+
+  // Initial tetrahedron: lex extremes, a non-collinear third, a
+  // non-coplanar fourth.
+  Index p0 = 0, p1 = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (geom::lex_less(pts[i], pts[p0])) p0 = static_cast<Index>(i);
+    if (geom::lex_less(pts[p1], pts[i])) p1 = static_cast<Index>(i);
+  }
+  if (pts[p0] == pts[p1]) return out;  // all points identical
+  Index p2 = geom::kNone;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!collinear3(pts[p0], pts[p1], pts[i])) {
+      p2 = static_cast<Index>(i);
+      break;
+    }
+  }
+  if (p2 == geom::kNone) return out;  // all collinear
+  Index p3 = geom::kNone;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (geom::orient3d(pts[p0], pts[p1], pts[p2], pts[i]) != 0) {
+      p3 = static_cast<Index>(i);
+      break;
+    }
+  }
+  if (p3 == geom::kNone) return out;  // all coplanar
+
+  // Orientation convention: every stored face (a,b,c) has
+  // orient3d(a,b,c, interior) > 0.
+  if (geom::orient3d(pts[p0], pts[p1], pts[p2], pts[p3]) < 0) {
+    std::swap(p1, p2);
+  }
+  std::vector<Face> faces;
+  faces.push_back({p0, p1, p2, {}, true});  // opposite p3
+  faces.push_back({p0, p3, p1, {}, true});  // opposite p2
+  faces.push_back({p1, p3, p2, {}, true});  // opposite p0
+  faces.push_back({p0, p2, p3, {}, true});  // opposite p1
+  std::unordered_map<std::uint64_t, std::uint32_t> owner;
+  owner.reserve(n * 4);
+  auto claim_edges = [&](std::uint32_t f) {
+    owner[ekey(faces[f].a, faces[f].b)] = f;
+    owner[ekey(faces[f].b, faces[f].c)] = f;
+    owner[ekey(faces[f].c, faces[f].a)] = f;
+  };
+  for (std::uint32_t f = 0; f < 4; ++f) claim_edges(f);
+#ifndef NDEBUG
+  // The tetrahedron must be consistently oriented.
+  const Index all4[4] = {p0, p1, p2, p3};
+  for (const Face& f : faces) {
+    for (Index v : all4) {
+      IPH_DCHECK(geom::orient3d(pts[f.a], pts[f.b], pts[f.c], pts[v]) >= 0);
+    }
+  }
+#endif
+  // Seed outside sets: strictly visible points only.
+  std::vector<std::uint32_t> pending;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::uint32_t f = 0; f < 4; ++f) {
+      if (geom::orient3d(pts[faces[f].a], pts[faces[f].b], pts[faces[f].c],
+                         pts[i]) < 0) {
+        faces[f].outside.push_back(static_cast<Index>(i));
+        break;
+      }
+    }
+  }
+  for (std::uint32_t f = 0; f < 4; ++f) {
+    if (!faces[f].outside.empty()) pending.push_back(f);
+  }
+
+  while (!pending.empty()) {
+    const std::uint32_t f = pending.back();
+    pending.pop_back();
+    if (!faces[f].alive || faces[f].outside.empty()) continue;
+    // Farthest outside point of this face.
+    Index apex = faces[f].outside[0];
+    double best = -1.0;
+    for (const Index q : faces[f].outside) {
+      const double v = -vol_approx(pts[faces[f].a], pts[faces[f].b],
+                                   pts[faces[f].c], pts[q]);
+      if (v > best) {
+        best = v;
+        apex = q;
+      }
+    }
+    const Point3& ap = pts[apex];
+    // Visible region: BFS over adjacency.
+    std::vector<std::uint32_t> visible{f};
+    std::vector<std::uint8_t> mark(faces.size(), 0);
+    mark[f] = 1;
+    std::vector<std::pair<Index, Index>> horizon;  // directed, CCW
+    for (std::size_t t = 0; t < visible.size(); ++t) {
+      const Face cur = faces[visible[t]];
+      const std::pair<Index, Index> edges[3] = {
+          {cur.a, cur.b}, {cur.b, cur.c}, {cur.c, cur.a}};
+      for (const auto& [u, v] : edges) {
+        const auto it = owner.find(ekey(v, u));
+        IPH_CHECK(it != owner.end());
+        const std::uint32_t g = it->second;
+        if (mark[g]) continue;
+        const Face& gf = faces[g];
+        if (geom::orient3d(pts[gf.a], pts[gf.b], pts[gf.c], ap) < 0) {
+          mark.resize(std::max<std::size_t>(mark.size(), g + 1), 0);
+          mark[g] = 1;
+          visible.push_back(g);
+        } else {
+          horizon.emplace_back(u, v);
+        }
+      }
+    }
+    // Collect orphaned outside points, retire visible faces.
+    std::vector<Index> orphans;
+    for (const std::uint32_t v : visible) {
+      faces[v].alive = false;
+      orphans.insert(orphans.end(), faces[v].outside.begin(),
+                     faces[v].outside.end());
+      faces[v].outside.clear();
+      owner.erase(ekey(faces[v].a, faces[v].b));
+      owner.erase(ekey(faces[v].b, faces[v].c));
+      owner.erase(ekey(faces[v].c, faces[v].a));
+    }
+    // Fan of new faces over the horizon.
+    std::vector<std::uint32_t> fresh;
+    for (const auto& [u, v] : horizon) {
+      Face nf{u, v, apex, {}, true};
+      // Horizon edges carry the visible face's winding, which makes the
+      // fan consistently oriented (interior on the positive side).
+      IPH_DCHECK(geom::orient3d(pts[nf.a], pts[nf.b], pts[nf.c],
+                                pts[p0]) >= 0 ||
+                 (nf.a == p0 || nf.b == p0 || nf.c == p0));
+      faces.push_back(nf);
+      fresh.push_back(static_cast<std::uint32_t>(faces.size() - 1));
+      claim_edges(fresh.back());
+    }
+    // Redistribute orphans.
+    for (const Index q : orphans) {
+      if (q == apex) continue;
+      for (const std::uint32_t g : fresh) {
+        const Face& gf = faces[g];
+        if (geom::orient3d(pts[gf.a], pts[gf.b], pts[gf.c], pts[q]) < 0) {
+          faces[g].outside.push_back(q);
+          break;
+        }
+      }
+    }
+    for (const std::uint32_t g : fresh) {
+      if (!faces[g].outside.empty()) pending.push_back(g);
+    }
+  }
+  for (const Face& f : faces) {
+    if (f.alive) out.push_back(Facet3{f.a, f.b, f.c});
+  }
+  return out;
+}
+
+geom::HullResult3D quickhull_upper_hull3(std::span<const Point3> pts) {
+  geom::HullResult3D r;
+  r.facet_above.assign(pts.size(), geom::kNone);
+  const auto full = quickhull3(pts);
+  // Upward-facing facets: with the interior-positive orientation
+  // convention, outward normal has nz > 0 iff the xy winding is CCW.
+  for (const Facet3& f : full) {
+    if (geom::orient2d_xy(pts[f.a], pts[f.b], pts[f.c]) > 0) {
+      r.facets.push_back(f);
+    }
+  }
+  if (r.facets.empty()) return r;
+  // Point location: xy-grid over facet bounding boxes.
+  double x0 = pts[0].x, x1 = pts[0].x, y0 = pts[0].y, y1 = pts[0].y;
+  for (const auto& p : pts) {
+    x0 = std::min(x0, p.x);
+    x1 = std::max(x1, p.x);
+    y0 = std::min(y0, p.y);
+    y1 = std::max(y1, p.y);
+  }
+  const std::size_t g = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::sqrt(
+             static_cast<double>(r.facets.size()))));
+  const double dx = (x1 - x0) / static_cast<double>(g) + 1e-300;
+  const double dy = (y1 - y0) / static_cast<double>(g) + 1e-300;
+  auto cell_of = [&](double x, double y) {
+    auto cx = static_cast<std::size_t>((x - x0) / dx);
+    auto cy = static_cast<std::size_t>((y - y0) / dy);
+    if (cx >= g) cx = g - 1;
+    if (cy >= g) cy = g - 1;
+    return cy * g + cx;
+  };
+  std::vector<std::vector<std::uint32_t>> bucket(g * g);
+  for (std::uint32_t fi = 0; fi < r.facets.size(); ++fi) {
+    const Facet3& f = r.facets[fi];
+    double fx0 = pts[f.a].x, fx1 = fx0, fy0 = pts[f.a].y, fy1 = fy0;
+    for (Index v : {f.b, f.c}) {
+      fx0 = std::min(fx0, pts[v].x);
+      fx1 = std::max(fx1, pts[v].x);
+      fy0 = std::min(fy0, pts[v].y);
+      fy1 = std::max(fy1, pts[v].y);
+    }
+    const std::size_t c0 = cell_of(fx0, fy0), c1 = cell_of(fx1, fy1);
+    for (std::size_t cy = c0 / g; cy <= c1 / g; ++cy) {
+      for (std::size_t cx = c0 % g; cx <= c1 % g; ++cx) {
+        bucket[cy * g + cx].push_back(fi);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (const std::uint32_t fi : bucket[cell_of(pts[i].x, pts[i].y)]) {
+      const Facet3& f = r.facets[fi];
+      if (geom::xy_in_triangle(pts[f.a], pts[f.b], pts[f.c], pts[i]) &&
+          geom::on_or_below_plane(pts[f.a], pts[f.b], pts[f.c], pts[i])) {
+        r.facet_above[i] = fi;
+        break;
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace iph::seq

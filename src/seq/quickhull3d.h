@@ -1,0 +1,29 @@
+// QuickHull in 3-d — the scalable sequential baseline (expected
+// O(n log n) on the workload families) used as:
+//   * the substitute for the Reif-Sen fallback of Theorem 6 (DESIGN.md),
+//   * the e05 comparator,
+//   * a cross-check oracle for sizes where gift wrapping is too slow.
+//
+// The upper hull is extracted with the "deep point" trick: the full hull
+// of P + {(cx, cy, -M)} has exactly the upper-hull facets of P among the
+// facets that do not touch the deep point.
+#pragma once
+
+#include <span>
+
+#include "geom/hull_types.h"
+#include "geom/point.h"
+
+namespace iph::seq {
+
+/// Facets of the full convex hull of pts (triangulated, outward CCW).
+/// General-position oriented: coplanar facets get an arbitrary
+/// triangulation; exact predicates keep every output facet valid.
+std::vector<geom::Facet3> quickhull3(std::span<const geom::Point3> pts);
+
+/// Upper hull in the paper's output convention (facets + per-point facet
+/// pointers). Point location uses an xy-grid over facet bounding boxes
+/// (expected O(1) candidates per point on the workload families).
+geom::HullResult3D quickhull_upper_hull3(std::span<const geom::Point3> pts);
+
+}  // namespace iph::seq

@@ -1,0 +1,96 @@
+#include "seq/upper_hull.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "geom/predicates.h"
+#include "support/check.h"
+
+namespace iph::seq {
+
+using geom::Index;
+using geom::Point2;
+using geom::UpperHull2D;
+
+namespace {
+
+/// Core scan over an index sequence that is lex-sorted w.r.t. pts.
+UpperHull2D scan(std::span<const Point2> pts, std::span<const Index> order) {
+  UpperHull2D hull;
+  const std::size_t n = order.size();
+  if (n == 0) return hull;
+  // Locate the topmost point of the minimum-x column: with lex order that
+  // is the last index of the leading equal-x run.
+  std::size_t start = 0;
+  while (start + 1 < n && pts[order[start + 1]].x == pts[order[0]].x) {
+    ++start;
+  }
+  auto& v = hull.vertices;
+  v.push_back(order[start]);
+  for (std::size_t i = start + 1; i < n; ++i) {
+    const Point2& p = pts[order[i]];
+    if (p == pts[v.back()]) continue;  // exact duplicate
+    while (v.size() >= 2 &&
+           geom::orient2d(pts[v[v.size() - 2]], pts[v.back()], p) >= 0) {
+      v.pop_back();
+    }
+    // Same-x successor: it is lex-greater, hence higher; replace unless a
+    // turn test above already handled it (it cannot when v.size()==1).
+    if (pts[v.back()].x == p.x) {
+      v.back() = order[i];
+    } else {
+      v.push_back(order[i]);
+    }
+  }
+  return hull;
+}
+
+}  // namespace
+
+UpperHull2D upper_hull_presorted(std::span<const Point2> pts) {
+  std::vector<Index> order(pts.size());
+  std::iota(order.begin(), order.end(), Index{0});
+#ifndef NDEBUG
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    IPH_DCHECK(!geom::lex_less(pts[i], pts[i - 1]));
+  }
+#endif
+  return scan(pts, order);
+}
+
+UpperHull2D upper_hull(std::span<const Point2> pts) {
+  std::vector<Index> order(pts.size());
+  std::iota(order.begin(), order.end(), Index{0});
+  std::sort(order.begin(), order.end(), [&](Index a, Index b) {
+    return geom::lex_less(pts[a], pts[b]);
+  });
+  return scan(pts, order);
+}
+
+std::vector<Index> assign_edges_above(std::span<const Point2> pts,
+                                      const UpperHull2D& hull) {
+  std::vector<Index> out(pts.size(), geom::kNone);
+  const auto& v = hull.vertices;
+  if (v.size() < 2) return out;  // no edges
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const double x = pts[i].x;
+    // Last vertex with vertex.x <= x.
+    auto it = std::upper_bound(v.begin(), v.end(), x, [&](double xx, Index idx) {
+      return xx < pts[idx].x;
+    });
+    IPH_DCHECK(it != v.begin());
+    std::size_t j = static_cast<std::size_t>(it - v.begin()) - 1;
+    if (j + 1 == v.size()) --j;  // right endpoint column -> last edge
+    out[i] = static_cast<Index>(j);
+  }
+  return out;
+}
+
+geom::HullResult2D hull_result_2d(std::span<const Point2> pts) {
+  geom::HullResult2D r;
+  r.upper = upper_hull(pts);
+  r.edge_above = assign_edges_above(pts, r.upper);
+  return r;
+}
+
+}  // namespace iph::seq

@@ -1,0 +1,29 @@
+// Sequential monotone-chain upper hull (Andrew's algorithm) — the O(n)
+// presorted / O(n log n) unsorted baseline, and the oracle every parallel
+// algorithm is validated against.
+#pragma once
+
+#include <span>
+
+#include "geom/hull_types.h"
+#include "geom/point.h"
+
+namespace iph::seq {
+
+/// Upper hull of lexicographically sorted points, O(n). Indices refer to
+/// the input array. Strict hull: no collinear interior vertices.
+geom::UpperHull2D upper_hull_presorted(std::span<const geom::Point2> pts);
+
+/// Upper hull of arbitrary-order points, O(n log n): sorts an index
+/// permutation internally; returned indices refer to the ORIGINAL array.
+geom::UpperHull2D upper_hull(std::span<const geom::Point2> pts);
+
+/// Assign to each point the hull edge at or above it (binary search per
+/// point, O(n log h)). Matches the paper's output convention.
+std::vector<geom::Index> assign_edges_above(std::span<const geom::Point2> pts,
+                                            const geom::UpperHull2D& hull);
+
+/// Convenience oracle: hull + per-point edge pointers.
+geom::HullResult2D hull_result_2d(std::span<const geom::Point2> pts);
+
+}  // namespace iph::seq

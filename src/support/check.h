@@ -1,0 +1,34 @@
+// Lightweight runtime checking macros.
+//
+// IPH_CHECK is always on (used for API contract violations and internal
+// invariants whose failure would silently corrupt results). IPH_DCHECK
+// compiles out in NDEBUG builds and is used on hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace iph::support {
+
+[[noreturn]] inline void check_failed(const char* file, int line,
+                                      const char* expr) {
+  std::fprintf(stderr, "IPH_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace iph::support
+
+#define IPH_CHECK(expr)                                        \
+  do {                                                         \
+    if (!(expr)) {                                             \
+      ::iph::support::check_failed(__FILE__, __LINE__, #expr); \
+    }                                                          \
+  } while (0)
+
+#ifdef NDEBUG
+#define IPH_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#else
+#define IPH_DCHECK(expr) IPH_CHECK(expr)
+#endif

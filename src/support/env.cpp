@@ -1,0 +1,24 @@
+#include "support/env.h"
+
+#include <cstdlib>
+#include <thread>
+
+namespace iph::support {
+
+unsigned env_threads() noexcept {
+  if (const char* s = std::getenv("IPH_THREADS")) {
+    const long v = std::strtol(s, nullptr, 10);
+    if (v >= 1 && v <= 4096) return static_cast<unsigned>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+std::uint64_t env_seed() noexcept {
+  if (const char* s = std::getenv("IPH_SEED")) {
+    return std::strtoull(s, nullptr, 0);
+  }
+  return 0x19910722ULL;  // SPAA'91
+}
+
+}  // namespace iph::support

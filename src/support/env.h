@@ -1,0 +1,18 @@
+// Environment-variable configuration knobs shared by tests, benches and
+// examples. All knobs have safe defaults so binaries run with no setup:
+//   IPH_THREADS  — hardware threads backing the PRAM simulator (default:
+//                  std::thread::hardware_concurrency()).
+//   IPH_SEED     — master RNG seed (default 0x1991'07'22, the venue date).
+#pragma once
+
+#include <cstdint>
+
+namespace iph::support {
+
+/// Number of hardware threads the simulator should use.
+unsigned env_threads() noexcept;
+
+/// Master seed for randomized algorithms unless a caller overrides it.
+std::uint64_t env_seed() noexcept;
+
+}  // namespace iph::support

@@ -1,0 +1,58 @@
+#include "support/mathutil.h"
+
+#include <cmath>
+#include <limits>
+
+namespace iph::support {
+
+unsigned log_star(std::uint64_t n) noexcept {
+  unsigned r = 0;
+  // Work in double once n drops below 2^53; exact for the integer part of
+  // the tower since every intermediate value is tiny.
+  double x = static_cast<double>(n);
+  while (x > 1.0) {
+    x = std::log2(x);
+    ++r;
+  }
+  return r;
+}
+
+std::uint64_t ipow_sat(std::uint64_t base, unsigned exp) noexcept {
+  std::uint64_t r = 1;
+  for (unsigned i = 0; i < exp; ++i) {
+    if (base != 0 && r > std::numeric_limits<std::uint64_t>::max() / base) {
+      return std::numeric_limits<std::uint64_t>::max();
+    }
+    r *= base;
+  }
+  return r;
+}
+
+std::uint64_t ipow_frac(std::uint64_t x, double exponent) noexcept {
+  if (x == 0) return 0;
+  const double v = std::pow(static_cast<double>(x), exponent);
+  if (v >= 9.0e18) return std::numeric_limits<std::uint64_t>::max();
+  const auto r = static_cast<std::uint64_t>(v);
+  return r == 0 ? 1 : r;
+}
+
+double chernoff_upper(double mu, double delta) noexcept {
+  if (mu <= 0.0 || delta <= 0.0) return 1.0;
+  // Compute in log space to avoid overflow for large mu.
+  const double log_bound = mu * (delta - (1.0 + delta) * std::log1p(delta));
+  return std::exp(log_bound);
+}
+
+double chernoff_lower(double mu, double delta) noexcept {
+  if (mu <= 0.0 || delta <= 0.0) return 1.0;
+  if (delta >= 1.0) delta = 1.0;
+  double log_bound;
+  if (delta == 1.0) {
+    log_bound = -mu;  // limit of -delta - (1-delta)log(1-delta) at delta=1
+  } else {
+    log_bound = mu * (-delta - (1.0 - delta) * std::log1p(-delta));
+  }
+  return std::exp(log_bound);
+}
+
+}  // namespace iph::support

@@ -1,0 +1,53 @@
+// Small integer/real math helpers used across the library: logarithms,
+// iterated logarithm (log*), integer powers, and the Chernoff tail bounds
+// of Lemma 2.3 (used by tests/benches to compare measured failure rates
+// against the paper's predictions).
+#pragma once
+
+#include <cstdint>
+
+namespace iph::support {
+
+/// floor(log2(x)) for x >= 1.
+constexpr unsigned floor_log2(std::uint64_t x) noexcept {
+  unsigned r = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++r;
+  }
+  return r;
+}
+
+/// ceil(log2(x)) for x >= 1.
+constexpr unsigned ceil_log2(std::uint64_t x) noexcept {
+  if (x <= 1) return 0;
+  return floor_log2(x - 1) + 1;
+}
+
+/// Smallest power of two >= x (x >= 1).
+constexpr std::uint64_t ceil_pow2(std::uint64_t x) noexcept {
+  return std::uint64_t{1} << ceil_log2(x < 1 ? 1 : x);
+}
+
+/// Iterated logarithm: the number of times log2 must be applied to n
+/// before the result is <= 1. log_star(2)=1, log_star(16)=3,
+/// log_star(65536)=4, log_star(2^65536)=5.
+unsigned log_star(std::uint64_t n) noexcept;
+
+/// Integer power with saturation at uint64 max.
+std::uint64_t ipow_sat(std::uint64_t base, unsigned exp) noexcept;
+
+/// x^(num/den) rounded down, computed in floating point then clamped to be
+/// monotone-safe for the processor/space budgeting uses in the algorithms.
+std::uint64_t ipow_frac(std::uint64_t x, double exponent) noexcept;
+
+/// Chernoff upper-tail bound of Lemma 2.3:
+///   Prob(X > (1+delta) mu) < (e^delta / (1+delta)^(1+delta))^mu.
+double chernoff_upper(double mu, double delta) noexcept;
+
+/// Chernoff lower-tail bound of Lemma 2.3 (0 < delta <= 1):
+///   Prob(X < (1-delta) mu) < (e^-delta / (1-delta)^(1-delta))^mu
+///   (equivalently exp(-mu delta^2 / 2)).
+double chernoff_lower(double mu, double delta) noexcept;
+
+}  // namespace iph::support

@@ -1,0 +1,73 @@
+// Deterministic, schedule-independent randomness for the PRAM simulator.
+//
+// Virtual processors must draw random bits that do not depend on how they
+// are multiplexed onto hardware threads, or runs would not be reproducible.
+// We therefore use counter-based generation: every draw is a pure function
+// of (seed, stream, counter). SplitMix64 is used as the bijective mixer; it
+// passes BigCrush as a mixer of distinct counters and is more than adequate
+// for the Bernoulli/vote/sample draws the algorithms make.
+#pragma once
+
+#include <cstdint>
+
+namespace iph::support {
+
+/// SplitMix64 finalizer: a bijective mixing of a 64-bit value.
+constexpr std::uint64_t splitmix64(std::uint64_t z) noexcept {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d4a2fcf31db1f9ULL;
+  return z ^ (z >> 31);
+}
+
+/// Mix three 64-bit values (seed, stream id, counter) into one random word.
+constexpr std::uint64_t mix3(std::uint64_t seed, std::uint64_t stream,
+                             std::uint64_t counter) noexcept {
+  std::uint64_t h = splitmix64(seed ^ 0x2545f4914f6cdd1dULL);
+  h = splitmix64(h ^ stream);
+  h = splitmix64(h ^ counter);
+  return h;
+}
+
+/// A tiny counter-based RNG handle for one virtual processor in one PRAM
+/// step. Cheap to construct; draws are independent across (seed, stream,
+/// counter) triples.
+class Rng {
+ public:
+  constexpr Rng(std::uint64_t seed, std::uint64_t stream,
+                std::uint64_t counter = 0) noexcept
+      : seed_(seed), stream_(stream), counter_(counter) {}
+
+  /// Next raw 64 random bits.
+  constexpr std::uint64_t next_u64() noexcept {
+    return mix3(seed_, stream_, counter_++);
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0. Uses the widening
+  /// multiply trick (Lemire); the modulo bias is < 2^-32 for bound < 2^32,
+  /// which is far below the failure probabilities we measure.
+  constexpr std::uint64_t next_below(std::uint64_t bound) noexcept {
+    using u128 = unsigned __int128;
+    return static_cast<std::uint64_t>(
+        (static_cast<u128>(next_u64()) * static_cast<u128>(bound)) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  constexpr bool bernoulli(double p) noexcept {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return next_double() < p;
+  }
+
+ private:
+  std::uint64_t seed_;
+  std::uint64_t stream_;
+  std::uint64_t counter_;
+};
+
+}  // namespace iph::support

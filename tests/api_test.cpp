@@ -1,0 +1,140 @@
+// Tests for the public API (core/api.h) and the log* algorithm
+// (Theorem 2).
+#include <gtest/gtest.h>
+
+#include "core/api.h"
+#include "core/presorted_logstar.h"
+#include "geom/validate.h"
+#include "geom/workloads.h"
+#include "pram/machine.h"
+#include "seq/graham.h"
+#include "seq/upper_hull.h"
+
+namespace iph {
+namespace {
+
+using geom::Family2D;
+using geom::Point2;
+
+TEST(Api, UpperHull2DMatchesOracle) {
+  const auto pts = geom::in_disk(2000, 3);
+  const auto h = upper_hull_2d(pts);
+  std::string err;
+  EXPECT_TRUE(geom::validate_upper_hull(pts, h.result.upper, &err)) << err;
+  EXPECT_TRUE(geom::validate_edge_above(pts, h.result, &err)) << err;
+  EXPECT_GT(h.metrics.steps, 0u);
+  EXPECT_GT(h.metrics.work, 0u);
+}
+
+TEST(Api, PresortedVariantsAgree) {
+  auto pts = geom::gaussian2(3000, 7);
+  geom::sort_lex(pts);
+  const auto want = seq::upper_hull_presorted(pts);
+  for (Algo2D a : {Algo2D::kPresortedConstant, Algo2D::kPresortedLogstar,
+                   Algo2D::kFallback}) {
+    Options o;
+    o.algo = a;
+    const auto h = upper_hull_2d_presorted(pts, o);
+    ASSERT_EQ(h.result.upper.vertices.size(), want.vertices.size())
+        << static_cast<int>(a);
+    for (std::size_t i = 0; i < want.vertices.size(); ++i) {
+      EXPECT_EQ(pts[h.result.upper.vertices[i]], pts[want.vertices[i]]);
+    }
+  }
+}
+
+TEST(Api, FullHullMatchesGraham) {
+  const auto pts = geom::in_square(1500, 11);
+  const auto full = convex_hull_2d(pts);
+  const auto want = seq::graham_hull(pts);
+  ASSERT_EQ(full.vertices.size(), want.size());
+  // Same cyclic sequence (both CCW; rotations may differ).
+  const auto rot = std::find(full.vertices.begin(), full.vertices.end(),
+                             want[0]);
+  ASSERT_NE(rot, full.vertices.end());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(full.vertices[(static_cast<std::size_t>(
+                                 rot - full.vertices.begin()) +
+                             i) %
+                            full.vertices.size()],
+              want[i]);
+  }
+}
+
+TEST(Api, UpperHull3DValid) {
+  const auto pts = geom::in_ball(1200, 13);
+  const auto h = upper_hull_3d(pts);
+  std::string err;
+  EXPECT_TRUE(geom::validate_hull3d(pts, h.result, true, &err)) << err;
+}
+
+TEST(Api, SeedChangesRandomizedPath) {
+  const auto pts = geom::in_disk(2000, 5);
+  Options a, b;
+  a.seed = 1;
+  b.seed = 2;
+  const auto ha = upper_hull_2d(pts, a);
+  const auto hb = upper_hull_2d(pts, b);
+  // Same hull, different random execution (metrics usually differ).
+  EXPECT_EQ(ha.result.upper.vertices.size(),
+            hb.result.upper.vertices.size());
+}
+
+// --- Theorem 2 (log*) ---------------------------------------------------
+
+class LogstarSweep
+    : public ::testing::TestWithParam<std::tuple<Family2D, int>> {};
+
+TEST_P(LogstarSweep, MatchesOracle) {
+  const auto [family, n] = GetParam();
+  auto pts = geom::make2d(family, static_cast<std::size_t>(n), 31);
+  geom::sort_lex(pts);
+  pram::Machine m(1, 17);
+  core::LogstarStats stats;
+  const auto r = core::presorted_logstar_hull(m, pts, &stats);
+  std::string err;
+  ASSERT_TRUE(geom::validate_upper_hull(pts, r.upper, &err))
+      << geom::family_name(family) << " n=" << n << ": " << err;
+  ASSERT_TRUE(geom::validate_edge_above(pts, r, &err)) << err;
+}
+
+std::string logstar_name(
+    const ::testing::TestParamInfo<std::tuple<Family2D, int>>& info) {
+  const auto [family, n] = info.param;
+  return geom::family_name(family) + "_n" + std::to_string(n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LogstarSweep,
+    ::testing::Combine(::testing::ValuesIn(geom::kAllFamilies2D),
+                       ::testing::Values(1, 50, 3000, 20000)),
+    logstar_name);
+
+TEST(Logstar, RecursionDepthIsLogStar) {
+  auto pts = geom::in_disk(1 << 16, 3);
+  geom::sort_lex(pts);
+  pram::Machine m(1, 5);
+  core::LogstarStats stats;
+  core::presorted_logstar_hull(m, pts, &stats);
+  // log*(2^16) is 4; at this scale one grouping level reaches the
+  // constant-time base case.
+  EXPECT_LE(stats.recursion_depth, 4u);
+  EXPECT_GE(stats.groups, 2u);
+}
+
+TEST(Logstar, StepsNearlyFlatAcrossSizes) {
+  std::vector<std::uint64_t> steps;
+  for (std::size_t n : {std::size_t{1} << 13, std::size_t{1} << 17}) {
+    auto pts = geom::in_disk(n, 9);
+    geom::sort_lex(pts);
+    pram::Machine m(1, 7);
+    core::presorted_logstar_hull(m, pts);
+    steps.push_back(m.metrics().steps);
+  }
+  // A 16x larger input may take at most ~2x the steps (log* growth plus
+  // constant-time noise) — nothing resembling log n scaling.
+  EXPECT_LE(steps[1], steps[0] * 2 + 64);
+}
+
+}  // namespace
+}  // namespace iph

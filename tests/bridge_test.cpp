@@ -1,0 +1,302 @@
+// Tests for brute-force LP (Observation 2.2) and in-place bridge finding
+// (Section 3.3, Lemmas 4.1-4.2), validated against the sequential
+// Kirkpatrick-Seidel bridge and the gift-wrapping 3-d oracle.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <tuple>
+
+#include "geom/predicates.h"
+#include "geom/validate.h"
+#include "geom/workloads.h"
+#include "pram/machine.h"
+#include "primitives/brute_force_lp.h"
+#include "primitives/inplace_bridge.h"
+#include "seq/giftwrap3d.h"
+#include "seq/kirkpatrick_seidel.h"
+#include "seq/upper_hull.h"
+
+namespace iph::primitives {
+namespace {
+
+using geom::Index;
+using geom::Point2;
+using geom::Point3;
+
+std::vector<Index> all_indices(std::size_t n) {
+  std::vector<Index> v(n);
+  std::iota(v.begin(), v.end(), Index{0});
+  return v;
+}
+
+/// A valid bridge above pts[s]: spans s's x and dominates every point.
+void expect_valid_bridge(std::span<const Point2> pts,
+                         std::pair<Index, Index> e, Index s) {
+  ASSERT_NE(e.first, geom::kNone);
+  ASSERT_NE(e.second, geom::kNone);
+  const Point2 a = pts[e.first], b = pts[e.second];
+  ASSERT_LT(a.x, b.x);
+  EXPECT_LE(a.x, pts[s].x);
+  EXPECT_LE(pts[s].x, b.x);
+  for (const auto& p : pts) {
+    EXPECT_LE(geom::orient2d(a, b, p), 0);
+  }
+}
+
+TEST(BruteBridge2D, SimpleRoof) {
+  pram::Machine m(1);
+  std::vector<Point2> pts{{0, 0}, {1, 5}, {3, 4}, {2, 0}, {1.5, 2}};
+  const auto idx = all_indices(pts.size());
+  const auto e = brute_bridge_2d(m, pts, idx, 4);  // splitter (1.5, 2)
+  EXPECT_EQ(e.first, 1u);
+  EXPECT_EQ(e.second, 2u);
+}
+
+TEST(BruteBridge2D, SplitterIsHullVertex) {
+  pram::Machine m(1);
+  std::vector<Point2> pts{{0, 0}, {1, 1}, {2, 0}};
+  const auto idx = all_indices(pts.size());
+  const auto e = brute_bridge_2d(m, pts, idx, 1);
+  expect_valid_bridge(pts, e, 1);
+}
+
+TEST(BruteBridge2D, CollinearPrefersMaximalEdge) {
+  pram::Machine m(1);
+  std::vector<Point2> pts{{0, 0}, {2, 2}, {4, 4}, {8, 8}, {4, 0}};
+  const auto idx = all_indices(pts.size());
+  const auto e = brute_bridge_2d(m, pts, idx, 1);
+  EXPECT_EQ(e.first, 0u);
+  EXPECT_EQ(e.second, 3u);  // the full segment, not a sub-segment
+}
+
+TEST(BruteBridge2D, DegenerateColumnReturnsNone) {
+  pram::Machine m(1);
+  std::vector<Point2> pts{{1, 0}, {1, 5}, {1, 2}};
+  const auto idx = all_indices(pts.size());
+  const auto e = brute_bridge_2d(m, pts, idx, 0);
+  EXPECT_EQ(e.first, geom::kNone);
+}
+
+TEST(BruteBridge2D, MatchesKSBridgeOnRandom) {
+  pram::Machine m(1);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    auto pts = geom::in_disk(60, seed + 50);
+    const auto idx = all_indices(pts.size());
+    const auto hull = seq::upper_hull(pts);
+    for (Index s : {Index{0}, Index{17}, Index{59}}) {
+      const auto got = brute_bridge_2d(m, pts, idx, s);
+      expect_valid_bridge(pts, got, s);
+      // When the splitter is itself a hull vertex, both incident edges
+      // are legitimate bridges; compare against the KS bridge only in
+      // the unambiguous (non-vertex) case.
+      const bool is_vertex =
+          std::find(hull.vertices.begin(), hull.vertices.end(), s) !=
+          hull.vertices.end();
+      if (!is_vertex) {
+        const auto want = seq::ks_bridge(pts, idx, pts[s].x);
+        EXPECT_EQ(got.first, want.first);
+        EXPECT_EQ(got.second, want.second);
+      }
+    }
+  }
+}
+
+TEST(BruteBridge2D, BatchedMatchesSingle) {
+  pram::Machine m(1);
+  auto pts = geom::gaussian2(80, 9);
+  const auto idx = all_indices(pts.size());
+  std::vector<std::vector<Index>> subsets;
+  std::vector<std::pair<Index, Index>> gaps;
+  for (Index s : {Index{3}, Index{40}, Index{79}}) {
+    subsets.push_back(idx);
+    gaps.emplace_back(s, s);
+  }
+  const auto batched = batched_brute_bridge_2d(m, pts, subsets, gaps);
+  for (std::size_t t = 0; t < gaps.size(); ++t) {
+    const auto single = brute_bridge_2d(m, pts, idx, gaps[t].first);
+    EXPECT_EQ(batched[t], single);
+  }
+}
+
+TEST(BruteBridge2D, ConstantStepsRegardlessOfProblemCount) {
+  pram::Machine m(1);
+  auto pts = geom::in_disk(40, 3);
+  const auto idx = all_indices(pts.size());
+  std::vector<std::vector<Index>> subsets(20, idx);
+  std::vector<std::pair<Index, Index>> gaps(20, {7, 7});
+  const auto before = m.metrics().steps;
+  batched_brute_bridge_2d(m, pts, subsets, gaps);
+  EXPECT_LE(m.metrics().steps - before, 4u);
+}
+
+TEST(BruteFacet3D, ValidFacetAboveSplitter) {
+  pram::Machine m(1);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    auto pts = geom::in_ball(40, seed);
+    const auto idx = all_indices(pts.size());
+    const Index s = static_cast<Index>(seed * 7 % pts.size());
+    const auto f = brute_facet_3d(m, pts, idx, s);
+    ASSERT_NE(f.a, geom::kNone);
+    EXPECT_TRUE(geom::xy_in_triangle(pts[f.a], pts[f.b], pts[f.c], pts[s]));
+    for (const auto& p : pts) {
+      EXPECT_TRUE(geom::on_or_below_plane(pts[f.a], pts[f.b], pts[f.c], p));
+    }
+  }
+}
+
+TEST(BruteFacet3D, MatchesOracleFacetPlane) {
+  pram::Machine m(1);
+  // Mostly-interior workload so splitters are usually NOT hull vertices
+  // (a hull-vertex splitter admits many supporting planes).
+  auto pts = geom::extreme_k3(60, 8, 11);
+  const auto idx = all_indices(pts.size());
+  const auto oracle = seq::giftwrap_upper_hull3(pts);
+  const auto hull_verts = geom::hull3d_vertex_set(oracle);
+  int compared = 0;
+  for (Index s = 0; s < pts.size(); s += 5) {
+    if (std::binary_search(hull_verts.begin(), hull_verts.end(), s)) {
+      continue;
+    }
+    const auto f = brute_facet_3d(m, pts, idx, s);
+    ASSERT_NE(f.a, geom::kNone) << "splitter " << s;
+    const Index of = oracle.facet_above[s];
+    ASSERT_NE(of, geom::kNone);
+    // Same supporting plane: the oracle facet's vertices lie ON the
+    // brute facet's plane (general position => identical planes).
+    const auto& t = oracle.facets[of];
+    for (Index v : {t.a, t.b, t.c}) {
+      EXPECT_TRUE(
+          geom::on_or_below_plane(pts[f.a], pts[f.b], pts[f.c], pts[v]))
+          << "splitter " << s;
+      EXPECT_FALSE(
+          geom::strictly_below_plane(pts[f.a], pts[f.b], pts[f.c], pts[v]))
+          << "splitter " << s;
+    }
+    ++compared;
+  }
+  EXPECT_GE(compared, 5);
+}
+
+TEST(BruteFacet3D, DegenerateReturnsNone) {
+  pram::Machine m(1);
+  std::vector<Point3> flatline{{0, 0, 0}, {1, 1, 3}, {2, 2, 1}, {3, 3, 2}};
+  const auto idx = all_indices(flatline.size());
+  const auto f = brute_facet_3d(m, flatline, idx, 0);
+  EXPECT_EQ(f.a, geom::kNone);
+}
+
+// --- in-place bridge finding -------------------------------------------
+
+TEST(InplaceBridge2D, SingleProblemWholeArray) {
+  pram::Machine m(1, 2025);
+  auto pts = geom::in_disk(4000, 21);
+  std::vector<std::uint32_t> problem_of(pts.size(), 0);
+  BridgeProblem pr;
+  pr.splitter = 1234;
+  pr.size_est = pts.size();
+  pr.k = 16;  // ~ n^(1/3)
+  const auto out = inplace_bridges_2d(m, pts, problem_of, {&pr, 1});
+  ASSERT_TRUE(out[0].ok);
+  expect_valid_bridge(pts, {out[0].a, out[0].b}, pr.splitter);
+  const auto want =
+      seq::ks_bridge(pts, all_indices(pts.size()), pts[pr.splitter].x);
+  EXPECT_EQ(out[0].a, want.first);
+  EXPECT_EQ(out[0].b, want.second);
+}
+
+TEST(InplaceBridge2D, ManyScatteredProblems) {
+  pram::Machine m(1, 77);
+  auto pts = geom::gaussian2(6000, 5);
+  // Problems are interleaved mod 4 — points of one problem are NOT
+  // contiguous (the in-place property under test).
+  std::vector<std::uint32_t> problem_of(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) problem_of[i] = i % 4;
+  std::vector<BridgeProblem> prs(4);
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    prs[p].splitter = p;  // point p belongs to problem p (p % 4 == p)
+    prs[p].size_est = pts.size() / 4;
+    prs[p].k = 12;
+  }
+  const auto out = inplace_bridges_2d(m, pts, problem_of, prs);
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    ASSERT_TRUE(out[p].ok) << "problem " << p;
+    // Validate against the problem's own point set.
+    std::vector<Index> members;
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      if (problem_of[i] == p) members.push_back(static_cast<Index>(i));
+    }
+    const auto want = seq::ks_bridge(pts, members, pts[prs[p].splitter].x);
+    EXPECT_EQ(out[p].a, want.first);
+    EXPECT_EQ(out[p].b, want.second);
+    // Endpoints belong to the problem.
+    EXPECT_EQ(problem_of[out[p].a], p);
+    EXPECT_EQ(problem_of[out[p].b], p);
+  }
+}
+
+TEST(InplaceBridge2D, ConstantStepsManyProblems) {
+  pram::Machine m(1, 3);
+  auto pts = geom::in_disk(8000, 9);
+  std::vector<std::uint32_t> problem_of(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) problem_of[i] = i % 8;
+  std::vector<BridgeProblem> prs(8);
+  for (std::uint32_t p = 0; p < 8; ++p) {
+    prs[p] = {p, pts.size() / 8, 10};
+  }
+  const auto before = m.metrics().steps;
+  const auto out = inplace_bridges_2d(m, pts, problem_of, prs);
+  // <= 6 steps per round * alpha rounds + setup.
+  EXPECT_LE(m.metrics().steps - before, 8u * kDefaultAlpha + 4u);
+  for (const auto& o : out) EXPECT_TRUE(o.ok);
+}
+
+TEST(InplaceBridge2D, DeterministicAcrossThreads) {
+  auto pts = geom::in_disk(3000, 13);
+  std::vector<std::uint32_t> problem_of(pts.size(), 0);
+  auto run = [&](unsigned threads) {
+    pram::Machine m(threads, 555);
+    BridgeProblem pr{17, pts.size(), 14};
+    const auto out = inplace_bridges_2d(m, pts, problem_of, {&pr, 1});
+    return std::make_tuple(out[0].a, out[0].b, out[0].iterations);
+  };
+  EXPECT_EQ(run(1), run(4));
+}
+
+TEST(InplaceBridge3D, SingleProblemMatchesOraclePlane) {
+  pram::Machine m(1, 31);
+  auto pts = geom::in_ball(1500, 17);
+  std::vector<std::uint32_t> problem_of(pts.size(), 0);
+  BridgeProblem pr{42, pts.size(), 8};  // k ~ n^(1/4)
+  const auto out = inplace_bridges_3d(m, pts, problem_of, {&pr, 1});
+  ASSERT_TRUE(out[0].ok);
+  const auto& f = out[0].facet;
+  EXPECT_TRUE(geom::xy_in_triangle(pts[f.a], pts[f.b], pts[f.c], pts[42]));
+  for (const auto& p : pts) {
+    EXPECT_TRUE(geom::on_or_below_plane(pts[f.a], pts[f.b], pts[f.c], p));
+  }
+}
+
+TEST(InplaceBridge3D, ScatteredProblems) {
+  pram::Machine m(1, 8);
+  auto pts = geom::in_cube(2000, 29);
+  std::vector<std::uint32_t> problem_of(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) problem_of[i] = i % 3;
+  std::vector<BridgeProblem> prs(3);
+  for (std::uint32_t p = 0; p < 3; ++p) prs[p] = {p, pts.size() / 3, 7};
+  const auto out = inplace_bridges_3d(m, pts, problem_of, prs);
+  for (std::uint32_t p = 0; p < 3; ++p) {
+    ASSERT_TRUE(out[p].ok);
+    const auto& f = out[p].facet;
+    EXPECT_EQ(problem_of[f.a], p);
+    EXPECT_EQ(problem_of[f.b], p);
+    EXPECT_EQ(problem_of[f.c], p);
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      if (problem_of[i] != p) continue;
+      EXPECT_TRUE(
+          geom::on_or_below_plane(pts[f.a], pts[f.b], pts[f.c], pts[i]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace iph::primitives

@@ -1,0 +1,105 @@
+// Bit-reproducibility across hardware thread counts: the simulator's
+// contract is that a run is a pure function of (input, seed), never of
+// the pool scheduling. Every randomized algorithm is swept over 1/2/4/8
+// threads and must produce identical outputs AND identical PRAM metrics.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/fallback2d.h"
+#include "core/presorted_constant.h"
+#include "core/presorted_logstar.h"
+#include "core/unsorted2d.h"
+#include "core/unsorted3d.h"
+#include "geom/workloads.h"
+#include "pram/machine.h"
+
+namespace iph {
+namespace {
+
+using geom::Point2;
+
+struct Fingerprint {
+  std::vector<geom::Index> vertices;
+  std::vector<geom::Index> pointers;
+  std::uint64_t steps = 0;
+  std::uint64_t work = 0;
+
+  bool operator==(const Fingerprint&) const = default;
+};
+
+class ThreadDeterminism : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadDeterminism, AllAlgorithmsBitIdentical) {
+  const int algo = GetParam();
+  auto run = [&](unsigned threads) {
+    Fingerprint f;
+    switch (algo) {
+      case 0: {
+        const auto pts = geom::in_disk(3000, 5);
+        pram::Machine m(threads, 99);
+        const auto r = core::unsorted_hull_2d(m, pts);
+        f = {r.upper.vertices, r.edge_above, m.metrics().steps,
+             m.metrics().work};
+        break;
+      }
+      case 1: {
+        auto pts = geom::gaussian2(4000, 5);
+        geom::sort_lex(pts);
+        pram::Machine m(threads, 99);
+        const auto r = core::presorted_constant_hull(m, pts);
+        f = {r.upper.vertices, r.edge_above, m.metrics().steps,
+             m.metrics().work};
+        break;
+      }
+      case 2: {
+        auto pts = geom::in_square(8000, 5);
+        geom::sort_lex(pts);
+        pram::Machine m(threads, 99);
+        const auto r = core::presorted_logstar_hull(m, pts);
+        f = {r.upper.vertices, r.edge_above, m.metrics().steps,
+             m.metrics().work};
+        break;
+      }
+      case 3: {
+        const auto pts = geom::with_duplicates(2500, 5);
+        pram::Machine m(threads, 99);
+        const auto r = core::fallback_hull_2d(m, pts);
+        f = {r.upper.vertices, r.edge_above, m.metrics().steps,
+             m.metrics().work};
+        break;
+      }
+      default: {
+        const auto pts = geom::in_cube(900, 5);
+        pram::Machine m(threads, 99);
+        const auto r = core::unsorted_hull_3d(m, pts);
+        std::vector<geom::Index> verts;
+        for (const auto& t : r.facets) {
+          verts.push_back(t.a);
+          verts.push_back(t.b);
+          verts.push_back(t.c);
+        }
+        f = {verts, r.facet_above, m.metrics().steps, m.metrics().work};
+        break;
+      }
+    }
+    return f;
+  };
+  const Fingerprint base = run(1);
+  for (unsigned threads : {2u, 4u, 8u}) {
+    EXPECT_EQ(run(threads), base) << "threads=" << threads;
+  }
+}
+
+std::string algo_name(const ::testing::TestParamInfo<int>& info) {
+  static const char* const names[] = {"unsorted2d", "presorted_constant",
+                                      "presorted_logstar", "fallback2d",
+                                      "unsorted3d"};
+  return names[info.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgos, ThreadDeterminism,
+                         ::testing::Values(0, 1, 2, 3, 4), algo_name);
+
+}  // namespace
+}  // namespace iph

@@ -1,0 +1,142 @@
+// Randomized cross-validation ("fuzz") sweeps: every parallel algorithm
+// against the sequential oracles over many random seeds, mixed
+// workloads, and adversarially mixed inputs (concatenations of
+// different families, duplicated slices, mirrored copies). These runs
+// are small but numerous — the goal is hitting rare interleavings of
+// votes, collisions, sweeps and degeneracies.
+#include <gtest/gtest.h>
+
+#include "core/api.h"
+#include "core/presorted_constant.h"
+#include "core/unsorted2d.h"
+#include "core/unsorted3d.h"
+#include "geom/validate.h"
+#include "geom/workloads.h"
+#include "pram/machine.h"
+#include "seq/quickhull3d.h"
+#include "seq/upper_hull.h"
+#include "support/rng.h"
+
+namespace iph {
+namespace {
+
+using geom::Point2;
+using geom::Point3;
+
+/// A mixed adversarial input: slices from several families, a mirrored
+/// copy, and a duplicated run.
+std::vector<Point2> mixed2d(std::uint64_t seed, std::size_t n) {
+  support::Rng rng(seed, 0xF22);
+  std::vector<Point2> pts;
+  while (pts.size() < n) {
+    const auto f = static_cast<geom::Family2D>(
+        rng.next_below(std::size(geom::kAllFamilies2D)));
+    const std::size_t take = 1 + rng.next_below(n / 3 + 1);
+    auto part = geom::make2d(f, take, rng.next_u64());
+    if (rng.bernoulli(0.3)) {
+      for (auto& p : part) p.x = -p.x;  // mirrored slice
+    }
+    if (rng.bernoulli(0.2) && !part.empty()) {
+      part.insert(part.end(), part.begin(),
+                  part.begin() + static_cast<long>(part.size() / 2));
+    }
+    pts.insert(pts.end(), part.begin(), part.end());
+  }
+  pts.resize(n);
+  return pts;
+}
+
+TEST(Fuzz, Unsorted2DAgainstOracle) {
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    const std::size_t n = 50 + (seed * 97) % 800;
+    const auto pts = mixed2d(seed, n);
+    pram::Machine m(1, seed * 31 + 1);
+    const auto r = core::unsorted_hull_2d(m, pts);
+    std::string err;
+    ASSERT_TRUE(geom::validate_upper_hull(pts, r.upper, &err))
+        << "seed " << seed << ": " << err;
+    ASSERT_TRUE(geom::validate_edge_above(pts, r, &err))
+        << "seed " << seed << ": " << err;
+    const auto want = seq::upper_hull(pts);
+    ASSERT_EQ(r.upper.vertices.size(), want.vertices.size())
+        << "seed " << seed;
+    for (std::size_t i = 0; i < want.vertices.size(); ++i) {
+      ASSERT_EQ(pts[r.upper.vertices[i]], pts[want.vertices[i]])
+          << "seed " << seed << " vertex " << i;
+    }
+  }
+}
+
+TEST(Fuzz, PresortedConstantAgainstOracle) {
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    const std::size_t n = 64 + (seed * 131) % 1500;
+    auto pts = mixed2d(seed + 1000, n);
+    geom::sort_lex(pts);
+    pram::Machine m(1, seed * 17 + 3);
+    const auto r = core::presorted_constant_hull(m, pts);
+    std::string err;
+    ASSERT_TRUE(geom::validate_upper_hull(pts, r.upper, &err))
+        << "seed " << seed << ": " << err;
+    ASSERT_TRUE(geom::validate_edge_above(pts, r, &err))
+        << "seed " << seed << ": " << err;
+  }
+}
+
+TEST(Fuzz, Unsorted3DAgainstOracle) {
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    const std::size_t n = 30 + (seed * 67) % 400;
+    const auto f = static_cast<geom::Family3D>(
+        seed % std::size(geom::kAllFamilies3D));
+    const auto pts = geom::make3d(f, n, seed * 7 + 5);
+    pram::Machine m(1, seed);
+    const auto r = core::unsorted_hull_3d(m, pts);
+    std::string err;
+    ASSERT_TRUE(geom::validate_hull3d(pts, r, true, &err))
+        << "seed " << seed << " " << geom::family_name(f) << ": " << err;
+    const auto want = seq::quickhull_upper_hull3(pts);
+    ASSERT_EQ(geom::hull3d_vertex_set(r), geom::hull3d_vertex_set(want))
+        << "seed " << seed;
+  }
+}
+
+TEST(Fuzz, ApiSeedSweepIsAlwaysExact) {
+  const auto pts = geom::in_disk(600, 77);
+  const auto want = seq::upper_hull(pts);
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    Options o;
+    o.seed = seed * 1013 + 7;
+    const auto h = upper_hull_2d(pts, o);
+    ASSERT_EQ(h.result.upper.vertices.size(), want.vertices.size())
+        << "seed " << o.seed;
+  }
+}
+
+TEST(Fuzz, TinyInputsEveryAlgorithm) {
+  // n in [0, 8] across shapes, all entry points.
+  for (std::size_t n = 0; n <= 8; ++n) {
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      const auto pts = mixed2d(seed * 100 + n, std::max<std::size_t>(n, 1));
+      std::vector<Point2> input(pts.begin(),
+                                pts.begin() + static_cast<long>(n));
+      {
+        pram::Machine m(1, seed);
+        const auto r = core::unsorted_hull_2d(m, input);
+        std::string err;
+        EXPECT_TRUE(geom::validate_upper_hull(input, r.upper, &err))
+            << "n=" << n << " seed=" << seed << ": " << err;
+      }
+      {
+        auto sorted = input;
+        geom::sort_lex(sorted);
+        pram::Machine m(1, seed);
+        const auto r = core::presorted_constant_hull(m, sorted);
+        std::string err;
+        EXPECT_TRUE(geom::validate_upper_hull(sorted, r.upper, &err))
+            << "n=" << n << " seed=" << seed << ": " << err;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace iph

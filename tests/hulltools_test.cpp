@@ -1,0 +1,261 @@
+// Tests for the chain operations (Atallah-Goodrich primitives, Section
+// 2.4) and the folklore Lemma 2.4 hull built on them.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <tuple>
+
+#include "geom/predicates.h"
+#include "geom/validate.h"
+#include "geom/workloads.h"
+#include "hulltools/chain_ops.h"
+#include "hulltools/folklore_hull.h"
+#include "pram/machine.h"
+#include "primitives/lockstep_search.h"
+#include "seq/upper_hull.h"
+
+namespace iph::hulltools {
+namespace {
+
+using geom::Index;
+using geom::Point2;
+
+TEST(LockstepSearch, MatchesStdPartitionPoint) {
+  pram::Machine m(1);
+  // 40 searches over a sorted array with varied thresholds and ranges.
+  std::vector<int> data(1000);
+  std::iota(data.begin(), data.end(), 0);
+  std::vector<std::uint64_t> lo(40), hi(40);
+  std::vector<int> threshold(40);
+  for (std::size_t s = 0; s < 40; ++s) {
+    lo[s] = s * 3;
+    hi[s] = 1000 - s * 5;
+    threshold[s] = static_cast<int>(s * 29 % 1100);
+  }
+  for (std::uint64_t g : {2u, 3u, 8u, 64u}) {
+    const auto got = primitives::lockstep_partition_point(
+        m, lo, hi, g, [&](std::uint64_t s, std::uint64_t i) {
+          return data[i] < threshold[s];
+        });
+    for (std::size_t s = 0; s < 40; ++s) {
+      const auto want = static_cast<std::uint64_t>(
+          std::partition_point(data.begin() + lo[s], data.begin() + hi[s],
+                               [&](int v) { return v < threshold[s]; }) -
+          data.begin());
+      EXPECT_EQ(got[s], want) << "g=" << g << " s=" << s;
+    }
+  }
+}
+
+TEST(LockstepSearch, EmptyRangesAndNoSearches) {
+  pram::Machine m(1);
+  std::vector<std::uint64_t> lo{5}, hi{5};
+  const auto got = primitives::lockstep_partition_point(
+      m, lo, hi, 4, [](std::uint64_t, std::uint64_t) { return true; });
+  EXPECT_EQ(got[0], 5u);
+  std::vector<std::uint64_t> none;
+  EXPECT_TRUE(primitives::lockstep_partition_point(
+                  m, none, none, 4,
+                  [](std::uint64_t, std::uint64_t) { return true; })
+                  .empty());
+}
+
+TEST(LockstepSearch, StepCountScalesWithRadix) {
+  pram::Machine m(1);
+  std::vector<std::uint64_t> lo{0}, hi{1 << 16};
+  const auto pred = [](std::uint64_t, std::uint64_t i) {
+    return i < 40000;
+  };
+  const auto s0 = m.metrics().steps;
+  primitives::lockstep_partition_point(m, lo, hi, 2, pred);
+  const auto binary_steps = m.metrics().steps - s0;
+  const auto s1 = m.metrics().steps;
+  primitives::lockstep_partition_point(m, lo, hi, 256, pred);
+  const auto g256_steps = m.metrics().steps - s1;
+  EXPECT_GT(binary_steps, 2 * g256_steps);
+  EXPECT_LE(g256_steps, 6u);  // log_256(2^16) = 2 rounds, 2 steps each
+}
+
+/// Build block chains over a presorted copy of pts and return them with
+/// the sorted points.
+std::pair<std::vector<Point2>, std::vector<Chain>> block_chains(
+    std::vector<Point2> pts, std::size_t block) {
+  geom::sort_lex(pts);
+  std::vector<Chain> chains;
+  for (std::size_t lo = 0; lo < pts.size(); lo += block) {
+    const std::size_t hi = std::min(pts.size(), lo + block);
+    std::span<const Point2> sub(pts.data() + lo, hi - lo);
+    auto h = seq::upper_hull_presorted(sub);
+    Chain c;
+    for (Index v : h.vertices) c.push_back(static_cast<Index>(v + lo));
+    chains.push_back(std::move(c));
+  }
+  return {std::move(pts), std::move(chains)};
+}
+
+class MergeSweep : public ::testing::TestWithParam<
+                       std::tuple<geom::Family2D, int, int, int>> {};
+
+TEST_P(MergeSweep, MergedChainEqualsOracleHull) {
+  const auto [family, n, block, seed] = GetParam();
+  auto [pts, chains] = block_chains(
+      geom::make2d(family, static_cast<std::size_t>(n),
+                   static_cast<std::uint64_t>(seed) * 31 + 5),
+      static_cast<std::size_t>(block));
+  pram::Machine m(1);
+  std::vector<std::uint32_t> group_of(chains.size(), 0);
+  const auto merged =
+      merge_chain_groups(m, pts, chains, group_of, 1, 4);
+  const auto want = seq::upper_hull_presorted(pts);
+  ASSERT_EQ(merged[0].size(), want.vertices.size())
+      << geom::family_name(family) << " n=" << n << " block=" << block;
+  for (std::size_t i = 0; i < merged[0].size(); ++i) {
+    EXPECT_EQ(pts[merged[0][i]], pts[want.vertices[i]]);
+  }
+}
+
+std::string merge_name(
+    const ::testing::TestParamInfo<std::tuple<geom::Family2D, int, int, int>>&
+        info) {
+  const auto [family, n, block, seed] = info.param;
+  return geom::family_name(family) + "_n" + std::to_string(n) + "_b" +
+         std::to_string(block) + "_s" + std::to_string(seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MergeSweep,
+    ::testing::Combine(::testing::ValuesIn(geom::kAllFamilies2D),
+                       ::testing::Values(64, 300, 1024),
+                       ::testing::Values(5, 32, 150),
+                       ::testing::Values(1, 2)),
+    merge_name);
+
+TEST(MergeChainGroups, MultipleGroupsIndependent) {
+  auto [pts, chains] = block_chains(geom::in_disk(600, 3), 50);
+  pram::Machine m(1);
+  // Two groups: first half of blocks, second half.
+  std::vector<std::uint32_t> group_of(chains.size());
+  const std::size_t half = chains.size() / 2;
+  for (std::size_t c = 0; c < chains.size(); ++c) {
+    group_of[c] = c < half ? 0 : 1;
+  }
+  const auto merged = merge_chain_groups(m, pts, chains, group_of, 2, 4);
+  // Each group's merge equals the oracle hull of its block range.
+  const std::size_t split = half * 50;
+  const auto w0 = seq::upper_hull_presorted(
+      std::span<const Point2>(pts.data(), split));
+  ASSERT_EQ(merged[0].size(), w0.vertices.size());
+  std::span<const Point2> rest(pts.data() + split, pts.size() - split);
+  const auto w1 = seq::upper_hull_presorted(rest);
+  ASSERT_EQ(merged[1].size(), w1.vertices.size());
+  for (std::size_t i = 0; i < merged[1].size(); ++i) {
+    EXPECT_EQ(pts[merged[1][i]], rest[w1.vertices[i]]);
+  }
+}
+
+TEST(CommonTangent, DominatesBothChains) {
+  auto pts = geom::in_disk(400, 7);
+  geom::sort_lex(pts);
+  // Chains over [0,200) and [200,400) — x-separated (ties unlikely; skip
+  // the boundary column if present).
+  std::span<const Point2> left(pts.data(), 200);
+  std::span<const Point2> right(pts.data() + 200, 200);
+  if (pts[199].x == pts[200].x) GTEST_SKIP();
+  auto hl = seq::upper_hull_presorted(left);
+  auto hr = seq::upper_hull_presorted(right);
+  Chain a(hl.vertices.begin(), hl.vertices.end());
+  Chain b;
+  for (Index v : hr.vertices) b.push_back(static_cast<Index>(v + 200));
+  pram::Machine m(1);
+  const auto [ta, tb] = common_tangent(m, pts, a, b, 4);
+  EXPECT_LT(pts[ta].x, pts[tb].x);
+  for (Index v : a) EXPECT_LE(geom::orient2d(pts[ta], pts[tb], pts[v]), 0);
+  for (Index v : b) EXPECT_LE(geom::orient2d(pts[ta], pts[tb], pts[v]), 0);
+}
+
+TEST(ExtremeVsLines, FindsMaxDistanceVertex) {
+  auto pts = geom::on_circle(300, 9);
+  geom::sort_lex(pts);
+  const auto h = seq::upper_hull_presorted(pts);
+  Chain chain(h.vertices.begin(), h.vertices.end());
+  pram::Machine m(1);
+  // Lines through pairs of non-hull... use arbitrary input point pairs.
+  std::vector<std::pair<Index, Index>> lines{{0, 299}, {10, 200}, {50, 250}};
+  std::vector<const Chain*> cofs{&chain, &chain, &chain};
+  const auto ext = extreme_vs_lines(
+      m, pts, std::span<const Chain* const>(cofs.data(), cofs.size()),
+      lines, 4);
+  for (std::size_t s = 0; s < lines.size(); ++s) {
+    Index la = lines[s].first, lb = lines[s].second;
+    if (geom::lex_less(pts[lb], pts[la])) std::swap(la, lb);
+    ASSERT_NE(ext[s], geom::kNone);
+    // No chain vertex is strictly more extreme: cross(la->lb, ext->v)<=0
+    for (Index v : chain) {
+      EXPECT_LE(geom::cross_diff_sign(pts[la], pts[lb], pts[ext[s]], pts[v]),
+                0);
+    }
+  }
+}
+
+TEST(EdgesAboveChain, CoversEveryQuery) {
+  auto pts = geom::in_square(500, 11);
+  geom::sort_lex(pts);
+  const auto h = seq::upper_hull_presorted(pts);
+  Chain chain(h.vertices.begin(), h.vertices.end());
+  pram::Machine m(1);
+  std::vector<Index> queries(pts.size());
+  std::iota(queries.begin(), queries.end(), Index{0});
+  const auto edges = edges_above_chain(m, pts, queries, chain, 8);
+  geom::HullResult2D r;
+  r.upper.vertices = h.vertices;
+  r.edge_above = edges;
+  std::string err;
+  EXPECT_TRUE(geom::validate_edge_above(pts, r, &err)) << err;
+}
+
+class FolkloreSweep
+    : public ::testing::TestWithParam<std::tuple<geom::Family2D, int, int>> {
+};
+
+TEST_P(FolkloreSweep, MatchesOracle) {
+  const auto [family, n, levels] = GetParam();
+  auto pts = geom::make2d(family, static_cast<std::size_t>(n), 77);
+  geom::sort_lex(pts);
+  pram::Machine m(1);
+  const auto r = folklore_hull_presorted(m, pts, 0, pts.size(),
+                                         static_cast<unsigned>(levels));
+  std::string err;
+  EXPECT_TRUE(geom::validate_upper_hull(pts, r.upper, &err))
+      << geom::family_name(family) << ": " << err;
+  EXPECT_TRUE(geom::validate_edge_above(pts, r, &err))
+      << geom::family_name(family) << ": " << err;
+}
+
+std::string folklore_name(
+    const ::testing::TestParamInfo<std::tuple<geom::Family2D, int, int>>&
+        info) {
+  const auto [family, n, levels] = info.param;
+  return geom::family_name(family) + "_n" + std::to_string(n) + "_k" +
+         std::to_string(levels);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FolkloreSweep,
+    ::testing::Combine(::testing::ValuesIn(geom::kAllFamilies2D),
+                       ::testing::Values(10, 100, 600, 2000),
+                       ::testing::Values(2, 3)),
+    folklore_name);
+
+TEST(FolkloreHull, BoundedSteps) {
+  auto pts = geom::in_disk(4096, 3);
+  geom::sort_lex(pts);
+  pram::Machine m(1);
+  const auto before = m.metrics().steps;
+  folklore_hull_presorted(m, pts, 0, pts.size(), 3);
+  // O(k^2)-ish constant: generous bound, the point is "far below log n
+  // rounds of anything linear".
+  EXPECT_LE(m.metrics().steps - before, 220u);
+}
+
+}  // namespace
+}  // namespace iph::hulltools

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/point.h"
+#include "geom/predicates.h"
+#include "support/rng.h"
+
+namespace iph::geom {
+namespace {
+
+TEST(Orient2D, BasicTurns) {
+  const Point2 a{0, 0}, b{1, 0};
+  EXPECT_EQ(orient2d(a, b, {0.5, 1}), 1);    // left / ccw
+  EXPECT_EQ(orient2d(a, b, {0.5, -1}), -1);  // right / cw
+  EXPECT_EQ(orient2d(a, b, {2, 0}), 0);      // collinear
+}
+
+TEST(Orient2D, ExactOnTinyPerturbations) {
+  // Points nearly collinear: c on the line then nudged by one ulp.
+  const Point2 a{0, 0}, b{1e6, 1e6};
+  const double y = 5e5;
+  EXPECT_EQ(orient2d(a, b, {5e5, y}), 0);
+  EXPECT_EQ(orient2d(a, b, {5e5, std::nextafter(y, 1e9)}), 1);
+  EXPECT_EQ(orient2d(a, b, {5e5, std::nextafter(y, -1e9)}), -1);
+}
+
+TEST(Orient2D, AntiSymmetry) {
+  support::Rng rng(2024, 1);
+  for (int i = 0; i < 2000; ++i) {
+    const Point2 a{rng.next_double() * 1e6, rng.next_double() * 1e6};
+    const Point2 b{rng.next_double() * 1e6, rng.next_double() * 1e6};
+    const Point2 c{rng.next_double() * 1e6, rng.next_double() * 1e6};
+    EXPECT_EQ(orient2d(a, b, c), -orient2d(b, a, c));
+    EXPECT_EQ(orient2d(a, b, c), orient2d(b, c, a));
+    EXPECT_EQ(orient2d(a, b, c), -orient2d(a, c, b));
+  }
+}
+
+TEST(Orient2D, DegenerateIntegerGrid) {
+  // Every triple from a small integer grid: filtered result must equal a
+  // straightforward exact integer evaluation.
+  for (int ax = -3; ax <= 3; ++ax)
+    for (int ay = -3; ay <= 3; ++ay)
+      for (int bx = -3; bx <= 3; ++bx)
+        for (int by = -3; by <= 3; ++by) {
+          const long long det = static_cast<long long>(bx - ax) * (2 - ay) -
+                                static_cast<long long>(by - ay) * (1 - ax);
+          const int want = det > 0 ? 1 : det < 0 ? -1 : 0;
+          EXPECT_EQ(orient2d({double(ax), double(ay)}, {double(bx), double(by)},
+                             {1.0, 2.0}),
+                    want);
+        }
+}
+
+TEST(CrossDiffSign, MatchesOrient2D) {
+  support::Rng rng(7, 2);
+  for (int i = 0; i < 1000; ++i) {
+    const Point2 a{rng.next_double(), rng.next_double()};
+    const Point2 b{rng.next_double(), rng.next_double()};
+    const Point2 c{rng.next_double(), rng.next_double()};
+    EXPECT_EQ(cross_diff_sign(a, b, a, c), orient2d(a, b, c));
+  }
+}
+
+TEST(CrossDiffSign, SlopeComparison) {
+  // slope((0,0)->(2,1)) = 0.5 vs slope((0,0)->(3,2)) = 0.666:
+  // sign(slope1 - slope2) = -cross_diff_sign(a1,b1,a2,b2).
+  const Point2 a1{0, 0}, b1{2, 1}, a2{0, 0}, b2{3, 2};
+  EXPECT_EQ(-cross_diff_sign(a1, b1, a2, b2), -1);
+  // Equal slopes.
+  EXPECT_EQ(cross_diff_sign({0, 0}, {2, 1}, {10, 7}, {14, 9}), 0);
+}
+
+TEST(BelowLine, Basics) {
+  const Point2 a{0, 0}, b{10, 0};
+  EXPECT_TRUE(strictly_below(a, b, {5, -1}));
+  EXPECT_FALSE(strictly_below(a, b, {5, 0}));
+  EXPECT_TRUE(on_or_below(a, b, {5, 0}));
+  EXPECT_FALSE(on_or_below(a, b, {5, 0.0001}));
+}
+
+TEST(Orient3D, SignConvention) {
+  // (a,b,c) counterclockwise seen from above; d below the plane.
+  const Point3 a{0, 0, 0}, b{1, 0, 0}, c{0, 1, 0};
+  EXPECT_EQ(orient3d(a, b, c, {0.2, 0.2, -1}), 1);
+  EXPECT_EQ(orient3d(a, b, c, {0.2, 0.2, 1}), -1);
+  EXPECT_EQ(orient3d(a, b, c, {0.2, 0.2, 0}), 0);
+}
+
+TEST(Orient3D, ExactOnDegenerateLattice) {
+  // Coplanar lattice points must give exactly zero.
+  const Point3 a{0, 0, 0}, b{4, 0, 2}, c{0, 4, 2};
+  EXPECT_EQ(orient3d(a, b, c, {4, 4, 4}), 0);  // d = b + c - a, coplanar
+  EXPECT_EQ(orient3d(a, b, c, {4, 4, 3}), 1);
+  EXPECT_EQ(orient3d(a, b, c, {4, 4, 5}), -1);
+}
+
+TEST(Orient3D, AntiSymmetryRandom) {
+  support::Rng rng(11, 3);
+  for (int i = 0; i < 500; ++i) {
+    auto rp = [&] {
+      return Point3{rng.next_double() * 1e5, rng.next_double() * 1e5,
+                    rng.next_double() * 1e5};
+    };
+    const Point3 a = rp(), b = rp(), c = rp(), d = rp();
+    EXPECT_EQ(orient3d(a, b, c, d), -orient3d(b, a, c, d));
+    EXPECT_EQ(orient3d(a, b, c, d), orient3d(b, c, a, d));
+  }
+}
+
+TEST(PlaneSidedness, WindingInsensitive) {
+  const Point3 a{0, 0, 0}, b{1, 0, 0}, c{0, 1, 0};
+  const Point3 below{0.2, 0.2, -3}, above{0.2, 0.2, 3};
+  EXPECT_TRUE(strictly_below_plane(a, b, c, below));
+  EXPECT_TRUE(strictly_below_plane(a, c, b, below));  // reversed winding
+  EXPECT_FALSE(strictly_below_plane(a, b, c, above));
+  EXPECT_FALSE(strictly_below_plane(a, c, b, above));
+  EXPECT_TRUE(on_or_below_plane(a, b, c, {0.1, 0.1, 0}));
+  EXPECT_FALSE(strictly_below_plane(a, b, c, {0.1, 0.1, 0}));
+}
+
+TEST(PlaneSidedness, VerticalPlaneRejects) {
+  // a,b,c collinear in xy-projection => vertical plane; nothing below.
+  const Point3 a{0, 0, 0}, b{1, 0, 5}, c{2, 0, -7};
+  EXPECT_FALSE(strictly_below_plane(a, b, c, {0.5, 1, -100}));
+  EXPECT_FALSE(on_or_below_plane(a, b, c, {0.5, 1, -100}));
+}
+
+TEST(XYInTriangle, ContainsAndExcludes) {
+  const Point3 a{0, 0, 9}, b{4, 0, 9}, c{0, 4, 9};
+  EXPECT_TRUE(xy_in_triangle(a, b, c, {1, 1, 0}));
+  EXPECT_TRUE(xy_in_triangle(a, b, c, {0, 0, -5}));   // vertex
+  EXPECT_TRUE(xy_in_triangle(a, b, c, {2, 0, 0}));    // edge
+  EXPECT_FALSE(xy_in_triangle(a, b, c, {3, 3, 0}));   // outside
+  EXPECT_FALSE(xy_in_triangle(a, b, c, {-0.1, 0, 0}));
+  // Winding-insensitive.
+  EXPECT_TRUE(xy_in_triangle(a, c, b, {1, 1, 0}));
+  EXPECT_FALSE(xy_in_triangle(a, c, b, {3, 3, 0}));
+}
+
+TEST(Orient2DXY, ProjectsZAway) {
+  EXPECT_EQ(orient2d_xy({0, 0, 1}, {1, 0, -2}, {0.5, 1, 42}), 1);
+  EXPECT_EQ(orient2d_xy({0, 0, 3}, {1, 0, 4}, {2, 0, -1}), 0);
+}
+
+}  // namespace
+}  // namespace iph::geom

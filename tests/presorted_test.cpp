@@ -1,0 +1,127 @@
+// Tests for the presorted constant-time hull (Lemma 2.5) and, below,
+// the log* optimal algorithm (Theorem 2).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/presorted_constant.h"
+#include "geom/validate.h"
+#include "geom/workloads.h"
+#include "pram/machine.h"
+#include "seq/upper_hull.h"
+
+namespace iph::core {
+namespace {
+
+using geom::Family2D;
+using geom::Point2;
+
+class PresortedConstantSweep
+    : public ::testing::TestWithParam<std::tuple<Family2D, int, int>> {};
+
+TEST_P(PresortedConstantSweep, MatchesOracle) {
+  const auto [family, n, seed] = GetParam();
+  auto pts = geom::make2d(family, static_cast<std::size_t>(n),
+                          static_cast<std::uint64_t>(seed) * 1009 + 11);
+  geom::sort_lex(pts);
+  pram::Machine m(1, static_cast<std::uint64_t>(seed));
+  PresortedConstantStats stats;
+  const auto r = presorted_constant_hull(m, pts, &stats);
+  std::string err;
+  ASSERT_TRUE(geom::validate_upper_hull(pts, r.upper, &err))
+      << geom::family_name(family) << " n=" << n << ": " << err;
+  ASSERT_TRUE(geom::validate_edge_above(pts, r, &err))
+      << geom::family_name(family) << " n=" << n << ": " << err;
+  // Exact agreement with the sequential oracle (as point sequences).
+  const auto want = seq::upper_hull_presorted(pts);
+  ASSERT_EQ(r.upper.vertices.size(), want.vertices.size());
+  for (std::size_t i = 0; i < want.vertices.size(); ++i) {
+    EXPECT_EQ(pts[r.upper.vertices[i]], pts[want.vertices[i]]);
+  }
+}
+
+std::string sweep_name(
+    const ::testing::TestParamInfo<std::tuple<Family2D, int, int>>& info) {
+  const auto [family, n, seed] = info.param;
+  return geom::family_name(family) + "_n" + std::to_string(n) + "_s" +
+         std::to_string(seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PresortedConstantSweep,
+    ::testing::Combine(::testing::ValuesIn(geom::kAllFamilies2D),
+                       ::testing::Values(1, 2, 16, 65, 500, 2048, 10000),
+                       ::testing::Values(1, 2)),
+    sweep_name);
+
+TEST(PresortedConstant, EmptyInput) {
+  pram::Machine m(1);
+  std::vector<Point2> none;
+  const auto r = presorted_constant_hull(m, none);
+  EXPECT_TRUE(r.upper.vertices.empty());
+}
+
+TEST(PresortedConstant, ConstantStepsAcrossSizes) {
+  // The headline claim of Lemma 2.5: PRAM time does not grow with n.
+  std::vector<std::uint64_t> steps;
+  for (std::size_t n : {std::size_t{1} << 12, std::size_t{1} << 14,
+                        std::size_t{1} << 16}) {
+    auto pts = geom::in_disk(n, 7);
+    geom::sort_lex(pts);
+    pram::Machine m(1, 42);
+    const auto before = m.metrics().steps;
+    presorted_constant_hull(m, pts);
+    steps.push_back(m.metrics().steps - before);
+  }
+  // Allow small fluctuation (failure sweeps), but no growth with n.
+  EXPECT_LE(steps[2], steps[0] + 40);
+  EXPECT_LE(steps[2], 400u);
+}
+
+TEST(PresortedConstant, WorkWithinNLogNEnvelope) {
+  const std::size_t n = 1 << 14;
+  auto pts = geom::in_disk(n, 3);
+  geom::sort_lex(pts);
+  pram::Machine m(1, 9);
+  presorted_constant_hull(m, pts);
+  const double nlogn = static_cast<double>(n) * 14.0;
+  // Generous constant; e01 reports the precise ratios.
+  EXPECT_LT(static_cast<double>(m.metrics().work), 600.0 * nlogn);
+}
+
+TEST(PresortedConstant, DeterministicAcrossThreadCounts) {
+  auto pts = geom::gaussian2(5000, 21);
+  geom::sort_lex(pts);
+  auto run = [&](unsigned threads) {
+    pram::Machine m(threads, 777);
+    return presorted_constant_hull(m, pts).upper.vertices;
+  };
+  EXPECT_EQ(run(1), run(4));
+}
+
+TEST(PresortedConstant, StatsReportProblems) {
+  auto pts = geom::in_square(4096, 5);
+  geom::sort_lex(pts);
+  pram::Machine m(1, 1);
+  PresortedConstantStats stats;
+  presorted_constant_hull(m, pts, &stats);
+  EXPECT_GT(stats.tree_problems, 0u);
+  EXPECT_TRUE(stats.sweep_ok);
+}
+
+TEST(PresortedConstant, TinyAlphaForcesSweep) {
+  // Failure injection: alpha = 1 gives the sampler almost no rounds, so
+  // problems fail and the sweep must still produce a correct hull.
+  auto pts = geom::in_disk(3000, 13);
+  geom::sort_lex(pts);
+  pram::Machine m(1, 5);
+  PresortedConstantStats stats;
+  const auto r = presorted_constant_hull(m, pts, &stats, /*alpha=*/1);
+  std::string err;
+  ASSERT_TRUE(geom::validate_upper_hull(pts, r.upper, &err)) << err;
+  ASSERT_TRUE(geom::validate_edge_above(pts, r, &err)) << err;
+  EXPECT_GT(stats.failures_swept + stats.retries, 0u);
+}
+
+}  // namespace
+}  // namespace iph::core

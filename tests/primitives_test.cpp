@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "geom/workloads.h"
+#include "pram/machine.h"
+#include "primitives/bitonic_sort.h"
+#include "primitives/first_nonzero.h"
+#include "primitives/prefix_sum.h"
+#include "primitives/primes.h"
+#include "primitives/ragde.h"
+#include "support/rng.h"
+
+namespace iph::primitives {
+namespace {
+
+TEST(PrefixSum, MatchesSerialScan) {
+  pram::Machine m(1);
+  for (std::size_t n : {1u, 2u, 3u, 7u, 64u, 100u, 1000u, 4097u}) {
+    std::vector<std::uint64_t> data(n);
+    support::Rng rng(n, 1);
+    for (auto& v : data) v = rng.next_below(100);
+    std::vector<std::uint64_t> want(n);
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      want[i] = acc;
+      acc += data[i];
+    }
+    const std::uint64_t total = prefix_sum_exclusive(m, data);
+    EXPECT_EQ(total, acc) << "n=" << n;
+    EXPECT_EQ(data, want) << "n=" << n;
+  }
+}
+
+TEST(PrefixSum, EmptyInput) {
+  pram::Machine m(1);
+  std::vector<std::uint64_t> data;
+  EXPECT_EQ(prefix_sum_exclusive(m, data), 0u);
+}
+
+TEST(PrefixSum, LogarithmicSteps) {
+  pram::Machine m(1);
+  std::vector<std::uint64_t> data(1 << 12, 1);
+  const auto before = m.metrics().steps;
+  prefix_sum_exclusive(m, data);
+  const auto steps = m.metrics().steps - before;
+  EXPECT_LE(steps, 2u * 12 + 4);
+}
+
+TEST(CompactIndices, KeepsOrderedSubset) {
+  pram::Machine m(2);
+  std::vector<std::uint8_t> keep(1000, 0);
+  std::vector<std::uint32_t> want;
+  for (std::size_t i = 0; i < keep.size(); i += 7) {
+    keep[i] = 1;
+    want.push_back(static_cast<std::uint32_t>(i));
+  }
+  std::vector<std::uint32_t> out(want.size());
+  const auto count = compact_indices(m, keep, out);
+  EXPECT_EQ(count, want.size());
+  EXPECT_EQ(out, want);
+}
+
+TEST(FirstNonzero, FindsFirst) {
+  pram::Machine m(2);
+  for (std::size_t n : {1u, 2u, 50u, 1024u, 1025u}) {
+    for (std::size_t target : {std::size_t{0}, n / 3, n - 1}) {
+      std::vector<std::uint8_t> flags(n, 0);
+      flags[target] = 1;
+      if (target + 3 < n) flags[target + 3] = 1;  // later flags ignored
+      EXPECT_EQ(first_nonzero(m, flags), target) << n << " " << target;
+    }
+  }
+}
+
+TEST(FirstNonzero, EmptyAndAllZero) {
+  pram::Machine m(1);
+  std::vector<std::uint8_t> none;
+  EXPECT_EQ(first_nonzero(m, none), kNotFound);
+  std::vector<std::uint8_t> zeros(777, 0);
+  EXPECT_EQ(first_nonzero(m, zeros), kNotFound);
+}
+
+TEST(FirstNonzero, ConstantSteps) {
+  pram::Machine m(1);
+  std::vector<std::uint8_t> flags(1 << 14, 0);
+  flags[9999] = 1;
+  const auto before = m.metrics().steps;
+  first_nonzero(m, flags);
+  EXPECT_LE(m.metrics().steps - before, 8u);
+}
+
+TEST(Primes, FirstFew) {
+  EXPECT_EQ(primes_at_least(2, 5),
+            (std::vector<std::uint64_t>{2, 3, 5, 7, 11}));
+  EXPECT_EQ(primes_at_least(10, 2), (std::vector<std::uint64_t>{11, 13}));
+  EXPECT_EQ(primes_at_least(0, 1), (std::vector<std::uint64_t>{2}));
+}
+
+TEST(Ragde, CompactsSparseSet) {
+  pram::Machine m(2);
+  std::vector<std::uint8_t> flags(10000, 0);
+  std::vector<std::uint32_t> expect;
+  for (std::uint32_t i : {3u, 500u, 501u, 7777u, 9999u}) {
+    flags[i] = 1;
+    expect.push_back(i);
+  }
+  const auto r = ragde_compact(m, flags, 8);
+  ASSERT_TRUE(r.ok);
+  EXPECT_FALSE(r.used_fallback);
+  EXPECT_LE(r.slots.size(), 2 * 8 * 8 + 32);  // area < ~2*bound^2
+  std::vector<std::uint32_t> got;
+  for (auto v : r.slots) {
+    if (v != kRagdeEmpty) got.push_back(v);
+  }
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, expect);
+}
+
+TEST(Ragde, EmptySet) {
+  pram::Machine m(1);
+  std::vector<std::uint8_t> flags(100, 0);
+  const auto r = ragde_compact(m, flags, 4);
+  EXPECT_TRUE(r.ok);
+  for (auto v : r.slots) EXPECT_EQ(v, kRagdeEmpty);
+}
+
+TEST(Ragde, ConstantSteps) {
+  pram::Machine m(1);
+  std::vector<std::uint8_t> flags(1 << 15, 0);
+  for (int i = 0; i < 20; ++i) flags[i * 997] = 1;
+  const auto before = m.metrics().steps;
+  const auto r = ragde_compact(m, flags, 32);
+  ASSERT_TRUE(r.ok);
+  EXPECT_LE(m.metrics().steps - before, 4u);
+}
+
+TEST(Ragde, DetectsOverfullSet) {
+  pram::Machine m(1);
+  // More flagged elements than any candidate modulus can hold: every
+  // modulus collides and even the fallback exceeds bound^2.
+  std::vector<std::uint8_t> flags(4096, 1);
+  const auto r = ragde_compact(m, flags, 2);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Ragde, DeterministicAcrossThreadCounts) {
+  std::vector<std::uint8_t> flags(5000, 0);
+  for (int i = 0; i < 12; ++i) flags[i * 401 + 7] = 1;
+  auto run = [&](unsigned threads) {
+    pram::Machine m(threads, 99);
+    return ragde_compact(m, flags, 16).slots;
+  };
+  EXPECT_EQ(run(1), run(4));
+}
+
+TEST(BitonicSort, SortsKeys) {
+  pram::Machine m(2);
+  for (std::size_t n : {1u, 2u, 5u, 128u, 1000u}) {
+    std::vector<std::uint64_t> keys(n);
+    support::Rng rng(n, 7);
+    for (auto& k : keys) k = rng.next_u64();
+    auto want = keys;
+    std::sort(want.begin(), want.end());
+    bitonic_sort_keys(m, keys);
+    EXPECT_EQ(keys, want) << "n=" << n;
+  }
+}
+
+TEST(BitonicSort, SortsPointsLex) {
+  pram::Machine m(2);
+  auto pts = geom::in_square(777, 5);
+  // Add duplicate columns to exercise tie-breaks.
+  pts[10] = pts[20];
+  pts[30].x = pts[40].x;
+  std::vector<geom::Index> idx(pts.size());
+  std::iota(idx.begin(), idx.end(), geom::Index{0});
+  bitonic_sort_points(m, pts, idx);
+  for (std::size_t i = 1; i < idx.size(); ++i) {
+    const auto &a = pts[idx[i - 1]], &b = pts[idx[i]];
+    EXPECT_TRUE(geom::lex_less(a, b) || (a == b && idx[i - 1] < idx[i]));
+  }
+}
+
+TEST(BitonicSort, StepCountIsLogSquared) {
+  pram::Machine m(1);
+  std::vector<std::uint64_t> keys(1 << 10);
+  support::Rng rng(1, 2);
+  for (auto& k : keys) k = rng.next_u64();
+  const auto before = m.metrics().steps;
+  bitonic_sort_keys(m, keys);
+  const auto steps = m.metrics().steps - before;
+  EXPECT_LE(steps, 10u * 11u / 2u + 4u);
+}
+
+}  // namespace
+}  // namespace iph::primitives

@@ -1,0 +1,151 @@
+// Tests for the paper's Section 3.1-3.2 primitives: in-place random
+// sample / random vote (Lemma 3.1, Corollary 3.1) and in-place
+// approximate compaction (Lemma 3.2).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "pram/machine.h"
+#include "primitives/inplace_compaction.h"
+#include "primitives/ragde.h"
+#include "primitives/random_sample.h"
+
+namespace iph::primitives {
+namespace {
+
+TEST(RandomSample, SizeWithinLemmaBounds) {
+  pram::Machine m(1, 1234);
+  const std::uint64_t n = 20000;
+  int ok_count = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto s = random_sample(
+        m, n, [](std::uint64_t) { return true; }, n, 64);
+    EXPECT_LE(s.members.size(), 4 * 64u);
+    ok_count += s.ok;
+  }
+  // Lemma 3.1: failure prob <= 2(e/2)^-64 ~ 0; all trials must succeed.
+  EXPECT_EQ(ok_count, 20);
+}
+
+TEST(RandomSample, OnlyActiveElementsSampled) {
+  pram::Machine m(1, 5);
+  const std::uint64_t n = 10000;
+  const auto s = random_sample(
+      m, n, [](std::uint64_t i) { return i % 3 == 1; }, n / 3, 32);
+  ASSERT_TRUE(s.ok);
+  for (auto idx : s.members) EXPECT_EQ(idx % 3, 1u);
+}
+
+TEST(RandomSample, NoDuplicateMembers) {
+  pram::Machine m(1, 6);
+  const auto s = random_sample(
+      m, 5000, [](std::uint64_t) { return true; }, 5000, 48);
+  std::set<std::uint32_t> uniq(s.members.begin(), s.members.end());
+  EXPECT_EQ(uniq.size(), s.members.size());
+}
+
+TEST(RandomSample, ConstantSteps) {
+  pram::Machine m(1, 7);
+  const auto before = m.metrics().steps;
+  random_sample(m, 1 << 15, [](std::uint64_t) { return true; },
+                1 << 15, 64);
+  EXPECT_LE(m.metrics().steps - before, 3u * kSampleRounds + 3u);
+}
+
+TEST(RandomSample, DeterministicGivenSeed) {
+  auto run = [&](unsigned threads) {
+    pram::Machine m(threads, 4242);
+    return random_sample(m, 8192, [](std::uint64_t) { return true; },
+                         8192, 32)
+        .members;
+  };
+  EXPECT_EQ(run(1), run(4));
+}
+
+TEST(RandomVote, UniformOverActiveSet) {
+  // Chi-square over which active element wins the vote.
+  const std::uint64_t n = 64;  // all active
+  constexpr int kTrials = 6400;
+  std::vector<int> wins(n, 0);
+  for (int t = 0; t < kTrials; ++t) {
+    pram::Machine m(1, 1000 + t);
+    const auto v = random_vote(m, n, [](std::uint64_t) { return true; },
+                               n, 16);
+    ASSERT_NE(v, kNoVote);
+    ++wins[v];
+  }
+  double chi2 = 0;
+  const double expect = static_cast<double>(kTrials) / n;
+  for (int w : wins) chi2 += (w - expect) * (w - expect) / expect;
+  // 63 dof, 99.99th percentile ~ 117.
+  EXPECT_LT(chi2, 117.0);
+}
+
+TEST(RandomVote, RespectsActivePredicate) {
+  for (int t = 0; t < 50; ++t) {
+    pram::Machine m(1, 77 + t);
+    const auto v = random_vote(
+        m, 1000, [](std::uint64_t i) { return i >= 900; }, 100, 16);
+    ASSERT_NE(v, kNoVote);
+    EXPECT_GE(v, 900u);
+  }
+}
+
+TEST(InplaceCompaction, PlacesAllFlagged) {
+  pram::Machine m(2);
+  std::vector<std::uint8_t> flags(12345, 0);
+  std::vector<std::uint32_t> expect;
+  for (std::uint32_t i : {0u, 1u, 777u, 5000u, 12344u}) {
+    flags[i] = 1;
+    expect.push_back(i);
+  }
+  const auto r = inplace_compact(m, flags, 8);
+  ASSERT_TRUE(r.ok);
+  std::vector<std::uint32_t> got;
+  for (auto v : r.slots) {
+    if (v != kRagdeEmpty) got.push_back(v);
+  }
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, expect);
+  EXPECT_LE(r.slots.size(), 2u * 8 * 8 + 32);
+}
+
+TEST(InplaceCompaction, EmptyAndFullEdges) {
+  pram::Machine m(1);
+  std::vector<std::uint8_t> flags(100, 0);
+  EXPECT_TRUE(inplace_compact(m, flags, 4).ok);
+  std::vector<std::uint8_t> none;
+  EXPECT_TRUE(inplace_compact(m, none, 4).ok);
+}
+
+TEST(InplaceCompaction, ConstantIterations) {
+  pram::Machine m(1);
+  std::vector<std::uint8_t> flags(1 << 16, 0);
+  for (int i = 0; i < 10; ++i) flags[i * 5003] = 1;
+  const auto r = inplace_compact(m, flags, 16);
+  ASSERT_TRUE(r.ok);
+  // 1/delta iterations with delta = 0.25: at most ~5 plus slack.
+  EXPECT_LE(r.iterations, 8);
+}
+
+TEST(InplaceCompaction, DetectsOverfull) {
+  pram::Machine m(1);
+  std::vector<std::uint8_t> flags(2048, 1);
+  const auto r = inplace_compact(m, flags, 2);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(InplaceCompaction, DeterministicAcrossThreads) {
+  std::vector<std::uint8_t> flags(9999, 0);
+  for (int i = 0; i < 14; ++i) flags[i * 713 + 1] = 1;
+  auto run = [&](unsigned threads) {
+    pram::Machine m(threads, 3);
+    return inplace_compact(m, flags, 16).slots;
+  };
+  EXPECT_EQ(run(1), run(4));
+}
+
+}  // namespace
+}  // namespace iph::primitives

@@ -1,0 +1,224 @@
+// Oracle and cross-algorithm tests for the sequential 2-d baselines.
+// The monotone chain is validated structurally; every other algorithm
+// (QuickHull, Kirkpatrick-Seidel, Chan) must reproduce its hull exactly,
+// across all workload families, sizes and seeds (parameterized sweep).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "geom/predicates.h"
+#include "geom/validate.h"
+#include "geom/workloads.h"
+#include "seq/chan2d.h"
+#include "seq/graham.h"
+#include "seq/kirkpatrick_seidel.h"
+#include "seq/quickhull2d.h"
+#include "seq/upper_hull.h"
+
+namespace iph::seq {
+namespace {
+
+using geom::Family2D;
+using geom::Index;
+using geom::Point2;
+
+TEST(MonotoneChain, TinyInputs) {
+  EXPECT_TRUE(upper_hull(std::vector<Point2>{}).vertices.empty());
+
+  std::vector<Point2> one{{3, 4}};
+  EXPECT_EQ(upper_hull(one).vertices, (std::vector<Index>{0}));
+
+  std::vector<Point2> two{{5, 1}, {0, 2}};
+  EXPECT_EQ(upper_hull(two).vertices, (std::vector<Index>{1, 0}));
+
+  std::vector<Point2> dup{{1, 1}, {1, 1}, {1, 1}};
+  EXPECT_EQ(upper_hull(dup).vertices.size(), 1u);
+}
+
+TEST(MonotoneChain, CollinearMidpointsExcluded) {
+  std::vector<Point2> pts{{0, 0}, {1, 1}, {2, 2}, {3, 3}};
+  const auto h = upper_hull(pts);
+  EXPECT_EQ(h.vertices, (std::vector<Index>{0, 3}));
+}
+
+TEST(MonotoneChain, VerticalColumns) {
+  std::vector<Point2> pts{{0, 0}, {0, 5}, {0, -2}, {4, 1}, {4, 7}};
+  const auto h = upper_hull(pts);
+  EXPECT_EQ(h.vertices, (std::vector<Index>{1, 4}));
+}
+
+TEST(MonotoneChain, PresortedMatchesUnsorted) {
+  auto pts = geom::in_disk(800, 2);
+  auto sorted = pts;
+  geom::sort_lex(sorted);
+  const auto a = upper_hull_presorted(sorted);
+  const auto b = upper_hull(sorted);
+  EXPECT_EQ(a.vertices, b.vertices);
+}
+
+TEST(AssignEdges, OracleValid) {
+  auto pts = geom::gaussian2(500, 3);
+  const auto r = hull_result_2d(pts);
+  std::string err;
+  EXPECT_TRUE(geom::validate_edge_above(pts, r, &err)) << err;
+}
+
+TEST(AssignEdges, NoEdgesCase) {
+  std::vector<Point2> col{{2, 1}, {2, 5}, {2, 3}};
+  const auto r = hull_result_2d(col);
+  for (Index e : r.edge_above) EXPECT_EQ(e, geom::kNone);
+}
+
+TEST(KSBridge, SimpleRoof) {
+  // Roof over x=1: bridge must be the top edge (1)-(2).
+  std::vector<Point2> pts{{0, 0}, {1, 5}, {3, 4}, {2, 0}, {1.5, 2}};
+  std::vector<Index> cand{0, 1, 2, 3, 4};
+  const auto [i, j] = ks_bridge(pts, cand, 1.2);
+  EXPECT_EQ(i, 1u);
+  EXPECT_EQ(j, 2u);
+}
+
+TEST(KSBridge, TwoPoints) {
+  std::vector<Point2> pts{{0, 0}, {4, 1}};
+  std::vector<Index> cand{1, 0};
+  const auto [i, j] = ks_bridge(pts, cand, 2.0);
+  EXPECT_EQ(i, 0u);
+  EXPECT_EQ(j, 1u);
+}
+
+TEST(KSBridge, EqualXCandidates) {
+  std::vector<Point2> pts{{0, 0}, {0, 3}, {5, 2}, {5, 8}, {2, 1}};
+  std::vector<Index> cand{0, 1, 2, 3, 4};
+  const auto [i, j] = ks_bridge(pts, cand, 1.0);
+  EXPECT_EQ(i, 1u);
+  EXPECT_EQ(j, 3u);
+}
+
+TEST(KSBridge, MatchesOracleOnRandom) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    auto pts = geom::in_disk(200, seed + 100);
+    const auto oracle = upper_hull(pts);
+    ASSERT_GE(oracle.vertices.size(), 2u);
+    // Probe the bridge over the x of each oracle edge midpoint.
+    std::vector<Index> cand(pts.size());
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      cand[i] = static_cast<Index>(i);
+    }
+    for (std::size_t e = 0; e + 1 < oracle.vertices.size(); ++e) {
+      const double a = (pts[oracle.vertices[e]].x +
+                        pts[oracle.vertices[e + 1]].x) / 2.0;
+      const auto [i, j] = ks_bridge(pts, cand, a);
+      EXPECT_EQ(i, oracle.vertices[e]);
+      EXPECT_EQ(j, oracle.vertices[e + 1]);
+    }
+  }
+}
+
+TEST(ChanTangent, BinarySearchMatchesLinearScan) {
+  auto pts = geom::in_disk(300, 9);
+  const auto chain = upper_hull(pts).vertices;
+  ASSERT_GE(chain.size(), 3u);
+  for (std::uint64_t s = 0; s < 50; ++s) {
+    // Query points to the left and below.
+    const Point2 q{-2e6 + static_cast<double>(s) * 1e4,
+                   -1e6 + static_cast<double>(s * 37 % 100) * 1e4};
+    const Index t = chan_tangent(pts, chain, q);
+    ASSERT_NE(t, geom::kNone);
+    for (Index v : chain) {
+      if (pts[v].x <= q.x) continue;
+      EXPECT_LE(geom::orient2d(q, pts[chain[t]], pts[v]), 0)
+          << "vertex " << v << " above tangent line";
+    }
+  }
+}
+
+TEST(ChanTangent, NoVertexRightOfQuery) {
+  std::vector<Point2> pts{{0, 0}, {1, 1}, {2, 0}};
+  const auto chain = upper_hull(pts).vertices;
+  EXPECT_EQ(chan_tangent(pts, chain, {5, 0}), geom::kNone);
+}
+
+TEST(Graham, SquareCCW) {
+  std::vector<Point2> pts{{0, 0}, {10, 0}, {10, 10}, {0, 10}, {5, 5}};
+  const auto h = graham_hull(pts);
+  ASSERT_EQ(h.size(), 4u);
+  EXPECT_EQ(h[0], 0u);  // lex-min first
+  // Counterclockwise orientation.
+  EXPECT_GT(geom::orient2d(pts[h[0]], pts[h[1]], pts[h[2]]), 0);
+}
+
+TEST(Graham, DegenerateInputs) {
+  EXPECT_TRUE(graham_hull(std::vector<Point2>{}).empty());
+  std::vector<Point2> line{{0, 0}, {2, 2}, {4, 4}, {1, 1}};
+  const auto h = graham_hull(line);
+  EXPECT_EQ(h.size(), 2u);
+  std::vector<Point2> dup{{3, 3}, {3, 3}};
+  EXPECT_EQ(graham_hull(dup).size(), 1u);
+}
+
+// --- Parameterized oracle sweep ----------------------------------------
+
+enum class Algo { kQuickHull, kKS, kChan };
+
+std::string algo_name(Algo a) {
+  switch (a) {
+    case Algo::kQuickHull:
+      return "quickhull";
+    case Algo::kKS:
+      return "kirkpatrick_seidel";
+    case Algo::kChan:
+      return "chan";
+  }
+  return "?";
+}
+
+class Hull2DOracle
+    : public ::testing::TestWithParam<std::tuple<Algo, Family2D, int, int>> {};
+
+TEST_P(Hull2DOracle, MatchesMonotoneChain) {
+  const auto [algo, family, size, seed] = GetParam();
+  const auto pts = geom::make2d(family, static_cast<std::size_t>(size),
+                                static_cast<std::uint64_t>(seed) * 7919 + 1);
+  const auto want = upper_hull(pts);
+  geom::UpperHull2D got;
+  switch (algo) {
+    case Algo::kQuickHull:
+      got = quickhull_upper(pts);
+      break;
+    case Algo::kKS:
+      got = ks_upper_hull(pts);
+      break;
+    case Algo::kChan:
+      got = chan_upper_hull(pts);
+      break;
+  }
+  // Hulls must agree as point sequences (indices may differ when
+  // duplicate points exist; compare coordinates).
+  ASSERT_EQ(got.vertices.size(), want.vertices.size())
+      << algo_name(algo) << " on " << family_name(family);
+  for (std::size_t i = 0; i < got.vertices.size(); ++i) {
+    EXPECT_EQ(pts[got.vertices[i]], pts[want.vertices[i]]) << "vertex " << i;
+  }
+  std::string err;
+  EXPECT_TRUE(validate_upper_hull(pts, got, &err)) << err;
+}
+
+std::string sweep_name(
+    const ::testing::TestParamInfo<std::tuple<Algo, Family2D, int, int>>&
+        info) {
+  const auto [algo, family, size, seed] = info.param;
+  return algo_name(algo) + "_" + geom::family_name(family) + "_n" +
+         std::to_string(size) + "_s" + std::to_string(seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Hull2DOracle,
+    ::testing::Combine(::testing::Values(Algo::kQuickHull, Algo::kKS,
+                                         Algo::kChan),
+                       ::testing::ValuesIn(geom::kAllFamilies2D),
+                       ::testing::Values(1, 2, 3, 7, 64, 257, 1024),
+                       ::testing::Values(1, 2, 3)),
+    sweep_name);
+
+}  // namespace
+}  // namespace iph::seq

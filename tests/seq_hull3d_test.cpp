@@ -1,0 +1,159 @@
+// Tests for the 3-d gift-wrapping oracle.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "geom/predicates.h"
+#include "geom/validate.h"
+#include "geom/workloads.h"
+#include "seq/giftwrap3d.h"
+#include "seq/quickhull3d.h"
+
+namespace iph::seq {
+namespace {
+
+using geom::Family3D;
+using geom::Index;
+using geom::Point3;
+
+TEST(GiftWrap3D, Tetrahedron) {
+  // One upward facet: the top three points; the bottom point beneath it.
+  std::vector<Point3> pts{
+      {0, 0, 10}, {10, 0, 10}, {0, 10, 10}, {3, 3, 0}};
+  const auto r = giftwrap_upper_hull3(pts);
+  ASSERT_EQ(r.facets.size(), 1u);
+  std::set<Index> verts{r.facets[0].a, r.facets[0].b, r.facets[0].c};
+  EXPECT_EQ(verts, (std::set<Index>{0, 1, 2}));
+  EXPECT_EQ(r.facet_above[3], 0u);
+  std::string err;
+  EXPECT_TRUE(geom::validate_hull3d(pts, r, true, &err)) << err;
+}
+
+TEST(GiftWrap3D, PyramidHasFourUpperFacets) {
+  std::vector<Point3> pts{
+      {0, 0, 0}, {10, 0, 0}, {10, 10, 0}, {0, 10, 0}, {5, 5, 8}};
+  const auto r = giftwrap_upper_hull3(pts);
+  EXPECT_EQ(r.facets.size(), 4u);  // apex joined to each base edge
+  std::string err;
+  EXPECT_TRUE(geom::validate_hull3d(pts, r, true, &err)) << err;
+}
+
+TEST(GiftWrap3D, DegenerateInputsYieldNoFacets) {
+  EXPECT_TRUE(giftwrap_upper_hull3(std::vector<Point3>{}).facets.empty());
+  std::vector<Point3> two{{0, 0, 0}, {1, 1, 1}};
+  EXPECT_TRUE(giftwrap_upper_hull3(two).facets.empty());
+  // xy-collinear: vertical slab, no upward facet.
+  std::vector<Point3> line{{0, 0, 0}, {1, 1, 5}, {2, 2, 1}, {3, 3, 9}};
+  const auto r = giftwrap_upper_hull3(line);
+  EXPECT_TRUE(r.facets.empty());
+  std::string err;
+  EXPECT_TRUE(geom::validate_hull3d(line, r, false, &err)) << err;
+}
+
+TEST(GiftWrap3D, ExtremeKBoundsVertexCount) {
+  const std::size_t k = 24;
+  const auto pts = geom::extreme_k3(300, k, 5);
+  const auto r = giftwrap_upper_hull3(pts);
+  const auto verts = geom::hull3d_vertex_set(r);
+  // Upper-hull vertices are a subset of the k sphere points.
+  EXPECT_LE(verts.size(), k);
+  EXPECT_GE(verts.size(), 4u);
+  std::string err;
+  EXPECT_TRUE(geom::validate_hull3d(pts, r, true, &err)) << err;
+}
+
+TEST(GiftWrap3D, ParaboloidAllPointsOnHull) {
+  const auto pts = geom::on_paraboloid(80, 7);
+  const auto r = giftwrap_upper_hull3(pts);
+  // The lift makes every point an upper-hull vertex (general position).
+  EXPECT_EQ(geom::hull3d_vertex_set(r).size(), pts.size());
+}
+
+TEST(GiftWrap3D, EulerBoundOnFacetCount) {
+  // For a triangulated upper hull with v vertices, facets <= 2v - 4.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto pts = geom::in_ball(256, seed);
+    const auto r = giftwrap_upper_hull3(pts);
+    const auto v = geom::hull3d_vertex_set(r).size();
+    EXPECT_LE(r.facets.size(), 2 * v);
+    EXPECT_GE(r.facets.size(), 1u);
+  }
+}
+
+
+TEST(QuickHull3D, MatchesGiftWrapVertexSet) {
+  for (geom::Family3D f : geom::kAllFamilies3D) {
+    for (std::size_t n : {4u, 60u, 250u}) {
+      const auto pts = geom::make3d(f, n, 77);
+      const auto qh = quickhull_upper_hull3(pts);
+      const auto gw = giftwrap_upper_hull3(pts);
+      EXPECT_EQ(geom::hull3d_vertex_set(qh), geom::hull3d_vertex_set(gw))
+          << geom::family_name(f) << " n=" << n;
+      std::string err;
+      EXPECT_TRUE(geom::validate_hull3d(pts, qh, false, &err))
+          << geom::family_name(f) << " n=" << n << ": " << err;
+    }
+  }
+}
+
+TEST(QuickHull3D, AssignsEveryPointOnGeneralPosition) {
+  const auto pts = geom::in_ball(800, 3);
+  const auto qh = quickhull_upper_hull3(pts);
+  std::string err;
+  EXPECT_TRUE(geom::validate_hull3d(pts, qh, true, &err)) << err;
+}
+
+TEST(QuickHull3D, DegenerateInputs) {
+  EXPECT_TRUE(quickhull3(std::vector<Point3>{}).empty());
+  std::vector<Point3> flat{{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {1, 1, 0}};
+  EXPECT_TRUE(quickhull3(flat).empty());  // coplanar
+  std::vector<Point3> line{{0, 0, 0}, {1, 1, 1}, {2, 2, 2}, {3, 3, 3}};
+  EXPECT_TRUE(quickhull3(line).empty());
+  std::vector<Point3> dup(10, Point3{5, 5, 5});
+  EXPECT_TRUE(quickhull3(dup).empty());
+}
+
+TEST(QuickHull3D, ScalesToLargeN) {
+  const auto pts = geom::in_cube(20000, 9);
+  const auto qh = quickhull_upper_hull3(pts);
+  EXPECT_GT(qh.facets.size(), 4u);
+  // Spot-validate: every facet dominates a sample of points.
+  for (std::size_t i = 0; i < pts.size(); i += 997) {
+    for (std::size_t f = 0; f < qh.facets.size(); f += 7) {
+      const auto& t = qh.facets[f];
+      EXPECT_TRUE(
+          geom::on_or_below_plane(pts[t.a], pts[t.b], pts[t.c], pts[i]));
+    }
+  }
+}
+
+class GiftWrapSweep
+    : public ::testing::TestWithParam<std::tuple<Family3D, int, int>> {};
+
+TEST_P(GiftWrapSweep, ValidUpperHull) {
+  const auto [family, size, seed] = GetParam();
+  const auto pts = geom::make3d(family, static_cast<std::size_t>(size),
+                                static_cast<std::uint64_t>(seed) * 104729 + 3);
+  const auto r = giftwrap_upper_hull3(pts);
+  std::string err;
+  EXPECT_TRUE(geom::validate_hull3d(pts, r, true, &err))
+      << geom::family_name(family) << " n=" << size << ": " << err;
+}
+
+std::string sweep_name(
+    const ::testing::TestParamInfo<std::tuple<Family3D, int, int>>& info) {
+  const auto [family, size, seed] = info.param;
+  return geom::family_name(family) + "_n" + std::to_string(size) + "_s" +
+         std::to_string(seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GiftWrapSweep,
+    ::testing::Combine(::testing::ValuesIn(geom::kAllFamilies3D),
+                       ::testing::Values(4, 16, 100, 400),
+                       ::testing::Values(1, 2)),
+    sweep_name);
+
+}  // namespace
+}  // namespace iph::seq

@@ -1,0 +1,150 @@
+// Tests for the unsorted output-sensitive 2-d hull (Theorem 5) and the
+// fallback parallel hull it switches to.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/fallback2d.h"
+#include "core/unsorted2d.h"
+#include "geom/validate.h"
+#include "geom/workloads.h"
+#include "pram/machine.h"
+#include "seq/upper_hull.h"
+#include "support/mathutil.h"
+
+namespace iph::core {
+namespace {
+
+using geom::Family2D;
+using geom::Point2;
+
+void expect_matches_oracle(std::span<const Point2> pts,
+                           const geom::HullResult2D& r,
+                           const std::string& label) {
+  std::string err;
+  ASSERT_TRUE(geom::validate_upper_hull(pts, r.upper, &err))
+      << label << ": " << err;
+  ASSERT_TRUE(geom::validate_edge_above(pts, r, &err)) << label << ": "
+                                                       << err;
+  const auto want = seq::upper_hull(pts);
+  ASSERT_EQ(r.upper.vertices.size(), want.vertices.size()) << label;
+  for (std::size_t i = 0; i < want.vertices.size(); ++i) {
+    EXPECT_EQ(pts[r.upper.vertices[i]], pts[want.vertices[i]]) << label;
+  }
+}
+
+TEST(Fallback2D, MatchesOracleAcrossFamilies) {
+  for (Family2D f : geom::kAllFamilies2D) {
+    for (std::size_t n : {1u, 2u, 9u, 300u, 2000u}) {
+      const auto pts = geom::make2d(f, n, 99);
+      pram::Machine m(1, 3);
+      const auto r = fallback_hull_2d(m, pts);
+      expect_matches_oracle(pts, r,
+                            geom::family_name(f) + " n" + std::to_string(n));
+    }
+  }
+}
+
+TEST(Fallback2D, LogDepthShape) {
+  pram::Machine m(1, 3);
+  const auto pts = geom::in_disk(1 << 14, 4);
+  const auto before = m.metrics().steps;
+  fallback_hull_2d(m, pts);
+  // O(log n) merge rounds x O(1) lockstep steps each, plus the charged
+  // sort. Far below anything linear.
+  EXPECT_LE(m.metrics().steps - before, 60u * 14u);
+}
+
+class Unsorted2DSweep
+    : public ::testing::TestWithParam<std::tuple<Family2D, int, int>> {};
+
+TEST_P(Unsorted2DSweep, MatchesOracle) {
+  const auto [family, n, seed] = GetParam();
+  const auto pts = geom::make2d(family, static_cast<std::size_t>(n),
+                                static_cast<std::uint64_t>(seed) * 733 + 7);
+  pram::Machine m(1, static_cast<std::uint64_t>(seed) + 1000);
+  Unsorted2DStats stats;
+  const auto r = unsorted_hull_2d(m, pts, &stats);
+  expect_matches_oracle(pts, r,
+                        geom::family_name(family) + " n" + std::to_string(n));
+}
+
+std::string sweep_name(
+    const ::testing::TestParamInfo<std::tuple<Family2D, int, int>>& info) {
+  const auto [family, n, seed] = info.param;
+  return geom::family_name(family) + "_n" + std::to_string(n) + "_s" +
+         std::to_string(seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Unsorted2DSweep,
+    ::testing::Combine(::testing::ValuesIn(geom::kAllFamilies2D),
+                       ::testing::Values(1, 2, 3, 17, 128, 1000, 5000),
+                       ::testing::Values(1, 2, 3)),
+    sweep_name);
+
+TEST(Unsorted2D, OutputSensitiveWork) {
+  // convex_k with tiny h must use far less work than the circle (h~n/2)
+  // at the same n.
+  const std::size_t n = 1 << 14;
+  auto small_h = geom::convex_k(n, 8, 5);
+  pram::Machine m1(1, 7);
+  unsorted_hull_2d(m1, small_h);
+  auto large_h = geom::on_circle(n, 5);
+  pram::Machine m2(1, 7);
+  unsorted_hull_2d(m2, large_h);
+  EXPECT_LT(m1.metrics().work * 2, m2.metrics().work);
+}
+
+TEST(Unsorted2D, LogarithmicLevels) {
+  const std::size_t n = 1 << 15;
+  const auto pts = geom::in_disk(n, 9);
+  pram::Machine m(1, 11);
+  Unsorted2DStats stats;
+  unsorted_hull_2d(m, pts, &stats);
+  // Lemma 5.1: subproblem sizes shrink by 15/16 per level w.h.p.; the
+  // level count is O(log n) — generously bounded here.
+  EXPECT_LE(stats.levels, 6u * 15u);
+}
+
+TEST(Unsorted2D, FallbackTriggersOnCircle) {
+  // Circle input has h ~ n/2 >> n^(1/4): the fallback must kick in and
+  // the result must still be exact.
+  const std::size_t n = 4096;
+  const auto pts = geom::on_circle(n, 13);
+  pram::Machine m(1, 5);
+  Unsorted2DStats stats;
+  const auto r = unsorted_hull_2d(m, pts, &stats);
+  EXPECT_TRUE(stats.used_fallback);
+  expect_matches_oracle(pts, r, "fallback circle");
+}
+
+TEST(Unsorted2D, NoFallbackOnTinyHull) {
+  const auto pts = geom::convex_k(4096, 6, 3);
+  pram::Machine m(1, 5);
+  Unsorted2DStats stats;
+  unsorted_hull_2d(m, pts, &stats);
+  EXPECT_FALSE(stats.used_fallback);
+}
+
+TEST(Unsorted2D, DeterministicAcrossThreadCounts) {
+  const auto pts = geom::gaussian2(3000, 17);
+  auto run = [&](unsigned threads) {
+    pram::Machine m(threads, 2024);
+    return unsorted_hull_2d(m, pts).upper.vertices;
+  };
+  EXPECT_EQ(run(1), run(4));
+}
+
+TEST(Unsorted2D, TinyAlphaStillCorrect) {
+  // Failure injection: alpha = 1 forces the sweep path every level.
+  const auto pts = geom::in_square(2000, 23);
+  pram::Machine m(1, 3);
+  Unsorted2DStats stats;
+  const auto r = unsorted_hull_2d(m, pts, &stats, /*alpha=*/1);
+  expect_matches_oracle(pts, r, "alpha=1");
+  EXPECT_GT(stats.failures_swept, 0u);
+}
+
+}  // namespace
+}  // namespace iph::core

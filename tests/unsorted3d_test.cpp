@@ -1,0 +1,117 @@
+// Tests for the unsorted output-sensitive 3-d hull (Theorem 6).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/unsorted3d.h"
+#include "geom/validate.h"
+#include "geom/workloads.h"
+#include "pram/machine.h"
+#include "seq/quickhull3d.h"
+
+namespace iph::core {
+namespace {
+
+using geom::Family3D;
+using geom::Point3;
+
+void expect_valid_and_matches(std::span<const Point3> pts,
+                              const geom::HullResult3D& r,
+                              const std::string& label,
+                              bool require_all = true) {
+  std::string err;
+  ASSERT_TRUE(geom::validate_hull3d(pts, r, require_all, &err))
+      << label << ": " << err;
+  const auto want = seq::quickhull_upper_hull3(pts);
+  EXPECT_EQ(geom::hull3d_vertex_set(r), geom::hull3d_vertex_set(want))
+      << label;
+}
+
+TEST(Fallback3D, ValidAndCharged) {
+  pram::Machine m(1, 3);
+  const auto pts = geom::in_ball(1000, 7);
+  const auto before = m.metrics();
+  const auto r = fallback_hull_3d(m, pts);
+  expect_valid_and_matches(pts, r, "fallback ball");
+  EXPECT_GE(m.metrics().steps - before.steps, 10u);  // charged log n
+}
+
+class Unsorted3DSweep
+    : public ::testing::TestWithParam<std::tuple<Family3D, int, int>> {};
+
+TEST_P(Unsorted3DSweep, ValidHullMatchingOracle) {
+  const auto [family, n, seed] = GetParam();
+  const auto pts = geom::make3d(family, static_cast<std::size_t>(n),
+                                static_cast<std::uint64_t>(seed) * 389 + 2);
+  pram::Machine m(1, static_cast<std::uint64_t>(seed) + 77);
+  Unsorted3DStats stats;
+  const auto r = unsorted_hull_3d(m, pts, &stats);
+  expect_valid_and_matches(
+      pts, r, geom::family_name(family) + " n" + std::to_string(n));
+}
+
+std::string sweep_name(
+    const ::testing::TestParamInfo<std::tuple<Family3D, int, int>>& info) {
+  const auto [family, n, seed] = info.param;
+  return geom::family_name(family) + "_n" + std::to_string(n) + "_s" +
+         std::to_string(seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Unsorted3DSweep,
+    ::testing::Combine(::testing::ValuesIn(geom::kAllFamilies3D),
+                       ::testing::Values(4, 16, 100, 700),
+                       ::testing::Values(1, 2)),
+    sweep_name);
+
+TEST(Unsorted3D, WorkWithinTheoremEnvelope) {
+  // Theorem 6's bound is min{n log^2 h, n log n}; our realization's
+  // certified fallback keeps every run inside the n log n half of the
+  // envelope even when the preliminary paper's 4-way division leaks
+  // (see DESIGN.md §8 / EXPERIMENTS.md E5). Check the envelope holds
+  // with a generous constant across output sizes.
+  const std::size_t n = 4096;
+  const double envelope = static_cast<double>(n) * 12.0;
+  for (auto mk : {+[](std::size_t nn) { return geom::extreme_k3(nn, 12, 5); },
+                  +[](std::size_t nn) { return geom::on_sphere(nn, 5); }}) {
+    const auto pts = mk(n);
+    pram::Machine m(1, 9);
+    Unsorted3DStats st;
+    unsorted_hull_3d(m, pts, &st);
+    EXPECT_LT(static_cast<double>(m.metrics().work), 4000.0 * envelope);
+  }
+}
+
+TEST(Unsorted3D, DeterministicAcrossThreadCounts) {
+  const auto pts = geom::in_cube(1500, 21);
+  auto run = [&](unsigned threads) {
+    pram::Machine m(threads, 424242);
+    const auto r = unsorted_hull_3d(m, pts);
+    return geom::hull3d_vertex_set(r);
+  };
+  EXPECT_EQ(run(1), run(4));
+}
+
+TEST(Unsorted3D, TinyAlphaStillCorrect) {
+  const auto pts = geom::in_ball(800, 13);
+  pram::Machine m(1, 31);
+  Unsorted3DStats stats;
+  const auto r = unsorted_hull_3d(m, pts, &stats, /*alpha=*/1);
+  expect_valid_and_matches(pts, r, "alpha=1");
+}
+
+TEST(Unsorted3D, DegenerateInputs) {
+  pram::Machine m(1, 1);
+  // Coplanar points: no upper facets; unassigned pointers are legal.
+  std::vector<Point3> flat;
+  for (int i = 0; i < 40; ++i) {
+    flat.push_back({static_cast<double>(i % 7), static_cast<double>(i / 7),
+                    0.0});
+  }
+  const auto r = unsorted_hull_3d(m, flat);
+  std::string err;
+  EXPECT_TRUE(geom::validate_hull3d(flat, r, false, &err)) << err;
+}
+
+}  // namespace
+}  // namespace iph::core

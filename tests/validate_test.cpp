@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "geom/validate.h"
+#include "geom/workloads.h"
+#include "seq/giftwrap3d.h"
+#include "seq/upper_hull.h"
+
+namespace iph::geom {
+namespace {
+
+TEST(ValidateUpperHull, AcceptsOracleHull) {
+  auto pts = in_square(500, 1);
+  const auto hull = seq::upper_hull(pts);
+  std::string err;
+  EXPECT_TRUE(validate_upper_hull(pts, hull, &err)) << err;
+}
+
+TEST(ValidateUpperHull, EmptyAndSingleton) {
+  std::vector<Point2> none;
+  EXPECT_TRUE(validate_upper_hull(none, UpperHull2D{}));
+  UpperHull2D bogus;
+  bogus.vertices.push_back(0);
+  EXPECT_FALSE(validate_upper_hull(none, bogus));
+
+  std::vector<Point2> one{{1, 2}};
+  UpperHull2D h;
+  h.vertices.push_back(0);
+  EXPECT_TRUE(validate_upper_hull(one, h));
+  EXPECT_FALSE(validate_upper_hull(one, UpperHull2D{}));
+}
+
+TEST(ValidateUpperHull, RejectsMissingVertex) {
+  // A square: dropping a top corner leaves a point above the chain.
+  std::vector<Point2> pts{{0, 0}, {0, 10}, {10, 10}, {10, 0}, {5, 20}};
+  UpperHull2D wrong;
+  wrong.vertices = {1, 2};  // skips the peak at (5,20)
+  std::string err;
+  EXPECT_FALSE(validate_upper_hull(pts, wrong, &err));
+}
+
+TEST(ValidateUpperHull, RejectsCollinearVertexKept) {
+  std::vector<Point2> pts{{0, 0}, {5, 5}, {10, 10}, {10, 0}, {0, -5}};
+  UpperHull2D nonstrict;
+  nonstrict.vertices = {0, 1, 2};  // (5,5) is collinear on the chain
+  EXPECT_FALSE(validate_upper_hull(pts, nonstrict));
+}
+
+TEST(ValidateUpperHull, RejectsNonMonotone) {
+  std::vector<Point2> pts{{0, 0}, {10, 5}, {5, 10}};
+  UpperHull2D h;
+  h.vertices = {0, 1, 2};  // x not increasing
+  EXPECT_FALSE(validate_upper_hull(pts, h));
+}
+
+TEST(ValidateUpperHull, EqualXColumnDegenerate) {
+  std::vector<Point2> pts{{3, 0}, {3, 7}, {3, 4}};
+  UpperHull2D h;
+  h.vertices = {1};
+  EXPECT_TRUE(validate_upper_hull(pts, h));
+  h.vertices = {0};  // not the topmost
+  EXPECT_FALSE(validate_upper_hull(pts, h));
+}
+
+TEST(ValidateEdgeAbove, AcceptsOracleAssignment) {
+  auto pts = in_disk(300, 5);
+  const auto r = seq::hull_result_2d(pts);
+  std::string err;
+  EXPECT_TRUE(validate_edge_above(pts, r, &err)) << err;
+}
+
+TEST(ValidateEdgeAbove, RejectsWrongEdge) {
+  std::vector<Point2> pts{{0, 10}, {10, 12}, {20, 10}, {5, 0}, {15, 0}};
+  auto r = seq::hull_result_2d(pts);
+  ASSERT_EQ(r.upper.edge_count(), 2u);
+  // Point (15,0) belongs under edge 1; claim edge 0 (x-range violation).
+  r.edge_above[4] = 0;
+  EXPECT_FALSE(validate_edge_above(pts, r));
+}
+
+TEST(ValidateEdgeAbove, RejectsMissingPointer) {
+  std::vector<Point2> pts{{0, 10}, {10, 12}, {20, 10}};
+  auto r = seq::hull_result_2d(pts);
+  r.edge_above[1] = kNone;
+  EXPECT_FALSE(validate_edge_above(pts, r));
+}
+
+TEST(FullHullFromUpper, Square) {
+  std::vector<Point2> pts{{0, 0}, {10, 0}, {10, 10}, {0, 10}, {5, 5}};
+  const auto upper = seq::upper_hull(pts);
+  std::vector<Point2> neg(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) neg[i] = {pts[i].x, -pts[i].y};
+  const auto lower = seq::upper_hull(neg);
+  const auto full = full_hull_from_upper(upper, lower);
+  EXPECT_EQ(full.size(), 4u);  // interior point excluded
+}
+
+TEST(ValidateHull3D, AcceptsOracle) {
+  auto pts = in_ball(120, 3);
+  const auto r = seq::giftwrap_upper_hull3(pts);
+  std::string err;
+  EXPECT_TRUE(validate_hull3d(pts, r, true, &err)) << err;
+}
+
+TEST(ValidateHull3D, RejectsPointAbovePlane) {
+  auto pts = in_ball(60, 4);
+  auto r = seq::giftwrap_upper_hull3(pts);
+  ASSERT_FALSE(r.facets.empty());
+  // Raise one point far above everything: plane checks must now fail.
+  pts[0].z += 1e9;
+  EXPECT_FALSE(validate_hull3d(pts, r));
+}
+
+TEST(ValidateHull3D, RejectsUnassignedWhenRequired) {
+  auto pts = in_ball(60, 5);
+  auto r = seq::giftwrap_upper_hull3(pts);
+  r.facet_above[10] = kNone;
+  EXPECT_FALSE(validate_hull3d(pts, r, true));
+  EXPECT_TRUE(validate_hull3d(pts, r, false));
+}
+
+TEST(Hull3DVertexSet, SortedUnique) {
+  HullResult3D r;
+  r.facets.push_back({5, 2, 9});
+  r.facets.push_back({2, 9, 7});
+  const auto v = hull3d_vertex_set(r);
+  EXPECT_EQ(v, (std::vector<Index>{2, 5, 7, 9}));
+}
+
+}  // namespace
+}  // namespace iph::geom

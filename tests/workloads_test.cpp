@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "geom/validate.h"
+#include "geom/workloads.h"
+#include "seq/upper_hull.h"
+
+namespace iph::geom {
+namespace {
+
+TEST(Workloads2D, DeterministicInSeed) {
+  for (Family2D f : kAllFamilies2D) {
+    const auto a = make2d(f, 200, 42);
+    const auto b = make2d(f, 200, 42);
+    const auto c = make2d(f, 200, 43);
+    EXPECT_EQ(a.size(), 200u) << family_name(f);
+    EXPECT_EQ(a, b) << family_name(f);
+    if (f != Family2D::kCollinear) {  // collinear ignores the seed's values
+      EXPECT_NE(a, c) << family_name(f);
+    }
+  }
+}
+
+TEST(Workloads2D, ConvexKHasExactUpperHullSize) {
+  for (std::size_t k : {2u, 3u, 8u, 50u}) {
+    const auto pts = convex_k(400, k, 7);
+    const auto hull = seq::upper_hull(pts);
+    EXPECT_EQ(hull.vertices.size(), k) << "k=" << k;
+    std::string err;
+    EXPECT_TRUE(validate_upper_hull(pts, hull, &err)) << err;
+  }
+}
+
+TEST(Workloads2D, ConvexKLargeKStillExact) {
+  const auto pts = convex_k(5000, 1000, 3);
+  EXPECT_EQ(seq::upper_hull(pts).vertices.size(), 1000u);
+}
+
+TEST(Workloads2D, CollinearHasTwoVertexUpperHull) {
+  const auto pts = collinear2(100, 9);
+  const auto hull = seq::upper_hull(pts);
+  EXPECT_EQ(hull.vertices.size(), 2u);
+}
+
+TEST(Workloads2D, CircleMostPointsExtreme) {
+  const auto pts = on_circle(1000, 11);
+  const auto hull = seq::upper_hull(pts);
+  // Roughly half the circle points are on the upper hull.
+  EXPECT_GT(hull.vertices.size(), 350u);
+}
+
+TEST(Workloads2D, SquareHullIsLogarithmic) {
+  const auto pts = in_square(1 << 14, 13);
+  const auto hull = seq::upper_hull(pts);
+  EXPECT_LT(hull.vertices.size(), 60u);
+  EXPECT_GE(hull.vertices.size(), 3u);
+}
+
+TEST(Workloads2D, DuplicatesHaveFewSites) {
+  const auto pts = with_duplicates(900, 17);
+  std::set<std::pair<double, double>> distinct;
+  for (const auto& p : pts) distinct.insert({p.x, p.y});
+  EXPECT_LE(distinct.size(), 30u);  // ~sqrt(900)
+}
+
+TEST(Workloads2D, LatticeIsIntegerValued) {
+  const auto pts = lattice2(500, 19);
+  for (const auto& p : pts) {
+    EXPECT_EQ(p.x, std::floor(p.x));
+    EXPECT_EQ(p.y, std::floor(p.y));
+  }
+}
+
+TEST(Workloads3D, DeterministicInSeed) {
+  for (Family3D f : kAllFamilies3D) {
+    const auto a = make3d(f, 150, 21);
+    const auto b = make3d(f, 150, 21);
+    EXPECT_EQ(a, b) << family_name(f);
+    EXPECT_EQ(a.size(), 150u) << family_name(f);
+  }
+}
+
+TEST(Workloads3D, BallInsideRadius) {
+  const auto pts = in_ball(500, 23);
+  for (const auto& p : pts) {
+    EXPECT_LE(p.x * p.x + p.y * p.y + p.z * p.z, 1.0e12 * 1.0001);
+  }
+}
+
+TEST(Workloads3D, SphereOnRadius) {
+  const auto pts = on_sphere(500, 29);
+  for (const auto& p : pts) {
+    const double r2 = p.x * p.x + p.y * p.y + p.z * p.z;
+    EXPECT_NEAR(r2, 1.0e12, 1e7);
+  }
+}
+
+TEST(Workloads3D, ParaboloidLiesOnSurface) {
+  const auto pts = on_paraboloid(300, 31);
+  for (const auto& p : pts) {
+    EXPECT_NEAR(p.z, -(p.x * p.x + p.y * p.y) / 1.0e6, 1e-3);
+  }
+}
+
+TEST(SortLex, SortsAndKeepsMultiset) {
+  auto pts = in_square(400, 37);
+  auto copy = pts;
+  sort_lex(pts);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_FALSE(lex_less(pts[i], pts[i - 1]));
+  }
+  std::sort(copy.begin(), copy.end(),
+            [](const Point2& a, const Point2& b) { return lex_less(a, b); });
+  EXPECT_EQ(pts, copy);
+}
+
+TEST(FamilyNames, Distinct) {
+  std::set<std::string> names;
+  for (Family2D f : kAllFamilies2D) names.insert(family_name(f));
+  EXPECT_EQ(names.size(), std::size(kAllFamilies2D));
+  std::set<std::string> names3;
+  for (Family3D f : kAllFamilies3D) names3.insert(family_name(f));
+  EXPECT_EQ(names3.size(), std::size(kAllFamilies3D));
+}
+
+}  // namespace
+}  // namespace iph::geom
