@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e01_presorted_constant.dir/e01_presorted_constant.cpp.o"
+  "CMakeFiles/e01_presorted_constant.dir/e01_presorted_constant.cpp.o.d"
+  "e01_presorted_constant"
+  "e01_presorted_constant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e01_presorted_constant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

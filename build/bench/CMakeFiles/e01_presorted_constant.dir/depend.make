@@ -1,0 +1,2 @@
+# Empty dependencies file for e01_presorted_constant.
+# This may be replaced when dependencies are built.

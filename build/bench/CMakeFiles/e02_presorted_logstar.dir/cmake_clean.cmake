@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e02_presorted_logstar.dir/e02_presorted_logstar.cpp.o"
+  "CMakeFiles/e02_presorted_logstar.dir/e02_presorted_logstar.cpp.o.d"
+  "e02_presorted_logstar"
+  "e02_presorted_logstar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e02_presorted_logstar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

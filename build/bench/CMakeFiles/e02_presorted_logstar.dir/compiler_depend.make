@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for e02_presorted_logstar.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for e02_presorted_logstar.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e03_unsorted2d_work.dir/e03_unsorted2d_work.cpp.o"
+  "CMakeFiles/e03_unsorted2d_work.dir/e03_unsorted2d_work.cpp.o.d"
+  "e03_unsorted2d_work"
+  "e03_unsorted2d_work.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e03_unsorted2d_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for e03_unsorted2d_work.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e04_unsorted2d_vs_baselines.dir/e04_unsorted2d_vs_baselines.cpp.o"
+  "CMakeFiles/e04_unsorted2d_vs_baselines.dir/e04_unsorted2d_vs_baselines.cpp.o.d"
+  "e04_unsorted2d_vs_baselines"
+  "e04_unsorted2d_vs_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e04_unsorted2d_vs_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

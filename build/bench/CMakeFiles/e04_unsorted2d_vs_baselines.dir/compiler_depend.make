@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for e04_unsorted2d_vs_baselines.
+# This may be replaced when dependencies are built.

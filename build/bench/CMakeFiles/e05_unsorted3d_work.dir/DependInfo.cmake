@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/e05_unsorted3d_work.cpp" "bench/CMakeFiles/e05_unsorted3d_work.dir/e05_unsorted3d_work.cpp.o" "gcc" "bench/CMakeFiles/e05_unsorted3d_work.dir/e05_unsorted3d_work.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/iph_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hulltools/CMakeFiles/iph_hulltools.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/iph_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/primitives/CMakeFiles/iph_primitives.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/iph_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/pram/CMakeFiles/iph_pram.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/iph_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e05_unsorted3d_work.dir/e05_unsorted3d_work.cpp.o"
+  "CMakeFiles/e05_unsorted3d_work.dir/e05_unsorted3d_work.cpp.o.d"
+  "e05_unsorted3d_work"
+  "e05_unsorted3d_work.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e05_unsorted3d_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for e05_unsorted3d_work.
+# This may be replaced when dependencies are built.

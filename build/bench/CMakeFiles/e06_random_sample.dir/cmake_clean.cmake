@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e06_random_sample.dir/e06_random_sample.cpp.o"
+  "CMakeFiles/e06_random_sample.dir/e06_random_sample.cpp.o.d"
+  "e06_random_sample"
+  "e06_random_sample.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e06_random_sample.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for e06_random_sample.
+# This may be replaced when dependencies are built.

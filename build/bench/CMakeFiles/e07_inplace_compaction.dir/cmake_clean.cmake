@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e07_inplace_compaction.dir/e07_inplace_compaction.cpp.o"
+  "CMakeFiles/e07_inplace_compaction.dir/e07_inplace_compaction.cpp.o.d"
+  "e07_inplace_compaction"
+  "e07_inplace_compaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e07_inplace_compaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e08_bridge_finding.dir/e08_bridge_finding.cpp.o"
+  "CMakeFiles/e08_bridge_finding.dir/e08_bridge_finding.cpp.o.d"
+  "e08_bridge_finding"
+  "e08_bridge_finding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e08_bridge_finding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

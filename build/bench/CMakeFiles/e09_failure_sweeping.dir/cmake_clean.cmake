@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e09_failure_sweeping.dir/e09_failure_sweeping.cpp.o"
+  "CMakeFiles/e09_failure_sweeping.dir/e09_failure_sweeping.cpp.o.d"
+  "e09_failure_sweeping"
+  "e09_failure_sweeping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e09_failure_sweeping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e10_allocation.dir/e10_allocation.cpp.o"
+  "CMakeFiles/e10_allocation.dir/e10_allocation.cpp.o.d"
+  "e10_allocation"
+  "e10_allocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e10_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

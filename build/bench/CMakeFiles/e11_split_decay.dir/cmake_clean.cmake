@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e11_split_decay.dir/e11_split_decay.cpp.o"
+  "CMakeFiles/e11_split_decay.dir/e11_split_decay.cpp.o.d"
+  "e11_split_decay"
+  "e11_split_decay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e11_split_decay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e12_bruteforce.dir/e12_bruteforce.cpp.o"
+  "CMakeFiles/e12_bruteforce.dir/e12_bruteforce.cpp.o.d"
+  "e12_bruteforce"
+  "e12_bruteforce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e12_bruteforce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collision3d.dir/collision3d.cpp.o"
+  "CMakeFiles/collision3d.dir/collision3d.cpp.o.d"
+  "collision3d"
+  "collision3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collision3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gis_footprint.dir/gis_footprint.cpp.o"
+  "CMakeFiles/gis_footprint.dir/gis_footprint.cpp.o.d"
+  "gis_footprint"
+  "gis_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gis_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

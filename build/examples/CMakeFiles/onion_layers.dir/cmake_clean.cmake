@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onion_layers.dir/onion_layers.cpp.o"
+  "CMakeFiles/onion_layers.dir/onion_layers.cpp.o.d"
+  "onion_layers"
+  "onion_layers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onion_layers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/api.cpp" "src/core/CMakeFiles/iph_core.dir/api.cpp.o" "gcc" "src/core/CMakeFiles/iph_core.dir/api.cpp.o.d"
+  "/root/repo/src/core/fallback2d.cpp" "src/core/CMakeFiles/iph_core.dir/fallback2d.cpp.o" "gcc" "src/core/CMakeFiles/iph_core.dir/fallback2d.cpp.o.d"
+  "/root/repo/src/core/hull_assemble.cpp" "src/core/CMakeFiles/iph_core.dir/hull_assemble.cpp.o" "gcc" "src/core/CMakeFiles/iph_core.dir/hull_assemble.cpp.o.d"
+  "/root/repo/src/core/presorted_constant.cpp" "src/core/CMakeFiles/iph_core.dir/presorted_constant.cpp.o" "gcc" "src/core/CMakeFiles/iph_core.dir/presorted_constant.cpp.o.d"
+  "/root/repo/src/core/presorted_logstar.cpp" "src/core/CMakeFiles/iph_core.dir/presorted_logstar.cpp.o" "gcc" "src/core/CMakeFiles/iph_core.dir/presorted_logstar.cpp.o.d"
+  "/root/repo/src/core/unsorted2d.cpp" "src/core/CMakeFiles/iph_core.dir/unsorted2d.cpp.o" "gcc" "src/core/CMakeFiles/iph_core.dir/unsorted2d.cpp.o.d"
+  "/root/repo/src/core/unsorted3d.cpp" "src/core/CMakeFiles/iph_core.dir/unsorted3d.cpp.o" "gcc" "src/core/CMakeFiles/iph_core.dir/unsorted3d.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hulltools/CMakeFiles/iph_hulltools.dir/DependInfo.cmake"
+  "/root/repo/build/src/primitives/CMakeFiles/iph_primitives.dir/DependInfo.cmake"
+  "/root/repo/build/src/pram/CMakeFiles/iph_pram.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/iph_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/iph_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/iph_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iph_core.dir/api.cpp.o"
+  "CMakeFiles/iph_core.dir/api.cpp.o.d"
+  "CMakeFiles/iph_core.dir/fallback2d.cpp.o"
+  "CMakeFiles/iph_core.dir/fallback2d.cpp.o.d"
+  "CMakeFiles/iph_core.dir/hull_assemble.cpp.o"
+  "CMakeFiles/iph_core.dir/hull_assemble.cpp.o.d"
+  "CMakeFiles/iph_core.dir/presorted_constant.cpp.o"
+  "CMakeFiles/iph_core.dir/presorted_constant.cpp.o.d"
+  "CMakeFiles/iph_core.dir/presorted_logstar.cpp.o"
+  "CMakeFiles/iph_core.dir/presorted_logstar.cpp.o.d"
+  "CMakeFiles/iph_core.dir/unsorted2d.cpp.o"
+  "CMakeFiles/iph_core.dir/unsorted2d.cpp.o.d"
+  "CMakeFiles/iph_core.dir/unsorted3d.cpp.o"
+  "CMakeFiles/iph_core.dir/unsorted3d.cpp.o.d"
+  "libiph_core.a"
+  "libiph_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iph_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/predicates.cpp" "src/geom/CMakeFiles/iph_geom.dir/predicates.cpp.o" "gcc" "src/geom/CMakeFiles/iph_geom.dir/predicates.cpp.o.d"
+  "/root/repo/src/geom/validate.cpp" "src/geom/CMakeFiles/iph_geom.dir/validate.cpp.o" "gcc" "src/geom/CMakeFiles/iph_geom.dir/validate.cpp.o.d"
+  "/root/repo/src/geom/workloads.cpp" "src/geom/CMakeFiles/iph_geom.dir/workloads.cpp.o" "gcc" "src/geom/CMakeFiles/iph_geom.dir/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/iph_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iph_geom.dir/predicates.cpp.o"
+  "CMakeFiles/iph_geom.dir/predicates.cpp.o.d"
+  "CMakeFiles/iph_geom.dir/validate.cpp.o"
+  "CMakeFiles/iph_geom.dir/validate.cpp.o.d"
+  "CMakeFiles/iph_geom.dir/workloads.cpp.o"
+  "CMakeFiles/iph_geom.dir/workloads.cpp.o.d"
+  "libiph_geom.a"
+  "libiph_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iph_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iph_hulltools.dir/chain_ops.cpp.o"
+  "CMakeFiles/iph_hulltools.dir/chain_ops.cpp.o.d"
+  "CMakeFiles/iph_hulltools.dir/folklore_hull.cpp.o"
+  "CMakeFiles/iph_hulltools.dir/folklore_hull.cpp.o.d"
+  "libiph_hulltools.a"
+  "libiph_hulltools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iph_hulltools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

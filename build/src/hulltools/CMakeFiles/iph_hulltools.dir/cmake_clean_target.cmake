@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libiph_hulltools.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for iph_hulltools.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iph_pram.dir/allocation.cpp.o"
+  "CMakeFiles/iph_pram.dir/allocation.cpp.o.d"
+  "CMakeFiles/iph_pram.dir/machine.cpp.o"
+  "CMakeFiles/iph_pram.dir/machine.cpp.o.d"
+  "libiph_pram.a"
+  "libiph_pram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iph_pram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

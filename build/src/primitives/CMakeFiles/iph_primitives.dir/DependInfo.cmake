@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/primitives/bitonic_sort.cpp" "src/primitives/CMakeFiles/iph_primitives.dir/bitonic_sort.cpp.o" "gcc" "src/primitives/CMakeFiles/iph_primitives.dir/bitonic_sort.cpp.o.d"
+  "/root/repo/src/primitives/brute_force_hull.cpp" "src/primitives/CMakeFiles/iph_primitives.dir/brute_force_hull.cpp.o" "gcc" "src/primitives/CMakeFiles/iph_primitives.dir/brute_force_hull.cpp.o.d"
+  "/root/repo/src/primitives/brute_force_lp.cpp" "src/primitives/CMakeFiles/iph_primitives.dir/brute_force_lp.cpp.o" "gcc" "src/primitives/CMakeFiles/iph_primitives.dir/brute_force_lp.cpp.o.d"
+  "/root/repo/src/primitives/failure_sweep.cpp" "src/primitives/CMakeFiles/iph_primitives.dir/failure_sweep.cpp.o" "gcc" "src/primitives/CMakeFiles/iph_primitives.dir/failure_sweep.cpp.o.d"
+  "/root/repo/src/primitives/first_nonzero.cpp" "src/primitives/CMakeFiles/iph_primitives.dir/first_nonzero.cpp.o" "gcc" "src/primitives/CMakeFiles/iph_primitives.dir/first_nonzero.cpp.o.d"
+  "/root/repo/src/primitives/inplace_bridge.cpp" "src/primitives/CMakeFiles/iph_primitives.dir/inplace_bridge.cpp.o" "gcc" "src/primitives/CMakeFiles/iph_primitives.dir/inplace_bridge.cpp.o.d"
+  "/root/repo/src/primitives/inplace_compaction.cpp" "src/primitives/CMakeFiles/iph_primitives.dir/inplace_compaction.cpp.o" "gcc" "src/primitives/CMakeFiles/iph_primitives.dir/inplace_compaction.cpp.o.d"
+  "/root/repo/src/primitives/lockstep_search.cpp" "src/primitives/CMakeFiles/iph_primitives.dir/lockstep_search.cpp.o" "gcc" "src/primitives/CMakeFiles/iph_primitives.dir/lockstep_search.cpp.o.d"
+  "/root/repo/src/primitives/prefix_sum.cpp" "src/primitives/CMakeFiles/iph_primitives.dir/prefix_sum.cpp.o" "gcc" "src/primitives/CMakeFiles/iph_primitives.dir/prefix_sum.cpp.o.d"
+  "/root/repo/src/primitives/primes.cpp" "src/primitives/CMakeFiles/iph_primitives.dir/primes.cpp.o" "gcc" "src/primitives/CMakeFiles/iph_primitives.dir/primes.cpp.o.d"
+  "/root/repo/src/primitives/ragde.cpp" "src/primitives/CMakeFiles/iph_primitives.dir/ragde.cpp.o" "gcc" "src/primitives/CMakeFiles/iph_primitives.dir/ragde.cpp.o.d"
+  "/root/repo/src/primitives/random_sample.cpp" "src/primitives/CMakeFiles/iph_primitives.dir/random_sample.cpp.o" "gcc" "src/primitives/CMakeFiles/iph_primitives.dir/random_sample.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pram/CMakeFiles/iph_pram.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/iph_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/iph_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

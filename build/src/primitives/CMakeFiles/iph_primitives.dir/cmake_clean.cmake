@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iph_primitives.dir/bitonic_sort.cpp.o"
+  "CMakeFiles/iph_primitives.dir/bitonic_sort.cpp.o.d"
+  "CMakeFiles/iph_primitives.dir/brute_force_hull.cpp.o"
+  "CMakeFiles/iph_primitives.dir/brute_force_hull.cpp.o.d"
+  "CMakeFiles/iph_primitives.dir/brute_force_lp.cpp.o"
+  "CMakeFiles/iph_primitives.dir/brute_force_lp.cpp.o.d"
+  "CMakeFiles/iph_primitives.dir/failure_sweep.cpp.o"
+  "CMakeFiles/iph_primitives.dir/failure_sweep.cpp.o.d"
+  "CMakeFiles/iph_primitives.dir/first_nonzero.cpp.o"
+  "CMakeFiles/iph_primitives.dir/first_nonzero.cpp.o.d"
+  "CMakeFiles/iph_primitives.dir/inplace_bridge.cpp.o"
+  "CMakeFiles/iph_primitives.dir/inplace_bridge.cpp.o.d"
+  "CMakeFiles/iph_primitives.dir/inplace_compaction.cpp.o"
+  "CMakeFiles/iph_primitives.dir/inplace_compaction.cpp.o.d"
+  "CMakeFiles/iph_primitives.dir/lockstep_search.cpp.o"
+  "CMakeFiles/iph_primitives.dir/lockstep_search.cpp.o.d"
+  "CMakeFiles/iph_primitives.dir/prefix_sum.cpp.o"
+  "CMakeFiles/iph_primitives.dir/prefix_sum.cpp.o.d"
+  "CMakeFiles/iph_primitives.dir/primes.cpp.o"
+  "CMakeFiles/iph_primitives.dir/primes.cpp.o.d"
+  "CMakeFiles/iph_primitives.dir/ragde.cpp.o"
+  "CMakeFiles/iph_primitives.dir/ragde.cpp.o.d"
+  "CMakeFiles/iph_primitives.dir/random_sample.cpp.o"
+  "CMakeFiles/iph_primitives.dir/random_sample.cpp.o.d"
+  "libiph_primitives.a"
+  "libiph_primitives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iph_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/seq/chan2d.cpp" "src/seq/CMakeFiles/iph_seq.dir/chan2d.cpp.o" "gcc" "src/seq/CMakeFiles/iph_seq.dir/chan2d.cpp.o.d"
+  "/root/repo/src/seq/giftwrap3d.cpp" "src/seq/CMakeFiles/iph_seq.dir/giftwrap3d.cpp.o" "gcc" "src/seq/CMakeFiles/iph_seq.dir/giftwrap3d.cpp.o.d"
+  "/root/repo/src/seq/graham.cpp" "src/seq/CMakeFiles/iph_seq.dir/graham.cpp.o" "gcc" "src/seq/CMakeFiles/iph_seq.dir/graham.cpp.o.d"
+  "/root/repo/src/seq/kirkpatrick_seidel.cpp" "src/seq/CMakeFiles/iph_seq.dir/kirkpatrick_seidel.cpp.o" "gcc" "src/seq/CMakeFiles/iph_seq.dir/kirkpatrick_seidel.cpp.o.d"
+  "/root/repo/src/seq/quickhull2d.cpp" "src/seq/CMakeFiles/iph_seq.dir/quickhull2d.cpp.o" "gcc" "src/seq/CMakeFiles/iph_seq.dir/quickhull2d.cpp.o.d"
+  "/root/repo/src/seq/quickhull3d.cpp" "src/seq/CMakeFiles/iph_seq.dir/quickhull3d.cpp.o" "gcc" "src/seq/CMakeFiles/iph_seq.dir/quickhull3d.cpp.o.d"
+  "/root/repo/src/seq/upper_hull.cpp" "src/seq/CMakeFiles/iph_seq.dir/upper_hull.cpp.o" "gcc" "src/seq/CMakeFiles/iph_seq.dir/upper_hull.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/iph_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/iph_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

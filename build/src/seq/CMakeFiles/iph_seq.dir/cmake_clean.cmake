@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iph_seq.dir/chan2d.cpp.o"
+  "CMakeFiles/iph_seq.dir/chan2d.cpp.o.d"
+  "CMakeFiles/iph_seq.dir/giftwrap3d.cpp.o"
+  "CMakeFiles/iph_seq.dir/giftwrap3d.cpp.o.d"
+  "CMakeFiles/iph_seq.dir/graham.cpp.o"
+  "CMakeFiles/iph_seq.dir/graham.cpp.o.d"
+  "CMakeFiles/iph_seq.dir/kirkpatrick_seidel.cpp.o"
+  "CMakeFiles/iph_seq.dir/kirkpatrick_seidel.cpp.o.d"
+  "CMakeFiles/iph_seq.dir/quickhull2d.cpp.o"
+  "CMakeFiles/iph_seq.dir/quickhull2d.cpp.o.d"
+  "CMakeFiles/iph_seq.dir/quickhull3d.cpp.o"
+  "CMakeFiles/iph_seq.dir/quickhull3d.cpp.o.d"
+  "CMakeFiles/iph_seq.dir/upper_hull.cpp.o"
+  "CMakeFiles/iph_seq.dir/upper_hull.cpp.o.d"
+  "libiph_seq.a"
+  "libiph_seq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iph_seq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

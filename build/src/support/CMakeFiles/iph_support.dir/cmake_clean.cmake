@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iph_support.dir/env.cpp.o"
+  "CMakeFiles/iph_support.dir/env.cpp.o.d"
+  "CMakeFiles/iph_support.dir/mathutil.cpp.o"
+  "CMakeFiles/iph_support.dir/mathutil.cpp.o.d"
+  "libiph_support.a"
+  "libiph_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iph_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hulltools_test.dir/hulltools_test.cpp.o"
+  "CMakeFiles/hulltools_test.dir/hulltools_test.cpp.o.d"
+  "hulltools_test"
+  "hulltools_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hulltools_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/presorted_test.dir/presorted_test.cpp.o"
+  "CMakeFiles/presorted_test.dir/presorted_test.cpp.o.d"
+  "presorted_test"
+  "presorted_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/presorted_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

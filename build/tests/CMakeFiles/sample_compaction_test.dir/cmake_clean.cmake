@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sample_compaction_test.dir/sample_compaction_test.cpp.o"
+  "CMakeFiles/sample_compaction_test.dir/sample_compaction_test.cpp.o.d"
+  "sample_compaction_test"
+  "sample_compaction_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sample_compaction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seq_hull2d_test.dir/seq_hull2d_test.cpp.o"
+  "CMakeFiles/seq_hull2d_test.dir/seq_hull2d_test.cpp.o.d"
+  "seq_hull2d_test"
+  "seq_hull2d_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seq_hull2d_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unsorted2d_test.dir/unsorted2d_test.cpp.o"
+  "CMakeFiles/unsorted2d_test.dir/unsorted2d_test.cpp.o.d"
+  "unsorted2d_test"
+  "unsorted2d_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unsorted2d_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

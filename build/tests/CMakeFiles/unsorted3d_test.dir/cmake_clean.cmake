@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unsorted3d_test.dir/unsorted3d_test.cpp.o"
+  "CMakeFiles/unsorted3d_test.dir/unsorted3d_test.cpp.o.d"
+  "unsorted3d_test"
+  "unsorted3d_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unsorted3d_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
