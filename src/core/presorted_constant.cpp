@@ -9,6 +9,7 @@
 #include "geom/predicates.h"
 #include "hulltools/folklore_hull.h"
 #include "pram/cells.h"
+#include "pram/shadow.h"
 #include "primitives/brute_force_lp.h"
 #include "primitives/failure_sweep.h"
 #include "primitives/inplace_bridge.h"
@@ -68,6 +69,7 @@ geom::HullResult2D presorted_constant_hull(pram::Machine& m,
   {
     // Blocks run in the same logical PRAM steps; rebase time to the
     // deepest block (work accumulates correctly).
+    pram::Machine::Phase phase(m, "pc/blocks");
     const std::uint64_t steps_before = m.metrics().steps;
     std::uint64_t max_steps = 0;
     for (std::size_t lo = 0; lo < n; lo += block) {
@@ -122,11 +124,16 @@ geom::HullResult2D presorted_constant_hull(pram::Machine& m,
     const unsigned li = static_cast<unsigned>(u % nlevels);
     return prob_at[li][i >> (lb + 1 + li)];
   };
-  auto outcomes = primitives::inplace_bridges_2d_units(
-      m, pts, nunits, unit_point, unit_problem, problems, alpha);
+  std::vector<primitives::BridgeOutcome> outcomes;
+  {
+    pram::Machine::Phase phase(m, "pc/tree-bridges");
+    outcomes = primitives::inplace_bridges_2d_units(
+        m, pts, nunits, unit_point, unit_problem, problems, alpha);
+  }
 
   // --- failure sweeping (Section 2.3) ----------------------------------
   {
+    pram::Machine::Phase phase(m, "pc/failure-sweep");
     std::vector<std::uint8_t> failed(problems.size(), 0);
     bool any = false;
     for (std::size_t p = 0; p < problems.size(); ++p) {
@@ -216,6 +223,7 @@ geom::HullResult2D presorted_constant_hull(pram::Machine& m,
   // (batched Eppstein-Galil first-one per point, O(1) steps, n*L procs).
   // Flag layout per point: t = 0 is the ROOT level (highest), so the
   // first set flag is the highest covering ancestor.
+  pram::Machine::Phase cover_phase(m, "pc/cover-resolution");
   pram::FlagArray covered(nunits);
   m.step(nunits, [&](std::uint64_t u) {
     const std::uint32_t p = unit_problem(u);
@@ -253,7 +261,8 @@ geom::HullResult2D presorted_constant_hull(pram::Machine& m,
     const std::uint64_t i = u / sb;
     const unsigned b = static_cast<unsigned>(u % sb);
     if (bne.get(i * sb + b) && !belim.get(i * sb + b)) {
-      bwin[i] = b;  // unique writer: the leftmost non-empty block
+      // Unique writer (the leftmost non-empty block); checker-verified.
+      pram::tracked_write(u, bwin[i], b);
     }
   });
   pram::FlagArray eelim(static_cast<std::uint64_t>(n) * bsz);
@@ -278,11 +287,11 @@ geom::HullResult2D presorted_constant_hull(pram::Machine& m,
         eelim.get(i * bsz + e)) {
       return;
     }
-    // Unique writer: the highest covering ancestor.
+    // Unique writer: the highest covering ancestor (checker-verified).
     const unsigned li = nlevels - 1 - t;
     const std::uint32_t p = prob_at[li][i >> (lb + 1 + li)];
-    pair_a[i] = outcomes[p].a;
-    pair_b[i] = outcomes[p].b;
+    pram::tracked_write(u, pair_a[i], outcomes[p].a);
+    pram::tracked_write(u, pair_b[i], outcomes[p].b);
   });
   // Points with no covering tree ancestor fall back to their block edge.
   m.step(n, [&](std::uint64_t i) {
@@ -290,8 +299,8 @@ geom::HullResult2D presorted_constant_hull(pram::Machine& m,
     const std::size_t b = i / block;
     const Index e = blocks[b].edge_above[i - b * block];
     if (e == geom::kNone) return;  // single-column block, interior point
-    pair_a[i] = blocks[b].upper.vertices[e];
-    pair_b[i] = blocks[b].upper.vertices[e + 1];
+    pram::tracked_write(i, pair_a[i], blocks[b].upper.vertices[e]);
+    pram::tracked_write(i, pair_b[i], blocks[b].upper.vertices[e + 1]);
   });
   // Single-column-block interior points with no tree cover cannot exist
   // for non-degenerate input (their column's top is covered and so are

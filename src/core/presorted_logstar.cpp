@@ -28,6 +28,7 @@ hulltools::Chain logstar_chain(pram::Machine& m,
   stats->recursion_depth = std::max(stats->recursion_depth, depth);
   if (size <= kBase) {
     // Base: the Lemma 2.5 constant-time algorithm.
+    pram::Machine::Phase phase(m, "ls/base");
     auto r = presorted_constant_hull(
         m, std::span<const Point2>(pts.data() + lo, size));
     hulltools::Chain c;
@@ -58,6 +59,7 @@ hulltools::Chain logstar_chain(pram::Machine& m,
   stats->groups += chains.size();
   // Combine the group hulls "as points": radix-sqrt tangent-merge
   // tournament — two lockstep rounds (the Lemma 2.6 substitute).
+  pram::Machine::Phase phase(m, "ls/merge");
   while (chains.size() > 1) {
     const auto radix = std::max<std::uint64_t>(
         2, static_cast<std::uint64_t>(
@@ -91,6 +93,7 @@ geom::HullResult2D presorted_logstar_hull(pram::Machine& m,
   }
   std::vector<Index> queries(n);
   std::iota(queries.begin(), queries.end(), Index{0});
+  pram::Machine::Phase phase(m, "ls/locate");
   r.edge_above = hulltools::edges_above_chain(m, pts, queries, chain, 8);
   return r;
 }

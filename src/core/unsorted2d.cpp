@@ -7,6 +7,7 @@
 #include "core/hull_assemble.h"
 #include "geom/predicates.h"
 #include "pram/cells.h"
+#include "pram/shadow.h"
 #include "primitives/brute_force_lp.h"
 #include "primitives/inplace_bridge.h"
 #include "primitives/prefix_sum.h"
@@ -29,6 +30,7 @@ std::vector<Index> batched_votes(pram::Machine& m, std::uint64_t n,
                                  std::span<const std::uint64_t> size_est,
                                  Unsorted2DStats* stats) {
   const std::size_t np = size_est.size();
+  pram::Machine::Phase phase(m, "u2/votes");
   constexpr std::uint64_t kCells = 16;
   constexpr int kAttempts = 3;
   std::vector<Index> out(np, geom::kNone);
@@ -56,7 +58,8 @@ std::vector<Index> batched_votes(pram::Machine& m, std::uint64_t n,
       if (out[p] != geom::kNone) return;
       for (std::uint64_t c = 0; c < kCells; ++c) {
         if (attempts[p * kCells + c].read() == 1) {
-          out[p] = static_cast<Index>(winner[p * kCells + c].read());
+          pram::tracked_write(
+              p, out[p], static_cast<Index>(winner[p * kCells + c].read()));
           return;
         }
       }
@@ -74,7 +77,7 @@ std::vector<Index> batched_votes(pram::Machine& m, std::uint64_t n,
   });
   m.step(np, [&](std::uint64_t p) {
     if (out[p] == geom::kNone && !fallback[p].empty()) {
-      out[p] = static_cast<Index>(fallback[p].read());
+      pram::tracked_write(p, out[p], static_cast<Index>(fallback[p].read()));
     }
   });
   return out;
@@ -128,6 +131,7 @@ CoreResult run_core(pram::Machine& m, std::span<const Point2> pts,
           primitives::inplace_bridges_2d(m, pts, problem_of, problems, alpha);
       // 3. failure sweeping: re-run failures with the n^(1/4) budget.
       {
+        pram::Machine::Phase phase(m, "u2/sweep");
         std::vector<std::uint32_t> failed;
         for (std::uint32_t p = 0; p < np; ++p) {
           if (!outcomes[p].ok) failed.push_back(p);
@@ -145,7 +149,7 @@ CoreResult run_core(pram::Machine& m, std::span<const Point2> pts,
           std::vector<std::uint32_t> retry_of(n, primitives::kNoProblem);
           m.step(n, [&](std::uint64_t i) {
             if (problem_of[i] != primitives::kNoProblem) {
-              retry_of[i] = remap[problem_of[i]];
+              pram::tracked_write(i, retry_of[i], remap[problem_of[i]]);
             }
           });
           const auto rr = primitives::inplace_bridges_2d(
@@ -165,6 +169,7 @@ CoreResult run_core(pram::Machine& m, std::span<const Point2> pts,
       // 4. classify every point against its problem's edge; build the
       // children. Problems whose bridge is kNone are single-column
       // leftovers: retire them.
+      pram::Machine::Phase classify_phase(m, "u2/classify");
       std::vector<std::uint32_t> left_id(np, primitives::kNoProblem);
       std::vector<std::uint32_t> right_id(np, primitives::kNoProblem);
       std::vector<std::uint64_t> next_sizes;
@@ -207,26 +212,28 @@ CoreResult run_core(pram::Machine& m, std::span<const Point2> pts,
         if (p == primitives::kNoProblem) return;
         const auto& o = outcomes[p];
         if (o.a == geom::kNone) {
-          problem_of[i] = primitives::kNoProblem;  // retired degenerate
+          // Retired degenerate problem.
+          pram::tracked_write(i, problem_of[i], primitives::kNoProblem);
           return;
         }
         if (i == o.a || i == o.b) {
           // Endpoints live on in their child (Kirkpatrick-Seidel keeps
           // the bridge endpoints) and already know their edge.
-          pair_a[i] = o.a;
-          pair_b[i] = o.b;
-          problem_of[i] = (i == o.a) ? left_id[p] : right_id[p];
+          pram::tracked_write(i, pair_a[i], o.a);
+          pram::tracked_write(i, pair_b[i], o.b);
+          pram::tracked_write(i, problem_of[i],
+                              (i == o.a) ? left_id[p] : right_id[p]);
           return;
         }
         if (pts[i].x < pts[o.a].x) {
-          problem_of[i] = left_id[p];
+          pram::tracked_write(i, problem_of[i], left_id[p]);
         } else if (pts[i].x > pts[o.b].x) {
-          problem_of[i] = right_id[p];
+          pram::tracked_write(i, problem_of[i], right_id[p]);
         } else {
           // Under the edge: dead, pointing at it.
-          pair_a[i] = o.a;
-          pair_b[i] = o.b;
-          problem_of[i] = primitives::kNoProblem;
+          pram::tracked_write(i, pair_a[i], o.a);
+          pram::tracked_write(i, pair_b[i], o.b);
+          pram::tracked_write(i, problem_of[i], primitives::kNoProblem);
         }
       });
       size_est = std::move(next_sizes);
@@ -321,7 +328,7 @@ Scoped2DResult unsorted_2d_scoped(pram::Machine& m,
   std::vector<std::uint32_t> init(n, primitives::kNoProblem);
   m.step(n, [&](std::uint64_t i) {
     if (problem_of[i] != primitives::kNoProblem) {
-      init[i] = remap[problem_of[i]];
+      pram::tracked_write(i, init[i], remap[problem_of[i]]);
     }
   });
   auto core = run_core(m, pts, std::move(init), std::move(live_sizes),

@@ -8,6 +8,7 @@
 #include "core/unsorted2d.h"
 #include "geom/predicates.h"
 #include "pram/cells.h"
+#include "pram/shadow.h"
 #include "primitives/inplace_bridge.h"
 #include "seq/quickhull3d.h"
 #include "support/check.h"
@@ -175,6 +176,7 @@ geom::HullResult3D unsorted_hull_3d(pram::Machine& m,
     // --- 1. splitters: in-place random vote among unpointered units ---
     std::vector<Index> splitters(np, geom::kNone);
     {
+      pram::Machine::Phase phase(m, "u3/votes");
       constexpr std::uint64_t kCells = 16;
       std::vector<pram::TallyCell> attempts(np * kCells);
       std::vector<pram::MinCell> winner(np * kCells);
@@ -202,8 +204,9 @@ geom::HullResult3D unsorted_hull_3d(pram::Machine& m,
           if (splitters[p] != geom::kNone) return;
           for (std::uint64_t c = 0; c < kCells; ++c) {
             if (attempts[p * kCells + c].read() == 1) {
-              splitters[p] =
-                  static_cast<Index>(winner[p * kCells + c].read());
+              pram::tracked_write(
+                  p, splitters[p],
+                  static_cast<Index>(winner[p * kCells + c].read()));
               return;
             }
           }
@@ -251,6 +254,7 @@ geom::HullResult3D unsorted_hull_3d(pram::Machine& m,
         m, pts, nu, unit_point, unit_problem, problems, alpha);
     // Failure sweeping: the n^(1/4) budget, retried with growing alpha.
     {
+      pram::Machine::Phase phase(m, "u3/sweep");
       std::vector<std::uint32_t> failed;
       for (std::uint32_t p = 0; p < np; ++p) {
         if (splitters[p] != geom::kNone && !outcomes[p].ok) {
@@ -314,11 +318,13 @@ geom::HullResult3D unsorted_hull_3d(pram::Machine& m,
     });
     m.step(n, [&](std::uint64_t i) {
       if (pointer[i] == geom::kNone && !assign[i].empty()) {
-        pointer[i] = static_cast<Index>(assign[i].read());
+        pram::tracked_write(i, pointer[i],
+                            static_cast<Index>(assign[i].read()));
       }
     });
 
     // --- 3. projections + the two inner 2-d runs ----------------------
+    pram::Machine::Phase project_phase(m, "u3/project");
     std::vector<geom::Point2> proj1(nu), proj2(nu);
     std::vector<std::uint32_t> live_of(nu, primitives::kNoProblem);
     m.step(nu, [&](std::uint64_t u) {
@@ -328,9 +334,11 @@ geom::HullResult3D unsorted_hull_3d(pram::Machine& m,
       const Normal nm =
           facet_normal(pts[f.a], pts[f.b], pts[f.c]);
       const Point3& q = pts[up[u]];
-      proj1[u] = {q.x, q.z + q.y * nm.ny / nm.nz};
-      proj2[u] = {q.y, q.z + q.x * nm.nx / nm.nz};
-      live_of[u] = p;
+      pram::tracked_write(u, proj1[u],
+                          geom::Point2{q.x, q.z + q.y * nm.ny / nm.nz});
+      pram::tracked_write(u, proj2[u],
+                          geom::Point2{q.y, q.z + q.x * nm.nx / nm.nz});
+      pram::tracked_write(u, live_of[u], p);
     });
     Unsorted2DStats inner_stats;
     const auto ridge1 =
@@ -356,7 +364,7 @@ geom::HullResult3D unsorted_hull_3d(pram::Machine& m,
       // unconditional fences (the float-rounded projection directions do
       // not guarantee they land exactly on the ridge chains).
       if (up[u] == f.a || up[u] == f.b || up[u] == f.c) {
-        side_mask[u] = 0b1111;
+        pram::tracked_write(u, side_mask[u], std::uint8_t{0b1111});
         return;
       }
       // Pointered units stay in their region as TESTERS: they no longer
@@ -389,7 +397,7 @@ geom::HullResult3D unsorted_hull_3d(pram::Machine& m,
           mask |= static_cast<std::uint8_t>(1u << (2 * b1 + b2));
         }
       }
-      side_mask[u] = mask;
+      pram::tracked_write(u, side_mask[u], mask);
     });
     // Child bookkeeping: count unpointered members per child; children
     // with none retire (their fences are done).

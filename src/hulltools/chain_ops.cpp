@@ -4,6 +4,7 @@
 
 #include "geom/predicates.h"
 #include "pram/cells.h"
+#include "pram/shadow.h"
 #include "primitives/lockstep_search.h"
 #include "support/check.h"
 
@@ -88,10 +89,10 @@ std::vector<Chain> merge_chain_groups(pram::Machine& m,
   m.step(ns, [&](std::uint64_t s) {
     const Search& q = searches[s];
     const Chain& cj = chains[q.chain_j];
-    gt[s] = ge[s];
+    pram::tracked_write(s, gt[s], ge[s]);
     if (ge[s] < cj.size() &&
         pts[cj[ge[s]]].x == pts[chains[q.chain_c][q.pos]].x) {
-      gt[s] = ge[s] + 1;
+      pram::tracked_write(s, gt[s], ge[s] + 1);
     }
   });
 
@@ -138,8 +139,10 @@ std::vector<Chain> merge_chain_groups(pram::Machine& m,
     std::size_t c = static_cast<std::size_t>(
         std::upper_bound(voff.begin(), voff.end(), vid) - voff.begin() - 1);
     const std::uint32_t p = static_cast<std::uint32_t>(vid - voff[c]);
-    if (p > 0) bestL[vid] = chains[c][p - 1];
-    if (p + 1 < chains[c].size()) bestR[vid] = chains[c][p + 1];
+    if (p > 0) pram::tracked_write(vid, bestL[vid], chains[c][p - 1]);
+    if (p + 1 < chains[c].size()) {
+      pram::tracked_write(vid, bestR[vid], chains[c][p + 1]);
+    }
   });
   // Same-x kill rule (dead is an OR-flag array: racing sets are legal).
   m.step(ns, [&](std::uint64_t s) {
@@ -178,14 +181,14 @@ std::vector<Chain> merge_chain_groups(pram::Machine& m,
         const Index w = cj[rpeak[s]];
         if (bestR[vid] == geom::kNone ||
             steeper_right(pts, v, w, bestR[vid])) {
-          bestR[vid] = w;
+          pram::tracked_write(vid, bestR[vid], w);
         }
       }
       if (ge[s] > 0) {
         const Index u = cj[lvalley[s]];
         if (bestL[vid] == geom::kNone ||
             shallower_left(pts, v, u, bestL[vid])) {
-          bestL[vid] = u;
+          pram::tracked_write(vid, bestL[vid], u);
         }
       }
     }
@@ -207,9 +210,10 @@ std::vector<Chain> merge_chain_groups(pram::Machine& m,
   // Assemble per-group merged chains (x order == chain, pos order).
   std::vector<Chain> out(num_groups);
   m.step_active(num_groups, voff.back(), [&](std::uint64_t gi) {
+    auto& merged = pram::tracked_ref(gi, out[gi]);
     for (const std::uint32_t c : members[gi]) {
       for (std::uint32_t p = 0; p < chains[c].size(); ++p) {
-        if (!dead.get(voff[c] + p)) out[gi].push_back(chains[c][p]);
+        if (!dead.get(voff[c] + p)) merged.push_back(chains[c][p]);
       }
     }
   });
@@ -267,7 +271,9 @@ std::vector<Index> extreme_vs_lines(
       });
   std::vector<Index> out(ns, geom::kNone);
   m.step(ns, [&](std::uint64_t s) {
-    if (!chain_of[s]->empty()) out[s] = (*chain_of[s])[peak[s]];
+    if (!chain_of[s]->empty()) {
+      pram::tracked_write(s, out[s], (*chain_of[s])[peak[s]]);
+    }
   });
   return out;
 }
@@ -289,7 +295,7 @@ std::vector<Index> edges_above_chain(pram::Machine& m,
     if (part[s] == 0) return;  // query left of the chain: no cover
     std::uint64_t e = part[s] - 1;
     if (e == edges) --e;  // rightmost column
-    out[s] = static_cast<Index>(e);
+    pram::tracked_write(s, out[s], static_cast<Index>(e));
   });
   return out;
 }

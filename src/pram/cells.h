@@ -20,6 +20,12 @@
 // All operations use relaxed atomics: a PRAM step is bracketed by the
 // machine's barrier (an acquire/release fence via the pool join), and
 // within a step the cells are the only legal racing accesses.
+//
+// Every cell write also registers itself with the step-race checker
+// (shadow.h) as a "sanctioned" concurrent write: any number of same-step
+// cell writers is legal, but a plain tracked_write() to the same location
+// is reported as a race. The registration is a no-op (one relaxed load
+// and an untaken branch) unless a checking Machine is mid-step.
 #pragma once
 
 #include <atomic>
@@ -27,13 +33,18 @@
 #include <limits>
 #include <vector>
 
+#include "pram/shadow.h"
+
 namespace iph::pram {
 
 /// Boolean OR combining cell.
 class OrCell {
  public:
   void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
-  void write_true() noexcept { v_.store(1, std::memory_order_relaxed); }
+  void write_true() noexcept {
+    shadow_sanctioned_write(&v_);
+    v_.store(1, std::memory_order_relaxed);
+  }
   bool read() const noexcept { return v_.load(std::memory_order_relaxed) != 0; }
 
  private:
@@ -46,6 +57,7 @@ class TallyCell {
   void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
   /// Returns the number of writers that arrived before this one.
   std::uint64_t write() noexcept {
+    shadow_sanctioned_write(&v_);
     return v_.fetch_add(1, std::memory_order_relaxed);
   }
   std::uint64_t read() const noexcept {
@@ -64,6 +76,7 @@ class MinCell {
 
   void reset() noexcept { v_.store(kEmpty, std::memory_order_relaxed); }
   void write(std::uint64_t x) noexcept {
+    shadow_sanctioned_write(&v_);
     std::uint64_t cur = v_.load(std::memory_order_relaxed);
     while (x < cur &&
            !v_.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
@@ -85,6 +98,7 @@ class MaxCell {
 
   void reset() noexcept { v_.store(kEmpty, std::memory_order_relaxed); }
   void write(std::uint64_t x) noexcept {
+    shadow_sanctioned_write(&v_);
     std::uint64_t cur = v_.load(std::memory_order_relaxed);
     while (x > cur &&
            !v_.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
@@ -116,6 +130,7 @@ class ClaimSlot {
   /// Attempt to claim the slot; also records the attempt so collisions are
   /// observable (step 3 of the paper's random-sample procedure).
   bool claim() noexcept {
+    shadow_sanctioned_write(&claimed_);
     attempts_.fetch_add(1, std::memory_order_relaxed);
     std::uint32_t expected = 0;
     return claimed_.compare_exchange_strong(expected, 1,
@@ -152,9 +167,11 @@ class FlagArray {
   std::size_t size() const noexcept { return v_.size(); }
 
   void set(std::size_t i) noexcept {
+    shadow_sanctioned_write(&v_[i]);
     v_[i].store(1, std::memory_order_relaxed);
   }
   void clear(std::size_t i) noexcept {
+    shadow_sanctioned_write(&v_[i]);
     v_[i].store(0, std::memory_order_relaxed);
   }
   bool get(std::size_t i) const noexcept {

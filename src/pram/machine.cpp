@@ -19,6 +19,12 @@ std::uint64_t pick_chunk(std::uint64_t n, unsigned threads) {
 Machine::Machine(unsigned threads, std::uint64_t seed)
     : seed_(seed),
       threads_(threads == 0 ? support::env_threads() : threads) {
+#if defined(IPH_PRAM_CHECK_DEFAULT_ON)
+  constexpr bool check_default = true;
+#else
+  constexpr bool check_default = false;
+#endif
+  if (support::env_flag("IPH_PRAM_CHECK", check_default)) enable_check();
   // Worker 0 is the calling thread; spawn threads_-1 helpers.
   for (unsigned i = 1; i < threads_; ++i) {
     workers_.emplace_back([this, i] { worker_loop(i); });
@@ -32,6 +38,23 @@ Machine::~Machine() {
   }
   cv_job_.notify_all();
   for (auto& t : workers_) t.join();
+}
+
+void Machine::enable_check() {
+  if (!shadow_) shadow_ = std::make_unique<ShadowTracker>();
+}
+
+void Machine::disable_check() { shadow_.reset(); }
+
+void Machine::checked_step_prologue() {
+  shadow_->begin_step(step_index_,
+                      phase_stack_.empty() ? std::string() : phase_stack_.back());
+  shadow_detail::g_active.store(shadow_.get(), std::memory_order_release);
+}
+
+void Machine::checked_step_epilogue() {
+  shadow_detail::g_active.store(nullptr, std::memory_order_release);
+  shadow_->end_step();
 }
 
 void Machine::run_range(std::uint64_t n, RangeFn fn, void* ctx) {

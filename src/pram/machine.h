@@ -8,12 +8,14 @@
 // paper; Metrics tracks both the ideal PRAM time and T(p) for a ladder of
 // p values).
 //
-// Concurrency discipline inside a step (enforced by convention, validated
-// by the test suite):
+// Concurrency discipline inside a step (enforced mechanically by the
+// shadow.h step-race checker when IPH_PRAM_CHECK=1 / IPH_ENABLE_PRAM_CHECK
+// is set, and validated by the test suite):
 //   * a processor may freely read shared memory written in *earlier* steps;
 //   * racing writes in the *same* step must go through the combining cells
-//     of cells.h (Or/Tally/Min/Max/ClaimSlot);
-//   * a plain write is legal only to locations owned by exactly one pid.
+//     of cells.h (Or/Tally/Min/Max/ClaimSlot/FlagArray);
+//   * a plain write is legal only to locations owned by exactly one pid —
+//     write sites assert this by routing through pram::tracked_write().
 //
 // Randomness: rng(pid) returns a counter-based generator keyed on
 // (seed, current step, pid), so results are bit-reproducible regardless of
@@ -23,6 +25,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -30,6 +33,7 @@
 #include <vector>
 
 #include "pram/metrics.h"
+#include "pram/shadow.h"
 #include "support/rng.h"
 
 namespace iph::pram {
@@ -56,15 +60,25 @@ class Machine {
   /// output-sensitive work bounds count only operations of live processors,
   /// so callers pass the live count. (The iteration over dead pids costs
   /// real wall-clock but not PRAM work.)
+  ///
+  /// Checked epilogue: with the race checker on, the step body runs with
+  /// the shadow tracker published and each fn(pid) wrapped in a pid scope,
+  /// and the epilogue advances the tracker's epoch; the PRAM metrics are
+  /// bit-identical either way (the tracker only observes).
   template <typename Fn>
   void step_active(std::uint64_t n, std::uint64_t active, Fn&& fn) {
-    if (n > 0) {
-      using F = std::remove_reference_t<Fn>;
-      auto thunk = [](void* ctx, std::uint64_t lo, std::uint64_t hi) {
-        F& f = *static_cast<F*>(ctx);
-        for (std::uint64_t i = lo; i < hi; ++i) f(i);
-      };
-      run_range(n, thunk, &fn);
+    if (shadow_) {
+      checked_step_prologue();
+      if (n > 0) {
+        auto wrapped = [&fn](std::uint64_t pid) {
+          ShadowPidScope scope(pid);
+          fn(pid);
+        };
+        run_fn(n, wrapped);
+      }
+      checked_step_epilogue();
+    } else if (n > 0) {
+      run_fn(n, fn);
     }
     ++step_index_;
     metrics_.record_step(active);
@@ -72,11 +86,11 @@ class Machine {
 
   /// Account abstract PRAM cost without executing anything (used when a
   /// sub-procedure's cost is charged analytically, e.g. a documented
-  /// substitution whose concrete implementation is sequential).
+  /// substitution whose concrete implementation is sequential). Constant
+  /// time in `steps`; the resulting metrics equal `steps` individual
+  /// record_step(work_per_step) calls.
   void charge(std::uint64_t steps, std::uint64_t work_per_step) {
-    for (std::uint64_t s = 0; s < steps; ++s) {
-      metrics_.record_step(work_per_step);
-    }
+    metrics_.record_steps(steps, work_per_step);
     step_index_ += steps;
   }
 
@@ -93,13 +107,28 @@ class Machine {
   const Metrics& metrics() const noexcept { return metrics_; }
   PhaseMetrics& phases() noexcept { return phases_; }
 
+  // --- step-race checker (shadow.h) ---
+  /// Non-null when the discipline checker is on (IPH_PRAM_CHECK=1, the
+  /// IPH_ENABLE_PRAM_CHECK build option, or enable_check()).
+  ShadowTracker* shadow() noexcept { return shadow_.get(); }
+  bool check_enabled() const noexcept { return shadow_ != nullptr; }
+  /// Turn the checker on/off programmatically (tests, targeted debugging).
+  void enable_check();
+  void disable_check();
+
   /// Scoped phase marker: accumulates the metrics delta of its lifetime
-  /// into phases()[name].
+  /// into phases()[name], and names the phase in any step-race diagnostic
+  /// raised while it is open.
   class Phase {
    public:
     Phase(Machine& m, std::string name)
-        : m_(m), name_(std::move(name)), start_(m.metrics()) {}
-    ~Phase() { m_.phases()[name_].add(m_.metrics().delta_since(start_)); }
+        : m_(m), name_(std::move(name)), start_(m.metrics()) {
+      m_.phase_stack_.push_back(name_);
+    }
+    ~Phase() {
+      m_.phase_stack_.pop_back();
+      m_.phases()[name_].add(m_.metrics().delta_since(start_));
+    }
     Phase(const Phase&) = delete;
     Phase& operator=(const Phase&) = delete;
 
@@ -114,10 +143,28 @@ class Machine {
   void run_range(std::uint64_t n, RangeFn fn, void* ctx);
   void worker_loop(unsigned worker_id);
 
+  /// Dispatch a callable over [0, n) through the pool (type-erased once).
+  template <typename Fn>
+  void run_fn(std::uint64_t n, Fn& fn) {
+    using F = std::remove_reference_t<Fn>;
+    auto thunk = [](void* ctx, std::uint64_t lo, std::uint64_t hi) {
+      F& f = *static_cast<F*>(ctx);
+      for (std::uint64_t i = lo; i < hi; ++i) f(i);
+    };
+    run_range(n, thunk, &fn);
+  }
+
+  void checked_step_prologue();
+  void checked_step_epilogue();
+
   std::uint64_t seed_;
   std::uint64_t step_index_ = 0;
   Metrics metrics_;
   PhaseMetrics phases_;
+  std::unique_ptr<ShadowTracker> shadow_;
+  /// Open Phase names, innermost last (host-side only; steps are issued
+  /// between pushes/pops, never during).
+  std::vector<std::string> phase_stack_;
 
   // --- thread pool ---
   unsigned threads_;

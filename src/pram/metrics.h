@@ -39,6 +39,20 @@ struct Metrics {
     }
   }
 
+  /// `count` uniform steps of `active` processors each, in O(1): the
+  /// per-step ceil(active/p) terms are all equal, so they batch. Used by
+  /// Machine::charge for analytically-accounted sub-procedures.
+  void record_steps(std::uint64_t count, std::uint64_t active) noexcept {
+    if (count == 0) return;
+    steps += count;
+    work += count * active;
+    if (active > max_active) max_active = active;
+    for (std::size_t i = 0; i < kTrackedProcCounts.size(); ++i) {
+      const std::uint64_t p = kTrackedProcCounts[i];
+      time_at_p[i] += count * ((active + p - 1) / p);
+    }
+  }
+
   /// Accumulate another metrics block (used for phase roll-ups).
   void add(const Metrics& o) noexcept {
     steps += o.steps;

@@ -1,0 +1,113 @@
+#include "pram/shadow.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+namespace iph::pram {
+
+namespace {
+
+std::size_t shard_of(std::uintptr_t a, std::size_t n_shards) noexcept {
+  // Cells of interest are >= 1 byte apart; fold the high bits so
+  // adjacent array elements land on different shards.
+  a ^= a >> 17;
+  a *= 0x9E3779B97F4A7C15ULL;
+  return static_cast<std::size_t>(a >> 48) & (n_shards - 1);
+}
+
+}  // namespace
+
+void ShadowTracker::begin_step(std::uint64_t step, std::string phase) {
+  step_.store(step, std::memory_order_relaxed);
+  phase_ = std::move(phase);
+}
+
+void ShadowTracker::end_step() {
+  if (++steps_since_flush_ < kFlushPeriod) return;
+  steps_since_flush_ = 0;
+  for (auto& sh : shards_) {
+    std::lock_guard<std::mutex> lk(sh.mu);
+    sh.map.clear();
+  }
+}
+
+void ShadowTracker::on_plain_write(const volatile void* addr,
+                                   std::uint64_t pid) {
+  record(addr, pid, /*sanctioned=*/false);
+}
+
+void ShadowTracker::on_sanctioned_write(const volatile void* addr,
+                                        std::uint64_t pid) {
+  record(addr, pid, /*sanctioned=*/true);
+}
+
+void ShadowTracker::record(const volatile void* addr, std::uint64_t pid,
+                           bool sanctioned) {
+  const auto a = reinterpret_cast<std::uintptr_t>(addr);
+  const std::uint64_t step = step_.load(std::memory_order_relaxed);
+  n_tracked_.fetch_add(1, std::memory_order_relaxed);
+  Shard& sh = shards_[shard_of(a, kShards)];
+  std::lock_guard<std::mutex> lk(sh.mu);
+  auto [it, inserted] = sh.map.try_emplace(a, Entry{step, pid, sanctioned});
+  if (inserted) return;
+  Entry& e = it->second;
+  if (e.step == step) {
+    // Same-step rewrite. Legal iff it is the same pid (a processor may
+    // rewrite its own cells) or both writes combine through cells.
+    if (e.pid != pid && !(e.sanctioned && sanctioned)) {
+      report(a, e, pid, sanctioned);
+    }
+    // A plain claim is the stronger assertion; keep it so a later
+    // combining write by another pid still trips.
+    if (e.sanctioned && !sanctioned) {
+      e.pid = pid;
+      e.sanctioned = false;
+    }
+    return;
+  }
+  // Stale entry from an earlier step: this write opens the cell's epoch.
+  e = Entry{step, pid, sanctioned};
+}
+
+void ShadowTracker::report(std::uintptr_t addr, const Entry& prev,
+                           std::uint64_t pid, bool sanctioned) {
+  ShadowViolation v;
+  v.step = step_.load(std::memory_order_relaxed);
+  v.pid_first = prev.pid;
+  v.pid_second = pid;
+  v.addr = addr;
+  v.first_sanctioned = prev.sanctioned;
+  v.second_sanctioned = sanctioned;
+  {
+    std::lock_guard<std::mutex> lk(vio_mu_);
+    v.phase = phase_;
+    // Cap retained diagnostics; a genuinely racy step can trip thousands
+    // of times and the first few carry all the signal.
+    if (violations_.size() < 64) violations_.push_back(v);
+  }
+  if (abort_on_race_.load(std::memory_order_relaxed)) {
+    std::fprintf(
+        stderr,
+        "PRAM step-race: %s write by pid %" PRIu64 " races %s write by pid "
+        "%" PRIu64 " on cell %p at step %" PRIu64 " (phase \"%s\")\n"
+        "Same-step racing writes must go through the combining cells of "
+        "pram/cells.h; plain writes require a unique owner per step.\n",
+        sanctioned ? "combining" : "plain", pid,
+        prev.sanctioned ? "combining" : "plain", prev.pid,
+        reinterpret_cast<void*>(addr), v.step, v.phase.c_str());
+    std::abort();
+  }
+}
+
+std::vector<ShadowViolation> ShadowTracker::violations() const {
+  std::lock_guard<std::mutex> lk(vio_mu_);
+  return violations_;
+}
+
+void ShadowTracker::clear_violations() {
+  std::lock_guard<std::mutex> lk(vio_mu_);
+  violations_.clear();
+}
+
+}  // namespace iph::pram

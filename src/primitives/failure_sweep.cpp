@@ -1,5 +1,6 @@
 #include "primitives/failure_sweep.h"
 
+#include "pram/shadow.h"
 #include "primitives/ragde.h"
 
 namespace iph::primitives {
@@ -14,7 +15,10 @@ SweepResult sweep_failures(pram::Machine& m,
     r.ok = false;
     return r;
   }
-  // Dense order = slot order (deterministic).
+  // Dense order = slot order (deterministic). This collection runs
+  // host-side between steps (single writer by construction); the racing
+  // writes inside the sweep all live in ragde_compact, whose scatter
+  // cells and slot stores are shadow-tracked.
   for (const std::uint32_t v : rr.slots) {
     if (v != kRagdeEmpty) r.failed.push_back(v);
   }

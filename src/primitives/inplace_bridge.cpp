@@ -4,6 +4,7 @@
 
 #include "geom/predicates.h"
 #include "pram/cells.h"
+#include "pram/shadow.h"
 #include "primitives/brute_force_lp.h"
 #include "support/check.h"
 
@@ -75,7 +76,8 @@ std::vector<BridgeOutcome> run_bridges(
       std::vector<std::vector<Index>> subsets(np);
       m.step_active(np, ws_total + np, [&](std::uint64_t p) {
         if (done[p]) return;
-        auto& sub = subsets[p];
+        // Problem p owns its subset vector; tracked_ref asserts it.
+        auto& sub = pram::tracked_ref(p, subsets[p]);
         sub.push_back(problems[p].splitter);
         if (problems[p].left() != problems[p].splitter) {
           sub.push_back(problems[p].left());

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "pram/cells.h"
+#include "pram/shadow.h"
 #include "primitives/ragde.h"
 #include "support/check.h"
 #include "support/mathutil.h"
@@ -51,19 +52,21 @@ InplaceCompactionResult inplace_compact(pram::Machine& m,
       std::uint32_t cell;
       if (level0) {
         cell = static_cast<std::uint32_t>(pid / cur_len);
-        within[pid] = pid % cur_len;
+        pram::tracked_write(pid, within[pid], pid % cur_len);
       } else {
         if (pslot[pid] == kEmpty) return;
         cell = static_cast<std::uint32_t>(pslot[pid] * S +
                                           within[pid] / cur_len);
-        within[pid] = within[pid] % cur_len;
+        pram::tracked_write(pid, within[pid], within[pid] % cur_len);
       }
-      cell_of[pid] = cell;
+      pram::tracked_write(pid, cell_of[pid], cell);
       bits.set(cell);
     });
     // Ragde wants a byte view; one owned-write step converts.
     std::vector<std::uint8_t> bytes(domain);
-    m.step(domain, [&](std::uint64_t c) { bytes[c] = bits.get(c) ? 1 : 0; });
+    m.step(domain, [&](std::uint64_t c) {
+      pram::tracked_write(c, bytes[c], bits.get(c) ? 1 : 0);
+    });
     const RagdeResult rr = ragde_compact(m, bytes, bound);
     res.used_fallback |= rr.used_fallback;
     if (!rr.ok) {
@@ -73,21 +76,28 @@ InplaceCompactionResult inplace_compact(pram::Machine& m,
     // Reverse map cell -> slot, then update each element's group slot.
     std::vector<std::uint32_t> slot_of_cell(domain, kEmpty);
     m.step(rr.slots.size(), [&](std::uint64_t s) {
+      // Unique writer per cell id (the checker validates that ragde's
+      // slot array never repeats a cell).
       if (rr.slots[s] != kRagdeEmpty) {
-        slot_of_cell[rr.slots[s]] = static_cast<std::uint32_t>(s);
+        pram::tracked_write(s, slot_of_cell[rr.slots[s]],
+                            static_cast<std::uint32_t>(s));
       }
     });
     m.step(n, [&](std::uint64_t pid) {
-      pslot[pid] =
-          cell_of[pid] == kEmpty ? kEmpty : slot_of_cell[cell_of[pid]];
+      pram::tracked_write(
+          pid, pslot[pid],
+          cell_of[pid] == kEmpty ? kEmpty : slot_of_cell[cell_of[pid]]);
     });
     level0 = false;
     if (cur_len <= 1) {
       // Singleton groups: pslot is the final placement.
       res.slots.assign(rr.slots.size(), kEmpty);
       m.step(n, [&](std::uint64_t pid) {
+        // pslot uniqueness IS the compaction invariant; the checker
+        // turns any violation into a step-race diagnostic.
         if (flags[pid] && pslot[pid] != kEmpty) {
-          res.slots[pslot[pid]] = static_cast<std::uint32_t>(pid);
+          pram::tracked_write(pid, res.slots[pslot[pid]],
+                              static_cast<std::uint32_t>(pid));
         }
       });
       res.ok = true;

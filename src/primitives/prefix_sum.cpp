@@ -1,5 +1,6 @@
 #include "primitives/prefix_sum.h"
 
+#include "pram/shadow.h"
 #include "support/check.h"
 #include "support/mathutil.h"
 
@@ -14,18 +15,21 @@ std::uint64_t prefix_sum_exclusive(pram::Machine& m,
   const std::uint64_t np = support::ceil_pow2(n);
   const unsigned levels = support::ceil_log2(np);
   std::vector<std::uint64_t> buf(np, 0);
-  m.step(n, [&](std::uint64_t pid) { buf[pid] = data[pid]; });
+  m.step(n, [&](std::uint64_t pid) {
+    pram::tracked_write(pid, buf[pid], data[pid]);
+  });
   for (unsigned d = 0; d < levels; ++d) {
     const std::uint64_t stride = std::uint64_t{1} << (d + 1);
     const std::uint64_t half = std::uint64_t{1} << d;
     m.step(np / stride, [&, stride, half](std::uint64_t pid) {
-      buf[pid * stride + stride - 1] += buf[pid * stride + half - 1];
+      std::uint64_t& dst = buf[pid * stride + stride - 1];
+      pram::tracked_write(pid, dst, dst + buf[pid * stride + half - 1]);
     });
   }
   std::uint64_t total = 0;
-  m.step(1, [&](std::uint64_t) {
-    total = buf[np - 1];
-    buf[np - 1] = 0;
+  m.step(1, [&](std::uint64_t pid) {
+    pram::tracked_write(pid, total, buf[np - 1]);
+    pram::tracked_write(pid, buf[np - 1], 0);
   });
   for (unsigned d = levels; d-- > 0;) {
     const std::uint64_t stride = std::uint64_t{1} << (d + 1);
@@ -34,11 +38,13 @@ std::uint64_t prefix_sum_exclusive(pram::Machine& m,
       const std::uint64_t lo = pid * stride + half - 1;
       const std::uint64_t hi = pid * stride + stride - 1;
       const std::uint64_t t = buf[lo];
-      buf[lo] = buf[hi];
-      buf[hi] += t;
+      pram::tracked_write(pid, buf[lo], buf[hi]);
+      pram::tracked_write(pid, buf[hi], buf[hi] + t);
     });
   }
-  m.step(n, [&](std::uint64_t pid) { data[pid] = buf[pid]; });
+  m.step(n, [&](std::uint64_t pid) {
+    pram::tracked_write(pid, data[pid], buf[pid]);
+  });
   return total;
 }
 
@@ -48,11 +54,18 @@ std::uint64_t compact_indices(pram::Machine& m,
   const std::uint64_t n = keep.size();
   if (n == 0) return 0;
   std::vector<std::uint64_t> rank(n);
-  m.step(n, [&](std::uint64_t pid) { rank[pid] = keep[pid] ? 1 : 0; });
+  m.step(n, [&](std::uint64_t pid) {
+    pram::tracked_write(pid, rank[pid], keep[pid] ? 1 : 0);
+  });
   const std::uint64_t count = prefix_sum_exclusive(m, rank);
   IPH_CHECK(out.size() >= count);
   m.step(n, [&](std::uint64_t pid) {
-    if (keep[pid]) out[rank[pid]] = static_cast<std::uint32_t>(pid);
+    // The checker verifies the ranks are unique: distinct keepers get
+    // distinct exclusive-prefix ranks.
+    if (keep[pid]) {
+      pram::tracked_write(pid, out[rank[pid]],
+                          static_cast<std::uint32_t>(pid));
+    }
   });
   return count;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "pram/cells.h"
+#include "pram/shadow.h"
 #include "primitives/prefix_sum.h"
 #include "primitives/primes.h"
 #include "support/check.h"
@@ -57,7 +58,7 @@ RagdeResult ragde_compact(pram::Machine& m,
     m.step(primes[chosen], [&](std::uint64_t pid) {
       const std::uint64_t v = region[chosen][pid].read();
       if (v != pram::MinCell::kEmpty) {
-        r.slots[pid] = static_cast<std::uint32_t>(v);
+        pram::tracked_write(pid, r.slots[pid], static_cast<std::uint32_t>(v));
       }
     });
     return r;
@@ -67,7 +68,9 @@ RagdeResult ragde_compact(pram::Machine& m,
   // primary scheme handles every in-contract input (see header).
   r.used_fallback = true;
   std::vector<std::uint64_t> rank(n);
-  m.step(n, [&](std::uint64_t pid) { rank[pid] = flags[pid] ? 1 : 0; });
+  m.step(n, [&](std::uint64_t pid) {
+    pram::tracked_write(pid, rank[pid], flags[pid] ? 1 : 0);
+  });
   const std::uint64_t k = prefix_sum_exclusive(m, rank);
   // More elements than the lemma's precondition allows: report failure
   // (this is the "determine whether k < n^(1/4)" outcome).
@@ -79,7 +82,8 @@ RagdeResult ragde_compact(pram::Machine& m,
   r.slots.assign(std::max<std::uint64_t>(k, 1), kRagdeEmpty);
   m.step(n, [&](std::uint64_t pid) {
     if (flags[pid] != 0) {
-      r.slots[rank[pid]] = static_cast<std::uint32_t>(pid);
+      pram::tracked_write(pid, r.slots[rank[pid]],
+                          static_cast<std::uint32_t>(pid));
     }
   });
   return r;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "pram/cells.h"
+#include "pram/shadow.h"
 #include "support/check.h"
 
 namespace iph::primitives {
@@ -40,7 +41,7 @@ SampleResult random_sample(pram::Machine& m, std::uint64_t n,
     m.step(n, [&](std::uint64_t pid) {
       if (!retry.get(pid)) return;
       const std::uint64_t slot = m.rng(pid).next_below(ws);
-      choice[pid] = slot;
+      pram::tracked_write(pid, choice[pid], slot);
       attempts[slot].write();
       winner[slot].write(pid);
     });
@@ -52,7 +53,10 @@ SampleResult random_sample(pram::Machine& m, std::uint64_t n,
       const std::uint64_t slot = choice[pid];
       if (taken[slot] == 0xffffffffu && attempts[slot].read() == 1 &&
           winner[slot].read() == pid) {
-        taken[slot] = static_cast<std::uint32_t>(pid);
+        // Sole attempter on a free cell: the checker confirms no other
+        // pid claims this slot in the same step.
+        pram::tracked_write(pid, taken[slot],
+                            static_cast<std::uint32_t>(pid));
         retry.clear(pid);
       }
     });

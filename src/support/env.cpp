@@ -1,9 +1,17 @@
 #include "support/env.h"
 
 #include <cstdlib>
+#include <cstring>
 #include <thread>
 
 namespace iph::support {
+
+bool env_flag(const char* name, bool fallback) noexcept {
+  const char* s = std::getenv(name);
+  if (s == nullptr || *s == '\0') return fallback;
+  return std::strcmp(s, "1") == 0 || std::strcmp(s, "true") == 0 ||
+         std::strcmp(s, "on") == 0 || std::strcmp(s, "yes") == 0;
+}
 
 unsigned env_threads() noexcept {
   if (const char* s = std::getenv("IPH_THREADS")) {

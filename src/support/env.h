@@ -1,8 +1,12 @@
 // Environment-variable configuration knobs shared by tests, benches and
 // examples. All knobs have safe defaults so binaries run with no setup:
-//   IPH_THREADS  — hardware threads backing the PRAM simulator (default:
-//                  std::thread::hardware_concurrency()).
-//   IPH_SEED     — master RNG seed (default 0x1991'07'22, the venue date).
+//   IPH_THREADS    — hardware threads backing the PRAM simulator (default:
+//                    std::thread::hardware_concurrency()).
+//   IPH_SEED       — master RNG seed (default 0x1991'07'22, the venue date).
+//   IPH_PRAM_CHECK — "1"/"true"/"on" turns the step-race discipline
+//                    checker (pram/shadow.h) on for every Machine;
+//                    "0"/"false"/"off" forces it off even in builds
+//                    configured with -DIPH_ENABLE_PRAM_CHECK=ON.
 #pragma once
 
 #include <cstdint>
@@ -14,5 +18,9 @@ unsigned env_threads() noexcept;
 
 /// Master seed for randomized algorithms unless a caller overrides it.
 std::uint64_t env_seed() noexcept;
+
+/// Boolean knob: unset -> fallback; "1"/"true"/"on"/"yes" -> true;
+/// anything else -> false.
+bool env_flag(const char* name, bool fallback) noexcept;
 
 }  // namespace iph::support

@@ -1,10 +1,14 @@
 // Bit-reproducibility across hardware thread counts: the simulator's
 // contract is that a run is a pure function of (input, seed), never of
-// the pool scheduling. Every randomized algorithm is swept over 1/2/4/8
-// threads and must produce identical outputs AND identical PRAM metrics.
+// the pool scheduling. Every randomized algorithm is swept over 1, 2, 4,
+// 8 and hardware_concurrency threads and must produce identical outputs
+// AND identical PRAM metrics.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <thread>
 #include <tuple>
+#include <vector>
 
 #include "core/fallback2d.h"
 #include "core/presorted_constant.h"
@@ -86,7 +90,12 @@ TEST_P(ThreadDeterminism, AllAlgorithmsBitIdentical) {
     return f;
   };
   const Fingerprint base = run(1);
-  for (unsigned threads : {2u, 4u, 8u}) {
+  std::vector<unsigned> sweep{2u, 4u, 8u};
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  if (std::find(sweep.begin(), sweep.end(), hw) == sweep.end() && hw != 1) {
+    sweep.push_back(hw);
+  }
+  for (unsigned threads : sweep) {
     EXPECT_EQ(run(threads), base) << "threads=" << threads;
   }
 }

@@ -6,6 +6,9 @@
 // votes, collisions, sweeps and degeneracies.
 #include <gtest/gtest.h>
 
+#include <set>
+#include <tuple>
+
 #include "core/api.h"
 #include "core/presorted_constant.h"
 #include "core/unsorted2d.h"
@@ -39,6 +42,38 @@ std::vector<Point2> mixed2d(std::uint64_t seed, std::size_t n) {
     if (rng.bernoulli(0.2) && !part.empty()) {
       part.insert(part.end(), part.begin(),
                   part.begin() + static_cast<long>(part.size() / 2));
+    }
+    pts.insert(pts.end(), part.begin(), part.end());
+  }
+  pts.resize(n);
+  return pts;
+}
+
+/// The 3-d analogue of mixed2d: slices from the 3-d families, mirrored
+/// copies (x negated), duplicated runs, and coplanar slabs (a slice
+/// flattened onto a random plane — mass z-degeneracy).
+std::vector<Point3> mixed3d(std::uint64_t seed, std::size_t n) {
+  support::Rng rng(seed, 0xF33);
+  std::vector<Point3> pts;
+  while (pts.size() < n) {
+    const auto f = static_cast<geom::Family3D>(
+        rng.next_below(std::size(geom::kAllFamilies3D)));
+    const std::size_t take = 1 + rng.next_below(n / 3 + 1);
+    auto part = geom::make3d(f, take, rng.next_u64());
+    if (rng.bernoulli(0.3)) {
+      for (auto& p : part) p.x = -p.x;  // mirrored slice
+    }
+    if (rng.bernoulli(0.2) && !part.empty()) {
+      part.insert(part.end(), part.begin(),
+                  part.begin() + static_cast<long>(part.size() / 2));
+    }
+    if (rng.bernoulli(0.25)) {
+      // Coplanar slab: z := a*x + b*y + c, with small integer-ish
+      // coefficients so the slab really is exactly planar in doubles.
+      const double a = 0.25 * static_cast<double>(rng.next_below(5));
+      const double b = 0.25 * static_cast<double>(rng.next_below(5));
+      const double c = static_cast<double>(rng.next_below(7));
+      for (auto& p : part) p.z = a * p.x + b * p.y + c;
     }
     pts.insert(pts.end(), part.begin(), part.end());
   }
@@ -95,6 +130,30 @@ TEST(Fuzz, Unsorted3DAgainstOracle) {
         << "seed " << seed << " " << geom::family_name(f) << ": " << err;
     const auto want = seq::quickhull_upper_hull3(pts);
     ASSERT_EQ(geom::hull3d_vertex_set(r), geom::hull3d_vertex_set(want))
+        << "seed " << seed;
+  }
+}
+
+TEST(Fuzz, Mixed3DAgainstOracle) {
+  // Duplicated slices mean one geometric vertex can carry several
+  // indices, so the comparison is on coordinate sets, not index sets.
+  const auto coord_set = [](std::span<const Point3> pts,
+                            const std::vector<geom::Index>& idx) {
+    std::set<std::tuple<double, double, double>> s;
+    for (const auto i : idx) s.insert({pts[i].x, pts[i].y, pts[i].z});
+    return s;
+  };
+  for (std::uint64_t seed = 0; seed < 16; ++seed) {
+    const std::size_t n = 40 + (seed * 73) % 350;
+    const auto pts = mixed3d(seed, n);
+    pram::Machine m(1, seed * 13 + 1);
+    const auto r = core::unsorted_hull_3d(m, pts);
+    std::string err;
+    ASSERT_TRUE(geom::validate_hull3d(pts, r, true, &err))
+        << "seed " << seed << ": " << err;
+    const auto want = seq::quickhull_upper_hull3(pts);
+    ASSERT_EQ(coord_set(pts, geom::hull3d_vertex_set(r)),
+              coord_set(pts, geom::hull3d_vertex_set(want)))
         << "seed " << seed;
   }
 }

@@ -1,0 +1,243 @@
+// Tests for the step-race discipline checker (pram/shadow.h), in both
+// directions required of a checker:
+//   1. injected violations ARE caught, with the right diagnostic payload
+//      (step index, both pids, cell address, phase name);
+//   2. the real algorithms are NOT flagged — every core hull algorithm
+//      runs end-to-end under the checker with zero violations, which is
+//      the mechanical proof of the concurrency discipline machine.h
+//      documents.
+// Tests assert on recorded violations rather than death: the tracker is
+// switched to record-only via set_abort_on_race(false).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/fallback2d.h"
+#include "core/presorted_constant.h"
+#include "core/presorted_logstar.h"
+#include "core/unsorted2d.h"
+#include "core/unsorted3d.h"
+#include "geom/validate.h"
+#include "geom/workloads.h"
+#include "pram/cells.h"
+#include "pram/machine.h"
+#include "pram/shadow.h"
+#include "support/env.h"
+
+namespace iph::pram {
+namespace {
+
+struct CheckedMachine {
+  Machine m;
+  CheckedMachine(unsigned threads, std::uint64_t seed) : m(threads, seed) {
+    m.enable_check();
+    m.shadow()->set_abort_on_race(false);
+  }
+};
+
+// --- direction 1: injected races are caught -------------------------------
+
+TEST(RaceDetection, SameStepPlainWritesAreCaughtWithFullContext) {
+  // One hardware thread: the injected *logical* race must not also be a
+  // hardware data race, so this test stays clean under TSan — and it
+  // doubles as proof the checker needs no real interleaving to fire.
+  CheckedMachine cm(1, 1);
+  Machine& m = cm.m;
+  std::uint64_t victim = 0;
+  const std::uint64_t racy_step = m.step_index();
+  {
+    Machine::Phase phase(m, "test/racy");
+    m.step(64, [&](std::uint64_t pid) { tracked_write(pid, victim, pid); });
+  }
+  const auto vios = m.shadow()->violations();
+  ASSERT_FALSE(vios.empty()) << "64 pids plain-wrote one cell";
+  const ShadowViolation& v = vios.front();
+  EXPECT_EQ(v.step, racy_step);
+  EXPECT_EQ(v.addr, reinterpret_cast<std::uintptr_t>(&victim));
+  EXPECT_NE(v.pid_first, v.pid_second);
+  EXPECT_LT(v.pid_first, 64u);
+  EXPECT_LT(v.pid_second, 64u);
+  EXPECT_EQ(v.phase, "test/racy");
+  EXPECT_FALSE(v.first_sanctioned);
+  EXPECT_FALSE(v.second_sanctioned);
+}
+
+TEST(RaceDetection, PlainWriteRacingACombiningCellIsCaught) {
+  CheckedMachine cm(2, 2);
+  Machine& m = cm.m;
+  std::uint64_t victim = 0;
+  m.step(16, [&](std::uint64_t pid) {
+    if (pid == 3) {
+      tracked_write(pid, victim, std::uint64_t{7});
+    } else {
+      // What every cells.h write op does before its atomic op, aimed at
+      // the same location the plain write claims to own.
+      shadow_sanctioned_write(&victim);
+    }
+  });
+  const auto vios = m.shadow()->violations();
+  ASSERT_FALSE(vios.empty());
+  EXPECT_TRUE(vios.front().first_sanctioned || vios.front().second_sanctioned);
+  EXPECT_FALSE(vios.front().first_sanctioned &&
+               vios.front().second_sanctioned);
+}
+
+TEST(RaceDetection, CaughtEvenOnOneHardwareThread) {
+  // The checker is logical, not a data-race detector: a discipline
+  // violation is found even when the simulator is single-threaded and
+  // no hardware race can occur.
+  CheckedMachine cm(1, 3);
+  Machine& m = cm.m;
+  std::uint64_t victim = 0;
+  m.step(8, [&](std::uint64_t pid) { tracked_write(pid, victim, pid); });
+  EXPECT_FALSE(cm.m.shadow()->violations().empty());
+}
+
+// --- the discipline rules, unit-level on a bare tracker -------------------
+
+TEST(ShadowTracker, RulesMatrix) {
+  int x = 0, y = 0;
+  ShadowTracker t;
+  t.set_abort_on_race(false);
+
+  t.begin_step(10, "unit");
+  t.on_plain_write(&x, 1);
+  t.on_plain_write(&x, 1);  // same pid may rewrite: legal
+  t.on_sanctioned_write(&y, 1);
+  t.on_sanctioned_write(&y, 2);  // combining writes never race each other
+  t.end_step();
+  EXPECT_TRUE(t.violations().empty());
+
+  t.begin_step(11, "unit");
+  t.on_plain_write(&x, 2);  // new step: the step-10 claim by pid 1 is stale
+  t.end_step();
+  EXPECT_TRUE(t.violations().empty());
+
+  t.begin_step(12, "unit");
+  t.on_sanctioned_write(&x, 1);
+  t.on_plain_write(&x, 2);  // plain racing sanctioned: violation
+  t.end_step();
+  ASSERT_EQ(t.violations().size(), 1u);
+  EXPECT_TRUE(t.violations()[0].first_sanctioned);
+  EXPECT_FALSE(t.violations()[0].second_sanctioned);
+  t.clear_violations();
+
+  t.begin_step(13, "unit");
+  t.on_plain_write(&x, 1);
+  t.on_sanctioned_write(&x, 2);  // and in the other order
+  t.end_step();
+  ASSERT_EQ(t.violations().size(), 1u);
+  EXPECT_FALSE(t.violations()[0].first_sanctioned);
+  EXPECT_TRUE(t.violations()[0].second_sanctioned);
+}
+
+TEST(ShadowTracker, CountsTrackedWrites) {
+  ShadowTracker t;
+  int x = 0;
+  t.begin_step(0, "");
+  for (int i = 0; i < 5; ++i) t.on_plain_write(&x, 0);
+  t.on_sanctioned_write(&x, 0);
+  t.end_step();
+  EXPECT_EQ(t.tracked_writes(), 6u);
+}
+
+// --- direction 2: the real algorithms are clean ---------------------------
+
+void expect_clean(Machine& m, const char* what) {
+  ASSERT_NE(m.shadow(), nullptr);
+  const auto vios = m.shadow()->violations();
+  EXPECT_TRUE(vios.empty())
+      << what << ": " << vios.size() << " violation(s); first at step "
+      << (vios.empty() ? 0 : vios.front().step) << " phase \""
+      << (vios.empty() ? "" : vios.front().phase) << "\"";
+  EXPECT_GT(m.shadow()->tracked_writes(), 0u)
+      << what << ": checker saw no writes — instrumentation missing?";
+}
+
+TEST(RaceDiscipline, Unsorted2DIsClean) {
+  CheckedMachine cm(4, 42);
+  const auto pts = geom::in_disk(1500, 7);
+  const auto r = core::unsorted_hull_2d(cm.m, pts);
+  std::string err;
+  ASSERT_TRUE(geom::validate_upper_hull(pts, r.upper, &err)) << err;
+  expect_clean(cm.m, "unsorted2d");
+}
+
+TEST(RaceDiscipline, PresortedConstantIsClean) {
+  CheckedMachine cm(4, 43);
+  auto pts = geom::gaussian2(2000, 11);
+  geom::sort_lex(pts);
+  const auto r = core::presorted_constant_hull(cm.m, pts);
+  std::string err;
+  ASSERT_TRUE(geom::validate_upper_hull(pts, r.upper, &err)) << err;
+  expect_clean(cm.m, "presorted_constant");
+}
+
+TEST(RaceDiscipline, PresortedLogstarIsClean) {
+  CheckedMachine cm(4, 44);
+  auto pts = geom::in_square(4000, 13);
+  geom::sort_lex(pts);
+  const auto r = core::presorted_logstar_hull(cm.m, pts);
+  std::string err;
+  ASSERT_TRUE(geom::validate_upper_hull(pts, r.upper, &err)) << err;
+  expect_clean(cm.m, "presorted_logstar");
+}
+
+TEST(RaceDiscipline, Unsorted3DIsClean) {
+  CheckedMachine cm(4, 45);
+  const auto pts = geom::in_cube(700, 17);
+  const auto r = core::unsorted_hull_3d(cm.m, pts);
+  std::string err;
+  ASSERT_TRUE(geom::validate_hull3d(pts, r, true, &err)) << err;
+  expect_clean(cm.m, "unsorted3d");
+}
+
+TEST(RaceDiscipline, Fallback2DIsClean) {
+  CheckedMachine cm(4, 46);
+  const auto pts = geom::with_duplicates(1200, 19);
+  const auto r = core::fallback_hull_2d(cm.m, pts);
+  std::string err;
+  ASSERT_TRUE(geom::validate_upper_hull(pts, r.upper, &err)) << err;
+  expect_clean(cm.m, "fallback2d");
+}
+
+// --- the checker must only observe ----------------------------------------
+
+TEST(RaceDiscipline, CheckerDoesNotPerturbMetricsOrOutput) {
+  const auto pts = geom::in_disk(1000, 23);
+  auto run = [&](bool checked) {
+    Machine m(2, 99);
+    if (checked) {
+      m.enable_check();
+      m.shadow()->set_abort_on_race(false);
+    }
+    const auto r = core::unsorted_hull_2d(m, pts);
+    return std::tuple{r.upper.vertices, m.metrics().steps, m.metrics().work,
+                      m.step_index()};
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(RaceDiscipline, DisabledByDefaultAndTogglable) {
+  Machine m(1, 0);
+#if !defined(IPH_PRAM_CHECK_DEFAULT_ON)
+  // (Unless the env knob or build option is on for this run.)
+  if (!support::env_flag("IPH_PRAM_CHECK", false)) {
+    EXPECT_FALSE(m.check_enabled());
+  }
+#endif
+  m.enable_check();
+  EXPECT_TRUE(m.check_enabled());
+  m.disable_check();
+  EXPECT_FALSE(m.check_enabled());
+  // With the checker off, tracked_write is a plain store.
+  std::uint64_t v = 0;
+  m.step(1, [&](std::uint64_t pid) { tracked_write(pid, v, pid + 5); });
+  EXPECT_EQ(v, 5u);
+}
+
+}  // namespace
+}  // namespace iph::pram

@@ -50,6 +50,37 @@ TEST(Machine, ChargeAccountsAbstractCost) {
   EXPECT_EQ(m.step_index(), 3u);
 }
 
+TEST(Machine, ChargeIsConstantTimeAndExactlyEqualsPerStepAccounting) {
+  // charge(count, w) batches the per-step ceil terms in O(1); the result
+  // must be indistinguishable — across every metric field AND the step
+  // index (which seeds the per-step RNG) — from `count` individual
+  // steps of `w` active processors.
+  constexpr std::uint64_t kCount = 1u << 20;  // far beyond any loop budget
+  constexpr std::uint64_t kWork = 12345;
+  Machine charged(1);
+  charged.charge(kCount, kWork);
+  Metrics expect;
+  for (std::uint64_t s = 0; s < 1000; ++s) expect.record_step(kWork);
+  // Compare against the closed form on a smaller count first...
+  Metrics batched;
+  batched.record_steps(1000, kWork);
+  EXPECT_EQ(batched.steps, expect.steps);
+  EXPECT_EQ(batched.work, expect.work);
+  EXPECT_EQ(batched.max_active, expect.max_active);
+  for (std::size_t i = 0; i < kTrackedProcCounts.size(); ++i) {
+    EXPECT_EQ(batched.time_at_p[i], expect.time_at_p[i]) << "p index " << i;
+  }
+  // ...then sanity-check the huge charge's closed form directly.
+  EXPECT_EQ(charged.metrics().steps, kCount);
+  EXPECT_EQ(charged.metrics().work, kCount * kWork);
+  EXPECT_EQ(charged.step_index(), kCount);
+  for (std::size_t i = 0; i < kTrackedProcCounts.size(); ++i) {
+    const std::uint64_t p = kTrackedProcCounts[i];
+    EXPECT_EQ(charged.metrics().time_at_p[i],
+              kCount * ((kWork + p - 1) / p));
+  }
+}
+
 TEST(Machine, TimeAtPMatchesCeilSum) {
   Machine m(1);
   m.step(100, [](std::uint64_t) {});
