@@ -6,7 +6,7 @@
 // net) stays near zero at the default alpha.
 #include <benchmark/benchmark.h>
 
-#include "bench_util.h"
+#include "report.h"
 #include "core/presorted_constant.h"
 #include "geom/workloads.h"
 #include "pram/machine.h"
@@ -38,11 +38,18 @@ void e01(benchmark::State& state) {
 }  // namespace
 
 BENCHMARK(e01)
-    ->ArgsProduct({{1 << 12, 1 << 14, 1 << 16},
+    ->ArgsProduct({iph::bench::n_sweep({1 << 12, 1 << 14, 1 << 16}),
                    {static_cast<long>(iph::geom::Family2D::kDisk),
                     static_cast<long>(iph::geom::Family2D::kSquare),
                     static_cast<long>(iph::geom::Family2D::kCircle)}})
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+// Lemma 2.5: constant time, O(n log n) work, failures unobservable at
+// the default alpha. Tolerances: measured steps drift <= 1.35x over the
+// 16x sweep (block-size rounding), work/(n log n) sits in a ~2.3x
+// constant band per family (EXPERIMENTS.md E1) — both get ~2x headroom.
+IPH_BENCH_MAIN("e01",
+               {"steps-constant", "steps", "flat", 2.5},
+               {"work-nlogn", "work", "n_log_n", 4.0},
+               {"sweeps-rare", "swept", "below_const", 0.5})

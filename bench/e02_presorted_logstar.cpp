@@ -4,7 +4,7 @@
 // and the measured recursion depth equals the log* level count.
 #include <benchmark/benchmark.h>
 
-#include "bench_util.h"
+#include "report.h"
 #include "core/presorted_logstar.h"
 #include "geom/workloads.h"
 #include "pram/machine.h"
@@ -40,11 +40,13 @@ void e02(benchmark::State& state) {
 }  // namespace
 
 BENCHMARK(e02)
-    ->Arg(1 << 12)
-    ->Arg(1 << 14)
-    ->Arg(1 << 16)
-    ->Arg(1 << 18)
+    ->ArgsProduct(
+        {iph::bench::n_sweep({1 << 12, 1 << 14, 1 << 16, 1 << 18})})
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+// Theorem 2: steps track log*(n) (measured steps/log* band ~1.8x over a
+// 64x sweep) and work/n stays in a ~1.5x band (EXPERIMENTS.md E2).
+IPH_BENCH_MAIN("e02",
+               {"steps-logstar", "steps", "log_star", 3.5},
+               {"work-linear", "work", "linear", 3.0})

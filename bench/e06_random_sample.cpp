@@ -10,7 +10,7 @@
 
 #include <cmath>
 
-#include "bench_util.h"
+#include "report.h"
 #include "pram/machine.h"
 #include "primitives/random_sample.h"
 
@@ -63,9 +63,20 @@ void e06_vote_uniformity(benchmark::State& state) {
 }  // namespace
 
 BENCHMARK(e06_sample)
-    ->ArgsProduct({{1 << 12, 1 << 16}, {4, 16, 64, 256}})
+    ->ArgsProduct({iph::bench::n_sweep({1 << 12, 1 << 16}),
+                   {4, 16, 64, 256}})
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(e06_vote_uniformity)->Iterations(1)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+// Lemma 3.1 / Cor. 3.1: sampling takes a fixed number of steps
+// (measured exactly 14 everywhere), observed failure rate stays below
+// the lemma's bound, and vote winners pass the chi-square uniformity
+// test (EXPERIMENTS.md E6).
+IPH_BENCH_MAIN("e06",
+               {"steps-constant", "steps", "flat", 1.5, "", "",
+                "e06_sample"},
+               {"fail-below-lemma", "fail_rate", "below_aux", 1.0,
+                "lemma_bound", "", "e06_sample"},
+               {"vote-uniform", "chi2_31dof", "below_aux", 1.0,
+                "p999_threshold", "", "e06_vote_uniformity"})

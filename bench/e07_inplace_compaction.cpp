@@ -7,7 +7,7 @@
 // search never resorts to its fallback on these inputs.
 #include <benchmark/benchmark.h>
 
-#include "bench_util.h"
+#include "report.h"
 #include "pram/machine.h"
 #include "primitives/inplace_compaction.h"
 #include "support/rng.h"
@@ -41,8 +41,16 @@ void e07(benchmark::State& state) {
 }  // namespace
 
 BENCHMARK(e07)
-    ->ArgsProduct({{1 << 10, 1 << 14, 1 << 18}, {4, 16, 64}})
+    ->ArgsProduct({iph::bench::n_sweep({1 << 10, 1 << 14, 1 << 18}),
+                   {4, 16, 64}})
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+// Lemma 3.2: O(1) time — steps flat across a 256x sweep of m (measured
+// 8-22, driven by the 1-3 refinement iterations), slot-table area within
+// the lemma's budget (measured area/k^2 <= 1.06), Ragde fallback idle
+// (EXPERIMENTS.md E7).
+IPH_BENCH_MAIN("e07",
+               {"steps-constant", "steps", "flat", 3.5},
+               {"area-bounded", "area/k^2", "below_const", 2.0},
+               {"ragde-idle", "ragde_fallback", "below_const", 0.5})

@@ -8,7 +8,7 @@
 // idle; total steps differ by a constant, never by a factor of n.
 #include <benchmark/benchmark.h>
 
-#include "bench_util.h"
+#include "report.h"
 #include "core/presorted_constant.h"
 #include "geom/workloads.h"
 #include "pram/machine.h"
@@ -42,8 +42,13 @@ void e09(benchmark::State& state) {
 }  // namespace
 
 BENCHMARK(e09)
-    ->ArgsProduct({{1 << 12, 1 << 15}, {1, 2, 8}})
+    ->ArgsProduct({iph::bench::n_sweep({1 << 12, 1 << 15}), {1, 2, 8}})
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+// §2.3 failure sweeping: the sweep costs O(1) extra steps, so total
+// steps stay flat in n at every alpha (measured 167-200, EXPERIMENTS.md
+// E9); the swept fraction never exceeds 100% of the tree problems.
+IPH_BENCH_MAIN("e09",
+               {"steps-constant", "steps", "flat", 2.0},
+               {"sweep-frac-bounded", "sweep_frac", "below_const", 1.0})

@@ -10,7 +10,7 @@
 
 #include <cmath>
 
-#include "bench_util.h"
+#include "report.h"
 #include "core/unsorted2d.h"
 #include "core/unsorted3d.h"
 #include "geom/workloads.h"
@@ -65,15 +65,19 @@ void e11_3d(benchmark::State& state) {
 }  // namespace
 
 BENCHMARK(e11_2d)
-    ->Arg(1 << 12)
-    ->Arg(1 << 15)
-    ->Arg(1 << 18)
+    ->ArgsProduct({iph::bench::n_sweep({1 << 12, 1 << 15, 1 << 18})})
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(e11_3d)
-    ->Arg(1 << 10)
-    ->Arg(1 << 13)
+    ->ArgsProduct({iph::bench::n_sweep({1 << 10, 1 << 13})})
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+// Lemmas 5.1 / 6.1: recursion depth stays far below the conservative
+// log_{16/15} n bound in 2-d (measured 2-5% of it) and below log2 n in
+// 3-d (EXPERIMENTS.md E11).
+IPH_BENCH_MAIN("e11",
+               {"2d-levels-below-bound", "max_levels", "below_aux", 1.0,
+                "paper_bound_15_16", "", "e11_2d"},
+               {"3d-levels-below-log2n", "max_levels", "below_aux", 1.0,
+                "log2n", "", "e11_3d"})

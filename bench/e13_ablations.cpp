@@ -12,7 +12,7 @@
 //       the point where the O(n log n) algorithm is cheaper.
 #include <benchmark/benchmark.h>
 
-#include "bench_util.h"
+#include "report.h"
 #include "core/unsorted2d.h"
 #include "geom/workloads.h"
 #include "pram/machine.h"
@@ -91,4 +91,14 @@ BENCHMARK(e13_base_k)->Arg(25)->Arg(33)->Arg(50)
 BENCHMARK(e13_threshold)->Arg(0)->Arg(13)->Arg(25)->Arg(50)
     ->Iterations(1)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+// Ablations swing by design (that's the point of the sweep), so the
+// claims here are loose envelopes that only catch gross blowups: steps
+// vary ~1.45x over the alpha knee, ~2.5x over the base exponent, and
+// ~6.7x over the threshold U-shape (EXPERIMENTS.md E13).
+IPH_BENCH_MAIN("e13",
+               {"alpha-steps", "steps", "flat", 3.0, "", "",
+                "e13_alpha"},
+               {"base-k-steps", "steps", "flat", 5.0, "", "",
+                "e13_base_k"},
+               {"threshold-steps", "steps", "flat", 10.0, "", "",
+                "e13_threshold"})

@@ -70,9 +70,12 @@ FullHull2D convex_hull_2d(std::span<const geom::Point2> pts,
   FullHull2D out;
   const auto upper = core::unsorted_hull_2d(m, pts, nullptr, opts.alpha);
   std::vector<geom::Point2> neg(pts.size());
-  m.step(pts.size(), [&](std::uint64_t i) {
-    neg[i] = {pts[i].x, -pts[i].y};
-  });
+  {
+    pram::Machine::Phase phase(m, "api/reflect");
+    m.step(pts.size(), [&](std::uint64_t i) {
+      neg[i] = {pts[i].x, -pts[i].y};
+    });
+  }
   const auto lower = core::unsorted_hull_2d(m, neg, nullptr, opts.alpha);
   out.vertices = geom::full_hull_from_upper(upper.upper, lower.upper);
   out.metrics = m.metrics();

@@ -19,6 +19,7 @@ geom::HullResult2D fallback_hull_2d_presorted(
   const std::size_t n = order.size();
   geom::HullResult2D out;
   if (n == 0) return out;
+  pram::Machine::Phase phase(m, "fb2/hull");
   // Materialize the sorted view (1 step, n work); all chain machinery
   // then works on contiguous presorted data, and results are mapped back
   // through `order` at the end.
@@ -74,7 +75,10 @@ geom::HullResult2D fallback_hull_2d(pram::Machine& m,
   });
   // Charge the sort at Cole's merge-sort cost (see header).
   const unsigned logn = n > 1 ? support::ceil_log2(n) : 1;
-  m.charge(logn, n);
+  {
+    pram::Machine::Phase phase(m, "fb2/sort");
+    m.charge(logn, n);
+  }
   return fallback_hull_2d_presorted(m, pts, order);
 }
 

@@ -312,9 +312,12 @@ Scoped2DResult unsorted_2d_scoped(pram::Machine& m,
   const std::size_t n = pts.size();
   // Per-problem sizes (one tally step).
   std::vector<pram::TallyCell> count(std::max<std::size_t>(1, n_problems));
-  m.step(n, [&](std::uint64_t i) {
-    if (problem_of[i] != primitives::kNoProblem) count[problem_of[i]].write();
-  });
+  {
+    pram::Machine::Phase phase(m, "u2/scope-init");
+    m.step(n, [&](std::uint64_t i) {
+      if (problem_of[i] != primitives::kNoProblem) count[problem_of[i]].write();
+    });
+  }
   std::vector<std::uint64_t> sizes(n_problems);
   std::vector<std::uint32_t> remap(n_problems, primitives::kNoProblem);
   std::vector<std::uint64_t> live_sizes;
@@ -326,11 +329,14 @@ Scoped2DResult unsorted_2d_scoped(pram::Machine& m,
     }
   }
   std::vector<std::uint32_t> init(n, primitives::kNoProblem);
-  m.step(n, [&](std::uint64_t i) {
-    if (problem_of[i] != primitives::kNoProblem) {
-      pram::tracked_write(i, init[i], remap[problem_of[i]]);
-    }
-  });
+  {
+    pram::Machine::Phase phase(m, "u2/scope-init");
+    m.step(n, [&](std::uint64_t i) {
+      if (problem_of[i] != primitives::kNoProblem) {
+        pram::tracked_write(i, init[i], remap[problem_of[i]]);
+      }
+    });
+  }
   auto core = run_core(m, pts, std::move(init), std::move(live_sizes),
                        stats, alpha, fallback_threshold);
   Scoped2DResult out;

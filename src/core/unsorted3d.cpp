@@ -122,6 +122,7 @@ geom::HullResult3D fallback_hull_3d(pram::Machine& m,
   // Reif-Sen "polling" runs in O(log n) time with n processors w.h.p.;
   // our substitute computes the same output host-side and charges that
   // published cost (DESIGN.md substitution table).
+  pram::Machine::Phase phase(m, "u3/fallback");
   m.charge(logn, n);
   return seq::quickhull_upper_hull3(pts);
 }
@@ -306,22 +307,27 @@ geom::HullResult3D unsorted_hull_3d(pram::Machine& m,
     // Fence points on a shared ridge can be covered by facets of BOTH
     // adjacent problems in the same step: resolve with a priority cell.
     std::vector<pram::MinCell> assign(n);
-    m.step(nu, [&](std::uint64_t u) {
-      const std::uint32_t p = uq[u];
-      if (p == primitives::kNoProblem || facet_id[p] == geom::kNone) return;
-      const Index i = up[u];
-      if (pointer[i] != geom::kNone) return;
-      const Facet3& f = facets[facet_id[p]];
-      if (geom::xy_in_triangle(pts[f.a], pts[f.b], pts[f.c], pts[i])) {
-        assign[i].write(facet_id[p]);
-      }
-    });
-    m.step(n, [&](std::uint64_t i) {
-      if (pointer[i] == geom::kNone && !assign[i].empty()) {
-        pram::tracked_write(i, pointer[i],
-                            static_cast<Index>(assign[i].read()));
-      }
-    });
+    {
+      pram::Machine::Phase assign_phase(m, "u3/assign");
+      m.step(nu, [&](std::uint64_t u) {
+        const std::uint32_t p = uq[u];
+        if (p == primitives::kNoProblem || facet_id[p] == geom::kNone) {
+          return;
+        }
+        const Index i = up[u];
+        if (pointer[i] != geom::kNone) return;
+        const Facet3& f = facets[facet_id[p]];
+        if (geom::xy_in_triangle(pts[f.a], pts[f.b], pts[f.c], pts[i])) {
+          assign[i].write(facet_id[p]);
+        }
+      });
+      m.step(n, [&](std::uint64_t i) {
+        if (pointer[i] == geom::kNone && !assign[i].empty()) {
+          pram::tracked_write(i, pointer[i],
+                              static_cast<Index>(assign[i].read()));
+        }
+      });
+    }
 
     // --- 3. projections + the two inner 2-d runs ----------------------
     pram::Machine::Phase project_phase(m, "u3/project");
@@ -472,7 +478,10 @@ geom::HullResult3D unsorted_hull_3d(pram::Machine& m,
   // Certify the surface (one step, n + h work); on failure, repair with
   // the fallback — the algorithm is Las Vegas: its output is always the
   // exact upper hull.
-  m.step_active(1, n + r.facets.size(), [](std::uint64_t) {});
+  {
+    pram::Machine::Phase certify_phase(m, "u3/certify");
+    m.step_active(1, n + r.facets.size(), [](std::uint64_t) {});
+  }
   int fail_kind = 0;
   if (!verify_surface(pts, r.facets, pointer, &fail_kind)) {
     stats->used_fallback = true;

@@ -36,6 +36,7 @@ std::vector<Chain> merge_chain_groups(pram::Machine& m,
   const std::size_t nc = chains.size();
   IPH_CHECK(group_of.size() == nc);
   IPH_CHECK(g >= 2);
+  pram::Machine::Phase phase(m, "ht/merge-chains");
   std::vector<std::vector<std::uint32_t>> members(num_groups);
   for (std::size_t c = 0; c < nc; ++c) {
     IPH_CHECK(group_of[c] < num_groups);
@@ -255,6 +256,7 @@ std::vector<Index> extreme_vs_lines(
     std::span<const std::pair<Index, Index>> lines, std::uint64_t g) {
   const std::size_t ns = lines.size();
   IPH_CHECK(chain_of.size() == ns);
+  pram::Machine::Phase phase(m, "ht/extreme-vs-lines");
   std::vector<std::uint64_t> lo(ns, 0), hi(ns);
   for (std::size_t s = 0; s < ns; ++s) {
     const std::size_t len = chain_of[s]->size();
@@ -285,6 +287,7 @@ std::vector<Index> edges_above_chain(pram::Machine& m,
   const std::size_t ns = queries.size();
   std::vector<Index> out(ns, geom::kNone);
   if (chain.size() < 2) return out;
+  pram::Machine::Phase phase(m, "ht/edges-above");
   std::vector<std::uint64_t> lo(ns, 0), hi(ns, chain.size());
   const auto part = primitives::lockstep_partition_point(
       m, lo, hi, g, [&](std::uint64_t s, std::uint64_t i) {

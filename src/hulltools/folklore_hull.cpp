@@ -21,6 +21,7 @@ geom::HullResult2D folklore_hull_presorted(pram::Machine& m,
   IPH_CHECK(lo <= hi && hi <= pts.size());
   const std::size_t q = hi - lo;
   if (q <= 32) return primitives::brute_hull_presorted(m, pts, lo, hi);
+  pram::Machine::Phase phase(m, "ht/folklore");
 
   const std::uint64_t radix = std::max<std::uint64_t>(
       2, support::ipow_frac(q, 1.0 / (2.0 * k_levels)));

@@ -26,6 +26,14 @@
 // cell writers is legal, but a plain tracked_write() to the same location
 // is reported as a race. The registration is a no-op (one relaxed load
 // and an untaken branch) unless a checking Machine is mid-step.
+//
+// Every cell write also probes the conflict accountant (conflict.h): when
+// the owning Machine counts combining-write conflicts, each same-step
+// write beyond a cell's first bumps the per-step cw_conflicts tally (a
+// deterministic w-1 per cell written by w processors). Same cost model:
+// one relaxed load and an untaken branch when counting is off. reset()
+// is an owned write (one pid per cell, like any plain store) and is
+// neither sanctioned nor probed.
 #pragma once
 
 #include <atomic>
@@ -33,6 +41,7 @@
 #include <limits>
 #include <vector>
 
+#include "pram/conflict.h"
 #include "pram/shadow.h"
 
 namespace iph::pram {
@@ -43,12 +52,14 @@ class OrCell {
   void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
   void write_true() noexcept {
     shadow_sanctioned_write(&v_);
+    conflict_probe(cstamp_);
     v_.store(1, std::memory_order_relaxed);
   }
   bool read() const noexcept { return v_.load(std::memory_order_relaxed) != 0; }
 
  private:
   std::atomic<std::uint32_t> v_{0};
+  std::atomic<std::uint64_t> cstamp_{0};
 };
 
 /// Writer-counting cell.
@@ -58,6 +69,7 @@ class TallyCell {
   /// Returns the number of writers that arrived before this one.
   std::uint64_t write() noexcept {
     shadow_sanctioned_write(&v_);
+    conflict_probe(cstamp_);
     return v_.fetch_add(1, std::memory_order_relaxed);
   }
   std::uint64_t read() const noexcept {
@@ -66,6 +78,7 @@ class TallyCell {
 
  private:
   std::atomic<std::uint64_t> v_{0};
+  std::atomic<std::uint64_t> cstamp_{0};
 };
 
 /// Min-combining cell over uint64 (priority CRCW when values are pids).
@@ -77,6 +90,7 @@ class MinCell {
   void reset() noexcept { v_.store(kEmpty, std::memory_order_relaxed); }
   void write(std::uint64_t x) noexcept {
     shadow_sanctioned_write(&v_);
+    conflict_probe(cstamp_);
     std::uint64_t cur = v_.load(std::memory_order_relaxed);
     while (x < cur &&
            !v_.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
@@ -89,6 +103,7 @@ class MinCell {
 
  private:
   std::atomic<std::uint64_t> v_{kEmpty};
+  std::atomic<std::uint64_t> cstamp_{0};
 };
 
 /// Max-combining cell over uint64.
@@ -99,6 +114,7 @@ class MaxCell {
   void reset() noexcept { v_.store(kEmpty, std::memory_order_relaxed); }
   void write(std::uint64_t x) noexcept {
     shadow_sanctioned_write(&v_);
+    conflict_probe(cstamp_);
     std::uint64_t cur = v_.load(std::memory_order_relaxed);
     while (x > cur &&
            !v_.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
@@ -110,6 +126,7 @@ class MaxCell {
 
  private:
   std::atomic<std::uint64_t> v_{kEmpty};
+  std::atomic<std::uint64_t> cstamp_{0};
 };
 
 /// Arbitrary-CRCW slot for a payload of type T: the first writer to claim
@@ -131,6 +148,7 @@ class ClaimSlot {
   /// observable (step 3 of the paper's random-sample procedure).
   bool claim() noexcept {
     shadow_sanctioned_write(&claimed_);
+    conflict_probe(cstamp_);
     attempts_.fetch_add(1, std::memory_order_relaxed);
     std::uint32_t expected = 0;
     return claimed_.compare_exchange_strong(expected, 1,
@@ -152,6 +170,7 @@ class ClaimSlot {
  private:
   std::atomic<std::uint32_t> claimed_{0};
   std::atomic<std::uint64_t> attempts_{0};
+  std::atomic<std::uint64_t> cstamp_{0};
   T value_{};
 };
 
@@ -161,17 +180,22 @@ class ClaimSlot {
 class FlagArray {
  public:
   FlagArray() = default;
-  explicit FlagArray(std::size_t n) : v_(n) {}
+  explicit FlagArray(std::size_t n) : v_(n), cstamps_(n) {}
 
-  void assign(std::size_t n) { v_ = std::vector<std::atomic<std::uint8_t>>(n); }
+  void assign(std::size_t n) {
+    v_ = std::vector<std::atomic<std::uint8_t>>(n);
+    cstamps_ = std::vector<std::atomic<std::uint64_t>>(n);
+  }
   std::size_t size() const noexcept { return v_.size(); }
 
   void set(std::size_t i) noexcept {
     shadow_sanctioned_write(&v_[i]);
+    conflict_probe(cstamps_[i]);
     v_[i].store(1, std::memory_order_relaxed);
   }
   void clear(std::size_t i) noexcept {
     shadow_sanctioned_write(&v_[i]);
+    conflict_probe(cstamps_[i]);
     v_[i].store(0, std::memory_order_relaxed);
   }
   bool get(std::size_t i) const noexcept {
@@ -180,6 +204,7 @@ class FlagArray {
 
  private:
   std::vector<std::atomic<std::uint8_t>> v_;
+  std::vector<std::atomic<std::uint64_t>> cstamps_;
 };
 
 }  // namespace iph::pram

@@ -25,6 +25,7 @@ Machine::Machine(unsigned threads, std::uint64_t seed)
   constexpr bool check_default = false;
 #endif
   if (support::env_flag("IPH_PRAM_CHECK", check_default)) enable_check();
+  if (support::env_flag("IPH_CW_CONFLICTS", false)) count_conflicts_ = true;
   // Worker 0 is the calling thread; spawn threads_-1 helpers.
   for (unsigned i = 1; i < threads_; ++i) {
     workers_.emplace_back([this, i] { worker_loop(i); });
@@ -55,6 +56,18 @@ void Machine::checked_step_prologue() {
 void Machine::checked_step_epilogue() {
   shadow_detail::g_active.store(nullptr, std::memory_order_release);
   shadow_->end_step();
+}
+
+void Machine::counted_step_prologue() {
+  // step_index_ + 1 so a freshly-zeroed cell stamp never matches.
+  conflict_sink_.stamp = step_index_ + 1;
+  conflict_sink_.count.store(0, std::memory_order_relaxed);
+  conflict_detail::g_sink.store(&conflict_sink_, std::memory_order_release);
+}
+
+std::uint64_t Machine::counted_step_epilogue() {
+  conflict_detail::g_sink.store(nullptr, std::memory_order_release);
+  return conflict_sink_.count.load(std::memory_order_relaxed);
 }
 
 void Machine::run_range(std::uint64_t n, RangeFn fn, void* ctx) {

@@ -32,11 +32,34 @@
 #include <type_traits>
 #include <vector>
 
+#include "pram/conflict.h"
 #include "pram/metrics.h"
 #include "pram/shadow.h"
 #include "support/rng.h"
 
 namespace iph::pram {
+
+/// Host-side observation hooks for structured tracing (trace::Recorder
+/// implements this). All callbacks run on the host thread between or
+/// around steps — never inside fn(pid) — so implementations need no
+/// locking, and everything they see except wall-clock is deterministic
+/// given (input, seed). The observer must outlive the Machine (or be
+/// detached with set_observer(nullptr) first).
+class PhaseObserver {
+ public:
+  virtual ~PhaseObserver() = default;
+  /// A Machine::Phase opened/closed; step_index is the machine's step
+  /// counter at that instant. Calls nest properly.
+  virtual void on_phase_open(const std::string& name,
+                             std::uint64_t step_index) = 0;
+  virtual void on_phase_close(std::uint64_t step_index) = 0;
+  /// One synchronous step completed with `active` charged processors and
+  /// `conflicts` combining-write conflicts (0 unless counting is on).
+  virtual void on_step(std::uint64_t active, std::uint64_t conflicts) = 0;
+  /// Machine::charge accounted `steps` analytic steps of `work_per_step`.
+  virtual void on_charge(std::uint64_t steps,
+                         std::uint64_t work_per_step) = 0;
+};
 
 class Machine {
  public:
@@ -67,6 +90,7 @@ class Machine {
   /// bit-identical either way (the tracker only observes).
   template <typename Fn>
   void step_active(std::uint64_t n, std::uint64_t active, Fn&& fn) {
+    if (count_conflicts_) counted_step_prologue();
     if (shadow_) {
       checked_step_prologue();
       if (n > 0) {
@@ -80,8 +104,11 @@ class Machine {
     } else if (n > 0) {
       run_fn(n, fn);
     }
+    const std::uint64_t conflicts =
+        count_conflicts_ ? counted_step_epilogue() : 0;
     ++step_index_;
-    metrics_.record_step(active);
+    metrics_.record_step(active, conflicts);
+    if (observer_) observer_->on_step(active, conflicts);
   }
 
   /// Account abstract PRAM cost without executing anything (used when a
@@ -92,6 +119,7 @@ class Machine {
   void charge(std::uint64_t steps, std::uint64_t work_per_step) {
     metrics_.record_steps(steps, work_per_step);
     step_index_ += steps;
+    if (observer_) observer_->on_charge(steps, work_per_step);
   }
 
   /// Counter-based RNG for processor pid at the current step.
@@ -116,6 +144,23 @@ class Machine {
   void enable_check();
   void disable_check();
 
+  // --- structured tracing (pram/conflict.h, trace::Recorder) ---
+  /// Attach a phase/step observer (or detach with nullptr). The observer
+  /// must outlive this Machine or be detached before the machine issues
+  /// another step. Attaching also turns combining-write conflict counting
+  /// on (a trace without conflicts is the uninteresting half).
+  void set_observer(PhaseObserver* o) noexcept {
+    observer_ = o;
+    if (o != nullptr) count_conflicts_ = true;
+  }
+  PhaseObserver* observer() const noexcept { return observer_; }
+  /// Combining-write conflict counting, independent of any observer
+  /// (also on when IPH_CW_CONFLICTS=1). Off by default: when off,
+  /// Metrics::cw_conflicts stays 0 and every cell write costs one extra
+  /// untaken branch, and steps/work/T(p) are bit-identical either way.
+  void set_conflict_counting(bool on) noexcept { count_conflicts_ = on; }
+  bool conflict_counting() const noexcept { return count_conflicts_; }
+
   /// Scoped phase marker: accumulates the metrics delta of its lifetime
   /// into phases()[name], and names the phase in any step-race diagnostic
   /// raised while it is open.
@@ -124,10 +169,12 @@ class Machine {
     Phase(Machine& m, std::string name)
         : m_(m), name_(std::move(name)), start_(m.metrics()) {
       m_.phase_stack_.push_back(name_);
+      if (m_.observer_) m_.observer_->on_phase_open(name_, m_.step_index_);
     }
     ~Phase() {
       m_.phase_stack_.pop_back();
       m_.phases()[name_].add(m_.metrics().delta_since(start_));
+      if (m_.observer_) m_.observer_->on_phase_close(m_.step_index_);
     }
     Phase(const Phase&) = delete;
     Phase& operator=(const Phase&) = delete;
@@ -156,12 +203,17 @@ class Machine {
 
   void checked_step_prologue();
   void checked_step_epilogue();
+  void counted_step_prologue();
+  std::uint64_t counted_step_epilogue();
 
   std::uint64_t seed_;
   std::uint64_t step_index_ = 0;
   Metrics metrics_;
   PhaseMetrics phases_;
   std::unique_ptr<ShadowTracker> shadow_;
+  PhaseObserver* observer_ = nullptr;
+  bool count_conflicts_ = false;
+  ConflictSink conflict_sink_;
   /// Open Phase names, innermost last (host-side only; steps are issued
   /// between pushes/pops, never during).
   std::vector<std::string> phase_stack_;

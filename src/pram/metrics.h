@@ -26,13 +26,19 @@ struct Metrics {
   std::uint64_t steps = 0;       ///< PRAM time (synchronous steps).
   std::uint64_t work = 0;        ///< Sum of active processors over steps.
   std::uint64_t max_active = 0;  ///< Processor requirement (peak).
+  /// Combining-cell write conflicts: same-step writes to one cell beyond
+  /// the first (pram/conflict.h). 0 unless the Machine counts conflicts;
+  /// when counted, a pure function of the program, never of the host
+  /// schedule.
+  std::uint64_t cw_conflicts = 0;
   /// T(p) = sum_steps ceil(active/p) for p in kTrackedProcCounts.
   std::array<std::uint64_t, kTrackedProcCounts.size()> time_at_p{};
 
-  void record_step(std::uint64_t active) noexcept {
+  void record_step(std::uint64_t active, std::uint64_t conflicts = 0) noexcept {
     steps += 1;
     work += active;
     if (active > max_active) max_active = active;
+    cw_conflicts += conflicts;
     for (std::size_t i = 0; i < kTrackedProcCounts.size(); ++i) {
       const std::uint64_t p = kTrackedProcCounts[i];
       time_at_p[i] += (active + p - 1) / p;
@@ -58,6 +64,7 @@ struct Metrics {
     steps += o.steps;
     work += o.work;
     if (o.max_active > max_active) max_active = o.max_active;
+    cw_conflicts += o.cw_conflicts;
     for (std::size_t i = 0; i < time_at_p.size(); ++i) {
       time_at_p[i] += o.time_at_p[i];
     }
@@ -68,6 +75,7 @@ struct Metrics {
     d.steps = steps - earlier.steps;
     d.work = work - earlier.work;
     d.max_active = max_active;  // peak is not differencable; keep current
+    d.cw_conflicts = cw_conflicts - earlier.cw_conflicts;
     for (std::size_t i = 0; i < time_at_p.size(); ++i) {
       d.time_at_p[i] = time_at_p[i] - earlier.time_at_p[i];
     }

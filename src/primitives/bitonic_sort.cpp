@@ -35,6 +35,7 @@ void bitonic_sort_points(pram::Machine& m,
                          std::span<geom::Index> idx) {
   const std::uint64_t n = idx.size();
   if (n < 2) return;
+  pram::Machine::Phase phase(m, "prim/bitonic-sort");
   const std::uint64_t np = support::ceil_pow2(n);
   std::vector<geom::Index> buf(np, geom::kNone);  // kNone sorts last
   m.step(n, [&](std::uint64_t pid) { buf[pid] = idx[pid]; });
@@ -54,6 +55,7 @@ void bitonic_sort_points(pram::Machine& m,
 void bitonic_sort_keys(pram::Machine& m, std::span<std::uint64_t> keys) {
   const std::uint64_t n = keys.size();
   if (n < 2) return;
+  pram::Machine::Phase phase(m, "prim/bitonic-sort");
   const std::uint64_t np = support::ceil_pow2(n);
   std::vector<std::uint64_t> buf(np, ~std::uint64_t{0});
   m.step(n, [&](std::uint64_t pid) { buf[pid] = keys[pid]; });

@@ -58,6 +58,7 @@ geom::HullResult2D brute_hull_presorted(pram::Machine& m,
   const std::size_t q = hi - lo;
   geom::HullResult2D r;
   if (q == 0) return r;
+  pram::Machine::Phase phase(m, "prim/brute-hull");
 
   // Degenerate single-column input: hull is the topmost point.
   if (pts[lo].x == pts[hi - 1].x) {

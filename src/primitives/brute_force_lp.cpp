@@ -46,6 +46,7 @@ std::vector<std::pair<Index, Index>> batched_brute_bridge_2d(
     cum2.push_back(cum2.back() + k * k);
   }
   if (cum3.back() == 0) return out;
+  pram::Machine::Phase phase(m, "prim/brute-bridge");
 
   pram::FlagArray bad(cum2.back());
   m.step(cum3.back(), [&](std::uint64_t pid) {
@@ -135,6 +136,7 @@ std::vector<geom::Facet3> batched_brute_facet_3d(
     cum3.push_back(cum3.back() + k * k * k);
   }
   if (cum4.back() == 0) return out;
+  pram::Machine::Phase phase(m, "prim/brute-facet");
 
   pram::FlagArray bad(cum3.back());
   m.step(cum4.back(), [&](std::uint64_t pid) {

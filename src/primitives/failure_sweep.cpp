@@ -9,6 +9,7 @@ SweepResult sweep_failures(pram::Machine& m,
                            std::span<const std::uint8_t> failed_flags,
                            std::uint64_t bound) {
   SweepResult r;
+  pram::Machine::Phase phase(m, "prim/failure-sweep");
   const RagdeResult rr = ragde_compact(m, failed_flags, bound);
   r.used_fallback = rr.used_fallback;
   if (!rr.ok) {

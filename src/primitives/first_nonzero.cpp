@@ -40,6 +40,7 @@ std::uint64_t first_nonzero(pram::Machine& m,
                             std::span<const std::uint8_t> flags) {
   const std::uint64_t n = flags.size();
   if (n == 0) return kNotFound;
+  pram::Machine::Phase phase(m, "prim/first-nonzero");
   const auto block =
       static_cast<std::uint64_t>(std::ceil(std::sqrt(static_cast<double>(n))));
   const std::uint64_t blocks = (n + block - 1) / block;

@@ -30,6 +30,7 @@ std::vector<BridgeOutcome> run_bridges(
   const std::size_t np = problems.size();
   std::vector<BridgeOutcome> out(np);
   if (np == 0) return out;
+  pram::Machine::Phase phase(m, "prim/inplace-bridge");
 
   // Workspace: 16k claim cells per problem (the paper's constant).
   std::vector<std::uint64_t> ws_off{0};

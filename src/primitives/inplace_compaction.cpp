@@ -20,6 +20,7 @@ InplaceCompactionResult inplace_compact(pram::Machine& m,
     return res;
   }
   IPH_CHECK(delta > 0.0 && delta < 1.0);
+  pram::Machine::Phase phase(m, "prim/inplace-compact");
   if (bound < 2) bound = 2;
   constexpr std::uint32_t kEmpty = kRagdeEmpty;
 

@@ -13,6 +13,7 @@ std::vector<std::uint64_t> lockstep_partition_point(
   const std::uint64_t b = lo.size();
   IPH_CHECK(hi.size() == b);
   IPH_CHECK(g >= 2);
+  pram::Machine::Phase phase(m, "prim/lockstep-search");
   std::vector<std::uint64_t> cur_lo(lo.begin(), lo.end());
   std::vector<std::uint64_t> cur_hi(hi.begin(), hi.end());
   // probe_true[s * (g+1) + t]: outcome of search s's t-th probe.

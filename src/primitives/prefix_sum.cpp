@@ -10,6 +10,7 @@ std::uint64_t prefix_sum_exclusive(pram::Machine& m,
                                    std::span<std::uint64_t> data) {
   const std::uint64_t n = data.size();
   if (n == 0) return 0;
+  pram::Machine::Phase phase(m, "prim/prefix-sum");
   // Work on a power-of-two padded scratch buffer (textbook Blelloch
   // up/down sweep): O(log n) steps, O(n) work, all writes owned.
   const std::uint64_t np = support::ceil_pow2(n);
@@ -53,6 +54,7 @@ std::uint64_t compact_indices(pram::Machine& m,
                               std::span<std::uint32_t> out) {
   const std::uint64_t n = keep.size();
   if (n == 0) return 0;
+  pram::Machine::Phase phase(m, "prim/compact-idx");
   std::vector<std::uint64_t> rank(n);
   m.step(n, [&](std::uint64_t pid) {
     pram::tracked_write(pid, rank[pid], keep[pid] ? 1 : 0);

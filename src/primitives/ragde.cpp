@@ -19,6 +19,7 @@ RagdeResult ragde_compact(pram::Machine& m,
                           std::uint64_t bound) {
   RagdeResult r;
   const std::uint64_t n = flags.size();
+  pram::Machine::Phase phase(m, "prim/ragde");
   if (bound < 2) bound = 2;
   const auto primes = primes_at_least(bound * bound, kCandidates);
 

@@ -11,6 +11,7 @@ namespace iph::primitives {
 SampleResult random_sample(pram::Machine& m, std::uint64_t n,
                            const ActiveFn& active, std::uint64_t m_est,
                            std::uint64_t k) {
+  pram::Machine::Phase phase(m, "prim/sample");
   SampleResult res;
   IPH_CHECK(k >= 1);
   if (m_est == 0) m_est = 1;

@@ -29,4 +29,26 @@ std::uint64_t env_seed() noexcept {
   return 0x19910722ULL;  // SPAA'91
 }
 
+std::string env_string(const char* name, std::string fallback) {
+  const char* s = std::getenv(name);
+  if (s == nullptr || *s == '\0') return fallback;
+  return s;
+}
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) noexcept {
+  const char* s = std::getenv(name);
+  if (s == nullptr || *s == '\0') return fallback;
+  char* end = nullptr;
+  const std::uint64_t v = std::strtoull(s, &end, 0);
+  return end == s ? fallback : v;
+}
+
+double env_double(const char* name, double fallback) noexcept {
+  const char* s = std::getenv(name);
+  if (s == nullptr || *s == '\0') return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  return end == s ? fallback : v;
+}
+
 }  // namespace iph::support

@@ -7,9 +7,19 @@
 //                    checker (pram/shadow.h) on for every Machine;
 //                    "0"/"false"/"off" forces it off even in builds
 //                    configured with -DIPH_ENABLE_PRAM_CHECK=ON.
+//   IPH_CW_CONFLICTS — "1" turns combining-write conflict counting on
+//                    for every Machine (writes beyond the first into the
+//                    same combining cell within one step). Attaching a
+//                    trace::Recorder enables it regardless of this knob.
+//
+// The bench/report harness reads further knobs (IPH_BENCH_OUT_DIR,
+// IPH_BENCH_MAX_N, IPH_BENCH_BASELINE_DIR, IPH_BENCH_TOL,
+// IPH_BENCH_SKIP_CLAIMS, IPH_TRACE_DIR) via env_string/env_u64 below;
+// they are documented in bench/report.h and README.md.
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 namespace iph::support {
 
@@ -22,5 +32,14 @@ std::uint64_t env_seed() noexcept;
 /// Boolean knob: unset -> fallback; "1"/"true"/"on"/"yes" -> true;
 /// anything else -> false.
 bool env_flag(const char* name, bool fallback) noexcept;
+
+/// String knob: unset or empty -> fallback.
+std::string env_string(const char* name, std::string fallback);
+
+/// Unsigned knob: unset or unparsable -> fallback. Accepts 0x prefixes.
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) noexcept;
+
+/// Double knob: unset or unparsable -> fallback.
+double env_double(const char* name, double fallback) noexcept;
 
 }  // namespace iph::support

@@ -1,0 +1,103 @@
+#include "trace/chrome_trace.h"
+
+#include <string>
+#include <vector>
+
+namespace iph::trace {
+
+namespace {
+
+constexpr int kPid = 1;
+constexpr int kTidWall = 1;
+constexpr int kTidPram = 2;
+
+Json meta_event(const char* name, int tid, const char* value) {
+  Json e = Json::object();
+  e["ph"] = "M";
+  e["pid"] = kPid;
+  e["tid"] = tid;
+  e["name"] = name;
+  Json args = Json::object();
+  args["name"] = value;
+  e["args"] = std::move(args);
+  return e;
+}
+
+Json span_event(const std::string& name, int tid, double ts_us,
+                double dur_us, std::uint64_t open_step,
+                std::uint64_t close_step) {
+  Json e = Json::object();
+  e["ph"] = "X";
+  e["pid"] = kPid;
+  e["tid"] = tid;
+  e["name"] = name;
+  e["ts"] = ts_us;
+  e["dur"] = dur_us;
+  Json args = Json::object();
+  args["pram_step_open"] = open_step;
+  args["pram_step_close"] = close_step;
+  args["pram_steps"] = close_step - open_step;
+  e["args"] = std::move(args);
+  return e;
+}
+
+struct OpenSpan {
+  std::string name;
+  double wall_us;
+  std::uint64_t step;
+};
+
+}  // namespace
+
+Json chrome_trace_json(const Recorder& rec) {
+  Json events = Json::array();
+  events.push_back(meta_event("process_name", kTidWall, "iph pram::Machine"));
+  events.push_back(meta_event("thread_name", kTidWall, "wall clock"));
+  events.push_back(
+      meta_event("thread_name", kTidPram, "PRAM virtual time (1us = 1 step)"));
+
+  std::vector<OpenSpan> stack;
+  double last_wall = 0;
+  std::uint64_t last_step = 0;
+  for (const TraceEvent& e : rec.events()) {
+    last_wall = e.wall_us;
+    last_step = e.step;
+    if (e.kind == TraceEvent::Kind::kOpen) {
+      stack.push_back(OpenSpan{e.name, e.wall_us, e.step});
+      continue;
+    }
+    if (stack.empty()) continue;  // unmatched close (truncated log)
+    const OpenSpan s = stack.back();
+    stack.pop_back();
+    events.push_back(span_event(s.name, kTidWall, s.wall_us,
+                                e.wall_us - s.wall_us, s.step, e.step));
+    events.push_back(span_event(s.name, kTidPram,
+                                static_cast<double>(s.step),
+                                static_cast<double>(e.step - s.step), s.step,
+                                e.step));
+  }
+  // Phases still open when the log ended (cap hit mid-phase): close them
+  // at the last observed stamp so the export stays loadable.
+  while (!stack.empty()) {
+    const OpenSpan s = stack.back();
+    stack.pop_back();
+    events.push_back(span_event(s.name, kTidWall, s.wall_us,
+                                last_wall - s.wall_us, s.step, last_step));
+    events.push_back(span_event(s.name, kTidPram,
+                                static_cast<double>(s.step),
+                                static_cast<double>(last_step - s.step),
+                                s.step, last_step));
+  }
+
+  Json doc = Json::object();
+  doc["traceEvents"] = std::move(events);
+  doc["displayTimeUnit"] = "ms";
+  if (rec.dropped_events() > 0) doc["dropped_events"] = rec.dropped_events();
+  return doc;
+}
+
+void write_chrome_trace(const Recorder& rec, std::ostream& os) {
+  os << chrome_trace_json(rec).dump(1) << '\n';
+}
+
+}  // namespace iph::trace

@@ -1,0 +1,30 @@
+// Chrome trace-event export: render a Recorder's event log as a JSON
+// document loadable in chrome://tracing or https://ui.perfetto.dev.
+//
+// Two tracks are emitted for the one process:
+//   tid 1 "wall clock"            — phase spans in real microseconds;
+//   tid 2 "PRAM virtual time"     — the same spans on the simulator's
+//                                   step axis, rendered as 1 µs per
+//                                   synchronous PRAM step, so the ideal
+//                                   parallel-time decomposition sits
+//                                   directly under the wall timeline.
+//
+// Only complete ("X") and metadata ("M") events are used — the most
+// portable subset. If the recorder dropped events past its cap the
+// export carries a "dropped_events" annotation in the root object.
+#pragma once
+
+#include <ostream>
+
+#include "trace/json.h"
+#include "trace/recorder.h"
+
+namespace iph::trace {
+
+/// Build the trace-event document.
+Json chrome_trace_json(const Recorder& rec);
+
+/// Serialize chrome_trace_json(rec) to `os`.
+void write_chrome_trace(const Recorder& rec, std::ostream& os);
+
+}  // namespace iph::trace

@@ -1,0 +1,152 @@
+#include "trace/fit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace iph::trace {
+
+namespace {
+
+double log2_clamped(double x) { return std::log2(std::max(2.0, x)); }
+
+double log_star(double x) {
+  double v = x;
+  double s = 0;
+  while (v > 1.0) {
+    v = std::log2(v);
+    s += 1;
+  }
+  return s;
+}
+
+std::string format_ratio(double r) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3g", r);
+  return buf;
+}
+
+}  // namespace
+
+std::string_view shape_name(Shape s) noexcept {
+  switch (s) {
+    case Shape::kFlat: return "flat";
+    case Shape::kLogStar: return "log_star";
+    case Shape::kLogN: return "log_n";
+    case Shape::kLog2N: return "log2_n";
+    case Shape::kLinear: return "linear";
+    case Shape::kNLogN: return "n_log_n";
+    case Shape::kNLogH: return "n_log_h";
+    case Shape::kBelowAux: return "below_aux";
+    case Shape::kBelowConst: return "below_const";
+  }
+  return "flat";
+}
+
+bool shape_from_name(std::string_view name, Shape* out) noexcept {
+  for (Shape s : {Shape::kFlat, Shape::kLogStar, Shape::kLogN, Shape::kLog2N,
+                  Shape::kLinear, Shape::kNLogN, Shape::kNLogH,
+                  Shape::kBelowAux, Shape::kBelowConst}) {
+    if (shape_name(s) == name) {
+      *out = s;
+      return true;
+    }
+  }
+  return false;
+}
+
+double shape_value(Shape s, double x, double aux) noexcept {
+  switch (s) {
+    case Shape::kFlat:
+      return 1.0;
+    case Shape::kLogStar:
+      return std::max(1.0, log_star(x));
+    case Shape::kLogN:
+      return log2_clamped(x);
+    case Shape::kLog2N: {
+      const double l = log2_clamped(x);
+      return l * l;
+    }
+    case Shape::kLinear:
+      return std::max(1.0, x);
+    case Shape::kNLogN:
+      return std::max(1.0, x) * log2_clamped(x);
+    case Shape::kNLogH:
+      return std::max(1.0, x) * log2_clamped(aux);
+    case Shape::kBelowAux:
+    case Shape::kBelowConst:
+      return 1.0;  // not a band shape; unused
+  }
+  return 1.0;
+}
+
+FitResult fit_series(Shape shape, const std::vector<SeriesPoint>& pts,
+                     double tol) {
+  FitResult r;
+  r.tol = tol;
+  if (pts.empty()) {
+    r.detail = "empty series";
+    return r;
+  }
+
+  if (shape == Shape::kBelowAux || shape == Shape::kBelowConst) {
+    double worst = 0;
+    double worst_x = 0;
+    for (const SeriesPoint& p : pts) {
+      const double bound = shape == Shape::kBelowAux ? p.aux : 1.0;
+      // A zero/negative bound with a positive measurement is an
+      // automatic failure; encode it as a huge excess.
+      const double excess = bound > 0 ? p.y / bound
+                            : (p.y > 0 ? 1e300 : 0.0);
+      if (excess > worst) {
+        worst = excess;
+        worst_x = p.x;
+      }
+    }
+    r.stat = worst;
+    r.ok = worst <= tol;
+    r.detail = "max y/bound = " + format_ratio(worst) + " at x = " +
+               format_ratio(worst_x) + (r.ok ? " <= " : " > ") +
+               format_ratio(tol);
+    return r;
+  }
+
+  double rmin = 1e300;
+  double rmax = 0;
+  double xmin = 0;
+  double xmax = 0;
+  for (const SeriesPoint& p : pts) {
+    const double sv = shape_value(shape, p.x, p.aux);
+    const double ratio = p.y / sv;
+    if (ratio < rmin) {
+      rmin = ratio;
+      xmin = p.x;
+    }
+    if (ratio > rmax) {
+      rmax = ratio;
+      xmax = p.x;
+    }
+  }
+  if (rmax <= 0) {
+    // All-zero series: flat by definition, fits any shape's band.
+    r.ok = true;
+    r.stat = 1.0;
+    r.detail = "all-zero series";
+    return r;
+  }
+  if (rmin <= 0) {
+    r.stat = 1e300;
+    r.detail = "zero sample at x = " + format_ratio(xmin) +
+               " in a nonzero series";
+    return r;
+  }
+  r.stat = rmax / rmin;
+  r.ok = r.stat <= tol;
+  r.detail = "band " + format_ratio(r.stat) + " (min " + format_ratio(rmin) +
+             " at x = " + format_ratio(xmin) + ", max " + format_ratio(rmax) +
+             " at x = " + format_ratio(xmax) + ")" + (r.ok ? " <= " : " > ") +
+             format_ratio(tol);
+  return r;
+}
+
+}  // namespace iph::trace

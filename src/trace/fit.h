@@ -1,0 +1,75 @@
+// Claim-fit checking: regress a measured series against the shape a
+// paper claim predicts for it.
+//
+// Every experiment in EXPERIMENTS.md pairs a measured counter series
+// (steps, work, conflicts, …) against an analytic bound from Ghouse &
+// Goodrich. The fit test is deliberately crude and deliberately robust:
+// divide each sample by the predicted shape and require the resulting
+// ratio band to stay narrow,
+//
+//     r_i = y_i / shape(x_i, aux_i),   ok  <=>  max r / min r <= tol.
+//
+// A series that tracks the claimed shape has near-constant r (the hidden
+// constant of the bound); a series a log-factor off drifts by ~log(range)
+// and blows the band on any reasonable sweep. The tolerance is the band
+// WIDTH (a ratio, e.g. 3.0 = "within 3x"), not a percentage — lower-order
+// terms make narrow sweeps legitimately wobbly, and the committed
+// tolerances are calibrated from the measured tables in EXPERIMENTS.md
+// with headroom.
+//
+// Two upper-bound pseudo-shapes complete the set: kBelowAux checks
+// y_i <= tol * aux_i (aux carries a per-point analytic bound), kBelowConst
+// checks y_i <= tol. These express "never exceeds the bound" claims, e.g.
+// failure-sweep decay envelopes, where a band fit is the wrong question.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iph::trace {
+
+enum class Shape {
+  kFlat,      ///< O(1): shape = 1.
+  kLogStar,   ///< O(log* n): iterated log of x.
+  kLogN,      ///< O(log n).
+  kLog2N,     ///< O(log^2 n).
+  kLinear,    ///< O(n).
+  kNLogN,     ///< O(n log n).
+  kNLogH,     ///< O(n log h): aux = h (output size).
+  kBelowAux,  ///< y_i <= tol * aux_i (per-point analytic bound in aux).
+  kBelowConst ///< y_i <= tol.
+};
+
+/// Canonical name, as written in claim specs and BENCH_*.json.
+std::string_view shape_name(Shape s) noexcept;
+
+/// Inverse of shape_name; false on unknown name.
+bool shape_from_name(std::string_view name, Shape* out) noexcept;
+
+/// Evaluate the predicted shape at (x, aux). Clamped below at 1 so
+/// ratios stay finite on tiny inputs.
+double shape_value(Shape s, double x, double aux) noexcept;
+
+/// One sample: x is the sweep variable (usually n), y the measured
+/// counter, aux the claim-specific second input (h, or a bound).
+struct SeriesPoint {
+  double x = 0;
+  double y = 0;
+  double aux = 0;
+};
+
+struct FitResult {
+  bool ok = false;
+  double stat = 0;    ///< Band ratio (band shapes) or max excess (kBelow*).
+  double tol = 0;     ///< The tolerance the stat was compared against.
+  std::string detail; ///< Human-readable explanation, always set.
+};
+
+/// Fit `pts` against `shape` with tolerance `tol` (see file comment for
+/// semantics per shape family). An empty series fails; a single point
+/// trivially passes band shapes.
+FitResult fit_series(Shape shape, const std::vector<SeriesPoint>& pts,
+                     double tol);
+
+}  // namespace iph::trace

@@ -1,0 +1,311 @@
+#include "trace/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace iph::trace {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, double d) {
+  if (!std::isfinite(d)) {
+    out += "null";  // JSON has no inf/nan; reports never emit them anyway
+    return;
+  }
+  // Integers (the common case: step/work counters) print without a
+  // fraction; doubles keep enough digits to round-trip.
+  if (d == std::floor(d) && std::fabs(d) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", d);
+    out += buf;
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+    out += buf;
+  }
+}
+
+struct Parser {
+  std::string_view t;
+  std::size_t i = 0;
+  std::string err;
+
+  bool fail(const char* msg) {
+    err = std::string(msg) + " at byte " + std::to_string(i);
+    return false;
+  }
+  void skip_ws() {
+    while (i < t.size() && (t[i] == ' ' || t[i] == '\t' || t[i] == '\n' ||
+                            t[i] == '\r')) {
+      ++i;
+    }
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (i < t.size() && t[i] == c) {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_string(std::string* out) {
+    if (!consume('"')) return fail("expected string");
+    out->clear();
+    while (i < t.size()) {
+      char c = t[i++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (i >= t.size()) return fail("bad escape");
+        char e = t[i++];
+        switch (e) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'n': *out += '\n'; break;
+          case 'r': *out += '\r'; break;
+          case 't': *out += '\t'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'u': {
+            if (i + 4 > t.size()) return fail("bad \\u escape");
+            unsigned v = 0;
+            for (int k = 0; k < 4; ++k) {
+              char h = t[i++];
+              v <<= 4;
+              if (h >= '0' && h <= '9') v |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') v |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') v |= static_cast<unsigned>(h - 'A' + 10);
+              else return fail("bad hex digit");
+            }
+            // Only BMP escapes are produced by our writer; encode UTF-8.
+            if (v < 0x80) {
+              *out += static_cast<char>(v);
+            } else if (v < 0x800) {
+              *out += static_cast<char>(0xC0 | (v >> 6));
+              *out += static_cast<char>(0x80 | (v & 0x3F));
+            } else {
+              *out += static_cast<char>(0xE0 | (v >> 12));
+              *out += static_cast<char>(0x80 | ((v >> 6) & 0x3F));
+              *out += static_cast<char>(0x80 | (v & 0x3F));
+            }
+            break;
+          }
+          default:
+            return fail("bad escape");
+        }
+      } else {
+        *out += c;
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_value(Json* out) {
+    skip_ws();
+    if (i >= t.size()) return fail("unexpected end");
+    char c = t[i];
+    if (c == '{') {
+      ++i;
+      *out = Json::object();
+      skip_ws();
+      if (consume('}')) return true;
+      for (;;) {
+        std::string key;
+        if (!parse_string(&key)) return false;
+        if (!consume(':')) return fail("expected ':'");
+        Json v;
+        if (!parse_value(&v)) return false;
+        (*out)[key] = std::move(v);
+        if (consume(',')) continue;
+        if (consume('}')) return true;
+        return fail("expected ',' or '}'");
+      }
+    }
+    if (c == '[') {
+      ++i;
+      *out = Json::array();
+      skip_ws();
+      if (consume(']')) return true;
+      for (;;) {
+        Json v;
+        if (!parse_value(&v)) return false;
+        out->push_back(std::move(v));
+        if (consume(',')) continue;
+        if (consume(']')) return true;
+        return fail("expected ',' or ']'");
+      }
+    }
+    if (c == '"') {
+      std::string s;
+      if (!parse_string(&s)) return false;
+      *out = Json(std::move(s));
+      return true;
+    }
+    if (t.compare(i, 4, "true") == 0) {
+      i += 4;
+      *out = Json(true);
+      return true;
+    }
+    if (t.compare(i, 5, "false") == 0) {
+      i += 5;
+      *out = Json(false);
+      return true;
+    }
+    if (t.compare(i, 4, "null") == 0) {
+      i += 4;
+      *out = Json();
+      return true;
+    }
+    // number
+    {
+      const char* begin = t.data() + i;
+      char* end = nullptr;
+      const double d = std::strtod(begin, &end);
+      if (end == begin) return fail("expected value");
+      i += static_cast<std::size_t>(end - begin);
+      *out = Json(d);
+      return true;
+    }
+  }
+};
+
+}  // namespace
+
+Json& Json::operator[](std::string_view key) {
+  kind_ = Kind::kObject;
+  for (auto& [k, v] : obj_) {
+    if (k == key) return v;
+  }
+  obj_.emplace_back(std::string(key), Json());
+  return obj_.back().second;
+}
+
+const Json* Json::find(std::string_view key) const noexcept {
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+double Json::get_num(std::string_view key, double dflt) const noexcept {
+  const Json* j = find(key);
+  return (j != nullptr && j->is_number()) ? j->num_ : dflt;
+}
+
+std::string Json::get_str(std::string_view key, std::string dflt) const {
+  const Json* j = find(key);
+  return (j != nullptr && j->is_string()) ? j->str_ : dflt;
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const auto newline = [&](int d) {
+    if (indent > 0) {
+      out += '\n';
+      out.append(static_cast<std::size_t>(indent * d), ' ');
+    }
+  };
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      break;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::kNumber:
+      append_number(out, num_);
+      break;
+    case Kind::kString:
+      append_escaped(out, str_);
+      break;
+    case Kind::kArray: {
+      if (arr_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        if (i > 0) out += ',';
+        newline(depth + 1);
+        arr_[i].dump_to(out, indent, depth + 1);
+      }
+      newline(depth);
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      if (obj_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : obj_) {
+        if (!first) out += ',';
+        first = false;
+        newline(depth + 1);
+        append_escaped(out, k);
+        out += indent > 0 ? ": " : ":";
+        v.dump_to(out, indent, depth + 1);
+      }
+      newline(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+bool Json::parse(std::string_view text, Json* out, std::string* err) {
+  Parser p{text, 0, {}};
+  if (!p.parse_value(out)) {
+    if (err != nullptr) *err = p.err;
+    return false;
+  }
+  p.skip_ws();
+  if (p.i != text.size()) {
+    if (err != nullptr) *err = "trailing data at byte " + std::to_string(p.i);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace iph::trace

@@ -1,0 +1,104 @@
+#include "trace/recorder.h"
+
+#include <chrono>
+
+namespace iph::trace {
+
+namespace {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+const PhaseStats* PhaseStats::child(std::string_view child_name) const noexcept {
+  for (const auto& c : children) {
+    if (c->name == child_name) return c.get();
+  }
+  return nullptr;
+}
+
+Recorder::Recorder() : epoch_ns_(steady_now_ns()) {
+  open_.push_back(Frame{&root_, 0});
+  root_.invocations = 1;
+}
+
+Recorder::~Recorder() = default;
+
+double Recorder::now_ns() const {
+  return static_cast<double>(steady_now_ns() - epoch_ns_);
+}
+
+void Recorder::push_event(TraceEvent::Kind kind, const std::string& name,
+                          std::uint64_t step) {
+  if (events_.size() >= kMaxEvents) {
+    ++dropped_events_;
+    return;
+  }
+  TraceEvent e;
+  e.kind = kind;
+  e.name = name;
+  e.step = step;
+  e.wall_us = now_ns() / 1e3;
+  events_.push_back(std::move(e));
+}
+
+void Recorder::on_phase_open(const std::string& name,
+                             std::uint64_t step_index) {
+  PhaseStats* parent = open_.back().node;
+  PhaseStats* node = nullptr;
+  for (const auto& c : parent->children) {
+    if (c->name == name) {
+      node = c.get();
+      break;
+    }
+  }
+  if (node == nullptr) {
+    parent->children.push_back(std::make_unique<PhaseStats>());
+    node = parent->children.back().get();
+    node->name = name;
+    node->first_open_step = step_index;
+  }
+  ++node->invocations;
+  open_.push_back(Frame{node, now_ns()});
+  if (open_.size() - 1 > max_depth_) max_depth_ = open_.size() - 1;
+  push_event(TraceEvent::Kind::kOpen, name, step_index);
+}
+
+void Recorder::on_phase_close(std::uint64_t step_index) {
+  if (open_.size() <= 1) return;  // unmatched close: ignore, keep the root
+  Frame f = open_.back();
+  open_.pop_back();
+  f.node->wall_ns += now_ns() - f.wall_open_ns;
+  push_event(TraceEvent::Kind::kClose, std::string(), step_index);
+}
+
+// A node can never appear twice in open_ (a node's identity is its
+// (parent, name) path, and the stack is exactly one path), so charging
+// every open frame never double-counts.
+void Recorder::on_step(std::uint64_t active, std::uint64_t conflicts) {
+  for (const Frame& f : open_) {
+    f.node->steps += 1;
+    f.node->work += active;
+    f.node->cw_conflicts += conflicts;
+    if (active > f.node->max_active) f.node->max_active = active;
+  }
+  open_.back().node->direct_steps += 1;
+}
+
+void Recorder::on_charge(std::uint64_t steps, std::uint64_t work_per_step) {
+  for (const Frame& f : open_) {
+    f.node->steps += steps;
+    f.node->work += steps * work_per_step;
+    if (work_per_step > f.node->max_active) {
+      f.node->max_active = work_per_step;
+    }
+  }
+  open_.back().node->direct_steps += steps;
+}
+
+}  // namespace iph::trace

@@ -1,0 +1,114 @@
+// Per-phase trace recorder for the PRAM simulator.
+//
+// A Recorder implements pram::PhaseObserver: attach one to a Machine
+// (attach(), or Machine::set_observer) and every Machine::Phase
+// open/close, every synchronous step, and every analytic charge() is
+// folded into
+//
+//   * an AGGREGATED PHASE TREE — nodes keyed by (parent, name), merged
+//     across re-entries, carrying PRAM steps, work, peak active
+//     processors, combining-write conflicts, direct (own, non-child)
+//     steps, invocation counts, and accumulated wall-clock; and
+//   * a BOUNDED EVENT LOG — the first kMaxEvents raw open/close events
+//     with wall and PRAM-step stamps, from which chrome_trace.h renders
+//     a timeline (events past the cap are counted, not stored).
+//
+// All callbacks run on the host thread between steps, so the recorder
+// needs no locking, and everything it records except the wall_ns /
+// wall_us fields is a pure function of (input, seed) — bit-identical
+// across hardware thread counts (trace_test locks this in).
+//
+// The implicit root node aggregates the whole run; steps issued while no
+// phase is open land in root.direct_steps — `anonymous_steps()` — which
+// the phase-coverage audit asserts to be zero for the core algorithms.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pram/machine.h"
+
+namespace iph::trace {
+
+/// One node of the aggregated phase tree.
+struct PhaseStats {
+  std::string name;               ///< "" for the root.
+  std::uint64_t invocations = 0;  ///< Times this (parent, name) opened.
+  std::uint64_t steps = 0;        ///< PRAM steps, children included.
+  std::uint64_t work = 0;         ///< PRAM work, children included.
+  std::uint64_t max_active = 0;   ///< Peak active processors in any step.
+  std::uint64_t cw_conflicts = 0; ///< Combining-write conflicts.
+  std::uint64_t direct_steps = 0; ///< Steps while this node was innermost.
+  std::uint64_t first_open_step = 0;  ///< Machine step index at first open.
+  double wall_ns = 0;             ///< Accumulated host wall-clock.
+  std::vector<std::unique_ptr<PhaseStats>> children;  // insertion order
+
+  /// Child by name, or nullptr. Path lookup: child("a")->child("b").
+  const PhaseStats* child(std::string_view child_name) const noexcept;
+};
+
+/// One raw phase event, for timeline export.
+struct TraceEvent {
+  enum class Kind : std::uint8_t { kOpen, kClose };
+  Kind kind = Kind::kOpen;
+  std::string name;        ///< Set for kOpen only.
+  std::uint64_t step = 0;  ///< Machine step index at the event.
+  double wall_us = 0;      ///< Microseconds since the recorder's epoch.
+};
+
+class Recorder final : public pram::PhaseObserver {
+ public:
+  /// Event-log cap; the aggregated tree is never truncated.
+  static constexpr std::size_t kMaxEvents = 1u << 16;
+
+  Recorder();
+  ~Recorder() override;
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+
+  /// Attach to a machine: set_observer(this) + conflict counting on.
+  void attach(pram::Machine& m) { m.set_observer(this); }
+
+  // pram::PhaseObserver
+  void on_phase_open(const std::string& name,
+                     std::uint64_t step_index) override;
+  void on_phase_close(std::uint64_t step_index) override;
+  void on_step(std::uint64_t active, std::uint64_t conflicts) override;
+  void on_charge(std::uint64_t steps, std::uint64_t work_per_step) override;
+
+  const PhaseStats& root() const noexcept { return root_; }
+  /// Steps (incl. charges) recorded while no named phase was open.
+  std::uint64_t anonymous_steps() const noexcept {
+    return root_.direct_steps;
+  }
+  /// Deepest phase nesting seen.
+  std::size_t max_depth() const noexcept { return max_depth_; }
+
+  const std::vector<TraceEvent>& events() const noexcept { return events_; }
+  /// Events beyond kMaxEvents that were counted but not stored.
+  std::uint64_t dropped_events() const noexcept { return dropped_events_; }
+  /// True iff every open has been matched by a close (i.e. between runs).
+  bool quiescent() const noexcept { return open_.size() == 1; }
+
+ private:
+  struct Frame {
+    PhaseStats* node;
+    double wall_open_ns;
+  };
+
+  void push_event(TraceEvent::Kind kind, const std::string& name,
+                  std::uint64_t step);
+  double now_ns() const;
+
+  PhaseStats root_;
+  std::vector<Frame> open_;  ///< Innermost last; [0] is the root.
+  std::vector<TraceEvent> events_;
+  std::uint64_t dropped_events_ = 0;
+  std::size_t max_depth_ = 0;
+  std::uint64_t epoch_ns_ = 0;  ///< steady_clock at construction.
+};
+
+}  // namespace iph::trace

@@ -1,0 +1,132 @@
+#include "trace/report.h"
+
+#include <cmath>
+#include <cstdio>
+#include <ctime>
+
+#include "support/env.h"
+
+#ifndef IPH_GIT_SHA
+#define IPH_GIT_SHA "unknown"
+#endif
+#ifndef IPH_BUILD_TYPE
+#define IPH_BUILD_TYPE "unknown"
+#endif
+#ifndef IPH_SANITIZE_SPEC
+#define IPH_SANITIZE_SPEC "none"
+#endif
+
+namespace iph::trace {
+
+namespace {
+
+std::string utc_timestamp() {
+  std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+void fill_node(Json& out, const PhaseStats& node) {
+  out["invocations"] = node.invocations;
+  out["steps"] = node.steps;
+  out["direct_steps"] = node.direct_steps;
+  out["work"] = node.work;
+  out["max_active"] = node.max_active;
+  out["cw_conflicts"] = node.cw_conflicts;
+  out["wall_ms"] = node.wall_ns / 1e6;
+}
+
+void flatten(const PhaseStats& node, const std::string& path, Json& rows) {
+  Json row = Json::object();
+  row["phase"] = path.empty() ? std::string("<root>") : path;
+  fill_node(row, node);
+  rows.push_back(std::move(row));
+  for (const auto& c : node.children) {
+    flatten(*c, path.empty() ? c->name : path + "/" + c->name, rows);
+  }
+}
+
+}  // namespace
+
+bool is_deterministic_counter(std::string_view name) noexcept {
+  return name == "steps" || name == "work" || name == "max_active" ||
+         name == "cw_conflicts" || name == "t_ideal";
+}
+
+Json collect_provenance() {
+  Json p = Json::object();
+  p["git_sha"] = IPH_GIT_SHA;
+  p["build_type"] = IPH_BUILD_TYPE;
+  p["sanitize"] = IPH_SANITIZE_SPEC;
+  p["seed"] = support::env_seed();
+  p["threads"] = static_cast<std::uint64_t>(support::env_threads());
+  p["timestamp_utc"] = utc_timestamp();
+  return p;
+}
+
+Json phase_tree_json(const PhaseStats& node) {
+  Json out = Json::object();
+  out["name"] = node.name.empty() ? std::string("<root>") : node.name;
+  fill_node(out, node);
+  if (!node.children.empty()) {
+    Json kids = Json::array();
+    for (const auto& c : node.children) kids.push_back(phase_tree_json(*c));
+    out["phases"] = std::move(kids);
+  }
+  return out;
+}
+
+Json phase_table_json(const PhaseStats& root) {
+  Json rows = Json::array();
+  flatten(root, "", rows);
+  return rows;
+}
+
+CompareResult compare_counter_rows(const Json& report, const Json& baseline,
+                                   double rel_tol) {
+  CompareResult res;
+  const Json* rows = report.find("rows");
+  const Json* base_rows = baseline.find("rows");
+  if (rows == nullptr || base_rows == nullptr) {
+    res.ok = false;
+    res.diffs.push_back("missing \"rows\" table in report or baseline");
+    return res;
+  }
+  for (const Json& row : rows->items()) {
+    const std::string name = row.get_str("name");
+    const Json* base = nullptr;
+    for (const Json& b : base_rows->items()) {
+      if (b.get_str("name") == name) {
+        base = &b;
+        break;
+      }
+    }
+    if (base == nullptr) continue;  // short sweep vs full baseline
+    const Json* counters = row.find("counters");
+    const Json* base_counters = base->find("counters");
+    if (counters == nullptr || base_counters == nullptr) continue;
+    ++res.rows_compared;
+    for (const auto& [key, value] : counters->members()) {
+      if (!is_deterministic_counter(key) || !value.is_number()) continue;
+      const Json* bv = base_counters->find(key);
+      if (bv == nullptr || !bv->is_number()) continue;
+      const double got = value.as_double();
+      const double want = bv->as_double();
+      const double scale = std::max(std::fabs(want), 1.0);
+      if (std::fabs(got - want) > rel_tol * scale) {
+        res.ok = false;
+        char buf[160];
+        std::snprintf(buf, sizeof buf,
+                      "%s: %s = %.17g, baseline %.17g (rel_tol %.3g)",
+                      name.c_str(), key.c_str(), got, want, rel_tol);
+        res.diffs.push_back(buf);
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace iph::trace

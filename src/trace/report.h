@@ -1,0 +1,50 @@
+// Run-report building blocks shared by the bench harness (bench/report.h)
+// and the tools/benchreport aggregator CLI:
+//
+//   * collect_provenance() — git sha / build type / sanitizer spec baked
+//     in at configure time, plus the effective seed and thread count and
+//     a UTC timestamp, so every BENCH_*.json is self-describing;
+//   * phase_tree_json() / phase_table_json() — render a Recorder's
+//     aggregated phase tree as nested JSON or as flat path-keyed rows;
+//   * compare_counter_rows() — diff the deterministic counters of two
+//     reports' row tables (measured vs committed baseline). Only rows
+//     present in BOTH reports are compared, so a short CI sweep checks
+//     cleanly against a full-sweep baseline, and only schedule-
+//     independent counters participate (wall-clock never does).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/json.h"
+#include "trace/recorder.h"
+
+namespace iph::trace {
+
+/// Counters that are pure functions of (input, seed) — safe to compare
+/// bit-exactly across hosts, thread counts, and build types.
+bool is_deterministic_counter(std::string_view name) noexcept;
+
+/// Build info + run knobs; every field is a string or number.
+Json collect_provenance();
+
+/// Nested render of a phase tree (children under "phases").
+Json phase_tree_json(const PhaseStats& node);
+
+/// Flat render: one row per node, keyed by slash-joined path.
+Json phase_table_json(const PhaseStats& root);
+
+struct CompareResult {
+  bool ok = true;
+  std::size_t rows_compared = 0;
+  std::vector<std::string> diffs;  ///< One message per mismatch.
+};
+
+/// Compare the "rows" tables of `report` and `baseline`. Rows match by
+/// their "name" field; within matched rows, deterministic counters must
+/// agree within `rel_tol` relative error (0 = bit-exact). Rows present
+/// in only one report are skipped, not errors.
+CompareResult compare_counter_rows(const Json& report, const Json& baseline,
+                                   double rel_tol);
+
+}  // namespace iph::trace
