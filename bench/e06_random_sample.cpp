@@ -22,6 +22,7 @@ void e06_sample(benchmark::State& state) {
   constexpr int kTrials = 50;
   int failures = 0;
   std::uint64_t steps = 0;
+  std::uint64_t peak_aux = 0;
   for (auto _ : state) {
     failures = 0;
     for (int t = 0; t < kTrials; ++t) {
@@ -30,6 +31,7 @@ void e06_sample(benchmark::State& state) {
           m, n, [](std::uint64_t) { return true; }, n, k);
       failures += s.ok ? 0 : 1;
       steps = m.metrics().steps;
+      peak_aux = m.metrics().peak_aux;
     }
   }
   state.counters["steps"] = static_cast<double>(steps);
@@ -38,6 +40,25 @@ void e06_sample(benchmark::State& state) {
   state.counters["lemma_bound"] =
       std::min(1.0, 2.0 * std::pow(std::exp(1.0) / 2.0,
                                    -static_cast<double>(k)));
+  state.counters["peak_aux"] = static_cast<double>(peak_aux);
+  state.counters["k"] = static_cast<double>(k);
+}
+
+// Same procedure with k as the sweep variable (n fixed): one series
+// whose x is k, so the Theta(k)-workspace claim regresses peak_aux
+// against k across a 64x range instead of within a fixed-k series.
+void e06_sample_space(benchmark::State& state) {
+  const auto k = static_cast<std::uint64_t>(state.range(0));
+  constexpr std::uint64_t n = 1 << 14;
+  std::uint64_t peak_aux = 0;
+  for (auto _ : state) {
+    iph::pram::Machine m(1, 77);
+    iph::primitives::random_sample(
+        m, n, [](std::uint64_t) { return true; }, n, k);
+    peak_aux = m.metrics().peak_aux;
+  }
+  state.counters["peak_aux"] = static_cast<double>(peak_aux);
+  state.counters["k"] = static_cast<double>(k);
 }
 
 void e06_vote_uniformity(benchmark::State& state) {
@@ -67,16 +88,25 @@ BENCHMARK(e06_sample)
                    {4, 16, 64, 256}})
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
+BENCHMARK(e06_sample_space)
+    ->Arg(4)->Arg(16)->Arg(64)->Arg(256)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(e06_vote_uniformity)->Iterations(1)->Unit(benchmark::kMillisecond);
 
 // Lemma 3.1 / Cor. 3.1: sampling takes a fixed number of steps
 // (measured exactly 14 everywhere), observed failure rate stays below
-// the lemma's bound, and vote winners pass the chi-square uniformity
-// test (EXPERIMENTS.md E6).
+// the lemma's bound, vote winners pass the chi-square uniformity test,
+// and the auxiliary workspace is Theta(k) — exactly 48k cells, flat in
+// n and linear in k (EXPERIMENTS.md E6).
 IPH_BENCH_MAIN("e06",
                {"steps-constant", "steps", "flat", 1.5, "", "",
                 "e06_sample"},
                {"fail-below-lemma", "fail_rate", "below_aux", 1.0,
                 "lemma_bound", "", "e06_sample"},
                {"vote-uniform", "chi2_31dof", "below_aux", 1.0,
-                "p999_threshold", "", "e06_vote_uniformity"})
+                "p999_threshold", "", "e06_vote_uniformity"},
+               {"aux-flat-in-n", "peak_aux", "flat", 1.1, "", "",
+                "e06_sample"},
+               {"aux-theta-k", "peak_aux", "theta_aux", 1.1, "k", "",
+                "e06_sample_space"})

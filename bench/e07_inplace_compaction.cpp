@@ -24,10 +24,12 @@ void e07(benchmark::State& state) {
   }
   iph::primitives::InplaceCompactionResult r;
   std::uint64_t steps = 0;
+  std::uint64_t peak_aux = 0;
   for (auto _ : state) {
     iph::pram::Machine m(1, 9);
     r = iph::primitives::inplace_compact(m, flags, k);
     steps = m.metrics().steps;
+    peak_aux = m.metrics().peak_aux;
   }
   state.counters["steps"] = static_cast<double>(steps);
   state.counters["iterations"] = r.iterations;
@@ -36,6 +38,8 @@ void e07(benchmark::State& state) {
   state.counters["area/k^2"] =
       static_cast<double>(r.slots.size()) / static_cast<double>(k * k);
   state.counters["ragde_fallback"] = r.used_fallback ? 1 : 0;
+  state.counters["peak_aux"] = static_cast<double>(peak_aux);
+  state.counters["k"] = static_cast<double>(k);
 }
 
 }  // namespace
@@ -48,9 +52,14 @@ BENCHMARK(e07)
 
 // Lemma 3.2: O(1) time — steps flat across a 256x sweep of m (measured
 // 8-22, driven by the 1-3 refinement iterations), slot-table area within
-// the lemma's budget (measured area/k^2 <= 1.06), Ragde fallback idle
+// the lemma's budget (measured area/k^2 <= 1.06), Ragde fallback idle,
+// and the measured auxiliary workspace stays under the lemma's
+// m^(4e+d) budget: peak_aux <= tol * k^4 * m^(1/4), with k = m^e the
+// compaction bound and delta = 1/4 matching inplace_compact's default
 // (EXPERIMENTS.md E7).
 IPH_BENCH_MAIN("e07",
                {"steps-constant", "steps", "flat", 3.5},
                {"area-bounded", "area/k^2", "below_const", 2.0},
-               {"ragde-idle", "ragde_fallback", "below_const", 0.5})
+               {"ragde-idle", "ragde_fallback", "below_const", 0.5},
+               {"aux-below-m4eps-delta", "peak_aux", "m_4eps_delta", 2.5,
+                "k"})

@@ -28,6 +28,8 @@ void e10(benchmark::State& state) {
   const auto rep = iph::pram::allocation_report(last);
   state.counters["t_ideal"] = static_cast<double>(rep.ideal_time);
   state.counters["work"] = static_cast<double>(rep.work);
+  state.counters["peak_aux"] = static_cast<double>(last.peak_aux);
+  state.counters["peak_input"] = static_cast<double>(last.peak_input);
   for (const auto& [p, tp] : rep.realized) {
     if (p > 4096) continue;
     state.counters["T(" + std::to_string(p) + ")"] =
@@ -49,10 +51,16 @@ BENCHMARK(e10)
 // exceeds it by a bounded factor at large p where the bound's free
 // redistribution assumption breaks (measured 4.5x at p = 4096,
 // EXPERIMENTS.md E10). t_ideal itself grows like log n.
+// Space: the disk workload has h ~ n^(1/3), which crosses the n^(1/4)
+// threshold and fires the Section 4.1 step-3 fallback, whose sorted
+// copy / chain scratch is Theta(n) auxiliary cells — so peak_aux is
+// gated as a linear band in n (and would flag a switch to a
+// super-linear-scratch implementation).
 IPH_BENCH_MAIN("e10",
                {"t64-near-bound", "T(64)", "below_aux", 1.5,
                 "MVbound(64)"},
                {"t4096-envelope", "T(4096)", "below_aux", 8.0,
                 "MVbound(4096)"},
                {"t-ideal-logn", "t_ideal", "log_n", 3.0},
-               {"work-nlogn", "work", "n_log_n", 3.0})
+               {"work-nlogn", "work", "n_log_n", 3.0},
+               {"aux-linear", "peak_aux", "linear", 2.0})

@@ -11,8 +11,9 @@
 //   * regresses each declared CLAIM against its predicted shape
 //     (trace/fit.h) and exits nonzero on a misfit,
 //   * optionally compares deterministic counters (steps, work,
-//     max_active, cw_conflicts, t_ideal) against a committed baseline
-//     report, exiting nonzero on drift.
+//     max_active, cw_conflicts, t_ideal, peak_live, peak_aux,
+//     peak_input) against a committed baseline report, exiting nonzero
+//     on drift.
 //
 // Knobs (all environment variables; see also support/env.h):
 //   IPH_BENCH_OUT_DIR      where BENCH_<id>.json goes (default ".").
@@ -64,12 +65,20 @@ struct Claim {
 
 inline double log2d(double x) { return x > 1 ? std::log2(x) : 1.0; }
 
-/// Attach the core PRAM metrics to a benchmark state.
+/// Attach the core PRAM metrics to a benchmark state. The space-ledger
+/// watermarks ride along whenever the bench registered any cells
+/// (pram::SpaceLease); an uninstrumented machine reports all-zero space
+/// and the counters are omitted to keep its rows unchanged.
 inline void report_metrics(benchmark::State& state, const pram::Metrics& m) {
   state.counters["steps"] = static_cast<double>(m.steps);
   state.counters["work"] = static_cast<double>(m.work);
   state.counters["max_procs"] = static_cast<double>(m.max_active);
   state.counters["cw_conflicts"] = static_cast<double>(m.cw_conflicts);
+  if (m.space_allocs > 0) {
+    state.counters["peak_live"] = static_cast<double>(m.peak_live);
+    state.counters["peak_aux"] = static_cast<double>(m.peak_aux);
+    state.counters["peak_input"] = static_cast<double>(m.peak_input);
+  }
 }
 
 /// The bench's n sweep, capped at IPH_BENCH_MAX_N when set. Never

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "hulltools/chain_ops.h"
+#include "pram/allocation.h"
 #include "primitives/brute_force_hull.h"
 #include "support/check.h"
 #include "support/mathutil.h"
@@ -20,6 +21,12 @@ geom::HullResult2D fallback_hull_2d_presorted(
   geom::HullResult2D out;
   if (n == 0) return out;
   pram::Machine::Phase phase(m, "fb2/hull");
+  // The fallback is the NON-in-place path: its scratch — the sorted
+  // copy (2 cells/point), the chain storage, the query/edge arrays — is
+  // Theta(n) auxiliary cells, which is exactly why the bench tables
+  // show peak_aux jump when the fallback fires (Section 4.1 step 3
+  // trades space for the O(n log n) work bound).
+  pram::SpaceLease aux(m, pram::SpaceKind::kAux, 5 * n);
   // Materialize the sorted view (1 step, n work); all chain machinery
   // then works on contiguous presorted data, and results are mapped back
   // through `order` at the end.
@@ -69,6 +76,7 @@ geom::HullResult2D fallback_hull_2d(pram::Machine& m,
                                     std::span<const Point2> pts) {
   const std::size_t n = pts.size();
   std::vector<Index> order(n);
+  pram::SpaceLease order_aux(m, pram::SpaceKind::kAux, n);
   std::iota(order.begin(), order.end(), Index{0});
   std::sort(order.begin(), order.end(), [&](Index a, Index b) {
     return geom::lex_less(pts[a], pts[b]);

@@ -6,6 +6,7 @@
 #include "core/fallback2d.h"
 #include "core/hull_assemble.h"
 #include "geom/predicates.h"
+#include "pram/allocation.h"
 #include "pram/cells.h"
 #include "pram/shadow.h"
 #include "primitives/brute_force_lp.h"
@@ -37,6 +38,10 @@ std::vector<Index> batched_votes(pram::Machine& m, std::uint64_t n,
   std::vector<pram::TallyCell> attempts(np * kCells);
   std::vector<pram::MinCell> winner(np * kCells);
   pram::TallyCell retries;
+  // All scratch here is O(1) cells per live problem: the 16-cell claim
+  // arrays, the vote result, and the deterministic-fallback cell.
+  pram::SpaceLease aux(m, pram::SpaceKind::kAux,
+                       2 * np * kCells + 2 * np + 1);
   for (int round = 0; round < kAttempts; ++round) {
     m.step(np * kCells, [&](std::uint64_t w) {
       attempts[w].reset();
@@ -103,6 +108,10 @@ CoreResult run_core(pram::Machine& m, std::span<const Point2> pts,
   res.pair_b.assign(n, geom::kNone);
   auto& pair_a = res.pair_a;
   auto& pair_b = res.pair_b;
+  // pair_a/pair_b (the per-point output pointers) and problem_of are
+  // standing-by registers of the points' virtual processors: input
+  // footprint, O(1) cells per element.
+  pram::SpaceLease regs(m, pram::SpaceKind::kInput, 3 * n);
   std::uint64_t edges_found = 0;
 
   const unsigned logn = std::max(1u, support::ceil_log2(std::max<std::size_t>(2, n)));
@@ -127,6 +136,8 @@ CoreResult run_core(pram::Machine& m, std::span<const Point2> pts,
             2, support::ipow_frac(size_est[p], 1.0 / 3.0));
       }
       stats->bridge_problems += np;
+      // Per-level problem descriptors: O(1) cells per live problem.
+      pram::SpaceLease level_aux(m, pram::SpaceKind::kAux, 3 * np);
       auto outcomes =
           primitives::inplace_bridges_2d(m, pts, problem_of, problems, alpha);
       // 3. failure sweeping: re-run failures with the n^(1/4) budget.
@@ -146,7 +157,12 @@ CoreResult run_core(pram::Machine& m, std::span<const Point2> pts,
                 retry[t].k, support::ipow_frac(n, 0.25));
             remap[failed[t]] = static_cast<std::uint32_t>(t);
           }
+          // remap is per-problem scratch; retry_of is one register per
+          // element (input footprint, like problem_of).
+          pram::SpaceLease sweep_aux(m, pram::SpaceKind::kAux,
+                                     np + 3 * retry.size());
           std::vector<std::uint32_t> retry_of(n, primitives::kNoProblem);
+          pram::SpaceLease retry_regs(m, pram::SpaceKind::kInput, n);
           m.step(n, [&](std::uint64_t i) {
             if (problem_of[i] != primitives::kNoProblem) {
               pram::tracked_write(i, retry_of[i], remap[problem_of[i]]);
@@ -174,6 +190,8 @@ CoreResult run_core(pram::Machine& m, std::span<const Point2> pts,
       std::vector<std::uint32_t> right_id(np, primitives::kNoProblem);
       std::vector<std::uint64_t> next_sizes;
       std::vector<pram::TallyCell> child_count(2 * np);
+      // Child bookkeeping: O(1) cells per problem (ids, tallies, sizes).
+      pram::SpaceLease classify_aux(m, pram::SpaceKind::kAux, 6 * np);
       m.step(n, [&](std::uint64_t i) {
         const std::uint32_t p = problem_of[i];
         if (p == primitives::kNoProblem) return;
@@ -286,6 +304,8 @@ geom::HullResult2D unsorted_hull_2d(pram::Machine& m,
   }
   const std::uint64_t threshold =
       std::max<std::uint64_t>(16, support::ipow_frac(n, 0.25));
+  // The input footprint proper: n points of 2 coordinates.
+  pram::SpaceLease input(m, pram::SpaceKind::kInput, 2 * n);
   auto core = run_core(m, pts, std::vector<std::uint32_t>(n, 0),
                        std::vector<std::uint64_t>{n}, stats, alpha,
                        threshold);
@@ -312,6 +332,9 @@ Scoped2DResult unsorted_2d_scoped(pram::Machine& m,
   const std::size_t n = pts.size();
   // Per-problem sizes (one tally step).
   std::vector<pram::TallyCell> count(std::max<std::size_t>(1, n_problems));
+  pram::SpaceLease scope_aux(m, pram::SpaceKind::kAux,
+                             3 * std::max<std::size_t>(1, n_problems));
+  pram::SpaceLease init_regs(m, pram::SpaceKind::kInput, n);
   {
     pram::Machine::Phase phase(m, "u2/scope-init");
     m.step(n, [&](std::uint64_t i) {

@@ -13,9 +13,47 @@
 #include <utility>
 #include <vector>
 
+#include "pram/machine.h"
 #include "pram/metrics.h"
 
 namespace iph::pram {
+
+/// RAII registration of shared-memory cells with the machine's space
+/// ledger (Machine::space_alloc/space_release, pram/metrics.h). Declare
+/// one next to the container it accounts for, sized in CELLS (machine
+/// words of the PRAM model, not host bytes):
+///
+///   std::vector<MinCell<U64>> winner(16 * k);
+///   SpaceLease ws(m, SpaceKind::kAux, 16 * k);   // Lemma 3.1 scratch
+///
+/// The lease releases on destruction, so nesting leases inside Phase
+/// scopes yields per-phase high-water marks for free. resize() re-states
+/// the live size for containers that grow (e.g. the compaction area
+/// doubling of Lemma 3.2) — each resize is one release+alloc event pair.
+class SpaceLease {
+ public:
+  SpaceLease(Machine& m, SpaceKind kind, std::uint64_t cells)
+      : m_(m), kind_(kind), cells_(cells) {
+    m_.space_alloc(cells_, kind_);
+  }
+  ~SpaceLease() { m_.space_release(cells_, kind_); }
+
+  SpaceLease(const SpaceLease&) = delete;
+  SpaceLease& operator=(const SpaceLease&) = delete;
+
+  /// Re-state the accounted size (the watermark sees the new gauge).
+  void resize(std::uint64_t cells) {
+    m_.space_release(cells_, kind_);
+    cells_ = cells;
+    m_.space_alloc(cells_, kind_);
+  }
+  std::uint64_t cells() const noexcept { return cells_; }
+
+ private:
+  Machine& m_;
+  SpaceKind kind_;
+  std::uint64_t cells_;
+};
 
 struct AllocationReport {
   std::uint64_t ideal_time = 0;  ///< t: PRAM steps with unbounded procs.

@@ -59,6 +59,15 @@ class PhaseObserver {
   /// Machine::charge accounted `steps` analytic steps of `work_per_step`.
   virtual void on_charge(std::uint64_t steps,
                          std::uint64_t work_per_step) = 0;
+  /// The space ledger changed: `input_cells`/`aux_cells` are the new
+  /// gauges after a Machine::space_alloc/space_release (pram/metrics.h,
+  /// SpaceKind). Defaulted so observers that only care about time/work
+  /// need not override.
+  virtual void on_space(std::uint64_t input_cells,
+                        std::uint64_t aux_cells) {
+    (void)input_cells;
+    (void)aux_cells;
+  }
 };
 
 class Machine {
@@ -108,6 +117,7 @@ class Machine {
         count_conflicts_ ? counted_step_epilogue() : 0;
     ++step_index_;
     metrics_.record_step(active, conflicts);
+    note_active(active);
     if (observer_) observer_->on_step(active, conflicts);
   }
 
@@ -119,7 +129,27 @@ class Machine {
   void charge(std::uint64_t steps, std::uint64_t work_per_step) {
     metrics_.record_steps(steps, work_per_step);
     step_index_ += steps;
+    if (steps > 0) note_active(work_per_step);
     if (observer_) observer_->on_charge(steps, work_per_step);
+  }
+
+  // --- space ledger (pram/metrics.h; see also pram::SpaceLease) ---
+  /// Register `cells` shared-memory cells coming alive under `kind`.
+  /// Host-side only (call between steps, like Phase open/close): the
+  /// ledger is deterministic bookkeeping, not simulated memory.
+  void space_alloc(std::uint64_t cells, SpaceKind kind) {
+    metrics_.record_space_alloc(cells, kind);
+    note_space();
+    if (observer_) {
+      observer_->on_space(metrics_.input_cells, metrics_.aux_cells);
+    }
+  }
+  /// Register `cells` cells of `kind` going dead.
+  void space_release(std::uint64_t cells, SpaceKind kind) {
+    metrics_.record_space_release(cells, kind);
+    if (observer_) {
+      observer_->on_space(metrics_.input_cells, metrics_.aux_cells);
+    }
   }
 
   /// Counter-based RNG for processor pid at the current step.
@@ -161,19 +191,46 @@ class Machine {
   void set_conflict_counting(bool on) noexcept { count_conflicts_ = on; }
   bool conflict_counting() const noexcept { return count_conflicts_; }
 
-  /// Scoped phase marker: accumulates the metrics delta of its lifetime
+  /// Scoped phase marker: accumulates a PhaseDelta over its lifetime
   /// into phases()[name], and names the phase in any step-race diagnostic
-  /// raised while it is open.
+  /// raised while it is open. Counters (steps/work/...) are snapshot
+  /// deltas; the peak fields (max_active/peak_live/peak_aux) are
+  /// phase-LOCAL maxima kept on the machine's peak stack — a peak is not
+  /// differencable, so it is observed per open frame and folded outward
+  /// on close (a child's peak is also a maximum its parent saw).
   class Phase {
    public:
     Phase(Machine& m, std::string name)
         : m_(m), name_(std::move(name)), start_(m.metrics()) {
       m_.phase_stack_.push_back(name_);
+      // Seed the frame's space peaks with the gauges at open: cells
+      // already live when the phase starts are live during it too.
+      m_.peak_stack_.push_back(PhasePeaks{0, m_.metrics_.live_cells(),
+                                          m_.metrics_.aux_cells});
       if (m_.observer_) m_.observer_->on_phase_open(name_, m_.step_index_);
     }
     ~Phase() {
       m_.phase_stack_.pop_back();
-      m_.phases()[name_].add(m_.metrics().delta_since(start_));
+      const PhasePeaks local = m_.peak_stack_.back();
+      m_.peak_stack_.pop_back();
+      if (!m_.peak_stack_.empty()) {
+        PhasePeaks& parent = m_.peak_stack_.back();
+        if (local.max_active > parent.max_active) {
+          parent.max_active = local.max_active;
+        }
+        if (local.peak_live > parent.peak_live) {
+          parent.peak_live = local.peak_live;
+        }
+        if (local.peak_aux > parent.peak_aux) {
+          parent.peak_aux = local.peak_aux;
+        }
+      }
+      PhaseDelta d = counter_delta(m_.metrics(), start_);
+      d.invocations = 1;
+      d.max_active = local.max_active;
+      d.peak_live = local.peak_live;
+      d.peak_aux = local.peak_aux;
+      m_.phases()[name_].add(d);
       if (m_.observer_) m_.observer_->on_phase_close(m_.step_index_);
     }
     Phase(const Phase&) = delete;
@@ -186,6 +243,31 @@ class Machine {
   };
 
  private:
+  /// Phase-local maxima for the innermost open Phase. Only the stack top
+  /// is updated per event; close folds a child's maxima into its parent
+  /// (the child's open interval is contained in the parent's).
+  struct PhasePeaks {
+    std::uint64_t max_active = 0;
+    std::uint64_t peak_live = 0;
+    std::uint64_t peak_aux = 0;
+  };
+
+  void note_active(std::uint64_t active) noexcept {
+    if (!peak_stack_.empty() && active > peak_stack_.back().max_active) {
+      peak_stack_.back().max_active = active;
+    }
+  }
+  void note_space() noexcept {
+    if (peak_stack_.empty()) return;
+    PhasePeaks& top = peak_stack_.back();
+    if (metrics_.live_cells() > top.peak_live) {
+      top.peak_live = metrics_.live_cells();
+    }
+    if (metrics_.aux_cells > top.peak_aux) {
+      top.peak_aux = metrics_.aux_cells;
+    }
+  }
+
   using RangeFn = void (*)(void*, std::uint64_t, std::uint64_t);
   void run_range(std::uint64_t n, RangeFn fn, void* ctx);
   void worker_loop(unsigned worker_id);
@@ -217,6 +299,8 @@ class Machine {
   /// Open Phase names, innermost last (host-side only; steps are issued
   /// between pushes/pops, never during).
   std::vector<std::string> phase_stack_;
+  /// Phase-local peaks, parallel to phase_stack_ (same push/pop sites).
+  std::vector<PhasePeaks> peak_stack_;
 
   // --- thread pool ---
   unsigned threads_;

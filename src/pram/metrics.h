@@ -3,12 +3,23 @@
 // Every bound in the paper is phrased in the PRAM cost model:
 //   time  = number of synchronous steps,
 //   procs = number of (virtual) processors alive in a step,
-//   work  = sum over steps of active processors.
+//   work  = sum over steps of active processors,
+//   space = shared memory cells alive at any instant.
 // Metrics records exactly these. In addition, for Lemma 7 (Matias-Vishkin
 // processor allocation, Section 5 of the paper) we track, online, the
 // simulated time T(p) = sum over steps of ceil(active/p) for a fixed
 // ladder of p values, so bench e10 can report the T = t + w/p trade-off
 // without storing a per-step trace.
+//
+// The space axis is a cell-lifetime ledger: allocations are registered
+// with the machine (Machine::space_alloc / pram::SpaceLease) under one of
+// two kinds, and the ledger keeps the current gauges plus high-water
+// marks. The split makes "in-place" directly measurable: the paper's
+// model gives every element a virtual processor with O(1) private
+// registers, so per-element state scaling with the input is FOOTPRINT,
+// while the shared scratch the in-place lemmas bound (Theta(k) sample
+// cells, the m^(4e+d) compaction area) is AUXILIARY workspace — the
+// number the claims gate on.
 #pragma once
 
 #include <array>
@@ -22,6 +33,12 @@ namespace iph::pram {
 inline constexpr std::array<std::uint64_t, 12> kTrackedProcCounts = {
     1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096};
 
+/// Ledger category of a space registration (see file comment).
+enum class SpaceKind : std::uint8_t {
+  kInput,  ///< Input cells + per-element standing-by registers.
+  kAux,    ///< Shared auxiliary workspace — what "in-place" bounds.
+};
+
 struct Metrics {
   std::uint64_t steps = 0;       ///< PRAM time (synchronous steps).
   std::uint64_t work = 0;        ///< Sum of active processors over steps.
@@ -33,6 +50,19 @@ struct Metrics {
   std::uint64_t cw_conflicts = 0;
   /// T(p) = sum_steps ceil(active/p) for p in kTrackedProcCounts.
   std::array<std::uint64_t, kTrackedProcCounts.size()> time_at_p{};
+
+  // --- space ledger (gauges + watermarks; host-side, deterministic) ---
+  std::uint64_t input_cells = 0;    ///< Currently registered input cells.
+  std::uint64_t aux_cells = 0;      ///< Currently live auxiliary cells.
+  std::uint64_t peak_live = 0;      ///< max over time of input + aux.
+  std::uint64_t peak_aux = 0;       ///< max over time of aux alone.
+  std::uint64_t peak_input = 0;     ///< max over time of input footprint.
+  std::uint64_t space_allocs = 0;   ///< Ledger allocate events.
+  std::uint64_t space_releases = 0; ///< Ledger release events.
+
+  std::uint64_t live_cells() const noexcept {
+    return input_cells + aux_cells;
+  }
 
   void record_step(std::uint64_t active, std::uint64_t conflicts = 0) noexcept {
     steps += 1;
@@ -59,31 +89,69 @@ struct Metrics {
     }
   }
 
-  /// Accumulate another metrics block (used for phase roll-ups).
-  void add(const Metrics& o) noexcept {
+  void record_space_alloc(std::uint64_t cells, SpaceKind kind) noexcept {
+    (kind == SpaceKind::kAux ? aux_cells : input_cells) += cells;
+    ++space_allocs;
+    if (aux_cells > peak_aux) peak_aux = aux_cells;
+    if (input_cells > peak_input) peak_input = input_cells;
+    if (live_cells() > peak_live) peak_live = live_cells();
+  }
+
+  void record_space_release(std::uint64_t cells, SpaceKind kind) noexcept {
+    std::uint64_t& gauge =
+        kind == SpaceKind::kAux ? aux_cells : input_cells;
+    gauge -= cells <= gauge ? cells : gauge;  // saturating: ledger bug,
+                                              // not UB, on a double free
+    ++space_releases;
+  }
+};
+
+/// Per-phase accounting: the counter fields are deltas over the phase's
+/// lifetime; the peak fields are PHASE-LOCAL maxima, observed only while
+/// the phase was open (a quiet phase nested in a busy run reports its own
+/// small peaks, not the run's carried globals). Built by Machine::Phase;
+/// peaks come from the machine's phase-peak stack, never from differencing
+/// Metrics (peaks are not differencable).
+struct PhaseDelta {
+  std::uint64_t invocations = 0;
+  std::uint64_t steps = 0;
+  std::uint64_t work = 0;
+  std::uint64_t cw_conflicts = 0;
+  std::array<std::uint64_t, kTrackedProcCounts.size()> time_at_p{};
+  std::uint64_t max_active = 0;  ///< Peak active procs while open.
+  std::uint64_t peak_live = 0;   ///< Peak input + aux cells while open.
+  std::uint64_t peak_aux = 0;    ///< Peak aux cells while open.
+
+  /// Accumulate a re-entry: counters sum, peaks max.
+  void add(const PhaseDelta& o) noexcept {
+    invocations += o.invocations;
     steps += o.steps;
     work += o.work;
-    if (o.max_active > max_active) max_active = o.max_active;
     cw_conflicts += o.cw_conflicts;
     for (std::size_t i = 0; i < time_at_p.size(); ++i) {
       time_at_p[i] += o.time_at_p[i];
     }
-  }
-
-  Metrics delta_since(const Metrics& earlier) const noexcept {
-    Metrics d;
-    d.steps = steps - earlier.steps;
-    d.work = work - earlier.work;
-    d.max_active = max_active;  // peak is not differencable; keep current
-    d.cw_conflicts = cw_conflicts - earlier.cw_conflicts;
-    for (std::size_t i = 0; i < time_at_p.size(); ++i) {
-      d.time_at_p[i] = time_at_p[i] - earlier.time_at_p[i];
-    }
-    return d;
+    if (o.max_active > max_active) max_active = o.max_active;
+    if (o.peak_live > peak_live) peak_live = o.peak_live;
+    if (o.peak_aux > peak_aux) peak_aux = o.peak_aux;
   }
 };
 
-/// Named per-phase metric roll-up (e.g. "sample", "base-solve", "sweep").
-using PhaseMetrics = std::map<std::string, Metrics>;
+/// Counter deltas between two Metrics snapshots (peak fields of the
+/// result stay 0 — supply phase-local peaks separately, see PhaseDelta).
+inline PhaseDelta counter_delta(const Metrics& now,
+                                const Metrics& earlier) noexcept {
+  PhaseDelta d;
+  d.steps = now.steps - earlier.steps;
+  d.work = now.work - earlier.work;
+  d.cw_conflicts = now.cw_conflicts - earlier.cw_conflicts;
+  for (std::size_t i = 0; i < d.time_at_p.size(); ++i) {
+    d.time_at_p[i] = now.time_at_p[i] - earlier.time_at_p[i];
+  }
+  return d;
+}
+
+/// Named per-phase roll-up (e.g. "sample", "base-solve", "sweep").
+using PhaseMetrics = std::map<std::string, PhaseDelta>;
 
 }  // namespace iph::pram

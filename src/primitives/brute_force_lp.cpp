@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "geom/predicates.h"
+#include "pram/allocation.h"
 #include "pram/cells.h"
 #include "support/check.h"
 
@@ -48,7 +49,11 @@ std::vector<std::pair<Index, Index>> batched_brute_bridge_2d(
   if (cum3.back() == 0) return out;
   pram::Machine::Phase phase(m, "prim/brute-bridge");
 
+  // Scratch: one validity bit per candidate pair (sum of k^2 over the
+  // batch) plus two reduction cells per problem. With k = O(1) per
+  // Lemma 4.1 this is O(1) cells per problem.
   pram::FlagArray bad(cum2.back());
+  pram::SpaceLease aux(m, pram::SpaceKind::kAux, cum2.back() + 2 * np);
   m.step(cum3.back(), [&](std::uint64_t pid) {
     const std::size_t p = locate(cum3, pid);
     const auto& sub = subsets[p];
@@ -138,7 +143,10 @@ std::vector<geom::Facet3> batched_brute_facet_3d(
   if (cum4.back() == 0) return out;
   pram::Machine::Phase phase(m, "prim/brute-facet");
 
+  // Scratch: one validity bit per candidate triple (sum of k^3) plus a
+  // reduction cell per problem.
   pram::FlagArray bad(cum3.back());
+  pram::SpaceLease aux(m, pram::SpaceKind::kAux, cum3.back() + np);
   m.step(cum4.back(), [&](std::uint64_t pid) {
     const std::size_t p = locate(cum4, pid);
     const auto& sub = subsets[p];

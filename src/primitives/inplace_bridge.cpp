@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "geom/predicates.h"
+#include "pram/allocation.h"
 #include "pram/cells.h"
 #include "pram/shadow.h"
 #include "primitives/brute_force_lp.h"
@@ -41,9 +42,15 @@ std::vector<BridgeOutcome> run_bridges(
   const std::uint64_t ws_total = ws_off.back();
   std::vector<pram::TallyCell> attempts(ws_total);
   std::vector<pram::MinCell> winner(ws_total);
+  // Auxiliary workspace: the two 16k-cell claim arrays (Lemma 4.1/4.2
+  // constant per problem) plus O(1) bookkeeping cells per problem
+  // (ws_off, done, prob, and the per-round has_survivor below).
+  pram::SpaceLease aux(m, pram::SpaceKind::kAux, 2 * ws_total + 4 * np);
 
-  // survivor[u]: unit u's point still violates its problem's solution.
+  // survivor[u]: unit u's point still violates its problem's solution —
+  // one standing-by flag per unit, input footprint.
   pram::FlagArray survivor(n_units);
+  pram::SpaceLease regs(m, pram::SpaceKind::kInput, n_units);
   std::vector<std::uint8_t> done(np, 0);
   std::vector<double> prob(np);
   m.step(n_units, [&](std::uint64_t u) {
@@ -103,7 +110,14 @@ std::vector<BridgeOutcome> run_bridges(
       }
     }
     // --- solve the bases (batched, O(1) steps) ------------------------
-    solve_bases(live, live_subsets, out);
+    {
+      std::uint64_t subset_cells = 0;
+      for (const auto& s : live_subsets) subset_cells += s.size();
+      // The gathered base subsets (O(k) ids per live problem) are scratch
+      // for the round; the brute-force solver leases its own pair arrays.
+      pram::SpaceLease sub_aux(m, pram::SpaceKind::kAux, subset_cells);
+      solve_bases(live, live_subsets, out);
+    }
     // --- violation sweep ----------------------------------------------
     std::vector<pram::OrCell> has_survivor(np);
     m.step(n_units, [&](std::uint64_t u) {

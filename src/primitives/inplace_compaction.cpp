@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "pram/allocation.h"
 #include "pram/cells.h"
 #include "pram/shadow.h"
 #include "primitives/ragde.h"
@@ -41,12 +42,19 @@ InplaceCompactionResult inplace_compact(pram::Machine& m,
   std::uint64_t domain = (n + len - 1) / len;  // bit-array size this level
   std::vector<std::uint64_t> within(n);
   std::vector<std::uint32_t> pslot(n, kEmpty);
+  // within/pslot/cell_of are per-element standing-by registers: input
+  // footprint, not the workspace Lemma 3.2 bounds.
+  pram::SpaceLease regs(m, pram::SpaceKind::kInput, 3 * n);
   bool level0 = true;
 
   for (int iter = 0; iter < 64; ++iter) {
     res.iterations = iter + 1;
     pram::FlagArray bits(domain);
     std::vector<std::uint32_t> cell_of(n, kEmpty);
+    // The level's auxiliary workspace: the domain-sized bit array, its
+    // byte view for Ragde, and the cell->slot reverse map — 3 * domain
+    // cells, domain <= ~bound^4 * S = m^(4e+d).
+    pram::SpaceLease level_aux(m, pram::SpaceKind::kAux, 3 * domain);
     const std::uint64_t cur_len = len;
     m.step(n, [&](std::uint64_t pid) {
       if (!flags[pid]) return;
@@ -93,6 +101,7 @@ InplaceCompactionResult inplace_compact(pram::Machine& m,
     if (cur_len <= 1) {
       // Singleton groups: pslot is the final placement.
       res.slots.assign(rr.slots.size(), kEmpty);
+      pram::SpaceLease out(m, pram::SpaceKind::kAux, res.slots.size());
       m.step(n, [&](std::uint64_t pid) {
         // pslot uniqueness IS the compaction invariant; the checker
         // turns any violation into a step-race diagnostic.

@@ -1,7 +1,9 @@
 #include "primitives/ragde.h"
 
 #include <algorithm>
+#include <numeric>
 
+#include "pram/allocation.h"
 #include "pram/cells.h"
 #include "pram/shadow.h"
 #include "primitives/prefix_sum.h"
@@ -25,10 +27,16 @@ RagdeResult ragde_compact(pram::Machine& m,
 
   // One scatter region per candidate modulus. A constant number of
   // regions keeps this O(1) PRAM steps with O(n) processors per step.
+  // All of it is auxiliary workspace: kCandidates regions of ~bound^2
+  // cells each, plus the bad[] flags.
   std::vector<std::vector<pram::MinCell>> region(kCandidates);
   for (int c = 0; c < kCandidates; ++c) {
     region[c] = std::vector<pram::MinCell>(primes[c]);
   }
+  const std::uint64_t region_cells =
+      std::accumulate(primes.begin(), primes.end(), std::uint64_t{0});
+  pram::SpaceLease aux(m, pram::SpaceKind::kAux,
+                       region_cells + kCandidates);
   // Scatter: every flagged element writes its index to slot (i mod p_c)
   // of every candidate region (priority CRCW resolves collisions).
   m.step(n, [&](std::uint64_t pid) {
@@ -56,6 +64,9 @@ RagdeResult ragde_compact(pram::Machine& m,
   if (chosen >= 0) {
     r.ok = true;
     r.slots.assign(primes[chosen], kRagdeEmpty);
+    // The compacted output also lives in scratch until the caller takes
+    // it; account it while we fill it.
+    pram::SpaceLease out(m, pram::SpaceKind::kAux, primes[chosen]);
     m.step(primes[chosen], [&](std::uint64_t pid) {
       const std::uint64_t v = region[chosen][pid].read();
       if (v != pram::MinCell::kEmpty) {
@@ -68,7 +79,9 @@ RagdeResult ragde_compact(pram::Machine& m,
   // and stable; O(log n) steps rather than O(1) — acceptable because the
   // primary scheme handles every in-contract input (see header).
   r.used_fallback = true;
+  // rank[] is one standing-by register per element: input footprint.
   std::vector<std::uint64_t> rank(n);
+  pram::SpaceLease regs(m, pram::SpaceKind::kInput, n);
   m.step(n, [&](std::uint64_t pid) {
     pram::tracked_write(pid, rank[pid], flags[pid] ? 1 : 0);
   });
@@ -81,6 +94,7 @@ RagdeResult ragde_compact(pram::Machine& m,
   }
   r.ok = true;
   r.slots.assign(std::max<std::uint64_t>(k, 1), kRagdeEmpty);
+  pram::SpaceLease out(m, pram::SpaceKind::kAux, r.slots.size());
   m.step(n, [&](std::uint64_t pid) {
     if (flags[pid] != 0) {
       pram::tracked_write(pid, r.slots[rank[pid]],

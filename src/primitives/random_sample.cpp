@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "pram/allocation.h"
 #include "pram/cells.h"
 #include "pram/shadow.h"
 #include "support/check.h"
@@ -20,12 +21,17 @@ SampleResult random_sample(pram::Machine& m, std::uint64_t n,
       std::min(1.0, 2.0 * static_cast<double>(k) / static_cast<double>(m_est));
 
   // Workspace cells: a permanently-claimed id plus per-round collision
-  // bookkeeping (attempt count and a priority-CRCW winner).
+  // bookkeeping (attempt count and a priority-CRCW winner). This is the
+  // whole Lemma 3.1 auxiliary footprint: 3 * 16k = Theta(k) cells.
   std::vector<std::uint32_t> taken(ws, 0xffffffffu);
   std::vector<pram::TallyCell> attempts(ws);
   std::vector<pram::MinCell> winner(ws);
-  // retry[i] != 0 while element i still wants a slot this round.
+  pram::SpaceLease aux(m, pram::SpaceKind::kAux, 3 * ws);
+  // retry[i] != 0 while element i still wants a slot this round; with
+  // choice[] below these are per-element standing-by registers — the
+  // model's O(1) private state per virtual processor, so input-kind.
   pram::FlagArray retry(n);
+  pram::SpaceLease regs(m, pram::SpaceKind::kInput, 2 * n);
 
   // Round 0: every active element flips the 2k/m coin.
   m.step(n, [&](std::uint64_t pid) {

@@ -1,6 +1,8 @@
 #include "trace/chrome_trace.h"
 
+#include <initializer_list>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace iph::trace {
@@ -47,6 +49,23 @@ struct OpenSpan {
   std::uint64_t step;
 };
 
+/// Counter sample ("C" event) on the PRAM virtual-time axis: ts is the
+/// PRAM step (1us = 1 step, matching the tid-2 span track), args carries
+/// one value per series of the named counter track.
+Json counter_event(const char* name, double ts_us,
+                   std::initializer_list<std::pair<const char*, double>>
+                       series) {
+  Json e = Json::object();
+  e["ph"] = "C";
+  e["pid"] = kPid;
+  e["name"] = name;
+  e["ts"] = ts_us;
+  Json args = Json::object();
+  for (const auto& [key, value] : series) args[key] = value;
+  e["args"] = std::move(args);
+  return e;
+}
+
 }  // namespace
 
 Json chrome_trace_json(const Recorder& rec) {
@@ -87,6 +106,24 @@ Json chrome_trace_json(const Recorder& rec) {
                                 static_cast<double>(s.step),
                                 static_cast<double>(last_step - s.step),
                                 s.step, last_step));
+  }
+
+  // Utilization + space counter tracks against PRAM virtual time, one
+  // sample per timeline bucket (see Recorder::timeline). The viewer
+  // renders these as stacked counter tracks above the span rows.
+  for (const UtilSample& b : rec.timeline()) {
+    const double ts = static_cast<double>(b.step_begin);
+    const double mean =
+        b.steps > 0
+            ? static_cast<double>(b.active_sum) / static_cast<double>(b.steps)
+            : 0.0;
+    events.push_back(counter_event(
+        "active processors", ts,
+        {{"max", static_cast<double>(b.active_max)}, {"mean", mean}}));
+    events.push_back(counter_event(
+        "workspace cells", ts,
+        {{"aux", static_cast<double>(b.aux_max)},
+         {"live", static_cast<double>(b.live_max)}}));
   }
 
   Json doc = Json::object();

@@ -9,8 +9,16 @@
 //                                   parallel-time decomposition sits
 //                                   directly under the wall timeline.
 //
-// Only complete ("X") and metadata ("M") events are used — the most
-// portable subset. If the recorder dropped events past its cap the
+// On top of the span tracks, two COUNTER tracks ("C" events, one sample
+// per Recorder timeline bucket, ts on the PRAM step axis) plot the run's
+// utilization and space profile:
+//   "active processors"  — max / mean active procs per bucket
+//                          (load-imbalance reading);
+//   "workspace cells"    — aux / live ledger watermarks per bucket
+//                          (the in-place story, pram/metrics.h).
+//
+// Otherwise only complete ("X") and metadata ("M") events are used — the
+// most portable subset. If the recorder dropped events past its cap the
 // export carries a "dropped_events" annotation in the root object.
 #pragma once
 

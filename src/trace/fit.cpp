@@ -37,8 +37,10 @@ std::string_view shape_name(Shape s) noexcept {
     case Shape::kLinear: return "linear";
     case Shape::kNLogN: return "n_log_n";
     case Shape::kNLogH: return "n_log_h";
+    case Shape::kThetaAux: return "theta_aux";
     case Shape::kBelowAux: return "below_aux";
     case Shape::kBelowConst: return "below_const";
+    case Shape::kM4EpsDelta: return "m_4eps_delta";
   }
   return "flat";
 }
@@ -46,7 +48,8 @@ std::string_view shape_name(Shape s) noexcept {
 bool shape_from_name(std::string_view name, Shape* out) noexcept {
   for (Shape s : {Shape::kFlat, Shape::kLogStar, Shape::kLogN, Shape::kLog2N,
                   Shape::kLinear, Shape::kNLogN, Shape::kNLogH,
-                  Shape::kBelowAux, Shape::kBelowConst}) {
+                  Shape::kThetaAux, Shape::kBelowAux, Shape::kBelowConst,
+                  Shape::kM4EpsDelta}) {
     if (shape_name(s) == name) {
       *out = s;
       return true;
@@ -73,9 +76,12 @@ double shape_value(Shape s, double x, double aux) noexcept {
       return std::max(1.0, x) * log2_clamped(x);
     case Shape::kNLogH:
       return std::max(1.0, x) * log2_clamped(aux);
+    case Shape::kThetaAux:
+      return std::max(1.0, aux);
     case Shape::kBelowAux:
     case Shape::kBelowConst:
-      return 1.0;  // not a band shape; unused
+    case Shape::kM4EpsDelta:
+      return 1.0;  // not band shapes; unused
   }
   return 1.0;
 }
@@ -89,11 +95,18 @@ FitResult fit_series(Shape shape, const std::vector<SeriesPoint>& pts,
     return r;
   }
 
-  if (shape == Shape::kBelowAux || shape == Shape::kBelowConst) {
+  if (shape == Shape::kBelowAux || shape == Shape::kBelowConst ||
+      shape == Shape::kM4EpsDelta) {
     double worst = 0;
     double worst_x = 0;
     for (const SeriesPoint& p : pts) {
-      const double bound = shape == Shape::kBelowAux ? p.aux : 1.0;
+      double bound = 1.0;
+      if (shape == Shape::kBelowAux) {
+        bound = p.aux;
+      } else if (shape == Shape::kM4EpsDelta) {
+        // Lemma 3.2: workspace <= (m^eps)^4 * m^delta, delta = 1/4.
+        bound = std::pow(p.aux, 4.0) * std::pow(std::max(1.0, p.x), 0.25);
+      }
       // A zero/negative bound with a positive measurement is an
       // automatic failure; encode it as a huge excess.
       const double excess = bound > 0 ? p.y / bound

@@ -17,10 +17,18 @@
 // tolerances are calibrated from the measured tables in EXPERIMENTS.md
 // with headroom.
 //
-// Two upper-bound pseudo-shapes complete the set: kBelowAux checks
+// Three upper-bound pseudo-shapes complete the set: kBelowAux checks
 // y_i <= tol * aux_i (aux carries a per-point analytic bound), kBelowConst
-// checks y_i <= tol. These express "never exceeds the bound" claims, e.g.
-// failure-sweep decay envelopes, where a band fit is the wrong question.
+// checks y_i <= tol, and kM4EpsDelta checks the Lemma 3.2 compaction
+// workspace bound y_i <= tol * aux_i^4 * x_i^(1/4) (x = m, aux = the
+// compaction parameter m^eps, delta fixed at 1/4 to match
+// primitives/inplace_compaction's default). These express "never exceeds
+// the bound" claims, e.g. failure-sweep decay envelopes, where a band fit
+// is the wrong question.
+//
+// Space-axis band shapes: kThetaAux regresses y against aux itself
+// (r_i = y_i / aux_i), stating y = Theta(aux) — used for the Lemma 3.1
+// "Theta(k) auxiliary cells" claim with aux = k.
 #pragma once
 
 #include <string>
@@ -37,8 +45,10 @@ enum class Shape {
   kLinear,    ///< O(n).
   kNLogN,     ///< O(n log n).
   kNLogH,     ///< O(n log h): aux = h (output size).
+  kThetaAux,  ///< Theta(aux): band on y_i / aux_i (space: Theta(k)).
   kBelowAux,  ///< y_i <= tol * aux_i (per-point analytic bound in aux).
-  kBelowConst ///< y_i <= tol.
+  kBelowConst,///< y_i <= tol.
+  kM4EpsDelta ///< y_i <= tol * aux_i^4 * x_i^(1/4) (Lemma 3.2 workspace).
 };
 
 /// Canonical name, as written in claim specs and BENCH_*.json.

@@ -1,5 +1,6 @@
 #include "trace/recorder.h"
 
+#include <algorithm>
 #include <chrono>
 
 namespace iph::trace {
@@ -11,6 +12,14 @@ std::uint64_t steady_now_ns() {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
+}
+
+/// Histogram bucket for an active-processor count (see kHistBuckets).
+std::size_t hist_bucket(std::uint64_t active) {
+  if (active == 0) return 0;
+  std::size_t b = 1;
+  while (active >>= 1) ++b;
+  return b;  // 1 + floor(log2(active)), <= 65 for uint64
 }
 
 }  // namespace
@@ -64,6 +73,11 @@ void Recorder::on_phase_open(const std::string& name,
     node->first_open_step = step_index;
   }
   ++node->invocations;
+  // Cells already live at open are live during the phase: seed its peaks.
+  if (cur_input_ + cur_aux_ > node->peak_live) {
+    node->peak_live = cur_input_ + cur_aux_;
+  }
+  if (cur_aux_ > node->peak_aux) node->peak_aux = cur_aux_;
   open_.push_back(Frame{node, now_ns()});
   if (open_.size() - 1 > max_depth_) max_depth_ = open_.size() - 1;
   push_event(TraceEvent::Kind::kOpen, name, step_index);
@@ -88,6 +102,7 @@ void Recorder::on_step(std::uint64_t active, std::uint64_t conflicts) {
     if (active > f.node->max_active) f.node->max_active = active;
   }
   open_.back().node->direct_steps += 1;
+  bump_timeline(1, active);
 }
 
 void Recorder::on_charge(std::uint64_t steps, std::uint64_t work_per_step) {
@@ -99,6 +114,69 @@ void Recorder::on_charge(std::uint64_t steps, std::uint64_t work_per_step) {
     }
   }
   open_.back().node->direct_steps += steps;
+  bump_timeline(steps, work_per_step);
+}
+
+void Recorder::on_space(std::uint64_t input_cells, std::uint64_t aux_cells) {
+  cur_input_ = input_cells;
+  cur_aux_ = aux_cells;
+  const std::uint64_t live = input_cells + aux_cells;
+  for (const Frame& f : open_) {
+    if (live > f.node->peak_live) f.node->peak_live = live;
+    if (aux_cells > f.node->peak_aux) f.node->peak_aux = aux_cells;
+  }
+  // Fold a between-steps spike into the bucket the next step lands in,
+  // so the exported series never understates a watermark.
+  ensure_bucket();
+  UtilSample& b = timeline_.back();
+  if (live > b.live_max) b.live_max = live;
+  if (aux_cells > b.aux_max) b.aux_max = aux_cells;
+}
+
+void Recorder::ensure_bucket() {
+  if (!timeline_.empty() &&
+      pram_step_ < timeline_.back().step_begin + stride_) {
+    return;
+  }
+  if (timeline_.size() >= kMaxTimeline) {
+    // Pair-merge: buckets are contiguous from step 0, so (2i, 2i+1)
+    // always form one aligned bucket of the doubled stride.
+    for (std::size_t i = 0; i + 1 < timeline_.size(); i += 2) {
+      UtilSample& a = timeline_[i];
+      const UtilSample& c = timeline_[i + 1];
+      a.steps += c.steps;
+      a.active_sum += c.active_sum;
+      a.active_max = std::max(a.active_max, c.active_max);
+      a.live_max = std::max(a.live_max, c.live_max);
+      a.aux_max = std::max(a.aux_max, c.aux_max);
+      timeline_[i / 2] = a;
+    }
+    timeline_.resize(timeline_.size() / 2);
+    stride_ *= 2;
+  }
+  UtilSample b;
+  b.step_begin = (pram_step_ / stride_) * stride_;
+  b.live_max = cur_input_ + cur_aux_;
+  b.aux_max = cur_aux_;
+  timeline_.push_back(b);
+}
+
+void Recorder::bump_timeline(std::uint64_t count, std::uint64_t active) {
+  if (count > 0) active_hist_[hist_bucket(active)] += count;
+  while (count > 0) {
+    ensure_bucket();
+    UtilSample& b = timeline_.back();
+    const std::uint64_t room = b.step_begin + stride_ - pram_step_;
+    const std::uint64_t take = std::min(count, room);
+    b.steps += take;
+    b.active_sum += take * active;
+    if (active > b.active_max) b.active_max = active;
+    const std::uint64_t live = cur_input_ + cur_aux_;
+    if (live > b.live_max) b.live_max = live;
+    if (cur_aux_ > b.aux_max) b.aux_max = cur_aux_;
+    pram_step_ += take;
+    count -= take;
+  }
 }
 
 }  // namespace iph::trace

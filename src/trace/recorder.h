@@ -23,6 +23,7 @@
 // the phase-coverage audit asserts to be zero for the core algorithms.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -42,12 +43,27 @@ struct PhaseStats {
   std::uint64_t max_active = 0;   ///< Peak active processors in any step.
   std::uint64_t cw_conflicts = 0; ///< Combining-write conflicts.
   std::uint64_t direct_steps = 0; ///< Steps while this node was innermost.
+  std::uint64_t peak_live = 0;    ///< Peak live cells (input + aux) while open.
+  std::uint64_t peak_aux = 0;     ///< Peak auxiliary cells while open.
   std::uint64_t first_open_step = 0;  ///< Machine step index at first open.
   double wall_ns = 0;             ///< Accumulated host wall-clock.
   std::vector<std::unique_ptr<PhaseStats>> children;  // insertion order
 
   /// Child by name, or nullptr. Path lookup: child("a")->child("b").
   const PhaseStats* child(std::string_view child_name) const noexcept;
+};
+
+/// One bucket of the downsampled per-step utilization/space timeline.
+/// Each bucket covers `timeline_stride()` consecutive PRAM steps starting
+/// at step_begin; `steps` of them actually executed (the open tail bucket
+/// may be partial). Every field is a pure function of (input, seed).
+struct UtilSample {
+  std::uint64_t step_begin = 0;  ///< First PRAM step the bucket covers.
+  std::uint64_t steps = 0;       ///< Steps recorded into the bucket.
+  std::uint64_t active_max = 0;  ///< Peak active processors in the bucket.
+  std::uint64_t active_sum = 0;  ///< Work in the bucket (mean = sum/steps).
+  std::uint64_t live_max = 0;    ///< Peak live ledger cells in the bucket.
+  std::uint64_t aux_max = 0;     ///< Peak auxiliary ledger cells.
 };
 
 /// One raw phase event, for timeline export.
@@ -63,6 +79,14 @@ class Recorder final : public pram::PhaseObserver {
  public:
   /// Event-log cap; the aggregated tree is never truncated.
   static constexpr std::size_t kMaxEvents = 1u << 16;
+  /// Utilization-timeline bucket cap: when full, adjacent buckets are
+  /// pair-merged and the stride doubles, so memory stays bounded while
+  /// the whole run remains covered (downsampling, not truncation).
+  static constexpr std::size_t kMaxTimeline = 2048;
+  /// Active-processor histogram buckets: [0] counts idle steps
+  /// (active == 0), bucket b >= 1 counts steps with
+  /// 2^(b-1) <= active < 2^b.
+  static constexpr std::size_t kHistBuckets = 66;
 
   Recorder();
   ~Recorder() override;
@@ -78,6 +102,7 @@ class Recorder final : public pram::PhaseObserver {
   void on_phase_close(std::uint64_t step_index) override;
   void on_step(std::uint64_t active, std::uint64_t conflicts) override;
   void on_charge(std::uint64_t steps, std::uint64_t work_per_step) override;
+  void on_space(std::uint64_t input_cells, std::uint64_t aux_cells) override;
 
   const PhaseStats& root() const noexcept { return root_; }
   /// Steps (incl. charges) recorded while no named phase was open.
@@ -93,6 +118,24 @@ class Recorder final : public pram::PhaseObserver {
   /// True iff every open has been matched by a close (i.e. between runs).
   bool quiescent() const noexcept { return open_.size() == 1; }
 
+  // --- per-step utilization / space timeline ---
+  /// Downsampled series covering every PRAM step recorded so far (the
+  /// last bucket may still be filling). At most kMaxTimeline buckets.
+  const std::vector<UtilSample>& timeline() const noexcept {
+    return timeline_;
+  }
+  /// PRAM steps per timeline bucket (doubles on each pair-merge).
+  std::uint64_t timeline_stride() const noexcept { return stride_; }
+  /// Log2 histogram of active-processor counts over all recorded steps
+  /// (see kHistBuckets for the bucketing).
+  const std::array<std::uint64_t, kHistBuckets>& active_histogram()
+      const noexcept {
+    return active_hist_;
+  }
+  /// Current space-ledger gauges as mirrored from on_space.
+  std::uint64_t cur_input_cells() const noexcept { return cur_input_; }
+  std::uint64_t cur_aux_cells() const noexcept { return cur_aux_; }
+
  private:
   struct Frame {
     PhaseStats* node;
@@ -102,6 +145,12 @@ class Recorder final : public pram::PhaseObserver {
   void push_event(TraceEvent::Kind kind, const std::string& name,
                   std::uint64_t step);
   double now_ns() const;
+  /// Record `count` uniform steps of `active` processors into the
+  /// timeline + histogram (count > 1 only from on_charge).
+  void bump_timeline(std::uint64_t count, std::uint64_t active);
+  /// Make timeline_.back() the bucket covering pram_step_, pair-merging
+  /// when the cap is hit.
+  void ensure_bucket();
 
   PhaseStats root_;
   std::vector<Frame> open_;  ///< Innermost last; [0] is the root.
@@ -109,6 +158,13 @@ class Recorder final : public pram::PhaseObserver {
   std::uint64_t dropped_events_ = 0;
   std::size_t max_depth_ = 0;
   std::uint64_t epoch_ns_ = 0;  ///< steady_clock at construction.
+
+  std::vector<UtilSample> timeline_;
+  std::uint64_t stride_ = 1;     ///< PRAM steps per timeline bucket.
+  std::uint64_t pram_step_ = 0;  ///< Steps recorded (timeline cursor).
+  std::array<std::uint64_t, kHistBuckets> active_hist_{};
+  std::uint64_t cur_input_ = 0;  ///< Ledger gauge mirror (on_space).
+  std::uint64_t cur_aux_ = 0;    ///< Ledger gauge mirror (on_space).
 };
 
 }  // namespace iph::trace

@@ -36,6 +36,8 @@ void fill_node(Json& out, const PhaseStats& node) {
   out["work"] = node.work;
   out["max_active"] = node.max_active;
   out["cw_conflicts"] = node.cw_conflicts;
+  out["peak_live"] = node.peak_live;
+  out["peak_aux"] = node.peak_aux;
   out["wall_ms"] = node.wall_ns / 1e6;
 }
 
@@ -53,7 +55,9 @@ void flatten(const PhaseStats& node, const std::string& path, Json& rows) {
 
 bool is_deterministic_counter(std::string_view name) noexcept {
   return name == "steps" || name == "work" || name == "max_active" ||
-         name == "cw_conflicts" || name == "t_ideal";
+         name == "cw_conflicts" || name == "t_ideal" ||
+         name == "peak_live" || name == "peak_aux" ||
+         name == "peak_input";
 }
 
 Json collect_provenance() {

@@ -1,0 +1,226 @@
+// The space-axis ledger (pram/metrics.h, pram/allocation.h):
+//   * watermarks are bit-identical across host thread counts — the
+//     ledger is driven by the program, never by the schedule,
+//   * instrumentation is observer-independent: attaching a recorder
+//     changes nothing, and with no observer the ledger still runs and
+//     charges zero PRAM steps/work,
+//   * exact watermarks on a crafted Ragde input, predicted from the
+//     candidate prime set (Lemma 2.1's scratch is knowable in advance),
+//   * release saturates instead of underflowing on a double free,
+//   * SpaceLease resize() is one release+alloc event pair,
+//   * PhaseDelta peaks and max_active are PHASE-LOCAL (the metrics.h
+//     regression: peaks are not differencable, so a quiet inner phase
+//     must not inherit the busy outer run's maxima), and child maxima
+//     fold into the parent on close.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "core/unsorted2d.h"
+#include "geom/workloads.h"
+#include "pram/allocation.h"
+#include "pram/machine.h"
+#include "pram/metrics.h"
+#include "primitives/primes.h"
+#include "primitives/ragde.h"
+#include "trace/recorder.h"
+
+namespace iph {
+namespace {
+
+using pram::Machine;
+using pram::Metrics;
+using pram::SpaceKind;
+using pram::SpaceLease;
+
+// --- determinism across the host schedule -------------------------------
+
+struct SpaceFingerprint {
+  std::uint64_t peak_live, peak_aux, peak_input, allocs, releases;
+  bool operator==(const SpaceFingerprint&) const = default;
+};
+
+SpaceFingerprint space_fp(const Metrics& m) {
+  return {m.peak_live, m.peak_aux, m.peak_input, m.space_allocs,
+          m.space_releases};
+}
+
+TEST(SpaceLedger, WatermarksBitIdenticalAcrossThreadCounts) {
+  const auto pts = geom::in_disk(3000, 5);
+  auto run = [&](unsigned threads) {
+    Machine m(threads, 99);
+    (void)core::unsorted_hull_2d(m, pts);
+    return space_fp(m.metrics());
+  };
+  const auto base = run(1);
+  EXPECT_GT(base.peak_aux, 0u);
+  EXPECT_GT(base.allocs, 0u);
+  EXPECT_EQ(base.allocs, base.releases);  // every lease closed
+  std::vector<unsigned> sweep{2u, 4u, 8u};
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  if (std::find(sweep.begin(), sweep.end(), hw) == sweep.end() && hw != 1) {
+    sweep.push_back(hw);
+  }
+  for (unsigned threads : sweep) {
+    EXPECT_EQ(run(threads), base) << "threads=" << threads;
+  }
+}
+
+// --- instrumentation does not perturb the run --------------------------
+
+TEST(SpaceLedger, ObserverIndependentAndChargesNoSteps) {
+  const auto pts = geom::in_disk(2000, 11);
+  auto run = [&](bool observed) {
+    Machine m(4, 42);
+    trace::Recorder rec;
+    if (observed) rec.attach(m);
+    (void)core::unsorted_hull_2d(m, pts);
+    m.set_observer(nullptr);
+    return m.metrics();
+  };
+  const auto bare = run(false);
+  const auto traced = run(true);
+  // The ledger runs identically with no observer attached...
+  EXPECT_EQ(space_fp(bare), space_fp(traced));
+  // ...and space events never charge PRAM time or work.
+  EXPECT_EQ(bare.steps, traced.steps);
+  EXPECT_EQ(bare.work, traced.work);
+  Machine m(1, 7);
+  {
+    SpaceLease lease(m, SpaceKind::kAux, 1 << 20);
+    SpaceLease regs(m, SpaceKind::kInput, 1 << 10);
+  }
+  EXPECT_EQ(m.metrics().steps, 0u);
+  EXPECT_EQ(m.metrics().work, 0u);
+  EXPECT_EQ(m.metrics().peak_live, (1u << 20) + (1u << 10));
+}
+
+// --- exact watermarks on a crafted input -------------------------------
+
+TEST(SpaceLedger, RagdeWatermarksMatchPrediction) {
+  // One flagged element: no candidate modulus collides, so the primary
+  // scheme picks the first prime and the scratch is fully predictable:
+  // the kCandidates scatter regions (one cell per residue, so the sum of
+  // the candidate primes) + the kCandidates bad[] flags, overlapped by
+  // the compacted output of size primes[0] while it is filled.
+  constexpr std::uint64_t kBound = 2;
+  constexpr std::size_t kCandidates = 8;  // ragde.cpp's constant
+  const auto primes =
+      primitives::primes_at_least(kBound * kBound, kCandidates);
+  const std::uint64_t regions =
+      std::accumulate(primes.begin(), primes.end(), std::uint64_t{0});
+  std::vector<std::uint8_t> flags(64, 0);
+  flags[13] = 1;
+  Machine m(1, 3);
+  const auto r = primitives::ragde_compact(m, flags, kBound);
+  ASSERT_TRUE(r.ok);
+  EXPECT_FALSE(r.used_fallback);
+  EXPECT_EQ(r.slots.size(), primes[0]);
+  const auto& mt = m.metrics();
+  EXPECT_EQ(mt.peak_aux, regions + kCandidates + primes[0]);
+  // The primary path registers no per-element input registers, so the
+  // live peak IS the aux peak on a fresh machine.
+  EXPECT_EQ(mt.peak_live, mt.peak_aux);
+  EXPECT_EQ(mt.peak_input, 0u);
+  // All leases closed: the gauges drain back to zero.
+  EXPECT_EQ(mt.aux_cells, 0u);
+  EXPECT_EQ(mt.input_cells, 0u);
+  EXPECT_EQ(mt.space_allocs, 2u);
+  EXPECT_EQ(mt.space_releases, 2u);
+}
+
+// --- ledger edge cases -------------------------------------------------
+
+TEST(SpaceLedger, ReleaseSaturatesOnDoubleFree) {
+  Metrics mt;
+  mt.record_space_alloc(100, SpaceKind::kAux);
+  mt.record_space_release(100, SpaceKind::kAux);
+  mt.record_space_release(100, SpaceKind::kAux);  // ledger bug, not UB
+  EXPECT_EQ(mt.aux_cells, 0u);
+  mt.record_space_alloc(50, SpaceKind::kAux);
+  EXPECT_EQ(mt.aux_cells, 50u);
+  EXPECT_EQ(mt.peak_aux, 100u);
+}
+
+TEST(SpaceLedger, LeaseResizeIsReleaseAllocPair) {
+  Machine m(1, 1);
+  SpaceLease lease(m, SpaceKind::kAux, 10);
+  lease.resize(25);
+  EXPECT_EQ(lease.cells(), 25u);
+  EXPECT_EQ(m.metrics().aux_cells, 25u);
+  EXPECT_EQ(m.metrics().peak_aux, 25u);
+  EXPECT_EQ(m.metrics().space_allocs, 2u);
+  EXPECT_EQ(m.metrics().space_releases, 1u);
+  lease.resize(5);  // shrink: watermark keeps the old high water
+  EXPECT_EQ(m.metrics().aux_cells, 5u);
+  EXPECT_EQ(m.metrics().peak_aux, 25u);
+}
+
+// --- PhaseDelta: the "peaks are not differencable" regression -----------
+
+TEST(PhaseDelta, MaxActiveIsPhaseLocal) {
+  // The old scheme differenced Metrics snapshots, so an inner phase
+  // opened after a wide step inherited the run's global max_active. The
+  // phase-peak stack must report the inner phase's OWN maximum.
+  Machine m(1, 1);
+  {
+    Machine::Phase outer(m, "outer");
+    m.step(64, [](std::uint64_t) {});
+    {
+      Machine::Phase inner(m, "inner");
+      m.step(4, [](std::uint64_t) {});
+    }
+    m.step(32, [](std::uint64_t) {});
+  }
+  EXPECT_EQ(m.phases().at("inner").max_active, 4u);
+  EXPECT_EQ(m.phases().at("outer").max_active, 64u);
+  EXPECT_EQ(m.metrics().max_active, 64u);
+  // Counters are still clean deltas.
+  EXPECT_EQ(m.phases().at("inner").steps, 1u);
+  EXPECT_EQ(m.phases().at("outer").steps, 3u);
+  EXPECT_EQ(m.phases().at("outer").work, 64u + 4u + 32u);
+}
+
+TEST(PhaseDelta, PeaksArePhaseLocalAndFoldIntoParent) {
+  Machine m(1, 1);
+  {
+    Machine::Phase outer(m, "outer");
+    SpaceLease big(m, SpaceKind::kAux, 1000);
+    {
+      // Quiet inner phase: opens while 1000 aux cells are live, allocates
+      // 20 more. Its peak is the gauge it SAW (1020), not a delta of 20
+      // and not the run's later maximum.
+      Machine::Phase inner(m, "inner");
+      SpaceLease small(m, SpaceKind::kAux, 20);
+      m.step(1, [](std::uint64_t) {});
+    }
+    SpaceLease bigger(m, SpaceKind::kAux, 5000);
+    m.step(1, [](std::uint64_t) {});
+  }
+  EXPECT_EQ(m.phases().at("inner").peak_aux, 1020u);
+  // The child's maximum folds into the parent, which then tops it.
+  EXPECT_EQ(m.phases().at("outer").peak_aux, 6000u);
+  EXPECT_EQ(m.metrics().peak_aux, 6000u);
+}
+
+TEST(PhaseDelta, ReentryAccumulatesCountersAndMaxesPeaks) {
+  Machine m(1, 1);
+  for (int round = 0; round < 3; ++round) {
+    Machine::Phase p(m, "loop");
+    SpaceLease lease(m, SpaceKind::kAux,
+                     static_cast<std::uint64_t>(100 * (round + 1)));
+    m.step(8, [](std::uint64_t) {});
+  }
+  const auto& d = m.phases().at("loop");
+  EXPECT_EQ(d.invocations, 3u);
+  EXPECT_EQ(d.steps, 3u);
+  EXPECT_EQ(d.work, 24u);
+  EXPECT_EQ(d.peak_aux, 300u);  // max over re-entries, not a sum
+  EXPECT_EQ(d.max_active, 8u);
+}
+
+}  // namespace
+}  // namespace iph

@@ -54,7 +54,8 @@ std::vector<SeriesPoint> series(std::initializer_list<double> xs,
 TEST(Fit, ShapeNamesRoundTrip) {
   for (Shape s : {Shape::kFlat, Shape::kLogStar, Shape::kLogN, Shape::kLog2N,
                   Shape::kLinear, Shape::kNLogN, Shape::kNLogH,
-                  Shape::kBelowAux, Shape::kBelowConst}) {
+                  Shape::kThetaAux, Shape::kBelowAux, Shape::kBelowConst,
+                  Shape::kM4EpsDelta}) {
     Shape back{};
     ASSERT_TRUE(trace::shape_from_name(trace::shape_name(s), &back));
     EXPECT_EQ(back, s);

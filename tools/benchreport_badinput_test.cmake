@@ -1,0 +1,81 @@
+# ctest script: benchreport must fail with its distinct input-error exit
+# code (3) and a readable message when fed a truncated or malformed
+# BENCH_*.json, and must not let a broken artifact read as "claims ok".
+#
+# Invoked as:
+#   cmake -DBENCHREPORT=<path-to-binary> -DWORK_DIR=<scratch>
+#         -P benchreport_badinput_test.cmake
+if(NOT BENCHREPORT OR NOT WORK_DIR)
+  message(FATAL_ERROR "need -DBENCHREPORT=... and -DWORK_DIR=...")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+# Case 1: truncated JSON (an interrupted bench run or partial upload).
+file(WRITE "${WORK_DIR}/BENCH_trunc.json"
+     "{\"schema\": \"iph-bench-report-v1\", \"bench\": \"tr")
+execute_process(
+  COMMAND "${BENCHREPORT}" "${WORK_DIR}/BENCH_trunc.json"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 3)
+  message(FATAL_ERROR
+          "truncated report: expected exit 3, got ${rc}\nstderr: ${err}")
+endif()
+if(NOT err MATCHES "not a valid bench report")
+  message(FATAL_ERROR
+          "truncated report: stderr lacks readable diagnosis: ${err}")
+endif()
+
+# Case 2: valid JSON that is not a bench report (wrong schema).
+file(WRITE "${WORK_DIR}/BENCH_alien.json" "{\"schema\": \"something-else\"}")
+execute_process(
+  COMMAND "${BENCHREPORT}" "${WORK_DIR}/BENCH_alien.json"
+  RESULT_VARIABLE rc
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 3)
+  message(FATAL_ERROR
+          "alien schema: expected exit 3, got ${rc}\nstderr: ${err}")
+endif()
+if(NOT err MATCHES "iph-bench-report-v1")
+  message(FATAL_ERROR "alien schema: stderr lacks expected schema: ${err}")
+endif()
+
+# Case 3: one broken file next to a good one — still exit 3 (the broken
+# artifact must not be masked), but the good report still renders.
+file(WRITE "${WORK_DIR}/BENCH_good.json"
+"{\"schema\": \"iph-bench-report-v1\", \"bench\": \"good\",
+  \"claims_enforced\": true, \"rows\": [
+    {\"name\": \"g/1\", \"function\": \"g\", \"args\": \"1\", \"label\": \"\",
+     \"x\": 1, \"wall_ms\": 0.5, \"counters\": {\"peak_aux\": 2048}}],
+  \"claims\": [{\"name\": \"c\", \"counter\": \"steps\", \"shape\": \"flat\",
+                \"tol\": 1.5, \"ok\": true}]}")
+execute_process(
+  COMMAND "${BENCHREPORT}" "${WORK_DIR}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 3)
+  message(FATAL_ERROR
+          "mixed dir: expected exit 3, got ${rc}\nstderr: ${err}")
+endif()
+if(NOT out MATCHES "good")
+  message(FATAL_ERROR "mixed dir: good report missing from summary: ${out}")
+endif()
+if(NOT out MATCHES "2.05k")
+  message(FATAL_ERROR "mixed dir: peak aux column missing/wrong: ${out}")
+endif()
+
+# Case 4: the good report alone exits 0 (control).
+execute_process(
+  COMMAND "${BENCHREPORT}" --check "${WORK_DIR}/BENCH_good.json"
+  RESULT_VARIABLE rc
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "good report: expected exit 0, got ${rc}\nstderr: ${err}")
+endif()
+
+message(STATUS "benchreport bad-input behavior ok")
