@@ -1,0 +1,158 @@
+// E14 — serving: batched small-query throughput vs one-Machine-per-
+// request, at the same thread count. A serving deployment provisions
+// its shards wide enough for the largest queries it accepts (here
+// 32 threads — the n >= 2048 rows genuinely fan out, grain 2048), so a
+// small query served naively pays the full threads-1 thread spawn +
+// join per request. That fixed cost dominates small hulls: measured on
+// the reference box, Machine(32) construction ~0.7 ms vs ~0.2 ms for
+// the n = 64 hull run itself. The service's pre-warmed MachinePool +
+// adaptive batcher amortize exactly that away — the PRAM execution is
+// bit-identical by construction (checked every run below) — so for
+// "small"-labelled rows the served configuration must clear at least
+// 2x the solo throughput: inv_speedup = qps_solo / qps_served <= 0.5.
+// "medium" and "large" rows document the crossover where the hull run
+// itself takes over and the two configurations converge.
+//
+// Counters: the wall-clock serving axis (qps, qps_solo, inv_speedup,
+// p50/p95/p99 e2e latency, mean coalesced batch size) plus the
+// deterministic PRAM axis (steps/work summed over the request set,
+// which the committed baseline pins bit-exactly — per-request PRAM cost
+// is a pure function of (points, id, master seed), never of batching).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "report.h"
+#include "core/api.h"
+#include "geom/workloads.h"
+#include "pram/machine.h"
+#include "serve/request.h"
+#include "serve/service.h"
+
+namespace {
+
+constexpr std::uint64_t kMasterSeed = 0x19910722ULL;
+constexpr int kRequests = 40;
+constexpr unsigned kThreads = 32;  ///< Shard width; see file comment.
+
+std::vector<std::vector<iph::geom::Point2>> request_points(std::size_t n) {
+  std::vector<std::vector<iph::geom::Point2>> pts;
+  pts.reserve(kRequests);
+  for (int i = 0; i < kRequests; ++i) {
+    pts.push_back(iph::geom::in_disk(n, 1000 + i));
+  }
+  return pts;
+}
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+void e14(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto pts = request_points(n);
+
+  iph::serve::ServiceConfig cfg;
+  cfg.shards = 2;
+  cfg.workers = 2;
+  cfg.threads_per_shard = kThreads;
+  cfg.queue_capacity = kRequests * 2;
+  cfg.master_seed = kMasterSeed;
+  cfg.batch.window = std::chrono::microseconds(200);
+
+  double qps = 0, qps_solo = 0;
+  double p50 = 0, p95 = 0, p99 = 0, mean_batch = 0;
+  std::uint64_t steps = 0, work = 0, large = 0;
+  for (auto _ : state) {
+    // Solo: one Machine per request — the per-request spawn/join cost
+    // the service exists to amortize — same thread count, same seeds.
+    steps = work = 0;
+    const auto s0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kRequests; ++i) {
+      iph::Options opts;
+      opts.threads = kThreads;
+      opts.seed = iph::serve::derive_request_seed(
+          kMasterSeed, static_cast<iph::serve::RequestId>(i + 1));
+      const iph::Hull2D h = iph::upper_hull_2d(pts[i], opts);
+      benchmark::DoNotOptimize(h.result.upper.vertices.data());
+      steps += h.metrics.steps;
+      work += h.metrics.work;
+    }
+    const auto s1 = std::chrono::steady_clock::now();
+    const double solo_s = std::chrono::duration<double>(s1 - s0).count();
+    qps_solo = kRequests / solo_s;
+
+    // Served: same requests (same ids, so bit-identical PRAM runs)
+    // through the batching service.
+    iph::serve::HullService svc(cfg);
+    std::vector<std::future<iph::serve::Response>> futs;
+    futs.reserve(kRequests);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kRequests; ++i) {
+      iph::serve::Request r;
+      r.id = static_cast<iph::serve::RequestId>(i + 1);
+      r.points = pts[i];
+      futs.push_back(svc.submit(std::move(r)));
+    }
+    std::vector<double> e2e;
+    e2e.reserve(kRequests);
+    std::uint64_t served_steps = 0, served_work = 0;
+    for (auto& f : futs) {
+      const iph::serve::Response resp = f.get();
+      e2e.push_back(resp.metrics.e2e_ms);
+      served_steps += resp.metrics.steps;
+      served_work += resp.metrics.work;
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    const double served_s = std::chrono::duration<double>(t1 - t0).count();
+    qps = kRequests / served_s;
+    // The bit-identity acceptance check, enforced on every bench run:
+    // batched PRAM cost must equal the solo runs' exactly.
+    if (served_steps != steps || served_work != work) {
+      state.SkipWithError("served PRAM metrics diverge from solo runs");
+      return;
+    }
+    std::sort(e2e.begin(), e2e.end());
+    p50 = percentile(e2e, 0.50);
+    p95 = percentile(e2e, 0.95);
+    p99 = percentile(e2e, 0.99);
+    const iph::serve::StatsSnapshot stats = svc.stats();
+    mean_batch = stats.mean_batch();
+    large = stats.large_requests;
+  }
+
+  state.counters["qps"] = qps;
+  state.counters["qps_solo"] = qps_solo;
+  state.counters["inv_speedup"] = qps_solo / qps;
+  state.counters["p50_ms"] = p50;
+  state.counters["p95_ms"] = p95;
+  state.counters["p99_ms"] = p99;
+  state.counters["mean_batch"] = mean_batch;
+  state.counters["large_requests"] = static_cast<double>(large);
+  state.counters["steps"] = static_cast<double>(steps);
+  state.counters["work"] = static_cast<double>(work);
+  state.SetLabel(n < 256 ? "small" : (n < 2048 ? "medium" : "large"));
+}
+
+}  // namespace
+
+BENCHMARK(e14)
+    ->ArgsProduct({iph::bench::n_sweep({64, 128, 256, 1024, 4096})})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+// The serving claim: for small queries, batched throughput is at least
+// 2x one-Machine-per-request at the same thread count. Large rows are
+// excluded — there the hull run itself dominates and the two
+// configurations converge (EXPERIMENTS.md E14).
+IPH_BENCH_MAIN("e14",
+               {"batch-speedup", "inv_speedup", "below_const", 0.5, "",
+                "small"})

@@ -19,9 +19,8 @@ pram::Machine make_machine(const Options& o) {
 
 }  // namespace
 
-Hull2D upper_hull_2d(std::span<const geom::Point2> pts,
+Hull2D upper_hull_2d(pram::Machine& m, std::span<const geom::Point2> pts,
                      const Options& opts) {
-  pram::Machine m = make_machine(opts);
   Hull2D out;
   switch (opts.algo) {
     case Algo2D::kFallback:
@@ -41,9 +40,15 @@ Hull2D upper_hull_2d(std::span<const geom::Point2> pts,
   return out;
 }
 
-Hull2D upper_hull_2d_presorted(std::span<const geom::Point2> pts,
-                               const Options& opts) {
+Hull2D upper_hull_2d(std::span<const geom::Point2> pts,
+                     const Options& opts) {
   pram::Machine m = make_machine(opts);
+  return upper_hull_2d(m, pts, opts);
+}
+
+Hull2D upper_hull_2d_presorted(pram::Machine& m,
+                               std::span<const geom::Point2> pts,
+                               const Options& opts) {
   Hull2D out;
   switch (opts.algo) {
     case Algo2D::kPresortedLogstar:
@@ -64,9 +69,15 @@ Hull2D upper_hull_2d_presorted(std::span<const geom::Point2> pts,
   return out;
 }
 
-FullHull2D convex_hull_2d(std::span<const geom::Point2> pts,
-                          const Options& opts) {
+Hull2D upper_hull_2d_presorted(std::span<const geom::Point2> pts,
+                               const Options& opts) {
   pram::Machine m = make_machine(opts);
+  return upper_hull_2d_presorted(m, pts, opts);
+}
+
+FullHull2D convex_hull_2d(pram::Machine& m,
+                          std::span<const geom::Point2> pts,
+                          const Options& opts) {
   FullHull2D out;
   const auto upper = core::unsorted_hull_2d(m, pts, nullptr, opts.alpha);
   std::vector<geom::Point2> neg(pts.size());
@@ -82,15 +93,26 @@ FullHull2D convex_hull_2d(std::span<const geom::Point2> pts,
   return out;
 }
 
-Hull3D upper_hull_3d(std::span<const geom::Point3> pts,
-                     const Options& opts) {
+FullHull2D convex_hull_2d(std::span<const geom::Point2> pts,
+                          const Options& opts) {
   pram::Machine m = make_machine(opts);
+  return convex_hull_2d(m, pts, opts);
+}
+
+Hull3D upper_hull_3d(pram::Machine& m, std::span<const geom::Point3> pts,
+                     const Options& opts) {
   Hull3D out;
   core::Unsorted3DStats stats;
   out.result = core::unsorted_hull_3d(m, pts, &stats, opts.alpha);
   out.metrics = m.metrics();
   out.used_fallback = stats.used_fallback;
   return out;
+}
+
+Hull3D upper_hull_3d(std::span<const geom::Point3> pts,
+                     const Options& opts) {
+  pram::Machine m = make_machine(opts);
+  return upper_hull_3d(m, pts, opts);
 }
 
 }  // namespace iph

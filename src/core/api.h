@@ -21,6 +21,10 @@
 #include "geom/point.h"
 #include "pram/metrics.h"
 
+namespace iph::pram {
+class Machine;
+}  // namespace iph::pram
+
 namespace iph {
 
 enum class Algo2D {
@@ -38,6 +42,15 @@ struct Options {
   Algo2D algo = Algo2D::kAuto;
 };
 
+// Machine-lease entry points: every call below also exists in an
+// overload taking a caller-provided pram::Machine&. These skip the
+// per-call Machine spin-up (threads-1 thread spawns + joins) — the
+// serving layer (src/serve) leases pre-warmed machines from a pool and
+// calls these. With a provided machine, Options::seed and
+// Options::threads are ignored (they are machine properties; reseed
+// with Machine::reset), and the returned metrics are the machine's
+// cumulative metrics — reset() the machine first for per-call numbers.
+
 struct Hull2D {
   geom::HullResult2D result;
   pram::Metrics metrics;
@@ -52,10 +65,15 @@ struct Hull3D {
 /// Upper hull of arbitrary-order 2-d points (Theorem 5 by default).
 Hull2D upper_hull_2d(std::span<const geom::Point2> pts,
                      const Options& opts = {});
+Hull2D upper_hull_2d(pram::Machine& m, std::span<const geom::Point2> pts,
+                     const Options& opts = {});
 
 /// Upper hull of lexicographically sorted points (Lemma 2.5 by default;
 /// select Theorem 2 via Algo2D::kPresortedLogstar).
 Hull2D upper_hull_2d_presorted(std::span<const geom::Point2> pts,
+                               const Options& opts = {});
+Hull2D upper_hull_2d_presorted(pram::Machine& m,
+                               std::span<const geom::Point2> pts,
                                const Options& opts = {});
 
 /// Full convex hull, counterclockwise vertex indices, via two upper-hull
@@ -66,10 +84,15 @@ struct FullHull2D {
 };
 FullHull2D convex_hull_2d(std::span<const geom::Point2> pts,
                           const Options& opts = {});
+FullHull2D convex_hull_2d(pram::Machine& m,
+                          std::span<const geom::Point2> pts,
+                          const Options& opts = {});
 
 /// Upper hull of arbitrary-order 3-d points (Theorem 6; Las Vegas — the
 /// result is always exact, used_fallback reports the repair path).
 Hull3D upper_hull_3d(std::span<const geom::Point3> pts,
+                     const Options& opts = {});
+Hull3D upper_hull_3d(pram::Machine& m, std::span<const geom::Point3> pts,
                      const Options& opts = {});
 
 }  // namespace iph

@@ -32,16 +32,19 @@ struct ConflictSink {
 };
 
 namespace conflict_detail {
-/// Sink of the Machine currently executing a counted step, or null.
-/// Like shadow_detail::g_active: only one Machine runs a step at a time
-/// (steps are synchronous host calls).
-inline std::atomic<ConflictSink*> g_sink{nullptr};
+/// Sink the CURRENT THREAD is counting into, or null. Thread-local, not
+/// process-global, because machines step concurrently (serve's
+/// MachinePool runs one per shard): the host thread binds its machine's
+/// sink around each counted step, and a machine's pool workers bind it
+/// at job pickup under the pool mutex (machine.cpp worker_loop), so no
+/// thread can ever observe another machine's sink.
+inline thread_local ConflictSink* t_sink = nullptr;
 }  // namespace conflict_detail
 
 /// Called by every combining-cell write with the cell's stamp word.
-/// No-op unless a counting Machine is mid-step.
+/// No-op unless the current thread is executing a counted step.
 inline void conflict_probe(std::atomic<std::uint64_t>& cell_stamp) noexcept {
-  ConflictSink* s = conflict_detail::g_sink.load(std::memory_order_relaxed);
+  ConflictSink* s = conflict_detail::t_sink;
   if (s == nullptr) return;
   if (cell_stamp.exchange(s->stamp, std::memory_order_relaxed) == s->stamp) {
     s->count.fetch_add(1, std::memory_order_relaxed);

@@ -18,6 +18,7 @@ std::uint64_t pick_chunk(std::uint64_t n, unsigned threads) {
 
 Machine::Machine(unsigned threads, std::uint64_t seed)
     : seed_(seed),
+      grain_(support::env_pram_grain()),
       threads_(threads == 0 ? support::env_threads() : threads) {
 #if defined(IPH_PRAM_CHECK_DEFAULT_ON)
   constexpr bool check_default = true;
@@ -41,6 +42,21 @@ Machine::~Machine() {
   for (auto& t : workers_) t.join();
 }
 
+void Machine::reset(std::uint64_t seed) {
+  // Between programs only: an open Phase would fold this program's
+  // counters into the next one's.
+  IPH_CHECK(phase_stack_.empty());
+  IPH_CHECK(peak_stack_.empty());
+  seed_ = seed;
+  step_index_ = 0;
+  metrics_ = Metrics{};
+  phases_.clear();
+  // A fresh shadow map: entries are stamped with step indices, and the
+  // restarted numbering would otherwise alias the previous program's
+  // same-numbered steps into false races on reused cells.
+  if (shadow_) shadow_ = std::make_unique<ShadowTracker>();
+}
+
 void Machine::enable_check() {
   if (!shadow_) shadow_ = std::make_unique<ShadowTracker>();
 }
@@ -50,11 +66,13 @@ void Machine::disable_check() { shadow_.reset(); }
 void Machine::checked_step_prologue() {
   shadow_->begin_step(step_index_,
                       phase_stack_.empty() ? std::string() : phase_stack_.back());
-  shadow_detail::g_active.store(shadow_.get(), std::memory_order_release);
+  shadow_detail::t_active = shadow_.get();  // host thread (worker 0)
+  step_shadow_ = shadow_.get();             // pool workers, at job pickup
 }
 
 void Machine::checked_step_epilogue() {
-  shadow_detail::g_active.store(nullptr, std::memory_order_release);
+  shadow_detail::t_active = nullptr;
+  step_shadow_ = nullptr;
   shadow_->end_step();
 }
 
@@ -62,17 +80,19 @@ void Machine::counted_step_prologue() {
   // step_index_ + 1 so a freshly-zeroed cell stamp never matches.
   conflict_sink_.stamp = step_index_ + 1;
   conflict_sink_.count.store(0, std::memory_order_relaxed);
-  conflict_detail::g_sink.store(&conflict_sink_, std::memory_order_release);
+  conflict_detail::t_sink = &conflict_sink_;  // host thread (worker 0)
+  step_sink_ = &conflict_sink_;               // pool workers, at job pickup
 }
 
 std::uint64_t Machine::counted_step_epilogue() {
-  conflict_detail::g_sink.store(nullptr, std::memory_order_release);
+  conflict_detail::t_sink = nullptr;
+  step_sink_ = nullptr;
   return conflict_sink_.count.load(std::memory_order_relaxed);
 }
 
 void Machine::run_range(std::uint64_t n, RangeFn fn, void* ctx) {
   IPH_CHECK(fn != nullptr);
-  if (threads_ <= 1 || n < 2048 || workers_.empty()) {
+  if (threads_ <= 1 || n < grain_ || workers_.empty()) {
     fn(ctx, 0, n);
     return;
   }
@@ -116,12 +136,20 @@ void Machine::worker_loop(unsigned /*worker_id*/) {
       ctx = job_ctx_;
       n = job_n_;
       chunk = job_chunk_;
+      // Bind THIS machine's step context to the thread before running
+      // chunks: the checker/conflict probes consult thread-locals (see
+      // shadow.h/conflict.h), so writes by this worker can never land in
+      // a concurrently-stepping machine's tracker or sink.
+      shadow_detail::t_active = step_shadow_;
+      conflict_detail::t_sink = step_sink_;
     }
     std::uint64_t lo;
     while ((lo = job_next_.fetch_add(chunk, std::memory_order_relaxed)) < n) {
       const std::uint64_t hi = lo + chunk < n ? lo + chunk : n;
       fn(ctx, lo, hi);
     }
+    shadow_detail::t_active = nullptr;
+    conflict_detail::t_sink = nullptr;
     {
       std::lock_guard<std::mutex> lk(mu_);
       if (--workers_remaining_ == 0) cv_done_.notify_one();

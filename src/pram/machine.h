@@ -80,6 +80,28 @@ class Machine {
   Machine(const Machine&) = delete;
   Machine& operator=(const Machine&) = delete;
 
+  /// Return the machine to its just-constructed state under a new seed,
+  /// KEEPING the warm thread pool: step index, metrics, and per-phase
+  /// accounting restart from zero, so a subsequent program is
+  /// bit-identical to running it on a fresh Machine(threads(), seed).
+  /// This is the reuse hook the serving layer's MachinePool leases are
+  /// built on (a Machine spin-up costs threads()-1 thread spawns; a
+  /// reset costs none). Host-side only, and only between programs: no
+  /// Phase may be open. An attached observer stays attached (its
+  /// recording simply continues); the step-race checker, if armed, gets
+  /// a fresh shadow map so stale same-step stamps from the previous
+  /// program cannot alias the restarted step numbering.
+  void reset(std::uint64_t seed);
+
+  /// Serial-dispatch grain: step bodies with n < grain() run inline on
+  /// the calling thread instead of being fanned out to the pool (the
+  /// per-chunk dispatch cost dwarfs tiny bodies). Default 2048,
+  /// overridable per-process with IPH_PRAM_GRAIN (support/env.h) and
+  /// per-machine here — the serving batcher tunes it per shard.
+  /// Scheduling only: results and PRAM metrics are grain-independent.
+  std::uint64_t grain() const noexcept { return grain_; }
+  void set_grain(std::uint64_t g) noexcept { grain_ = g < 1 ? 1 : g; }
+
   /// One synchronous CRCW step with n active virtual processors.
   /// fn must be callable as fn(std::uint64_t pid).
   template <typename Fn>
@@ -289,6 +311,7 @@ class Machine {
   std::uint64_t counted_step_epilogue();
 
   std::uint64_t seed_;
+  std::uint64_t grain_;
   std::uint64_t step_index_ = 0;
   Metrics metrics_;
   PhaseMetrics phases_;
@@ -317,6 +340,13 @@ class Machine {
   std::uint64_t job_n_ = 0;
   std::uint64_t job_chunk_ = 0;
   std::atomic<std::uint64_t> job_next_{0};
+  // This machine's checker/conflict context for the step in flight.
+  // Written by the host in the step prologues (before the job is
+  // published under mu_), read by workers at job pickup (under mu_) to
+  // bind their thread-local tracker/sink — see shadow.h/conflict.h on
+  // why these are per-thread, not process-global.
+  ShadowTracker* step_shadow_ = nullptr;
+  ConflictSink* step_sink_ = nullptr;
 };
 
 }  // namespace iph::pram

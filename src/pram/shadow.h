@@ -113,19 +113,23 @@ class ShadowTracker {
 };
 
 namespace shadow_detail {
-/// The tracker of the Machine currently executing a checked step, or
-/// null. Published in the step prologue, cleared in the epilogue; only
-/// one Machine runs a step at a time (steps are synchronous host calls).
-inline std::atomic<ShadowTracker*> g_active{nullptr};
+/// The tracker the CURRENT THREAD is writing under, or null.
+/// Thread-local, not process-global, because machines step concurrently
+/// (serve's MachinePool runs one per shard): the host thread binds its
+/// machine's tracker around each checked step, and a machine's pool
+/// workers bind it at job pickup under the pool mutex (machine.cpp
+/// worker_loop). A thread can therefore never observe — or keep using
+/// across a Machine::reset — another machine's tracker.
+inline thread_local ShadowTracker* t_active = nullptr;
 /// The virtual pid the current hardware thread is executing, so
 /// combining cells can attribute sanctioned writes without plumbing pid
 /// through every call. Maintained only while checking is active.
 inline thread_local std::uint64_t t_pid = ShadowTracker::kNoPid;
 }  // namespace shadow_detail
 
-/// Tracker of the step currently executing under checking, else null.
+/// Tracker of the checked step this thread is executing, else null.
 inline ShadowTracker* active_shadow() noexcept {
-  return shadow_detail::g_active.load(std::memory_order_relaxed);
+  return shadow_detail::t_active;
 }
 
 /// RAII pid scope: the Machine wraps each fn(pid) call in one of these

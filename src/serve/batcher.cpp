@@ -1,0 +1,59 @@
+#include "serve/batcher.h"
+
+#include "core/api.h"
+
+namespace iph::serve {
+
+std::vector<Response> execute_batch(pram::Machine& m,
+                                    std::span<const Request> requests,
+                                    std::uint64_t master_seed) {
+  // Pack the batch into one contiguous arena; request r's points live in
+  // the disjoint cell range [offsets[r], offsets[r] + n_r).
+  std::vector<std::size_t> offsets;
+  offsets.reserve(requests.size());
+  std::size_t total = 0;
+  for (const Request& r : requests) {
+    offsets.push_back(total);
+    total += r.points.size();
+  }
+  std::vector<geom::Point2> arena;
+  arena.reserve(total);
+  for (const Request& r : requests) {
+    arena.insert(arena.end(), r.points.begin(), r.points.end());
+  }
+
+  std::vector<Response> out;
+  out.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const Request& r = requests[i];
+    const std::uint64_t seed = derive_request_seed(master_seed, r.id);
+    m.reset(seed);
+    Options opts;
+    opts.alpha = r.alpha;
+    const auto t0 = Clock::now();
+    Hull2D h;
+    {
+      pram::Machine::Phase phase(m, "serve/request");
+      h = upper_hull_2d(
+          m, std::span<const geom::Point2>(arena).subspan(
+                 offsets[i], r.points.size()),
+          opts);
+    }
+    const auto t1 = Clock::now();
+    Response resp;
+    resp.id = r.id;
+    resp.status = Status::kOk;
+    resp.hull = std::move(h.result);
+    resp.metrics.seed = seed;
+    resp.metrics.steps = h.metrics.steps;
+    resp.metrics.work = h.metrics.work;
+    resp.metrics.max_active = h.metrics.max_active;
+    resp.metrics.batch_size = requests.size();
+    resp.metrics.exec_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    out.push_back(std::move(resp));
+  }
+  return out;
+}
+
+}  // namespace iph::serve

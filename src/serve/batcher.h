@@ -1,0 +1,54 @@
+// The adaptive batcher: policy + batched PRAM execution.
+//
+// Small hull queries are dominated by per-run fixed costs, so the
+// service coalesces the small requests that arrive within a window into
+// ONE leased PRAM run: their point sets are packed into a single
+// contiguous arena (request r owns the disjoint cell range
+// [offset_r, offset_r + n_r)), the leased machine executes the requests
+// back-to-back — reset to each request's derived seed so every request
+// replays exactly its solo execution — and the per-request hulls are
+// split back out of the arena's index space. Requests at or above
+// BatchPolicy::small_threshold points bypass the batcher and are routed
+// to the dedicated large shard (service.h).
+//
+// Why back-to-back inside one lease rather than one merged simulation:
+// the service promises batched results bit-identical to solo runs
+// (request.h determinism contract), and a merged simulation would key
+// every random draw on the batch composition. The throughput win of
+// batching here is amortizing the machine lease, the thread-pool warmth
+// and the arena over many tiny queries — measured in bench/e14.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "pram/machine.h"
+#include "serve/request.h"
+
+namespace iph::serve {
+
+struct BatchPolicy {
+  /// Requests with >= this many points skip batching (large path).
+  std::size_t small_threshold = 2048;
+  /// Budget per batch: requests and total arena points.
+  std::size_t max_batch_requests = 64;
+  std::size_t max_batch_points = std::size_t{1} << 16;
+  /// How long a dequeued batch waits for stragglers.
+  std::chrono::microseconds window{200};
+  /// Serial-dispatch grain applied to leased shards (0 = leave the
+  /// machine's IPH_PRAM_GRAIN-derived default).
+  std::uint64_t grain = 0;
+};
+
+/// Execute `requests` as one batch on `m` (see file comment) and return
+/// one Response per request, in order. Fills the deterministic
+/// RequestMetrics fields plus exec_ms and batch_size; queue/e2e timing
+/// and shard id belong to the caller. `m` is reset per request — its
+/// metrics afterwards are the last request's.
+std::vector<Response> execute_batch(pram::Machine& m,
+                                    std::span<const Request> requests,
+                                    std::uint64_t master_seed);
+
+}  // namespace iph::serve

@@ -1,0 +1,66 @@
+#include "serve/machine_pool.h"
+
+#include "support/check.h"
+
+namespace iph::serve {
+
+MachinePool::MachinePool(std::size_t shards, unsigned threads_per_shard,
+                         std::uint64_t seed) {
+  IPH_CHECK(shards > 0);
+  machines_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    machines_.push_back(
+        std::make_unique<pram::Machine>(threads_per_shard, seed));
+  }
+  leased_.assign(shards, false);
+}
+
+MachinePool::Lease MachinePool::acquire() {
+  std::unique_lock<std::mutex> lk(mu_);
+  std::size_t idx = 0;
+  cv_.wait(lk, [&] {
+    for (std::size_t i = 0; i < leased_.size(); ++i) {
+      if (!leased_[i]) {
+        idx = i;
+        return true;
+      }
+    }
+    return false;
+  });
+  leased_[idx] = true;
+  return Lease(this, idx);
+}
+
+std::optional<MachinePool::Lease> MachinePool::try_acquire() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (std::size_t i = 0; i < leased_.size(); ++i) {
+    if (!leased_[i]) {
+      leased_[i] = true;
+      return Lease(this, i);
+    }
+  }
+  return std::nullopt;
+}
+
+std::size_t MachinePool::available() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::size_t n = 0;
+  for (const bool b : leased_) n += b ? 0 : 1;
+  return n;
+}
+
+void MachinePool::Lease::release() {
+  if (pool_ == nullptr) return;
+  pool_->release_shard(index_);
+  pool_ = nullptr;
+}
+
+void MachinePool::release_shard(std::size_t index) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    leased_[index] = false;
+  }
+  cv_.notify_one();
+}
+
+}  // namespace iph::serve

@@ -1,0 +1,92 @@
+// A pool of pre-warmed pram::Machine shards.
+//
+// Constructing a Machine spawns threads-1 pool threads; destroying it
+// joins them. Per-request that spin-up dominates small hull queries, so
+// the service constructs its shards ONCE here and workers lease them.
+// A Lease is exclusive RAII access to one shard: while held, the holder
+// is the machine's only driver (steps, reset, observer callbacks), so
+// everything downstream — including an attached trace::Recorder — needs
+// no locking of its own. Lease hand-off goes through the pool mutex,
+// which establishes the happens-before edge between consecutive
+// holders of the same shard.
+//
+// acquire() blocks until a shard frees; try_acquire() reports
+// exhaustion instead (the serve stress test drives both).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "pram/machine.h"
+
+namespace iph::serve {
+
+class MachinePool {
+ public:
+  /// `shards` pre-warmed machines of `threads_per_shard` threads each
+  /// (0 = support::env_threads()), seeded with `seed` — leaseholders
+  /// reseed per program via Machine::reset anyway.
+  MachinePool(std::size_t shards, unsigned threads_per_shard,
+              std::uint64_t seed);
+
+  MachinePool(const MachinePool&) = delete;
+  MachinePool& operator=(const MachinePool&) = delete;
+
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& o) noexcept : pool_(o.pool_), index_(o.index_) {
+      o.pool_ = nullptr;
+    }
+    Lease& operator=(Lease&& o) noexcept {
+      if (this != &o) {
+        release();
+        pool_ = o.pool_;
+        index_ = o.index_;
+        o.pool_ = nullptr;
+      }
+      return *this;
+    }
+    ~Lease() { release(); }
+
+    explicit operator bool() const noexcept { return pool_ != nullptr; }
+    pram::Machine& machine() const { return *pool_->machines_[index_]; }
+    std::size_t shard() const noexcept { return index_; }
+    void release();
+
+   private:
+    friend class MachinePool;
+    Lease(MachinePool* pool, std::size_t index)
+        : pool_(pool), index_(index) {}
+    MachinePool* pool_ = nullptr;
+    std::size_t index_ = 0;
+  };
+
+  /// Blocks until a shard frees.
+  Lease acquire();
+  /// Empty optional when every shard is leased (exhaustion).
+  std::optional<Lease> try_acquire();
+
+  std::size_t size() const noexcept { return machines_.size(); }
+  std::size_t available() const;
+
+  /// Host-side access to shard `i`'s machine for pre-worker setup
+  /// (attaching observers, tuning the grain). Not synchronized against
+  /// leases — call before handing the pool to workers.
+  pram::Machine& machine(std::size_t i) { return *machines_[i]; }
+
+ private:
+  friend class Lease;
+  void release_shard(std::size_t index);
+
+  std::vector<std::unique_ptr<pram::Machine>> machines_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<bool> leased_;
+};
+
+}  // namespace iph::serve

@@ -1,0 +1,79 @@
+#include "serve/queue.h"
+
+namespace iph::serve {
+
+BoundedQueue::Admit BoundedQueue::push(Pending& p) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (closed_) return Admit::kClosed;
+    if (q_.size() >= capacity_) return Admit::kFull;
+    q_.push_back(std::move(p));
+  }
+  cv_.notify_one();
+  return Admit::kOk;
+}
+
+std::optional<Pending> BoundedQueue::pop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [this] { return closed_ || !q_.empty(); });
+  if (q_.empty()) return std::nullopt;
+  Pending p = std::move(q_.front());
+  q_.pop_front();
+  return p;
+}
+
+std::vector<Pending> BoundedQueue::pop_batch(
+    std::size_t max_requests, std::size_t max_points,
+    std::chrono::microseconds window) {
+  std::vector<Pending> out;
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [this] { return closed_ || !q_.empty(); });
+  if (q_.empty()) return out;
+
+  std::size_t points = 0;
+  auto take_available = [&] {
+    while (!q_.empty() && out.size() < max_requests) {
+      const std::size_t sz = q_.front().request.points.size();
+      // First take is unconditional so an oversized request can't wedge.
+      if (!out.empty() && points + sz > max_points) break;
+      out.push_back(std::move(q_.front()));
+      q_.pop_front();
+      points += sz;
+    }
+  };
+  take_available();
+  const auto batch_deadline = Clock::now() + window;
+  while (out.size() < max_requests && !closed_) {
+    if (!q_.empty()) {
+      const std::size_t sz = q_.front().request.points.size();
+      if (points + sz > max_points) break;
+      take_available();
+      continue;
+    }
+    if (cv_.wait_until(lk, batch_deadline) == std::cv_status::timeout) {
+      take_available();  // whatever raced the timeout
+      break;
+    }
+  }
+  return out;
+}
+
+void BoundedQueue::close() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t BoundedQueue::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return q_.size();
+}
+
+bool BoundedQueue::closed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return closed_;
+}
+
+}  // namespace iph::serve

@@ -1,0 +1,78 @@
+// Bounded MPMC request queue with admission control.
+//
+// The queue is the service's only backpressure point: push() never
+// blocks — a full queue rejects immediately (Admit::kFull) so callers
+// get a loaded-shed answer instead of unbounded latency, and a closed
+// queue rejects with Admit::kClosed. Consumers block in pop()/
+// pop_batch(); close() wakes them all, after which pops DRAIN the
+// backlog (graceful shutdown: every admitted request is still handed to
+// a worker) and then return empty.
+//
+// pop_batch implements the batching window: it blocks for the first
+// item, then keeps taking already-queued items — waiting up to `window`
+// for stragglers — until the request or point budget is reached. The
+// window prices latency against coalescing; the budgets bound the
+// arena one PRAM run touches.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "serve/request.h"
+
+namespace iph::serve {
+
+/// A queued request plus its completion channel and arrival stamp.
+struct Pending {
+  Request request;
+  std::promise<Response> promise;
+  Clock::time_point enqueued_at{};
+};
+
+class BoundedQueue {
+ public:
+  enum class Admit : std::uint8_t { kOk, kFull, kClosed };
+
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Non-blocking admission: kFull at capacity, kClosed after close().
+  /// On kOk the queue owns `p`; otherwise `p` is untouched (the caller
+  /// still holds the promise to answer the rejection on).
+  Admit push(Pending& p);
+
+  /// One item, blocking until something arrives or the queue closes.
+  /// Empty optional = closed and fully drained.
+  std::optional<Pending> pop();
+
+  /// Up to max_requests items totalling at most max_points input points
+  /// (the first item is taken regardless of its size, so oversized
+  /// requests cannot wedge the queue). Blocks for the first item; then
+  /// waits up to `window` past the first take for stragglers. Empty
+  /// vector = closed and fully drained.
+  std::vector<Pending> pop_batch(std::size_t max_requests,
+                                 std::size_t max_points,
+                                 std::chrono::microseconds window);
+
+  /// No further admissions; blocked consumers wake and drain.
+  void close();
+
+  std::size_t size() const;
+  bool closed() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> q_;
+  bool closed_ = false;
+};
+
+}  // namespace iph::serve

@@ -1,0 +1,261 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/check.h"
+#include "support/env.h"
+
+namespace iph::serve {
+
+namespace {
+
+ServiceConfig sanitize(ServiceConfig cfg) {
+  cfg.queue_capacity = std::max<std::size_t>(cfg.queue_capacity, 1);
+  cfg.shards = std::max<std::size_t>(cfg.shards, 1);
+  cfg.workers = std::max<std::size_t>(cfg.workers, 1);
+  cfg.batch.max_batch_requests =
+      std::max<std::size_t>(cfg.batch.max_batch_requests, 1);
+  cfg.batch.max_batch_points =
+      std::max<std::size_t>(cfg.batch.max_batch_points, 1);
+  return cfg;
+}
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+}  // namespace
+
+HullService::HullService(const ServiceConfig& cfg)
+    : cfg_(sanitize(cfg)),
+      pool_(cfg_.shards, cfg_.threads_per_shard, cfg_.master_seed),
+      small_queue_(cfg_.queue_capacity),
+      large_queue_(cfg_.queue_capacity) {
+  if (cfg_.large_shard) {
+    large_machine_ = std::make_unique<pram::Machine>(
+        cfg_.threads_per_shard, cfg_.master_seed);
+  }
+  if (cfg_.batch.grain != 0) {
+    for (std::size_t i = 0; i < pool_.size(); ++i) {
+      pool_.machine(i).set_grain(cfg_.batch.grain);
+    }
+    if (large_machine_) large_machine_->set_grain(cfg_.batch.grain);
+  }
+  if (cfg_.trace) {
+    const std::size_t n = pool_.size() + (large_machine_ ? 1 : 0);
+    recorders_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      recorders_.push_back(std::make_unique<trace::Recorder>());
+    }
+    for (std::size_t i = 0; i < pool_.size(); ++i) {
+      recorders_[i]->attach(pool_.machine(i));
+    }
+    if (large_machine_) recorders_.back()->attach(*large_machine_);
+  }
+  workers_.reserve(cfg_.workers + (large_machine_ ? 1 : 0));
+  for (std::size_t w = 0; w < cfg_.workers; ++w) {
+    workers_.emplace_back([this] { batch_worker(); });
+  }
+  if (large_machine_) {
+    workers_.emplace_back([this] { large_worker(); });
+  }
+}
+
+HullService::~HullService() { shutdown(/*drain=*/true); }
+
+std::future<Response> HullService::ready_response(Response r) {
+  std::promise<Response> p;
+  std::future<Response> f = p.get_future();
+  p.set_value(std::move(r));
+  return f;
+}
+
+std::future<Response> HullService::submit(Request req) {
+  stats_.submitted.fetch_add(1, std::memory_order_relaxed);
+  if (req.id == 0) {
+    req.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+  const RequestId id = req.id;
+  if (closed_.load(std::memory_order_acquire)) {
+    stats_.rejected_shutdown.fetch_add(1, std::memory_order_relaxed);
+    Response r;
+    r.id = id;
+    r.status = Status::kRejectedShutdown;
+    return ready_response(std::move(r));
+  }
+  const bool large = large_machine_ != nullptr &&
+                     req.points.size() >= cfg_.batch.small_threshold;
+  BoundedQueue& q = large ? large_queue_ : small_queue_;
+
+  Pending p;
+  p.request = std::move(req);
+  p.enqueued_at = Clock::now();
+  std::future<Response> fut = p.promise.get_future();
+  switch (q.push(p)) {
+    case BoundedQueue::Admit::kOk:
+      if (large) {
+        stats_.large_requests.fetch_add(1, std::memory_order_relaxed);
+      }
+      return fut;
+    case BoundedQueue::Admit::kFull: {
+      stats_.rejected_full.fetch_add(1, std::memory_order_relaxed);
+      answer_rejection(p, Status::kRejectedFull);
+      return fut;
+    }
+    case BoundedQueue::Admit::kClosed: {
+      stats_.rejected_shutdown.fetch_add(1, std::memory_order_relaxed);
+      answer_rejection(p, Status::kRejectedShutdown);
+      return fut;
+    }
+  }
+  IPH_CHECK(false);  // unreachable
+  return fut;
+}
+
+void HullService::answer_rejection(Pending& p, Status status) {
+  Response r;
+  r.id = p.request.id;
+  r.status = status;
+  p.promise.set_value(std::move(r));
+}
+
+void HullService::batch_worker() {
+  for (;;) {
+    std::vector<Pending> batch =
+        small_queue_.pop_batch(cfg_.batch.max_batch_requests,
+                               cfg_.batch.max_batch_points,
+                               cfg_.batch.window);
+    if (batch.empty()) return;  // closed and drained
+    if (abandon_.load(std::memory_order_acquire)) {
+      for (Pending& p : batch) {
+        stats_.rejected_shutdown.fetch_add(1, std::memory_order_relaxed);
+        answer_rejection(p, Status::kRejectedShutdown);
+      }
+      continue;
+    }
+    finish_batch(std::move(batch), pool_.acquire());
+  }
+}
+
+void HullService::finish_batch(std::vector<Pending> batch,
+                               MachinePool::Lease lease) {
+  const Clock::time_point dequeued = Clock::now();
+
+  // Deadline expiry is detected here, at dequeue: anything past its
+  // deadline is answered kExpired without spending PRAM time on it.
+  std::vector<Pending> live;
+  live.reserve(batch.size());
+  for (Pending& p : batch) {
+    if (p.request.has_deadline() && p.request.deadline < dequeued) {
+      stats_.expired.fetch_add(1, std::memory_order_relaxed);
+      Response r;
+      r.id = p.request.id;
+      r.status = Status::kExpired;
+      r.metrics.queue_wait_ms = ms_between(p.enqueued_at, dequeued);
+      r.metrics.e2e_ms = r.metrics.queue_wait_ms;
+      p.promise.set_value(std::move(r));
+    } else {
+      live.push_back(std::move(p));
+    }
+  }
+  if (live.empty()) return;
+
+  std::vector<Request> reqs;
+  reqs.reserve(live.size());
+  for (Pending& p : live) reqs.push_back(std::move(p.request));
+
+  std::vector<Response> responses =
+      execute_batch(lease.machine(), reqs, cfg_.master_seed);
+  const std::size_t shard = lease.shard();
+  lease.release();  // free the shard before the promise fan-out
+  const Clock::time_point done = Clock::now();
+
+  IPH_CHECK(responses.size() == live.size());
+  // Stats strictly before the promise fan-out: a caller that has seen
+  // its Response observes counters that already include it.
+  stats_.batches.fetch_add(1, std::memory_order_relaxed);
+  stats_.batched_requests.fetch_add(live.size(), std::memory_order_relaxed);
+  stats_.completed.fetch_add(live.size(), std::memory_order_relaxed);
+  std::uint64_t prev = stats_.max_batch.load(std::memory_order_relaxed);
+  while (prev < live.size() &&
+         !stats_.max_batch.compare_exchange_weak(
+             prev, live.size(), std::memory_order_relaxed)) {
+  }
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    responses[i].metrics.shard = shard;
+    responses[i].metrics.queue_wait_ms =
+        ms_between(live[i].enqueued_at, dequeued);
+    responses[i].metrics.e2e_ms = ms_between(live[i].enqueued_at, done);
+    live[i].promise.set_value(std::move(responses[i]));
+  }
+}
+
+void HullService::large_worker() {
+  for (;;) {
+    std::optional<Pending> p = large_queue_.pop();
+    if (!p) return;  // closed and drained
+    if (abandon_.load(std::memory_order_acquire)) {
+      stats_.rejected_shutdown.fetch_add(1, std::memory_order_relaxed);
+      answer_rejection(*p, Status::kRejectedShutdown);
+      continue;
+    }
+    const Clock::time_point dequeued = Clock::now();
+    if (p->request.has_deadline() && p->request.deadline < dequeued) {
+      stats_.expired.fetch_add(1, std::memory_order_relaxed);
+      Response r;
+      r.id = p->request.id;
+      r.status = Status::kExpired;
+      r.metrics.queue_wait_ms = ms_between(p->enqueued_at, dequeued);
+      r.metrics.e2e_ms = r.metrics.queue_wait_ms;
+      p->promise.set_value(std::move(r));
+      continue;
+    }
+    const Request req = std::move(p->request);
+    std::vector<Response> resp =
+        execute_batch(*large_machine_, {&req, 1}, cfg_.master_seed);
+    IPH_CHECK(resp.size() == 1);
+    const Clock::time_point done = Clock::now();
+    resp[0].metrics.shard = pool_.size();  // the dedicated large shard
+    resp[0].metrics.queue_wait_ms = ms_between(p->enqueued_at, dequeued);
+    resp[0].metrics.e2e_ms = ms_between(p->enqueued_at, done);
+    stats_.completed.fetch_add(1, std::memory_order_relaxed);
+    p->promise.set_value(std::move(resp[0]));
+  }
+}
+
+void HullService::shutdown(bool drain) {
+  std::lock_guard<std::mutex> lk(shutdown_mu_);
+  if (!joined_) {
+    if (!drain) abandon_.store(true, std::memory_order_release);
+    closed_.store(true, std::memory_order_release);
+    small_queue_.close();
+    large_queue_.close();
+    for (std::thread& t : workers_) {
+      if (t.joinable()) t.join();
+    }
+    joined_ = true;
+  }
+}
+
+StatsSnapshot HullService::stats() const {
+  StatsSnapshot s;
+  s.submitted = stats_.submitted.load(std::memory_order_relaxed);
+  s.rejected_full = stats_.rejected_full.load(std::memory_order_relaxed);
+  s.rejected_shutdown =
+      stats_.rejected_shutdown.load(std::memory_order_relaxed);
+  s.expired = stats_.expired.load(std::memory_order_relaxed);
+  s.completed = stats_.completed.load(std::memory_order_relaxed);
+  s.batches = stats_.batches.load(std::memory_order_relaxed);
+  s.batched_requests =
+      stats_.batched_requests.load(std::memory_order_relaxed);
+  s.max_batch = stats_.max_batch.load(std::memory_order_relaxed);
+  s.large_requests = stats_.large_requests.load(std::memory_order_relaxed);
+  return s;
+}
+
+const trace::Recorder* HullService::recorder(std::size_t i) const {
+  return i < recorders_.size() ? recorders_[i].get() : nullptr;
+}
+
+}  // namespace iph::serve

@@ -1,0 +1,140 @@
+// HullService — the in-process hull-serving front end.
+//
+//   submit(Request) -> std::future<Response>
+//
+// Architecture (DESIGN.md "Serving layer"):
+//
+//   submit ──admission──> small queue ──batch workers──> MachinePool
+//          │                                              (leased shard,
+//          │                                               batched run)
+//          └─(points >= small_threshold)─> large queue ──> dedicated
+//                                          large worker    large shard
+//
+// * Admission control happens on the caller's thread: a full queue or a
+//   shut-down service answers immediately with a ready rejected future
+//   — no request is ever silently dropped.
+// * Batch workers pop batches from the small queue (BoundedQueue::
+//   pop_batch with the policy window), lease a shard, expire any
+//   request whose deadline passed while queued, and run the rest
+//   through serve::execute_batch.
+// * The large worker runs oversized requests one at a time on its own
+//   dedicated shard so a big query never sits behind a batch (and a
+//   batch never waits on a big query).
+// * shutdown(drain=true) closes admissions and drains: every admitted
+//   request still executes. drain=false answers the backlog with
+//   kRejectedShutdown instead. The destructor drains.
+//
+// Tracing: with ServiceConfig::trace set, every shard gets a
+// trace::Recorder for its whole lifetime ("serve/request" phases, step
+// timeline, space gauges — the same recorder the bench harness uses).
+// A shard's recorder is only ever driven by the worker currently
+// holding that shard's lease, so the recorder's no-locking contract
+// holds; read them after shutdown().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "serve/batcher.h"
+#include "serve/machine_pool.h"
+#include "serve/queue.h"
+#include "serve/request.h"
+#include "trace/recorder.h"
+
+namespace iph::serve {
+
+struct ServiceConfig {
+  std::size_t queue_capacity = 1024;  ///< per queue (small and large).
+  std::size_t shards = 2;             ///< MachinePool size (batch path).
+  unsigned threads_per_shard = 0;     ///< 0 = support::env_threads().
+  std::size_t workers = 2;            ///< batch worker threads.
+  bool large_shard = true;  ///< dedicated shard+worker for big queries;
+                            ///< off = everything rides the batch path.
+  BatchPolicy batch;
+  std::uint64_t master_seed = 0x19910722ULL;
+  bool trace = false;  ///< attach a trace::Recorder per shard.
+};
+
+/// Monotonic service counters (all since construction).
+struct StatsSnapshot {
+  std::uint64_t submitted = 0;
+  std::uint64_t rejected_full = 0;
+  std::uint64_t rejected_shutdown = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t completed = 0;       ///< Answered kOk.
+  std::uint64_t batches = 0;         ///< PRAM batch runs (small path).
+  std::uint64_t batched_requests = 0;///< Requests summed over batches.
+  std::uint64_t max_batch = 0;       ///< Largest batch coalesced.
+  std::uint64_t large_requests = 0;  ///< Requests routed large.
+
+  double mean_batch() const noexcept {
+    return batches == 0 ? 0.0
+                        : static_cast<double>(batched_requests) /
+                              static_cast<double>(batches);
+  }
+};
+
+class HullService {
+ public:
+  explicit HullService(const ServiceConfig& cfg = {});
+  ~HullService();  ///< shutdown(/*drain=*/true).
+
+  HullService(const HullService&) = delete;
+  HullService& operator=(const HullService&) = delete;
+
+  /// Submit one request. Always yields exactly one Response through the
+  /// future; rejections/expiries are ready immediately or answered by
+  /// the draining worker. Requests without an id get a unique one
+  /// (ids only seed the derived RNG stream; see request.h).
+  std::future<Response> submit(Request req);
+
+  /// Close admissions and join the workers. Idempotent, thread-safe
+  /// against concurrent submit(): late submissions get
+  /// kRejectedShutdown. drain=true executes the backlog; drain=false
+  /// rejects it.
+  void shutdown(bool drain = true);
+
+  StatsSnapshot stats() const;
+
+  std::size_t shard_count() const noexcept { return pool_.size(); }
+  /// Shard `i`'s recorder (the large shard is index shard_count()), or
+  /// nullptr unless ServiceConfig::trace. Read after shutdown().
+  const trace::Recorder* recorder(std::size_t i) const;
+
+ private:
+  void batch_worker();
+  void large_worker();
+  void answer_rejection(Pending& p, Status status);
+  void finish_batch(std::vector<Pending> batch, MachinePool::Lease lease);
+  static std::future<Response> ready_response(Response r);
+
+  ServiceConfig cfg_;
+  // Recorders before machines: machines are detached from observers by
+  // destruction order (pool after recorders would dangle — so pool_
+  // and large_machine_ are declared after recorders_ and destroyed
+  // first).
+  std::vector<std::unique_ptr<trace::Recorder>> recorders_;
+  MachinePool pool_;
+  std::unique_ptr<pram::Machine> large_machine_;
+  BoundedQueue small_queue_;
+  BoundedQueue large_queue_;
+
+  struct Stats {
+    std::atomic<std::uint64_t> submitted{0}, rejected_full{0},
+        rejected_shutdown{0}, expired{0}, completed{0}, batches{0},
+        batched_requests{0}, max_batch{0}, large_requests{0};
+  };
+  mutable Stats stats_;
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<bool> closed_{false};
+  std::atomic<bool> abandon_{false};  ///< drain=false shutdown.
+  std::vector<std::thread> workers_;
+  std::mutex shutdown_mu_;
+  bool joined_ = false;
+};
+
+}  // namespace iph::serve

@@ -29,6 +29,11 @@ std::uint64_t env_seed() noexcept {
   return 0x19910722ULL;  // SPAA'91
 }
 
+std::uint64_t env_pram_grain() noexcept {
+  const std::uint64_t g = env_u64("IPH_PRAM_GRAIN", 2048);
+  return g < 1 ? 1 : g;
+}
+
 std::string env_string(const char* name, std::string fallback) {
   const char* s = std::getenv(name);
   if (s == nullptr || *s == '\0') return fallback;

@@ -11,6 +11,13 @@
 //                    for every Machine (writes beyond the first into the
 //                    same combining cell within one step). Attaching a
 //                    trace::Recorder enables it regardless of this knob.
+//   IPH_PRAM_GRAIN — serial-dispatch cutover of the PRAM simulator
+//                    (default 2048): a step body with fewer virtual
+//                    processors than this runs inline on the calling
+//                    thread instead of through the pool. Scheduling
+//                    only — results and PRAM metrics never depend on it.
+//                    Clamped to >= 1; the serving batcher tunes it per
+//                    shard via Machine::set_grain.
 //
 // The bench/report harness reads further knobs (IPH_BENCH_OUT_DIR,
 // IPH_BENCH_MAX_N, IPH_BENCH_BASELINE_DIR, IPH_BENCH_TOL,
@@ -28,6 +35,10 @@ unsigned env_threads() noexcept;
 
 /// Master seed for randomized algorithms unless a caller overrides it.
 std::uint64_t env_seed() noexcept;
+
+/// Serial-dispatch grain for pram::Machine (IPH_PRAM_GRAIN, default
+/// 2048, clamped to >= 1; unparsable values fall back to the default).
+std::uint64_t env_pram_grain() noexcept;
 
 /// Boolean knob: unset -> fallback; "1"/"true"/"on"/"yes" -> true;
 /// anything else -> false.

@@ -10,6 +10,7 @@
 #include <tuple>
 #include <vector>
 
+#include "core/api.h"
 #include "core/fallback2d.h"
 #include "core/presorted_constant.h"
 #include "core/presorted_logstar.h"
@@ -17,6 +18,8 @@
 #include "core/unsorted3d.h"
 #include "geom/workloads.h"
 #include "pram/machine.h"
+#include "serve/batcher.h"
+#include "serve/request.h"
 
 namespace iph {
 namespace {
@@ -109,6 +112,60 @@ std::string algo_name(const ::testing::TestParamInfo<int>& info) {
 
 INSTANTIATE_TEST_SUITE_P(AllAlgos, ThreadDeterminism,
                          ::testing::Values(0, 1, 2, 3, 4), algo_name);
+
+// --- serving layer: batched == solo -----------------------------------
+//
+// The serve determinism contract (serve/request.h): a request executes
+// under derive_request_seed(master, id), so its result is a pure
+// function of (points, id, alpha, master seed) — NOT of which other
+// requests were coalesced into the same batch, of arrival order, or of
+// the shard's thread count. Batched runs must be bit-identical to solo
+// runs of each request.
+TEST(ServeDeterminism, BatchedEqualsSoloBitIdentical) {
+  constexpr std::uint64_t kMaster = 0xfeedULL;
+  std::vector<serve::Request> reqs;
+  for (serve::RequestId id = 1; id <= 6; ++id) {
+    serve::Request r;
+    r.id = id;
+    r.points = geom::in_disk(200 + 37 * id, id);
+    reqs.push_back(std::move(r));
+  }
+
+  pram::Machine batch_machine(2, kMaster);
+  const auto batched =
+      serve::execute_batch(batch_machine, reqs, kMaster);
+  ASSERT_EQ(batched.size(), reqs.size());
+
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    // Solo reference: own machine, different thread count on purpose.
+    pram::Machine solo(4,
+                       serve::derive_request_seed(kMaster, reqs[i].id));
+    Options opts;
+    opts.alpha = reqs[i].alpha;
+    const Hull2D h = upper_hull_2d(solo, reqs[i].points, opts);
+    EXPECT_EQ(batched[i].hull.upper.vertices, h.result.upper.vertices)
+        << "request " << reqs[i].id;
+    EXPECT_EQ(batched[i].hull.edge_above, h.result.edge_above);
+    EXPECT_EQ(batched[i].metrics.steps, h.metrics.steps);
+    EXPECT_EQ(batched[i].metrics.work, h.metrics.work);
+    EXPECT_EQ(batched[i].metrics.max_active, h.metrics.max_active);
+  }
+
+  // Batch composition must not matter: reversed order, one machine.
+  std::vector<serve::Request> reversed(reqs.rbegin(), reqs.rend());
+  pram::Machine other(1, 0xdeadULL);  // pool seed is irrelevant too
+  const auto rebatched = serve::execute_batch(other, reversed, kMaster);
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const auto& fwd = batched[i];
+    const auto& rev = rebatched[reqs.size() - 1 - i];
+    ASSERT_EQ(fwd.id, rev.id);
+    EXPECT_EQ(fwd.hull.upper.vertices, rev.hull.upper.vertices);
+    EXPECT_EQ(fwd.hull.edge_above, rev.hull.edge_above);
+    EXPECT_EQ(fwd.metrics.steps, rev.metrics.steps);
+    EXPECT_EQ(fwd.metrics.work, rev.metrics.work);
+    EXPECT_EQ(fwd.metrics.seed, rev.metrics.seed);
+  }
+}
 
 }  // namespace
 }  // namespace iph

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <numeric>
+#include <tuple>
 #include <vector>
 
 #include "pram/allocation.h"
@@ -252,6 +254,80 @@ TEST(Machine, LargeStepParallelConsistency) {
     return out;
   };
   EXPECT_EQ(run(1), run(4));
+}
+
+// --- serial-dispatch grain (IPH_PRAM_GRAIN) ---------------------------
+
+TEST(Machine, GrainEnvKnobParsing) {
+  ::unsetenv("IPH_PRAM_GRAIN");
+  {
+    Machine m(1);
+    EXPECT_EQ(m.grain(), 2048u);  // documented default
+  }
+  ::setenv("IPH_PRAM_GRAIN", "64", 1);
+  {
+    Machine m(1);
+    EXPECT_EQ(m.grain(), 64u);
+  }
+  ::setenv("IPH_PRAM_GRAIN", "0", 1);  // clamped: a zero grain would
+  {                                    // never dispatch serially
+    Machine m(1);
+    EXPECT_EQ(m.grain(), 1u);
+  }
+  ::setenv("IPH_PRAM_GRAIN", "not-a-number", 1);
+  {
+    Machine m(1);
+    EXPECT_EQ(m.grain(), 2048u);  // unparsable falls back to default
+  }
+  ::unsetenv("IPH_PRAM_GRAIN");
+  Machine m(1);
+  m.set_grain(0);  // setter applies the same clamp
+  EXPECT_EQ(m.grain(), 1u);
+}
+
+TEST(Machine, GrainDoesNotChangeResultsOrMetrics) {
+  // The grain decides serial-vs-pool dispatch only; outputs and PRAM
+  // metrics are pure functions of (input, seed) regardless.
+  auto run = [](std::uint64_t grain) {
+    Machine m(4, 2026);
+    m.set_grain(grain);
+    std::vector<std::uint64_t> out(5000);
+    m.step(out.size(),
+           [&](std::uint64_t pid) { out[pid] = m.rng(pid).next_u64(); });
+    m.step(out.size() / 2, [&](std::uint64_t pid) {
+      out[pid] ^= m.rng(pid).next_u64();
+    });
+    return std::tuple(out, m.metrics().steps, m.metrics().work,
+                      m.metrics().max_active);
+  };
+  const auto base = run(1);  // everything through the pool
+  EXPECT_EQ(run(64), base);
+  EXPECT_EQ(run(1u << 20), base);  // everything serial
+}
+
+// --- reset (the MachinePool lease-reuse hook) -------------------------
+
+TEST(Machine, ResetReplaysAFreshMachine) {
+  auto fingerprint = [](Machine& m) {
+    std::vector<std::uint64_t> out(512);
+    m.step(out.size(),
+           [&](std::uint64_t pid) { out[pid] = m.rng(pid).next_u64(); });
+    m.step(out.size(), [&](std::uint64_t pid) {
+      out[pid] ^= m.rng(pid).next_u64() << 1;
+    });
+    return std::tuple(out, m.metrics().steps, m.metrics().work,
+                      m.metrics().max_active);
+  };
+  Machine fresh(2, 111);
+  const auto expected = fingerprint(fresh);
+
+  Machine reused(2, 222);
+  for (int i = 0; i < 100; ++i) {  // arbitrary prior program
+    reused.step(64, [&](std::uint64_t pid) { (void)reused.rng(pid); });
+  }
+  reused.reset(111);
+  EXPECT_EQ(reused.metrics().steps, 0u);
+  EXPECT_EQ(fingerprint(reused), expected);
 }
 
 }  // namespace

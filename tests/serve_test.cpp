@@ -1,0 +1,327 @@
+// iph::serve — queue admission, deadline expiry, shard leasing, batching
+// and shutdown-drain semantics. The concurrency tests here are the ones
+// CI runs under TSan with the step-race checker armed (IPH_PRAM_CHECK=1)
+// — they hammer submit/shutdown races on purpose.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "core/api.h"
+#include "geom/workloads.h"
+#include "serve/machine_pool.h"
+#include "serve/queue.h"
+#include "serve/request.h"
+#include "serve/service.h"
+
+namespace iph::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+Request make_request(RequestId id, std::size_t n, std::uint64_t seed) {
+  Request r;
+  r.id = id;
+  r.points = geom::in_disk(n, seed);
+  return r;
+}
+
+// --- BoundedQueue admission control -----------------------------------
+
+TEST(BoundedQueue, RejectsWhenFullAndAfterClose) {
+  BoundedQueue q(2);
+  Pending a, b, c;
+  EXPECT_EQ(q.push(a), BoundedQueue::Admit::kOk);
+  EXPECT_EQ(q.push(b), BoundedQueue::Admit::kOk);
+  EXPECT_EQ(q.push(c), BoundedQueue::Admit::kFull);
+  // The rejected Pending is untouched: the caller still owns its promise.
+  c.promise.set_value(Response{});
+  q.close();
+  Pending d;
+  EXPECT_EQ(q.push(d), BoundedQueue::Admit::kClosed);
+  // close() drains: both admitted items still come out, then empty.
+  EXPECT_TRUE(q.pop().has_value());
+  EXPECT_TRUE(q.pop().has_value());
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BoundedQueue, PopBatchRespectsBudgetsAndTakesOversizedFirst) {
+  BoundedQueue q(16);
+  auto push_n_points = [&](std::size_t n) {
+    Pending p;
+    p.request.points.resize(n);
+    ASSERT_EQ(q.push(p), BoundedQueue::Admit::kOk);
+  };
+  push_n_points(1000);  // oversized vs the 500-point budget below
+  push_n_points(100);
+  push_n_points(100);
+  push_n_points(100);
+  // First item is taken unconditionally (an oversized request must not
+  // wedge the queue); it already exceeds the point budget, so the batch
+  // is exactly one.
+  auto batch = q.pop_batch(8, 500, 0us);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].request.points.size(), 1000u);
+  // Budgets bound the rest: 3 x 100 points fit under 500.
+  batch = q.pop_batch(2, 500, 0us);
+  EXPECT_EQ(batch.size(), 2u);  // request budget
+  batch = q.pop_batch(8, 500, 0us);
+  EXPECT_EQ(batch.size(), 1u);
+  q.close();
+  EXPECT_TRUE(q.pop_batch(8, 500, 0us).empty());
+}
+
+// --- MachinePool shard leasing ----------------------------------------
+
+TEST(MachinePool, TryAcquireReportsExhaustion) {
+  MachinePool pool(2, 1, 7);
+  EXPECT_EQ(pool.size(), 2u);
+  EXPECT_EQ(pool.available(), 2u);
+  auto a = pool.try_acquire();
+  auto b = pool.try_acquire();
+  ASSERT_TRUE(a && b);
+  EXPECT_NE(a->shard(), b->shard());
+  EXPECT_EQ(pool.available(), 0u);
+  EXPECT_FALSE(pool.try_acquire().has_value());  // exhausted
+  a->release();
+  EXPECT_EQ(pool.available(), 1u);
+  auto c = pool.try_acquire();
+  ASSERT_TRUE(c);
+  EXPECT_EQ(c->shard(), a->shard());  // the freed shard came back
+}
+
+TEST(MachinePool, AcquireBlocksUntilAShardFrees) {
+  MachinePool pool(1, 1, 7);
+  MachinePool::Lease held = pool.acquire();
+  std::atomic<bool> acquired{false};
+  std::thread waiter([&] {
+    MachinePool::Lease l = pool.acquire();
+    acquired.store(true);
+    l.release();
+  });
+  std::this_thread::sleep_for(10ms);
+  EXPECT_FALSE(acquired.load());  // still blocked on the held lease
+  held.release();
+  waiter.join();
+  EXPECT_TRUE(acquired.load());
+}
+
+// --- HullService ------------------------------------------------------
+
+ServiceConfig small_config() {
+  ServiceConfig cfg;
+  cfg.shards = 2;
+  cfg.workers = 2;
+  cfg.threads_per_shard = 2;
+  cfg.queue_capacity = 256;
+  cfg.batch.window = 200us;
+  return cfg;
+}
+
+TEST(HullService, ServedHullMatchesDirectApiCall) {
+  ServiceConfig cfg = small_config();
+  HullService svc(cfg);
+  const auto pts = geom::in_disk(600, 42);
+  Request r;
+  r.id = 17;
+  r.points = pts;
+  Response resp = svc.submit(std::move(r)).get();
+  ASSERT_EQ(resp.status, Status::kOk);
+
+  // Solo reference run under the request's derived seed.
+  Options opts;
+  opts.seed = derive_request_seed(cfg.master_seed, 17);
+  opts.threads = cfg.threads_per_shard;
+  const Hull2D solo = upper_hull_2d(pts, opts);
+  EXPECT_EQ(resp.hull.upper.vertices, solo.result.upper.vertices);
+  EXPECT_EQ(resp.hull.edge_above, solo.result.edge_above);
+  EXPECT_EQ(resp.metrics.steps, solo.metrics.steps);
+  EXPECT_EQ(resp.metrics.work, solo.metrics.work);
+  EXPECT_EQ(resp.metrics.seed, opts.seed);
+  EXPECT_GE(resp.metrics.batch_size, 1u);
+}
+
+TEST(HullService, DeadlineExpiryMidQueueAnswersExpired) {
+  HullService svc(small_config());
+  Request r = make_request(5, 200, 1);
+  r.deadline = Clock::now() - 1ms;  // already past when dequeued
+  Response resp = svc.submit(std::move(r)).get();
+  EXPECT_EQ(resp.status, Status::kExpired);
+  EXPECT_EQ(svc.stats().expired, 1u);
+  // A generous deadline is met normally.
+  Request ok = make_request(6, 200, 1);
+  ok.deadline = Clock::now() + 10min;
+  EXPECT_EQ(svc.submit(std::move(ok)).get().status, Status::kOk);
+}
+
+TEST(HullService, QueueFullRejectsWithReason) {
+  // One worker consuming one request per batch, capacity-1 queue:
+  // submitting is orders of magnitude cheaper than executing a
+  // 512-point hull, so a tight burst must overflow the queue and the
+  // overflow must come back as an immediate kRejectedFull answer.
+  ServiceConfig cfg = small_config();
+  cfg.workers = 1;
+  cfg.shards = 1;
+  cfg.queue_capacity = 1;
+  cfg.batch.max_batch_requests = 1;
+  HullService svc(cfg);
+  std::vector<std::future<Response>> futs;
+  futs.reserve(64);
+  for (int i = 0; i < 64; ++i) {
+    futs.push_back(svc.submit(make_request(0, 512, 3)));
+  }
+  std::uint64_t ok = 0, full = 0;
+  for (auto& f : futs) {
+    const Response r = f.get();
+    (r.status == Status::kOk ? ok : full) += 1;
+    if (r.status != Status::kOk) {
+      EXPECT_EQ(r.status, Status::kRejectedFull);
+    }
+  }
+  EXPECT_GT(full, 0u) << "capacity-1 queue never overflowed";
+  EXPECT_GT(ok, 0u);
+  const StatsSnapshot s = svc.stats();
+  EXPECT_EQ(s.rejected_full, full);
+  EXPECT_EQ(s.submitted, futs.size());
+}
+
+TEST(HullService, LargeRequestsRouteToTheDedicatedShard) {
+  ServiceConfig cfg = small_config();
+  cfg.batch.small_threshold = 256;
+  HullService svc(cfg);
+  Response big = svc.submit(make_request(0, 1000, 9)).get();
+  Response small = svc.submit(make_request(0, 100, 9)).get();
+  ASSERT_EQ(big.status, Status::kOk);
+  ASSERT_EQ(small.status, Status::kOk);
+  EXPECT_EQ(big.metrics.shard, svc.shard_count());  // large shard index
+  EXPECT_LT(small.metrics.shard, svc.shard_count());
+  EXPECT_EQ(svc.stats().large_requests, 1u);
+}
+
+TEST(HullService, SubmitAfterShutdownIsRejected) {
+  HullService svc(small_config());
+  svc.shutdown();
+  Response r = svc.submit(make_request(0, 100, 2)).get();
+  EXPECT_EQ(r.status, Status::kRejectedShutdown);
+  svc.shutdown();  // idempotent
+}
+
+TEST(HullService, ConcurrentSubmitAndShutdownDrainAnswersEverything) {
+  ServiceConfig cfg = small_config();
+  cfg.queue_capacity = 64;
+  HullService svc(cfg);
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 30;
+  std::vector<std::vector<std::future<Response>>> futs(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        futs[c].push_back(svc.submit(make_request(0, 128, c + 1)));
+      }
+    });
+  }
+  std::this_thread::sleep_for(2ms);
+  svc.shutdown(/*drain=*/true);  // races the submitting clients
+  for (auto& t : clients) t.join();
+
+  std::uint64_t ok = 0, rejected = 0, full = 0;
+  for (auto& per_client : futs) {
+    ASSERT_EQ(per_client.size(), static_cast<std::size_t>(kPerClient));
+    for (auto& f : per_client) {
+      ASSERT_EQ(f.wait_for(0s), std::future_status::ready)
+          << "a submitted request was never answered";
+      switch (f.get().status) {
+        case Status::kOk:
+          ++ok;
+          break;
+        case Status::kRejectedShutdown:
+          ++rejected;
+          break;
+        case Status::kRejectedFull:
+          ++full;
+          break;
+        default:
+          FAIL() << "unexpected status";
+      }
+    }
+  }
+  const StatsSnapshot s = svc.stats();
+  EXPECT_EQ(s.submitted, kClients * kPerClient);
+  EXPECT_EQ(ok + rejected + full, kClients * kPerClient);
+  // Drain semantics: everything admitted before close executed.
+  EXPECT_EQ(s.completed, ok);
+  EXPECT_EQ(s.rejected_shutdown, rejected);
+  EXPECT_EQ(s.rejected_full, full);
+}
+
+TEST(HullService, ShutdownWithoutDrainAbandonsTheBacklog) {
+  ServiceConfig cfg = small_config();
+  cfg.workers = 1;
+  cfg.shards = 1;
+  cfg.batch.window = 50ms;  // keep the backlog queued long enough
+  cfg.batch.max_batch_requests = 1;
+  HullService svc(cfg);
+  std::vector<std::future<Response>> futs;
+  for (int i = 0; i < 16; ++i) {
+    futs.push_back(svc.submit(make_request(0, 64, 4)));
+  }
+  svc.shutdown(/*drain=*/false);
+  std::uint64_t answered = 0;
+  for (auto& f : futs) {
+    ASSERT_EQ(f.wait_for(0s), std::future_status::ready);
+    ++answered;
+  }
+  EXPECT_EQ(answered, futs.size());  // abandoned, never silent
+}
+
+TEST(HullService, BatchingCoalescesABurst) {
+  ServiceConfig cfg = small_config();
+  cfg.workers = 1;
+  cfg.shards = 1;
+  cfg.batch.window = 20ms;
+  HullService svc(cfg);
+  std::vector<std::future<Response>> futs;
+  futs.reserve(32);
+  for (int i = 0; i < 32; ++i) {
+    futs.push_back(svc.submit(make_request(0, 64, 8)));
+  }
+  for (auto& f : futs) {
+    EXPECT_EQ(f.get().status, Status::kOk);
+  }
+  const StatsSnapshot s = svc.stats();
+  EXPECT_EQ(s.completed, 32u);
+  // One worker + a 20ms window: the burst cannot have run one-per-batch.
+  EXPECT_LT(s.batches, 32u);
+  EXPECT_GT(s.max_batch, 1u);
+  EXPECT_GT(s.mean_batch(), 1.0);
+}
+
+TEST(HullService, TracingRecordsServePhases) {
+  ServiceConfig cfg = small_config();
+  cfg.trace = true;
+  HullService svc(cfg);
+  std::vector<std::future<Response>> futs;
+  for (int i = 0; i < 8; ++i) {
+    futs.push_back(svc.submit(make_request(0, 128, 5)));
+  }
+  for (auto& f : futs) EXPECT_EQ(f.get().status, Status::kOk);
+  svc.shutdown();
+  std::uint64_t invocations = 0;
+  for (std::size_t i = 0; i <= svc.shard_count(); ++i) {
+    const trace::Recorder* rec = svc.recorder(i);
+    ASSERT_NE(rec, nullptr) << i;
+    if (const auto* node = rec->root().child("serve/request")) {
+      invocations += node->invocations;
+      EXPECT_GT(node->steps, 0u);
+    }
+  }
+  EXPECT_EQ(invocations, 8u);  // every request traced exactly once
+}
+
+}  // namespace
+}  // namespace iph::serve

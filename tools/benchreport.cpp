@@ -105,6 +105,51 @@ std::string format_cells(double v) {
   return buf;
 }
 
+/// A row is a serving row iff it carries a `qps` counter (the e14-style
+/// latency/throughput benches); such rows get the serving table below.
+const Json* serving_counters(const Json& row) {
+  const Json* counters = row.find("counters");
+  if (counters != nullptr && counters->find("qps") != nullptr) {
+    return counters;
+  }
+  return nullptr;
+}
+
+bool has_serving_rows(const Json& doc) {
+  if (const Json* rows = doc.find("rows")) {
+    for (const Json& row : rows->items()) {
+      if (serving_counters(row) != nullptr) return true;
+    }
+  }
+  return false;
+}
+
+/// Latency/throughput detail for serving benches: one line per row with
+/// qps, solo-vs-served speedup, the e2e latency tail, and the mean
+/// coalesced batch size.
+void render_serving_table(const Json& doc, std::FILE* out) {
+  std::fprintf(out, "\nServing latency/throughput:\n\n");
+  std::fprintf(out,
+               "| row | label | qps | qps solo | speedup | p50 ms | "
+               "p95 ms | p99 ms | mean batch |\n");
+  std::fprintf(out, "|---|---|---|---|---|---|---|---|---|\n");
+  const Json* rows = doc.find("rows");
+  if (rows == nullptr) return;
+  for (const Json& row : rows->items()) {
+    const Json* c = serving_counters(row);
+    if (c == nullptr) continue;
+    const double qps = c->get_num("qps");
+    const double solo = c->get_num("qps_solo");
+    std::fprintf(out,
+                 "| %s | %s | %.0f | %.0f | %.2fx | %.2f | %.2f | %.2f "
+                 "| %.1f |\n",
+                 row.get_str("name").c_str(), row.get_str("label").c_str(),
+                 qps, solo, solo > 0 ? qps / solo : 0,
+                 c->get_num("p50_ms"), c->get_num("p95_ms"),
+                 c->get_num("p99_ms"), c->get_num("mean_batch"));
+  }
+}
+
 std::string provenance_line(const Json& doc) {
   const Json* p = doc.find("provenance");
   if (p == nullptr) return "?";
@@ -198,6 +243,7 @@ void render_markdown(const std::vector<Loaded>& reports, std::FILE* out) {
         }
       }
     }
+    if (has_serving_rows(r.doc)) render_serving_table(r.doc, out);
     if (r.baseline_checked) {
       std::fprintf(out, "\nBaseline: %zu rows compared, %zu diff%s%s\n",
                    r.baseline.rows_compared, r.baseline.diffs.size(),

@@ -1,0 +1,436 @@
+// hullload — closed/open-loop load generator for the hull service.
+//
+//   hullload [options]                     drive an in-process HullService
+//   hullload --connect HOST:PORT [...]     drive a running hullserved
+//
+// --clients C threads each issue --requests R queries of workload
+// --workload/--n (per-request generator seed = --seed + request id, so
+// every query is distinct but the run is reproducible). Closed loop by
+// default: each client waits for its answer before sending the next.
+// --qps Q switches to open loop: clients send at a combined target rate
+// of Q regardless of completions (over TCP a per-client reader thread
+// matches responses to send times in FIFO order — hullserved answers
+// each connection in submission order).
+//
+// Prints counts per terminal status, achieved qps, and p50/p95/p99
+// end-to-end latency over the ok responses; --json appends one
+// machine-readable summary line to stdout. Exit codes: 0 done, 1 with
+// --expect-all-ok if any request was rejected/expired/errored, 2 usage
+// error, 3 connect failure.
+#include <netdb.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "geom/workloads.h"
+#include "serve/request.h"
+#include "serve/service.h"
+#include "serve_wire.h"
+#include "trace/json.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using iph::serve::HullService;
+using iph::serve::Response;
+using iph::serve::ServiceConfig;
+using iph::serve::Status;
+using iph::tools::LineChannel;
+using iph::trace::Json;
+
+struct Options {
+  int clients = 4;
+  int requests = 64;  // per client
+  double qps = 0;     // total offered rate; 0 = closed loop
+  std::size_t n = 256;
+  std::string workload = "disk";
+  std::uint64_t seed = 1;
+  double deadline_ms = 0;
+  std::string connect;  // empty = in-process
+  bool expect_all_ok = false;
+  bool json = false;
+  ServiceConfig cfg;  // in-process service shape
+};
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--clients C] [--requests R] [--qps Q] [--n N]\n"
+      "          [--workload W] [--seed S] [--deadline-ms D]\n"
+      "          [--connect HOST:PORT | --shards N --workers N --threads N\n"
+      "           --capacity N --window-us U --no-large]\n"
+      "          [--expect-all-ok] [--json]\n",
+      argv0);
+  return 2;
+}
+
+/// Per-request outcome, merged across clients after the run.
+struct Tally {
+  std::uint64_t ok = 0, rejected_full = 0, rejected_shutdown = 0,
+                expired = 0, errors = 0;
+  std::vector<double> ok_e2e_ms;
+
+  void count(std::string_view status, double e2e_ms) {
+    if (status == "ok") {
+      ++ok;
+      ok_e2e_ms.push_back(e2e_ms);
+    } else if (status == "rejected_full") {
+      ++rejected_full;
+    } else if (status == "rejected_shutdown") {
+      ++rejected_shutdown;
+    } else if (status == "expired") {
+      ++expired;
+    } else {
+      ++errors;
+    }
+  }
+  void merge(Tally&& o) {
+    ok += o.ok;
+    rejected_full += o.rejected_full;
+    rejected_shutdown += o.rejected_shutdown;
+    expired += o.expired;
+    errors += o.errors;
+    ok_e2e_ms.insert(ok_e2e_ms.end(), o.ok_e2e_ms.begin(),
+                     o.ok_e2e_ms.end());
+  }
+};
+
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+/// Open-loop pacing: the instant client c should send its i-th request,
+/// with the C clients' streams interleaved to hit `qps` combined.
+Clock::time_point send_at(Clock::time_point start, const Options& opt,
+                          int client, int i) {
+  const double interval_s = static_cast<double>(opt.clients) / opt.qps;
+  const double offset_s =
+      interval_s * (static_cast<double>(i) +
+                    static_cast<double>(client) / opt.clients);
+  return start + std::chrono::microseconds(
+                     static_cast<std::int64_t>(offset_s * 1e6));
+}
+
+Tally run_client_inproc(HullService& svc, const Options& opt, int client,
+                        Clock::time_point start) {
+  // Points are generated up front so the measured loop is pure serving.
+  std::vector<std::vector<iph::geom::Point2>> pts(
+      static_cast<std::size_t>(opt.requests));
+  std::vector<iph::serve::RequestId> ids(
+      static_cast<std::size_t>(opt.requests));
+  for (int i = 0; i < opt.requests; ++i) {
+    ids[i] = static_cast<iph::serve::RequestId>(client) * opt.requests + i +
+             1;
+    if (!iph::tools::make_workload(opt.workload, opt.n, opt.seed + ids[i],
+                                   &pts[i])) {
+      std::abort();  // workload validated in main()
+    }
+  }
+  Tally t;
+  auto make_req = [&](int i) {
+    iph::serve::Request r;
+    r.id = ids[i];
+    r.points = pts[i];
+    if (opt.deadline_ms > 0) {
+      r.deadline = Clock::now() + std::chrono::microseconds(static_cast<
+                       std::int64_t>(opt.deadline_ms * 1000.0));
+    }
+    return r;
+  };
+  if (opt.qps <= 0) {  // closed loop: send, wait, repeat
+    for (int i = 0; i < opt.requests; ++i) {
+      const auto t0 = Clock::now();
+      const Response resp = svc.submit(make_req(i)).get();
+      const double ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - t0)
+              .count();
+      t.count(iph::serve::status_name(resp.status), ms);
+    }
+  } else {  // open loop: pace sends, collect afterwards
+    std::vector<std::future<Response>> futs;
+    futs.reserve(static_cast<std::size_t>(opt.requests));
+    for (int i = 0; i < opt.requests; ++i) {
+      std::this_thread::sleep_until(send_at(start, opt, client, i));
+      futs.push_back(svc.submit(make_req(i)));
+    }
+    for (auto& f : futs) {
+      const Response resp = f.get();
+      // The service stamps submit -> response-ready; that IS the
+      // open-loop latency (the client never waited in between).
+      t.count(iph::serve::status_name(resp.status), resp.metrics.e2e_ms);
+    }
+  }
+  return t;
+}
+
+int connect_to(const std::string& hostport) {
+  const auto colon = hostport.rfind(':');
+  if (colon == std::string::npos) return -1;
+  const std::string host = hostport.substr(0, colon);
+  const std::string port = hostport.substr(colon + 1);
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  if (::getaddrinfo(host.c_str(), port.c_str(), &hints, &res) != 0) {
+    return -1;
+  }
+  int fd = -1;
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  return fd;
+}
+
+Tally run_client_tcp(const Options& opt, int client,
+                     Clock::time_point start, std::atomic<bool>* failed) {
+  Tally t;
+  const int fd = connect_to(opt.connect);
+  if (fd < 0) {
+    failed->store(true);
+    return t;
+  }
+  LineChannel chan(fd, fd);
+  auto request_line = [&](int i) {
+    const auto id = static_cast<iph::serve::RequestId>(client) *
+                        opt.requests + i + 1;
+    Json j = Json::object();
+    j["id"] = Json(id);
+    j["n"] = Json(static_cast<std::uint64_t>(opt.n));
+    j["workload"] = Json(opt.workload);
+    j["seed"] = Json(opt.seed + id);
+    if (opt.deadline_ms > 0) j["deadline_ms"] = Json(opt.deadline_ms);
+    return j.dump();
+  };
+  auto status_of = [](const std::string& line) -> std::string {
+    Json j;
+    std::string err;
+    if (!Json::parse(line, &j, &err)) return "error";
+    if (j.find("error") != nullptr) return "error";
+    return j.get_str("status", "error");
+  };
+  if (opt.qps <= 0) {  // closed loop
+    std::string line;
+    for (int i = 0; i < opt.requests; ++i) {
+      const auto t0 = Clock::now();
+      if (!chan.write_line(request_line(i)) || !chan.read_line(&line)) {
+        failed->store(true);
+        break;
+      }
+      const double ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - t0)
+              .count();
+      t.count(status_of(line), ms);
+    }
+  } else {
+    // Open loop over TCP: the sender paces writes while a reader thread
+    // pairs each response with the oldest outstanding send time —
+    // positional FIFO matching, guaranteed by hullserved's in-order
+    // responder.
+    std::deque<Clock::time_point> sent;
+    std::mutex mu;
+    std::thread reader([&] {
+      std::string line;
+      for (int i = 0; i < opt.requests; ++i) {
+        if (!chan.read_line(&line)) {
+          failed->store(true);
+          return;
+        }
+        Clock::time_point t0;
+        {
+          std::lock_guard<std::mutex> lk(mu);
+          t0 = sent.front();
+          sent.pop_front();
+        }
+        const double ms =
+            std::chrono::duration<double, std::milli>(Clock::now() - t0)
+                .count();
+        t.count(status_of(line), ms);
+      }
+    });
+    for (int i = 0; i < opt.requests; ++i) {
+      std::this_thread::sleep_until(send_at(start, opt, client, i));
+      const std::string line = request_line(i);
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        sent.push_back(Clock::now());
+      }
+      if (!chan.write_line(line)) {
+        failed->store(true);
+        break;
+      }
+    }
+    reader.join();
+  }
+  ::close(fd);
+  return t;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (a == "--clients" && (v = next())) {
+      opt.clients = std::atoi(v);
+    } else if (a == "--requests" && (v = next())) {
+      opt.requests = std::atoi(v);
+    } else if (a == "--qps" && (v = next())) {
+      opt.qps = std::atof(v);
+    } else if (a == "--n" && (v = next())) {
+      opt.n = static_cast<std::size_t>(std::atoll(v));
+    } else if (a == "--workload" && (v = next())) {
+      opt.workload = v;
+    } else if (a == "--seed" && (v = next())) {
+      opt.seed = std::strtoull(v, nullptr, 0);
+    } else if (a == "--deadline-ms" && (v = next())) {
+      opt.deadline_ms = std::atof(v);
+    } else if (a == "--connect" && (v = next())) {
+      opt.connect = v;
+    } else if (a == "--shards" && (v = next())) {
+      opt.cfg.shards = static_cast<std::size_t>(std::atoll(v));
+    } else if (a == "--workers" && (v = next())) {
+      opt.cfg.workers = static_cast<std::size_t>(std::atoll(v));
+    } else if (a == "--threads" && (v = next())) {
+      opt.cfg.threads_per_shard = static_cast<unsigned>(std::atoi(v));
+    } else if (a == "--capacity" && (v = next())) {
+      opt.cfg.queue_capacity = static_cast<std::size_t>(std::atoll(v));
+    } else if (a == "--window-us" && (v = next())) {
+      opt.cfg.batch.window = std::chrono::microseconds(std::atoll(v));
+    } else if (a == "--no-large") {
+      opt.cfg.large_shard = false;
+    } else if (a == "--expect-all-ok") {
+      opt.expect_all_ok = true;
+    } else if (a == "--json") {
+      opt.json = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (opt.clients < 1 || opt.requests < 1 || opt.n == 0) {
+    return usage(argv[0]);
+  }
+  {
+    std::vector<iph::geom::Point2> probe;
+    if (!iph::tools::make_workload(opt.workload, 4, 0, &probe)) {
+      std::fprintf(stderr, "hullload: unknown workload \"%s\"\n",
+                   opt.workload.c_str());
+      return 2;
+    }
+  }
+
+  const bool inproc = opt.connect.empty();
+  std::unique_ptr<HullService> svc;
+  if (inproc) svc = std::make_unique<HullService>(opt.cfg);
+
+  std::atomic<bool> conn_failed{false};
+  std::vector<Tally> tallies(static_cast<std::size_t>(opt.clients));
+  std::vector<std::thread> threads;
+  const auto start = Clock::now() + std::chrono::milliseconds(5);
+  for (int c = 0; c < opt.clients; ++c) {
+    threads.emplace_back([&, c] {
+      tallies[c] = inproc
+                       ? run_client_inproc(*svc, opt, c, start)
+                       : run_client_tcp(opt, c, start, &conn_failed);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  if (conn_failed.load()) {
+    std::fprintf(stderr, "hullload: connection to %s failed\n",
+                 opt.connect.c_str());
+    return 3;
+  }
+
+  Tally total;
+  for (auto& t : tallies) total.merge(std::move(t));
+  std::sort(total.ok_e2e_ms.begin(), total.ok_e2e_ms.end());
+  const double qps = static_cast<double>(total.ok) / wall_s;
+  const double p50 = percentile(total.ok_e2e_ms, 0.50);
+  const double p95 = percentile(total.ok_e2e_ms, 0.95);
+  const double p99 = percentile(total.ok_e2e_ms, 0.99);
+
+  std::fprintf(stderr,
+               "hullload: %d clients x %d requests, %s loop, %s, "
+               "workload %s n=%zu\n",
+               opt.clients, opt.requests, opt.qps > 0 ? "open" : "closed",
+               inproc ? "in-process" : opt.connect.c_str(),
+               opt.workload.c_str(), opt.n);
+  std::fprintf(stderr,
+               "  ok %llu  rejected_full %llu  rejected_shutdown %llu  "
+               "expired %llu  errors %llu\n",
+               static_cast<unsigned long long>(total.ok),
+               static_cast<unsigned long long>(total.rejected_full),
+               static_cast<unsigned long long>(total.rejected_shutdown),
+               static_cast<unsigned long long>(total.expired),
+               static_cast<unsigned long long>(total.errors));
+  std::fprintf(stderr, "  wall %.3f s  qps %.1f\n", wall_s, qps);
+  std::fprintf(stderr, "  e2e ms (ok): p50 %.2f  p95 %.2f  p99 %.2f\n",
+               p50, p95, p99);
+  double mean_batch = 0;
+  std::uint64_t large = 0;
+  if (inproc) {
+    svc->shutdown(/*drain=*/true);
+    const iph::serve::StatsSnapshot s = svc->stats();
+    mean_batch = s.mean_batch();
+    large = s.large_requests;
+    std::fprintf(stderr, "  service: mean batch %.2f  max batch %llu  "
+                         "large %llu\n",
+                 mean_batch, static_cast<unsigned long long>(s.max_batch),
+                 static_cast<unsigned long long>(large));
+  }
+
+  if (opt.json) {
+    Json j = Json::object();
+    j["clients"] = Json(opt.clients);
+    j["requests_per_client"] = Json(opt.requests);
+    j["mode"] = Json(opt.qps > 0 ? "open" : "closed");
+    j["target"] = Json(inproc ? "in-process" : opt.connect);
+    j["workload"] = Json(opt.workload);
+    j["n"] = Json(static_cast<std::uint64_t>(opt.n));
+    j["ok"] = Json(total.ok);
+    j["rejected_full"] = Json(total.rejected_full);
+    j["rejected_shutdown"] = Json(total.rejected_shutdown);
+    j["expired"] = Json(total.expired);
+    j["errors"] = Json(total.errors);
+    j["wall_s"] = Json(wall_s);
+    j["qps"] = Json(qps);
+    j["p50_ms"] = Json(p50);
+    j["p95_ms"] = Json(p95);
+    j["p99_ms"] = Json(p99);
+    if (inproc) j["mean_batch"] = Json(mean_batch);
+    std::printf("%s\n", j.dump().c_str());
+  }
+
+  const std::uint64_t not_ok = total.rejected_full +
+                               total.rejected_shutdown + total.expired +
+                               total.errors;
+  return opt.expect_all_ok && not_ok != 0 ? 1 : 0;
+}

@@ -1,0 +1,259 @@
+// hullserved — the iph::serve subsystem behind an NDJSON endpoint.
+//
+//   hullserved [options]              serve stdin -> stdout, exit at EOF
+//   hullserved --port P [options]     serve TCP on 127.0.0.1:P,
+//                                     one thread per connection
+//
+// Wire protocol: serve_wire.h (one JSON object per line, both ways).
+// Plain POSIX sockets, no dependencies beyond the repo's own libraries.
+//
+// Responses on a connection are written in submission order: a reader
+// loop parses + submits while a per-connection responder thread drains
+// the futures FIFO — submission keeps flowing while earlier hulls are
+// still computing, which is what lets the service's batcher coalesce a
+// pipelined client's burst. (FIFO also pairs with hullload's open-loop
+// reader, which matches responses to send times positionally.)
+//
+// SIGINT/SIGTERM stop accepting, drain in-flight connections, and
+// print the service stats to stderr. Exit codes: 0 clean, 2 usage
+// error, 3 socket setup failure.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "serve/request.h"
+#include "serve/service.h"
+#include "serve_wire.h"
+#include "trace/json.h"
+
+namespace {
+
+using iph::serve::HullService;
+using iph::serve::Response;
+using iph::serve::ServiceConfig;
+using iph::serve::StatsSnapshot;
+using iph::tools::LineChannel;
+using iph::trace::Json;
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--port P] [--shards N] [--workers N] [--threads N]\n"
+      "          [--capacity N] [--window-us U] [--max-batch N]\n"
+      "          [--small-threshold N] [--no-large] [--seed S] [--quiet]\n"
+      "Serves NDJSON hull requests (see tools/serve_wire.h) from stdin\n"
+      "(default) or TCP connections on 127.0.0.1:P.\n",
+      argv0);
+  return 2;
+}
+
+/// One NDJSON session: reader parses + submits on this thread, a
+/// responder thread writes answers in submission order.
+void serve_stream(HullService& svc, int in_fd, int out_fd) {
+  LineChannel chan(in_fd, out_fd);
+
+  // Either a pending future or an immediate parse-error message.
+  struct Outgoing {
+    std::future<Response> fut;
+    bool edge_above = false;
+    std::string error;
+  };
+  std::deque<Outgoing> queue;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+
+  std::thread responder([&] {
+    for (;;) {
+      Outgoing out;
+      {
+        std::unique_lock<std::mutex> lk(mu);
+        cv.wait(lk, [&] { return done || !queue.empty(); });
+        if (queue.empty()) return;  // done && drained
+        out = std::move(queue.front());
+        queue.pop_front();
+      }
+      if (!out.error.empty()) {
+        Json err = Json::object();
+        err["error"] = Json(out.error);
+        if (!chan.write_line(err.dump())) return;
+        continue;
+      }
+      const Response resp = out.fut.get();
+      const Json line = iph::tools::response_to_json(resp, out.edge_above);
+      if (!chan.write_line(line.dump())) return;
+    }
+  });
+
+  std::string line;
+  while (chan.read_line(&line)) {
+    if (line.empty()) continue;
+    Outgoing out;
+    Json j;
+    std::string err;
+    iph::serve::Request req;
+    if (!Json::parse(line, &j, &err)) {
+      out.error = "bad JSON: " + err;
+    } else if (!iph::tools::request_from_json(j, &req, &out.edge_above,
+                                              &err)) {
+      out.error = err;
+    } else {
+      out.fut = svc.submit(std::move(req));
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      queue.push_back(std::move(out));
+    }
+    cv.notify_one();
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    done = true;
+  }
+  cv.notify_one();
+  responder.join();
+}
+
+void print_stats(const StatsSnapshot& s) {
+  std::fprintf(stderr,
+               "hullserved: submitted %llu  ok %llu  rejected_full %llu  "
+               "rejected_shutdown %llu  expired %llu\n"
+               "hullserved: batches %llu  mean batch %.2f  max batch %llu  "
+               "large %llu\n",
+               static_cast<unsigned long long>(s.submitted),
+               static_cast<unsigned long long>(s.completed),
+               static_cast<unsigned long long>(s.rejected_full),
+               static_cast<unsigned long long>(s.rejected_shutdown),
+               static_cast<unsigned long long>(s.expired),
+               static_cast<unsigned long long>(s.batches), s.mean_batch(),
+               static_cast<unsigned long long>(s.max_batch),
+               static_cast<unsigned long long>(s.large_requests));
+}
+
+// Signal handling: flip a flag and close the listening socket so the
+// blocking accept() returns (both are async-signal-safe).
+std::atomic<bool> g_stop{false};
+int g_listen_fd = -1;
+
+void on_signal(int) {
+  g_stop.store(true);
+  if (g_listen_fd >= 0) ::close(g_listen_fd);
+}
+
+int serve_tcp(HullService& svc, int port, bool quiet) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("hullserved: socket");
+    return 3;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(fd, 64) < 0) {
+    std::perror("hullserved: bind/listen");
+    ::close(fd);
+    return 3;
+  }
+  socklen_t alen = sizeof addr;  // report the real port when P was 0
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &alen);
+  if (!quiet) {
+    std::fprintf(stderr, "hullserved: listening on 127.0.0.1:%d\n",
+                 ntohs(addr.sin_port));
+  }
+  g_listen_fd = fd;
+  struct sigaction sa {};
+  sa.sa_handler = on_signal;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+
+  std::vector<std::thread> sessions;
+  std::mutex sessions_mu;
+  while (!g_stop.load()) {
+    const int conn = ::accept(fd, nullptr, nullptr);
+    if (conn < 0) {
+      if (g_stop.load()) break;
+      if (errno == EINTR) continue;
+      std::perror("hullserved: accept");
+      break;
+    }
+    std::lock_guard<std::mutex> lk(sessions_mu);
+    sessions.emplace_back([&svc, conn] {
+      serve_stream(svc, conn, conn);
+      ::close(conn);
+    });
+  }
+  if (!g_stop.load()) ::close(fd);
+  for (auto& t : sessions) t.join();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int port = -1;
+  bool quiet = false;
+  ServiceConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (a == "--port" && (v = next())) {
+      port = std::atoi(v);
+    } else if (a == "--shards" && (v = next())) {
+      cfg.shards = static_cast<std::size_t>(std::atoll(v));
+    } else if (a == "--workers" && (v = next())) {
+      cfg.workers = static_cast<std::size_t>(std::atoll(v));
+    } else if (a == "--threads" && (v = next())) {
+      cfg.threads_per_shard = static_cast<unsigned>(std::atoi(v));
+    } else if (a == "--capacity" && (v = next())) {
+      cfg.queue_capacity = static_cast<std::size_t>(std::atoll(v));
+    } else if (a == "--window-us" && (v = next())) {
+      cfg.batch.window = std::chrono::microseconds(std::atoll(v));
+    } else if (a == "--max-batch" && (v = next())) {
+      cfg.batch.max_batch_requests = static_cast<std::size_t>(std::atoll(v));
+    } else if (a == "--small-threshold" && (v = next())) {
+      cfg.batch.small_threshold = static_cast<std::size_t>(std::atoll(v));
+    } else if (a == "--seed" && (v = next())) {
+      cfg.master_seed = std::strtoull(v, nullptr, 0);
+    } else if (a == "--no-large") {
+      cfg.large_shard = false;
+    } else if (a == "--quiet") {
+      quiet = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (port > 65535) return usage(argv[0]);
+
+  HullService svc(cfg);
+  int rc = 0;
+  if (port < 0) {
+    serve_stream(svc, STDIN_FILENO, STDOUT_FILENO);
+  } else {
+    rc = serve_tcp(svc, port, quiet);
+  }
+  svc.shutdown(/*drain=*/true);
+  if (!quiet) print_stats(svc.stats());
+  return rc;
+}

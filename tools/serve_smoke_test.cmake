@@ -1,0 +1,70 @@
+# ctest script: end-to-end smoke of the serving tools.
+#   1. hullserved in stdin mode must answer every NDJSON line — good
+#      requests with "ok" hulls, malformed lines with "error" — and
+#      exit 0 at EOF.
+#   2. hullload driving an in-process service must complete a small
+#      closed-loop burst with every request ok (exit 0 under
+#      --expect-all-ok) and emit a parseable --json summary.
+#
+# Invoked as:
+#   cmake -DHULLSERVED=<bin> -DHULLLOAD=<bin> -DWORK_DIR=<scratch>
+#         -P serve_smoke_test.cmake
+if(NOT HULLSERVED OR NOT HULLLOAD OR NOT WORK_DIR)
+  message(FATAL_ERROR "need -DHULLSERVED=... -DHULLLOAD=... -DWORK_DIR=...")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+# --- Case 1: stdin session with good, inline, and broken lines --------
+file(WRITE "${WORK_DIR}/requests.ndjson"
+"{\"id\":1,\"n\":64,\"workload\":\"disk\",\"seed\":7}
+{\"id\":2,\"points\":[[0,0],[1,2],[2,0],[3,3]]}
+this is not json
+{\"id\":4,\"n\":0}
+{\"id\":5,\"n\":128,\"workload\":\"circle\",\"seed\":3,\"edge_above\":true}
+")
+execute_process(
+  COMMAND "${HULLSERVED}" --quiet --shards 1 --workers 1 --threads 2
+  INPUT_FILE "${WORK_DIR}/requests.ndjson"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "hullserved: expected exit 0, got ${rc}\n${err}")
+endif()
+string(REGEX MATCHALL "\"status\":\"ok\"" oks "${out}")
+list(LENGTH oks n_ok)
+if(NOT n_ok EQUAL 3)
+  message(FATAL_ERROR "hullserved: expected 3 ok responses, got ${n_ok}:\n${out}")
+endif()
+string(REGEX MATCHALL "\"error\":" errs "${out}")
+list(LENGTH errs n_err)
+if(NOT n_err EQUAL 2)
+  message(FATAL_ERROR "hullserved: expected 2 error lines, got ${n_err}:\n${out}")
+endif()
+# The circle request asked for the per-point edge-above array; the full
+# n=64 disk request did not (response stays small by default).
+if(NOT out MATCHES "\"edge_above\":\\[")
+  message(FATAL_ERROR "hullserved: edge_above array missing:\n${out}")
+endif()
+
+# --- Case 2: hullload closed-loop burst, in-process -------------------
+execute_process(
+  COMMAND "${HULLLOAD}" --clients 2 --requests 8 --n 64
+          --shards 1 --workers 1 --threads 2
+          --expect-all-ok --json
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "hullload: expected exit 0, got ${rc}\n${err}")
+endif()
+if(NOT out MATCHES "\"ok\":16")
+  message(FATAL_ERROR "hullload: json summary lacks ok:16\n${out}")
+endif()
+if(NOT err MATCHES "e2e ms")
+  message(FATAL_ERROR "hullload: human summary missing\n${err}")
+endif()
+
+message(STATUS "serve tools smoke ok")

@@ -1,0 +1,188 @@
+// NDJSON wire protocol shared by hullserved (server) and hullload
+// (load generator). One JSON object per line, in both directions.
+//
+// Request line — either inline points or a named workload:
+//   {"id": 7, "points": [[x0,y0],[x1,y1],...]}
+//   {"id": 7, "n": 512, "workload": "disk", "seed": 42}
+// Optional fields: "alpha" (in-place-bridge round budget, default 8),
+// "deadline_ms" (relative deadline from receipt; expired-in-queue
+// requests are answered "expired"), "edge_above" (bool; include the
+// per-point edge-above array in the response — it is n entries, so off
+// by default).
+//
+// Response line:
+//   {"id": 7, "status": "ok", "hull": [3,17,...], "edge_count": 5,
+//    "metrics": {"queue_wait_ms": ..., "exec_ms": ..., "e2e_ms": ...,
+//                "batch_size": ..., "shard": ..., "steps": ...,
+//                "work": ..., "max_active": ..., "seed": "<u64>"}}
+// Non-ok statuses ("rejected_full", "rejected_shutdown", "expired")
+// omit "hull"/"edge_count". A line the server cannot parse is answered
+// {"error": "..."} and the stream continues — the protocol never goes
+// silent mid-stream.
+//
+// The metrics "seed" is serialized as a decimal string: it is a full
+// 64-bit splitmix value and Json numbers are doubles.
+#pragma once
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geom/workloads.h"
+#include "serve/request.h"
+#include "trace/json.h"
+
+namespace iph::tools {
+
+/// Generate a named 2-d workload (geom/workloads.h family names:
+/// "circle", "disk", "square", ...). Returns false for unknown names.
+inline bool make_workload(const std::string& name, std::size_t n,
+                          std::uint64_t seed,
+                          std::vector<geom::Point2>* out) {
+  for (const geom::Family2D f : geom::kAllFamilies2D) {
+    if (geom::family_name(f) == name) {
+      *out = geom::make2d(f, n, seed);
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Decode one request line. On success fills `out` (deadline resolved
+/// against Clock::now()) and `want_edge_above`; on failure returns
+/// false with a message in *err.
+inline bool request_from_json(const trace::Json& j, serve::Request* out,
+                              bool* want_edge_above, std::string* err) {
+  if (!j.is_object()) {
+    *err = "request is not a JSON object";
+    return false;
+  }
+  *out = serve::Request{};
+  out->id = static_cast<serve::RequestId>(j.get_num("id", 0));
+  out->alpha = static_cast<int>(j.get_num("alpha", 8));
+  if (const trace::Json* pts = j.find("points"); pts && pts->is_array()) {
+    out->points.reserve(pts->size());
+    for (const trace::Json& p : pts->items()) {
+      if (!p.is_array() || p.size() != 2 || !p.at(0).is_number() ||
+          !p.at(1).is_number()) {
+        *err = "\"points\" entries must be [x, y] number pairs";
+        return false;
+      }
+      out->points.push_back({p.at(0).as_double(), p.at(1).as_double()});
+    }
+  } else {
+    const auto n = static_cast<std::size_t>(j.get_num("n", 0));
+    const std::string workload = j.get_str("workload", "disk");
+    const auto seed = static_cast<std::uint64_t>(j.get_num("seed", 0));
+    if (n == 0) {
+      *err = "request needs \"points\" or a positive \"n\"";
+      return false;
+    }
+    if (!make_workload(workload, n, seed, &out->points)) {
+      *err = "unknown workload \"" + workload + "\"";
+      return false;
+    }
+  }
+  if (const double ms = j.get_num("deadline_ms", 0); ms > 0) {
+    out->deadline = serve::Clock::now() +
+                    std::chrono::microseconds(
+                        static_cast<std::int64_t>(ms * 1000.0));
+  }
+  const trace::Json* ea = j.find("edge_above");
+  *want_edge_above = ea != nullptr && ea->as_bool();
+  return true;
+}
+
+/// Encode one response line (see file comment for the shape).
+inline trace::Json response_to_json(const serve::Response& r,
+                                    bool edge_above) {
+  trace::Json o = trace::Json::object();
+  o["id"] = trace::Json(r.id);
+  o["status"] = trace::Json(serve::status_name(r.status));
+  if (r.status == serve::Status::kOk) {
+    trace::Json hull = trace::Json::array();
+    for (const geom::Index v : r.hull.upper.vertices) {
+      hull.push_back(trace::Json(static_cast<std::uint64_t>(v)));
+    }
+    o["hull"] = std::move(hull);
+    o["edge_count"] =
+        trace::Json(static_cast<std::uint64_t>(r.hull.upper.edge_count()));
+    if (edge_above) {
+      trace::Json above = trace::Json::array();
+      for (const geom::Index e : r.hull.edge_above) {
+        above.push_back(trace::Json(static_cast<std::uint64_t>(e)));
+      }
+      o["edge_above"] = std::move(above);
+    }
+  }
+  trace::Json m = trace::Json::object();
+  m["queue_wait_ms"] = trace::Json(r.metrics.queue_wait_ms);
+  m["exec_ms"] = trace::Json(r.metrics.exec_ms);
+  m["e2e_ms"] = trace::Json(r.metrics.e2e_ms);
+  m["batch_size"] = trace::Json(r.metrics.batch_size);
+  m["shard"] = trace::Json(r.metrics.shard);
+  m["steps"] = trace::Json(r.metrics.steps);
+  m["work"] = trace::Json(r.metrics.work);
+  m["max_active"] = trace::Json(r.metrics.max_active);
+  m["seed"] = trace::Json(std::to_string(r.metrics.seed));
+  o["metrics"] = std::move(m);
+  return o;
+}
+
+/// Buffered line-at-a-time IO over a file descriptor (stdin/stdout or
+/// a connected socket — both sides of the protocol speak through this).
+class LineChannel {
+ public:
+  explicit LineChannel(int in_fd, int out_fd) : in_(in_fd), out_(out_fd) {}
+
+  /// Next '\n'-terminated line (terminator stripped). At EOF a final
+  /// unterminated line is yielded once. False on EOF/error.
+  bool read_line(std::string* line) {
+    for (;;) {
+      if (const auto nl = buf_.find('\n'); nl != std::string::npos) {
+        line->assign(buf_, 0, nl);
+        buf_.erase(0, nl + 1);
+        return true;
+      }
+      char chunk[4096];
+      ssize_t got;
+      do {
+        got = ::read(in_, chunk, sizeof chunk);
+      } while (got < 0 && errno == EINTR);
+      if (got <= 0) {
+        if (buf_.empty()) return false;
+        line->swap(buf_);
+        buf_.clear();
+        return true;
+      }
+      buf_.append(chunk, static_cast<std::size_t>(got));
+    }
+  }
+
+  /// Write `s` plus '\n', riding out partial writes. False on error.
+  bool write_line(std::string_view s) {
+    std::string msg(s);
+    msg.push_back('\n');
+    std::size_t off = 0;
+    while (off < msg.size()) {
+      ssize_t put;
+      do {
+        put = ::write(out_, msg.data() + off, msg.size() - off);
+      } while (put < 0 && errno == EINTR);
+      if (put <= 0) return false;
+      off += static_cast<std::size_t>(put);
+    }
+    return true;
+  }
+
+ private:
+  int in_;
+  int out_;
+  std::string buf_;
+};
+
+}  // namespace iph::tools
