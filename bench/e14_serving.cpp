@@ -18,6 +18,14 @@
 // deterministic PRAM axis (steps/work summed over the request set,
 // which the committed baseline pins bit-exactly — per-request PRAM cost
 // is a pure function of (points, id, master seed), never of batching).
+//
+// Each row also cross-checks the service's own metrics registry
+// (src/serve/stats.h) against the client tally — submitted/completed
+// counts and the folded PRAM step/work totals must reconcile exactly —
+// and attaches the registry snapshot to the run report under
+// "stats"["n=<n>"], where benchreport renders it as a serving table.
+// server_p99_ms is the server-recorded e2e p99 (histogram estimate)
+// alongside the client-sampled p99_ms.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -33,6 +41,9 @@
 #include "pram/machine.h"
 #include "serve/request.h"
 #include "serve/service.h"
+#include "serve/stats.h"
+#include "stats/export.h"
+#include "stats/stats.h"
 
 namespace {
 
@@ -70,6 +81,7 @@ void e14(benchmark::State& state) {
 
   double qps = 0, qps_solo = 0;
   double p50 = 0, p95 = 0, p99 = 0, mean_batch = 0;
+  double server_p99 = 0;
   std::uint64_t steps = 0, work = 0, large = 0;
   for (auto _ : state) {
     // Solo: one Machine per request — the per-request spawn/join cost
@@ -127,6 +139,42 @@ void e14(benchmark::State& state) {
     const iph::serve::StatsSnapshot stats = svc.stats();
     mean_batch = stats.mean_batch();
     large = stats.large_requests;
+
+    // Server-side cross-check: the service's own metrics registry must
+    // agree with what the client observed — every request submitted,
+    // accepted and completed, nothing rejected or expired, and the
+    // server-recorded PRAM step/work totals equal to the client tally.
+    // Compiled-out builds (IPH_STATS_COMPILED_OUT, the overhead-
+    // measurement knob) read all-zero by design, so the check is
+    // skipped there and no stats block is attached.
+    if constexpr (!iph::stats::kEnabled) continue;
+    namespace sn = iph::serve::statnames;
+    const iph::stats::RegistrySnapshot snap = svc.stats_registry().snapshot();
+    const auto want = static_cast<std::uint64_t>(kRequests);
+    const std::uint64_t rejected =
+        snap.counter_or0(iph::stats::labeled(sn::kRejectedBase, "reason",
+                                             "full")) +
+        snap.counter_or0(iph::stats::labeled(sn::kRejectedBase, "reason",
+                                             "shutdown"));
+    if (snap.counter_or0(sn::kSubmitted) != want ||
+        snap.counter_or0(sn::kCompleted) != want || rejected != 0 ||
+        snap.counter_or0(sn::kExpired) != 0) {
+      state.SkipWithError("server stats registry does not reconcile");
+      return;
+    }
+    if (snap.counter_or0(std::string(sn::kPramPrefix) + "steps_total") !=
+            served_steps ||
+        snap.counter_or0(std::string(sn::kPramPrefix) + "work_total") !=
+            served_work) {
+      state.SkipWithError("server pram counters diverge from responses");
+      return;
+    }
+    if (const iph::stats::HistogramSnapshot* h =
+            snap.histogram(sn::kE2eMs)) {
+      server_p99 = h->quantile(0.99);
+    }
+    iph::bench::attach_stats("n=" + std::to_string(n),
+                             iph::stats::to_json(snap));
   }
 
   state.counters["qps"] = qps;
@@ -135,6 +183,7 @@ void e14(benchmark::State& state) {
   state.counters["p50_ms"] = p50;
   state.counters["p95_ms"] = p95;
   state.counters["p99_ms"] = p99;
+  state.counters["server_p99_ms"] = server_p99;
   state.counters["mean_batch"] = mean_batch;
   state.counters["large_requests"] = static_cast<double>(large);
   state.counters["steps"] = static_cast<double>(steps);

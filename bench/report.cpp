@@ -94,6 +94,11 @@ std::vector<TaggedRecorder>& recorders() {
   return v;
 }
 
+std::vector<std::pair<std::string, trace::Json>>& stats_blocks() {
+  static std::vector<std::pair<std::string, trace::Json>> v;
+  return v;
+}
+
 trace::Json row_json(const Row& r) {
   trace::Json j = trace::Json::object();
   j["name"] = r.name;
@@ -185,6 +190,16 @@ std::vector<std::int64_t> n_sweep(std::initializer_list<std::int64_t> full) {
     if (cap == 0 || n <= cap || out.empty()) out.push_back(n);
   }
   return out;
+}
+
+void attach_stats(const std::string& tag, trace::Json stats_json) {
+  for (auto& [t, j] : stats_blocks()) {
+    if (t == tag) {
+      j = std::move(stats_json);
+      return;
+    }
+  }
+  stats_blocks().emplace_back(tag, std::move(stats_json));
 }
 
 trace::Recorder& instrument(pram::Machine& m, const std::string& tag) {
@@ -315,6 +330,14 @@ int run_bench_main(int argc, char** argv, const char* bench_id,
   }
   if (traces.size() > 0) report["traces"] = std::move(traces);
   recorders().clear();
+
+  // Service-level stats snapshots attached via attach_stats().
+  if (!stats_blocks().empty()) {
+    trace::Json stats = trace::Json::object();
+    for (auto& [tag, j] : stats_blocks()) stats[tag] = std::move(j);
+    report["stats"] = std::move(stats);
+    stats_blocks().clear();
+  }
 
   const std::string out_dir = support::env_string("IPH_BENCH_OUT_DIR", ".");
   const std::string out_path =

@@ -44,6 +44,7 @@
 
 #include "pram/machine.h"
 #include "pram/metrics.h"
+#include "trace/json.h"
 #include "trace/recorder.h"
 
 namespace iph::bench {
@@ -98,6 +99,13 @@ std::vector<std::int64_t> n_sweep(std::initializer_list<std::int64_t> full);
 /// so default runs — including the committed baselines — stay free of
 /// trace sections and their wall-clock noise.
 trace::Recorder& instrument(pram::Machine& m, const std::string& tag);
+
+/// Attach a stats-registry snapshot (stats::to_json shape, schema
+/// "iph-stats-v1") to the run report under "stats"[tag]; benchreport
+/// renders a serving-stats table from it. One snapshot is kept per tag
+/// (last wins). The harness itself only stores the Json — producing it
+/// (stats::to_json over a RegistrySnapshot) is the bench's job.
+void attach_stats(const std::string& tag, trace::Json stats_json);
 
 /// The main() body behind IPH_BENCH_MAIN. Returns the process exit
 /// code: 0, or nonzero on claim misfit / baseline drift / no rows.

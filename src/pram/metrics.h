@@ -104,7 +104,43 @@ struct Metrics {
                                               // not UB, on a double free
     ++space_releases;
   }
+
+  /// Accumulate another run's counters into this one: counters sum,
+  /// peaks max, gauges are left alone (they describe *this* machine's
+  /// live state, not the other run's). The serving batcher uses this to
+  /// fold per-request runs (Machine::reset clears metrics per request)
+  /// into a batch total for the service-level stats registry.
+  void add_counters(const Metrics& o) noexcept {
+    steps += o.steps;
+    work += o.work;
+    cw_conflicts += o.cw_conflicts;
+    for (std::size_t i = 0; i < time_at_p.size(); ++i) {
+      time_at_p[i] += o.time_at_p[i];
+    }
+    space_allocs += o.space_allocs;
+    space_releases += o.space_releases;
+    if (o.max_active > max_active) max_active = o.max_active;
+    if (o.peak_live > peak_live) peak_live = o.peak_live;
+    if (o.peak_aux > peak_aux) peak_aux = o.peak_aux;
+    if (o.peak_input > peak_input) peak_input = o.peak_input;
+  }
 };
+
+/// Visit the summable (monotonic across add_counters) counters of a
+/// Metrics as (name, value) pairs, in a fixed order. External
+/// aggregators — the serving stats registry folds PRAM totals into its
+/// counters this way — stay decoupled from the Metrics field list:
+/// build name-keyed sinks once with a default Metrics, then fold by the
+/// same fixed order. Peaks and live gauges are excluded; they are not
+/// summable.
+template <class Fn>
+void for_each_summable_counter(const Metrics& m, Fn&& fn) {
+  fn("steps", m.steps);
+  fn("work", m.work);
+  fn("cw_conflicts", m.cw_conflicts);
+  fn("space_allocs", m.space_allocs);
+  fn("space_releases", m.space_releases);
+}
 
 /// Per-phase accounting: the counter fields are deltas over the phase's
 /// lifetime; the peak fields are PHASE-LOCAL maxima, observed only while

@@ -6,7 +6,8 @@ namespace iph::serve {
 
 std::vector<Response> execute_batch(pram::Machine& m,
                                     std::span<const Request> requests,
-                                    std::uint64_t master_seed) {
+                                    std::uint64_t master_seed,
+                                    BatchExecInfo* info) {
   // Pack the batch into one contiguous arena; request r's points live in
   // the disjoint cell range [offsets[r], offsets[r] + n_r).
   std::vector<std::size_t> offsets;
@@ -24,6 +25,11 @@ std::vector<Response> execute_batch(pram::Machine& m,
 
   std::vector<Response> out;
   out.reserve(requests.size());
+  if (info != nullptr) {
+    info->completed_at.clear();
+    info->completed_at.reserve(requests.size());
+    info->pram_total = pram::Metrics{};
+  }
   for (std::size_t i = 0; i < requests.size(); ++i) {
     const Request& r = requests[i];
     const std::uint64_t seed = derive_request_seed(master_seed, r.id);
@@ -49,8 +55,11 @@ std::vector<Response> execute_batch(pram::Machine& m,
     resp.metrics.work = h.metrics.work;
     resp.metrics.max_active = h.metrics.max_active;
     resp.metrics.batch_size = requests.size();
-    resp.metrics.exec_ms =
-        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    resp.metrics.exec_ms = ms_between(t0, t1);
+    if (info != nullptr) {
+      info->completed_at.push_back(t1);
+      info->pram_total.add_counters(h.metrics);
+    }
     out.push_back(std::move(resp));
   }
   return out;

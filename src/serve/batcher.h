@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "pram/machine.h"
+#include "pram/metrics.h"
 #include "serve/request.h"
 
 namespace iph::serve {
@@ -42,13 +43,29 @@ struct BatchPolicy {
   std::uint64_t grain = 0;
 };
 
+/// Host-side accounting of one execute_batch call, for the caller's
+/// latency/stats bookkeeping (none of it affects results).
+struct BatchExecInfo {
+  /// When request i's hull finished computing — parallel to the
+  /// returned responses. The service derives each request's OWN e2e
+  /// from this (batch-mates that ran earlier in the arena complete
+  /// earlier); before this existed every batch-mate was stamped with
+  /// the batch tail's end time.
+  std::vector<Clock::time_point> completed_at;
+  /// Per-request pram::Metrics counters summed over the batch
+  /// (Metrics::add_counters) — the machine itself is reset per request,
+  /// so its own metrics afterwards are only the last request's.
+  pram::Metrics pram_total;
+};
+
 /// Execute `requests` as one batch on `m` (see file comment) and return
 /// one Response per request, in order. Fills the deterministic
 /// RequestMetrics fields plus exec_ms and batch_size; queue/e2e timing
-/// and shard id belong to the caller. `m` is reset per request — its
-/// metrics afterwards are the last request's.
+/// and shard id belong to the caller (per-request completion stamps for
+/// that are in `info` when non-null).
 std::vector<Response> execute_batch(pram::Machine& m,
                                     std::span<const Request> requests,
-                                    std::uint64_t master_seed);
+                                    std::uint64_t master_seed,
+                                    BatchExecInfo* info = nullptr);
 
 }  // namespace iph::serve

@@ -13,6 +13,7 @@ MachinePool::MachinePool(std::size_t shards, unsigned threads_per_shard,
         std::make_unique<pram::Machine>(threads_per_shard, seed));
   }
   leased_.assign(shards, false);
+  lease_t0_.assign(shards, std::chrono::steady_clock::time_point{});
 }
 
 MachinePool::Lease MachinePool::acquire() {
@@ -28,6 +29,11 @@ MachinePool::Lease MachinePool::acquire() {
     return false;
   });
   leased_[idx] = true;
+  ++leased_count_;
+  lease_t0_[idx] = std::chrono::steady_clock::now();
+  if (leased_gauge_ != nullptr) {
+    leased_gauge_->set(static_cast<std::int64_t>(leased_count_));
+  }
   return Lease(this, idx);
 }
 
@@ -36,6 +42,11 @@ std::optional<MachinePool::Lease> MachinePool::try_acquire() {
   for (std::size_t i = 0; i < leased_.size(); ++i) {
     if (!leased_[i]) {
       leased_[i] = true;
+      ++leased_count_;
+      lease_t0_[i] = std::chrono::steady_clock::now();
+      if (leased_gauge_ != nullptr) {
+        leased_gauge_->set(static_cast<std::int64_t>(leased_count_));
+      }
       return Lease(this, i);
     }
   }
@@ -49,6 +60,16 @@ std::size_t MachinePool::available() const {
   return n;
 }
 
+void MachinePool::bind_stats(stats::Gauge* leased,
+                             std::vector<stats::Counter*> busy_us) {
+  std::lock_guard<std::mutex> lk(mu_);
+  leased_gauge_ = leased;
+  busy_us_ = std::move(busy_us);
+  if (leased_gauge_ != nullptr) {
+    leased_gauge_->set(static_cast<std::int64_t>(leased_count_));
+  }
+}
+
 void MachinePool::Lease::release() {
   if (pool_ == nullptr) return;
   pool_->release_shard(index_);
@@ -59,6 +80,16 @@ void MachinePool::release_shard(std::size_t index) {
   {
     std::lock_guard<std::mutex> lk(mu_);
     leased_[index] = false;
+    --leased_count_;
+    if (leased_gauge_ != nullptr) {
+      leased_gauge_->set(static_cast<std::int64_t>(leased_count_));
+    }
+    if (index < busy_us_.size() && busy_us_[index] != nullptr) {
+      const auto held = std::chrono::steady_clock::now() - lease_t0_[index];
+      busy_us_[index]->inc(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(held)
+              .count()));
+    }
   }
   cv_.notify_one();
 }

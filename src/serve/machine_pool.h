@@ -14,6 +14,7 @@
 // exhaustion instead (the serve stress test drives both).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -22,6 +23,7 @@
 #include <vector>
 
 #include "pram/machine.h"
+#include "stats/stats.h"
 
 namespace iph::serve {
 
@@ -79,6 +81,15 @@ class MachinePool {
   /// leases — call before handing the pool to workers.
   pram::Machine& machine(std::size_t i) { return *machines_[i]; }
 
+  /// Optional occupancy instruments (like the queue's depth gauge:
+  /// bind before handing the pool to workers; instruments must outlive
+  /// the pool). `leased` tracks the number of shards currently leased;
+  /// `busy_us[i]` accumulates shard i's lease-held wall time in
+  /// microseconds, charged at release. `busy_us` may be shorter than
+  /// size() (extra shards just go unmetered) or empty.
+  void bind_stats(stats::Gauge* leased,
+                  std::vector<stats::Counter*> busy_us);
+
  private:
   friend class Lease;
   void release_shard(std::size_t index);
@@ -87,6 +98,10 @@ class MachinePool {
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::vector<bool> leased_;
+  std::vector<std::chrono::steady_clock::time_point> lease_t0_;
+  std::size_t leased_count_ = 0;
+  stats::Gauge* leased_gauge_ = nullptr;
+  std::vector<stats::Counter*> busy_us_;
 };
 
 }  // namespace iph::serve

@@ -8,6 +8,7 @@ BoundedQueue::Admit BoundedQueue::push(Pending& p) {
     if (closed_) return Admit::kClosed;
     if (q_.size() >= capacity_) return Admit::kFull;
     q_.push_back(std::move(p));
+    update_depth_locked();
   }
   cv_.notify_one();
   return Admit::kOk;
@@ -19,13 +20,15 @@ std::optional<Pending> BoundedQueue::pop() {
   if (q_.empty()) return std::nullopt;
   Pending p = std::move(q_.front());
   q_.pop_front();
+  update_depth_locked();
   return p;
 }
 
 std::vector<Pending> BoundedQueue::pop_batch(
     std::size_t max_requests, std::size_t max_points,
-    std::chrono::microseconds window) {
+    std::chrono::microseconds window, BatchClose* close_reason) {
   std::vector<Pending> out;
+  BatchClose reason = BatchClose::kWindow;
   std::unique_lock<std::mutex> lk(mu_);
   cv_.wait(lk, [this] { return closed_ || !q_.empty(); });
   if (q_.empty()) return out;
@@ -40,21 +43,34 @@ std::vector<Pending> BoundedQueue::pop_batch(
       q_.pop_front();
       points += sz;
     }
+    update_depth_locked();
   };
   take_available();
   const auto batch_deadline = Clock::now() + window;
   while (out.size() < max_requests && !closed_) {
     if (!q_.empty()) {
       const std::size_t sz = q_.front().request.points.size();
-      if (points + sz > max_points) break;
+      if (points + sz > max_points) {
+        reason = BatchClose::kPoints;
+        break;
+      }
       take_available();
       continue;
     }
     if (cv_.wait_until(lk, batch_deadline) == std::cv_status::timeout) {
       take_available();  // whatever raced the timeout
+      reason = BatchClose::kWindow;
       break;
     }
   }
+  if (out.size() >= max_requests) {
+    reason = BatchClose::kRequests;
+  } else if (closed_ && reason == BatchClose::kWindow) {
+    // Fell out of the loop because close() woke us mid-window (the
+    // points/timeout breaks already stamped their own reason).
+    reason = BatchClose::kClosed;
+  }
+  if (close_reason != nullptr && !out.empty()) *close_reason = reason;
   return out;
 }
 
@@ -64,6 +80,12 @@ void BoundedQueue::close() {
     closed_ = true;
   }
   cv_.notify_all();
+}
+
+void BoundedQueue::bind_depth_gauge(stats::Gauge* g) {
+  std::lock_guard<std::mutex> lk(mu_);
+  depth_ = g;
+  update_depth_locked();
 }
 
 std::size_t BoundedQueue::size() const {

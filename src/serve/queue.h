@@ -25,8 +25,32 @@
 #include <vector>
 
 #include "serve/request.h"
+#include "stats/stats.h"
 
 namespace iph::serve {
+
+/// Why pop_batch stopped growing a (non-empty) batch — the batcher's
+/// window-close reason counters key on this.
+enum class BatchClose : std::uint8_t {
+  kWindow,    ///< Straggler window elapsed.
+  kRequests,  ///< Request budget reached.
+  kPoints,    ///< Point (arena) budget reached.
+  kClosed,    ///< Queue closed while the batch was collecting.
+};
+
+constexpr const char* batch_close_name(BatchClose c) noexcept {
+  switch (c) {
+    case BatchClose::kWindow:
+      return "window";
+    case BatchClose::kRequests:
+      return "requests";
+    case BatchClose::kPoints:
+      return "points";
+    case BatchClose::kClosed:
+      return "closed";
+  }
+  return "?";
+}
 
 /// A queued request plus its completion channel and arrival stamp.
 struct Pending {
@@ -56,23 +80,36 @@ class BoundedQueue {
   /// (the first item is taken regardless of its size, so oversized
   /// requests cannot wedge the queue). Blocks for the first item; then
   /// waits up to `window` past the first take for stragglers. Empty
-  /// vector = closed and fully drained.
+  /// vector = closed and fully drained. When `close_reason` is non-null
+  /// and the batch is non-empty, it reports why collection stopped.
   std::vector<Pending> pop_batch(std::size_t max_requests,
                                  std::size_t max_points,
-                                 std::chrono::microseconds window);
+                                 std::chrono::microseconds window,
+                                 BatchClose* close_reason = nullptr);
 
   /// No further admissions; blocked consumers wake and drain.
   void close();
+
+  /// Optional live-depth instrument: once bound, the gauge tracks
+  /// q_.size() after every mutation (under the queue mutex, so the
+  /// level is never stale relative to the queue's own state). Bind
+  /// before concurrent use; the gauge must outlive the queue.
+  void bind_depth_gauge(stats::Gauge* g);
 
   std::size_t size() const;
   bool closed() const;
 
  private:
+  void update_depth_locked() noexcept {
+    if (depth_ != nullptr) depth_->set(static_cast<std::int64_t>(q_.size()));
+  }
+
   const std::size_t capacity_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Pending> q_;
   bool closed_ = false;
+  stats::Gauge* depth_ = nullptr;
 };
 
 }  // namespace iph::serve

@@ -29,6 +29,14 @@ namespace iph::serve {
 using Clock = std::chrono::steady_clock;
 using RequestId = std::uint64_t;
 
+/// Milliseconds from `from` to `to` — THE timestamp-diff helper for the
+/// serving stack. service.cpp, batcher.cpp and tools/hullload all used
+/// to hand-roll this cast; keep new sites pointed here so every latency
+/// number in the stack is computed the same way.
+inline double ms_between(Clock::time_point from, Clock::time_point to) noexcept {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
 /// Terminal state of a request. Every submitted request gets exactly one
 /// Response; rejections and expiries are Responses too, never silence.
 enum class Status : std::uint8_t {
@@ -79,7 +87,11 @@ struct Request {
 struct RequestMetrics {
   double queue_wait_ms = 0;  ///< submit -> dequeued by a worker.
   double exec_ms = 0;        ///< PRAM run wall-clock.
-  double e2e_ms = 0;         ///< submit -> response ready.
+  /// submit -> THIS request's result computed. Per-request, not
+  /// batch-end: batch-mates that executed earlier in the arena report
+  /// smaller e2e, so (e2e - queue_wait) is this request's own service
+  /// time plus its wait for earlier batch-mates.
+  double e2e_ms = 0;
   std::uint64_t batch_size = 0;  ///< Requests coalesced into the run.
   std::uint64_t shard = 0;       ///< MachinePool shard that ran it.
   std::uint64_t seed = 0;        ///< derive_request_seed(master, id).

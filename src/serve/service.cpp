@@ -21,17 +21,22 @@ ServiceConfig sanitize(ServiceConfig cfg) {
   return cfg;
 }
 
-double ms_between(Clock::time_point a, Clock::time_point b) {
-  return std::chrono::duration<double, std::milli>(b - a).count();
-}
-
 }  // namespace
 
 HullService::HullService(const ServiceConfig& cfg)
     : cfg_(sanitize(cfg)),
+      sstats_(stats_registry_, cfg_.shards, cfg_.large_shard),
       pool_(cfg_.shards, cfg_.threads_per_shard, cfg_.master_seed),
       small_queue_(cfg_.queue_capacity),
       large_queue_(cfg_.queue_capacity) {
+  small_queue_.bind_depth_gauge(&sstats_.small_depth);
+  large_queue_.bind_depth_gauge(&sstats_.large_depth);
+  // The pool meters the batch shards; the dedicated large shard (index
+  // pool_.size()) is metered by large_worker directly.
+  pool_.bind_stats(&sstats_.shards_leased,
+                   {sstats_.shard_busy_us.begin(),
+                    sstats_.shard_busy_us.begin() +
+                        static_cast<std::ptrdiff_t>(cfg_.shards)});
   if (cfg_.large_shard) {
     large_machine_ = std::make_unique<pram::Machine>(
         cfg_.threads_per_shard, cfg_.master_seed);
@@ -73,12 +78,14 @@ std::future<Response> HullService::ready_response(Response r) {
 
 std::future<Response> HullService::submit(Request req) {
   stats_.submitted.fetch_add(1, std::memory_order_relaxed);
+  sstats_.submitted.inc();
   if (req.id == 0) {
     req.id = next_id_.fetch_add(1, std::memory_order_relaxed);
   }
   const RequestId id = req.id;
   if (closed_.load(std::memory_order_acquire)) {
     stats_.rejected_shutdown.fetch_add(1, std::memory_order_relaxed);
+    sstats_.rejected_shutdown.inc();
     Response r;
     r.id = id;
     r.status = Status::kRejectedShutdown;
@@ -94,17 +101,21 @@ std::future<Response> HullService::submit(Request req) {
   std::future<Response> fut = p.promise.get_future();
   switch (q.push(p)) {
     case BoundedQueue::Admit::kOk:
+      sstats_.accepted.inc();
       if (large) {
         stats_.large_requests.fetch_add(1, std::memory_order_relaxed);
+        sstats_.large_requests.inc();
       }
       return fut;
     case BoundedQueue::Admit::kFull: {
       stats_.rejected_full.fetch_add(1, std::memory_order_relaxed);
+      sstats_.rejected_full.inc();
       answer_rejection(p, Status::kRejectedFull);
       return fut;
     }
     case BoundedQueue::Admit::kClosed: {
       stats_.rejected_shutdown.fetch_add(1, std::memory_order_relaxed);
+      sstats_.rejected_shutdown.inc();
       answer_rejection(p, Status::kRejectedShutdown);
       return fut;
     }
@@ -122,17 +133,33 @@ void HullService::answer_rejection(Pending& p, Status status) {
 
 void HullService::batch_worker() {
   for (;;) {
+    BatchClose close = BatchClose::kWindow;
     std::vector<Pending> batch =
         small_queue_.pop_batch(cfg_.batch.max_batch_requests,
                                cfg_.batch.max_batch_points,
-                               cfg_.batch.window);
+                               cfg_.batch.window, &close);
     if (batch.empty()) return;  // closed and drained
     if (abandon_.load(std::memory_order_acquire)) {
       for (Pending& p : batch) {
         stats_.rejected_shutdown.fetch_add(1, std::memory_order_relaxed);
+        sstats_.rejected_shutdown.inc();
         answer_rejection(p, Status::kRejectedShutdown);
       }
       continue;
+    }
+    switch (close) {
+      case BatchClose::kWindow:
+        sstats_.close_window.inc();
+        break;
+      case BatchClose::kRequests:
+        sstats_.close_requests.inc();
+        break;
+      case BatchClose::kPoints:
+        sstats_.close_points.inc();
+        break;
+      case BatchClose::kClosed:
+        sstats_.close_closed.inc();
+        break;
     }
     finish_batch(std::move(batch), pool_.acquire());
   }
@@ -149,6 +176,7 @@ void HullService::finish_batch(std::vector<Pending> batch,
   for (Pending& p : batch) {
     if (p.request.has_deadline() && p.request.deadline < dequeued) {
       stats_.expired.fetch_add(1, std::memory_order_relaxed);
+      sstats_.expired.inc();
       Response r;
       r.id = p.request.id;
       r.status = Status::kExpired;
@@ -165,13 +193,14 @@ void HullService::finish_batch(std::vector<Pending> batch,
   reqs.reserve(live.size());
   for (Pending& p : live) reqs.push_back(std::move(p.request));
 
+  BatchExecInfo info;
   std::vector<Response> responses =
-      execute_batch(lease.machine(), reqs, cfg_.master_seed);
+      execute_batch(lease.machine(), reqs, cfg_.master_seed, &info);
   const std::size_t shard = lease.shard();
   lease.release();  // free the shard before the promise fan-out
-  const Clock::time_point done = Clock::now();
 
   IPH_CHECK(responses.size() == live.size());
+  IPH_CHECK(info.completed_at.size() == live.size());
   // Stats strictly before the promise fan-out: a caller that has seen
   // its Response observes counters that already include it.
   stats_.batches.fetch_add(1, std::memory_order_relaxed);
@@ -182,11 +211,23 @@ void HullService::finish_batch(std::vector<Pending> batch,
          !stats_.max_batch.compare_exchange_weak(
              prev, live.size(), std::memory_order_relaxed)) {
   }
+  sstats_.batches.inc();
+  sstats_.completed.inc(live.size());
+  sstats_.batch_size.record(static_cast<double>(live.size()));
+  sstats_.fold_pram(info.pram_total);
   for (std::size_t i = 0; i < live.size(); ++i) {
     responses[i].metrics.shard = shard;
     responses[i].metrics.queue_wait_ms =
         ms_between(live[i].enqueued_at, dequeued);
-    responses[i].metrics.e2e_ms = ms_between(live[i].enqueued_at, done);
+    // Each request's OWN completion stamp, not the batch tail's: the
+    // requests ran back-to-back in the arena, so e2e grows along the
+    // batch and (e2e - queue_wait) is per-request (satellite fix,
+    // regression-tested in serve_test).
+    responses[i].metrics.e2e_ms =
+        ms_between(live[i].enqueued_at, info.completed_at[i]);
+    sstats_.queue_wait_ms.record(responses[i].metrics.queue_wait_ms);
+    sstats_.exec_ms.record(responses[i].metrics.exec_ms);
+    sstats_.e2e_ms.record(responses[i].metrics.e2e_ms);
     live[i].promise.set_value(std::move(responses[i]));
   }
 }
@@ -197,12 +238,14 @@ void HullService::large_worker() {
     if (!p) return;  // closed and drained
     if (abandon_.load(std::memory_order_acquire)) {
       stats_.rejected_shutdown.fetch_add(1, std::memory_order_relaxed);
+      sstats_.rejected_shutdown.inc();
       answer_rejection(*p, Status::kRejectedShutdown);
       continue;
     }
     const Clock::time_point dequeued = Clock::now();
     if (p->request.has_deadline() && p->request.deadline < dequeued) {
       stats_.expired.fetch_add(1, std::memory_order_relaxed);
+      sstats_.expired.inc();
       Response r;
       r.id = p->request.id;
       r.status = Status::kExpired;
@@ -212,14 +255,28 @@ void HullService::large_worker() {
       continue;
     }
     const Request req = std::move(p->request);
+    BatchExecInfo info;
     std::vector<Response> resp =
-        execute_batch(*large_machine_, {&req, 1}, cfg_.master_seed);
-    IPH_CHECK(resp.size() == 1);
-    const Clock::time_point done = Clock::now();
+        execute_batch(*large_machine_, {&req, 1}, cfg_.master_seed, &info);
+    IPH_CHECK(resp.size() == 1 && info.completed_at.size() == 1);
+    const Clock::time_point done = info.completed_at[0];
     resp[0].metrics.shard = pool_.size();  // the dedicated large shard
     resp[0].metrics.queue_wait_ms = ms_between(p->enqueued_at, dequeued);
     resp[0].metrics.e2e_ms = ms_between(p->enqueued_at, done);
     stats_.completed.fetch_add(1, std::memory_order_relaxed);
+    sstats_.completed.inc();
+    sstats_.fold_pram(info.pram_total);
+    sstats_.queue_wait_ms.record(resp[0].metrics.queue_wait_ms);
+    sstats_.exec_ms.record(resp[0].metrics.exec_ms);
+    sstats_.e2e_ms.record(resp[0].metrics.e2e_ms);
+    // The dedicated large shard is not pooled; meter its busy time here
+    // (the pool meters the batch shards at lease release).
+    if (!sstats_.shard_busy_us.empty()) {
+      sstats_.shard_busy_us.back()->inc(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(done -
+                                                                dequeued)
+              .count()));
+    }
     p->promise.set_value(std::move(resp[0]));
   }
 }

@@ -43,6 +43,8 @@
 #include "serve/machine_pool.h"
 #include "serve/queue.h"
 #include "serve/request.h"
+#include "serve/stats.h"
+#include "stats/stats.h"
 #include "trace/recorder.h"
 
 namespace iph::serve {
@@ -100,6 +102,19 @@ class HullService {
 
   StatsSnapshot stats() const;
 
+  /// The service-level metrics registry (serve/stats.h documents the
+  /// instruments and the reconciliation invariants). Snapshot it any
+  /// time; hullserved serves it as the `statz` wire command and
+  /// hullload --scrape diffs it around a run. Counters are bumped
+  /// strictly before the corresponding promise is fulfilled, so a
+  /// client holding all its responses reads settled counters. The
+  /// latency histograms record kOk requests only — server-side p99 is
+  /// comparable to a client's ok-only percentile.
+  stats::Registry& stats_registry() noexcept { return stats_registry_; }
+  const stats::Registry& stats_registry() const noexcept {
+    return stats_registry_;
+  }
+
   std::size_t shard_count() const noexcept { return pool_.size(); }
   /// Shard `i`'s recorder (the large shard is index shard_count()), or
   /// nullptr unless ServiceConfig::trace. Read after shutdown().
@@ -113,6 +128,11 @@ class HullService {
   static std::future<Response> ready_response(Response r);
 
   ServiceConfig cfg_;
+  // Registry before queues/pool: both hold bound instrument pointers
+  // into it and touch them until the workers join, so the registry must
+  // be destroyed after them (reverse declaration order).
+  stats::Registry stats_registry_;
+  ServeStats sstats_;
   // Recorders before machines: machines are detached from observers by
   // destruction order (pool after recorders would dangle — so pool_
   // and large_machine_ are declared after recorders_ and destroyed

@@ -1,0 +1,106 @@
+// Service-level metric bundle for iph::serve.
+//
+// ServeStats owns nothing: it registers the serving stack's instruments
+// in a caller-provided stats::Registry (so a process embedding several
+// services could share or separate registries) and hands out typed
+// references. HullService constructs one over its own registry and
+// wires the pieces: the queues' depth gauges, the pool's occupancy
+// instruments, and its own admission/latency recording.
+//
+// Metric names are exported verbatim (Prometheus-style, labels baked in
+// via stats::labeled) — statnames:: has the constants so the server,
+// hullload --scrape, benchreport and the CI reconciliation checks never
+// drift on spelling.
+//
+// Reconciliation invariants (asserted by tests, hullload --scrape and
+// the CI serve-smoke job): every submit increments `submitted` exactly
+// once, and exactly one of accepted/rejected{full|shutdown} — so
+//   submitted == accepted + sum(rejected)
+// and every accepted request terminates exactly once as completed,
+// expired, or rejected{shutdown} (abandoned at shutdown):
+//   accepted == completed + expired + rejected_at_shutdown_drain
+// All counters are bumped BEFORE the corresponding promise is
+// fulfilled; a client that has collected all its responses therefore
+// always reads fully-settled counters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pram/metrics.h"
+#include "stats/stats.h"
+
+namespace iph::serve {
+
+namespace statnames {
+inline constexpr const char* kSubmitted = "iph_serve_submitted_total";
+inline constexpr const char* kAccepted = "iph_serve_accepted_total";
+inline constexpr const char* kRejectedBase = "iph_serve_rejected_total";
+inline constexpr const char* kExpired = "iph_serve_expired_total";
+inline constexpr const char* kCompleted = "iph_serve_completed_total";
+inline constexpr const char* kBatches = "iph_serve_batches_total";
+inline constexpr const char* kBatchCloseBase = "iph_serve_batch_close_total";
+inline constexpr const char* kLargeRequests = "iph_serve_large_requests_total";
+inline constexpr const char* kQueueDepthBase = "iph_serve_queue_depth";
+inline constexpr const char* kShardsLeased = "iph_serve_shards_leased";
+inline constexpr const char* kShardBusyBase = "iph_serve_shard_busy_us_total";
+inline constexpr const char* kBatchSize = "iph_serve_batch_size";
+inline constexpr const char* kQueueWaitMs = "iph_serve_queue_wait_ms";
+inline constexpr const char* kExecMs = "iph_serve_exec_ms";
+inline constexpr const char* kE2eMs = "iph_serve_e2e_ms";
+inline constexpr const char* kPramPrefix = "iph_serve_pram_";
+}  // namespace statnames
+
+/// Typed handles into a Registry for every serving instrument (see
+/// statnames for the exported spellings). `pool_shards` sizes the
+/// per-shard busy counters (labeled "0".."n-1"); when `large_shard` is
+/// true one more counter labeled "large" is appended (index
+/// pool_shards) for the dedicated large-query machine.
+class ServeStats {
+ public:
+  ServeStats(stats::Registry& registry, std::size_t pool_shards,
+             bool large_shard);
+
+  // Admission and terminal-state counters.
+  stats::Counter& submitted;
+  stats::Counter& accepted;
+  stats::Counter& rejected_full;
+  stats::Counter& rejected_shutdown;
+  stats::Counter& expired;
+  stats::Counter& completed;
+
+  // Batch shaping.
+  stats::Counter& batches;
+  stats::Counter& close_window;
+  stats::Counter& close_requests;
+  stats::Counter& close_points;
+  stats::Counter& close_closed;
+  stats::Counter& large_requests;
+  stats::Histogram& batch_size;
+
+  // Occupancy.
+  stats::Gauge& small_depth;
+  stats::Gauge& large_depth;
+  stats::Gauge& shards_leased;
+
+  // Latency.
+  stats::Histogram& queue_wait_ms;
+  stats::Histogram& exec_ms;
+  stats::Histogram& e2e_ms;
+
+  /// busy-time counters, one per shard index ("large" is the last when
+  /// the service runs a dedicated large shard).
+  std::vector<stats::Counter*> shard_busy_us;
+
+  /// Fold a finished run's PRAM counters into the registry's
+  /// iph_serve_pram_*_total counters (pram::for_each_summable_counter
+  /// defines the set — the registry tracks whatever Metrics exports,
+  /// without this file naming each field).
+  void fold_pram(const pram::Metrics& m) noexcept;
+
+ private:
+  std::vector<stats::Counter*> pram_counters_;
+};
+
+}  // namespace iph::serve

@@ -1,0 +1,178 @@
+#include "stats/export.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace iph::stats {
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[64];
+  // %.17g round-trips doubles; trim the common integer case for
+  // readability ("3" not "3.0000000000000000").
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  return buf;
+}
+
+// Split `name{label="v"}` into base and the inner label list ("" when
+// unlabeled) so `le` can be spliced in next to existing labels.
+void split_labels(const std::string& name, std::string& base,
+                  std::string& labels) {
+  const std::size_t brace = name.find('{');
+  if (brace == std::string::npos || name.back() != '}') {
+    base = name;
+    labels.clear();
+    return;
+  }
+  base = name.substr(0, brace);
+  labels = name.substr(brace + 1, name.size() - brace - 2);
+}
+
+void emit_type_line(std::string& out, std::string& last_base,
+                    const std::string& base, const char* type) {
+  if (base == last_base) return;  // labeled siblings share one TYPE line
+  last_base = base;
+  out += "# TYPE ";
+  out += base;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+}  // namespace
+
+std::string to_prometheus(const RegistrySnapshot& snap) {
+  std::string out;
+  std::string base, labels, last_base;
+  for (const auto& [name, v] : snap.counters) {
+    split_labels(name, base, labels);
+    emit_type_line(out, last_base, base, "counter");
+    out += name;
+    out += ' ';
+    out += fmt_double(static_cast<double>(v));
+    out += '\n';
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    split_labels(name, base, labels);
+    emit_type_line(out, last_base, base, "gauge");
+    out += name;
+    out += ' ';
+    out += fmt_double(static_cast<double>(v));
+    out += '\n';
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    split_labels(name, base, labels);
+    emit_type_line(out, last_base, base, "histogram");
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      cum += h.buckets[i];
+      const std::string le =
+          i < h.bounds.size() ? fmt_double(h.bounds[i]) : std::string("+Inf");
+      out += base;
+      out += "_bucket{";
+      if (!labels.empty()) {
+        out += labels;
+        out += ',';
+      }
+      out += "le=\"";
+      out += le;
+      out += "\"} ";
+      out += fmt_double(static_cast<double>(cum));
+      out += '\n';
+    }
+    const std::string suffix = labels.empty() ? "" : "{" + labels + "}";
+    out += base + "_sum" + suffix + ' ' + fmt_double(h.sum) + '\n';
+    out += base + "_count" + suffix + ' ' +
+           fmt_double(static_cast<double>(h.count)) + '\n';
+  }
+  return out;
+}
+
+trace::Json to_json(const RegistrySnapshot& snap) {
+  trace::Json j = trace::Json::object();
+  j["schema"] = trace::Json("iph-stats-v1");
+  trace::Json& counters = (j["counters"] = trace::Json::object());
+  for (const auto& [name, v] : snap.counters) counters[name] = trace::Json(v);
+  trace::Json& gauges = (j["gauges"] = trace::Json::object());
+  for (const auto& [name, v] : snap.gauges) gauges[name] = trace::Json(v);
+  trace::Json& hists = (j["histograms"] = trace::Json::object());
+  for (const auto& [name, h] : snap.histograms) {
+    trace::Json& hj = (hists[name] = trace::Json::object());
+    trace::Json& bounds = (hj["bounds"] = trace::Json::array());
+    for (double b : h.bounds) bounds.push_back(trace::Json(b));
+    trace::Json& buckets = (hj["buckets"] = trace::Json::array());
+    for (std::uint64_t b : h.buckets) buckets.push_back(trace::Json(b));
+    hj["count"] = trace::Json(h.count);
+    hj["sum"] = trace::Json(h.sum);
+  }
+  return j;
+}
+
+namespace {
+
+bool fail(std::string* err, const std::string& msg) {
+  if (err != nullptr) *err = msg;
+  return false;
+}
+
+}  // namespace
+
+bool from_json(const trace::Json& j, RegistrySnapshot& out, std::string* err) {
+  out = RegistrySnapshot{};
+  if (!j.is_object()) return fail(err, "stats: not an object");
+  if (j.get_str("schema") != "iph-stats-v1") {
+    return fail(err, "stats: schema is not iph-stats-v1");
+  }
+  const trace::Json* counters = j.find("counters");
+  const trace::Json* gauges = j.find("gauges");
+  const trace::Json* hists = j.find("histograms");
+  if (counters == nullptr || !counters->is_object() || gauges == nullptr ||
+      !gauges->is_object() || hists == nullptr || !hists->is_object()) {
+    return fail(err, "stats: counters/gauges/histograms must be objects");
+  }
+  for (const auto& [name, v] : counters->members()) {
+    if (!v.is_number()) return fail(err, "stats: counter " + name + " not a number");
+    out.counters.emplace_back(name, v.as_u64());
+  }
+  for (const auto& [name, v] : gauges->members()) {
+    if (!v.is_number()) return fail(err, "stats: gauge " + name + " not a number");
+    out.gauges.emplace_back(name, static_cast<std::int64_t>(v.as_double()));
+  }
+  for (const auto& [name, hv] : hists->members()) {
+    if (!hv.is_object()) return fail(err, "stats: histogram " + name + " not an object");
+    const trace::Json* bounds = hv.find("bounds");
+    const trace::Json* buckets = hv.find("buckets");
+    const trace::Json* count = hv.find("count");
+    const trace::Json* sum = hv.find("sum");
+    if (bounds == nullptr || !bounds->is_array() || buckets == nullptr ||
+        !buckets->is_array() || count == nullptr || !count->is_number() ||
+        sum == nullptr || !sum->is_number()) {
+      return fail(err, "stats: histogram " + name + " missing fields");
+    }
+    if (buckets->size() != bounds->size() + 1) {
+      return fail(err, "stats: histogram " + name +
+                           " buckets must be bounds+1 (overflow)");
+    }
+    HistogramSnapshot h;
+    for (const trace::Json& b : bounds->items()) {
+      if (!b.is_number()) return fail(err, "stats: histogram " + name + " bad bound");
+      h.bounds.push_back(b.as_double());
+    }
+    for (const trace::Json& b : buckets->items()) {
+      if (!b.is_number()) return fail(err, "stats: histogram " + name + " bad bucket");
+      h.buckets.push_back(b.as_u64());
+    }
+    h.count = count->as_u64();
+    h.sum = sum->as_double();
+    out.histograms.emplace_back(name, std::move(h));
+  }
+  return true;
+}
+
+}  // namespace iph::stats

@@ -1,0 +1,46 @@
+// Exporters for stats::RegistrySnapshot.
+//
+// Two formats, one source of truth:
+//   to_prometheus  text exposition (`# TYPE` lines, `_bucket{le=...}`
+//                  cumulative histogram rows, `_sum`/`_count`) for
+//                  eyeballs and standard scrapers.
+//   to_json        the repo's trace::Json shape (schema
+//                  "iph-stats-v1") — what hullserved's `statz` command
+//                  returns, what hullload --scrape parses, and what
+//                  bench reports embed for tools/benchreport.
+//
+// from_json is the strict inverse of to_json: it validates the schema
+// tag and every field shape, because benchreport's bad-input contract
+// (exit 3) depends on malformed stats blocks being *detected*, not
+// skipped.
+#pragma once
+
+#include <string>
+
+#include "stats/stats.h"
+#include "trace/json.h"
+
+namespace iph::stats {
+
+/// Prometheus text exposition. Histogram buckets are cumulative and
+/// carry `le` labels; a name that already has a `{label="v"}` suffix
+/// (see labeled()) gets `le` spliced into the existing brace set.
+std::string to_prometheus(const RegistrySnapshot& snap);
+
+/// JSON shape:
+///   {"schema":"iph-stats-v1",
+///    "counters":{name: value, ...},
+///    "gauges":{name: value, ...},
+///    "histograms":{name: {"bounds":[...],"buckets":[...],
+///                         "count":N,"sum":S}, ...}}
+/// Counter values are exact as doubles up to 2^53 — far beyond any
+/// realistic serving run.
+trace::Json to_json(const RegistrySnapshot& snap);
+
+/// Strict parse of the to_json shape. Returns false (and sets `err`
+/// when non-null) on any schema/type/shape violation; `out` is left
+/// unspecified on failure.
+bool from_json(const trace::Json& j, RegistrySnapshot& out,
+               std::string* err = nullptr);
+
+}  // namespace iph::stats

@@ -12,10 +12,14 @@
 
 #include "core/api.h"
 #include "geom/workloads.h"
+#include "pram/machine.h"
+#include "serve/batcher.h"
 #include "serve/machine_pool.h"
 #include "serve/queue.h"
 #include "serve/request.h"
 #include "serve/service.h"
+#include "serve/stats.h"
+#include "stats/stats.h"
 
 namespace iph::serve {
 namespace {
@@ -27,6 +31,17 @@ Request make_request(RequestId id, std::size_t n, std::uint64_t seed) {
   r.id = id;
   r.points = geom::in_disk(n, seed);
   return r;
+}
+
+// --- Timestamp arithmetic ---------------------------------------------
+
+TEST(MsBetween, IsTheOneTimestampDiffHelper) {
+  const Clock::time_point t0 = Clock::now();
+  EXPECT_DOUBLE_EQ(ms_between(t0, t0), 0.0);
+  EXPECT_DOUBLE_EQ(ms_between(t0, t0 + 1500us), 1.5);
+  EXPECT_DOUBLE_EQ(ms_between(t0, t0 + 2s), 2000.0);
+  // Signed: an earlier `to` reads negative, never wraps.
+  EXPECT_DOUBLE_EQ(ms_between(t0 + 1ms, t0), -1.0);
 }
 
 // --- BoundedQueue admission control -----------------------------------
@@ -72,6 +87,44 @@ TEST(BoundedQueue, PopBatchRespectsBudgetsAndTakesOversizedFirst) {
   EXPECT_EQ(batch.size(), 1u);
   q.close();
   EXPECT_TRUE(q.pop_batch(8, 500, 0us).empty());
+}
+
+TEST(BoundedQueue, PopBatchReportsCloseReasonAndDepth) {
+  BoundedQueue q(16);
+  stats::Gauge depth;
+  q.bind_depth_gauge(&depth);
+  auto push_n_points = [&](std::size_t n) {
+    Pending p;
+    p.request.points.resize(n);
+    ASSERT_EQ(q.push(p), BoundedQueue::Admit::kOk);
+  };
+  push_n_points(1000);
+  push_n_points(100);
+  push_n_points(100);
+  push_n_points(100);
+  EXPECT_EQ(depth.value(), 4);
+
+  BatchClose reason = BatchClose::kWindow;
+  // Oversized head blows the point budget immediately.
+  auto batch = q.pop_batch(8, 500, 0us, &reason);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(reason, BatchClose::kPoints);
+  // Request budget closes the next one.
+  batch = q.pop_batch(2, 500, 0us, &reason);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(reason, BatchClose::kRequests);
+  EXPECT_EQ(depth.value(), 1);
+  // Window elapses with one straggler collected.
+  batch = q.pop_batch(8, 500, 0us, &reason);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(reason, BatchClose::kWindow);
+  EXPECT_EQ(depth.value(), 0);
+  // A closed queue hands out its backlog under the kClosed reason.
+  push_n_points(100);
+  q.close();
+  batch = q.pop_batch(8, 500, 0us, &reason);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(reason, BatchClose::kClosed);
 }
 
 // --- MachinePool shard leasing ----------------------------------------
@@ -299,6 +352,147 @@ TEST(HullService, BatchingCoalescesABurst) {
   EXPECT_LT(s.batches, 32u);
   EXPECT_GT(s.max_batch, 1u);
   EXPECT_GT(s.mean_batch(), 1.0);
+}
+
+TEST(ExecuteBatch, ReportsPerRequestCompletionAndPramTotals) {
+  pram::Machine m(2, 99);
+  std::vector<Request> reqs;
+  for (int i = 0; i < 4; ++i) {
+    reqs.push_back(make_request(static_cast<RequestId>(i + 1), 128, 11));
+  }
+  BatchExecInfo info;
+  const std::vector<Response> rs =
+      execute_batch(m, reqs, /*master_seed=*/7, &info);
+  ASSERT_EQ(rs.size(), reqs.size());
+  ASSERT_EQ(info.completed_at.size(), reqs.size());
+  // Requests execute back-to-back inside the lease: completion stamps
+  // strictly increase along the batch.
+  for (std::size_t i = 1; i < info.completed_at.size(); ++i) {
+    EXPECT_GT(info.completed_at[i].time_since_epoch().count(),
+              info.completed_at[i - 1].time_since_epoch().count());
+  }
+  // The machine is reset per request, so its own metrics end up as the
+  // last request's; pram_total is the whole batch.
+  std::uint64_t steps = 0, work = 0;
+  for (const Response& r : rs) {
+    steps += r.metrics.steps;
+    work += r.metrics.work;
+  }
+  EXPECT_EQ(info.pram_total.steps, steps);
+  EXPECT_EQ(info.pram_total.work, work);
+}
+
+// Regression for the batch-metrics overwrite: every batch-mate used to
+// be stamped with the batch tail's end time, so queue/e2e timings were
+// the LAST request's for the whole batch. Now each request's e2e is
+// submit -> its own completion, which strictly increases along a
+// sequentially-executed batch.
+TEST(HullService, BatchMatesReportPerRequestTimings) {
+  ServiceConfig cfg = small_config();
+  cfg.workers = 1;
+  cfg.shards = 1;
+  cfg.batch.window = 500ms;        // far wider than the submit burst...
+  cfg.batch.max_batch_requests = 8;  // ...so the count closes the batch
+  HullService svc(cfg);
+  std::vector<std::future<Response>> futs;
+  futs.reserve(8);
+  for (int i = 0; i < 8; ++i) {
+    futs.push_back(svc.submit(make_request(0, 256, 8)));
+  }
+  std::vector<Response> rs;
+  rs.reserve(futs.size());
+  for (auto& f : futs) rs.push_back(f.get());
+  for (const Response& r : rs) {
+    ASSERT_EQ(r.status, Status::kOk);
+    ASSERT_EQ(r.metrics.batch_size, 8u) << "burst did not coalesce";
+    // Each request's e2e covers at least its own execution...
+    EXPECT_GE(r.metrics.e2e_ms, r.metrics.exec_ms);
+  }
+  // ...and along the (FIFO) batch, e2e - queue_wait (= time from the
+  // shared dequeue stamp to THIS request's completion) strictly
+  // increases. Under the old overwrite bug it was one shared batch-end
+  // value for every mate.
+  for (std::size_t i = 1; i < rs.size(); ++i) {
+    EXPECT_GT(rs[i].metrics.e2e_ms - rs[i].metrics.queue_wait_ms,
+              rs[i - 1].metrics.e2e_ms - rs[i - 1].metrics.queue_wait_ms);
+  }
+}
+
+TEST(HullService, StatsRegistryReconcilesAfterMixedTraffic) {
+  ServiceConfig cfg = small_config();
+  cfg.workers = 1;
+  cfg.shards = 1;
+  cfg.queue_capacity = 1;
+  cfg.batch.max_batch_requests = 1;
+  HullService svc(cfg);
+  std::vector<std::future<Response>> futs;
+  futs.reserve(34);
+  for (int i = 0; i < 32; ++i) {
+    futs.push_back(svc.submit(make_request(0, 512, 3)));  // some overflow
+  }
+  Request late = make_request(0, 128, 3);
+  late.deadline = Clock::now() - 1ms;  // expires in queue
+  futs.push_back(svc.submit(std::move(late)));
+  for (auto& f : futs) f.wait();
+  svc.shutdown();
+  futs.push_back(svc.submit(make_request(0, 128, 3)));  // rejected: shutdown
+
+  std::uint64_t ok = 0, full = 0, expired = 0, shutdown = 0;
+  for (auto& f : futs) {
+    switch (f.get().status) {
+      case Status::kOk: ++ok; break;
+      case Status::kRejectedFull: ++full; break;
+      case Status::kExpired: ++expired; break;
+      case Status::kRejectedShutdown: ++shutdown; break;
+    }
+  }
+  EXPECT_GT(full, 0u) << "capacity-1 queue never overflowed";
+  ASSERT_EQ(shutdown, 1u);
+
+  // The registry must agree with the legacy StatsSnapshot AND with the
+  // per-future tally — the invariants hullload --scrape asserts live.
+  namespace sn = statnames;
+  const stats::RegistrySnapshot snap = svc.stats_registry().snapshot();
+  const StatsSnapshot legacy = svc.stats();
+  EXPECT_EQ(snap.counter_or0(sn::kSubmitted), legacy.submitted);
+  EXPECT_EQ(snap.counter_or0(sn::kCompleted), legacy.completed);
+  EXPECT_EQ(snap.counter_or0(sn::kExpired), legacy.expired);
+  EXPECT_EQ(snap.counter_or0(
+                stats::labeled(sn::kRejectedBase, "reason", "full")),
+            legacy.rejected_full);
+  EXPECT_EQ(snap.counter_or0(
+                stats::labeled(sn::kRejectedBase, "reason", "shutdown")),
+            legacy.rejected_shutdown);
+  EXPECT_EQ(snap.counter_or0(sn::kCompleted), ok);
+  EXPECT_EQ(snap.counter_or0(sn::kExpired), expired);
+  EXPECT_EQ(snap.counter_or0(sn::kSubmitted), futs.size());
+  // Conservation: submitted == every terminal state, exactly once.
+  EXPECT_EQ(snap.counter_or0(sn::kSubmitted),
+            ok + full + expired + shutdown);
+  // Latency histograms record kOk requests only.
+  const stats::HistogramSnapshot* e2e = snap.histogram(sn::kE2eMs);
+  ASSERT_NE(e2e, nullptr);
+  EXPECT_EQ(e2e->count, ok);
+  const stats::HistogramSnapshot* qw = snap.histogram(sn::kQueueWaitMs);
+  ASSERT_NE(qw, nullptr);
+  EXPECT_EQ(qw->count, ok);
+  // Every popped batch closed for some reason. `batches` counts only
+  // executed batches; with max_batch_requests=1 the expired request is
+  // a whole (all-expired, never executed) batch of its own, so the
+  // close-reason total exceeds `batches` by exactly `expired`.
+  const std::uint64_t closes =
+      snap.counter_or0(
+          stats::labeled(sn::kBatchCloseBase, "reason", "window")) +
+      snap.counter_or0(
+          stats::labeled(sn::kBatchCloseBase, "reason", "requests")) +
+      snap.counter_or0(
+          stats::labeled(sn::kBatchCloseBase, "reason", "points")) +
+      snap.counter_or0(
+          stats::labeled(sn::kBatchCloseBase, "reason", "closed"));
+  EXPECT_EQ(closes, snap.counter_or0(sn::kBatches) + expired);
+  const stats::HistogramSnapshot* bs = snap.histogram(sn::kBatchSize);
+  ASSERT_NE(bs, nullptr);
+  EXPECT_DOUBLE_EQ(bs->sum, static_cast<double>(ok));
 }
 
 TEST(HullService, TracingRecordsServePhases) {

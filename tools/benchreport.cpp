@@ -12,6 +12,12 @@
 // BENCH_*.json. The markdown goes to stdout (or --out FILE); diagnostics
 // go to stderr so the summary stays pipeable.
 //
+// Reports carrying a "stats" block (service-registry snapshots attached
+// via bench::attach_stats — e14) additionally get a serving-stats
+// table: rejects by reason, batch-size p50/p99, server-side e2e p99.
+// A malformed stats block is broken input (exit 3), same as a truncated
+// report.
+//
 // Exit codes: 0 ok; 1 claim misfit or baseline drift under --check;
 // 2 usage error; 3 an input file was unreadable, truncated, or not a
 // bench report (returned even without --check, so CI can tell "the
@@ -25,6 +31,9 @@
 #include <string>
 #include <vector>
 
+#include "serve/stats.h"
+#include "stats/export.h"
+#include "stats/stats.h"
 #include "trace/json.h"
 #include "trace/report.h"
 
@@ -74,7 +83,40 @@ struct Loaded {
   bool baseline_checked = false;
   iph::trace::CompareResult baseline;
   double peak_aux = -1;  // max over rows; -1 = not instrumented
+  /// Parsed "stats" block: (tag, registry snapshot) per entry, in the
+  /// report's order. Written by bench::attach_stats (e14).
+  std::vector<std::pair<std::string, iph::stats::RegistrySnapshot>> stats;
 };
+
+/// Parse a report's optional "stats" block (tag -> iph-stats-v1
+/// snapshot). Returns false — with a diagnostic — when the block is
+/// present but malformed; that is broken input, not a missing feature.
+bool load_stats_block(const Json& doc, const std::string& path,
+                      std::vector<std::pair<std::string,
+                                            iph::stats::RegistrySnapshot>>*
+                          out) {
+  const Json* stats = doc.find("stats");
+  if (stats == nullptr) return true;
+  if (!stats->is_object()) {
+    std::fprintf(stderr,
+                 "benchreport: %s: \"stats\" block is not an object\n",
+                 path.c_str());
+    return false;
+  }
+  for (const auto& [tag, j] : stats->members()) {
+    iph::stats::RegistrySnapshot snap;
+    std::string err;
+    if (!iph::stats::from_json(j, snap, &err)) {
+      std::fprintf(stderr,
+                   "benchreport: %s: stats[\"%s\"] is not an "
+                   "iph-stats-v1 snapshot: %s\n",
+                   path.c_str(), tag.c_str(), err.c_str());
+      return false;
+    }
+    out->emplace_back(tag, std::move(snap));
+  }
+  return true;
+}
 
 /// Largest peak_aux counter across a report's rows, or -1 if no row
 /// carries one (bench not yet space-instrumented).
@@ -147,6 +189,46 @@ void render_serving_table(const Json& doc, std::FILE* out) {
                  qps, solo, solo > 0 ? qps / solo : 0,
                  c->get_num("p50_ms"), c->get_num("p95_ms"),
                  c->get_num("p99_ms"), c->get_num("mean_batch"));
+  }
+}
+
+/// Server-side registry detail: one line per attached stats snapshot
+/// (bench::attach_stats tag), with the reject counters by reason, the
+/// batch-size distribution, and the server-recorded e2e latency tail —
+/// the numbers hullload --scrape reconciles live, here preserved in the
+/// run report.
+void render_stats_table(
+    const std::vector<std::pair<std::string, iph::stats::RegistrySnapshot>>&
+        stats,
+    std::FILE* out) {
+  namespace sn = iph::serve::statnames;
+  std::fprintf(out, "\nServing stats (server-side registry):\n\n");
+  std::fprintf(out,
+               "| tag | submitted | completed | rej full | rej shutdown | "
+               "expired | batch p50 | batch p99 | server e2e p99 ms |\n");
+  std::fprintf(out, "|---|---|---|---|---|---|---|---|---|\n");
+  for (const auto& [tag, snap] : stats) {
+    double batch_p50 = 0, batch_p99 = 0, e2e_p99 = 0;
+    if (const iph::stats::HistogramSnapshot* h =
+            snap.histogram(sn::kBatchSize)) {
+      batch_p50 = h->quantile(0.50);
+      batch_p99 = h->quantile(0.99);
+    }
+    if (const iph::stats::HistogramSnapshot* h = snap.histogram(sn::kE2eMs)) {
+      e2e_p99 = h->quantile(0.99);
+    }
+    std::fprintf(
+        out,
+        "| %s | %llu | %llu | %llu | %llu | %llu | %.1f | %.1f | %.2f |\n",
+        tag.c_str(),
+        static_cast<unsigned long long>(snap.counter_or0(sn::kSubmitted)),
+        static_cast<unsigned long long>(snap.counter_or0(sn::kCompleted)),
+        static_cast<unsigned long long>(snap.counter_or0(
+            iph::stats::labeled(sn::kRejectedBase, "reason", "full"))),
+        static_cast<unsigned long long>(snap.counter_or0(
+            iph::stats::labeled(sn::kRejectedBase, "reason", "shutdown"))),
+        static_cast<unsigned long long>(snap.counter_or0(sn::kExpired)),
+        batch_p50, batch_p99, e2e_p99);
   }
 }
 
@@ -244,6 +326,7 @@ void render_markdown(const std::vector<Loaded>& reports, std::FILE* out) {
       }
     }
     if (has_serving_rows(r.doc)) render_serving_table(r.doc, out);
+    if (!r.stats.empty()) render_stats_table(r.stats, out);
     if (r.baseline_checked) {
       std::fprintf(out, "\nBaseline: %zu rows compared, %zu diff%s%s\n",
                    r.baseline.rows_compared, r.baseline.diffs.size(),
@@ -339,6 +422,7 @@ int main(int argc, char** argv) {
       }
     }
     r.peak_aux = max_peak_aux(r.doc);
+    if (!load_stats_block(r.doc, path, &r.stats)) input_error = true;
     if (r.claims_enforced && r.claims_ok != r.claims_total) failed = true;
 
     if (!opt.baseline_dir.empty()) {

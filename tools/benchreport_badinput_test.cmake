@@ -78,4 +78,26 @@ if(NOT rc EQUAL 0)
           "good report: expected exit 0, got ${rc}\nstderr: ${err}")
 endif()
 
+# Case 5: a malformed "stats" block (not an iph-stats-v1 snapshot) is
+# broken input too — exit 3 with a diagnosis naming the bad tag.
+file(WRITE "${WORK_DIR}/badstats/BENCH_badstats.json"
+"{\"schema\": \"iph-bench-report-v1\", \"bench\": \"badstats\",
+  \"claims_enforced\": true, \"rows\": [
+    {\"name\": \"g/1\", \"function\": \"g\", \"args\": \"1\", \"label\": \"\",
+     \"x\": 1, \"wall_ms\": 0.5, \"counters\": {}}],
+  \"claims\": [],
+  \"stats\": {\"n=64\": {\"schema\": \"wrong\", \"counters\": 12}}}")
+execute_process(
+  COMMAND "${BENCHREPORT}" "${WORK_DIR}/badstats/BENCH_badstats.json"
+  RESULT_VARIABLE rc
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 3)
+  message(FATAL_ERROR
+          "malformed stats block: expected exit 3, got ${rc}\nstderr: ${err}")
+endif()
+if(NOT err MATCHES "n=64")
+  message(FATAL_ERROR
+          "malformed stats block: stderr does not name the bad tag: ${err}")
+endif()
+
 message(STATUS "benchreport bad-input behavior ok")

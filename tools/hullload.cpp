@@ -14,9 +14,21 @@
 //
 // Prints counts per terminal status, achieved qps, and p50/p95/p99
 // end-to-end latency over the ok responses; --json appends one
-// machine-readable summary line to stdout. Exit codes: 0 done, 1 with
-// --expect-all-ok if any request was rejected/expired/errored, 2 usage
-// error, 3 connect failure.
+// machine-readable summary line to stdout.
+//
+// --scrape fetches the server's metrics registry (statz) before and
+// after the run, diffs the snapshots, and cross-checks the server-side
+// accounting against this client's own tally: every per-status counter
+// must reconcile EXACTLY (the run must be the server's only traffic),
+// and server-side ok-e2e p99 must be within --scrape-tol (a ratio;
+// default 8, floored at 0.05 ms to ignore sub-bucket noise; 0 disables)
+// of the client-observed p99. Violations print loudly and exit 1.
+// --scrape-out FILE writes the diffed snapshot as iph-stats-v1 JSON
+// (the CI serve-smoke job uploads it as an artifact).
+//
+// Exit codes: 0 done, 1 with --expect-all-ok if any request was
+// rejected/expired/errored or with --scrape on reconcile/tolerance
+// failure, 2 usage error, 3 connect failure.
 #include <netdb.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -62,6 +74,9 @@ struct Options {
   std::string connect;  // empty = in-process
   bool expect_all_ok = false;
   bool json = false;
+  bool scrape = false;
+  double scrape_tol = 8.0;   // p99 ratio tolerance; 0 disables
+  std::string scrape_out;    // write diffed snapshot JSON here
   ServiceConfig cfg;  // in-process service shape
 };
 
@@ -72,7 +87,8 @@ int usage(const char* argv0) {
       "          [--workload W] [--seed S] [--deadline-ms D]\n"
       "          [--connect HOST:PORT | --shards N --workers N --threads N\n"
       "           --capacity N --window-us U --no-large]\n"
-      "          [--expect-all-ok] [--json]\n",
+      "          [--expect-all-ok] [--json]\n"
+      "          [--scrape] [--scrape-tol R] [--scrape-out FILE]\n",
       argv0);
   return 2;
 }
@@ -157,9 +173,7 @@ Tally run_client_inproc(HullService& svc, const Options& opt, int client,
     for (int i = 0; i < opt.requests; ++i) {
       const auto t0 = Clock::now();
       const Response resp = svc.submit(make_req(i)).get();
-      const double ms =
-          std::chrono::duration<double, std::milli>(Clock::now() - t0)
-              .count();
+      const double ms = iph::serve::ms_between(t0, Clock::now());
       t.count(iph::serve::status_name(resp.status), ms);
     }
   } else {  // open loop: pace sends, collect afterwards
@@ -238,9 +252,7 @@ Tally run_client_tcp(const Options& opt, int client,
         failed->store(true);
         break;
       }
-      const double ms =
-          std::chrono::duration<double, std::milli>(Clock::now() - t0)
-              .count();
+      const double ms = iph::serve::ms_between(t0, Clock::now());
       t.count(status_of(line), ms);
     }
   } else {
@@ -263,9 +275,7 @@ Tally run_client_tcp(const Options& opt, int client,
           t0 = sent.front();
           sent.pop_front();
         }
-        const double ms =
-            std::chrono::duration<double, std::milli>(Clock::now() - t0)
-                .count();
+        const double ms = iph::serve::ms_between(t0, Clock::now());
         t.count(status_of(line), ms);
       }
     });
@@ -285,6 +295,110 @@ Tally run_client_tcp(const Options& opt, int client,
   }
   ::close(fd);
   return t;
+}
+
+/// One statz round trip on a fresh connection (JSON format).
+bool scrape_tcp(const std::string& hostport,
+                iph::stats::RegistrySnapshot* out, std::string* err) {
+  const int fd = connect_to(hostport);
+  if (fd < 0) {
+    *err = "connect failed";
+    return false;
+  }
+  LineChannel chan(fd, fd);
+  Json cmd = Json::object();
+  cmd["cmd"] = Json("statz");
+  std::string line;
+  const bool io_ok = chan.write_line(cmd.dump()) && chan.read_line(&line);
+  ::close(fd);
+  if (!io_ok) {
+    *err = "statz round trip failed";
+    return false;
+  }
+  Json j;
+  if (!Json::parse(line, &j, err)) return false;
+  return iph::tools::statz_from_json(j, out, err);
+}
+
+/// Cross-check the server-side snapshot diff against the client tally
+/// and print the side-by-side summary. Returns false (after printing
+/// why) when the accounting does not reconcile or p99s diverge beyond
+/// `tol`. `server_p99` is left with the server-side ok-e2e p99.
+bool check_scrape(const iph::stats::RegistrySnapshot& d, const Tally& total,
+                  double client_p99, double tol, double* server_p99) {
+  namespace sn = iph::serve::statnames;
+  const std::uint64_t srv_submitted = d.counter_or0(sn::kSubmitted);
+  const std::uint64_t srv_completed = d.counter_or0(sn::kCompleted);
+  const std::uint64_t srv_expired = d.counter_or0(sn::kExpired);
+  const std::uint64_t srv_rej_full = d.counter_or0(
+      iph::stats::labeled(sn::kRejectedBase, "reason", "full"));
+  const std::uint64_t srv_rej_shutdown = d.counter_or0(
+      iph::stats::labeled(sn::kRejectedBase, "reason", "shutdown"));
+  const iph::stats::HistogramSnapshot* e2e = d.histogram(sn::kE2eMs);
+  *server_p99 = e2e != nullptr ? e2e->quantile(0.99) : 0.0;
+
+  std::fprintf(stderr,
+               "hullload scrape: server submitted %llu  completed %llu  "
+               "rejected_full %llu  rejected_shutdown %llu  expired %llu\n",
+               static_cast<unsigned long long>(srv_submitted),
+               static_cast<unsigned long long>(srv_completed),
+               static_cast<unsigned long long>(srv_rej_full),
+               static_cast<unsigned long long>(srv_rej_shutdown),
+               static_cast<unsigned long long>(srv_expired));
+  std::fprintf(stderr,
+               "hullload scrape: e2e p99 server %.3f ms vs client %.3f ms\n",
+               *server_p99, client_p99);
+
+  bool ok = true;
+  auto must_equal = [&](const char* what, std::uint64_t server,
+                        std::uint64_t client) {
+    if (server != client) {
+      std::fprintf(stderr,
+                   "hullload scrape: RECONCILE FAIL: %s server %llu != "
+                   "client %llu\n",
+                   what, static_cast<unsigned long long>(server),
+                   static_cast<unsigned long long>(client));
+      ok = false;
+    }
+  };
+  if (total.errors != 0) {
+    std::fprintf(stderr,
+                 "hullload scrape: RECONCILE FAIL: %llu client-side "
+                 "errors\n",
+                 static_cast<unsigned long long>(total.errors));
+    ok = false;
+  }
+  must_equal("submitted", srv_submitted,
+             total.ok + total.rejected_full + total.rejected_shutdown +
+                 total.expired);
+  must_equal("completed", srv_completed, total.ok);
+  must_equal("rejected_full", srv_rej_full, total.rejected_full);
+  must_equal("rejected_shutdown", srv_rej_shutdown, total.rejected_shutdown);
+  must_equal("expired", srv_expired, total.expired);
+  // Server-internal conservation: everything submitted terminated.
+  must_equal("submitted vs terminal states", srv_submitted,
+             srv_completed + srv_expired + srv_rej_full + srv_rej_shutdown);
+
+  if (tol > 0 && total.ok > 0 && e2e != nullptr && e2e->count > 0) {
+    const double lo = std::max(std::min(*server_p99, client_p99), 0.05);
+    const double ratio = std::max(*server_p99, client_p99) / lo;
+    if (ratio > tol) {
+      std::fprintf(stderr,
+                   "hullload scrape: P99 DIVERGENCE: server %.3f ms vs "
+                   "client %.3f ms (ratio %.2f > tol %.2f)\n",
+                   *server_p99, client_p99, ratio, tol);
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(content.data(), 1, content.size(), f) ==
+                  content.size();
+  return std::fclose(f) == 0 && ok;
 }
 
 }  // namespace
@@ -329,6 +443,13 @@ int main(int argc, char** argv) {
       opt.expect_all_ok = true;
     } else if (a == "--json") {
       opt.json = true;
+    } else if (a == "--scrape") {
+      opt.scrape = true;
+    } else if (a == "--scrape-tol" && (v = next())) {
+      opt.scrape_tol = std::atof(v);
+    } else if (a == "--scrape-out" && (v = next())) {
+      opt.scrape_out = v;
+      opt.scrape = true;
     } else {
       return usage(argv[0]);
     }
@@ -348,6 +469,21 @@ int main(int argc, char** argv) {
   const bool inproc = opt.connect.empty();
   std::unique_ptr<HullService> svc;
   if (inproc) svc = std::make_unique<HullService>(opt.cfg);
+
+  // --scrape brackets the run with registry snapshots; the diff makes
+  // the cross-check robust to traffic the server saw before us (but the
+  // run itself must be the server's only traffic).
+  iph::stats::RegistrySnapshot scrape_before;
+  if (opt.scrape && !inproc) {
+    std::string err;
+    if (!scrape_tcp(opt.connect, &scrape_before, &err)) {
+      std::fprintf(stderr, "hullload: statz scrape of %s failed: %s\n",
+                   opt.connect.c_str(), err.c_str());
+      return 3;
+    }
+  } else if (opt.scrape) {
+    scrape_before = svc->stats_registry().snapshot();
+  }
 
   std::atomic<bool> conn_failed{false};
   std::vector<Tally> tallies(static_cast<std::size_t>(opt.clients));
@@ -407,6 +543,32 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(large));
   }
 
+  bool scrape_failed = false;
+  double server_p99 = 0;
+  if (opt.scrape) {
+    iph::stats::RegistrySnapshot after;
+    if (!inproc) {
+      std::string err;
+      if (!scrape_tcp(opt.connect, &after, &err)) {
+        std::fprintf(stderr, "hullload: statz scrape of %s failed: %s\n",
+                     opt.connect.c_str(), err.c_str());
+        return 3;
+      }
+    } else {
+      after = svc->stats_registry().snapshot();
+    }
+    const iph::stats::RegistrySnapshot d = after.diff(scrape_before);
+    scrape_failed =
+        !check_scrape(d, total, p99, opt.scrape_tol, &server_p99);
+    if (!opt.scrape_out.empty() &&
+        !write_file(opt.scrape_out,
+                    iph::stats::to_json(d).dump(2) + "\n")) {
+      std::fprintf(stderr, "hullload: cannot write %s\n",
+                   opt.scrape_out.c_str());
+      scrape_failed = true;
+    }
+  }
+
   if (opt.json) {
     Json j = Json::object();
     j["clients"] = Json(opt.clients);
@@ -426,9 +588,14 @@ int main(int argc, char** argv) {
     j["p95_ms"] = Json(p95);
     j["p99_ms"] = Json(p99);
     if (inproc) j["mean_batch"] = Json(mean_batch);
+    if (opt.scrape) {
+      j["server_p99_ms"] = Json(server_p99);
+      j["scrape_ok"] = Json(!scrape_failed);
+    }
     std::printf("%s\n", j.dump().c_str());
   }
 
+  if (scrape_failed) return 1;
   const std::uint64_t not_ok = total.rejected_full +
                                total.rejected_shutdown + total.expired +
                                total.errors;

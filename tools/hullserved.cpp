@@ -30,6 +30,7 @@
 #include <cstring>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -56,8 +57,11 @@ int usage(const char* argv0) {
       "usage: %s [--port P] [--shards N] [--workers N] [--threads N]\n"
       "          [--capacity N] [--window-us U] [--max-batch N]\n"
       "          [--small-threshold N] [--no-large] [--seed S] [--quiet]\n"
+      "          [--stats-every-ms M]\n"
       "Serves NDJSON hull requests (see tools/serve_wire.h) from stdin\n"
-      "(default) or TCP connections on 127.0.0.1:P.\n",
+      "(default) or TCP connections on 127.0.0.1:P. A {\"cmd\":\"statz\"}\n"
+      "line returns the service metrics registry; --stats-every-ms logs\n"
+      "a periodic snapshot-diff line to stderr.\n",
       argv0);
   return 2;
 }
@@ -67,10 +71,15 @@ int usage(const char* argv0) {
 void serve_stream(HullService& svc, int in_fd, int out_fd) {
   LineChannel chan(in_fd, out_fd);
 
-  // Either a pending future or an immediate parse-error message.
+  // Either a pending future, an immediate parse-error message, or a
+  // statz command (answered with a snapshot taken at WRITE time, so a
+  // statz line's counters include every request answered before it on
+  // this stream).
   struct Outgoing {
     std::future<Response> fut;
     bool edge_above = false;
+    bool statz = false;
+    bool statz_prometheus = false;
     std::string error;
   };
   std::deque<Outgoing> queue;
@@ -94,6 +103,12 @@ void serve_stream(HullService& svc, int in_fd, int out_fd) {
         if (!chan.write_line(err.dump())) return;
         continue;
       }
+      if (out.statz) {
+        const Json line = iph::tools::statz_response(
+            svc.stats_registry().snapshot(), out.statz_prometheus);
+        if (!chan.write_line(line.dump())) return;
+        continue;
+      }
       const Response resp = out.fut.get();
       const Json line = iph::tools::response_to_json(resp, out.edge_above);
       if (!chan.write_line(line.dump())) return;
@@ -106,9 +121,17 @@ void serve_stream(HullService& svc, int in_fd, int out_fd) {
     Outgoing out;
     Json j;
     std::string err;
+    std::string cmd;
     iph::serve::Request req;
     if (!Json::parse(line, &j, &err)) {
       out.error = "bad JSON: " + err;
+    } else if (iph::tools::wire_command(j, &cmd)) {
+      if (cmd == "statz") {
+        out.statz = true;
+        out.statz_prometheus = j.get_str("format") == "prometheus";
+      } else {
+        out.error = "unknown cmd \"" + cmd + "\"";
+      }
     } else if (!iph::tools::request_from_json(j, &req, &out.edge_above,
                                               &err)) {
       out.error = err;
@@ -144,6 +167,72 @@ void print_stats(const StatsSnapshot& s) {
                static_cast<unsigned long long>(s.max_batch),
                static_cast<unsigned long long>(s.large_requests));
 }
+
+/// Background snapshot-diff logger (--stats-every-ms): every period,
+/// one stderr line with what changed since the previous tick plus the
+/// live occupancy gauges — flight-recorder output for long-running
+/// servers, cheap enough to leave on (two snapshots per period, no
+/// per-request cost).
+class StatsLogger {
+ public:
+  StatsLogger(HullService& svc, int every_ms)
+      : svc_(svc), every_ms_(every_ms), thread_([this] { run(); }) {}
+
+  ~StatsLogger() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    cv_.notify_one();
+    thread_.join();
+  }
+
+ private:
+  void run() {
+    namespace sn = iph::serve::statnames;
+    iph::stats::RegistrySnapshot prev = svc_.stats_registry().snapshot();
+    std::unique_lock<std::mutex> lk(mu_);
+    while (!cv_.wait_for(lk, std::chrono::milliseconds(every_ms_),
+                         [this] { return stop_; })) {
+      lk.unlock();
+      const iph::stats::RegistrySnapshot now = svc_.stats_registry().snapshot();
+      const iph::stats::RegistrySnapshot d = now.diff(prev);
+      const std::uint64_t rejected =
+          d.counter_or0(iph::stats::labeled(sn::kRejectedBase, "reason",
+                                            "full")) +
+          d.counter_or0(iph::stats::labeled(sn::kRejectedBase, "reason",
+                                            "shutdown"));
+      const iph::stats::HistogramSnapshot* e2e = d.histogram(sn::kE2eMs);
+      const std::int64_t* small_d = d.gauge(
+          iph::stats::labeled(sn::kQueueDepthBase, "queue", "small"));
+      const std::int64_t* large_d = d.gauge(
+          iph::stats::labeled(sn::kQueueDepthBase, "queue", "large"));
+      const std::int64_t* leased = d.gauge(sn::kShardsLeased);
+      std::fprintf(
+          stderr,
+          "hullserved statz: +submitted %llu +completed %llu +rejected "
+          "%llu +expired %llu | depth small %lld large %lld leased %lld "
+          "| e2e_p99 %.3fms\n",
+          static_cast<unsigned long long>(d.counter_or0(sn::kSubmitted)),
+          static_cast<unsigned long long>(d.counter_or0(sn::kCompleted)),
+          static_cast<unsigned long long>(rejected),
+          static_cast<unsigned long long>(d.counter_or0(sn::kExpired)),
+          static_cast<long long>(small_d != nullptr ? *small_d : 0),
+          static_cast<long long>(large_d != nullptr ? *large_d : 0),
+          static_cast<long long>(leased != nullptr ? *leased : 0),
+          e2e != nullptr ? e2e->quantile(0.99) : 0.0);
+      prev = now;
+      lk.lock();
+    }
+  }
+
+  HullService& svc_;
+  const int every_ms_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
 
 // Signal handling: flip a flag and close the listening socket so the
 // blocking accept() returns (both are async-signal-safe).
@@ -211,6 +300,7 @@ int serve_tcp(HullService& svc, int port, bool quiet) {
 int main(int argc, char** argv) {
   int port = -1;
   bool quiet = false;
+  int stats_every_ms = 0;
   ServiceConfig cfg;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -236,6 +326,8 @@ int main(int argc, char** argv) {
       cfg.batch.small_threshold = static_cast<std::size_t>(std::atoll(v));
     } else if (a == "--seed" && (v = next())) {
       cfg.master_seed = std::strtoull(v, nullptr, 0);
+    } else if (a == "--stats-every-ms" && (v = next())) {
+      stats_every_ms = std::atoi(v);
     } else if (a == "--no-large") {
       cfg.large_shard = false;
     } else if (a == "--quiet") {
@@ -247,12 +339,17 @@ int main(int argc, char** argv) {
   if (port > 65535) return usage(argv[0]);
 
   HullService svc(cfg);
+  std::unique_ptr<StatsLogger> logger;
+  if (stats_every_ms > 0) {
+    logger = std::make_unique<StatsLogger>(svc, stats_every_ms);
+  }
   int rc = 0;
   if (port < 0) {
     serve_stream(svc, STDIN_FILENO, STDOUT_FILENO);
   } else {
     rc = serve_tcp(svc, port, quiet);
   }
+  logger.reset();  // final tick joins before the summary prints
   svc.shutdown(/*drain=*/true);
   if (!quiet) print_stats(svc.stats());
   return rc;

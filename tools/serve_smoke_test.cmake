@@ -1,10 +1,15 @@
 # ctest script: end-to-end smoke of the serving tools.
 #   1. hullserved in stdin mode must answer every NDJSON line — good
 #      requests with "ok" hulls, malformed lines with "error" — and
-#      exit 0 at EOF.
+#      exit 0 at EOF. A trailing {"cmd":"statz"} line must be answered
+#      with the service registry, whose counters (answered in stream
+#      order, after every earlier response) reconcile exactly with the
+#      session: 3 valid submissions out of 5 lines.
 #   2. hullload driving an in-process service must complete a small
 #      closed-loop burst with every request ok (exit 0 under
-#      --expect-all-ok) and emit a parseable --json summary.
+#      --expect-all-ok) and emit a parseable --json summary; with
+#      --scrape it must reconcile the server registry against its own
+#      tally and write the diffed snapshot to --scrape-out.
 #
 # Invoked as:
 #   cmake -DHULLSERVED=<bin> -DHULLLOAD=<bin> -DWORK_DIR=<scratch>
@@ -23,6 +28,7 @@ file(WRITE "${WORK_DIR}/requests.ndjson"
 this is not json
 {\"id\":4,\"n\":0}
 {\"id\":5,\"n\":128,\"workload\":\"circle\",\"seed\":3,\"edge_above\":true}
+{\"cmd\":\"statz\"}
 ")
 execute_process(
   COMMAND "${HULLSERVED}" --quiet --shards 1 --workers 1 --threads 2
@@ -48,12 +54,27 @@ endif()
 if(NOT out MATCHES "\"edge_above\":\\[")
   message(FATAL_ERROR "hullserved: edge_above array missing:\n${out}")
 endif()
+# The statz line is answered in stream order, so its counters include
+# exactly this session: 3 valid submissions (the 2 broken lines never
+# reach the service).
+if(NOT out MATCHES "\"statz\":")
+  message(FATAL_ERROR "hullserved: statz answer missing:\n${out}")
+endif()
+if(NOT out MATCHES "\"iph_serve_submitted_total\":3")
+  message(FATAL_ERROR
+          "hullserved: statz submitted counter should be exactly 3:\n${out}")
+endif()
+if(NOT out MATCHES "\"iph_serve_completed_total\":3")
+  message(FATAL_ERROR
+          "hullserved: statz completed counter should be exactly 3:\n${out}")
+endif()
 
 # --- Case 2: hullload closed-loop burst, in-process -------------------
 execute_process(
   COMMAND "${HULLLOAD}" --clients 2 --requests 8 --n 64
           --shards 1 --workers 1 --threads 2
           --expect-all-ok --json
+          --scrape --scrape-out "${WORK_DIR}/statz.json"
   RESULT_VARIABLE rc
   OUTPUT_VARIABLE out
   ERROR_VARIABLE err)
@@ -65,6 +86,18 @@ if(NOT out MATCHES "\"ok\":16")
 endif()
 if(NOT err MATCHES "e2e ms")
   message(FATAL_ERROR "hullload: human summary missing\n${err}")
+endif()
+# --scrape reconciled (exit 0 already proves it) and recorded the
+# server-side view in the summary and the snapshot file.
+if(NOT out MATCHES "\"scrape_ok\":true")
+  message(FATAL_ERROR "hullload: json summary lacks scrape_ok:true\n${out}")
+endif()
+if(NOT EXISTS "${WORK_DIR}/statz.json")
+  message(FATAL_ERROR "hullload: --scrape-out wrote no snapshot file")
+endif()
+file(READ "${WORK_DIR}/statz.json" statz)
+if(NOT statz MATCHES "iph-stats-v1")
+  message(FATAL_ERROR "hullload: snapshot lacks iph-stats-v1 schema:\n${statz}")
 endif()
 
 message(STATUS "serve tools smoke ok")

@@ -22,6 +22,14 @@
 //
 // The metrics "seed" is serialized as a decimal string: it is a full
 // 64-bit splitmix value and Json numbers are doubles.
+//
+// Introspection: a line carrying {"cmd": "statz"} is not a hull request
+// — the server answers it with a snapshot of its service-level metrics
+// registry (src/serve/stats.h), in stream order (the statz answer is
+// written after every previously submitted request's response):
+//   {"cmd": "statz"}                         -> {"statz": <iph-stats-v1>}
+//   {"cmd": "statz", "format": "prometheus"} -> {"statz_text": "<text>"}
+// An unknown "cmd" is answered {"error": ...} like any bad line.
 #pragma once
 
 #include <unistd.h>
@@ -34,6 +42,7 @@
 
 #include "geom/workloads.h"
 #include "serve/request.h"
+#include "stats/export.h"
 #include "trace/json.h"
 
 namespace iph::tools {
@@ -131,6 +140,40 @@ inline trace::Json response_to_json(const serve::Response& r,
   m["seed"] = trace::Json(std::to_string(r.metrics.seed));
   o["metrics"] = std::move(m);
   return o;
+}
+
+/// True when `j` is a command line rather than a hull request; the
+/// command name (e.g. "statz") is left in *cmd.
+inline bool wire_command(const trace::Json& j, std::string* cmd) {
+  if (!j.is_object()) return false;
+  const trace::Json* c = j.find("cmd");
+  if (c == nullptr || !c->is_string()) return false;
+  *cmd = c->as_string();
+  return true;
+}
+
+/// Encode a statz answer (see file comment for both shapes).
+inline trace::Json statz_response(const stats::RegistrySnapshot& snap,
+                                  bool prometheus) {
+  trace::Json o = trace::Json::object();
+  if (prometheus) {
+    o["statz_text"] = trace::Json(stats::to_prometheus(snap));
+  } else {
+    o["statz"] = stats::to_json(snap);
+  }
+  return o;
+}
+
+/// Decode a statz answer produced by statz_response (JSON format only —
+/// the prometheus text shape is for humans/scrapers, not this parser).
+inline bool statz_from_json(const trace::Json& j,
+                            stats::RegistrySnapshot* out, std::string* err) {
+  const trace::Json* s = j.is_object() ? j.find("statz") : nullptr;
+  if (s == nullptr) {
+    if (err != nullptr) *err = "no \"statz\" member in reply";
+    return false;
+  }
+  return stats::from_json(*s, *out, err);
 }
 
 /// Buffered line-at-a-time IO over a file descriptor (stdin/stdout or
