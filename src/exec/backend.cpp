@@ -1,0 +1,20 @@
+#include "exec/backend.h"
+
+namespace iph::exec {
+
+Backend::~Backend() = default;
+
+bool parse_backend(std::string_view name, BackendKind* out) noexcept {
+  if (name == "pram") {
+    *out = BackendKind::kPram;
+  } else if (name == "native") {
+    *out = BackendKind::kNative;
+  } else if (name == "default") {
+    *out = BackendKind::kDefault;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace iph::exec

@@ -1,0 +1,86 @@
+// iph::exec — pluggable hull-execution backends.
+//
+// The repo has two ways to compute an upper hull: the metered CRCW PRAM
+// simulator (the paper's machinery, every step synchronized and
+// accounted) and — since this layer exists — a direct thread-parallel
+// native engine that pays none of the simulator's per-step tax. Backend
+// is the seam between them: the serving stack (src/serve) executes
+// every request through a Backend*, selected per service or per
+// request, and the differential-test harness (tests/exec_diff_test)
+// runs the same inputs through both and holds the native engine to the
+// simulator's answers.
+//
+// Semantics contract: all backends compute THE strict upper hull in the
+// paper's output convention (geom/hull_types.h) — vertex x strictly
+// increasing, no collinear interior vertices, per-point edge-above
+// pointers — and must pass geom/validate's oracle verifiers on any
+// input. Vertex *indices* may legitimately differ between backends when
+// the input contains duplicate points (either duplicate is a correct
+// hull vertex); vertex *coordinates* may not. The edge_above entry of a
+// point whose x equals a hull vertex's may cite either incident edge
+// (both are valid covers; the validator accepts either, and the
+// backends' choices differ there). Each backend is individually
+// deterministic: same points + seed -> same result.
+//
+// Cost-metric contract: HullRun carries pram::Metrics. The PRAM backend
+// fills it with the simulator's real step/work/processor accounting;
+// the native engine reports zeros — PRAM counters are properties of the
+// simulation, and inventing pseudo-steps for native runs would poison
+// the serving stack's exact PRAM reconciliation (serve/stats.h).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "geom/hull_types.h"
+#include "geom/point.h"
+#include "pram/metrics.h"
+
+namespace iph::exec {
+
+/// Which engine a request runs on. kDefault defers to the service's
+/// configured default (requests carry this; a resolved run never does).
+enum class BackendKind : std::uint8_t { kDefault, kPram, kNative };
+
+constexpr const char* backend_name(BackendKind k) noexcept {
+  switch (k) {
+    case BackendKind::kDefault:
+      return "default";
+    case BackendKind::kPram:
+      return "pram";
+    case BackendKind::kNative:
+      return "native";
+  }
+  return "?";
+}
+
+/// Parse "pram" / "native" / "default". False on anything else.
+bool parse_backend(std::string_view name, BackendKind* out) noexcept;
+
+/// One finished hull computation: the result in the paper's output
+/// convention plus the engine's cost counters (all-zero for engines
+/// that do not simulate a PRAM; see file comment).
+struct HullRun {
+  geom::HullResult2D hull;
+  pram::Metrics metrics;
+};
+
+class Backend {
+ public:
+  virtual ~Backend();
+
+  virtual BackendKind kind() const noexcept = 0;
+  const char* name() const noexcept { return backend_name(kind()); }
+
+  /// Compute the upper hull of `pts`. `seed` is the request's derived
+  /// randomized-CRCW seed and `alpha` the paper's in-place-bridge round
+  /// budget — simulator knobs; deterministic engines may ignore both.
+  /// Thread-safety is per-implementation: PramBackend requires external
+  /// exclusivity over its machine (the serving layer's lease), the
+  /// native engine accepts concurrent calls.
+  virtual HullRun upper_hull(std::span<const geom::Point2> pts,
+                             std::uint64_t seed, int alpha) = 0;
+};
+
+}  // namespace iph::exec

@@ -1,0 +1,127 @@
+#include "exec/native_backend.h"
+
+#include <algorithm>
+
+#include "exec/radix.h"
+#include "geom/predicates.h"
+
+namespace iph::exec {
+
+namespace {
+
+using geom::Index;
+using geom::Point2;
+
+/// Below this many points everything runs inline on the calling thread
+/// (sort, scan, edge assignment) — the pool only pays off past it.
+constexpr std::size_t kParCutoff = std::size_t{1} << 14;
+/// Minimum points per fork-join slice for the chunk scans / edge fills.
+constexpr std::size_t kChainGrain = std::size_t{1} << 13;
+
+/// Monotone-chain scan over a lex-sorted index run — the same strict-
+/// hull semantics as seq/upper_hull.cpp (topmost point per x column,
+/// strict right turns only), expressed over a permutation span so it
+/// serves both the chunk leaves and the chunk-chain merge.
+std::vector<Index> scan(std::span<const Point2> pts,
+                        std::span<const std::uint32_t> order) {
+  std::vector<Index> v;
+  const std::size_t n = order.size();
+  if (n == 0) return v;
+  // Topmost point of the minimum-x column = last index of the leading
+  // equal-x run (lex order puts it there).
+  std::size_t start = 0;
+  while (start + 1 < n && pts[order[start + 1]].x == pts[order[0]].x) {
+    ++start;
+  }
+  v.push_back(order[start]);
+  for (std::size_t i = start + 1; i < n; ++i) {
+    const Point2& p = pts[order[i]];
+    if (p == pts[v.back()]) continue;  // exact duplicate
+    while (v.size() >= 2 &&
+           geom::orient2d(pts[v[v.size() - 2]], pts[v.back()], p) >= 0) {
+      v.pop_back();
+    }
+    if (pts[v.back()].x == p.x) {
+      v.back() = order[i];  // same column, lex-greater hence higher
+    } else {
+      v.push_back(order[i]);
+    }
+  }
+  return v;
+}
+
+/// Fill edge_above[b, e) against chain `v` (>= 2 vertices): last edge
+/// whose x-range covers the point — the paper's output convention,
+/// same binary search as seq::assign_edges_above.
+void assign_edges(std::span<const Point2> pts, const std::vector<Index>& v,
+                  std::size_t b, std::size_t e, std::vector<Index>& out) {
+  for (std::size_t i = b; i < e; ++i) {
+    const double x = pts[i].x;
+    auto it = std::upper_bound(
+        v.begin(), v.end(), x,
+        [&](double xx, Index idx) { return xx < pts[idx].x; });
+    std::size_t j = static_cast<std::size_t>(it - v.begin()) - 1;
+    if (j + 1 == v.size()) --j;  // right endpoint column -> last edge
+    out[i] = static_cast<Index>(j);
+  }
+}
+
+}  // namespace
+
+NativeBackend::NativeBackend(unsigned threads) : pool_(threads) {}
+
+HullRun NativeBackend::upper_hull(std::span<const Point2> pts,
+                                  std::uint64_t /*seed*/, int /*alpha*/) {
+  HullRun out;
+  const std::size_t n = pts.size();
+  out.hull.edge_above.assign(n, geom::kNone);
+  if (n == 0) return out;
+
+  const bool par = n >= kParCutoff && pool_.threads() > 1;
+  const std::vector<std::uint32_t> order =
+      lex_sort_indices(pts, par ? &pool_ : nullptr);
+
+  std::vector<Index>& chain = out.hull.upper.vertices;
+  if (!par) {
+    chain = scan(pts, order);
+  } else {
+    const std::size_t slices = pool_.slice_count(n, kChainGrain);
+    std::vector<std::vector<Index>> chains(slices);
+    pool_.parallel_for(n, kChainGrain,
+                       [&](std::size_t b, std::size_t e, std::size_t s) {
+                         chains[s] = scan(
+                             pts, std::span<const std::uint32_t>(order)
+                                      .subspan(b, e - b));
+                       });
+    if (slices == 1) {
+      chain = std::move(chains[0]);
+    } else {
+      // Concatenated chunk chains stay lex-sorted (chunks are x-ranges
+      // of the sorted order) and keep every global hull vertex, so the
+      // merge is one more scan over sum(|chain_s|) <= n entries.
+      std::vector<std::uint32_t> merged;
+      std::size_t total = 0;
+      for (const auto& c : chains) total += c.size();
+      merged.reserve(total);
+      for (const auto& c : chains) {
+        merged.insert(merged.end(), c.begin(), c.end());
+      }
+      chain = scan(pts, merged);
+    }
+  }
+
+  if (chain.size() >= 2) {
+    if (par) {
+      pool_.parallel_for(n, kChainGrain,
+                         [&](std::size_t b, std::size_t e, std::size_t) {
+                           assign_edges(pts, chain, b, e,
+                                        out.hull.edge_above);
+                         });
+    } else {
+      assign_edges(pts, chain, 0, n, out.hull.edge_above);
+    }
+  }
+  return out;
+}
+
+}  // namespace iph::exec

@@ -1,0 +1,54 @@
+// NativeBackend — the direct thread-parallel 2-d upper-hull engine.
+//
+// The fast path behind iph::serve: no PRAM simulation, no per-step
+// barrier, just a flat SoA pipeline over the caller's point span —
+//
+//   1. radix presort of the float coordinates into the lexicographic
+//      index permutation (exec/radix.h; linear, not comparison-bound),
+//   2. fork-join divide-and-conquer: each pool slice monotone-scans its
+//      contiguous x-range into a chunk chain (pbbsbench-hull style
+//      leaf parallelism), then one linear scan over the concatenated
+//      chunk chains merges them into the global strict upper hull —
+//      a point on the global hull is on its chunk's hull, and the
+//      concatenation is still lex-sorted, so the merge is just the
+//      same scan over an n-shrunk sequence,
+//   3. parallel per-point binary search fills the paper's edge-above
+//      output convention.
+//
+// All turn decisions go through geom/predicates' exact orient2d — the
+// native engine and the PRAM simulator brace the same geometry, which
+// is what makes the differential harness (tests/exec_diff_test) a
+// meaningful oracle check and not a float-noise comparison.
+//
+// Small inputs (below a cutoff) run fully inline on the calling thread:
+// the serving batcher's bread-and-butter queries never touch the pool.
+// upper_hull is safe to call concurrently from many threads; results
+// are deterministic and independent of thread count and of which calls
+// run concurrently.
+#pragma once
+
+#include "exec/backend.h"
+#include "exec/pool.h"
+
+namespace iph::exec {
+
+class NativeBackend final : public Backend {
+ public:
+  /// `threads` = total fork-join width (0 = support::env_threads()).
+  /// The pool is spawned once here and shared by every upper_hull call.
+  explicit NativeBackend(unsigned threads = 0);
+
+  BackendKind kind() const noexcept override { return BackendKind::kNative; }
+  unsigned threads() const noexcept { return pool_.threads(); }
+
+  /// Strict upper hull + edge-above pointers (backend.h contract).
+  /// `seed` and `alpha` are simulator knobs the deterministic native
+  /// engine ignores; its cost metrics report zero (see backend.h).
+  HullRun upper_hull(std::span<const geom::Point2> pts, std::uint64_t seed,
+                     int alpha) override;
+
+ private:
+  ThreadPool pool_;
+};
+
+}  // namespace iph::exec

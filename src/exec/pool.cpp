@@ -1,0 +1,76 @@
+#include "exec/pool.h"
+
+#include <algorithm>
+#include <latch>
+#include <utility>
+
+#include "support/env.h"
+
+namespace iph::exec {
+
+ThreadPool::ThreadPool(unsigned threads)
+    : threads_(std::max(1u, threads == 0 ? support::env_threads() : threads)) {
+  workers_.reserve(threads_ - 1);
+  for (unsigned i = 1; i < threads_; ++i) {
+    workers_.emplace_back([this] { worker(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::worker() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stop_ && drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+std::size_t ThreadPool::slice_count(std::size_t n,
+                                    std::size_t grain) const noexcept {
+  if (n == 0) return 0;
+  const std::size_t g = std::max<std::size_t>(grain, 1);
+  return std::min<std::size_t>(threads_, (n + g - 1) / g);
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  const std::size_t slices = slice_count(n, grain);
+  if (slices == 0) return;
+  const std::size_t chunk = (n + slices - 1) / slices;
+  if (slices == 1) {
+    fn(0, n, 0);
+    return;
+  }
+  std::latch done(static_cast<std::ptrdiff_t>(slices - 1));
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (std::size_t s = 1; s < slices; ++s) {
+      const std::size_t begin = s * chunk;
+      const std::size_t end = std::min(n, begin + chunk);
+      tasks_.emplace_back([&fn, &done, begin, end, s] {
+        fn(begin, end, s);
+        done.count_down();
+      });
+    }
+  }
+  cv_.notify_all();
+  fn(0, std::min(n, chunk), 0);
+  done.wait();
+}
+
+}  // namespace iph::exec

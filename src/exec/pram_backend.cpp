@@ -1,0 +1,23 @@
+#include "exec/pram_backend.h"
+
+#include "core/api.h"
+#include "pram/machine.h"
+
+namespace iph::exec {
+
+HullRun PramBackend::upper_hull(std::span<const geom::Point2> pts,
+                                std::uint64_t seed, int alpha) {
+  m_.reset(seed);
+  Options opts;
+  opts.alpha = alpha;
+  HullRun run;
+  {
+    pram::Machine::Phase phase(m_, "serve/request");
+    Hull2D h = iph::upper_hull_2d(m_, pts, opts);
+    run.hull = std::move(h.result);
+    run.metrics = h.metrics;
+  }
+  return run;
+}
+
+}  // namespace iph::exec

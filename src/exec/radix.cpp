@@ -1,0 +1,165 @@
+#include "exec/radix.h"
+
+#include <array>
+#include <cstring>
+#include <numeric>
+
+namespace iph::exec {
+
+namespace {
+
+constexpr std::size_t kBuckets = 256;
+constexpr std::size_t kPasses = 8;
+/// Below this, parallel counting/scatter costs more than it saves.
+constexpr std::size_t kParCutoff = std::size_t{1} << 15;
+/// Slice grain for the parallel passes.
+constexpr std::size_t kGrain = std::size_t{1} << 13;
+
+using Hist = std::array<std::uint32_t, kBuckets>;
+
+/// One stable counting-sort pass of `order` by digit `pass` of
+/// keys[order[i]], global offsets precomputed in `hist`.
+void scatter_seq(const std::vector<std::uint64_t>& keys, const Hist& hist,
+                 std::size_t pass, std::vector<std::uint32_t>& order,
+                 std::vector<std::uint32_t>& tmp) {
+  Hist ofs;
+  std::uint32_t run = 0;
+  for (std::size_t d = 0; d < kBuckets; ++d) {
+    ofs[d] = run;
+    run += hist[d];
+  }
+  const unsigned shift = static_cast<unsigned>(pass * 8);
+  for (const std::uint32_t idx : order) {
+    const auto d = static_cast<std::size_t>((keys[idx] >> shift) & 0xff);
+    tmp[ofs[d]++] = idx;
+  }
+  order.swap(tmp);
+}
+
+/// The same pass with per-slice counts + per-slice stable scatter; the
+/// (digit, slice)-order prefix makes the result identical to
+/// scatter_seq.
+void scatter_par(const std::vector<std::uint64_t>& keys, std::size_t pass,
+                 std::vector<std::uint32_t>& order,
+                 std::vector<std::uint32_t>& tmp, ThreadPool& pool) {
+  const std::size_t n = order.size();
+  const std::size_t slices = pool.slice_count(n, kGrain);
+  const unsigned shift = static_cast<unsigned>(pass * 8);
+  std::vector<Hist> cnt(slices);
+  pool.parallel_for(n, kGrain, [&](std::size_t b, std::size_t e,
+                                   std::size_t s) {
+    Hist h{};
+    for (std::size_t i = b; i < e; ++i) {
+      ++h[(keys[order[i]] >> shift) & 0xff];
+    }
+    cnt[s] = h;
+  });
+  std::uint32_t run = 0;
+  for (std::size_t d = 0; d < kBuckets; ++d) {
+    for (std::size_t s = 0; s < slices; ++s) {
+      const std::uint32_t c = cnt[s][d];
+      cnt[s][d] = run;
+      run += c;
+    }
+  }
+  pool.parallel_for(n, kGrain, [&](std::size_t b, std::size_t e,
+                                   std::size_t s) {
+    Hist ofs = cnt[s];
+    for (std::size_t i = b; i < e; ++i) {
+      const std::uint32_t idx = order[i];
+      tmp[ofs[(keys[idx] >> shift) & 0xff]++] = idx;
+    }
+  });
+  order.swap(tmp);
+}
+
+/// Stable LSD radix sort of `order` by keys[idx], skipping passes whose
+/// digit is constant (the up-front histograms are permutation-
+/// independent, so one counting sweep prices all 8 passes).
+void sort_by_key(const std::vector<std::uint64_t>& keys,
+                 std::vector<std::uint32_t>& order,
+                 std::vector<std::uint32_t>& tmp, ThreadPool* pool) {
+  const std::size_t n = order.size();
+  std::array<Hist, kPasses> hist{};
+  if (pool != nullptr && n >= kParCutoff) {
+    const std::size_t slices = pool->slice_count(n, kGrain);
+    std::vector<std::array<Hist, kPasses>> part(slices);
+    pool->parallel_for(n, kGrain, [&](std::size_t b, std::size_t e,
+                                      std::size_t s) {
+      auto& h = part[s];
+      for (std::size_t i = b; i < e; ++i) {
+        std::uint64_t k = keys[i];
+        for (std::size_t p = 0; p < kPasses; ++p, k >>= 8) {
+          ++h[p][k & 0xff];
+        }
+      }
+    });
+    for (const auto& h : part) {
+      for (std::size_t p = 0; p < kPasses; ++p) {
+        for (std::size_t d = 0; d < kBuckets; ++d) hist[p][d] += h[p][d];
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint64_t k = keys[i];
+      for (std::size_t p = 0; p < kPasses; ++p, k >>= 8) {
+        ++hist[p][k & 0xff];
+      }
+    }
+  }
+  for (std::size_t p = 0; p < kPasses; ++p) {
+    bool constant = false;
+    for (std::size_t d = 0; d < kBuckets; ++d) {
+      if (hist[p][d] == n) {
+        constant = true;
+        break;
+      }
+    }
+    if (constant) continue;
+    if (pool != nullptr && n >= kParCutoff) {
+      scatter_par(keys, p, order, tmp, *pool);
+    } else {
+      scatter_seq(keys, hist[p], p, order, tmp);
+    }
+  }
+}
+
+}  // namespace
+
+std::uint64_t double_key(double d) noexcept {
+  d += 0.0;  // -0.0 -> +0.0: lex_less cannot tell them apart
+  std::uint64_t b;
+  std::memcpy(&b, &d, sizeof b);
+  return (b & (std::uint64_t{1} << 63)) ? ~b : (b | (std::uint64_t{1} << 63));
+}
+
+std::vector<std::uint32_t> lex_sort_indices(
+    std::span<const geom::Point2> pts, ThreadPool* pool) {
+  const std::size_t n = pts.size();
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  if (n < 2) return order;
+  std::vector<std::uint32_t> tmp(n);
+  std::vector<std::uint64_t> keys(n);
+  const bool par = pool != nullptr && n >= kParCutoff;
+  // Stable LSD: secondary key (y) first, primary key (x) last.
+  auto fill = [&](bool use_y) {
+    auto body = [&](std::size_t b, std::size_t e, std::size_t) {
+      for (std::size_t i = b; i < e; ++i) {
+        keys[i] = double_key(use_y ? pts[i].y : pts[i].x);
+      }
+    };
+    if (par) {
+      pool->parallel_for(n, kGrain, body);
+    } else {
+      body(0, n, 0);
+    }
+  };
+  fill(/*use_y=*/true);
+  sort_by_key(keys, order, tmp, pool);
+  fill(/*use_y=*/false);
+  sort_by_key(keys, order, tmp, pool);
+  return order;
+}
+
+}  // namespace iph::exec

@@ -1,0 +1,43 @@
+// Radix presort of floating-point coordinates.
+//
+// The native engine's front end: an LSD radix sort over the IEEE-754
+// bit patterns of the coordinates, mapped through an order-preserving
+// u64 key so unsigned digit order equals numeric order (the
+// "radix sort the floats" trick of SNIPPETS.md Snippet 2 — that is
+// what makes the presort linear-time instead of comparison-bound).
+// Produces the lexicographic (x, then y) index permutation that the
+// hull scan and all "presorted" machinery assume: two stable 8-bit
+// LSD sorts, y-key first then x-key, ties falling back to the original
+// index. Digit histograms are computed in one pass up front (they are
+// permutation-independent), so passes whose digit is constant across
+// the input — most of them, for coordinates from a common range — are
+// skipped entirely.
+//
+// Large inputs sort in parallel on the caller's ThreadPool: per-slice
+// digit counts, one serial (digit, slice)-order prefix, per-slice
+// stable scatter. The permutation is identical to the sequential
+// sort's, so results never depend on the pool shape.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "exec/pool.h"
+#include "geom/point.h"
+
+namespace iph::exec {
+
+/// Order-preserving u64 key of a double: double_key(a) < double_key(b)
+/// iff a < b, with -0.0 collapsed onto +0.0 (lex_less treats them as
+/// equal, so the sort must too).
+std::uint64_t double_key(double d) noexcept;
+
+/// The lexicographic (x, then y, then original-index) permutation of
+/// `pts`, by stable radix sort of the coordinate keys. `pool` may be
+/// null (or the input small): the sort runs sequentially with the same
+/// resulting permutation.
+std::vector<std::uint32_t> lex_sort_indices(
+    std::span<const geom::Point2> pts, ThreadPool* pool);
+
+}  // namespace iph::exec

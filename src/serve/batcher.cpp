@@ -1,10 +1,10 @@
 #include "serve/batcher.h"
 
-#include "core/api.h"
+#include "exec/pram_backend.h"
 
 namespace iph::serve {
 
-std::vector<Response> execute_batch(pram::Machine& m,
+std::vector<Response> execute_batch(const BackendSet& backends,
                                     std::span<const Request> requests,
                                     std::uint64_t master_seed,
                                     BatchExecInfo* info) {
@@ -29,40 +29,52 @@ std::vector<Response> execute_batch(pram::Machine& m,
     info->completed_at.clear();
     info->completed_at.reserve(requests.size());
     info->pram_total = pram::Metrics{};
+    info->pram_requests = 0;
+    info->native_requests = 0;
   }
   for (std::size_t i = 0; i < requests.size(); ++i) {
     const Request& r = requests[i];
     const std::uint64_t seed = derive_request_seed(master_seed, r.id);
-    m.reset(seed);
-    Options opts;
-    opts.alpha = r.alpha;
+    exec::Backend* backend = backends.resolve(r.backend);
     const auto t0 = Clock::now();
-    Hull2D h;
-    {
-      pram::Machine::Phase phase(m, "serve/request");
-      h = upper_hull_2d(
-          m, std::span<const geom::Point2>(arena).subspan(
-                 offsets[i], r.points.size()),
-          opts);
-    }
+    exec::HullRun run = backend->upper_hull(
+        std::span<const geom::Point2>(arena).subspan(offsets[i],
+                                                     r.points.size()),
+        seed, r.alpha);
     const auto t1 = Clock::now();
     Response resp;
     resp.id = r.id;
     resp.status = Status::kOk;
-    resp.hull = std::move(h.result);
+    resp.hull = std::move(run.hull);
     resp.metrics.seed = seed;
-    resp.metrics.steps = h.metrics.steps;
-    resp.metrics.work = h.metrics.work;
-    resp.metrics.max_active = h.metrics.max_active;
+    resp.metrics.steps = run.metrics.steps;
+    resp.metrics.work = run.metrics.work;
+    resp.metrics.max_active = run.metrics.max_active;
     resp.metrics.batch_size = requests.size();
     resp.metrics.exec_ms = ms_between(t0, t1);
+    resp.metrics.backend = backend->kind();
     if (info != nullptr) {
       info->completed_at.push_back(t1);
-      info->pram_total.add_counters(h.metrics);
+      info->pram_total.add_counters(run.metrics);
+      if (backend->kind() == exec::BackendKind::kNative) {
+        ++info->native_requests;
+      } else {
+        ++info->pram_requests;
+      }
     }
     out.push_back(std::move(resp));
   }
   return out;
+}
+
+std::vector<Response> execute_batch(pram::Machine& m,
+                                    std::span<const Request> requests,
+                                    std::uint64_t master_seed,
+                                    BatchExecInfo* info) {
+  exec::PramBackend pram_backend(m);
+  BackendSet backends;
+  backends.pram = &pram_backend;
+  return execute_batch(backends, requests, master_seed, info);
 }
 
 }  // namespace iph::serve

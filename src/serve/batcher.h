@@ -1,15 +1,15 @@
-// The adaptive batcher: policy + batched PRAM execution.
+// The adaptive batcher: policy + batched hull execution.
 //
 // Small hull queries are dominated by per-run fixed costs, so the
 // service coalesces the small requests that arrive within a window into
-// ONE leased PRAM run: their point sets are packed into a single
+// ONE leased execution run: their point sets are packed into a single
 // contiguous arena (request r owns the disjoint cell range
-// [offset_r, offset_r + n_r)), the leased machine executes the requests
-// back-to-back — reset to each request's derived seed so every request
-// replays exactly its solo execution — and the per-request hulls are
-// split back out of the arena's index space. Requests at or above
-// BatchPolicy::small_threshold points bypass the batcher and are routed
-// to the dedicated large shard (service.h).
+// [offset_r, offset_r + n_r)), the batch's backend executes the
+// requests back-to-back — each request under its derived seed so every
+// request replays exactly its solo execution — and the per-request
+// hulls are split back out of the arena's index space. Requests at or
+// above BatchPolicy::small_threshold points bypass the batcher and are
+// routed to the dedicated large shard (service.h).
 //
 // Why back-to-back inside one lease rather than one merged simulation:
 // the service promises batched results bit-identical to solo runs
@@ -17,6 +17,12 @@
 // every random draw on the batch composition. The throughput win of
 // batching here is amortizing the machine lease, the thread-pool warmth
 // and the arena over many tiny queries — measured in bench/e14.
+//
+// Execution is routed through the iph::exec::Backend seam: each request
+// names a BackendKind (kDefault defers to the service default) and the
+// batch dispatches per request to the matching engine in the BackendSet.
+// The PRAM simulator remains the metered oracle; the native engine is
+// the fast path and reports zero PRAM counters (exec/backend.h).
 #pragma once
 
 #include <chrono>
@@ -24,6 +30,7 @@
 #include <span>
 #include <vector>
 
+#include "exec/backend.h"
 #include "pram/machine.h"
 #include "pram/metrics.h"
 #include "serve/request.h"
@@ -43,6 +50,27 @@ struct BatchPolicy {
   std::uint64_t grain = 0;
 };
 
+/// The engines one batch may dispatch to, plus the service-level
+/// default that resolves a request's kDefault. Non-owning: the service
+/// provides a leased PRAM adapter per batch and one long-lived native
+/// engine. `native` may be null (PRAM-only deployments); a kNative
+/// request then falls back to the PRAM engine rather than failing —
+/// the resolved kind in RequestMetrics::backend records what actually
+/// ran.
+struct BackendSet {
+  exec::Backend* pram = nullptr;    ///< Required.
+  exec::Backend* native = nullptr;  ///< Optional fast path.
+  exec::BackendKind service_default = exec::BackendKind::kPram;
+
+  /// Resolve a request's requested kind to the engine that will run it.
+  exec::Backend* resolve(exec::BackendKind want) const noexcept {
+    exec::BackendKind k =
+        want == exec::BackendKind::kDefault ? service_default : want;
+    if (k == exec::BackendKind::kNative && native != nullptr) return native;
+    return pram;
+  }
+};
+
 /// Host-side accounting of one execute_batch call, for the caller's
 /// latency/stats bookkeeping (none of it affects results).
 struct BatchExecInfo {
@@ -54,15 +82,30 @@ struct BatchExecInfo {
   std::vector<Clock::time_point> completed_at;
   /// Per-request pram::Metrics counters summed over the batch
   /// (Metrics::add_counters) — the machine itself is reset per request,
-  /// so its own metrics afterwards are only the last request's.
+  /// so its own metrics afterwards are only the last request's. Native
+  /// runs contribute zeros, keeping the simulator's exact reconciliation
+  /// intact.
   pram::Metrics pram_total;
+  /// How many of the batch's requests each engine served (sums to the
+  /// batch size) — feeds the backend-labeled serve counters.
+  std::uint64_t pram_requests = 0;
+  std::uint64_t native_requests = 0;
 };
 
-/// Execute `requests` as one batch on `m` (see file comment) and return
-/// one Response per request, in order. Fills the deterministic
-/// RequestMetrics fields plus exec_ms and batch_size; queue/e2e timing
-/// and shard id belong to the caller (per-request completion stamps for
-/// that are in `info` when non-null).
+/// Execute `requests` as one batch through `backends` (see file
+/// comment) and return one Response per request, in order. Fills the
+/// deterministic RequestMetrics fields plus exec_ms, batch_size and the
+/// resolved backend; queue/e2e timing and shard id belong to the caller
+/// (per-request completion stamps for that are in `info` when
+/// non-null).
+std::vector<Response> execute_batch(const BackendSet& backends,
+                                    std::span<const Request> requests,
+                                    std::uint64_t master_seed,
+                                    BatchExecInfo* info = nullptr);
+
+/// Legacy PRAM-only entry point: wraps `m` in a stack PramBackend and
+/// runs the batch with no native engine. Kept because the determinism
+/// and serving tests drive batches against a bare machine.
 std::vector<Response> execute_batch(pram::Machine& m,
                                     std::span<const Request> requests,
                                     std::uint64_t master_seed,

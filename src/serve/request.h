@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "exec/backend.h"
 #include "geom/hull_types.h"
 #include "geom/point.h"
 #include "support/rng.h"
@@ -71,6 +72,13 @@ struct Request {
   RequestId id = 0;
   std::vector<geom::Point2> points;
   int alpha = 8;  ///< in-place-bridge round budget (core/api Options).
+  /// Which execution engine runs this request (exec/backend.h):
+  /// kDefault defers to ServiceConfig::backend. The determinism
+  /// contract above is per-backend — each backend is deterministic in
+  /// (points, id, alpha, master seed), but the two engines' hulls agree
+  /// only up to duplicate-point index choice (backend.h semantics
+  /// contract; the differential suite holds them to it).
+  exec::BackendKind backend = exec::BackendKind::kDefault;
   /// Absolute deadline; default-constructed = none. A request found
   /// past its deadline at dequeue time is answered kExpired without
   /// executing (expiry is detected at dequeue, not by a timer).
@@ -98,6 +106,10 @@ struct RequestMetrics {
   std::uint64_t steps = 0;       ///< PRAM time of this request alone.
   std::uint64_t work = 0;        ///< PRAM work of this request alone.
   std::uint64_t max_active = 0;  ///< Peak processors of this request.
+  /// The engine that actually ran it — always resolved (kPram or
+  /// kNative, never kDefault). Native runs report zero PRAM counters
+  /// above (exec/backend.h cost-metric contract).
+  exec::BackendKind backend = exec::BackendKind::kPram;
 };
 
 struct Response {

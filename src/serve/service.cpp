@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "exec/pram_backend.h"
 #include "support/check.h"
 #include "support/env.h"
 
@@ -18,6 +19,9 @@ ServiceConfig sanitize(ServiceConfig cfg) {
       std::max<std::size_t>(cfg.batch.max_batch_requests, 1);
   cfg.batch.max_batch_points =
       std::max<std::size_t>(cfg.batch.max_batch_points, 1);
+  if (cfg.backend == exec::BackendKind::kDefault) {
+    cfg.backend = exec::BackendKind::kPram;
+  }
   return cfg;
 }
 
@@ -26,6 +30,7 @@ ServiceConfig sanitize(ServiceConfig cfg) {
 HullService::HullService(const ServiceConfig& cfg)
     : cfg_(sanitize(cfg)),
       sstats_(stats_registry_, cfg_.shards, cfg_.large_shard),
+      native_(cfg_.threads_per_shard),
       pool_(cfg_.shards, cfg_.threads_per_shard, cfg_.master_seed),
       small_queue_(cfg_.queue_capacity),
       large_queue_(cfg_.queue_capacity) {
@@ -193,9 +198,14 @@ void HullService::finish_batch(std::vector<Pending> batch,
   reqs.reserve(live.size());
   for (Pending& p : live) reqs.push_back(std::move(p.request));
 
+  exec::PramBackend pram_backend(lease.machine());
+  BackendSet backends;
+  backends.pram = &pram_backend;
+  backends.native = &native_;
+  backends.service_default = cfg_.backend;
   BatchExecInfo info;
   std::vector<Response> responses =
-      execute_batch(lease.machine(), reqs, cfg_.master_seed, &info);
+      execute_batch(backends, reqs, cfg_.master_seed, &info);
   const std::size_t shard = lease.shard();
   lease.release();  // free the shard before the promise fan-out
 
@@ -215,6 +225,8 @@ void HullService::finish_batch(std::vector<Pending> batch,
   sstats_.completed.inc(live.size());
   sstats_.batch_size.record(static_cast<double>(live.size()));
   sstats_.fold_pram(info.pram_total);
+  sstats_.backend_pram.inc(info.pram_requests);
+  sstats_.backend_native.inc(info.native_requests);
   for (std::size_t i = 0; i < live.size(); ++i) {
     responses[i].metrics.shard = shard;
     responses[i].metrics.queue_wait_ms =
@@ -255,9 +267,14 @@ void HullService::large_worker() {
       continue;
     }
     const Request req = std::move(p->request);
+    exec::PramBackend pram_backend(*large_machine_);
+    BackendSet backends;
+    backends.pram = &pram_backend;
+    backends.native = &native_;
+    backends.service_default = cfg_.backend;
     BatchExecInfo info;
     std::vector<Response> resp =
-        execute_batch(*large_machine_, {&req, 1}, cfg_.master_seed, &info);
+        execute_batch(backends, {&req, 1}, cfg_.master_seed, &info);
     IPH_CHECK(resp.size() == 1 && info.completed_at.size() == 1);
     const Clock::time_point done = info.completed_at[0];
     resp[0].metrics.shard = pool_.size();  // the dedicated large shard
@@ -266,6 +283,8 @@ void HullService::large_worker() {
     stats_.completed.fetch_add(1, std::memory_order_relaxed);
     sstats_.completed.inc();
     sstats_.fold_pram(info.pram_total);
+    sstats_.backend_pram.inc(info.pram_requests);
+    sstats_.backend_native.inc(info.native_requests);
     sstats_.queue_wait_ms.record(resp[0].metrics.queue_wait_ms);
     sstats_.exec_ms.record(resp[0].metrics.exec_ms);
     sstats_.e2e_ms.record(resp[0].metrics.e2e_ms);

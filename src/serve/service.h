@@ -39,6 +39,8 @@
 #include <thread>
 #include <vector>
 
+#include "exec/backend.h"
+#include "exec/native_backend.h"
 #include "serve/batcher.h"
 #include "serve/machine_pool.h"
 #include "serve/queue.h"
@@ -59,6 +61,12 @@ struct ServiceConfig {
   BatchPolicy batch;
   std::uint64_t master_seed = 0x19910722ULL;
   bool trace = false;  ///< attach a trace::Recorder per shard.
+  /// Engine that serves requests whose Request::backend is kDefault
+  /// (exec/backend.h). kPram keeps the metered-simulator behavior this
+  /// service shipped with; kNative routes defaulted requests to the
+  /// thread-parallel fast path. A request naming a kind explicitly
+  /// always wins over this. kDefault here is sanitized to kPram.
+  exec::BackendKind backend = exec::BackendKind::kPram;
 };
 
 /// Monotonic service counters (all since construction).
@@ -138,6 +146,12 @@ class HullService {
   // and large_machine_ are declared after recorders_ and destroyed
   // first).
   std::vector<std::unique_ptr<trace::Recorder>> recorders_;
+  // The native engine is shared by every worker: NativeBackend::
+  // upper_hull is safe to call concurrently (each call owns its own
+  // buffers; the pool serializes fork-join rounds), so one engine
+  // serves all shards. PRAM execution, by contrast, is per-lease — the
+  // workers wrap their leased machine in a stack PramBackend per batch.
+  exec::NativeBackend native_;
   MachinePool pool_;
   std::unique_ptr<pram::Machine> large_machine_;
   BoundedQueue small_queue_;

@@ -30,6 +30,10 @@ ServeStats::ServeStats(stats::Registry& registry, std::size_t pool_shards,
       large_requests(registry.counter(statnames::kLargeRequests)),
       batch_size(registry.histogram(statnames::kBatchSize,
                                     stats::batch_size_bounds())),
+      backend_pram(registry.counter(
+          labeled(statnames::kBackendBase, "backend", "pram"))),
+      backend_native(registry.counter(
+          labeled(statnames::kBackendBase, "backend", "native"))),
       small_depth(registry.gauge(
           labeled(statnames::kQueueDepthBase, "queue", "small"))),
       large_depth(registry.gauge(

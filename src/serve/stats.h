@@ -50,6 +50,10 @@ inline constexpr const char* kQueueWaitMs = "iph_serve_queue_wait_ms";
 inline constexpr const char* kExecMs = "iph_serve_exec_ms";
 inline constexpr const char* kE2eMs = "iph_serve_e2e_ms";
 inline constexpr const char* kPramPrefix = "iph_serve_pram_";
+/// Per-backend served-request counters, labeled backend=pram|native
+/// (exec/backend.h names). pram + native == completed: every completed
+/// request was served by exactly one engine.
+inline constexpr const char* kBackendBase = "iph_serve_backend_requests_total";
 }  // namespace statnames
 
 /// Typed handles into a Registry for every serving instrument (see
@@ -78,6 +82,11 @@ class ServeStats {
   stats::Counter& close_closed;
   stats::Counter& large_requests;
   stats::Histogram& batch_size;
+
+  // Which execution engine served each completed request
+  // (statnames::kBackendBase, labeled by backend name).
+  stats::Counter& backend_pram;
+  stats::Counter& backend_native;
 
   // Occupancy.
   stats::Gauge& small_depth;

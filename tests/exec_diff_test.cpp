@@ -1,0 +1,373 @@
+// Differential harness for the execution backends (ISSUE: iph::exec).
+//
+// Every case runs the SAME input through the native thread-parallel
+// engine and through the PRAM-simulator oracle (exec/pram_backend over
+// a fresh metered machine), then holds both to the backend.h semantics
+// contract:
+//   * each backend's hull passes the independent geom/validate oracles
+//     (validate_upper_hull + validate_edge_above — no code shared with
+//     either engine's construction),
+//   * the two chains are COORDINATE-identical vertex by vertex
+//     (indices may differ only where the input has duplicate points:
+//     both engines then name the same location through different
+//     copies),
+//   * each backend is individually deterministic: a rerun reproduces
+//     the exact index sequence.
+// The sequential scan (seq/upper_hull.h) rides along as a third,
+// pure-serial oracle for the coordinate comparison.
+//
+// Families: every geom/workloads 2-d family (circle, disk, square,
+// gaussian, convex-k, collinear, duplicates, lattice), a near-collinear
+// torture family built from 1-ulp perturbations of a line (exact-
+// predicate stress), and a set of adversarial seeds, over n from the
+// empty/degenerate sizes {0,1,2,3} through the parallel-path sizes
+// (the native engine's radix sort and chunked scan only engage above
+// its internal cutoffs, so the sweep crosses them deliberately).
+//
+// A time-bounded fuzz loop (IPH_EXEC_FUZZ_MS, default 200 ms; CI's
+// nightly job raises it) draws random (family, n, seed) triples and
+// diffs the backends; on mismatch it writes a standalone repro JSON
+// under IPH_EXEC_REPRO_DIR (when set) before failing, and the CI
+// workflow uploads those files as artifacts.
+//
+// Thread-sanitizer runs shrink the large sizes but still cross the
+// native engine's parallel cutoffs — the fork-join pool and the
+// concurrent-upper_hull case below are exactly what TSan is here for.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/native_backend.h"
+#include "exec/pram_backend.h"
+#include "geom/point.h"
+#include "geom/validate.h"
+#include "geom/workloads.h"
+#include "pram/machine.h"
+#include "seq/upper_hull.h"
+#include "support/env.h"
+#include "support/rng.h"
+
+namespace iph::exec {
+namespace {
+
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+constexpr bool kSanitized = true;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+constexpr bool kSanitized = true;
+#else
+constexpr bool kSanitized = false;
+#endif
+#else
+constexpr bool kSanitized = false;
+#endif
+
+/// Sizes that cross the native engine's internal cutoffs (radix
+/// parallelism at 2^15, chunked scan at 2^14) without melting the PRAM
+/// simulator under sanitizers.
+std::size_t large_n() { return kSanitized ? 20000 : 50000; }
+std::size_t huge_n() { return kSanitized ? 40000 : 100000; }
+
+/// One shared native engine — upper_hull is documented safe for
+/// concurrent callers, and sharing exercises that claim across the
+/// whole suite.
+NativeBackend& native() {
+  static NativeBackend backend;
+  return backend;
+}
+
+HullRun run_native(std::span<const geom::Point2> pts, std::uint64_t seed) {
+  return native().upper_hull(pts, seed, /*alpha=*/8);
+}
+
+HullRun run_pram(std::span<const geom::Point2> pts, std::uint64_t seed) {
+  pram::Machine m;
+  PramBackend oracle(m);
+  return oracle.upper_hull(pts, seed, /*alpha=*/8);
+}
+
+/// The chain's coordinates, resolved through the indices — the unit of
+/// cross-backend comparison (indices may differ under duplicates).
+std::vector<geom::Point2> chain_coords(std::span<const geom::Point2> pts,
+                                       const geom::UpperHull2D& hull) {
+  std::vector<geom::Point2> out;
+  out.reserve(hull.vertices.size());
+  for (const geom::Index v : hull.vertices) {
+    out.push_back(pts[static_cast<std::size_t>(v)]);
+  }
+  return out;
+}
+
+void expect_coords_equal(const std::vector<geom::Point2>& a,
+                         const std::vector<geom::Point2>& b,
+                         const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label << ": hull sizes differ";
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].x, b[i].x) << label << ": vertex " << i << " x";
+    EXPECT_EQ(a[i].y, b[i].y) << label << ": vertex " << i << " y";
+  }
+}
+
+/// The full differential check for one input (see file comment).
+void expect_equivalent(std::span<const geom::Point2> pts, std::uint64_t seed,
+                       const std::string& label) {
+  const HullRun nat = run_native(pts, seed);
+  const HullRun ora = run_pram(pts, seed);
+
+  std::string err;
+  EXPECT_TRUE(geom::validate_upper_hull(pts, nat.hull.upper, &err))
+      << label << " (native): " << err;
+  EXPECT_TRUE(geom::validate_edge_above(pts, nat.hull, &err))
+      << label << " (native edge_above): " << err;
+  EXPECT_TRUE(geom::validate_upper_hull(pts, ora.hull.upper, &err))
+      << label << " (pram oracle): " << err;
+
+  expect_coords_equal(chain_coords(pts, nat.hull.upper),
+                      chain_coords(pts, ora.hull.upper),
+                      label + " (native vs pram)");
+  const geom::UpperHull2D seq_hull = seq::upper_hull(pts);
+  expect_coords_equal(chain_coords(pts, nat.hull.upper),
+                      chain_coords(pts, seq_hull),
+                      label + " (native vs seq)");
+
+  // Native cost metrics are all zero (backend.h cost-metric contract) —
+  // anything else would poison the serving layer's exact PRAM
+  // reconciliation.
+  EXPECT_EQ(nat.metrics.steps, 0u) << label;
+  EXPECT_EQ(nat.metrics.work, 0u) << label;
+  EXPECT_EQ(nat.metrics.max_active, 0u) << label;
+
+  // Each backend individually deterministic, down to the indices.
+  const HullRun nat2 = run_native(pts, seed);
+  EXPECT_EQ(nat.hull.upper.vertices, nat2.hull.upper.vertices) << label;
+  EXPECT_EQ(nat.hull.edge_above, nat2.hull.edge_above) << label;
+}
+
+/// ~n points hugging the line y = x/3 with 1-ulp vertical nudges: the
+/// orientation of almost every triple is decided at the last bit, so a
+/// backend that strayed from the exact predicates would disagree here
+/// first.
+std::vector<geom::Point2> near_collinear(std::size_t n, std::uint64_t seed) {
+  std::vector<geom::Point2> pts;
+  pts.reserve(n);
+  support::Rng rng(seed, /*stream=*/0x6e636f6cULL);  // "ncol"
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i % (n / 2 + 1));
+    double y = x / 3.0;
+    const std::uint64_t r = rng.next_u64();
+    if (r & 1) y = std::nextafter(y, (r & 2) ? 1e9 : -1e9);
+    pts.push_back({x, y});
+  }
+  return pts;
+}
+
+// --- family sweep ------------------------------------------------------
+
+TEST(ExecDiff, DegenerateSizesAllFamilies) {
+  for (const geom::Family2D f : geom::kAllFamilies2D) {
+    for (const std::size_t n : {std::size_t{0}, std::size_t{1},
+                                std::size_t{2}, std::size_t{3},
+                                std::size_t{4}}) {
+      if (f == geom::Family2D::kConvexK && n < 2) continue;  // needs k>=2
+      for (const std::uint64_t seed : {1ull, 42ull}) {
+        const std::vector<geom::Point2> pts = geom::make2d(f, n, seed);
+        expect_equivalent(pts, seed,
+                          geom::family_name(f) + " n=" + std::to_string(n) +
+                              " seed=" + std::to_string(seed));
+      }
+    }
+  }
+}
+
+TEST(ExecDiff, SmallSizesAllFamilies) {
+  for (const geom::Family2D f : geom::kAllFamilies2D) {
+    for (const std::size_t n : {std::size_t{17}, std::size_t{64},
+                                std::size_t{500}, std::size_t{2048}}) {
+      for (const std::uint64_t seed : {7ull, 0xdeadbeefull}) {
+        const std::vector<geom::Point2> pts = geom::make2d(f, n, seed);
+        expect_equivalent(pts, seed,
+                          geom::family_name(f) + " n=" + std::to_string(n) +
+                              " seed=" + std::to_string(seed));
+      }
+    }
+  }
+}
+
+TEST(ExecDiff, LargeCrossesParallelCutoffs) {
+  // Past both native cutoffs: the radix sort runs its sliced scatter
+  // and the scan runs chunked + merge. One family per hull shape class.
+  const std::size_t n = large_n();
+  for (const geom::Family2D f :
+       {geom::Family2D::kCircle, geom::Family2D::kDisk,
+        geom::Family2D::kDuplicates, geom::Family2D::kLattice}) {
+    const std::vector<geom::Point2> pts = geom::make2d(f, n, 3);
+    expect_equivalent(pts, 3,
+                      geom::family_name(f) + " n=" + std::to_string(n));
+  }
+}
+
+TEST(ExecDiff, HugeAgainstSequentialOracle) {
+  // The PRAM simulator is too slow as an oracle at 1e5 under
+  // sanitizers; the sequential scan and the independent validators
+  // carry the check at this size.
+  const std::size_t n = huge_n();
+  for (const geom::Family2D f :
+       {geom::Family2D::kDisk, geom::Family2D::kCollinear}) {
+    const std::vector<geom::Point2> pts = geom::make2d(f, n, 11);
+    const HullRun nat = run_native(pts, 11);
+    std::string err;
+    ASSERT_TRUE(geom::validate_upper_hull(pts, nat.hull.upper, &err))
+        << geom::family_name(f) << ": " << err;
+    ASSERT_TRUE(geom::validate_edge_above(pts, nat.hull, &err))
+        << geom::family_name(f) << ": " << err;
+    expect_coords_equal(chain_coords(pts, nat.hull.upper),
+                        chain_coords(pts, seq::upper_hull(pts)),
+                        geom::family_name(f) + " n=" + std::to_string(n));
+  }
+}
+
+// --- degeneracy torture ------------------------------------------------
+
+TEST(ExecDiff, NearCollinearExactPredicates) {
+  for (const std::size_t n : {std::size_t{3}, std::size_t{64},
+                              std::size_t{1000}, std::size_t{20000}}) {
+    for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+      expect_equivalent(near_collinear(n, seed), seed,
+                        "near_collinear n=" + std::to_string(n) +
+                            " seed=" + std::to_string(seed));
+    }
+  }
+}
+
+TEST(ExecDiff, AllPointsEqual) {
+  const std::vector<geom::Point2> pts(100, geom::Point2{2.0, -3.0});
+  expect_equivalent(pts, 1, "all-equal");
+}
+
+TEST(ExecDiff, VerticalColumnsAndSignedZero) {
+  // Columns of equal x (topmost wins) and a -0.0/+0.0 x pair that the
+  // radix key must NOT order apart (lex_less treats them equal, so the
+  // sort's tie-break must too).
+  const std::vector<geom::Point2> pts = {
+      {0.0, 1.0},  {0.0, 5.0},  {0.0, -2.0}, {-0.0, 7.0}, {1.0, 0.0},
+      {1.0, 4.0},  {2.0, -1.0}, {2.0, 6.0},  {2.0, 6.0},  {-1.0, 0.5},
+      {-1.0, 0.5}, {-0.0, 7.0},
+  };
+  expect_equivalent(pts, 9, "vertical-columns");
+}
+
+TEST(ExecDiff, AdversarialSeeds) {
+  // Seeds chosen to cover convex-k's exact-k arcs and duplicate-heavy
+  // draws at awkward sizes (one below, one at, one above the native
+  // chunk grain).
+  const std::uint64_t seeds[] = {0x1ull, 0xffffffffffffffffull,
+                                 0x8000000000000000ull, 0x123456789abcdefull};
+  for (const std::uint64_t s : seeds) {
+    for (const std::size_t n : {std::size_t{8191}, std::size_t{8192},
+                                std::size_t{8193}}) {
+      expect_equivalent(geom::make2d(geom::Family2D::kConvexK, n, s), s,
+                        "convex_k n=" + std::to_string(n));
+      expect_equivalent(geom::make2d(geom::Family2D::kDuplicates, n, s), s,
+                        "duplicates n=" + std::to_string(n));
+    }
+  }
+}
+
+// --- concurrency -------------------------------------------------------
+
+TEST(ExecDiff, ConcurrentCallersShareOneEngine) {
+  // Many threads drive the SAME NativeBackend at once (the serving
+  // workers do exactly this); every caller must get the deterministic
+  // answer. Sizes straddle the parallel cutoff so inline and pooled
+  // runs interleave. This is the case the TSan CI job exists for.
+  const std::vector<geom::Point2> small = geom::in_disk(500, 21);
+  const std::vector<geom::Point2> big =
+      geom::in_disk(kSanitized ? 20000 : 40000, 22);
+  const std::vector<geom::Index> want_small =
+      run_native(small, 0).hull.upper.vertices;
+  const std::vector<geom::Index> want_big =
+      run_native(big, 0).hull.upper.vertices;
+  std::vector<std::thread> threads;
+  std::vector<int> bad(8, 0);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 10; ++i) {
+        const auto& pts = (i + t) % 2 == 0 ? small : big;
+        const auto& want = (i + t) % 2 == 0 ? want_small : want_big;
+        if (run_native(pts, 0).hull.upper.vertices != want) bad[t] = 1;
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (int t = 0; t < 8; ++t) EXPECT_EQ(bad[t], 0) << "thread " << t;
+}
+
+// --- time-bounded fuzz -------------------------------------------------
+
+void write_repro(const std::string& dir, std::uint64_t fuzz_seed,
+                 const geom::Family2D f, std::size_t n, std::uint64_t seed,
+                 std::span<const geom::Point2> pts) {
+  const std::string path =
+      dir + "/exec_diff_repro_" + std::to_string(fuzz_seed) + ".json";
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) return;
+  std::fprintf(out,
+               "{\"family\": \"%s\", \"n\": %zu, \"seed\": %llu,\n"
+               " \"points\": [",
+               geom::family_name(f).c_str(), n,
+               static_cast<unsigned long long>(seed));
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    std::fprintf(out, "%s[%.17g, %.17g]", i == 0 ? "" : ", ", pts[i].x,
+                 pts[i].y);
+  }
+  std::fprintf(out, "]}\n");
+  std::fclose(out);
+}
+
+TEST(ExecDiff, FuzzTimeBounded) {
+  const std::uint64_t budget_ms =
+      support::env_u64("IPH_EXEC_FUZZ_MS", kSanitized ? 100 : 200);
+  const std::string repro_dir =
+      support::env_string("IPH_EXEC_REPRO_DIR", "");
+  const std::uint64_t master = support::env_seed();
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(budget_ms);
+  std::uint64_t iters = 0;
+  constexpr std::size_t kNumFamilies =
+      sizeof(geom::kAllFamilies2D) / sizeof(geom::kAllFamilies2D[0]);
+  while (std::chrono::steady_clock::now() < deadline) {
+    const std::uint64_t fz = support::mix3(master, 0xf0220, iters++);
+    const geom::Family2D f =
+        geom::kAllFamilies2D[fz % kNumFamilies];
+    const std::size_t n =
+        2 + static_cast<std::size_t>(support::splitmix64(fz) % 3000);
+    const std::uint64_t seed = support::splitmix64(fz ^ 0xabcd);
+    const std::vector<geom::Point2> pts = geom::make2d(f, n, seed);
+    const HullRun nat = run_native(pts, seed);
+    const HullRun ora = run_pram(pts, seed);
+    std::string err;
+    const bool valid =
+        geom::validate_upper_hull(pts, nat.hull.upper, &err) &&
+        geom::validate_edge_above(pts, nat.hull, &err);
+    const bool agree = chain_coords(pts, nat.hull.upper) ==
+                       chain_coords(pts, ora.hull.upper);
+    if (!valid || !agree) {
+      if (!repro_dir.empty()) write_repro(repro_dir, fz, f, n, seed, pts);
+      FAIL() << "fuzz mismatch: family=" << geom::family_name(f)
+             << " n=" << n << " seed=" << seed << " master=" << master
+             << (valid ? "" : " invalid: ") << (valid ? "" : err);
+    }
+  }
+  // Visible in --output-on-failure logs and the nightly job's output.
+  std::printf("exec_diff fuzz: %llu iterations in %llu ms budget\n",
+              static_cast<unsigned long long>(iters),
+              static_cast<unsigned long long>(budget_ms));
+}
+
+}  // namespace
+}  // namespace iph::exec

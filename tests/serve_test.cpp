@@ -11,6 +11,10 @@
 #include <vector>
 
 #include "core/api.h"
+#include "exec/backend.h"
+#include "exec/native_backend.h"
+#include "exec/pram_backend.h"
+#include "geom/validate.h"
 #include "geom/workloads.h"
 #include "pram/machine.h"
 #include "serve/batcher.h"
@@ -20,6 +24,7 @@
 #include "serve/service.h"
 #include "serve/stats.h"
 #include "stats/stats.h"
+#include "../tools/serve_wire.h"
 
 namespace iph::serve {
 namespace {
@@ -515,6 +520,184 @@ TEST(HullService, TracingRecordsServePhases) {
     }
   }
   EXPECT_EQ(invocations, 8u);  // every request traced exactly once
+}
+
+// --- execution-backend selection (iph::exec) --------------------------
+
+// A request pinned to the native engine is served by it: ok status, a
+// validate-passing hull, metrics.backend == native with zero PRAM
+// counters, and exactly the backend-labeled counter bumped.
+TEST(HullService, NativeBackendRoundTripBumpsLabeledCounter) {
+  ServiceConfig cfg = small_config();
+  HullService svc(cfg);  // service default stays pram
+  Request r = make_request(5, 600, 13);
+  r.backend = exec::BackendKind::kNative;
+  const Response resp = svc.submit(std::move(r)).get();
+  ASSERT_EQ(resp.status, Status::kOk);
+  EXPECT_EQ(resp.metrics.backend, exec::BackendKind::kNative);
+  EXPECT_EQ(resp.metrics.steps, 0u);  // native reports zero PRAM cost
+  EXPECT_EQ(resp.metrics.work, 0u);
+  std::string err;
+  const auto pts = geom::in_disk(600, 13);
+  EXPECT_TRUE(geom::validate_upper_hull(pts, resp.hull.upper, &err)) << err;
+  EXPECT_TRUE(geom::validate_edge_above(pts, resp.hull, &err)) << err;
+
+  svc.shutdown();
+  namespace sn = statnames;
+  const stats::RegistrySnapshot snap = svc.stats_registry().snapshot();
+  EXPECT_EQ(snap.counter_or0(
+                stats::labeled(sn::kBackendBase, "backend", "native")),
+            1u);
+  EXPECT_EQ(snap.counter_or0(
+                stats::labeled(sn::kBackendBase, "backend", "pram")),
+            0u);
+  // No PRAM run happened, so the folded simulator counters stayed flat.
+  EXPECT_EQ(snap.counter_or0("iph_serve_pram_steps_total"), 0u);
+}
+
+// ServiceConfig::backend routes kDefault requests; an explicit request
+// kind always wins over the service default.
+TEST(HullService, ServiceDefaultBackendRoutesAndExplicitWins) {
+  ServiceConfig cfg = small_config();
+  cfg.backend = exec::BackendKind::kNative;
+  HullService svc(cfg);
+  Request by_default = make_request(1, 300, 2);  // kDefault -> native
+  Request pinned = make_request(2, 300, 2);
+  pinned.backend = exec::BackendKind::kPram;
+  const Response a = svc.submit(std::move(by_default)).get();
+  const Response b = svc.submit(std::move(pinned)).get();
+  ASSERT_EQ(a.status, Status::kOk);
+  ASSERT_EQ(b.status, Status::kOk);
+  EXPECT_EQ(a.metrics.backend, exec::BackendKind::kNative);
+  EXPECT_EQ(b.metrics.backend, exec::BackendKind::kPram);
+  EXPECT_GT(b.metrics.steps, 0u);  // the simulator meters its runs
+
+  svc.shutdown();
+  namespace sn = statnames;
+  const stats::RegistrySnapshot snap = svc.stats_registry().snapshot();
+  EXPECT_EQ(snap.counter_or0(
+                stats::labeled(sn::kBackendBase, "backend", "native")),
+            1u);
+  EXPECT_EQ(snap.counter_or0(
+                stats::labeled(sn::kBackendBase, "backend", "pram")),
+            1u);
+}
+
+// A mixed batch dispatches per request: both engines serve out of ONE
+// coalesced run, the two per-backend counters split the batch exactly,
+// and pram + native == completed (the invariant hullload --scrape
+// asserts).
+TEST(HullService, MixedBatchSplitsBackendCounters) {
+  ServiceConfig cfg = small_config();
+  cfg.workers = 1;
+  cfg.shards = 1;
+  cfg.batch.window = 500ms;
+  cfg.batch.max_batch_requests = 8;
+  HullService svc(cfg);
+  std::vector<std::future<Response>> futs;
+  futs.reserve(8);
+  for (int i = 0; i < 8; ++i) {
+    Request r = make_request(0, 200, 4);
+    r.backend = i % 2 == 0 ? exec::BackendKind::kNative
+                           : exec::BackendKind::kPram;
+    futs.push_back(svc.submit(std::move(r)));
+  }
+  std::uint64_t native = 0, pram = 0;
+  for (auto& f : futs) {
+    const Response r = f.get();
+    ASSERT_EQ(r.status, Status::kOk);
+    ASSERT_EQ(r.metrics.batch_size, 8u) << "burst did not coalesce";
+    (r.metrics.backend == exec::BackendKind::kNative ? native : pram)++;
+  }
+  EXPECT_EQ(native, 4u);
+  EXPECT_EQ(pram, 4u);
+  svc.shutdown();
+  namespace sn = statnames;
+  const stats::RegistrySnapshot snap = svc.stats_registry().snapshot();
+  const std::uint64_t c_native = snap.counter_or0(
+      stats::labeled(sn::kBackendBase, "backend", "native"));
+  const std::uint64_t c_pram = snap.counter_or0(
+      stats::labeled(sn::kBackendBase, "backend", "pram"));
+  EXPECT_EQ(c_native, 4u);
+  EXPECT_EQ(c_pram, 4u);
+  EXPECT_EQ(c_native + c_pram, snap.counter_or0(sn::kCompleted));
+}
+
+// The same request served by either engine produces an identical
+// default wire response once the legitimately-differing metrics are
+// masked: same hull indices, byte-identical serve_wire JSON. The
+// points here are duplicate-free, so the backends' chains agree down
+// to the indices, not just coordinates (exec_diff_test covers the
+// duplicate-divergence case). The opt-in edge_above array is NOT
+// byte-stable across engines: a point whose x equals a hull vertex's
+// may cite either incident edge (both valid covers — the randomized
+// PRAM algorithm records whichever bridge discovered the point), so
+// each engine's array is held to the validator instead.
+TEST(HullService, WireResponseIdenticalAcrossBackends) {
+  Response by[2];
+  for (int which = 0; which < 2; ++which) {
+    ServiceConfig cfg = small_config();
+    cfg.backend = which == 0 ? exec::BackendKind::kPram
+                             : exec::BackendKind::kNative;
+    HullService svc(cfg);
+    Request r = make_request(77, 400, 6);  // same id -> same derived seed
+    by[which] = svc.submit(std::move(r)).get();
+    ASSERT_EQ(by[which].status, Status::kOk);
+  }
+  EXPECT_EQ(by[0].metrics.seed, by[1].metrics.seed);
+  EXPECT_EQ(by[0].hull.upper.vertices, by[1].hull.upper.vertices);
+  const auto pts = geom::in_disk(400, 6);
+  for (const Response& r : by) {
+    std::string err;
+    EXPECT_TRUE(geom::validate_edge_above(pts, r.hull, &err)) << err;
+  }
+  // Wall-clock and engine-specific metrics legitimately differ; the
+  // default wire payload must not once they are masked out.
+  for (Response& r : by) r.metrics = RequestMetrics{};
+  EXPECT_EQ(tools::response_to_json(by[0], /*edge_above=*/false).dump(),
+            tools::response_to_json(by[1], /*edge_above=*/false).dump());
+}
+
+// The BackendSet seam itself: per-request dispatch, the pram fallback
+// when no native engine is wired, and the legacy machine-only overload.
+TEST(ExecuteBatch, BackendSetDispatchesAndFallsBack) {
+  pram::Machine m(2, 99);
+  exec::PramBackend pram_backend(m);
+  exec::NativeBackend native_backend(2);
+  std::vector<Request> reqs;
+  for (int i = 0; i < 3; ++i) {
+    reqs.push_back(make_request(static_cast<RequestId>(i + 1), 100, 5));
+  }
+  reqs[0].backend = exec::BackendKind::kNative;
+  reqs[1].backend = exec::BackendKind::kPram;
+  // reqs[2] stays kDefault -> BackendSet::service_default (pram here).
+
+  BackendSet both;
+  both.pram = &pram_backend;
+  both.native = &native_backend;
+  BatchExecInfo info;
+  std::vector<Response> rs = execute_batch(both, reqs, 7, &info);
+  ASSERT_EQ(rs.size(), 3u);
+  EXPECT_EQ(rs[0].metrics.backend, exec::BackendKind::kNative);
+  EXPECT_EQ(rs[1].metrics.backend, exec::BackendKind::kPram);
+  EXPECT_EQ(rs[2].metrics.backend, exec::BackendKind::kPram);
+  EXPECT_EQ(info.native_requests, 1u);
+  EXPECT_EQ(info.pram_requests, 2u);
+
+  // Without a native engine, a kNative request falls back to pram
+  // rather than failing — the resolved kind records what actually ran.
+  BackendSet pram_only;
+  pram_only.pram = &pram_backend;
+  rs = execute_batch(pram_only, reqs, 7, &info);
+  EXPECT_EQ(rs[0].metrics.backend, exec::BackendKind::kPram);
+  EXPECT_EQ(info.native_requests, 0u);
+  EXPECT_EQ(info.pram_requests, 3u);
+
+  // The legacy overload is the pram-only set in disguise.
+  rs = execute_batch(m, reqs, 7, &info);
+  for (const Response& r : rs) {
+    EXPECT_EQ(r.metrics.backend, exec::BackendKind::kPram);
+  }
 }
 
 }  // namespace

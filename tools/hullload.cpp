@@ -16,15 +16,22 @@
 // end-to-end latency over the ok responses; --json appends one
 // machine-readable summary line to stdout.
 //
+// --backend pram|native pins every request to one execution engine
+// (exec/backend.h); default lets the server's own --backend decide.
+//
 // --scrape fetches the server's metrics registry (statz) before and
 // after the run, diffs the snapshots, and cross-checks the server-side
 // accounting against this client's own tally: every per-status counter
 // must reconcile EXACTLY (the run must be the server's only traffic),
-// and server-side ok-e2e p99 must be within --scrape-tol (a ratio;
+// including the backend-labeled served counters (pram + native ==
+// completed; with --backend pinned, that engine's counter == ok), and
+// server-side ok-e2e p99 must be within --scrape-tol (a ratio;
 // default 8, floored at 0.05 ms to ignore sub-bucket noise; 0 disables)
 // of the client-observed p99. Violations print loudly and exit 1.
 // --scrape-out FILE writes the diffed snapshot as iph-stats-v1 JSON
-// (the CI serve-smoke job uploads it as an artifact).
+// plus a "served_backend" key ("pram" | "native" | "mixed") naming the
+// engine(s) that absorbed the run (the CI serve-smoke job uploads it
+// as an artifact).
 //
 // Exit codes: 0 done, 1 with --expect-all-ok if any request was
 // rejected/expired/errored or with --scrape on reconcile/tolerance
@@ -47,6 +54,7 @@
 #include <utility>
 #include <vector>
 
+#include "exec/backend.h"
 #include "geom/workloads.h"
 #include "serve/request.h"
 #include "serve/service.h"
@@ -72,6 +80,10 @@ struct Options {
   std::uint64_t seed = 1;
   double deadline_ms = 0;
   std::string connect;  // empty = in-process
+  /// Engine every request asks for ("default" lets the server pick —
+  /// tagged on the wire / Request so the scrape reconciliation knows
+  /// which backend-labeled counter must absorb the run).
+  iph::exec::BackendKind backend = iph::exec::BackendKind::kDefault;
   bool expect_all_ok = false;
   bool json = false;
   bool scrape = false;
@@ -87,6 +99,7 @@ int usage(const char* argv0) {
       "          [--workload W] [--seed S] [--deadline-ms D]\n"
       "          [--connect HOST:PORT | --shards N --workers N --threads N\n"
       "           --capacity N --window-us U --no-large]\n"
+      "          [--backend pram|native|default]\n"
       "          [--expect-all-ok] [--json]\n"
       "          [--scrape] [--scrape-tol R] [--scrape-out FILE]\n",
       argv0);
@@ -163,6 +176,7 @@ Tally run_client_inproc(HullService& svc, const Options& opt, int client,
     iph::serve::Request r;
     r.id = ids[i];
     r.points = pts[i];
+    r.backend = opt.backend;
     if (opt.deadline_ms > 0) {
       r.deadline = Clock::now() + std::chrono::microseconds(static_cast<
                        std::int64_t>(opt.deadline_ms * 1000.0));
@@ -234,6 +248,9 @@ Tally run_client_tcp(const Options& opt, int client,
     j["n"] = Json(static_cast<std::uint64_t>(opt.n));
     j["workload"] = Json(opt.workload);
     j["seed"] = Json(opt.seed + id);
+    if (opt.backend != iph::exec::BackendKind::kDefault) {
+      j["backend"] = Json(iph::exec::backend_name(opt.backend));
+    }
     if (opt.deadline_ms > 0) j["deadline_ms"] = Json(opt.deadline_ms);
     return j.dump();
   };
@@ -323,9 +340,17 @@ bool scrape_tcp(const std::string& hostport,
 /// Cross-check the server-side snapshot diff against the client tally
 /// and print the side-by-side summary. Returns false (after printing
 /// why) when the accounting does not reconcile or p99s diverge beyond
-/// `tol`. `server_p99` is left with the server-side ok-e2e p99.
+/// `tol`. `server_p99` is left with the server-side ok-e2e p99;
+/// `served_backend` with which engine(s) absorbed the run's completed
+/// requests per the backend-labeled counters ("pram", "native" or
+/// "mixed"). When `want` names an engine, that engine's counter must
+/// equal the client's ok count exactly; either way pram + native must
+/// equal completed (every completed request was served by exactly one
+/// engine).
 bool check_scrape(const iph::stats::RegistrySnapshot& d, const Tally& total,
-                  double client_p99, double tol, double* server_p99) {
+                  double client_p99, double tol,
+                  iph::exec::BackendKind want, double* server_p99,
+                  std::string* served_backend) {
   namespace sn = iph::serve::statnames;
   const std::uint64_t srv_submitted = d.counter_or0(sn::kSubmitted);
   const std::uint64_t srv_completed = d.counter_or0(sn::kCompleted);
@@ -334,8 +359,15 @@ bool check_scrape(const iph::stats::RegistrySnapshot& d, const Tally& total,
       iph::stats::labeled(sn::kRejectedBase, "reason", "full"));
   const std::uint64_t srv_rej_shutdown = d.counter_or0(
       iph::stats::labeled(sn::kRejectedBase, "reason", "shutdown"));
+  const std::uint64_t srv_bk_pram = d.counter_or0(
+      iph::stats::labeled(sn::kBackendBase, "backend", "pram"));
+  const std::uint64_t srv_bk_native = d.counter_or0(
+      iph::stats::labeled(sn::kBackendBase, "backend", "native"));
   const iph::stats::HistogramSnapshot* e2e = d.histogram(sn::kE2eMs);
   *server_p99 = e2e != nullptr ? e2e->quantile(0.99) : 0.0;
+  *served_backend = srv_bk_native > 0
+                        ? (srv_bk_pram > 0 ? "mixed" : "native")
+                        : "pram";
 
   std::fprintf(stderr,
                "hullload scrape: server submitted %llu  completed %llu  "
@@ -345,6 +377,10 @@ bool check_scrape(const iph::stats::RegistrySnapshot& d, const Tally& total,
                static_cast<unsigned long long>(srv_rej_full),
                static_cast<unsigned long long>(srv_rej_shutdown),
                static_cast<unsigned long long>(srv_expired));
+  std::fprintf(stderr,
+               "hullload scrape: served by backend pram %llu  native %llu\n",
+               static_cast<unsigned long long>(srv_bk_pram),
+               static_cast<unsigned long long>(srv_bk_native));
   std::fprintf(stderr,
                "hullload scrape: e2e p99 server %.3f ms vs client %.3f ms\n",
                *server_p99, client_p99);
@@ -378,6 +414,15 @@ bool check_scrape(const iph::stats::RegistrySnapshot& d, const Tally& total,
   // Server-internal conservation: everything submitted terminated.
   must_equal("submitted vs terminal states", srv_submitted,
              srv_completed + srv_expired + srv_rej_full + srv_rej_shutdown);
+  // Backend conservation: every completed request was served by exactly
+  // one engine — and when the client pinned one, by THAT engine.
+  must_equal("backend pram+native vs completed",
+             srv_bk_pram + srv_bk_native, srv_completed);
+  if (want == iph::exec::BackendKind::kPram) {
+    must_equal("backend=pram requests", srv_bk_pram, total.ok);
+  } else if (want == iph::exec::BackendKind::kNative) {
+    must_equal("backend=native requests", srv_bk_native, total.ok);
+  }
 
   if (tol > 0 && total.ok > 0 && e2e != nullptr && e2e->count > 0) {
     const double lo = std::max(std::min(*server_p99, client_p99), 0.05);
@@ -427,6 +472,8 @@ int main(int argc, char** argv) {
       opt.deadline_ms = std::atof(v);
     } else if (a == "--connect" && (v = next())) {
       opt.connect = v;
+    } else if (a == "--backend" && (v = next())) {
+      if (!iph::exec::parse_backend(v, &opt.backend)) return usage(argv[0]);
     } else if (a == "--shards" && (v = next())) {
       opt.cfg.shards = static_cast<std::size_t>(std::atoll(v));
     } else if (a == "--workers" && (v = next())) {
@@ -545,6 +592,7 @@ int main(int argc, char** argv) {
 
   bool scrape_failed = false;
   double server_p99 = 0;
+  std::string served_backend;
   if (opt.scrape) {
     iph::stats::RegistrySnapshot after;
     if (!inproc) {
@@ -558,14 +606,20 @@ int main(int argc, char** argv) {
       after = svc->stats_registry().snapshot();
     }
     const iph::stats::RegistrySnapshot d = after.diff(scrape_before);
-    scrape_failed =
-        !check_scrape(d, total, p99, opt.scrape_tol, &server_p99);
-    if (!opt.scrape_out.empty() &&
-        !write_file(opt.scrape_out,
-                    iph::stats::to_json(d).dump(2) + "\n")) {
-      std::fprintf(stderr, "hullload: cannot write %s\n",
-                   opt.scrape_out.c_str());
-      scrape_failed = true;
+    scrape_failed = !check_scrape(d, total, p99, opt.scrape_tol,
+                                  opt.backend, &server_p99,
+                                  &served_backend);
+    if (!opt.scrape_out.empty()) {
+      // The diffed snapshot plus which engine(s) served the run —
+      // stats::from_json ignores the extra key, so the file still
+      // parses as iph-stats-v1.
+      Json scrape_json = iph::stats::to_json(d);
+      scrape_json["served_backend"] = Json(served_backend);
+      if (!write_file(opt.scrape_out, scrape_json.dump(2) + "\n")) {
+        std::fprintf(stderr, "hullload: cannot write %s\n",
+                     opt.scrape_out.c_str());
+        scrape_failed = true;
+      }
     }
   }
 
@@ -577,6 +631,7 @@ int main(int argc, char** argv) {
     j["target"] = Json(inproc ? "in-process" : opt.connect);
     j["workload"] = Json(opt.workload);
     j["n"] = Json(static_cast<std::uint64_t>(opt.n));
+    j["backend"] = Json(iph::exec::backend_name(opt.backend));
     j["ok"] = Json(total.ok);
     j["rejected_full"] = Json(total.rejected_full);
     j["rejected_shutdown"] = Json(total.rejected_shutdown);
@@ -591,6 +646,7 @@ int main(int argc, char** argv) {
     if (opt.scrape) {
       j["server_p99_ms"] = Json(server_p99);
       j["scrape_ok"] = Json(!scrape_failed);
+      j["served_backend"] = Json(served_backend);
     }
     std::printf("%s\n", j.dump().c_str());
   }

@@ -57,11 +57,13 @@ int usage(const char* argv0) {
       "usage: %s [--port P] [--shards N] [--workers N] [--threads N]\n"
       "          [--capacity N] [--window-us U] [--max-batch N]\n"
       "          [--small-threshold N] [--no-large] [--seed S] [--quiet]\n"
-      "          [--stats-every-ms M]\n"
+      "          [--stats-every-ms M] [--backend pram|native]\n"
       "Serves NDJSON hull requests (see tools/serve_wire.h) from stdin\n"
       "(default) or TCP connections on 127.0.0.1:P. A {\"cmd\":\"statz\"}\n"
       "line returns the service metrics registry; --stats-every-ms logs\n"
-      "a periodic snapshot-diff line to stderr.\n",
+      "a periodic snapshot-diff line to stderr. --backend picks the\n"
+      "engine for requests that don't name one (default: pram, the\n"
+      "metered simulator; native is the thread-parallel fast path).\n",
       argv0);
   return 2;
 }
@@ -326,6 +328,8 @@ int main(int argc, char** argv) {
       cfg.batch.small_threshold = static_cast<std::size_t>(std::atoll(v));
     } else if (a == "--seed" && (v = next())) {
       cfg.master_seed = std::strtoull(v, nullptr, 0);
+    } else if (a == "--backend" && (v = next())) {
+      if (!iph::exec::parse_backend(v, &cfg.backend)) return usage(argv[0]);
     } else if (a == "--stats-every-ms" && (v = next())) {
       stats_every_ms = std::atoi(v);
     } else if (a == "--no-large") {

@@ -8,13 +8,19 @@
 // "deadline_ms" (relative deadline from receipt; expired-in-queue
 // requests are answered "expired"), "edge_above" (bool; include the
 // per-point edge-above array in the response — it is n entries, so off
-// by default).
+// by default), "backend" ("pram" | "native" | "default"; which
+// execution engine runs the request — "default", the default, defers
+// to the server's --backend; unknown names are a parse error).
 //
 // Response line:
 //   {"id": 7, "status": "ok", "hull": [3,17,...], "edge_count": 5,
 //    "metrics": {"queue_wait_ms": ..., "exec_ms": ..., "e2e_ms": ...,
 //                "batch_size": ..., "shard": ..., "steps": ...,
-//                "work": ..., "max_active": ..., "seed": "<u64>"}}
+//                "work": ..., "max_active": ..., "seed": "<u64>",
+//                "backend": "pram" | "native"}}
+// The metrics "backend" is the engine that actually ran the request
+// (always resolved — never "default"); native runs report zero PRAM
+// steps/work/max_active (exec/backend.h cost-metric contract).
 // Non-ok statuses ("rejected_full", "rejected_shutdown", "expired")
 // omit "hull"/"edge_count". A line the server cannot parse is answered
 // {"error": "..."} and the stream continues — the protocol never goes
@@ -40,6 +46,7 @@
 #include <string_view>
 #include <vector>
 
+#include "exec/backend.h"
 #include "geom/workloads.h"
 #include "serve/request.h"
 #include "stats/export.h"
@@ -96,6 +103,13 @@ inline bool request_from_json(const trace::Json& j, serve::Request* out,
       return false;
     }
   }
+  if (const trace::Json* b = j.find("backend"); b != nullptr) {
+    if (!b->is_string() ||
+        !exec::parse_backend(b->as_string(), &out->backend)) {
+      *err = "\"backend\" must be \"pram\", \"native\" or \"default\"";
+      return false;
+    }
+  }
   if (const double ms = j.get_num("deadline_ms", 0); ms > 0) {
     out->deadline = serve::Clock::now() +
                     std::chrono::microseconds(
@@ -138,6 +152,7 @@ inline trace::Json response_to_json(const serve::Response& r,
   m["work"] = trace::Json(r.metrics.work);
   m["max_active"] = trace::Json(r.metrics.max_active);
   m["seed"] = trace::Json(std::to_string(r.metrics.seed));
+  m["backend"] = trace::Json(exec::backend_name(r.metrics.backend));
   o["metrics"] = std::move(m);
   return o;
 }
