@@ -4,6 +4,13 @@ namespace iph::exec {
 
 Backend::~Backend() = default;
 
+HullRun Backend::upper_hull_presorted(std::span<const geom::Point2> pts,
+                                      std::uint64_t seed, int alpha) {
+  // Sorted input is still valid unsorted input; engines without a
+  // presorted fast path just pay their sort again.
+  return upper_hull(pts, seed, alpha);
+}
+
 bool parse_backend(std::string_view name, BackendKind* out) noexcept {
   if (name == "pram") {
     *out = BackendKind::kPram;

@@ -81,6 +81,19 @@ class Backend {
   /// native engine accepts concurrent calls.
   virtual HullRun upper_hull(std::span<const geom::Point2> pts,
                              std::uint64_t seed, int alpha) = 0;
+
+  /// Compute the upper hull of LEXICOGRAPHICALLY SORTED `pts`
+  /// (duplicates allowed; geom::lex_less non-decreasing). Engines skip
+  /// their sort stage: the native backend scans the span directly
+  /// instead of radix-sorting a permutation, the PRAM backend runs the
+  /// presorted algorithms (Lemma 2.5 / Theorem 2) instead of Theorem 5.
+  /// The session layer's periodic rebuilds call this — a maintained
+  /// hull chain is already sorted, so paying a sort to re-derive it
+  /// would double the rebuild's work for nothing. Output and
+  /// determinism contracts are identical to upper_hull. The default
+  /// implementation defers to upper_hull (correct, no fast path).
+  virtual HullRun upper_hull_presorted(std::span<const geom::Point2> pts,
+                                       std::uint64_t seed, int alpha);
 };
 
 }  // namespace iph::exec

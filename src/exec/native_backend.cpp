@@ -72,14 +72,34 @@ NativeBackend::NativeBackend(unsigned threads) : pool_(threads) {}
 
 HullRun NativeBackend::upper_hull(std::span<const Point2> pts,
                                   std::uint64_t /*seed*/, int /*alpha*/) {
+  const std::size_t n = pts.size();
+  const bool par = n >= kParCutoff && pool_.threads() > 1;
+  const std::vector<std::uint32_t> order =
+      lex_sort_indices(pts, par ? &pool_ : nullptr);
+  return finish(pts, order, par);
+}
+
+HullRun NativeBackend::upper_hull_presorted(std::span<const Point2> pts,
+                                            std::uint64_t /*seed*/,
+                                            int /*alpha*/) {
+  // The caller vouches for lex order, so the permutation is the
+  // identity and the whole sort stage drops out.
+  const std::size_t n = pts.size();
+  const bool par = n >= kParCutoff && pool_.threads() > 1;
+  std::vector<std::uint32_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    order[i] = static_cast<std::uint32_t>(i);
+  }
+  return finish(pts, order, par);
+}
+
+HullRun NativeBackend::finish(std::span<const Point2> pts,
+                              const std::vector<std::uint32_t>& order,
+                              bool par) {
   HullRun out;
   const std::size_t n = pts.size();
   out.hull.edge_above.assign(n, geom::kNone);
   if (n == 0) return out;
-
-  const bool par = n >= kParCutoff && pool_.threads() > 1;
-  const std::vector<std::uint32_t> order =
-      lex_sort_indices(pts, par ? &pool_ : nullptr);
 
   std::vector<Index>& chain = out.hull.upper.vertices;
   if (!par) {

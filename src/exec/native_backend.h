@@ -47,7 +47,16 @@ class NativeBackend final : public Backend {
   HullRun upper_hull(std::span<const geom::Point2> pts, std::uint64_t seed,
                      int alpha) override;
 
+  /// Presorted fast path (backend.h): the radix sort is skipped and the
+  /// chunked scan runs over the identity permutation. Same concurrency
+  /// and determinism contracts as upper_hull.
+  HullRun upper_hull_presorted(std::span<const geom::Point2> pts,
+                               std::uint64_t seed, int alpha) override;
+
  private:
+  HullRun finish(std::span<const geom::Point2> pts,
+                 const std::vector<std::uint32_t>& order, bool par);
+
   ThreadPool pool_;
 };
 

@@ -20,4 +20,19 @@ HullRun PramBackend::upper_hull(std::span<const geom::Point2> pts,
   return run;
 }
 
+HullRun PramBackend::upper_hull_presorted(std::span<const geom::Point2> pts,
+                                          std::uint64_t seed, int alpha) {
+  m_.reset(seed);
+  Options opts;
+  opts.alpha = alpha;
+  HullRun run;
+  {
+    pram::Machine::Phase phase(m_, "serve/presorted");
+    Hull2D h = iph::upper_hull_2d_presorted(m_, pts, opts);
+    run.hull = std::move(h.result);
+    run.metrics = h.metrics;
+  }
+  return run;
+}
+
 }  // namespace iph::exec

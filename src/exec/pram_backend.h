@@ -35,6 +35,13 @@ class PramBackend final : public Backend {
   HullRun upper_hull(std::span<const geom::Point2> pts, std::uint64_t seed,
                      int alpha) override;
 
+  /// Presorted fast path (backend.h): runs the paper's presorted
+  /// algorithms (core/api upper_hull_2d_presorted — Lemma 2.5 by
+  /// default) instead of the Theorem 5 unsorted pipeline. Same reset /
+  /// metrics semantics as upper_hull.
+  HullRun upper_hull_presorted(std::span<const geom::Point2> pts,
+                               std::uint64_t seed, int alpha) override;
+
  private:
   pram::Machine& m_;
 };

@@ -1,0 +1,174 @@
+#include "session/manager.h"
+
+#include <chrono>
+
+#include "exec/pram_backend.h"
+#include "support/rng.h"
+
+namespace iph::session {
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+const char* session_status_name(SessionStatus s) noexcept {
+  switch (s) {
+    case SessionStatus::kOk:
+      return "ok";
+    case SessionStatus::kRejectedCap:
+      return "cap";
+    case SessionStatus::kUnknownSession:
+      return "unknown";
+    case SessionStatus::kSessionClosed:
+      return "closed";
+    case SessionStatus::kOversizedAppend:
+      return "oversized";
+  }
+  return "?";
+}
+
+SessionManager::SessionManager(const ManagerConfig& cfg,
+                               stats::Registry& registry)
+    : cfg_(cfg),
+      stats_(registry),
+      native_(cfg.native_threads),
+      machine_(cfg.pram_threads, cfg.master_seed) {
+  if (cfg_.default_backend == exec::BackendKind::kDefault) {
+    cfg_.default_backend = exec::BackendKind::kNative;
+  }
+}
+
+SessionStatus SessionManager::open(exec::BackendKind want, OpenInfo* out) {
+  const exec::BackendKind resolved =
+      want == exec::BackendKind::kDefault ? cfg_.default_backend : want;
+  std::uint64_t sid = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (live_.size() >= cfg_.max_sessions) {
+      stats_.rejected_cap.inc();
+      return SessionStatus::kRejectedCap;
+    }
+    sid = next_sid_++;
+    SessionConfig sc = cfg_.session;
+    sc.seed = support::mix3(cfg_.master_seed, 0x73657373ULL /* "sess" */, sid);
+    auto entry = std::make_shared<Entry>(sc);
+    entry->backend = resolved;
+    live_.emplace(sid, std::move(entry));
+    stats_.live_sessions.set(static_cast<std::int64_t>(live_.size()));
+  }
+  stats_.opened.inc();
+  out->sid = sid;
+  out->backend = resolved;
+  return SessionStatus::kOk;
+}
+
+SessionStatus SessionManager::append(std::uint64_t sid,
+                                     std::span<const geom::Point2> pts,
+                                     AppendResult* out) {
+  if (pts.size() > cfg_.max_append_points) {
+    stats_.rejected_oversized.inc();
+    return SessionStatus::kOversizedAppend;
+  }
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (sid == 0 || sid >= next_sid_) {
+      stats_.rejected_unknown.inc();
+      return SessionStatus::kUnknownSession;
+    }
+    auto it = live_.find(sid);
+    if (it == live_.end()) {
+      stats_.rejected_closed.inc();
+      return SessionStatus::kSessionClosed;
+    }
+    entry = it->second;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t aux_before = 0;
+  std::uint64_t aux_after = 0;
+  {
+    std::lock_guard<std::mutex> lk(entry->mu);
+    if (entry->closed) {
+      stats_.rejected_closed.inc();
+      return SessionStatus::kSessionClosed;
+    }
+    aux_before = entry->session.ledger().aux_cells;
+    if (entry->backend == exec::BackendKind::kPram) {
+      // The simulator wants exclusive access; rebuilds are rare enough
+      // that serializing possible-rebuild appends on one machine is
+      // cheaper than a machine per session.
+      std::lock_guard<std::mutex> mk(machine_mu_);
+      exec::PramBackend backend(machine_);
+      *out = entry->session.append(pts, backend);
+    } else {
+      *out = entry->session.append(pts, native_);
+    }
+    aux_after = entry->session.ledger().aux_cells;
+  }
+  stats_.aux_cells.add(static_cast<std::int64_t>(aux_after) -
+                       static_cast<std::int64_t>(aux_before));
+  stats_.appends.inc();
+  stats_.append_points.inc(pts.size());
+  stats_.delta_ops.record(static_cast<double>(out->ops.size()));
+  stats_.append_ms.record(ms_since(t0));
+  if (out->rebuilt) {
+    stats_.rebuilds.inc();
+    stats_.rebuild_ms.record(out->rebuild_ms);
+    (entry->backend == exec::BackendKind::kPram ? stats_.rebuild_pram
+                                                : stats_.rebuild_native)
+        .inc();
+    stats_.fold_pram(out->rebuild_metrics);
+    if (out->rebuild_mismatch) stats_.rebuild_mismatch.inc();
+  }
+  return SessionStatus::kOk;
+}
+
+SessionStatus SessionManager::close(std::uint64_t sid, CloseSummary* out) {
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (sid == 0 || sid >= next_sid_) {
+      stats_.rejected_unknown.inc();
+      return SessionStatus::kUnknownSession;
+    }
+    auto it = live_.find(sid);
+    if (it == live_.end()) {
+      stats_.rejected_closed.inc();
+      return SessionStatus::kSessionClosed;
+    }
+    entry = it->second;
+    live_.erase(it);
+    stats_.live_sessions.set(static_cast<std::int64_t>(live_.size()));
+  }
+  std::uint64_t final_aux = 0;
+  {
+    std::lock_guard<std::mutex> lk(entry->mu);
+    entry->closed = true;
+    const HullSession& s = entry->session;
+    out->points_seen = s.points_seen();
+    out->appends = s.appends();
+    out->rebuilds = s.rebuilds();
+    out->rebuild_mismatches = s.rebuild_mismatches();
+    out->peak_aux_cells = s.ledger().peak_aux;
+    out->upper_size = s.upper_size();
+    out->lower_size = s.lower_size();
+    final_aux = s.ledger().aux_cells;
+  }
+  stats_.aux_cells.add(-static_cast<std::int64_t>(final_aux));
+  stats_.peak_aux_cells.record(static_cast<double>(out->peak_aux_cells));
+  stats_.closed.inc();
+  return SessionStatus::kOk;
+}
+
+std::size_t SessionManager::live() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return live_.size();
+}
+
+}  // namespace iph::session

@@ -1,0 +1,160 @@
+// HullSession — one client's streaming incremental convex hull.
+//
+// The paper's algorithms are batch: hand them n points, get a hull and
+// a space bill. A streaming client appends points a few at a time and
+// wants to *watch* the hull evolve without re-paying O(n) per append.
+// HullSession keeps the full hull (upper + lower chains) of every point
+// it has ever been fed, under the insert-only invariant that makes the
+// state small: a point that falls strictly inside the current hull can
+// never become a vertex later, so the session stores only
+//
+//   - the two hull chains (x-ascending vertex arrays), and
+//   - a bounded pending buffer of recently appended points,
+//
+// never the full point stream. Each append updates both chains
+// incrementally (binary search + bidirectional prune — amortized O(1)
+// structural work per append after the search) and emits a compact
+// DELTA: per chain, the pruned vertices of an upper/lower monotone
+// chain are contiguous, so one appended point produces at most one
+// {position, removed-count, inserted-vertex} op per side. A client that
+// replays the ops in order reconstructs the chains exactly.
+//
+// Periodically (pending buffer full, or a staleness budget of appends
+// exhausted) the session REBUILDS: it merges chain + pending into one
+// lex-sorted span and runs it through exec::Backend::upper_hull_presorted
+// — the paper's presorted machinery (Lemma 2.5) or the native engine's
+// sort-free scan. The rebuild is an in-place-style audit pass, not a
+// repair: its hull must be coordinate-equal to the maintained chain
+// (the incremental structure IS the hull), and any mismatch is surfaced
+// in AppendResult for the caller to count and for tests to assert
+// never happens. Rebuilds clear the pending buffer and reclaim slack
+// capacity, bounding per-session memory by O(hull + pending_limit).
+//
+// Space accounting rides the paper's own ledger: a pram::Metrics used
+// directly as a per-session SpaceLease ledger (no Machine needed) —
+// 2 cells (x, y) per chain vertex, 2 per pending point, plus the
+// transient merge buffer during a rebuild. `ledger().peak_aux` is the
+// session's measured peak workspace in cells, deterministic for a given
+// append sequence and config, so bench baselines can compare it
+// bit-exactly (bench/e15_streaming).
+//
+// Thread safety: none — a session is single-caller state. The
+// SessionManager (manager.h) serializes per-session access.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "exec/backend.h"
+#include "geom/point.h"
+#include "pram/metrics.h"
+
+namespace iph::session {
+
+/// Which hull chain a delta op edits.
+enum class Side : std::uint8_t { kUpper = 0, kLower = 1 };
+
+/// One splice against a chain: at `pos`, remove `removed` vertices,
+/// then insert `point` there. (An appended point either becomes a
+/// vertex — possibly pruning a contiguous run of old vertices — or is
+/// covered and emits no op at all; there is no remove-only case.) Ops
+/// arrive in emission order; replaying them in order against a shadow
+/// copy of the chains keeps the copy exactly in sync (session_test
+/// proves it, clients rely on it).
+struct DeltaOp {
+  Side side = Side::kUpper;
+  std::uint32_t pos = 0;
+  std::uint32_t removed = 0;
+  geom::Point2 point{0.0, 0.0};
+};
+
+/// Per-session policy knobs (manager.h picks the defaults; the wire
+/// layer exposes them as hullserved flags).
+struct SessionConfig {
+  /// Rebuild when the pending buffer would exceed this many points.
+  std::size_t pending_limit = 1024;
+  /// Rebuild after this many appends even if pending stays small
+  /// (staleness bound — keeps the audit cadence predictable for
+  /// long-lived sessions that mostly append covered points).
+  std::uint64_t staleness_limit = 256;
+  /// Paper knob forwarded to the rebuild backend.
+  int alpha = 2;
+  /// Session seed; per-rebuild seeds derive from it.
+  std::uint64_t seed = 0;
+};
+
+/// What one append did. `ops` is the client-facing delta; the rebuild
+/// fields describe the audit pass when one triggered on this append.
+struct AppendResult {
+  std::vector<DeltaOp> ops;
+  bool rebuilt = false;
+  /// True iff the rebuild hull differed from the maintained chains —
+  /// an incremental-update bug. The chains are left as maintained (the
+  /// client's replayed state stays consistent); the caller counts it.
+  bool rebuild_mismatch = false;
+  double rebuild_ms = 0.0;
+  /// The rebuild engine's cost metrics (all-zero for the native
+  /// backend, real PRAM counters for pram) — folded into session stats.
+  pram::Metrics rebuild_metrics;
+};
+
+class HullSession {
+ public:
+  explicit HullSession(const SessionConfig& cfg);
+
+  /// Append a batch of points: update both chains incrementally,
+  /// append to the pending buffer, and run a rebuild through `backend`
+  /// if a threshold trips. Returns the delta (ops across the whole
+  /// batch, in order). The backend is only touched when a rebuild
+  /// triggers; for pram backends the caller must hold the machine for
+  /// the duration of the call.
+  AppendResult append(std::span<const geom::Point2> pts,
+                      exec::Backend& backend);
+
+  /// Current chains in real coordinates, x-ascending. Upper chain
+  /// holds the topmost point per column; lower the bottommost.
+  const std::vector<geom::Point2>& upper() const noexcept { return upper_; }
+  std::vector<geom::Point2> lower() const;  // unflipped copy
+  std::size_t upper_size() const noexcept { return upper_.size(); }
+  std::size_t lower_size() const noexcept { return lower_flip_.size(); }
+
+  std::uint64_t points_seen() const noexcept { return points_seen_; }
+  std::uint64_t appends() const noexcept { return appends_; }
+  std::uint64_t rebuilds() const noexcept { return rebuilds_; }
+  std::uint64_t rebuild_mismatches() const noexcept { return mismatches_; }
+  std::size_t pending_size() const noexcept { return pending_.size(); }
+
+  /// The session's SpaceLease-style ledger: `aux_cells` is the live
+  /// footprint (2 per chain vertex + 2 per pending point), `peak_aux`
+  /// the watermark including transient rebuild merge buffers.
+  const pram::Metrics& ledger() const noexcept { return ledger_; }
+
+ private:
+  /// Incremental insert of `p` (already flipped for the lower chain)
+  /// into chain `v`. Returns true and fills pos/removed if the chain
+  /// changed; false if `p` is covered.
+  static bool chain_insert(std::vector<geom::Point2>& v, geom::Point2 p,
+                           std::uint32_t* pos, std::uint32_t* removed);
+
+  void rebuild(exec::Backend& backend, AppendResult* res);
+  /// Audit one chain: hull of (chain ∪ pending), both in flipped space
+  /// for the lower side, must equal the maintained chain.
+  bool rebuild_side(exec::Backend& backend, Side side, AppendResult* res);
+
+  SessionConfig cfg_;
+  std::vector<geom::Point2> upper_;
+  /// Lower chain stored y-NEGATED so both chains share the upper-hull
+  /// insert logic verbatim (negating a double is exact). Accessors and
+  /// emitted deltas flip back to real coordinates.
+  std::vector<geom::Point2> lower_flip_;
+  std::vector<geom::Point2> pending_;
+  std::uint64_t points_seen_ = 0;
+  std::uint64_t appends_ = 0;
+  std::uint64_t appends_since_rebuild_ = 0;
+  std::uint64_t rebuilds_ = 0;
+  std::uint64_t mismatches_ = 0;
+  pram::Metrics ledger_;
+};
+
+}  // namespace iph::session

@@ -1,0 +1,64 @@
+#include "session/stats.h"
+
+#include <string>
+
+namespace iph::session {
+
+namespace {
+
+using stats::labeled;
+
+}  // namespace
+
+std::vector<double> space_cells_bounds() {
+  std::vector<double> b;
+  for (double v = 16; v <= 64.0 * 1024 * 1024; v *= 4) b.push_back(v);
+  return b;
+}
+
+SessionStats::SessionStats(stats::Registry& registry)
+    : opened(registry.counter(statnames::kOpened)),
+      closed(registry.counter(statnames::kClosed)),
+      rejected_cap(registry.counter(
+          labeled(statnames::kRejectedBase, "reason", "cap"))),
+      rejected_unknown(registry.counter(
+          labeled(statnames::kRejectedBase, "reason", "unknown"))),
+      rejected_closed(registry.counter(
+          labeled(statnames::kRejectedBase, "reason", "closed"))),
+      rejected_oversized(registry.counter(
+          labeled(statnames::kRejectedBase, "reason", "oversized"))),
+      appends(registry.counter(statnames::kAppends)),
+      append_points(registry.counter(statnames::kAppendPoints)),
+      rebuilds(registry.counter(statnames::kRebuilds)),
+      rebuild_mismatch(registry.counter(statnames::kRebuildMismatch)),
+      rebuild_pram(registry.counter(
+          labeled(statnames::kRebuildBackendBase, "backend", "pram"))),
+      rebuild_native(registry.counter(
+          labeled(statnames::kRebuildBackendBase, "backend", "native"))),
+      live_sessions(registry.gauge(statnames::kLiveSessions)),
+      aux_cells(registry.gauge(statnames::kAuxCells)),
+      delta_ops(registry.histogram(statnames::kDeltaOps,
+                                   stats::batch_size_bounds())),
+      append_ms(registry.histogram(statnames::kAppendMs,
+                                   stats::latency_bounds_ms())),
+      rebuild_ms(registry.histogram(statnames::kRebuildMs,
+                                    stats::latency_bounds_ms())),
+      peak_aux_cells(registry.histogram(statnames::kPeakAuxCells,
+                                        space_cells_bounds())) {
+  // One counter per summable pram::Metrics counter, in the visitor's
+  // fixed order; fold_pram walks the same order by index.
+  pram::for_each_summable_counter(
+      pram::Metrics{}, [&](const char* name, std::uint64_t) {
+        pram_counters_.push_back(&registry.counter(
+            std::string(statnames::kPramPrefix) + name + "_total"));
+      });
+}
+
+void SessionStats::fold_pram(const pram::Metrics& m) noexcept {
+  std::size_t i = 0;
+  pram::for_each_summable_counter(m, [&](const char*, std::uint64_t v) {
+    pram_counters_[i++]->inc(v);
+  });
+}
+
+}  // namespace iph::session

@@ -1,0 +1,91 @@
+// Session-level metric bundle for iph::session.
+//
+// Same shape as serve/stats.h: SessionStats registers the streaming
+// stack's instruments in a caller-provided stats::Registry and hands
+// out typed references. hullserved registers it in the HullService's
+// registry so one `statz` scrape covers batch and streaming traffic.
+//
+// Reconciliation invariants (asserted by session_test, hullload
+// --stream --scrape and the CI serve-smoke job):
+//   opened == closed + live_sessions
+//   appends == delta_ops.count == append_ms.count
+//   closed  == peak_aux_cells.count     (one watermark per session)
+//   rebuilds == rebuild_ms.count
+//           == rebuild_backend{pram} + rebuild_backend{native}
+//   aux_cells == sum over LIVE sessions of their ledger level
+//               (drops to 0 when every session is closed)
+// All counters are bumped BEFORE the corresponding wire response is
+// written, so a client that has collected its responses reads
+// fully-settled counters.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pram/metrics.h"
+#include "stats/stats.h"
+
+namespace iph::session {
+
+namespace statnames {
+inline constexpr const char* kOpened = "iph_session_opened_total";
+inline constexpr const char* kClosed = "iph_session_closed_total";
+/// Admission/validation rejects, labeled reason=cap|unknown|closed|oversized.
+inline constexpr const char* kRejectedBase = "iph_session_rejected_total";
+inline constexpr const char* kAppends = "iph_session_appends_total";
+inline constexpr const char* kAppendPoints = "iph_session_append_points_total";
+inline constexpr const char* kRebuilds = "iph_session_rebuilds_total";
+inline constexpr const char* kRebuildMismatch =
+    "iph_session_rebuild_mismatch_total";
+/// Which engine ran each rebuild, labeled backend=pram|native.
+inline constexpr const char* kRebuildBackendBase =
+    "iph_session_rebuild_backend_total";
+inline constexpr const char* kLiveSessions = "iph_session_live_sessions";
+/// Live session workspace, in ledger cells, summed over open sessions.
+inline constexpr const char* kAuxCells = "iph_session_aux_cells";
+inline constexpr const char* kDeltaOps = "iph_session_delta_ops";
+inline constexpr const char* kAppendMs = "iph_session_append_ms";
+inline constexpr const char* kRebuildMs = "iph_session_rebuild_ms";
+/// Per-session peak workspace (ledger peak_aux), recorded at close.
+inline constexpr const char* kPeakAuxCells = "iph_session_peak_aux_cells";
+inline constexpr const char* kPramPrefix = "iph_session_pram_";
+}  // namespace statnames
+
+/// Bucket ladder for workspace-cell histograms (powers of four up to
+/// 64M cells — sessions are small by design; the ladder shows it).
+std::vector<double> space_cells_bounds();
+
+class SessionStats {
+ public:
+  explicit SessionStats(stats::Registry& registry);
+
+  stats::Counter& opened;
+  stats::Counter& closed;
+  stats::Counter& rejected_cap;
+  stats::Counter& rejected_unknown;
+  stats::Counter& rejected_closed;
+  stats::Counter& rejected_oversized;
+  stats::Counter& appends;
+  stats::Counter& append_points;
+  stats::Counter& rebuilds;
+  stats::Counter& rebuild_mismatch;
+  stats::Counter& rebuild_pram;
+  stats::Counter& rebuild_native;
+
+  stats::Gauge& live_sessions;
+  stats::Gauge& aux_cells;
+
+  stats::Histogram& delta_ops;
+  stats::Histogram& append_ms;
+  stats::Histogram& rebuild_ms;
+  stats::Histogram& peak_aux_cells;
+
+  /// Fold a rebuild's PRAM counters into iph_session_pram_*_total
+  /// (same visitor-order scheme as serve::ServeStats::fold_pram).
+  void fold_pram(const pram::Metrics& m) noexcept;
+
+ private:
+  std::vector<stats::Counter*> pram_counters_;
+};
+
+}  // namespace iph::session

@@ -35,9 +35,13 @@
 // concurrent-upper_hull case below are exactly what TSan is here for.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -51,6 +55,7 @@
 #include "seq/upper_hull.h"
 #include "support/env.h"
 #include "support/rng.h"
+#include "trace/json.h"
 
 namespace iph::exec {
 namespace {
@@ -305,6 +310,150 @@ TEST(ExecDiff, ConcurrentCallersShareOneEngine) {
   }
   for (std::thread& th : threads) th.join();
   for (int t = 0; t < 8; ++t) EXPECT_EQ(bad[t], 0) << "thread " << t;
+}
+
+// --- the presorted seam ------------------------------------------------
+
+/// Differential check for Backend::upper_hull_presorted — the entry the
+/// session rebuild audit rides. Input must already be lex-sorted; the
+/// chains from both backends must match each other and the sequential
+/// presorted scan, coordinate for coordinate.
+void expect_presorted_equivalent(std::vector<geom::Point2> pts,
+                                 std::uint64_t seed,
+                                 const std::string& label) {
+  std::sort(pts.begin(), pts.end(),
+            [](const geom::Point2& a, const geom::Point2& b) {
+              return geom::lex_less(a, b);
+            });
+  const HullRun nat = native().upper_hull_presorted(pts, seed, /*alpha=*/8);
+  pram::Machine m;
+  PramBackend oracle(m);
+  const HullRun ora = oracle.upper_hull_presorted(pts, seed, /*alpha=*/8);
+
+  std::string err;
+  EXPECT_TRUE(geom::validate_upper_hull(pts, nat.hull.upper, &err))
+      << label << " (native presorted): " << err;
+  EXPECT_TRUE(geom::validate_upper_hull(pts, ora.hull.upper, &err))
+      << label << " (pram presorted): " << err;
+  expect_coords_equal(chain_coords(pts, nat.hull.upper),
+                      chain_coords(pts, ora.hull.upper),
+                      label + " (native vs pram presorted)");
+  expect_coords_equal(chain_coords(pts, nat.hull.upper),
+                      chain_coords(pts, seq::upper_hull_presorted(pts)),
+                      label + " (presorted vs seq presorted)");
+  // And the presorted path must agree with the general entry on the
+  // same (sorted) input — sorting twice is allowed, diverging is not.
+  expect_coords_equal(chain_coords(pts, nat.hull.upper),
+                      chain_coords(pts, run_native(pts, seed).hull.upper),
+                      label + " (presorted vs unsorted entry)");
+}
+
+TEST(ExecDiff, PresortedSeamMatchesAllOracles) {
+  for (const geom::Family2D f : geom::kAllFamilies2D) {
+    for (const std::size_t n : {std::size_t{0}, std::size_t{1},
+                                std::size_t{2}, std::size_t{17},
+                                std::size_t{500}, std::size_t{4096}}) {
+      if (f == geom::Family2D::kConvexK && n < 2) continue;
+      expect_presorted_equivalent(
+          geom::make2d(f, n, 29), 29,
+          geom::family_name(f) + " presorted n=" + std::to_string(n));
+    }
+  }
+  // Duplicate-heavy and column-heavy inputs stress the sorted-ties path.
+  expect_presorted_equivalent(
+      std::vector<geom::Point2>(64, geom::Point2{1.0, 1.0}), 5,
+      "presorted all-equal");
+  expect_presorted_equivalent(near_collinear(2000, 7), 7,
+                              "presorted near-collinear");
+}
+
+// --- repro files -------------------------------------------------------
+
+void write_repro(const std::string& dir, std::uint64_t fuzz_seed,
+                 geom::Family2D f, std::size_t n, std::uint64_t seed,
+                 std::span<const geom::Point2> pts);
+
+/// Load a repro JSON written by write_repro (or session_test's
+/// equivalent) back into a point set. Returns false with a message on
+/// any malformed shape — the loader is itself under test below.
+bool load_repro(const std::string& path, std::vector<geom::Point2>* pts,
+                std::uint64_t* seed, std::string* err) {
+  std::ifstream in(path);
+  if (!in) {
+    *err = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  trace::Json j;
+  if (!trace::Json::parse(buf.str(), &j, err)) return false;
+  const trace::Json* points = j.find("points");
+  if (points == nullptr || !points->is_array()) {
+    *err = "missing points array";
+    return false;
+  }
+  pts->clear();
+  pts->reserve(points->size());
+  for (const trace::Json& p : points->items()) {
+    if (!p.is_array() || p.size() != 2 || !p.at(0).is_number() ||
+        !p.at(1).is_number()) {
+      *err = "malformed point entry";
+      return false;
+    }
+    pts->push_back({p.at(0).as_double(), p.at(1).as_double()});
+  }
+  *seed = static_cast<std::uint64_t>(j.get_num("seed", 0));
+  return true;
+}
+
+// Round-trip: write_repro -> load_repro must reproduce the exact
+// doubles (%.17g is bit-faithful), and the replay must pass the full
+// differential check — proving a CI-uploaded artifact is sufficient to
+// rerun a failure standalone.
+TEST(ExecDiff, ReproWriteLoadReplayRoundTrip) {
+  const std::string dir = ::testing::TempDir();
+  const std::uint64_t fz = 0xfeedULL;
+  const std::vector<geom::Point2> pts = near_collinear(257, 13);
+  write_repro(dir, fz, geom::Family2D::kDisk, pts.size(), 13, pts);
+
+  std::vector<geom::Point2> loaded;
+  std::uint64_t seed = 0;
+  std::string err;
+  ASSERT_TRUE(load_repro(dir + "/exec_diff_repro_" + std::to_string(fz) +
+                             ".json",
+                         &loaded, &seed, &err))
+      << err;
+  EXPECT_EQ(seed, 13u);
+  ASSERT_EQ(loaded.size(), pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_EQ(loaded[i].x, pts[i].x) << "point " << i << " x not bit-exact";
+    EXPECT_EQ(loaded[i].y, pts[i].y) << "point " << i << " y not bit-exact";
+  }
+  expect_equivalent(loaded, seed, "repro round-trip replay");
+}
+
+// Replay every repro file found under IPH_EXEC_REPRO_DIR through the
+// full differential check. Past fuzz failures (exec_diff's and
+// session_test's — same file shape) become standing regressions just by
+// leaving the artifact in the directory.
+TEST(ExecDiff, ReproDirReplaysStandalone) {
+  const std::string dir = support::env_string("IPH_EXEC_REPRO_DIR", "");
+  if (dir.empty() || !std::filesystem::is_directory(dir)) {
+    GTEST_SKIP() << "IPH_EXEC_REPRO_DIR not set";
+  }
+  std::size_t replayed = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".json") continue;
+    std::vector<geom::Point2> pts;
+    std::uint64_t seed = 0;
+    std::string err;
+    ASSERT_TRUE(load_repro(entry.path().string(), &pts, &seed, &err))
+        << entry.path() << ": " << err;
+    expect_equivalent(pts, seed, "repro " + entry.path().string());
+    ++replayed;
+  }
+  std::printf("exec_diff repro: replayed %zu file(s) from %s\n", replayed,
+              dir.c_str());
 }
 
 // --- time-bounded fuzz -------------------------------------------------

@@ -337,6 +337,44 @@ TEST(HullService, ShutdownWithoutDrainAbandonsTheBacklog) {
   EXPECT_EQ(answered, futs.size());  // abandoned, never silent
 }
 
+// Regression: shutdown must settle the occupancy gauges no matter how
+// it exits. Drain executes the backlog; abandon answers it without
+// executing — either way no queue slot or shard lease may stay
+// "occupied" in the registry once shutdown() returns (hullload --scrape
+// and the session smoke both assert the gauges at zero afterwards).
+TEST(HullService, ShutdownSettlesGaugesAfterDrainAndAbandon) {
+  namespace sn = statnames;
+  for (const bool drain : {true, false}) {
+    ServiceConfig cfg = small_config();
+    cfg.workers = 1;
+    cfg.shards = 1;
+    cfg.batch.window = 50ms;  // keep a real backlog queued at shutdown
+    cfg.batch.max_batch_requests = 1;
+    HullService svc(cfg);
+    std::vector<std::future<Response>> futs;
+    for (int i = 0; i < 24; ++i) {
+      futs.push_back(svc.submit(make_request(0, 64, 4)));
+    }
+    svc.shutdown(drain);
+    for (auto& f : futs) {
+      ASSERT_EQ(f.wait_for(0s), std::future_status::ready);
+      f.get();
+    }
+    const stats::RegistrySnapshot snap = svc.stats_registry().snapshot();
+    const std::int64_t* small_depth = snap.gauge(
+        stats::labeled(sn::kQueueDepthBase, "queue", "small"));
+    const std::int64_t* large_depth = snap.gauge(
+        stats::labeled(sn::kQueueDepthBase, "queue", "large"));
+    const std::int64_t* leased = snap.gauge(sn::kShardsLeased);
+    ASSERT_NE(small_depth, nullptr);
+    ASSERT_NE(large_depth, nullptr);
+    ASSERT_NE(leased, nullptr);
+    EXPECT_EQ(*small_depth, 0) << "drain=" << drain;
+    EXPECT_EQ(*large_depth, 0) << "drain=" << drain;
+    EXPECT_EQ(*leased, 0) << "drain=" << drain;
+  }
+}
+
 TEST(HullService, BatchingCoalescesABurst) {
   ServiceConfig cfg = small_config();
   cfg.workers = 1;

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "serve/stats.h"
+#include "session/stats.h"
 #include "stats/export.h"
 #include "stats/stats.h"
 #include "trace/json.h"
@@ -192,6 +193,91 @@ void render_serving_table(const Json& doc, std::FILE* out) {
   }
 }
 
+/// A row is a streaming row iff it carries the `delta_vs_scratch`
+/// counter (the e15-style session benches).
+const Json* streaming_counters(const Json& row) {
+  const Json* counters = row.find("counters");
+  if (counters != nullptr && counters->find("delta_vs_scratch") != nullptr) {
+    return counters;
+  }
+  return nullptr;
+}
+
+bool has_streaming_rows(const Json& doc) {
+  if (const Json* rows = doc.find("rows")) {
+    for (const Json& row : rows->items()) {
+      if (streaming_counters(row) != nullptr) return true;
+    }
+  }
+  return false;
+}
+
+/// Streaming detail for session benches: amortized delta-append cost vs
+/// the from-scratch rebuild it replaces, plus the delta/rebuild volume
+/// and the per-session workspace watermark.
+void render_streaming_table(const Json& doc, std::FILE* out) {
+  std::fprintf(out, "\nStreaming appends (delta vs from-scratch):\n\n");
+  std::fprintf(out,
+               "| row | append ms | scratch ms | ratio | delta ops | "
+               "rebuilds | peak aux |\n");
+  std::fprintf(out, "|---|---|---|---|---|---|---|\n");
+  const Json* rows = doc.find("rows");
+  if (rows == nullptr) return;
+  for (const Json& row : rows->items()) {
+    const Json* c = streaming_counters(row);
+    if (c == nullptr) continue;
+    std::fprintf(out,
+                 "| %s | %.4f | %.3f | %.4f | %.0f | %.0f | %s |\n",
+                 row.get_str("name").c_str(), c->get_num("append_ms"),
+                 c->get_num("scratch_ms"), c->get_num("delta_vs_scratch"),
+                 c->get_num("delta_ops"), c->get_num("rebuilds"),
+                 format_cells(c->get_num("peak_aux", -1)).c_str());
+  }
+}
+
+/// A stats snapshot is a session snapshot iff any session instrument
+/// was ever touched (sessions opened — the open counter moves first).
+bool is_session_snapshot(const iph::stats::RegistrySnapshot& snap) {
+  return snap.counter_or0(iph::session::statnames::kOpened) > 0;
+}
+
+/// Session-registry detail: the counters hullload --stream reconciles
+/// live, preserved in the run report.
+void render_session_stats_table(
+    const std::vector<std::pair<std::string, iph::stats::RegistrySnapshot>>&
+        stats,
+    std::FILE* out) {
+  namespace sn = iph::session::statnames;
+  std::fprintf(out, "\nStreaming stats (server-side session registry):\n\n");
+  std::fprintf(out,
+               "| tag | opened | closed | appends | points | rebuilds | "
+               "mismatches | delta ops p99 | append p99 ms |\n");
+  std::fprintf(out, "|---|---|---|---|---|---|---|---|---|\n");
+  for (const auto& [tag, snap] : stats) {
+    if (!is_session_snapshot(snap)) continue;
+    double ops_p99 = 0, append_p99 = 0;
+    if (const iph::stats::HistogramSnapshot* h =
+            snap.histogram(sn::kDeltaOps)) {
+      ops_p99 = h->quantile(0.99);
+    }
+    if (const iph::stats::HistogramSnapshot* h =
+            snap.histogram(sn::kAppendMs)) {
+      append_p99 = h->quantile(0.99);
+    }
+    std::fprintf(
+        out, "| %s | %llu | %llu | %llu | %llu | %llu | %llu | %.1f | %.2f |\n",
+        tag.c_str(),
+        static_cast<unsigned long long>(snap.counter_or0(sn::kOpened)),
+        static_cast<unsigned long long>(snap.counter_or0(sn::kClosed)),
+        static_cast<unsigned long long>(snap.counter_or0(sn::kAppends)),
+        static_cast<unsigned long long>(snap.counter_or0(sn::kAppendPoints)),
+        static_cast<unsigned long long>(snap.counter_or0(sn::kRebuilds)),
+        static_cast<unsigned long long>(
+            snap.counter_or0(sn::kRebuildMismatch)),
+        ops_p99, append_p99);
+  }
+}
+
 /// Server-side registry detail: one line per attached stats snapshot
 /// (bench::attach_stats tag), with the reject counters by reason, the
 /// batch-size distribution, and the server-recorded e2e latency tail —
@@ -326,7 +412,21 @@ void render_markdown(const std::vector<Loaded>& reports, std::FILE* out) {
       }
     }
     if (has_serving_rows(r.doc)) render_serving_table(r.doc, out);
-    if (!r.stats.empty()) render_stats_table(r.stats, out);
+    if (has_streaming_rows(r.doc)) render_streaming_table(r.doc, out);
+    if (!r.stats.empty()) {
+      // Session snapshots (e15) get the streaming columns; everything
+      // else renders with the batch-serving columns (e14).
+      std::vector<std::pair<std::string, iph::stats::RegistrySnapshot>>
+          serve_stats, session_stats;
+      for (const auto& entry : r.stats) {
+        (is_session_snapshot(entry.second) ? session_stats : serve_stats)
+            .push_back(entry);
+      }
+      if (!serve_stats.empty()) render_stats_table(serve_stats, out);
+      if (!session_stats.empty()) {
+        render_session_stats_table(session_stats, out);
+      }
+    }
     if (r.baseline_checked) {
       std::fprintf(out, "\nBaseline: %zu rows compared, %zu diff%s%s\n",
                    r.baseline.rows_compared, r.baseline.diffs.size(),

@@ -100,4 +100,70 @@ if(NOT err MATCHES "n=64")
           "malformed stats block: stderr does not name the bad tag: ${err}")
 endif()
 
+# Case 6: a streaming (e15-style) report renders the streaming table —
+# and the same report with a malformed session stats block is broken
+# input (exit 3), not a silently skipped table.
+file(WRITE "${WORK_DIR}/stream/BENCH_stream.json"
+"{\"schema\": \"iph-bench-report-v1\", \"bench\": \"stream\",
+  \"claims_enforced\": true, \"rows\": [
+    {\"name\": \"s/4096\", \"function\": \"s\", \"args\": \"4096\",
+     \"label\": \"\", \"x\": 4096, \"wall_ms\": 5.0,
+     \"counters\": {\"append_ms\": 0.02, \"scratch_ms\": 1.0,
+                    \"delta_vs_scratch\": 0.02, \"delta_ops\": 151,
+                    \"rebuilds\": 4, \"peak_aux\": 4262}}],
+  \"claims\": [],
+  \"stats\": {\"n=4096\": {\"schema\": \"iph-stats-v1\",
+    \"counters\": {\"iph_session_opened_total\": 1,
+                   \"iph_session_closed_total\": 1,
+                   \"iph_session_appends_total\": 64,
+                   \"iph_session_append_points_total\": 4096,
+                   \"iph_session_rebuilds_total\": 4},
+    \"gauges\": {}, \"histograms\": {}}}}")
+execute_process(
+  COMMAND "${BENCHREPORT}" --check "${WORK_DIR}/stream/BENCH_stream.json"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "streaming report: expected exit 0, got ${rc}\nstderr: ${err}")
+endif()
+if(NOT out MATCHES "Streaming appends")
+  message(FATAL_ERROR "streaming report: streaming table missing:\n${out}")
+endif()
+if(NOT out MATCHES "Streaming stats")
+  message(FATAL_ERROR
+          "streaming report: session stats table missing:\n${out}")
+endif()
+if(NOT out MATCHES "4.26k")
+  message(FATAL_ERROR
+          "streaming report: peak aux cell missing/wrong:\n${out}")
+endif()
+
+file(WRITE "${WORK_DIR}/badstream/BENCH_badstream.json"
+"{\"schema\": \"iph-bench-report-v1\", \"bench\": \"badstream\",
+  \"claims_enforced\": true, \"rows\": [
+    {\"name\": \"s/4096\", \"function\": \"s\", \"args\": \"4096\",
+     \"label\": \"\", \"x\": 4096, \"wall_ms\": 5.0,
+     \"counters\": {\"delta_vs_scratch\": 0.02}}],
+  \"claims\": [],
+  \"stats\": {\"stream\": {\"schema\": \"iph-stats-v1\",
+    \"counters\": {\"iph_session_opened_total\": 1},
+    \"gauges\": {},
+    \"histograms\": {\"iph_session_append_ms\": \"not-a-histogram\"}}}}")
+execute_process(
+  COMMAND "${BENCHREPORT}" "${WORK_DIR}/badstream/BENCH_badstream.json"
+  RESULT_VARIABLE rc
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 3)
+  message(FATAL_ERROR
+          "malformed streaming stats: expected exit 3, got ${rc}\n"
+          "stderr: ${err}")
+endif()
+if(NOT err MATCHES "stream")
+  message(FATAL_ERROR
+          "malformed streaming stats: stderr does not name the bad tag: "
+          "${err}")
+endif()
+
 message(STATUS "benchreport bad-input behavior ok")

@@ -33,6 +33,18 @@
 // engine(s) that absorbed the run (the CI serve-smoke job uploads it
 // as an artifact).
 //
+// --stream switches to the streaming-session protocol (src/session):
+// each client opens ONE session, issues --requests appends of
+// --append-points points each (closed loop, or paced by --qps), then
+// closes it. The latency percentiles are per-append DELTA latencies
+// (send append -> delta applied), and the summary adds delta-op,
+// rebuild and peak-workspace accounting from the close summaries.
+// --scrape reconciles the iph_session_* registry counters instead:
+// opened/closed == clients, appends == client ok count, append_points
+// == appends x --append-points, zero rejects, zero rebuild
+// mismatches, and both session gauges (live_sessions, aux_cells) back
+// at zero after the run.
+//
 // Exit codes: 0 done, 1 with --expect-all-ok if any request was
 // rejected/expired/errored or with --scrape on reconcile/tolerance
 // failure, 2 usage error, 3 connect failure.
@@ -59,6 +71,7 @@
 #include "serve/request.h"
 #include "serve/service.h"
 #include "serve_wire.h"
+#include "session/manager.h"
 #include "trace/json.h"
 
 namespace {
@@ -90,6 +103,10 @@ struct Options {
   double scrape_tol = 8.0;   // p99 ratio tolerance; 0 disables
   std::string scrape_out;    // write diffed snapshot JSON here
   ServiceConfig cfg;  // in-process service shape
+  /// Streaming-session mode: one session per client, --requests
+  /// appends of `append_points` points each.
+  bool stream = false;
+  std::size_t append_points = 16;
 };
 
 int usage(const char* argv0) {
@@ -100,6 +117,7 @@ int usage(const char* argv0) {
       "          [--connect HOST:PORT | --shards N --workers N --threads N\n"
       "           --capacity N --window-us U --no-large]\n"
       "          [--backend pram|native|default]\n"
+      "          [--stream] [--append-points K]\n"
       "          [--expect-all-ok] [--json]\n"
       "          [--scrape] [--scrape-tol R] [--scrape-out FILE]\n",
       argv0);
@@ -111,6 +129,10 @@ struct Tally {
   std::uint64_t ok = 0, rejected_full = 0, rejected_shutdown = 0,
                 expired = 0, errors = 0;
   std::vector<double> ok_e2e_ms;
+  // --stream extras (zero in batch mode): delta-op count across ok
+  // appends, rebuild audits observed, the close summaries' totals.
+  std::uint64_t delta_ops = 0, rebuilds = 0, mismatches = 0, points = 0;
+  std::uint64_t peak_aux_max = 0;
 
   void count(std::string_view status, double e2e_ms) {
     if (status == "ok") {
@@ -134,6 +156,11 @@ struct Tally {
     errors += o.errors;
     ok_e2e_ms.insert(ok_e2e_ms.end(), o.ok_e2e_ms.begin(),
                      o.ok_e2e_ms.end());
+    delta_ops += o.delta_ops;
+    rebuilds += o.rebuilds;
+    mismatches += o.mismatches;
+    points += o.points;
+    peak_aux_max = std::max(peak_aux_max, o.peak_aux_max);
   }
 };
 
@@ -314,6 +341,178 @@ Tally run_client_tcp(const Options& opt, int client,
   return t;
 }
 
+/// One streaming client against an in-process SessionManager: open,
+/// --requests appends (paced when --qps is set), close. ok/latency
+/// tally entries are per-append delta latencies.
+Tally run_stream_inproc(iph::session::SessionManager& mgr,
+                        const Options& opt, int client,
+                        Clock::time_point start) {
+  Tally t;
+  iph::session::OpenInfo info;
+  if (mgr.open(opt.backend, &info) != iph::session::SessionStatus::kOk) {
+    ++t.errors;
+    return t;
+  }
+  for (int i = 0; i < opt.requests; ++i) {
+    const std::uint64_t append_seed =
+        opt.seed + static_cast<std::uint64_t>(client) *
+                       static_cast<std::uint64_t>(opt.requests) +
+        static_cast<std::uint64_t>(i) + 1;
+    std::vector<iph::geom::Point2> pts;
+    if (!iph::tools::make_workload(opt.workload, opt.append_points,
+                                   append_seed, &pts)) {
+      std::abort();  // workload validated in main()
+    }
+    if (opt.qps > 0) {
+      std::this_thread::sleep_until(send_at(start, opt, client, i));
+    }
+    const auto t0 = Clock::now();
+    iph::session::AppendResult res;
+    if (mgr.append(info.sid, pts, &res) !=
+        iph::session::SessionStatus::kOk) {
+      ++t.errors;
+      continue;
+    }
+    t.count("ok", iph::serve::ms_between(t0, Clock::now()));
+    t.delta_ops += res.ops.size();
+    if (res.rebuilt) ++t.rebuilds;
+    if (res.rebuild_mismatch) ++t.mismatches;
+  }
+  iph::session::CloseSummary sum;
+  if (mgr.close(info.sid, &sum) != iph::session::SessionStatus::kOk) {
+    ++t.errors;
+    return t;
+  }
+  t.points += sum.points_seen;
+  t.peak_aux_max = std::max(t.peak_aux_max, sum.peak_aux_cells);
+  return t;
+}
+
+/// One streaming client over TCP. The session handshake (open, close)
+/// is synchronous; the append phase is closed loop or, with --qps,
+/// open loop with the same FIFO reader-thread pairing as batch mode.
+Tally run_stream_tcp(const Options& opt, int client,
+                     Clock::time_point start, std::atomic<bool>* failed) {
+  Tally t;
+  const int fd = connect_to(opt.connect);
+  if (fd < 0) {
+    failed->store(true);
+    return t;
+  }
+  LineChannel chan(fd, fd);
+  std::string line;
+  auto round_trip = [&](const Json& j) -> bool {
+    return chan.write_line(j.dump()) && chan.read_line(&line);
+  };
+
+  Json open = Json::object();
+  open["cmd"] = Json("session_open");
+  if (opt.backend != iph::exec::BackendKind::kDefault) {
+    open["backend"] = Json(iph::exec::backend_name(opt.backend));
+  }
+  Json reply;
+  std::string err;
+  if (!round_trip(open) || !Json::parse(line, &reply, &err) ||
+      reply.get_str("status") != "ok") {
+    ++t.errors;
+    ::close(fd);
+    return t;
+  }
+  const auto sid = static_cast<std::uint64_t>(reply.get_num("sid", 0));
+
+  auto append_line = [&](int i) {
+    const std::uint64_t append_seed =
+        opt.seed + static_cast<std::uint64_t>(client) *
+                       static_cast<std::uint64_t>(opt.requests) +
+        static_cast<std::uint64_t>(i) + 1;
+    Json j = Json::object();
+    j["cmd"] = Json("session_append");
+    j["sid"] = Json(sid);
+    j["n"] = Json(static_cast<std::uint64_t>(opt.append_points));
+    j["workload"] = Json(opt.workload);
+    j["seed"] = Json(append_seed);
+    return j.dump();
+  };
+  auto tally_append = [&](const std::string& resp_line, double ms) {
+    Json j;
+    std::string perr;
+    if (!Json::parse(resp_line, &j, &perr) ||
+        j.get_str("status") != "ok") {
+      ++t.errors;
+      return;
+    }
+    t.count("ok", ms);
+    if (const Json* d = j.find("delta"); d != nullptr && d->is_array()) {
+      t.delta_ops += d->size();
+    }
+    const Json* rb = j.find("rebuilt");
+    if (rb != nullptr && rb->as_bool()) ++t.rebuilds;
+  };
+
+  if (opt.qps <= 0) {  // closed loop
+    for (int i = 0; i < opt.requests; ++i) {
+      const auto t0 = Clock::now();
+      if (!chan.write_line(append_line(i)) || !chan.read_line(&line)) {
+        failed->store(true);
+        break;
+      }
+      tally_append(line, iph::serve::ms_between(t0, Clock::now()));
+    }
+  } else {  // open loop, FIFO positional matching
+    std::deque<Clock::time_point> sent;
+    std::mutex mu;
+    std::thread reader([&] {
+      std::string rline;
+      for (int i = 0; i < opt.requests; ++i) {
+        if (!chan.read_line(&rline)) {
+          failed->store(true);
+          return;
+        }
+        Clock::time_point t0;
+        {
+          std::lock_guard<std::mutex> lk(mu);
+          t0 = sent.front();
+          sent.pop_front();
+        }
+        tally_append(rline, iph::serve::ms_between(t0, Clock::now()));
+      }
+    });
+    for (int i = 0; i < opt.requests; ++i) {
+      std::this_thread::sleep_until(send_at(start, opt, client, i));
+      const std::string out = append_line(i);
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        sent.push_back(Clock::now());
+      }
+      if (!chan.write_line(out)) {
+        failed->store(true);
+        break;
+      }
+    }
+    reader.join();
+  }
+
+  Json close_cmd = Json::object();
+  close_cmd["cmd"] = Json("session_close");
+  close_cmd["sid"] = Json(sid);
+  if (!round_trip(close_cmd) || !Json::parse(line, &reply, &err) ||
+      reply.get_str("status") != "ok") {
+    ++t.errors;
+    ::close(fd);
+    return t;
+  }
+  if (const Json* s = reply.find("summary"); s != nullptr) {
+    t.points += static_cast<std::uint64_t>(s->get_num("points", 0));
+    t.mismatches +=
+        static_cast<std::uint64_t>(s->get_num("mismatches", 0));
+    t.peak_aux_max = std::max(
+        t.peak_aux_max,
+        static_cast<std::uint64_t>(s->get_num("peak_aux_cells", 0)));
+  }
+  ::close(fd);
+  return t;
+}
+
 /// One statz round trip on a fresh connection (JSON format).
 bool scrape_tcp(const std::string& hostport,
                 iph::stats::RegistrySnapshot* out, std::string* err) {
@@ -438,6 +637,110 @@ bool check_scrape(const iph::stats::RegistrySnapshot& d, const Tally& total,
   return ok;
 }
 
+/// --stream counterpart of check_scrape: reconcile the iph_session_*
+/// registry against this client's tally. The run must be the server's
+/// only session traffic; `after` supplies the post-run gauge LEVELS
+/// (diffs keep gauges at their current value, so the levels double as
+/// the "everything closed, all cells released" check).
+bool check_scrape_stream(const iph::stats::RegistrySnapshot& d,
+                         const Tally& total, const Options& opt,
+                         double client_p99, double* server_p99) {
+  namespace ssn = iph::session::statnames;
+  const std::uint64_t opened = d.counter_or0(ssn::kOpened);
+  const std::uint64_t closed = d.counter_or0(ssn::kClosed);
+  const std::uint64_t appends = d.counter_or0(ssn::kAppends);
+  const std::uint64_t append_points = d.counter_or0(ssn::kAppendPoints);
+  const std::uint64_t rebuilds = d.counter_or0(ssn::kRebuilds);
+  const std::uint64_t mismatches = d.counter_or0(ssn::kRebuildMismatch);
+  std::uint64_t rejects = 0;
+  for (const char* reason : {"cap", "unknown", "closed", "oversized"}) {
+    rejects +=
+        d.counter_or0(iph::stats::labeled(ssn::kRejectedBase, "reason",
+                                          reason));
+  }
+  const std::uint64_t rb_pram = d.counter_or0(
+      iph::stats::labeled(ssn::kRebuildBackendBase, "backend", "pram"));
+  const std::uint64_t rb_native = d.counter_or0(
+      iph::stats::labeled(ssn::kRebuildBackendBase, "backend", "native"));
+  const iph::stats::HistogramSnapshot* append_ms =
+      d.histogram(ssn::kAppendMs);
+  const iph::stats::HistogramSnapshot* delta_ops =
+      d.histogram(ssn::kDeltaOps);
+  const std::int64_t* live = d.gauge(ssn::kLiveSessions);
+  const std::int64_t* aux = d.gauge(ssn::kAuxCells);
+  *server_p99 = append_ms != nullptr ? append_ms->quantile(0.99) : 0.0;
+
+  std::fprintf(stderr,
+               "hullload scrape: sessions opened %llu closed %llu  "
+               "appends %llu  points %llu  rebuilds %llu (pram %llu "
+               "native %llu)  mismatches %llu  rejects %llu\n",
+               static_cast<unsigned long long>(opened),
+               static_cast<unsigned long long>(closed),
+               static_cast<unsigned long long>(appends),
+               static_cast<unsigned long long>(append_points),
+               static_cast<unsigned long long>(rebuilds),
+               static_cast<unsigned long long>(rb_pram),
+               static_cast<unsigned long long>(rb_native),
+               static_cast<unsigned long long>(mismatches),
+               static_cast<unsigned long long>(rejects));
+  std::fprintf(stderr,
+               "hullload scrape: append p99 server %.3f ms vs client "
+               "%.3f ms\n",
+               *server_p99, client_p99);
+
+  bool ok = true;
+  auto must_equal = [&](const char* what, std::uint64_t server,
+                        std::uint64_t client) {
+    if (server != client) {
+      std::fprintf(stderr,
+                   "hullload scrape: RECONCILE FAIL: %s server %llu != "
+                   "client %llu\n",
+                   what, static_cast<unsigned long long>(server),
+                   static_cast<unsigned long long>(client));
+      ok = false;
+    }
+  };
+  if (total.errors != 0) {
+    std::fprintf(stderr,
+                 "hullload scrape: RECONCILE FAIL: %llu client-side "
+                 "errors\n",
+                 static_cast<unsigned long long>(total.errors));
+    ok = false;
+  }
+  const auto clients = static_cast<std::uint64_t>(opt.clients);
+  must_equal("sessions opened", opened, clients);
+  must_equal("sessions closed", closed, clients);
+  must_equal("appends", appends, total.ok);
+  must_equal("append_points", append_points,
+             total.ok * static_cast<std::uint64_t>(opt.append_points));
+  must_equal("rebuilds", rebuilds, total.rebuilds);
+  must_equal("rebuild backends pram+native", rb_pram + rb_native, rebuilds);
+  must_equal("rebuild mismatches", mismatches, 0);
+  must_equal("session rejects", rejects, 0);
+  must_equal("append_ms count", append_ms != nullptr ? append_ms->count : 0,
+             appends);
+  must_equal("delta_ops count", delta_ops != nullptr ? delta_ops->count : 0,
+             appends);
+  must_equal("live_sessions gauge",
+             live != nullptr ? static_cast<std::uint64_t>(*live) : 1, 0);
+  must_equal("aux_cells gauge",
+             aux != nullptr ? static_cast<std::uint64_t>(*aux) : 1, 0);
+
+  if (opt.scrape_tol > 0 && total.ok > 0 && append_ms != nullptr &&
+      append_ms->count > 0) {
+    const double lo = std::max(std::min(*server_p99, client_p99), 0.05);
+    const double ratio = std::max(*server_p99, client_p99) / lo;
+    if (ratio > opt.scrape_tol) {
+      std::fprintf(stderr,
+                   "hullload scrape: P99 DIVERGENCE: server %.3f ms vs "
+                   "client %.3f ms (ratio %.2f > tol %.2f)\n",
+                   *server_p99, client_p99, ratio, opt.scrape_tol);
+      ok = false;
+    }
+  }
+  return ok;
+}
+
 bool write_file(const std::string& path, const std::string& content) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
@@ -486,6 +789,10 @@ int main(int argc, char** argv) {
       opt.cfg.batch.window = std::chrono::microseconds(std::atoll(v));
     } else if (a == "--no-large") {
       opt.cfg.large_shard = false;
+    } else if (a == "--stream") {
+      opt.stream = true;
+    } else if (a == "--append-points" && (v = next())) {
+      opt.append_points = static_cast<std::size_t>(std::atoll(v));
     } else if (a == "--expect-all-ok") {
       opt.expect_all_ok = true;
     } else if (a == "--json") {
@@ -501,7 +808,8 @@ int main(int argc, char** argv) {
       return usage(argv[0]);
     }
   }
-  if (opt.clients < 1 || opt.requests < 1 || opt.n == 0) {
+  if (opt.clients < 1 || opt.requests < 1 || opt.n == 0 ||
+      (opt.stream && opt.append_points == 0)) {
     return usage(argv[0]);
   }
   {
@@ -515,7 +823,20 @@ int main(int argc, char** argv) {
 
   const bool inproc = opt.connect.empty();
   std::unique_ptr<HullService> svc;
-  if (inproc) svc = std::make_unique<HullService>(opt.cfg);
+  std::unique_ptr<iph::stats::Registry> stream_registry;
+  std::unique_ptr<iph::session::SessionManager> mgr;
+  if (inproc && opt.stream) {
+    iph::session::ManagerConfig mc;
+    mc.max_sessions = std::max<std::size_t>(
+        mc.max_sessions, static_cast<std::size_t>(opt.clients));
+    mc.default_backend = opt.backend;
+    mc.master_seed = opt.seed;
+    stream_registry = std::make_unique<iph::stats::Registry>();
+    mgr = std::make_unique<iph::session::SessionManager>(mc,
+                                                         *stream_registry);
+  } else if (inproc) {
+    svc = std::make_unique<HullService>(opt.cfg);
+  }
 
   // --scrape brackets the run with registry snapshots; the diff makes
   // the cross-check robust to traffic the server saw before us (but the
@@ -529,7 +850,8 @@ int main(int argc, char** argv) {
       return 3;
     }
   } else if (opt.scrape) {
-    scrape_before = svc->stats_registry().snapshot();
+    scrape_before = opt.stream ? stream_registry->snapshot()
+                               : svc->stats_registry().snapshot();
   }
 
   std::atomic<bool> conn_failed{false};
@@ -538,9 +860,15 @@ int main(int argc, char** argv) {
   const auto start = Clock::now() + std::chrono::milliseconds(5);
   for (int c = 0; c < opt.clients; ++c) {
     threads.emplace_back([&, c] {
-      tallies[c] = inproc
-                       ? run_client_inproc(*svc, opt, c, start)
-                       : run_client_tcp(opt, c, start, &conn_failed);
+      if (opt.stream) {
+        tallies[c] = inproc
+                         ? run_stream_inproc(*mgr, opt, c, start)
+                         : run_stream_tcp(opt, c, start, &conn_failed);
+      } else {
+        tallies[c] = inproc
+                         ? run_client_inproc(*svc, opt, c, start)
+                         : run_client_tcp(opt, c, start, &conn_failed);
+      }
     });
   }
   for (auto& t : threads) t.join();
@@ -560,26 +888,51 @@ int main(int argc, char** argv) {
   const double p95 = percentile(total.ok_e2e_ms, 0.95);
   const double p99 = percentile(total.ok_e2e_ms, 0.99);
 
-  std::fprintf(stderr,
-               "hullload: %d clients x %d requests, %s loop, %s, "
-               "workload %s n=%zu\n",
-               opt.clients, opt.requests, opt.qps > 0 ? "open" : "closed",
-               inproc ? "in-process" : opt.connect.c_str(),
-               opt.workload.c_str(), opt.n);
-  std::fprintf(stderr,
-               "  ok %llu  rejected_full %llu  rejected_shutdown %llu  "
-               "expired %llu  errors %llu\n",
-               static_cast<unsigned long long>(total.ok),
-               static_cast<unsigned long long>(total.rejected_full),
-               static_cast<unsigned long long>(total.rejected_shutdown),
-               static_cast<unsigned long long>(total.expired),
-               static_cast<unsigned long long>(total.errors));
-  std::fprintf(stderr, "  wall %.3f s  qps %.1f\n", wall_s, qps);
-  std::fprintf(stderr, "  e2e ms (ok): p50 %.2f  p95 %.2f  p99 %.2f\n",
-               p50, p95, p99);
+  if (opt.stream) {
+    std::fprintf(stderr,
+                 "hullload: %d sessions x %d appends of %zu points, %s "
+                 "loop, %s, workload %s\n",
+                 opt.clients, opt.requests, opt.append_points,
+                 opt.qps > 0 ? "open" : "closed",
+                 inproc ? "in-process" : opt.connect.c_str(),
+                 opt.workload.c_str());
+    std::fprintf(stderr,
+                 "  appends ok %llu  errors %llu  delta ops %llu  "
+                 "rebuilds %llu  mismatches %llu\n",
+                 static_cast<unsigned long long>(total.ok),
+                 static_cast<unsigned long long>(total.errors),
+                 static_cast<unsigned long long>(total.delta_ops),
+                 static_cast<unsigned long long>(total.rebuilds),
+                 static_cast<unsigned long long>(total.mismatches));
+    std::fprintf(stderr,
+                 "  points %llu  peak workspace %llu cells (max session)\n",
+                 static_cast<unsigned long long>(total.points),
+                 static_cast<unsigned long long>(total.peak_aux_max));
+    std::fprintf(stderr, "  wall %.3f s  appends/s %.1f\n", wall_s, qps);
+    std::fprintf(stderr, "  delta ms (ok): p50 %.2f  p95 %.2f  p99 %.2f\n",
+                 p50, p95, p99);
+  } else {
+    std::fprintf(stderr,
+                 "hullload: %d clients x %d requests, %s loop, %s, "
+                 "workload %s n=%zu\n",
+                 opt.clients, opt.requests, opt.qps > 0 ? "open" : "closed",
+                 inproc ? "in-process" : opt.connect.c_str(),
+                 opt.workload.c_str(), opt.n);
+    std::fprintf(stderr,
+                 "  ok %llu  rejected_full %llu  rejected_shutdown %llu  "
+                 "expired %llu  errors %llu\n",
+                 static_cast<unsigned long long>(total.ok),
+                 static_cast<unsigned long long>(total.rejected_full),
+                 static_cast<unsigned long long>(total.rejected_shutdown),
+                 static_cast<unsigned long long>(total.expired),
+                 static_cast<unsigned long long>(total.errors));
+    std::fprintf(stderr, "  wall %.3f s  qps %.1f\n", wall_s, qps);
+    std::fprintf(stderr, "  e2e ms (ok): p50 %.2f  p95 %.2f  p99 %.2f\n",
+                 p50, p95, p99);
+  }
   double mean_batch = 0;
   std::uint64_t large = 0;
-  if (inproc) {
+  if (inproc && !opt.stream) {
     svc->shutdown(/*drain=*/true);
     const iph::serve::StatsSnapshot s = svc->stats();
     mean_batch = s.mean_batch();
@@ -603,18 +956,23 @@ int main(int argc, char** argv) {
         return 3;
       }
     } else {
-      after = svc->stats_registry().snapshot();
+      after = opt.stream ? stream_registry->snapshot()
+                         : svc->stats_registry().snapshot();
     }
     const iph::stats::RegistrySnapshot d = after.diff(scrape_before);
-    scrape_failed = !check_scrape(d, total, p99, opt.scrape_tol,
-                                  opt.backend, &server_p99,
-                                  &served_backend);
+    if (opt.stream) {
+      scrape_failed = !check_scrape_stream(d, total, opt, p99, &server_p99);
+    } else {
+      scrape_failed = !check_scrape(d, total, p99, opt.scrape_tol,
+                                    opt.backend, &server_p99,
+                                    &served_backend);
+    }
     if (!opt.scrape_out.empty()) {
       // The diffed snapshot plus which engine(s) served the run —
       // stats::from_json ignores the extra key, so the file still
       // parses as iph-stats-v1.
       Json scrape_json = iph::stats::to_json(d);
-      scrape_json["served_backend"] = Json(served_backend);
+      if (!opt.stream) scrape_json["served_backend"] = Json(served_backend);
       if (!write_file(opt.scrape_out, scrape_json.dump(2) + "\n")) {
         std::fprintf(stderr, "hullload: cannot write %s\n",
                      opt.scrape_out.c_str());
@@ -642,11 +1000,21 @@ int main(int argc, char** argv) {
     j["p50_ms"] = Json(p50);
     j["p95_ms"] = Json(p95);
     j["p99_ms"] = Json(p99);
-    if (inproc) j["mean_batch"] = Json(mean_batch);
+    if (opt.stream) {
+      j["stream"] = Json(true);
+      j["append_points"] = Json(static_cast<std::uint64_t>(
+          opt.append_points));
+      j["delta_ops"] = Json(total.delta_ops);
+      j["rebuilds"] = Json(total.rebuilds);
+      j["rebuild_mismatches"] = Json(total.mismatches);
+      j["points"] = Json(total.points);
+      j["peak_aux_cells_max"] = Json(total.peak_aux_max);
+    }
+    if (inproc && !opt.stream) j["mean_batch"] = Json(mean_batch);
     if (opt.scrape) {
       j["server_p99_ms"] = Json(server_p99);
       j["scrape_ok"] = Json(!scrape_failed);
-      j["served_backend"] = Json(served_backend);
+      if (!opt.stream) j["served_backend"] = Json(served_backend);
     }
     std::printf("%s\n", j.dump().c_str());
   }

@@ -40,6 +40,7 @@
 #include "serve/request.h"
 #include "serve/service.h"
 #include "serve_wire.h"
+#include "session/manager.h"
 #include "trace/json.h"
 
 namespace {
@@ -48,6 +49,7 @@ using iph::serve::HullService;
 using iph::serve::Response;
 using iph::serve::ServiceConfig;
 using iph::serve::StatsSnapshot;
+using iph::session::SessionManager;
 using iph::tools::LineChannel;
 using iph::trace::Json;
 
@@ -58,31 +60,41 @@ int usage(const char* argv0) {
       "          [--capacity N] [--window-us U] [--max-batch N]\n"
       "          [--small-threshold N] [--no-large] [--seed S] [--quiet]\n"
       "          [--stats-every-ms M] [--backend pram|native]\n"
+      "          [--max-sessions N] [--max-append-points N]\n"
+      "          [--session-pending N] [--session-staleness N]\n"
       "Serves NDJSON hull requests (see tools/serve_wire.h) from stdin\n"
       "(default) or TCP connections on 127.0.0.1:P. A {\"cmd\":\"statz\"}\n"
       "line returns the service metrics registry; --stats-every-ms logs\n"
       "a periodic snapshot-diff line to stderr. --backend picks the\n"
       "engine for requests that don't name one (default: pram, the\n"
-      "metered simulator; native is the thread-parallel fast path).\n",
+      "metered simulator; native is the thread-parallel fast path).\n"
+      "Streaming sessions (session_open/append/close command lines)\n"
+      "share every stream; --max-sessions caps concurrently live ones,\n"
+      "--max-append-points caps one append's batch, --session-pending /\n"
+      "--session-staleness set the per-session rebuild thresholds.\n",
       argv0);
   return 2;
 }
 
-/// One NDJSON session: reader parses + submits on this thread, a
+/// One NDJSON stream: reader parses + submits on this thread, a
 /// responder thread writes answers in submission order.
-void serve_stream(HullService& svc, int in_fd, int out_fd) {
+void serve_stream(HullService& svc, SessionManager& mgr, int in_fd,
+                  int out_fd) {
   LineChannel chan(in_fd, out_fd);
 
-  // Either a pending future, an immediate parse-error message, or a
+  // Either a pending future, an immediate parse-error message, a
   // statz command (answered with a snapshot taken at WRITE time, so a
   // statz line's counters include every request answered before it on
-  // this stream).
+  // this stream), or a session answer already rendered at READ time
+  // (`ready` — SessionManager calls are synchronous, and rendering
+  // before enqueue keeps the one-response-per-line FIFO exact).
   struct Outgoing {
     std::future<Response> fut;
     bool edge_above = false;
     bool statz = false;
     bool statz_prometheus = false;
     std::string error;
+    std::string ready;
   };
   std::deque<Outgoing> queue;
   std::mutex mu;
@@ -105,6 +117,10 @@ void serve_stream(HullService& svc, int in_fd, int out_fd) {
         if (!chan.write_line(err.dump())) return;
         continue;
       }
+      if (!out.ready.empty()) {
+        if (!chan.write_line(out.ready)) return;
+        continue;
+      }
       if (out.statz) {
         const Json line = iph::tools::statz_response(
             svc.stats_registry().snapshot(), out.statz_prometheus);
@@ -116,6 +132,19 @@ void serve_stream(HullService& svc, int in_fd, int out_fd) {
       if (!chan.write_line(line.dump())) return;
     }
   });
+
+  // Sessions this connection opened and has not yet closed — closed
+  // server-side when the stream ends, so an abandoned connection can't
+  // pin live-session slots (or their aux-cell footprint) forever.
+  std::vector<std::uint64_t> open_sids;
+  const auto forget_sid = [&open_sids](std::uint64_t sid) {
+    for (auto it = open_sids.begin(); it != open_sids.end(); ++it) {
+      if (*it == sid) {
+        open_sids.erase(it);
+        return;
+      }
+    }
+  };
 
   std::string line;
   while (chan.read_line(&line)) {
@@ -131,6 +160,40 @@ void serve_stream(HullService& svc, int in_fd, int out_fd) {
       if (cmd == "statz") {
         out.statz = true;
         out.statz_prometheus = j.get_str("format") == "prometheus";
+      } else if (cmd == "session_open") {
+        iph::exec::BackendKind want;
+        if (!iph::tools::session_open_from_json(j, &want, &err)) {
+          out.error = err;
+        } else {
+          iph::session::OpenInfo info;
+          const auto st = mgr.open(want, &info);
+          if (st == iph::session::SessionStatus::kOk) {
+            open_sids.push_back(info.sid);
+          }
+          out.ready = iph::tools::session_open_response(st, info).dump();
+        }
+      } else if (cmd == "session_append") {
+        std::uint64_t sid = 0;
+        std::vector<iph::geom::Point2> pts;
+        if (!iph::tools::session_append_from_json(j, &sid, &pts, &err)) {
+          out.error = err;
+        } else {
+          iph::session::AppendResult res;
+          const auto st = mgr.append(sid, pts, &res);
+          out.ready =
+              iph::tools::session_append_response(sid, st, res).dump();
+        }
+      } else if (cmd == "session_close") {
+        std::uint64_t sid = 0;
+        if (!iph::tools::session_sid_from_json(j, &sid, &err)) {
+          out.error = err;
+        } else {
+          iph::session::CloseSummary sum;
+          const auto st = mgr.close(sid, &sum);
+          if (st == iph::session::SessionStatus::kOk) forget_sid(sid);
+          out.ready =
+              iph::tools::session_close_response(sid, st, sum).dump();
+        }
       } else {
         out.error = "unknown cmd \"" + cmd + "\"";
       }
@@ -152,6 +215,10 @@ void serve_stream(HullService& svc, int in_fd, int out_fd) {
   }
   cv.notify_one();
   responder.join();
+  for (const std::uint64_t sid : open_sids) {
+    iph::session::CloseSummary sum;
+    (void)mgr.close(sid, &sum);
+  }
 }
 
 void print_stats(const StatsSnapshot& s) {
@@ -246,7 +313,7 @@ void on_signal(int) {
   if (g_listen_fd >= 0) ::close(g_listen_fd);
 }
 
-int serve_tcp(HullService& svc, int port, bool quiet) {
+int serve_tcp(HullService& svc, SessionManager& mgr, int port, bool quiet) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     std::perror("hullserved: socket");
@@ -287,8 +354,8 @@ int serve_tcp(HullService& svc, int port, bool quiet) {
       break;
     }
     std::lock_guard<std::mutex> lk(sessions_mu);
-    sessions.emplace_back([&svc, conn] {
-      serve_stream(svc, conn, conn);
+    sessions.emplace_back([&svc, &mgr, conn] {
+      serve_stream(svc, mgr, conn, conn);
       ::close(conn);
     });
   }
@@ -304,6 +371,7 @@ int main(int argc, char** argv) {
   bool quiet = false;
   int stats_every_ms = 0;
   ServiceConfig cfg;
+  iph::session::ManagerConfig mgr_cfg;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     auto next = [&]() -> const char* {
@@ -332,6 +400,15 @@ int main(int argc, char** argv) {
       if (!iph::exec::parse_backend(v, &cfg.backend)) return usage(argv[0]);
     } else if (a == "--stats-every-ms" && (v = next())) {
       stats_every_ms = std::atoi(v);
+    } else if (a == "--max-sessions" && (v = next())) {
+      mgr_cfg.max_sessions = static_cast<std::size_t>(std::atoll(v));
+    } else if (a == "--max-append-points" && (v = next())) {
+      mgr_cfg.max_append_points = static_cast<std::size_t>(std::atoll(v));
+    } else if (a == "--session-pending" && (v = next())) {
+      mgr_cfg.session.pending_limit = static_cast<std::size_t>(std::atoll(v));
+    } else if (a == "--session-staleness" && (v = next())) {
+      mgr_cfg.session.staleness_limit =
+          static_cast<std::uint64_t>(std::atoll(v));
     } else if (a == "--no-large") {
       cfg.large_shard = false;
     } else if (a == "--quiet") {
@@ -343,15 +420,21 @@ int main(int argc, char** argv) {
   if (port > 65535) return usage(argv[0]);
 
   HullService svc(cfg);
+  // Sessions register in the service's registry so one statz scrape
+  // covers batch and streaming traffic. Session rebuilds default to
+  // the same engine batch requests default to (--backend).
+  mgr_cfg.default_backend = cfg.backend;
+  mgr_cfg.master_seed = cfg.master_seed;
+  SessionManager mgr(mgr_cfg, svc.stats_registry());
   std::unique_ptr<StatsLogger> logger;
   if (stats_every_ms > 0) {
     logger = std::make_unique<StatsLogger>(svc, stats_every_ms);
   }
   int rc = 0;
   if (port < 0) {
-    serve_stream(svc, STDIN_FILENO, STDOUT_FILENO);
+    serve_stream(svc, mgr, STDIN_FILENO, STDOUT_FILENO);
   } else {
-    rc = serve_tcp(svc, port, quiet);
+    rc = serve_tcp(svc, mgr, port, quiet);
   }
   logger.reset();  // final tick joins before the summary prints
   svc.shutdown(/*drain=*/true);

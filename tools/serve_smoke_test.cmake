@@ -100,4 +100,107 @@ if(NOT statz MATCHES "iph-stats-v1")
   message(FATAL_ERROR "hullload: snapshot lacks iph-stats-v1 schema:\n${statz}")
 endif()
 
+# --- Case 3: stdin streaming session: open -> append -> delta -> close
+# Good appends (inline and generated), an unknown sid, and a malformed
+# session line must all be answered in stream order without killing the
+# stream; the trailing statz must carry fully-settled session counters.
+file(WRITE "${WORK_DIR}/session.ndjson"
+"{\"cmd\":\"session_open\",\"backend\":\"native\"}
+{\"cmd\":\"session_append\",\"sid\":1,\"points\":[[0,0],[1,2],[2,0]]}
+{\"cmd\":\"session_append\",\"sid\":1,\"n\":16,\"workload\":\"disk\",\"seed\":5}
+{\"cmd\":\"session_append\",\"sid\":99,\"points\":[[0,0]]}
+{\"cmd\":\"session_append\",\"points\":[[0,0]]}
+{\"cmd\":\"session_close\",\"sid\":1}
+{\"cmd\":\"statz\"}
+")
+execute_process(
+  COMMAND "${HULLSERVED}" --quiet --shards 1 --workers 1 --threads 2
+  INPUT_FILE "${WORK_DIR}/session.ndjson"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "session smoke: expected exit 0, got ${rc}\n${err}")
+endif()
+# open + two appends + close answer ok; the deltas carry inserted
+# vertices; the close answer carries the end-of-life summary.
+string(REGEX MATCHALL "\"status\":\"ok\"" oks "${out}")
+list(LENGTH oks n_ok)
+if(NOT n_ok EQUAL 4)
+  message(FATAL_ERROR
+          "session smoke: expected 4 ok responses, got ${n_ok}:\n${out}")
+endif()
+if(NOT out MATCHES "\"sid\":1")
+  message(FATAL_ERROR "session smoke: open did not issue sid 1:\n${out}")
+endif()
+if(NOT out MATCHES "\"delta\":\\[\\[")
+  message(FATAL_ERROR "session smoke: no non-empty delta:\n${out}")
+endif()
+if(NOT out MATCHES "\"status\":\"unknown\"")
+  message(FATAL_ERROR
+          "session smoke: unknown-sid append not flagged:\n${out}")
+endif()
+string(REGEX MATCHALL "\"error\":" errs "${out}")
+list(LENGTH errs n_err)
+if(NOT n_err EQUAL 1)
+  message(FATAL_ERROR
+          "session smoke: expected 1 error line (missing sid), got "
+          "${n_err}:\n${out}")
+endif()
+if(NOT out MATCHES "\"summary\":")
+  message(FATAL_ERROR "session smoke: close summary missing:\n${out}")
+endif()
+# statz answers in stream order: exactly this session's counters.
+if(NOT out MATCHES "\"iph_session_opened_total\":1")
+  message(FATAL_ERROR "session smoke: statz opened != 1:\n${out}")
+endif()
+if(NOT out MATCHES "\"iph_session_closed_total\":1")
+  message(FATAL_ERROR "session smoke: statz closed != 1:\n${out}")
+endif()
+if(NOT out MATCHES "\"iph_session_appends_total\":2")
+  message(FATAL_ERROR "session smoke: statz appends != 2:\n${out}")
+endif()
+if(NOT out MATCHES "\"iph_session_live_sessions\":0")
+  message(FATAL_ERROR "session smoke: live-sessions gauge not 0:\n${out}")
+endif()
+if(NOT out MATCHES "\"iph_session_aux_cells\":0")
+  message(FATAL_ERROR "session smoke: aux-cells gauge not 0:\n${out}")
+endif()
+
+# --- Case 4: hullload --stream in-process with scrape reconciliation --
+execute_process(
+  COMMAND "${HULLLOAD}" --stream --clients 2 --requests 6
+          --append-points 8 --n 64
+          --expect-all-ok --json
+          --scrape --scrape-out "${WORK_DIR}/stream_statz.json"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "hullload --stream: expected exit 0, got ${rc}\n${err}")
+endif()
+if(NOT out MATCHES "\"stream\":true")
+  message(FATAL_ERROR "hullload --stream: json lacks stream:true\n${out}")
+endif()
+if(NOT out MATCHES "\"ok\":12")
+  message(FATAL_ERROR "hullload --stream: json lacks ok:12\n${out}")
+endif()
+if(NOT out MATCHES "\"scrape_ok\":true")
+  message(FATAL_ERROR
+          "hullload --stream: json lacks scrape_ok:true\n${out}")
+endif()
+if(NOT err MATCHES "delta ms")
+  message(FATAL_ERROR
+          "hullload --stream: human summary missing delta latency\n${err}")
+endif()
+if(NOT EXISTS "${WORK_DIR}/stream_statz.json")
+  message(FATAL_ERROR "hullload --stream: --scrape-out wrote no snapshot")
+endif()
+file(READ "${WORK_DIR}/stream_statz.json" statz)
+if(NOT statz MATCHES "iph_session_appends_total")
+  message(FATAL_ERROR
+          "hullload --stream: snapshot lacks session counters:\n${statz}")
+endif()
+
 message(STATUS "serve tools smoke ok")

@@ -36,6 +36,31 @@
 //   {"cmd": "statz"}                         -> {"statz": <iph-stats-v1>}
 //   {"cmd": "statz", "format": "prometheus"} -> {"statz_text": "<text>"}
 // An unknown "cmd" is answered {"error": ...} like any bad line.
+//
+// Streaming sessions (src/session) share the stream with batch
+// requests; all three are command lines:
+//   {"cmd": "session_open", "backend": "native"?}
+//     -> {"sid": 7, "status": "ok", "backend": "native"}
+//     -> {"sid": 0, "status": "cap"}          (admission cap)
+//   {"cmd": "session_append", "sid": 7, "points": [[x,y],...]}
+//   {"cmd": "session_append", "sid": 7, "n": 64, "workload": "disk",
+//    "seed": 3}                               (named batch, like requests)
+//     -> {"sid": 7, "status": "ok",
+//         "delta": [[side,pos,removed,x,y],...],   side: 0=upper 1=lower
+//         "rebuilt": false, "rebuild_ms": 0.0}
+//     -> {"sid": 7, "status": "unknown" | "closed" | "oversized"}
+//   {"cmd": "session_close", "sid": 7}
+//     -> {"sid": 7, "status": "ok", "summary": {"points": ..,
+//         "appends": .., "rebuilds": .., "mismatches": ..,
+//         "peak_aux_cells": .., "upper": .., "lower": ..}}
+//     -> {"sid": 7, "status": "unknown" | "closed"}
+// A delta entry [side, pos, removed, x, y] means: in chain `side`,
+// at position `pos`, remove `removed` vertices and insert (x, y)
+// there; replaying entries in array order reconstructs the chains
+// exactly (session/session.h DeltaOp). "unknown" = the sid was never
+// issued; "closed" = issued and already closed — the distinction is
+// real because sids are monotonic. Malformed session lines (missing
+// sid, bad points) get {"error": ...} and the stream continues.
 #pragma once
 
 #include <unistd.h>
@@ -49,6 +74,7 @@
 #include "exec/backend.h"
 #include "geom/workloads.h"
 #include "serve/request.h"
+#include "session/manager.h"
 #include "stats/export.h"
 #include "trace/json.h"
 
@@ -176,6 +202,154 @@ inline trace::Json statz_response(const stats::RegistrySnapshot& snap,
   } else {
     o["statz"] = stats::to_json(snap);
   }
+  return o;
+}
+
+/// Decode a session_open command line (after wire_command said
+/// cmd == "session_open"). Absent "backend" means kDefault.
+inline bool session_open_from_json(const trace::Json& j,
+                                   exec::BackendKind* want,
+                                   std::string* err) {
+  *want = exec::BackendKind::kDefault;
+  if (const trace::Json* b = j.find("backend"); b != nullptr) {
+    if (!b->is_string() || !exec::parse_backend(b->as_string(), want)) {
+      *err = "\"backend\" must be \"pram\", \"native\" or \"default\"";
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Decode the sid of a session_append / session_close line. A missing
+/// or non-positive "sid" is malformed (-> {"error": ...}), not
+/// "unknown": unknown is reserved for well-formed ids never issued.
+inline bool session_sid_from_json(const trace::Json& j, std::uint64_t* sid,
+                                  std::string* err) {
+  const trace::Json* s = j.find("sid");
+  if (s == nullptr || !s->is_number() || s->as_double() < 1) {
+    *err = "session command needs a positive \"sid\"";
+    return false;
+  }
+  *sid = static_cast<std::uint64_t>(s->as_double());
+  return true;
+}
+
+/// Decode a session_append line: sid plus inline "points" or a named
+/// "n"/"workload"/"seed" batch (same generation as batch requests).
+inline bool session_append_from_json(const trace::Json& j,
+                                     std::uint64_t* sid,
+                                     std::vector<geom::Point2>* pts,
+                                     std::string* err) {
+  if (!session_sid_from_json(j, sid, err)) return false;
+  pts->clear();
+  if (const trace::Json* p = j.find("points"); p && p->is_array()) {
+    pts->reserve(p->size());
+    for (const trace::Json& e : p->items()) {
+      if (!e.is_array() || e.size() != 2 || !e.at(0).is_number() ||
+          !e.at(1).is_number()) {
+        *err = "\"points\" entries must be [x, y] number pairs";
+        return false;
+      }
+      pts->push_back({e.at(0).as_double(), e.at(1).as_double()});
+    }
+    return true;
+  }
+  const auto n = static_cast<std::size_t>(j.get_num("n", 0));
+  if (n == 0) {
+    *err = "session_append needs \"points\" or a positive \"n\"";
+    return false;
+  }
+  const std::string workload = j.get_str("workload", "disk");
+  const auto seed = static_cast<std::uint64_t>(j.get_num("seed", 0));
+  if (!make_workload(workload, n, seed, pts)) {
+    *err = "unknown workload \"" + workload + "\"";
+    return false;
+  }
+  return true;
+}
+
+/// Encode a session_open answer.
+inline trace::Json session_open_response(session::SessionStatus st,
+                                         const session::OpenInfo& info) {
+  trace::Json o = trace::Json::object();
+  o["sid"] = trace::Json(info.sid);
+  o["status"] = trace::Json(session::session_status_name(st));
+  if (st == session::SessionStatus::kOk) {
+    o["backend"] = trace::Json(exec::backend_name(info.backend));
+  }
+  return o;
+}
+
+/// Encode a session_append answer ("delta" only on ok — see the file
+/// comment for the [side, pos, removed, x, y] entry shape).
+inline trace::Json session_append_response(std::uint64_t sid,
+                                           session::SessionStatus st,
+                                           const session::AppendResult& res) {
+  trace::Json o = trace::Json::object();
+  o["sid"] = trace::Json(sid);
+  o["status"] = trace::Json(session::session_status_name(st));
+  if (st != session::SessionStatus::kOk) return o;
+  trace::Json delta = trace::Json::array();
+  for (const session::DeltaOp& op : res.ops) {
+    trace::Json e = trace::Json::array();
+    e.push_back(trace::Json(static_cast<std::uint64_t>(op.side)));
+    e.push_back(trace::Json(static_cast<std::uint64_t>(op.pos)));
+    e.push_back(trace::Json(static_cast<std::uint64_t>(op.removed)));
+    e.push_back(trace::Json(op.point.x));
+    e.push_back(trace::Json(op.point.y));
+    delta.push_back(std::move(e));
+  }
+  o["delta"] = std::move(delta);
+  o["rebuilt"] = trace::Json(res.rebuilt);
+  o["rebuild_ms"] = trace::Json(res.rebuild_ms);
+  return o;
+}
+
+/// Decode the delta array of a session_append answer back into ops
+/// (the client-side replay path — hullload and session smoke use it).
+inline bool delta_from_json(const trace::Json& reply,
+                            std::vector<session::DeltaOp>* ops,
+                            std::string* err) {
+  ops->clear();
+  const trace::Json* d = reply.is_object() ? reply.find("delta") : nullptr;
+  if (d == nullptr || !d->is_array()) {
+    *err = "no \"delta\" array in session_append reply";
+    return false;
+  }
+  ops->reserve(d->size());
+  for (const trace::Json& e : d->items()) {
+    if (!e.is_array() || e.size() != 5) {
+      *err = "delta entries must be [side, pos, removed, x, y]";
+      return false;
+    }
+    session::DeltaOp op;
+    op.side = e.at(0).as_double() == 0 ? session::Side::kUpper
+                                       : session::Side::kLower;
+    op.pos = static_cast<std::uint32_t>(e.at(1).as_double());
+    op.removed = static_cast<std::uint32_t>(e.at(2).as_double());
+    op.point = {e.at(3).as_double(), e.at(4).as_double()};
+    ops->push_back(op);
+  }
+  return true;
+}
+
+/// Encode a session_close answer ("summary" only on ok).
+inline trace::Json session_close_response(std::uint64_t sid,
+                                          session::SessionStatus st,
+                                          const session::CloseSummary& sum) {
+  trace::Json o = trace::Json::object();
+  o["sid"] = trace::Json(sid);
+  o["status"] = trace::Json(session::session_status_name(st));
+  if (st != session::SessionStatus::kOk) return o;
+  trace::Json s = trace::Json::object();
+  s["points"] = trace::Json(sum.points_seen);
+  s["appends"] = trace::Json(sum.appends);
+  s["rebuilds"] = trace::Json(sum.rebuilds);
+  s["mismatches"] = trace::Json(sum.rebuild_mismatches);
+  s["peak_aux_cells"] = trace::Json(sum.peak_aux_cells);
+  s["upper"] = trace::Json(sum.upper_size);
+  s["lower"] = trace::Json(sum.lower_size);
+  o["summary"] = std::move(s);
   return o;
 }
 
