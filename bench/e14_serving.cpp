@@ -28,6 +28,16 @@
 // the native-served configuration is at least as fast as the
 // simulator-served one (native_inv = qps / qps_native <= 1).
 //
+// A fourth pair of arms prices the tracing tax: the native engine
+// behind a deliberately narrow service shape (1 shard, 1 worker, 2
+// threads — nowhere for a per-request recorder cost to hide), run
+// recorder-armed (the iph::obs flight recorder, on by default) and
+// recorder-off, interleaved, best-of-5 each, 10 passes over the
+// request set per timed rep. The gate:
+// obs_inv = qps_native_noobs / qps_native_obs <= 1.05 on small rows —
+// the always-on recorder may cost at most 5% of small-query
+// throughput (EXPERIMENTS.md "Tracing overhead").
+//
 // Each row also cross-checks the service's own metrics registry
 // (src/serve/stats.h) against the client tally — submitted/completed
 // counts and the folded PRAM step/work totals must reconcile exactly —
@@ -49,6 +59,7 @@
 #include "exec/backend.h"
 #include "geom/validate.h"
 #include "geom/workloads.h"
+#include "obs/flight_recorder.h"
 #include "pram/machine.h"
 #include "serve/request.h"
 #include "serve/service.h"
@@ -91,6 +102,7 @@ void e14(benchmark::State& state) {
   cfg.batch.window = std::chrono::microseconds(200);
 
   double qps = 0, qps_solo = 0, qps_native = 0;
+  double qps_native_obs = 0, qps_native_noobs = 0;
   double p50 = 0, p95 = 0, p99 = 0, mean_batch = 0;
   double native_p99 = 0;
   double server_p99 = 0;
@@ -205,6 +217,86 @@ void e14(benchmark::State& state) {
       }
     }
 
+    // Tracing overhead: the native engine again, but behind a
+    // minimal-noise service shape — one shard, one worker, two
+    // threads — recorder-armed (iph::obs, the default) vs recorder-off
+    // (ServiceConfig::obs.enabled = false). The narrow shape is the
+    // HARSHER configuration for this claim: no thread-spawn storm or
+    // batching slack for a per-request recorder cost to hide behind,
+    // and far less scheduler noise than the 32-wide serving shape.
+    // Each rep times several passes over the request set so the
+    // measured section is long enough to resolve a 5% bound; arms
+    // interleave and each side keeps its best rep (best-of-best is
+    // the standard way to compare two configurations under noise).
+    // Small rows — the only ones the claim gates — get the most
+    // passes and reps; medium/large rows document the ratio cheaply.
+    {
+      const bool small_row = n < 256;
+      const int obs_reps = small_row ? 12 : 3;
+      const int obs_passes = small_row ? 25 : 5;
+      const auto obs_total =
+          static_cast<std::uint64_t>(obs_passes) * kRequests;
+      iph::serve::ServiceConfig ocfg = cfg;
+      ocfg.backend = iph::exec::BackendKind::kNative;
+      ocfg.shards = 1;
+      ocfg.workers = 1;
+      ocfg.threads_per_shard = 2;
+      std::string arm_err;
+      const auto overhead_arm = [&](bool obs_on) -> double {
+        iph::serve::ServiceConfig acfg = ocfg;
+        acfg.obs.enabled = obs_on;
+        iph::serve::HullService osvc(acfg);
+        const auto u0 = std::chrono::steady_clock::now();
+        for (int pass = 0; pass < obs_passes; ++pass) {
+          std::vector<std::future<iph::serve::Response>> fs;
+          fs.reserve(kRequests);
+          for (int i = 0; i < kRequests; ++i) {
+            iph::serve::Request r;
+            r.id = static_cast<iph::serve::RequestId>(
+                pass * kRequests + i + 1);
+            r.points = pts[i];
+            fs.push_back(osvc.submit(std::move(r)));
+          }
+          for (auto& f : fs) {
+            if (f.get().status != iph::serve::Status::kOk) {
+              arm_err = "overhead arm response not ok";
+              return -1;
+            }
+          }
+        }
+        const auto u1 = std::chrono::steady_clock::now();
+        if constexpr (iph::stats::kEnabled) {
+          // The armed arm must actually trace — one published request
+          // trace per completion — or the overhead claim is vacuous
+          // (a recorder that drops everything is trivially cheap).
+          namespace on = iph::obs::statnames;
+          const std::uint64_t published =
+              osvc.stats_registry().snapshot().counter_or0(
+                  iph::stats::labeled(on::kTracesPublishedBase, "kind",
+                                      "request"));
+          if (published != (obs_on ? obs_total : 0)) {
+            arm_err = obs_on
+                          ? "recorder did not publish every request"
+                          : "obs-off arm still published traces";
+            return -1;
+          }
+        }
+        return static_cast<double>(obs_total) /
+               std::chrono::duration<double>(u1 - u0).count();
+      };
+      qps_native_obs = qps_native_noobs = 0;
+      for (int rep = 0; rep < obs_reps; ++rep) {
+        const double q_on = overhead_arm(true);
+        const double q_off = overhead_arm(false);
+        if (q_on < 0 || q_off < 0) {
+          state.SkipWithError(arm_err.c_str());
+          return;
+        }
+        qps_native_obs = std::max(qps_native_obs, q_on);
+        qps_native_noobs = std::max(qps_native_noobs, q_off);
+      }
+    }
+
     // Server-side cross-check: the service's own metrics registry must
     // agree with what the client observed — every request submitted,
     // accepted and completed, nothing rejected or expired, and the
@@ -247,6 +339,9 @@ void e14(benchmark::State& state) {
   state.counters["inv_speedup"] = qps_solo / qps;
   state.counters["qps_native"] = qps_native;
   state.counters["native_inv"] = qps / qps_native;
+  state.counters["qps_native_obs"] = qps_native_obs;
+  state.counters["qps_native_noobs"] = qps_native_noobs;
+  state.counters["obs_inv"] = qps_native_noobs / qps_native_obs;
   state.counters["native_p99_ms"] = native_p99;
   state.counters["p50_ms"] = p50;
   state.counters["p95_ms"] = p95;
@@ -275,8 +370,17 @@ BENCHMARK(e14)
 //    as fast as the simulator path (native_inv = qps/qps_native <= 1):
 //    the in-place claim gating would be meaningless if the "fast path"
 //    lost to the metered oracle it bypasses.
+//  * obs-overhead — the always-on flight recorder (iph::obs) costs at
+//    most 5% of small-query native throughput versus the same service
+//    with the recorder off (obs_inv = qps_native_noobs /
+//    qps_native_obs <= 1.05), measured behind the narrow 1×1×2 shape
+//    where a per-request tracing tax is most visible. The armed arm is
+//    cross-checked to have published one trace per request, so the
+//    claim prices real tracing, not a recorder that drops everything.
 IPH_BENCH_MAIN("e14",
                {"batch-speedup", "inv_speedup", "below_const", 0.5, "",
                 "small"},
                {"native-speedup", "native_inv", "below_const", 1.0, "",
+                "small"},
+               {"obs-overhead", "obs_inv", "below_const", 1.05, "",
                 "small"})

@@ -1,0 +1,154 @@
+#include "obs/chrome_export.h"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <utility>
+
+#include "obs/context.h"
+
+namespace iph::obs {
+
+namespace {
+
+using trace::Json;
+
+Json span_json(const Span& s, std::uint64_t base_ns) {
+  Json j = Json::object();
+  j["name"] = s.name;
+  j["span"] = static_cast<std::uint64_t>(s.span_id);
+  j["parent"] = static_cast<std::uint64_t>(s.parent_id);
+  j["start_us"] =
+      s.start_ns >= base_ns
+          ? static_cast<double>(s.start_ns - base_ns) / 1e3
+          : -static_cast<double>(base_ns - s.start_ns) / 1e3;
+  j["dur_us"] = s.duration_us();
+  return j;
+}
+
+Json trace_json(const CompletedTrace& t) {
+  Json j = Json::object();
+  j["trace"] = to_hex(t.trace_id);
+  if (t.parent_span != 0) j["client_span"] = to_hex(t.parent_span);
+  j["id"] = t.request_id;
+  j["kind"] = t.kind;
+  j["status"] = t.status;
+  if (t.backend[0] != '\0') j["backend"] = t.backend;
+  if (t.tag[0] != '\0') j["tag"] = t.tag;
+  if (t.batch_size != 0) j["batch"] = t.batch_size;
+  j["e2e_ms"] = t.e2e_ms;
+  if (!t.repro.empty()) j["repro"] = t.repro;
+  const std::uint64_t base = t.root_start_ns();
+  Json spans = Json::array();
+  for (const Span& s : t.spans) spans.push_back(span_json(s, base));
+  for (const Span& s : t.phase_spans) spans.push_back(span_json(s, base));
+  j["spans"] = std::move(spans);
+  if (t.phase_spans_truncated) j["phase_spans_truncated"] = true;
+  return j;
+}
+
+}  // namespace
+
+Json tracez_json(const FlightRecorder& rec, std::size_t limit,
+                 bool slowest) {
+  std::vector<CompletedTrace> traces = rec.snapshot();
+  if (slowest) {
+    std::stable_sort(traces.begin(), traces.end(),
+                     [](const CompletedTrace& a, const CompletedTrace& b) {
+                       return a.e2e_ms > b.e2e_ms;
+                     });
+  }
+  if (limit != 0 && traces.size() > limit) traces.resize(limit);
+
+  Json doc = Json::object();
+  doc["retained"] = static_cast<std::uint64_t>(
+      rec.retained() < 0 ? 0 : rec.retained());
+  doc["published"] = rec.published_total();
+  doc["dropped_spans"] = rec.spans_dropped_total();
+  Json exemplars = Json::array();
+  for (const Exemplar& e : rec.exemplars()) {
+    Json j = Json::object();
+    j["bucket_le_ms"] =
+        e.bucket_le_ms == std::numeric_limits<double>::infinity()
+            ? Json("+Inf")
+            : Json(e.bucket_le_ms);
+    j["trace"] = trace_json(e.trace);
+    exemplars.push_back(std::move(j));
+  }
+  doc["exemplars"] = std::move(exemplars);
+  Json list = Json::array();
+  for (const CompletedTrace& t : traces) list.push_back(trace_json(t));
+  doc["traces"] = std::move(list);
+  return doc;
+}
+
+Json chrome_trace_json(const std::vector<CompletedTrace>& traces) {
+  Json events = Json::array();
+  {
+    Json e = Json::object();
+    e["ph"] = "M";
+    e["pid"] = 1;
+    e["tid"] = 0;
+    e["name"] = "process_name";
+    Json args = Json::object();
+    args["name"] = "iph flight recorder";
+    e["args"] = std::move(args);
+    events.push_back(std::move(e));
+  }
+  std::uint64_t base = std::numeric_limits<std::uint64_t>::max();
+  for (const CompletedTrace& t : traces) {
+    const std::uint64_t r = t.root_start_ns();
+    if (r != 0 && r < base) base = r;
+  }
+  if (base == std::numeric_limits<std::uint64_t>::max()) base = 0;
+
+  int tid = 0;
+  for (const CompletedTrace& t : traces) {
+    ++tid;
+    {
+      Json e = Json::object();
+      e["ph"] = "M";
+      e["pid"] = 1;
+      e["tid"] = tid;
+      e["name"] = "thread_name";
+      Json args = Json::object();
+      args["name"] = std::string(t.kind) + " " + to_hex(t.trace_id) +
+                     " #" + std::to_string(t.request_id);
+      e["args"] = std::move(args);
+      events.push_back(std::move(e));
+    }
+    auto emit = [&](const Span& s, bool phase) {
+      Json e = Json::object();
+      e["ph"] = "X";
+      e["pid"] = 1;
+      e["tid"] = tid;
+      e["name"] = s.name;
+      e["ts"] = s.start_ns >= base
+                    ? static_cast<double>(s.start_ns - base) / 1e3
+                    : 0.0;
+      e["dur"] = s.duration_us();
+      Json args = Json::object();
+      args["trace"] = to_hex(t.trace_id);
+      args["span"] = static_cast<std::uint64_t>(s.span_id);
+      args["parent"] = static_cast<std::uint64_t>(s.parent_id);
+      if (phase) args["source"] = "pram_phase";
+      if (s.span_id == kRootSpanId) {
+        args["status"] = t.status;
+        if (t.backend[0] != '\0') args["backend"] = t.backend;
+        args["e2e_ms"] = t.e2e_ms;
+        if (!t.repro.empty()) args["repro"] = t.repro;
+      }
+      e["args"] = std::move(args);
+      events.push_back(std::move(e));
+    };
+    for (const Span& s : t.spans) emit(s, false);
+    for (const Span& s : t.phase_spans) emit(s, true);
+  }
+
+  Json doc = Json::object();
+  doc["traceEvents"] = std::move(events);
+  doc["displayTimeUnit"] = "ms";
+  return doc;
+}
+
+}  // namespace iph::obs

@@ -1,0 +1,41 @@
+// Exporters for flight-recorder contents.
+//
+// Two consumers, one data model:
+//   * tracez_json      — the `tracez` wire command / --tracez-out dump:
+//                        recent (or slowest) retained traces plus the
+//                        pinned tail exemplars, span times relative to
+//                        each trace's root (tools/serve_wire.h wraps it
+//                        in an envelope; tools/benchreport renders the
+//                        exemplar table from it).
+//   * chrome_trace_json— a Chrome trace-event document (chrome://tracing
+//                        / ui.perfetto.dev) putting every retained
+//                        request's span tree AND its linked PRAM phase
+//                        spans on one timeline, one thread row per
+//                        trace. Counterpart of trace::chrome_trace_json
+//                        (per-machine phase log) at request granularity.
+//
+// Span timestamps inside a CompletedTrace are absolute steady-clock ns;
+// both exporters rebase (per-trace root for tracez, global minimum for
+// Chrome) so emitted microsecond values stay small and diff-friendly.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+#include "trace/json.h"
+
+namespace iph::obs {
+
+/// The tracez document: {"retained","published","dropped_spans",
+/// "exemplars":[...],"traces":[...]}. `limit` caps the trace list
+/// (0 = all retained); `slowest` orders by e2e descending instead of
+/// most-recent-first.
+trace::Json tracez_json(const FlightRecorder& rec, std::size_t limit,
+                        bool slowest);
+
+/// Chrome trace-event JSON over an explicit trace list (so callers can
+/// filter/merge snapshots before export).
+trace::Json chrome_trace_json(const std::vector<CompletedTrace>& traces);
+
+}  // namespace iph::obs

@@ -1,0 +1,66 @@
+// iph::obs — request-scoped tracing identity.
+//
+// A TraceContext names one request's causal thread through the serving
+// stack: a 64-bit trace id (the request's identity across processes —
+// wire-propagatable, see tools/serve_wire.h) plus the span id of the
+// caller's enclosing span (0 = none; a client-supplied span id becomes
+// the parent of the server-side root span, so a future hullrouter hop
+// chains naturally).
+//
+// Ids are opaque: the only requirements are nonzero-when-set and
+// uniqueness within one server's retention window. hullserved stamps
+// (connection << 32 | sequence) so ids are unique AND monotonic per
+// connection; HullService stamps from a plain counter for in-process
+// callers that did not bring their own. Zero means "unset" everywhere.
+//
+// The wire encoding is fixed-width lowercase hex (no 0x), because JSON
+// numbers are doubles and cannot carry a full 64-bit id.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace iph::obs {
+
+struct TraceContext {
+  std::uint64_t trace_id = 0;   ///< 0 = unset (server will stamp one).
+  std::uint64_t parent_span = 0;///< Caller's span id; 0 = no parent.
+
+  bool has_id() const noexcept { return trace_id != 0; }
+};
+
+/// Lowercase hex, no prefix, no padding ("1a2b"). Zero encodes as "0".
+inline std::string to_hex(std::uint64_t v) {
+  char buf[17];
+  int i = 16;
+  buf[16] = '\0';
+  do {
+    buf[--i] = "0123456789abcdef"[v & 0xF];
+    v >>= 4;
+  } while (v != 0);
+  return std::string(buf + i);
+}
+
+/// Parse to_hex output (1-16 lowercase/uppercase hex digits). Returns
+/// false — leaving *out untouched — on empty, overlong or non-hex
+/// input; the wire layer turns that into a per-message error.
+inline bool from_hex(const std::string& s, std::uint64_t* out) {
+  if (s.empty() || s.size() > 16) return false;
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      v |= static_cast<std::uint64_t>(c - 'A' + 10);
+    } else {
+      return false;
+    }
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace iph::obs

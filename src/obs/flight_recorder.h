@@ -1,0 +1,160 @@
+// The always-on flight recorder: a lock-free, bounded ring of the span
+// trees of recently completed requests.
+//
+// Hot-path contract (obs_test arms this under TSan and an allocation
+// counter):
+//   * publish() NEVER blocks and NEVER allocates — the payload's
+//     vectors/strings were built by the caller and are MOVED into a
+//     ring slot; when the ring is contended the trace is dropped and
+//     counted (iph_obs_spans_dropped_total), never waited for.
+//   * overwriting an older retained trace is normal retention, not a
+//     drop — the ring keeps the most recent `capacity` traces.
+//
+// Slot protocol (both sides symmetric, so TSan sees only atomics):
+// each slot carries a sequence word — even = stable, odd = claimed.
+// A writer picks its slot by a monotone cursor (cursor % capacity),
+// CAS-claims even -> odd, moves the payload in, then releases with
+// seq + 2. A reader (tracez snapshot) claims the same way, copies out,
+// and releases with seq + 2. Whoever loses a claim race moves on:
+// writers drop-and-count, readers skip the slot. No thread ever spins
+// on another thread's claim.
+//
+// Tail-latency exemplars: one slot per e2e-latency histogram bucket
+// (the same stats::latency_bounds_ms() ladder the serve histograms
+// use). When a published trace's e2e beats the bucket's best-so-far it
+// is pinned (copied) into the bucket slot, so the statz-visible
+// percentile buckets link to concrete span trees — and, for native-
+// backend requests, to an on-disk repro JSON (CompletedTrace::repro).
+//
+// Published counters extend the PR 5 exact-scrape discipline to
+// causality data (see span.h for the per-kind span identities):
+//   iph_obs_traces_published_total{kind=...}  every publish attempt
+//   iph_obs_spans_recorded_total{kind=...}    spans in those attempts
+//   iph_obs_spans_dropped_total               spans lost to contention
+//   iph_obs_traces_retained                   slots currently occupied
+//   iph_obs_exemplars_pinned_total            bucket-record pins
+// "published" counts attempts (retained or contention-dropped alike),
+// so published{kind=request} == iph_serve_completed_total holds
+// EXACTLY even under reader/writer races.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "obs/span.h"
+#include "stats/stats.h"
+
+namespace iph::obs {
+
+namespace statnames {
+inline constexpr const char* kTracesPublishedBase =
+    "iph_obs_traces_published_total";
+inline constexpr const char* kSpansRecordedBase =
+    "iph_obs_spans_recorded_total";
+inline constexpr const char* kSpansDropped = "iph_obs_spans_dropped_total";
+inline constexpr const char* kTracesRetained = "iph_obs_traces_retained";
+inline constexpr const char* kExemplarsPinned =
+    "iph_obs_exemplars_pinned_total";
+}  // namespace statnames
+
+/// Flight-recorder shape, embedded in serve::ServiceConfig.
+struct ObsConfig {
+  bool enabled = true;        ///< Off = no recorder, no spans, no cost.
+  std::size_t capacity = 256; ///< Retained traces (ring slots).
+  /// Directory for exemplar repro JSONs (exec_diff-shaped; see
+  /// service.cpp write_exemplar_repro). Empty = no repro files. The
+  /// service defaults this from $IPH_EXEC_REPRO_DIR so the CI fuzz
+  /// jobs' artifact uploads pick serving exemplars up for free.
+  std::string repro_dir;
+};
+
+/// One pinned tail exemplar: the best (slowest) trace seen whose e2e
+/// fell in the latency-histogram bucket with inclusive upper bound
+/// `bucket_le_ms` (the last bucket is the +inf overflow).
+struct Exemplar {
+  double bucket_le_ms = 0;
+  CompletedTrace trace;
+};
+
+class FlightRecorder {
+ public:
+  FlightRecorder(const ObsConfig& cfg, stats::Registry& registry);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Move `t` into the ring (see file comment). Returns true when the
+  /// trace was retained, false when contention dropped it. Either way
+  /// the published/spans counters include it; exemplar pinning happens
+  /// here too (pins copy, but only on a bucket record — bounded churn).
+  bool publish(CompletedTrace&& t);
+
+  /// Would a trace with this e2e set a new record for its latency
+  /// bucket right now? Advisory (racy by design): the service uses it
+  /// to decide whether writing a repro file is worth it BEFORE
+  /// publishing. -1 = no; otherwise the bucket index.
+  int exemplar_bucket(double e2e_ms) const noexcept;
+
+  /// Fresh trace id for callers that did not bring one (monotonic).
+  std::uint64_t stamp_trace_id() noexcept {
+    return next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Copy out the retained traces, most recent first. Claims slots
+  /// briefly (concurrent publishes into a slot being read are dropped
+  /// and counted — the recorder's one latency-vs-fidelity trade).
+  std::vector<CompletedTrace> snapshot() const;
+
+  /// Copy out the pinned exemplars, lowest bucket first. Only occupied
+  /// buckets are returned.
+  std::vector<Exemplar> exemplars() const;
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::uint64_t published_total() const noexcept {
+    return published_request_.value() + published_session_.value();
+  }
+  std::uint64_t spans_dropped_total() const noexcept {
+    return spans_dropped_.value();
+  }
+  std::int64_t retained() const noexcept {
+    return traces_retained_.value();
+  }
+  const std::vector<double>& bucket_bounds() const noexcept {
+    return bounds_;
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};  ///< even = stable, odd = claimed.
+    std::uint64_t ticket = 0;           ///< 1 + publish index; 0 = empty.
+    CompletedTrace trace;
+  };
+  struct ExemplarSlot {
+    std::atomic<std::uint64_t> seq{0};
+    /// Bit-cast of the pinned trace's e2e_ms — readable without a
+    /// claim, for the cheap record check. 0 bits = empty (e2e >= 0).
+    std::atomic<std::uint64_t> best_e2e_bits{0};
+    CompletedTrace trace;
+  };
+
+  const std::size_t capacity_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::uint64_t> cursor_{0};
+  std::atomic<std::uint64_t> next_trace_id_{1};
+
+  std::vector<double> bounds_;  ///< stats::latency_bounds_ms ladder.
+  std::unique_ptr<ExemplarSlot[]> exemplar_slots_;  ///< bounds_.size()+1.
+
+  stats::Counter& published_request_;
+  stats::Counter& published_session_;
+  stats::Counter& spans_request_;
+  stats::Counter& spans_session_;
+  stats::Counter& spans_phase_;
+  stats::Counter& spans_dropped_;
+  stats::Counter& exemplars_pinned_;
+  stats::Gauge& traces_retained_;
+};
+
+}  // namespace iph::obs

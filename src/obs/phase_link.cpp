@@ -1,0 +1,63 @@
+#include "obs/phase_link.h"
+
+#include <algorithm>
+
+namespace iph::obs {
+
+std::vector<Span> phase_spans_from_events(
+    const trace::Recorder* rec, std::pair<std::size_t, std::size_t> range,
+    std::uint32_t parent_id, bool* truncated) {
+  std::vector<Span> out;
+  if (rec == nullptr) return out;
+  const auto& events = rec->events();
+  const std::size_t begin = range.first;
+  const std::size_t end = std::min(range.second, events.size());
+  if (begin >= end) return out;
+  const std::uint64_t epoch = rec->epoch_ns();
+  const auto abs_ns = [epoch](double wall_us) {
+    return wall_us <= 0 ? epoch
+                        : epoch + static_cast<std::uint64_t>(wall_us * 1e3);
+  };
+
+  // Stack of indices into `out` for phases still open; parent of a new
+  // span is the innermost open phase, or the caller's exec span.
+  std::vector<std::size_t> open;
+  std::uint32_t next_id = kFirstPhaseSpanId;
+  std::uint64_t last_ns = epoch;
+  for (std::size_t i = begin; i < end; ++i) {
+    const trace::TraceEvent& e = events[i];
+    last_ns = abs_ns(e.wall_us);
+    if (e.kind == trace::TraceEvent::Kind::kOpen) {
+      if (out.size() >= kMaxPhaseSpans) {
+        if (truncated != nullptr) *truncated = true;
+        break;
+      }
+      Span s;
+      s.name = intern_name(e.name);
+      s.span_id = next_id++;
+      s.parent_id = open.empty()
+                        ? parent_id
+                        : out[open.back()].span_id;
+      s.start_ns = last_ns;
+      s.end_ns = last_ns;  // patched at close
+      open.push_back(out.size());
+      out.push_back(s);
+    } else {
+      if (open.empty()) continue;  // unmatched close (sliced log)
+      out[open.back()].end_ns = last_ns;
+      open.pop_back();
+    }
+  }
+  // Phases still open when the slice ended (cap hit mid-tree): close at
+  // the last stamp so durations stay sane.
+  while (!open.empty()) {
+    out[open.back()].end_ns = last_ns;
+    open.pop_back();
+  }
+  // The recorder itself drops events past its cap; a dropped tail means
+  // the tree is incomplete even if we never hit kMaxPhaseSpans.
+  if (truncated != nullptr && rec->dropped_events() > 0) *truncated = true;
+  return out;
+}
+
+}  // namespace iph::obs

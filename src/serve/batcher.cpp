@@ -28,6 +28,10 @@ std::vector<Response> execute_batch(const BackendSet& backends,
   if (info != nullptr) {
     info->completed_at.clear();
     info->completed_at.reserve(requests.size());
+    info->started_at.clear();
+    info->started_at.reserve(requests.size());
+    info->pram_events.clear();
+    info->pram_events.reserve(requests.size());
     info->pram_total = pram::Metrics{};
     info->pram_requests = 0;
     info->native_requests = 0;
@@ -36,6 +40,11 @@ std::vector<Response> execute_batch(const BackendSet& backends,
     const Request& r = requests[i];
     const std::uint64_t seed = derive_request_seed(master_seed, r.id);
     exec::Backend* backend = backends.resolve(r.backend);
+    const bool on_pram = backend->kind() != exec::BackendKind::kNative;
+    const std::size_t ev_begin =
+        backends.recorder != nullptr && on_pram
+            ? backends.recorder->events().size()
+            : 0;
     const auto t0 = Clock::now();
     exec::HullRun run = backend->upper_hull(
         std::span<const geom::Point2>(arena).subspan(offsets[i],
@@ -55,6 +64,12 @@ std::vector<Response> execute_batch(const BackendSet& backends,
     resp.metrics.backend = backend->kind();
     if (info != nullptr) {
       info->completed_at.push_back(t1);
+      info->started_at.push_back(t0);
+      const std::size_t ev_end =
+          backends.recorder != nullptr && on_pram
+              ? backends.recorder->events().size()
+              : 0;
+      info->pram_events.emplace_back(ev_begin, ev_end);
       info->pram_total.add_counters(run.metrics);
       if (backend->kind() == exec::BackendKind::kNative) {
         ++info->native_requests;

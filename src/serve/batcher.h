@@ -28,12 +28,14 @@
 #include <chrono>
 #include <cstddef>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "exec/backend.h"
 #include "pram/machine.h"
 #include "pram/metrics.h"
 #include "serve/request.h"
+#include "trace/recorder.h"
 
 namespace iph::serve {
 
@@ -61,6 +63,12 @@ struct BackendSet {
   exec::Backend* pram = nullptr;    ///< Required.
   exec::Backend* native = nullptr;  ///< Optional fast path.
   exec::BackendKind service_default = exec::BackendKind::kPram;
+  /// When set, execute_batch records which [begin, end) range of this
+  /// recorder's event log each PRAM-resolved request produced
+  /// (BatchExecInfo::pram_events) — the span <-> phase-tree linkage the
+  /// flight recorder turns into child spans. Must be the recorder
+  /// observing the leased machine behind `pram`.
+  const trace::Recorder* recorder = nullptr;
 
   /// Resolve a request's requested kind to the engine that will run it.
   exec::Backend* resolve(exec::BackendKind want) const noexcept {
@@ -80,6 +88,15 @@ struct BatchExecInfo {
   /// earlier); before this existed every batch-mate was stamped with
   /// the batch tail's end time.
   std::vector<Clock::time_point> completed_at;
+  /// When request i's execution started on the backend — parallel to
+  /// completed_at. [started_at[i], completed_at[i]) is request i's own
+  /// exec span; the gap back to started_at[0] is its wait for earlier
+  /// batch-mates in the shared arena.
+  std::vector<Clock::time_point> started_at;
+  /// Per-request [begin, end) index range into BackendSet::recorder's
+  /// event log (all zeros when no recorder was supplied, and empty
+  /// ranges for native-resolved requests, which bypass the simulator).
+  std::vector<std::pair<std::size_t, std::size_t>> pram_events;
   /// Per-request pram::Metrics counters summed over the batch
   /// (Metrics::add_counters) — the machine itself is reset per request,
   /// so its own metrics afterwards are only the last request's. Native

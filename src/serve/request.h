@@ -23,6 +23,7 @@
 #include "exec/backend.h"
 #include "geom/hull_types.h"
 #include "geom/point.h"
+#include "obs/context.h"
 #include "support/rng.h"
 
 namespace iph::serve {
@@ -84,6 +85,11 @@ struct Request {
   /// executing (expiry is detected at dequeue, not by a timer).
   Clock::time_point deadline{};
 
+  /// Tracing identity (obs/context.h). Unset (trace_id == 0) means the
+  /// service stamps one at submit; a caller-supplied id is adopted
+  /// verbatim and its parent_span becomes the root span's parent.
+  obs::TraceContext trace;
+
   bool has_deadline() const noexcept {
     return deadline != Clock::time_point{};
   }
@@ -117,6 +123,10 @@ struct Response {
   Status status = Status::kOk;
   geom::HullResult2D hull;  ///< Valid iff status == kOk.
   RequestMetrics metrics;
+  /// The trace identity the request ran under (caller's id adopted
+  /// verbatim, or the one the service stamped). Echoed on the wire so
+  /// clients can join their latency tallies to server-side tracez.
+  obs::TraceContext trace;
 };
 
 }  // namespace iph::serve

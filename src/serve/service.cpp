@@ -1,9 +1,12 @@
 #include "serve/service.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <utility>
 
 #include "exec/pram_backend.h"
+#include "obs/phase_link.h"
 #include "support/check.h"
 #include "support/env.h"
 
@@ -22,7 +25,43 @@ ServiceConfig sanitize(ServiceConfig cfg) {
   if (cfg.backend == exec::BackendKind::kDefault) {
     cfg.backend = exec::BackendKind::kPram;
   }
+  if (cfg.obs.repro_dir.empty()) {
+    cfg.obs.repro_dir = support::env_string("IPH_EXEC_REPRO_DIR", "");
+  }
   return cfg;
+}
+
+std::uint64_t steady_ns(Clock::time_point tp) noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          tp.time_since_epoch())
+          .count());
+}
+
+/// Write a tail-exemplar repro JSON in the exec_diff artifact shape
+/// (family/n/seed/points, %.17g — tests/exec_diff_test.cpp replays any
+/// .json in IPH_EXEC_REPRO_DIR through the full differential check, so
+/// a pinned serving exemplar becomes a standing regression for free).
+/// Returns the path, or empty on I/O failure.
+std::string write_exemplar_repro(const std::string& dir,
+                                 std::uint64_t trace_id,
+                                 std::uint64_t seed,
+                                 std::span<const geom::Point2> pts) {
+  const std::string path =
+      dir + "/serve_exemplar_" + obs::to_hex(trace_id) + ".json";
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) return std::string();
+  std::fprintf(out,
+               "{\"family\": \"serve\", \"n\": %zu, \"seed\": %llu,\n"
+               " \"points\": [",
+               pts.size(), static_cast<unsigned long long>(seed));
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    std::fprintf(out, "%s[%.17g, %.17g]", i == 0 ? "" : ", ", pts[i].x,
+                 pts[i].y);
+  }
+  std::fprintf(out, "]}\n");
+  std::fclose(out);
+  return path;
 }
 
 }  // namespace
@@ -34,6 +73,10 @@ HullService::HullService(const ServiceConfig& cfg)
       pool_(cfg_.shards, cfg_.threads_per_shard, cfg_.master_seed),
       small_queue_(cfg_.queue_capacity),
       large_queue_(cfg_.queue_capacity) {
+  if (cfg_.obs.enabled) {
+    flight_ =
+        std::make_unique<obs::FlightRecorder>(cfg_.obs, stats_registry_);
+  }
   small_queue_.bind_depth_gauge(&sstats_.small_depth);
   large_queue_.bind_depth_gauge(&sstats_.large_depth);
   // The pool meters the batch shards; the dedicated large shard (index
@@ -87,6 +130,11 @@ std::future<Response> HullService::submit(Request req) {
   if (req.id == 0) {
     req.id = next_id_.fetch_add(1, std::memory_order_relaxed);
   }
+  // Adopt a caller-supplied trace id verbatim; stamp one otherwise so
+  // every admitted request is traceable (context.h id semantics).
+  if (flight_ != nullptr && !req.trace.has_id()) {
+    req.trace.trace_id = flight_->stamp_trace_id();
+  }
   const RequestId id = req.id;
   if (closed_.load(std::memory_order_acquire)) {
     stats_.rejected_shutdown.fetch_add(1, std::memory_order_relaxed);
@@ -94,6 +142,7 @@ std::future<Response> HullService::submit(Request req) {
     Response r;
     r.id = id;
     r.status = Status::kRejectedShutdown;
+    r.trace = req.trace;
     return ready_response(std::move(r));
   }
   const bool large = large_machine_ != nullptr &&
@@ -133,6 +182,7 @@ void HullService::answer_rejection(Pending& p, Status status) {
   Response r;
   r.id = p.request.id;
   r.status = status;
+  r.trace = p.request.trace;
   p.promise.set_value(std::move(r));
 }
 
@@ -144,6 +194,11 @@ void HullService::batch_worker() {
                                cfg_.batch.max_batch_points,
                                cfg_.batch.window, &close);
     if (batch.empty()) return;  // closed and drained
+    // Popped vs leased: the queue_wait span ends here, the lease span
+    // covers the pool acquire below (metrics keep the original
+    // submit -> post-lease definition of queue_wait_ms; the spans give
+    // the finer attribution).
+    const Clock::time_point popped = Clock::now();
     if (abandon_.load(std::memory_order_acquire)) {
       for (Pending& p : batch) {
         stats_.rejected_shutdown.fetch_add(1, std::memory_order_relaxed);
@@ -166,13 +221,16 @@ void HullService::batch_worker() {
         sstats_.close_closed.inc();
         break;
     }
-    finish_batch(std::move(batch), pool_.acquire());
+    finish_batch(std::move(batch), pool_.acquire(), popped,
+                 batch_close_name(close));
   }
 }
 
 void HullService::finish_batch(std::vector<Pending> batch,
-                               MachinePool::Lease lease) {
-  const Clock::time_point dequeued = Clock::now();
+                               MachinePool::Lease lease,
+                               Clock::time_point popped,
+                               const char* close_tag) {
+  const Clock::time_point dequeued = Clock::now();  // lease granted
 
   // Deadline expiry is detected here, at dequeue: anything past its
   // deadline is answered kExpired without spending PRAM time on it.
@@ -185,6 +243,7 @@ void HullService::finish_batch(std::vector<Pending> batch,
       Response r;
       r.id = p.request.id;
       r.status = Status::kExpired;
+      r.trace = p.request.trace;
       r.metrics.queue_wait_ms = ms_between(p.enqueued_at, dequeued);
       r.metrics.e2e_ms = r.metrics.queue_wait_ms;
       p.promise.set_value(std::move(r));
@@ -203,14 +262,33 @@ void HullService::finish_batch(std::vector<Pending> batch,
   backends.pram = &pram_backend;
   backends.native = &native_;
   backends.service_default = cfg_.backend;
+  const trace::Recorder* rec =
+      cfg_.trace && flight_ != nullptr && lease.shard() < recorders_.size()
+          ? recorders_[lease.shard()].get()
+          : nullptr;
+  backends.recorder = rec;
   BatchExecInfo info;
   std::vector<Response> responses =
       execute_batch(backends, reqs, cfg_.master_seed, &info);
   const std::size_t shard = lease.shard();
+  // Phase-tree linkage must be read out while the lease is held: the
+  // shard's recorder is appended to by whoever leases the shard next.
+  std::vector<std::vector<obs::Span>> phase_spans(live.size());
+  std::vector<char> phase_truncated(live.size(), 0);
+  if (rec != nullptr) {
+    for (std::size_t i = 0; i < info.pram_events.size(); ++i) {
+      bool trunc = false;
+      phase_spans[i] = obs::phase_spans_from_events(
+          rec, info.pram_events[i], obs::kExecSpanId, &trunc);
+      phase_truncated[i] = trunc ? 1 : 0;
+    }
+  }
   lease.release();  // free the shard before the promise fan-out
 
   IPH_CHECK(responses.size() == live.size());
   IPH_CHECK(info.completed_at.size() == live.size());
+  IPH_CHECK(info.started_at.size() == live.size());
+  IPH_CHECK(info.pram_events.size() == live.size());
   // Stats strictly before the promise fan-out: a caller that has seen
   // its Response observes counters that already include it.
   stats_.batches.fetch_add(1, std::memory_order_relaxed);
@@ -237,11 +315,58 @@ void HullService::finish_batch(std::vector<Pending> batch,
     // regression-tested in serve_test).
     responses[i].metrics.e2e_ms =
         ms_between(live[i].enqueued_at, info.completed_at[i]);
+    responses[i].trace = reqs[i].trace;
     sstats_.queue_wait_ms.record(responses[i].metrics.queue_wait_ms);
     sstats_.exec_ms.record(responses[i].metrics.exec_ms);
     sstats_.e2e_ms.record(responses[i].metrics.e2e_ms);
+    publish_request_trace(reqs[i], responses[i], close_tag,
+                          live[i].enqueued_at, popped, dequeued,
+                          info.started_at[i], info.completed_at[i],
+                          live.size(), std::move(phase_spans[i]),
+                          phase_truncated[i] != 0);
     live[i].promise.set_value(std::move(responses[i]));
   }
+}
+
+void HullService::publish_request_trace(
+    const Request& req, const Response& resp, const char* close_tag,
+    Clock::time_point enqueued, Clock::time_point popped,
+    Clock::time_point leased, Clock::time_point started,
+    Clock::time_point completed, std::uint64_t batch_size,
+    std::vector<obs::Span> phase_spans, bool phase_truncated) {
+  if (flight_ == nullptr) return;
+  obs::CompletedTrace t;
+  t.trace_id = req.trace.trace_id;
+  t.parent_span = req.trace.parent_span;
+  t.request_id = req.id;
+  t.status = status_name(resp.status);
+  t.backend = exec::backend_name(resp.metrics.backend);
+  t.tag = close_tag;
+  t.batch_size = batch_size;
+  t.e2e_ms = resp.metrics.e2e_ms;
+  // The fixed 4-span tree (span.h reconciliation contract). The root's
+  // parent is the caller's span when the wire supplied one.
+  t.spans.reserve(obs::kSpansPerRequest);
+  t.spans.push_back({"request", obs::kRootSpanId, 0, steady_ns(enqueued),
+                     steady_ns(completed)});
+  t.spans.push_back({"queue_wait", obs::kQueueWaitSpanId, obs::kRootSpanId,
+                     steady_ns(enqueued), steady_ns(popped)});
+  t.spans.push_back({"lease", obs::kLeaseSpanId, obs::kRootSpanId,
+                     steady_ns(popped), steady_ns(leased)});
+  t.spans.push_back({"exec", obs::kExecSpanId, obs::kRootSpanId,
+                     steady_ns(started), steady_ns(completed)});
+  t.phase_spans = std::move(phase_spans);
+  t.phase_spans_truncated = phase_truncated;
+  // Tail exemplar about to be pinned: give it a standalone repro file
+  // (native runs only — PRAM tails are explained by their linked phase
+  // tree instead). Advisory check; the pin itself happens in publish.
+  if (resp.metrics.backend == exec::BackendKind::kNative &&
+      !cfg_.obs.repro_dir.empty() &&
+      flight_->exemplar_bucket(t.e2e_ms) >= 0) {
+    t.repro = write_exemplar_repro(cfg_.obs.repro_dir, t.trace_id,
+                                   resp.metrics.seed, req.points);
+  }
+  flight_->publish(std::move(t));
 }
 
 void HullService::large_worker() {
@@ -261,6 +386,7 @@ void HullService::large_worker() {
       Response r;
       r.id = p->request.id;
       r.status = Status::kExpired;
+      r.trace = p->request.trace;
       r.metrics.queue_wait_ms = ms_between(p->enqueued_at, dequeued);
       r.metrics.e2e_ms = r.metrics.queue_wait_ms;
       p->promise.set_value(std::move(r));
@@ -272,14 +398,23 @@ void HullService::large_worker() {
     backends.pram = &pram_backend;
     backends.native = &native_;
     backends.service_default = cfg_.backend;
+    // The large shard's recorder is only ever driven by this worker, so
+    // reading it after the run needs no lease discipline.
+    const trace::Recorder* rec = cfg_.trace && flight_ != nullptr &&
+                                         !recorders_.empty()
+                                     ? recorders_.back().get()
+                                     : nullptr;
+    backends.recorder = rec;
     BatchExecInfo info;
     std::vector<Response> resp =
         execute_batch(backends, {&req, 1}, cfg_.master_seed, &info);
-    IPH_CHECK(resp.size() == 1 && info.completed_at.size() == 1);
+    IPH_CHECK(resp.size() == 1 && info.completed_at.size() == 1 &&
+              info.started_at.size() == 1 && info.pram_events.size() == 1);
     const Clock::time_point done = info.completed_at[0];
     resp[0].metrics.shard = pool_.size();  // the dedicated large shard
     resp[0].metrics.queue_wait_ms = ms_between(p->enqueued_at, dequeued);
     resp[0].metrics.e2e_ms = ms_between(p->enqueued_at, done);
+    resp[0].trace = req.trace;
     stats_.completed.fetch_add(1, std::memory_order_relaxed);
     sstats_.completed.inc();
     sstats_.fold_pram(info.pram_total);
@@ -296,6 +431,16 @@ void HullService::large_worker() {
                                                                 dequeued)
               .count()));
     }
+    bool trunc = false;
+    std::vector<obs::Span> phases = obs::phase_spans_from_events(
+        rec, info.pram_events[0], obs::kExecSpanId, &trunc);
+    // Large path: no batcher pop and no pool lease, so queue_wait runs
+    // to dequeue and the lease span is zero-length at that stamp —
+    // keeping the 4-span shape (and the span-count reconciliation)
+    // uniform across paths.
+    publish_request_trace(req, resp[0], "large", p->enqueued_at, dequeued,
+                          dequeued, info.started_at[0], done,
+                          /*batch_size=*/1, std::move(phases), trunc);
     p->promise.set_value(std::move(resp[0]));
   }
 }

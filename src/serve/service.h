@@ -41,6 +41,7 @@
 
 #include "exec/backend.h"
 #include "exec/native_backend.h"
+#include "obs/flight_recorder.h"
 #include "serve/batcher.h"
 #include "serve/machine_pool.h"
 #include "serve/queue.h"
@@ -61,6 +62,12 @@ struct ServiceConfig {
   BatchPolicy batch;
   std::uint64_t master_seed = 0x19910722ULL;
   bool trace = false;  ///< attach a trace::Recorder per shard.
+  /// Flight-recorder shape (obs/flight_recorder.h). Enabled by default:
+  /// the recorder is designed to ride the hot path at near-zero cost
+  /// (e14's obs-overhead claim gates that). With trace ALSO set, PRAM
+  /// phase trees are linked into each request's span tree as child
+  /// spans of its exec span.
+  obs::ObsConfig obs;
   /// Engine that serves requests whose Request::backend is kDefault
   /// (exec/backend.h). kPram keeps the metered-simulator behavior this
   /// service shipped with; kNative routes defaulted requests to the
@@ -128,12 +135,34 @@ class HullService {
   /// nullptr unless ServiceConfig::trace. Read after shutdown().
   const trace::Recorder* recorder(std::size_t i) const;
 
+  /// The flight recorder (obs/flight_recorder.h), or nullptr when
+  /// ServiceConfig::obs.enabled is false. Snapshot any time — the
+  /// `tracez` wire command and --trace-out export read it live.
+  obs::FlightRecorder* flight_recorder() noexcept { return flight_.get(); }
+  const obs::FlightRecorder* flight_recorder() const noexcept {
+    return flight_.get();
+  }
+
  private:
   void batch_worker();
   void large_worker();
   void answer_rejection(Pending& p, Status status);
-  void finish_batch(std::vector<Pending> batch, MachinePool::Lease lease);
+  void finish_batch(std::vector<Pending> batch, MachinePool::Lease lease,
+                    Clock::time_point popped, const char* close_tag);
   static std::future<Response> ready_response(Response r);
+  /// Assemble + publish one completed request's span tree (no-op
+  /// without a flight recorder). `phase_spans` were extracted from the
+  /// shard recorder while the lease was still held (obs/phase_link.h).
+  void publish_request_trace(const Request& req, const Response& resp,
+                             const char* close_tag,
+                             Clock::time_point enqueued,
+                             Clock::time_point popped,
+                             Clock::time_point leased,
+                             Clock::time_point started,
+                             Clock::time_point completed,
+                             std::uint64_t batch_size,
+                             std::vector<obs::Span> phase_spans,
+                             bool phase_truncated);
 
   ServiceConfig cfg_;
   // Registry before queues/pool: both hold bound instrument pointers
@@ -141,6 +170,9 @@ class HullService {
   // be destroyed after them (reverse declaration order).
   stats::Registry stats_registry_;
   ServeStats sstats_;
+  // Flight recorder after the registry (it binds instruments into it)
+  // and before the workers (they publish into it until they join).
+  std::unique_ptr<obs::FlightRecorder> flight_;
   // Recorders before machines: machines are detached from observers by
   // destruction order (pool after recorders would dangle — so pool_
   // and large_machine_ are declared after recorders_ and destroyed

@@ -9,10 +9,11 @@ namespace iph::session {
 
 namespace {
 
-double ms_since(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now() - t0)
-      .count();
+std::uint64_t steady_ns(std::chrono::steady_clock::time_point tp) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          tp.time_since_epoch())
+          .count());
 }
 
 }  // namespace
@@ -34,9 +35,11 @@ const char* session_status_name(SessionStatus s) noexcept {
 }
 
 SessionManager::SessionManager(const ManagerConfig& cfg,
-                               stats::Registry& registry)
+                               stats::Registry& registry,
+                               obs::FlightRecorder* flight)
     : cfg_(cfg),
       stats_(registry),
+      flight_(flight),
       native_(cfg.native_threads),
       machine_(cfg.pram_threads, cfg.master_seed) {
   if (cfg_.default_backend == exec::BackendKind::kDefault) {
@@ -111,12 +114,15 @@ SessionStatus SessionManager::append(std::uint64_t sid,
     }
     aux_after = entry->session.ledger().aux_cells;
   }
+  const auto done = std::chrono::steady_clock::now();
+  const double append_ms =
+      std::chrono::duration<double, std::milli>(done - t0).count();
   stats_.aux_cells.add(static_cast<std::int64_t>(aux_after) -
                        static_cast<std::int64_t>(aux_before));
   stats_.appends.inc();
   stats_.append_points.inc(pts.size());
   stats_.delta_ops.record(static_cast<double>(out->ops.size()));
-  stats_.append_ms.record(ms_since(t0));
+  stats_.append_ms.record(append_ms);
   if (out->rebuilt) {
     stats_.rebuilds.inc();
     stats_.rebuild_ms.record(out->rebuild_ms);
@@ -125,6 +131,33 @@ SessionStatus SessionManager::append(std::uint64_t sid,
         .inc();
     stats_.fold_pram(out->rebuild_metrics);
     if (out->rebuild_mismatch) stats_.rebuild_mismatch.inc();
+  }
+  if (flight_ != nullptr) {
+    // One kind="session" trace per append: a session_append root plus a
+    // rebuild child iff this append rebuilt (manager.h reconciliation
+    // contract). The rebuild runs at the tail of the append, so its
+    // span is placed as the trailing rebuild_ms of the root — measured
+    // duration, approximated position.
+    obs::CompletedTrace t;
+    t.trace_id = flight_->stamp_trace_id();
+    t.request_id = sid;
+    t.kind = "session";
+    t.backend = exec::backend_name(entry->backend);
+    t.batch_size = pts.size();
+    t.e2e_ms = append_ms;
+    const std::uint64_t start = steady_ns(t0);
+    const std::uint64_t end = steady_ns(done);
+    t.spans.reserve(out->rebuilt ? 2 : 1);
+    t.spans.push_back({"session_append", obs::kRootSpanId, 0, start, end});
+    if (out->rebuilt) {
+      const std::uint64_t rb_ns =
+          static_cast<std::uint64_t>(out->rebuild_ms * 1e6);
+      const std::uint64_t rb_start =
+          end > start + rb_ns ? end - rb_ns : start;
+      t.spans.push_back({"rebuild", obs::kRootSpanId + 1, obs::kRootSpanId,
+                         rb_start, end});
+    }
+    flight_->publish(std::move(t));
   }
   return SessionStatus::kOk;
 }

@@ -37,6 +37,7 @@
 
 #include "exec/backend.h"
 #include "exec/native_backend.h"
+#include "obs/flight_recorder.h"
 #include "pram/machine.h"
 #include "session/session.h"
 #include "session/stats.h"
@@ -87,7 +88,15 @@ struct CloseSummary {
 
 class SessionManager {
  public:
-  SessionManager(const ManagerConfig& cfg, stats::Registry& registry);
+  /// `flight` (optional, non-owning, must outlive the manager) receives
+  /// a kind="session" trace per append — a session_append root plus a
+  /// rebuild child iff the append rebuilt, so
+  /// iph_obs_spans_recorded_total{kind=session} == appends + rebuilds
+  /// (the scrape-reconciliation identity hullload --stream checks).
+  /// hullserved passes its service's flight recorder so request and
+  /// session traces share one tracez ring.
+  SessionManager(const ManagerConfig& cfg, stats::Registry& registry,
+                 obs::FlightRecorder* flight = nullptr);
 
   SessionManager(const SessionManager&) = delete;
   SessionManager& operator=(const SessionManager&) = delete;
@@ -118,6 +127,7 @@ class SessionManager {
 
   ManagerConfig cfg_;
   SessionStats stats_;
+  obs::FlightRecorder* flight_ = nullptr;  ///< May be null (no tracing).
   exec::NativeBackend native_;
   pram::Machine machine_;
   std::mutex machine_mu_;

@@ -115,6 +115,11 @@ class Recorder final : public pram::PhaseObserver {
   const std::vector<TraceEvent>& events() const noexcept { return events_; }
   /// Events beyond kMaxEvents that were counted but not stored.
   std::uint64_t dropped_events() const noexcept { return dropped_events_; }
+  /// steady_clock::time_since_epoch at construction, in ns. Lets
+  /// consumers (iph::obs phase-span linkage) convert an event's
+  /// wall_us offset back to the absolute steady-clock timeline:
+  /// absolute_ns = epoch_ns() + wall_us * 1000.
+  std::uint64_t epoch_ns() const noexcept { return epoch_ns_; }
   /// True iff every open has been matched by a close (i.e. between runs).
   bool quiescent() const noexcept { return open_.size() == 1; }
 

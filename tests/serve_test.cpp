@@ -23,6 +23,8 @@
 #include "serve/request.h"
 #include "serve/service.h"
 #include "serve/stats.h"
+#include "obs/flight_recorder.h"
+#include "obs/span.h"
 #include "stats/stats.h"
 #include "../tools/serve_wire.h"
 
@@ -736,6 +738,217 @@ TEST(ExecuteBatch, BackendSetDispatchesAndFallsBack) {
   for (const Response& r : rs) {
     EXPECT_EQ(r.metrics.backend, exec::BackendKind::kPram);
   }
+}
+
+// --- request-scoped tracing (iph::obs) --------------------------------
+
+// Extends the PR 5 batch-metrics fix down to spans: execute_batch now
+// also reports each request's own START stamp and its slice of the
+// shard recorder's phase-event log, so batch-mates get disjoint,
+// per-request exec spans instead of sharing the batch's.
+TEST(ExecuteBatch, ReportsPerRequestStartStampsAndEventRanges) {
+  pram::Machine m(2, 99);
+  trace::Recorder rec;
+  rec.attach(m);
+  exec::PramBackend pram_backend(m);
+  std::vector<Request> reqs;
+  for (int i = 0; i < 4; ++i) {
+    reqs.push_back(make_request(static_cast<RequestId>(i + 1), 128, 11));
+  }
+  BackendSet backends;
+  backends.pram = &pram_backend;
+  backends.recorder = &rec;
+  BatchExecInfo info;
+  const std::vector<Response> rs = execute_batch(backends, reqs, 7, &info);
+  ASSERT_EQ(rs.size(), reqs.size());
+  ASSERT_EQ(info.started_at.size(), reqs.size());
+  ASSERT_EQ(info.completed_at.size(), reqs.size());
+  ASSERT_EQ(info.pram_events.size(), reqs.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    // Each request's exec interval is well-formed and disjoint from its
+    // predecessor's (back-to-back in the arena, never shared stamps).
+    EXPECT_LT(info.started_at[i].time_since_epoch().count(),
+              info.completed_at[i].time_since_epoch().count());
+    if (i > 0) {
+      EXPECT_GE(info.started_at[i].time_since_epoch().count(),
+                info.completed_at[i - 1].time_since_epoch().count());
+    }
+    // PRAM-resolved requests own consecutive, non-empty event slices.
+    EXPECT_LT(info.pram_events[i].first, info.pram_events[i].second);
+    if (i > 0) {
+      EXPECT_EQ(info.pram_events[i].first, info.pram_events[i - 1].second);
+    }
+  }
+  EXPECT_EQ(info.pram_events.back().second, rec.events().size());
+
+  // Native-resolved requests bypass the simulator: their slice is empty.
+  exec::NativeBackend native_backend(2);
+  backends.native = &native_backend;
+  for (auto& r : reqs) r.backend = exec::BackendKind::kNative;
+  execute_batch(backends, reqs, 7, &info);
+  for (const auto& range : info.pram_events) {
+    EXPECT_EQ(range.first, range.second);
+  }
+}
+
+// The service stamps a fresh trace id on requests that arrive without
+// one and adopts a caller-supplied context verbatim; every completed
+// request publishes one 4-span tree whose counters reconcile EXACTLY
+// against the serve counters (the identity hullload --scrape checks).
+TEST(HullService, TraceStampingAdoptionAndExactSpanReconciliation) {
+  ServiceConfig cfg = small_config();
+  cfg.workers = 1;
+  cfg.shards = 1;
+  HullService svc(cfg);
+  ASSERT_NE(svc.flight_recorder(), nullptr);
+
+  std::vector<std::future<Response>> futs;
+  for (int i = 0; i < 6; ++i) {
+    futs.push_back(svc.submit(make_request(0, 128, 5)));
+  }
+  Request tagged = make_request(0, 128, 5);
+  tagged.trace.trace_id = 0xabc123;
+  tagged.trace.parent_span = 0x7;
+  futs.push_back(svc.submit(std::move(tagged)));
+
+  std::vector<std::uint64_t> ids;
+  for (auto& f : futs) {
+    const Response r = f.get();
+    ASSERT_EQ(r.status, Status::kOk);
+    ASSERT_TRUE(r.trace.has_id()) << "service must stamp missing ids";
+    ids.push_back(r.trace.trace_id);
+  }
+  // The adopted context came back verbatim on its own response...
+  EXPECT_EQ(ids.back(), 0xabc123u);
+  // ...and stamped ids are unique.
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+
+  svc.shutdown();
+  namespace on = obs::statnames;
+  const stats::RegistrySnapshot s = svc.stats_registry().snapshot();
+  const std::uint64_t completed = s.counter_or0(statnames::kCompleted);
+  ASSERT_EQ(completed, futs.size());
+  EXPECT_EQ(s.counter_or0(
+                stats::labeled(on::kTracesPublishedBase, "kind", "request")),
+            completed);
+  EXPECT_EQ(s.counter_or0(
+                stats::labeled(on::kSpansRecordedBase, "kind", "request")),
+            completed * obs::kSpansPerRequest);
+
+  // The retained span trees carry the adopted client span as the root's
+  // wire-level parent.
+  bool saw_tagged = false;
+  for (const obs::CompletedTrace& t : svc.flight_recorder()->snapshot()) {
+    ASSERT_EQ(t.spans.size(),
+              static_cast<std::size_t>(obs::kSpansPerRequest));
+    if (t.trace_id == 0xabc123u) {
+      saw_tagged = true;
+      EXPECT_EQ(t.parent_span, 0x7u);
+    }
+  }
+  EXPECT_TRUE(saw_tagged);
+}
+
+// Batch-mates get per-request exec spans: along a coalesced batch the
+// exec spans are disjoint and strictly ordered, matching the PR 5
+// per-request completion stamps (under the old shared-stamp bug every
+// mate's exec span would have been the batch tail's interval).
+TEST(HullService, BatchMatesGetDisjointExecSpans) {
+  ServiceConfig cfg = small_config();
+  cfg.workers = 1;
+  cfg.shards = 1;
+  cfg.batch.window = 500ms;
+  cfg.batch.max_batch_requests = 8;
+  HullService svc(cfg);
+  std::vector<std::future<Response>> futs;
+  futs.reserve(8);
+  for (int i = 0; i < 8; ++i) {
+    futs.push_back(svc.submit(make_request(0, 256, 8)));
+  }
+  for (auto& f : futs) ASSERT_EQ(f.get().status, Status::kOk);
+  svc.shutdown();
+
+  std::vector<obs::CompletedTrace> traces = svc.flight_recorder()->snapshot();
+  ASSERT_EQ(traces.size(), 8u);
+  // All one batch...
+  for (const obs::CompletedTrace& t : traces) {
+    ASSERT_EQ(t.batch_size, 8u) << "burst did not coalesce";
+  }
+  // ...so ordered by request id, the exec spans tile the lease without
+  // overlap or shared stamps.
+  std::sort(traces.begin(), traces.end(),
+            [](const obs::CompletedTrace& a, const obs::CompletedTrace& b) {
+              return a.trace_id < b.trace_id;
+            });
+  const obs::Span* prev = nullptr;
+  for (const obs::CompletedTrace& t : traces) {
+    const obs::Span& exec = t.spans[obs::kExecSpanId - 1];
+    ASSERT_STREQ(exec.name, "exec");
+    EXPECT_LT(exec.start_ns, exec.end_ns);
+    if (prev != nullptr) {
+      EXPECT_GE(exec.start_ns, prev->end_ns)
+          << "batch-mates shared exec stamps";
+    }
+    prev = &t.spans[obs::kExecSpanId - 1];
+  }
+}
+
+// With --trace on the PRAM path, each request's trace links its own
+// slice of the simulator phase tree as child spans of its exec span.
+TEST(HullService, PramTracesLinkPhaseSpansUnderExec) {
+  ServiceConfig cfg = small_config();
+  cfg.trace = true;
+  cfg.workers = 1;
+  cfg.shards = 1;
+  HullService svc(cfg);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(svc.submit(make_request(0, 128, 5)).get().status, Status::kOk);
+  }
+  svc.shutdown();
+  const std::vector<obs::CompletedTrace> traces =
+      svc.flight_recorder()->snapshot();
+  ASSERT_EQ(traces.size(), 3u);
+  for (const obs::CompletedTrace& t : traces) {
+    ASSERT_FALSE(t.phase_spans.empty()) << "pram trace lost its phases";
+    // Root of each phase slice hangs off the exec span; nested phases
+    // hang off other phase spans.
+    for (const obs::Span& s : t.phase_spans) {
+      EXPECT_TRUE(s.parent_id == obs::kExecSpanId ||
+                  s.parent_id >= obs::kFirstPhaseSpanId)
+          << s.name;
+      EXPECT_GE(s.start_ns, t.root_start_ns());
+    }
+    EXPECT_EQ(t.phase_spans[0].parent_id, obs::kExecSpanId);
+  }
+  // Phase spans are counted under their own kind — request span counts
+  // stay exactly 4 per completed request.
+  const stats::RegistrySnapshot s = svc.stats_registry().snapshot();
+  namespace on = obs::statnames;
+  EXPECT_EQ(s.counter_or0(
+                stats::labeled(on::kSpansRecordedBase, "kind", "request")),
+            3u * obs::kSpansPerRequest);
+  EXPECT_GT(s.counter_or0(
+                stats::labeled(on::kSpansRecordedBase, "kind", "phase")),
+            0u);
+}
+
+// Disabling obs removes the recorder and its counters entirely — the
+// zero-cost off switch (and the config hullload's presence-gated
+// reconciliation must tolerate).
+TEST(HullService, ObsDisabledServesWithoutRecorderOrCounters) {
+  ServiceConfig cfg = small_config();
+  cfg.obs.enabled = false;
+  HullService svc(cfg);
+  EXPECT_EQ(svc.flight_recorder(), nullptr);
+  const Response r = svc.submit(make_request(0, 128, 5)).get();
+  ASSERT_EQ(r.status, Status::kOk);
+  EXPECT_FALSE(r.trace.has_id()) << "no recorder, no stamping";
+  svc.shutdown();
+  const stats::RegistrySnapshot s = svc.stats_registry().snapshot();
+  EXPECT_EQ(s.counter(stats::labeled(obs::statnames::kTracesPublishedBase,
+                                     "kind", "request")),
+            nullptr);
 }
 
 }  // namespace

@@ -40,6 +40,7 @@
 #include "exec/pram_backend.h"
 #include "geom/point.h"
 #include "geom/workloads.h"
+#include "obs/flight_recorder.h"
 #include "pram/machine.h"
 #include "seq/upper_hull.h"
 #include "session/manager.h"
@@ -540,6 +541,61 @@ TEST(Session, FuzzTimeBounded) {
   std::printf("session fuzz: %llu iterations in %llu ms budget\n",
               static_cast<unsigned long long>(iters),
               static_cast<unsigned long long>(budget_ms));
+}
+
+// A manager wired to a flight recorder publishes one kind="session"
+// trace per append — a session_append root plus a rebuild child iff
+// that append rebuilt — so the obs counters reconcile EXACTLY against
+// the session counters (the identity hullload --stream --scrape
+// checks). A null recorder (the default) publishes nothing.
+TEST(SessionManager, AppendsPublishSessionTraces) {
+  stats::Registry reg;
+  ManagerConfig cfg;
+  cfg.session.pending_limit = 8;  // force some rebuilds
+  cfg.session.staleness_limit = 2;
+  obs::FlightRecorder flight(obs::ObsConfig{}, reg);
+  SessionManager mgr(cfg, reg, &flight);
+
+  OpenInfo info;
+  ASSERT_EQ(mgr.open(exec::BackendKind::kNative, &info), SessionStatus::kOk);
+  AppendResult res;
+  std::uint64_t appends = 0, rebuilds = 0;
+  for (int i = 0; i < 12; ++i) {
+    const std::vector<Point2> pts =
+        geom::make2d(geom::Family2D::kDisk, 16, 100 + i);
+    ASSERT_EQ(mgr.append(info.sid, pts, &res), SessionStatus::kOk);
+    ++appends;
+    if (res.rebuilt) ++rebuilds;
+  }
+  ASSERT_GT(rebuilds, 0u) << "policy never triggered a rebuild";
+  CloseSummary sum;
+  ASSERT_EQ(mgr.close(info.sid, &sum), SessionStatus::kOk);
+
+  namespace on = obs::statnames;
+  const stats::RegistrySnapshot s = reg.snapshot();
+  EXPECT_EQ(s.counter_or0(
+                stats::labeled(on::kTracesPublishedBase, "kind", "session")),
+            appends);
+  EXPECT_EQ(s.counter_or0(
+                stats::labeled(on::kSpansRecordedBase, "kind", "session")),
+            appends + rebuilds);
+
+  // The retained trees carry the rebuild child exactly when the append
+  // rebuilt, nested under the session_append root.
+  std::uint64_t traced_rebuilds = 0;
+  for (const obs::CompletedTrace& t : flight.snapshot()) {
+    ASSERT_STREQ(t.kind, "session");
+    ASSERT_GE(t.spans.size(), 1u);
+    EXPECT_STREQ(t.spans[0].name, "session_append");
+    if (t.spans.size() == 2) {
+      EXPECT_STREQ(t.spans[1].name, "rebuild");
+      EXPECT_EQ(t.spans[1].parent_id, obs::kRootSpanId);
+      EXPECT_GE(t.spans[1].start_ns, t.spans[0].start_ns);
+      EXPECT_LE(t.spans[1].end_ns, t.spans[0].end_ns);
+      ++traced_rebuilds;
+    }
+  }
+  EXPECT_EQ(traced_rebuilds, rebuilds);
 }
 
 }  // namespace

@@ -18,6 +18,14 @@
 // A malformed stats block is broken input (exit 3), same as a truncated
 // report.
 //
+// Directory arguments are also scanned for tracez*.json — flight
+// recorder dumps written by `hullserved --tracez-out` (iph::obs). Each
+// dump contributes rows to a "Trace exemplars" table: the slowest
+// request pinned per e2e latency bucket, with its span count and repro
+// file, so a CI artifact page answers "what did the p99 outlier look
+// like" without replaying the run. A malformed tracez dump is broken
+// input (exit 3) like any other truncated artifact.
+//
 // Exit codes: 0 ok; 1 claim misfit or baseline drift under --check;
 // 2 usage error; 3 an input file was unreadable, truncated, or not a
 // bench report (returned even without --check, so CI can tell "the
@@ -53,7 +61,7 @@ struct Options {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--check] [--baseline DIR] [--tol X] [--out FILE] "
-               "<BENCH_*.json | dir>...\n",
+               "<BENCH_*.json | tracez*.json | dir>...\n",
                argv0);
   return 2;
 }
@@ -69,6 +77,13 @@ bool read_file(const std::string& path, std::string* out) {
 
 bool is_bench_report_name(const std::string& fname) {
   return fname.rfind("BENCH_", 0) == 0 && fname.size() > 11 &&
+         fname.compare(fname.size() - 5, 5, ".json") == 0;
+}
+
+/// Flight-recorder dumps (`hullserved --tracez-out`) conventionally
+/// start with "tracez" — e.g. tracez.json, tracez_19911.json.
+bool is_tracez_name(const std::string& fname) {
+  return fname.rfind("tracez", 0) == 0 && fname.size() >= 11 &&
          fname.compare(fname.size() - 5, 5, ".json") == 0;
 }
 
@@ -117,6 +132,109 @@ bool load_stats_block(const Json& doc, const std::string& path,
     out->emplace_back(tag, std::move(snap));
   }
   return true;
+}
+
+/// One parsed flight-recorder dump (tracez*.json).
+struct LoadedTracez {
+  std::string path;
+  Json doc;
+};
+
+/// Parse a flight-recorder dump written by `hullserved --tracez-out`.
+/// The shape contract (src/obs/chrome_export.cpp) is an object with
+/// "traces" and "exemplars" arrays; anything else is a truncated or
+/// foreign file — broken input, not a missing feature.
+bool load_tracez_file(const std::string& path, LoadedTracez* out) {
+  out->path = path;
+  std::string text, err;
+  if (!read_file(path, &text)) {
+    std::fprintf(stderr, "benchreport: cannot read %s\n", path.c_str());
+    return false;
+  }
+  if (!Json::parse(text, &out->doc, &err)) {
+    std::fprintf(stderr,
+                 "benchreport: %s is not a valid tracez dump: %s "
+                 "(truncated upload or interrupted shutdown?)\n",
+                 path.c_str(), err.c_str());
+    return false;
+  }
+  const Json* traces = out->doc.find("traces");
+  const Json* exemplars = out->doc.find("exemplars");
+  if (!out->doc.is_object() || traces == nullptr || !traces->is_array() ||
+      exemplars == nullptr || !exemplars->is_array()) {
+    std::fprintf(stderr,
+                 "benchreport: %s is not a tracez dump: expected an "
+                 "object with \"traces\" and \"exemplars\" arrays\n",
+                 path.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// The histogram bucket bound an exemplar is pinned under: a number in
+/// ms, or the literal string "+Inf" for the overflow slot.
+std::string exemplar_bucket(const Json& exemplar) {
+  const Json* b = exemplar.find("bucket_le_ms");
+  if (b == nullptr) return "?";
+  if (b->is_string()) return b->as_string();
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", b->as_double());
+  return buf;
+}
+
+/// Tail-latency exemplars preserved from the server's flight recorder:
+/// the slowest request pinned per e2e latency bucket, across all dumps
+/// fed to this run. The repro column is the replayable request file
+/// `hullserved --repro-dir` captured for that exact outlier.
+void render_tracez_section(const std::vector<LoadedTracez>& dumps,
+                           std::FILE* out) {
+  std::fprintf(out, "\n## Trace exemplars (flight recorder)\n\n");
+  for (const LoadedTracez& d : dumps) {
+    std::fprintf(out, "`%s`: %llu trace%s retained, %llu published, "
+                 "%llu span%s dropped.\n",
+                 std::filesystem::path(d.path).filename().string().c_str(),
+                 static_cast<unsigned long long>(d.doc.get_num("retained")),
+                 d.doc.get_num("retained") == 1 ? "" : "s",
+                 static_cast<unsigned long long>(d.doc.get_num("published")),
+                 static_cast<unsigned long long>(
+                     d.doc.get_num("dropped_spans")),
+                 d.doc.get_num("dropped_spans") == 1 ? "" : "s");
+  }
+  std::fprintf(out,
+               "\n| dump | bucket ≤ ms | e2e ms | kind | status | "
+               "backend | batch | trace | spans | repro |\n");
+  std::fprintf(out, "|---|---|---|---|---|---|---|---|---|---|\n");
+  std::size_t pinned = 0;
+  for (const LoadedTracez& d : dumps) {
+    const std::string fname =
+        std::filesystem::path(d.path).filename().string();
+    const Json* exemplars = d.doc.find("exemplars");
+    if (exemplars == nullptr) continue;
+    for (const Json& e : exemplars->items()) {
+      const Json* t = e.find("trace");
+      if (t == nullptr) continue;
+      ++pinned;
+      const Json* spans = t->find("spans");
+      const std::string repro = t->get_str("repro");
+      const std::string repro_cell =
+          repro.empty() ? "-" : "`" + repro + "`";
+      std::fprintf(out,
+                   "| %s | %s | %.3f | %s | %s | %s | %.0f | %s | %zu "
+                   "| %s |\n",
+                   fname.c_str(), exemplar_bucket(e).c_str(),
+                   t->get_num("e2e_ms"), t->get_str("kind", "?").c_str(),
+                   t->get_str("status", "?").c_str(),
+                   t->get_str("backend", "-").c_str(), t->get_num("batch"),
+                   t->get_str("trace", "?").c_str(),
+                   spans != nullptr ? spans->size() : 0,
+                   repro_cell.c_str());
+    }
+  }
+  if (pinned == 0) {
+    std::fprintf(out,
+                 "\nNo exemplars pinned (no completed requests crossed "
+                 "a bucket's record, or tracing was disabled).\n");
+  }
 }
 
 /// Largest peak_aux counter across a report's rows, or -1 if no row
@@ -461,22 +579,31 @@ int main(int argc, char** argv) {
   }
   if (opt.inputs.empty()) return usage(argv[0]);
 
-  // Expand directories, then load.
+  // Expand directories, then load. Explicit file arguments are
+  // classified by the same naming convention as the directory scan.
   std::vector<std::string> files;
+  std::vector<std::string> tracez_files;
   for (const std::string& in : opt.inputs) {
     std::error_code ec;
     if (std::filesystem::is_directory(in, ec)) {
       for (const auto& e : std::filesystem::directory_iterator(in, ec)) {
-        if (is_bench_report_name(e.path().filename().string())) {
+        const std::string fname = e.path().filename().string();
+        if (is_bench_report_name(fname)) {
           files.push_back(e.path().string());
+        } else if (is_tracez_name(fname)) {
+          tracez_files.push_back(e.path().string());
         }
       }
+    } else if (is_tracez_name(
+                   std::filesystem::path(in).filename().string())) {
+      tracez_files.push_back(in);
     } else {
       files.push_back(in);
     }
   }
   std::sort(files.begin(), files.end());
-  if (files.empty()) {
+  std::sort(tracez_files.begin(), tracez_files.end());
+  if (files.empty() && tracez_files.empty()) {
     std::fprintf(stderr, "benchreport: no BENCH_*.json found\n");
     return 2;
   }
@@ -548,6 +675,16 @@ int main(int argc, char** argv) {
     reports.push_back(std::move(r));
   }
 
+  std::vector<LoadedTracez> tracez;
+  for (const std::string& path : tracez_files) {
+    LoadedTracez t;
+    if (!load_tracez_file(path, &t)) {
+      input_error = true;
+      continue;
+    }
+    tracez.push_back(std::move(t));
+  }
+
   std::FILE* out = stdout;
   if (!opt.out_path.empty()) {
     out = std::fopen(opt.out_path.c_str(), "w");
@@ -558,6 +695,7 @@ int main(int argc, char** argv) {
     }
   }
   render_markdown(reports, out);
+  if (!tracez.empty()) render_tracez_section(tracez, out);
   if (out != stdout) std::fclose(out);
 
   // Broken input is its own exit code (even without --check): a CI job

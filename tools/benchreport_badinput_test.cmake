@@ -166,4 +166,58 @@ if(NOT err MATCHES "stream")
           "${err}")
 endif()
 
+# Case 7: a malformed flight-recorder dump (tracez*.json missing its
+# "traces"/"exemplars" arrays) is broken input — exit 3, not a silently
+# skipped table.
+file(WRITE "${WORK_DIR}/badtracez/tracez.json" "{\"retained\": 1}")
+execute_process(
+  COMMAND "${BENCHREPORT}" "${WORK_DIR}/badtracez"
+  RESULT_VARIABLE rc
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 3)
+  message(FATAL_ERROR
+          "malformed tracez dump: expected exit 3, got ${rc}\nstderr: ${err}")
+endif()
+if(NOT err MATCHES "not a tracez dump")
+  message(FATAL_ERROR
+          "malformed tracez dump: stderr lacks readable diagnosis: ${err}")
+endif()
+
+# Case 8: a well-formed dump renders the trace-exemplar table — bucket
+# bound, e2e, trace id, and the repro pointer for the pinned outlier.
+file(WRITE "${WORK_DIR}/tracez/tracez_19911.json"
+"{\"retained\": 2, \"published\": 5, \"dropped_spans\": 0,
+  \"exemplars\": [
+    {\"bucket_le_ms\": 0.25,
+     \"trace\": {\"trace\": \"abc123\", \"id\": 4, \"kind\": \"request\",
+       \"status\": \"ok\", \"backend\": \"native\", \"batch\": 2,
+       \"e2e_ms\": 0.21, \"repro\": \"repro/req-4.json\",
+       \"spans\": [{\"name\": \"request\", \"span\": 1, \"parent\": 0,
+                    \"start_us\": 0, \"dur_us\": 210}]}},
+    {\"bucket_le_ms\": \"+Inf\",
+     \"trace\": {\"trace\": \"f00d\", \"id\": 9, \"kind\": \"request\",
+       \"status\": \"ok\", \"e2e_ms\": 1200.0, \"spans\": []}}],
+  \"traces\": []}")
+execute_process(
+  COMMAND "${BENCHREPORT}" --check "${WORK_DIR}/tracez"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "tracez dump: expected exit 0, got ${rc}\nstderr: ${err}")
+endif()
+if(NOT out MATCHES "Trace exemplars")
+  message(FATAL_ERROR "tracez dump: exemplar table missing:\n${out}")
+endif()
+if(NOT out MATCHES "abc123")
+  message(FATAL_ERROR "tracez dump: exemplar trace id missing:\n${out}")
+endif()
+if(NOT out MATCHES "\\+Inf")
+  message(FATAL_ERROR "tracez dump: overflow bucket missing:\n${out}")
+endif()
+if(NOT out MATCHES "repro/req-4.json")
+  message(FATAL_ERROR "tracez dump: repro pointer missing:\n${out}")
+endif()
+
 message(STATUS "benchreport bad-input behavior ok")

@@ -33,6 +33,18 @@
 // engine(s) that absorbed the run (the CI serve-smoke job uploads it
 // as an artifact).
 //
+// When the server runs a flight recorder (src/obs), --scrape also
+// reconciles the tracing counters: every completed request published
+// exactly one kind="request" trace of exactly kSpansPerRequest spans
+// (--stream: one kind="session" trace per append, spans == appends +
+// rebuilds). The checks key off counter PRESENCE in the diffed
+// snapshot, so servers running --obs-capacity 0 still reconcile.
+//
+// --trace-slowest N fetches the server's flight recorder after the run
+// (tracez order=slowest) and prints the span trees of the N
+// worst-latency retained requests — queue_wait/lease/exec plus, on the
+// PRAM path, the linked per-phase simulator spans.
+//
 // --stream switches to the streaming-session protocol (src/session):
 // each client opens ONE session, issues --requests appends of
 // --append-points points each (closed loop, or paced by --qps), then
@@ -68,6 +80,7 @@
 
 #include "exec/backend.h"
 #include "geom/workloads.h"
+#include "obs/flight_recorder.h"
 #include "serve/request.h"
 #include "serve/service.h"
 #include "serve_wire.h"
@@ -107,6 +120,8 @@ struct Options {
   /// appends of `append_points` points each.
   bool stream = false;
   std::size_t append_points = 16;
+  /// Print span trees of the N slowest retained traces after the run.
+  int trace_slowest = 0;
 };
 
 int usage(const char* argv0) {
@@ -119,7 +134,8 @@ int usage(const char* argv0) {
       "          [--backend pram|native|default]\n"
       "          [--stream] [--append-points K]\n"
       "          [--expect-all-ok] [--json]\n"
-      "          [--scrape] [--scrape-tol R] [--scrape-out FILE]\n",
+      "          [--scrape] [--scrape-tol R] [--scrape-out FILE]\n"
+      "          [--trace-slowest N]\n",
       argv0);
   return 2;
 }
@@ -622,6 +638,22 @@ bool check_scrape(const iph::stats::RegistrySnapshot& d, const Tally& total,
   } else if (want == iph::exec::BackendKind::kNative) {
     must_equal("backend=native requests", srv_bk_native, total.ok);
   }
+  // Tracing conservation: with a flight recorder armed, every completed
+  // request published exactly one kind=request trace of exactly
+  // kSpansPerRequest spans (publish counts at attempt time, so ring
+  // drops do not leak traces out of this identity). Keyed off counter
+  // PRESENCE: an --obs-capacity 0 server never mints these counters and
+  // skips the check.
+  namespace on = iph::obs::statnames;
+  if (const std::uint64_t* pub = d.counter(iph::stats::labeled(
+          on::kTracesPublishedBase, "kind", "request"))) {
+    must_equal("obs traces published{kind=request}", *pub, srv_completed);
+  }
+  if (const std::uint64_t* spans = d.counter(iph::stats::labeled(
+          on::kSpansRecordedBase, "kind", "request"))) {
+    must_equal("obs spans recorded{kind=request}", *spans,
+               srv_completed * iph::obs::kSpansPerRequest);
+  }
 
   if (tol > 0 && total.ok > 0 && e2e != nullptr && e2e->count > 0) {
     const double lo = std::max(std::min(*server_p99, client_p99), 0.05);
@@ -725,6 +757,19 @@ bool check_scrape_stream(const iph::stats::RegistrySnapshot& d,
              live != nullptr ? static_cast<std::uint64_t>(*live) : 1, 0);
   must_equal("aux_cells gauge",
              aux != nullptr ? static_cast<std::uint64_t>(*aux) : 1, 0);
+  // Tracing conservation (manager.h contract): one kind=session trace
+  // per append, with a rebuild child span iff that append rebuilt.
+  // Presence-gated like the batch-mode obs checks.
+  namespace on = iph::obs::statnames;
+  if (const std::uint64_t* pub = d.counter(iph::stats::labeled(
+          on::kTracesPublishedBase, "kind", "session"))) {
+    must_equal("obs traces published{kind=session}", *pub, appends);
+  }
+  if (const std::uint64_t* spans = d.counter(iph::stats::labeled(
+          on::kSpansRecordedBase, "kind", "session"))) {
+    must_equal("obs spans recorded{kind=session}", *spans,
+               appends + rebuilds);
+  }
 
   if (opt.scrape_tol > 0 && total.ok > 0 && append_ms != nullptr &&
       append_ms->count > 0) {
@@ -739,6 +784,102 @@ bool check_scrape_stream(const iph::stats::RegistrySnapshot& d,
     }
   }
   return ok;
+}
+
+/// One tracez round trip on a fresh connection; leaves the inner
+/// tracez document (retained/published/exemplars/traces) in `out`.
+bool tracez_fetch_tcp(const std::string& hostport, int limit, Json* out,
+                      std::string* err) {
+  const int fd = connect_to(hostport);
+  if (fd < 0) {
+    *err = "connect failed";
+    return false;
+  }
+  LineChannel chan(fd, fd);
+  Json cmd = Json::object();
+  cmd["cmd"] = Json("tracez");
+  cmd["limit"] = Json(limit);
+  cmd["order"] = Json("slowest");
+  std::string line;
+  const bool io_ok = chan.write_line(cmd.dump()) && chan.read_line(&line);
+  ::close(fd);
+  if (!io_ok) {
+    *err = "tracez round trip failed";
+    return false;
+  }
+  Json reply;
+  if (!Json::parse(line, &reply, err)) return false;
+  if (reply.find("error") != nullptr) {
+    *err = reply.get_str("error", "server refused tracez");
+    return false;
+  }
+  const Json* doc = reply.find("tracez");
+  if (doc == nullptr) {
+    *err = "reply has no \"tracez\" key";
+    return false;
+  }
+  *out = *doc;
+  return true;
+}
+
+/// Recursively print the spans whose parent id is `parent`, indented
+/// one level per tree depth. Span ids are unique within a trace and
+/// the arrays are tiny, so the quadratic walk is fine.
+void print_span_children(const Json& spans, std::uint64_t parent,
+                         int depth) {
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const Json& s = spans.at(i);
+    if (static_cast<std::uint64_t>(s.get_num("parent", 0)) != parent) {
+      continue;
+    }
+    const auto id = static_cast<std::uint64_t>(s.get_num("span", 0));
+    std::fprintf(stderr, "    %*s%-*s +%9.1f us  %9.1f us\n", depth * 2,
+                 "", 24 - depth * 2, s.get_str("name", "?").c_str(),
+                 s.get_num("start_us", 0), s.get_num("dur_us", 0));
+    if (id != parent) print_span_children(spans, id, depth + 1);
+  }
+}
+
+/// Render the tracez document's slowest-first trace list as indented
+/// span trees (the human half of --trace-slowest; the machine half is
+/// the tracez JSON itself, which --tracez-out on the server dumps).
+void print_trace_trees(const Json& doc) {
+  const Json* traces = doc.find("traces");
+  const std::size_t count =
+      traces != nullptr && traces->is_array() ? traces->size() : 0;
+  std::fprintf(stderr,
+               "hullload tracez: %llu retained, %llu published, %llu "
+               "spans dropped; %zu slowest:\n",
+               static_cast<unsigned long long>(doc.get_num("retained", 0)),
+               static_cast<unsigned long long>(doc.get_num("published", 0)),
+               static_cast<unsigned long long>(
+                   doc.get_num("dropped_spans", 0)),
+               count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const Json& t = traces->at(i);
+    std::fprintf(stderr,
+                 "  trace %s  id %llu  kind %s  status %s  backend %s  "
+                 "batch %llu  e2e %.3f ms\n",
+                 t.get_str("trace", "?").c_str(),
+                 static_cast<unsigned long long>(t.get_num("id", 0)),
+                 t.get_str("kind", "?").c_str(),
+                 t.get_str("status", "?").c_str(),
+                 t.get_str("backend", "-").c_str(),
+                 static_cast<unsigned long long>(t.get_num("batch", 0)),
+                 t.get_num("e2e_ms", 0));
+    if (const Json* repro = t.find("repro"); repro != nullptr) {
+      std::fprintf(stderr, "    repro: %s\n",
+                   t.get_str("repro", "").c_str());
+    }
+    if (const Json* spans = t.find("spans");
+        spans != nullptr && spans->is_array()) {
+      print_span_children(*spans, 0, 0);
+    }
+    if (const Json* tr = t.find("phase_spans_truncated");
+        tr != nullptr && tr->as_bool()) {
+      std::fprintf(stderr, "    (phase spans truncated)\n");
+    }
+  }
 }
 
 bool write_file(const std::string& path, const std::string& content) {
@@ -804,6 +945,9 @@ int main(int argc, char** argv) {
     } else if (a == "--scrape-out" && (v = next())) {
       opt.scrape_out = v;
       opt.scrape = true;
+    } else if (a == "--trace-slowest" && (v = next())) {
+      opt.trace_slowest = std::atoi(v);
+      if (opt.trace_slowest < 1) return usage(argv[0]);
     } else {
       return usage(argv[0]);
     }
@@ -824,6 +968,7 @@ int main(int argc, char** argv) {
   const bool inproc = opt.connect.empty();
   std::unique_ptr<HullService> svc;
   std::unique_ptr<iph::stats::Registry> stream_registry;
+  std::unique_ptr<iph::obs::FlightRecorder> stream_flight;
   std::unique_ptr<iph::session::SessionManager> mgr;
   if (inproc && opt.stream) {
     iph::session::ManagerConfig mc;
@@ -832,8 +977,12 @@ int main(int argc, char** argv) {
     mc.default_backend = opt.backend;
     mc.master_seed = opt.seed;
     stream_registry = std::make_unique<iph::stats::Registry>();
-    mgr = std::make_unique<iph::session::SessionManager>(mc,
-                                                         *stream_registry);
+    // Arm a flight recorder so in-process stream runs exercise the
+    // session-trace path and the obs reconciliation identities too.
+    stream_flight = std::make_unique<iph::obs::FlightRecorder>(
+        iph::obs::ObsConfig{}, *stream_registry);
+    mgr = std::make_unique<iph::session::SessionManager>(
+        mc, *stream_registry, stream_flight.get());
   } else if (inproc) {
     svc = std::make_unique<HullService>(opt.cfg);
   }
@@ -979,6 +1128,33 @@ int main(int argc, char** argv) {
         scrape_failed = true;
       }
     }
+  }
+
+  if (opt.trace_slowest > 0) {
+    Json doc;
+    bool have = false;
+    if (!inproc) {
+      std::string err;
+      if (!tracez_fetch_tcp(opt.connect, opt.trace_slowest, &doc, &err)) {
+        std::fprintf(stderr, "hullload: tracez fetch of %s failed: %s\n",
+                     opt.connect.c_str(), err.c_str());
+      } else {
+        have = true;
+      }
+    } else {
+      const iph::obs::FlightRecorder* fr =
+          opt.stream ? stream_flight.get()
+                     : (svc != nullptr ? svc->flight_recorder() : nullptr);
+      if (fr == nullptr) {
+        std::fprintf(stderr, "hullload: tracing disabled in-process\n");
+      } else {
+        doc = iph::obs::tracez_json(
+            *fr, static_cast<std::size_t>(opt.trace_slowest),
+            /*slowest=*/true);
+        have = true;
+      }
+    }
+    if (have) print_trace_trees(doc);
   }
 
   if (opt.json) {

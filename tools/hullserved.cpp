@@ -62,6 +62,8 @@ int usage(const char* argv0) {
       "          [--stats-every-ms M] [--backend pram|native]\n"
       "          [--max-sessions N] [--max-append-points N]\n"
       "          [--session-pending N] [--session-staleness N]\n"
+      "          [--trace] [--obs-capacity N] [--repro-dir D]\n"
+      "          [--trace-out FILE] [--tracez-out FILE]\n"
       "Serves NDJSON hull requests (see tools/serve_wire.h) from stdin\n"
       "(default) or TCP connections on 127.0.0.1:P. A {\"cmd\":\"statz\"}\n"
       "line returns the service metrics registry; --stats-every-ms logs\n"
@@ -71,28 +73,43 @@ int usage(const char* argv0) {
       "Streaming sessions (session_open/append/close command lines)\n"
       "share every stream; --max-sessions caps concurrently live ones,\n"
       "--max-append-points caps one append's batch, --session-pending /\n"
-      "--session-staleness set the per-session rebuild thresholds.\n",
+      "--session-staleness set the per-session rebuild thresholds.\n"
+      "Tracing: the flight recorder is on by default (a {\"cmd\":\n"
+      "\"tracez\"} line returns recent/slowest span trees); --obs-capacity\n"
+      "sizes its ring (0 disables tracing), --repro-dir overrides\n"
+      "$IPH_EXEC_REPRO_DIR for tail-exemplar repro files, --trace arms\n"
+      "per-shard PRAM phase recorders (linked as child spans), and\n"
+      "--trace-out / --tracez-out dump a Chrome trace / tracez JSON\n"
+      "snapshot of the recorder at shutdown.\n",
       argv0);
   return 2;
 }
 
 /// One NDJSON stream: reader parses + submits on this thread, a
-/// responder thread writes answers in submission order.
+/// responder thread writes answers in submission order. `conn_id`
+/// namespaces server-stamped trace ids: a request that brings no
+/// {"trace":{"id":...}} gets (conn_id << 32 | sequence), unique across
+/// connections and strictly monotonic within one (stdin is connection
+/// 1, so its stamped ids are deterministic — serve_smoke asserts them).
 void serve_stream(HullService& svc, SessionManager& mgr, int in_fd,
-                  int out_fd) {
+                  int out_fd, std::uint64_t conn_id) {
   LineChannel chan(in_fd, out_fd);
 
   // Either a pending future, an immediate parse-error message, a
-  // statz command (answered with a snapshot taken at WRITE time, so a
-  // statz line's counters include every request answered before it on
-  // this stream), or a session answer already rendered at READ time
-  // (`ready` — SessionManager calls are synchronous, and rendering
-  // before enqueue keeps the one-response-per-line FIFO exact).
+  // statz/tracez command (answered with a snapshot taken at WRITE time,
+  // so such a line's counters/traces include every request answered
+  // before it on this stream), or a session answer already rendered at
+  // READ time (`ready` — SessionManager calls are synchronous, and
+  // rendering before enqueue keeps the one-response-per-line FIFO
+  // exact).
   struct Outgoing {
     std::future<Response> fut;
     bool edge_above = false;
     bool statz = false;
     bool statz_prometheus = false;
+    bool tracez = false;
+    std::size_t tracez_limit = 16;
+    bool tracez_slowest = false;
     std::string error;
     std::string ready;
   };
@@ -127,6 +144,12 @@ void serve_stream(HullService& svc, SessionManager& mgr, int in_fd,
         if (!chan.write_line(line.dump())) return;
         continue;
       }
+      if (out.tracez) {
+        const Json line = iph::tools::tracez_response(
+            *svc.flight_recorder(), out.tracez_limit, out.tracez_slowest);
+        if (!chan.write_line(line.dump())) return;
+        continue;
+      }
       const Response resp = out.fut.get();
       const Json line = iph::tools::response_to_json(resp, out.edge_above);
       if (!chan.write_line(line.dump())) return;
@@ -147,6 +170,7 @@ void serve_stream(HullService& svc, SessionManager& mgr, int in_fd,
   };
 
   std::string line;
+  std::uint64_t trace_seq = 0;  // server-stamped ids on this stream
   while (chan.read_line(&line)) {
     if (line.empty()) continue;
     Outgoing out;
@@ -160,6 +184,15 @@ void serve_stream(HullService& svc, SessionManager& mgr, int in_fd,
       if (cmd == "statz") {
         out.statz = true;
         out.statz_prometheus = j.get_str("format") == "prometheus";
+      } else if (cmd == "tracez") {
+        if (svc.flight_recorder() == nullptr) {
+          out.error = "tracing disabled (--obs-capacity 0)";
+        } else if (!iph::tools::tracez_args_from_json(
+                       j, &out.tracez_limit, &out.tracez_slowest, &err)) {
+          out.error = err;
+        } else {
+          out.tracez = true;
+        }
       } else if (cmd == "session_open") {
         iph::exec::BackendKind want;
         if (!iph::tools::session_open_from_json(j, &want, &err)) {
@@ -201,6 +234,13 @@ void serve_stream(HullService& svc, SessionManager& mgr, int in_fd,
                                               &err)) {
       out.error = err;
     } else {
+      // Client-supplied ids are adopted verbatim (already parsed into
+      // req.trace); everything else is stamped here, per connection —
+      // unless tracing is off (--obs-capacity 0), in which case
+      // responses stay id-free like the recorder-less service itself.
+      if (!req.trace.has_id() && svc.flight_recorder() != nullptr) {
+        req.trace.trace_id = (conn_id << 32) | ++trace_seq;
+      }
       out.fut = svc.submit(std::move(req));
     }
     {
@@ -345,6 +385,9 @@ int serve_tcp(HullService& svc, SessionManager& mgr, int port, bool quiet) {
 
   std::vector<std::thread> sessions;
   std::mutex sessions_mu;
+  // Connection ids start at 2: stdin mode is connection 1, so a TCP
+  // connection's stamped trace ids never collide with a stdin run's.
+  std::uint64_t next_conn = 2;
   while (!g_stop.load()) {
     const int conn = ::accept(fd, nullptr, nullptr);
     if (conn < 0) {
@@ -353,9 +396,10 @@ int serve_tcp(HullService& svc, SessionManager& mgr, int port, bool quiet) {
       std::perror("hullserved: accept");
       break;
     }
+    const std::uint64_t conn_id = next_conn++;
     std::lock_guard<std::mutex> lk(sessions_mu);
-    sessions.emplace_back([&svc, &mgr, conn] {
-      serve_stream(svc, mgr, conn, conn);
+    sessions.emplace_back([&svc, &mgr, conn, conn_id] {
+      serve_stream(svc, mgr, conn, conn, conn_id);
       ::close(conn);
     });
   }
@@ -370,6 +414,8 @@ int main(int argc, char** argv) {
   int port = -1;
   bool quiet = false;
   int stats_every_ms = 0;
+  std::string trace_out;
+  std::string tracez_out;
   ServiceConfig cfg;
   iph::session::ManagerConfig mgr_cfg;
   for (int i = 1; i < argc; ++i) {
@@ -409,6 +455,21 @@ int main(int argc, char** argv) {
     } else if (a == "--session-staleness" && (v = next())) {
       mgr_cfg.session.staleness_limit =
           static_cast<std::uint64_t>(std::atoll(v));
+    } else if (a == "--trace") {
+      cfg.trace = true;
+    } else if (a == "--obs-capacity" && (v = next())) {
+      const long long n = std::atoll(v);
+      if (n <= 0) {
+        cfg.obs.enabled = false;
+      } else {
+        cfg.obs.capacity = static_cast<std::size_t>(n);
+      }
+    } else if (a == "--repro-dir" && (v = next())) {
+      cfg.obs.repro_dir = v;
+    } else if (a == "--trace-out" && (v = next())) {
+      trace_out = v;
+    } else if (a == "--tracez-out" && (v = next())) {
+      tracez_out = v;
     } else if (a == "--no-large") {
       cfg.large_shard = false;
     } else if (a == "--quiet") {
@@ -425,19 +486,47 @@ int main(int argc, char** argv) {
   // the same engine batch requests default to (--backend).
   mgr_cfg.default_backend = cfg.backend;
   mgr_cfg.master_seed = cfg.master_seed;
-  SessionManager mgr(mgr_cfg, svc.stats_registry());
+  // Session traces share the service's flight recorder, so one tracez
+  // ring covers batch and streaming traffic alike.
+  SessionManager mgr(mgr_cfg, svc.stats_registry(), svc.flight_recorder());
   std::unique_ptr<StatsLogger> logger;
   if (stats_every_ms > 0) {
     logger = std::make_unique<StatsLogger>(svc, stats_every_ms);
   }
   int rc = 0;
   if (port < 0) {
-    serve_stream(svc, mgr, STDIN_FILENO, STDOUT_FILENO);
+    serve_stream(svc, mgr, STDIN_FILENO, STDOUT_FILENO, /*conn_id=*/1);
   } else {
     rc = serve_tcp(svc, mgr, port, quiet);
   }
   logger.reset();  // final tick joins before the summary prints
   svc.shutdown(/*drain=*/true);
+  // Flight-recorder dumps at shutdown (after the drain, so every
+  // answered request's trace is eligible): --trace-out gets the Chrome
+  // timeline of everything retained, --tracez-out the tracez JSON
+  // (same shape as the wire command; benchreport renders its exemplar
+  // table from this file, and CI uploads both as artifacts).
+  if (const auto* fr = svc.flight_recorder();
+      fr != nullptr && (!trace_out.empty() || !tracez_out.empty())) {
+    const auto write_doc = [&](const std::string& path, const Json& doc) {
+      std::FILE* f = std::fopen(path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "hullserved: cannot write %s\n", path.c_str());
+        return;
+      }
+      const std::string text = doc.dump(1);
+      std::fwrite(text.data(), 1, text.size(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+    };
+    if (!trace_out.empty()) {
+      write_doc(trace_out, iph::obs::chrome_trace_json(fr->snapshot()));
+    }
+    if (!tracez_out.empty()) {
+      write_doc(tracez_out,
+                iph::obs::tracez_json(*fr, /*limit=*/0, /*slowest=*/true));
+    }
+  }
   if (!quiet) print_stats(svc.stats());
   return rc;
 }

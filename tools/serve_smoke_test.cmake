@@ -10,6 +10,14 @@
 #      --expect-all-ok) and emit a parseable --json summary; with
 #      --scrape it must reconcile the server registry against its own
 #      tally and write the diffed snapshot to --scrape-out.
+#   3-4. The streaming-session protocol, stdin and in-process.
+#   5-7. Request tracing: wire trace contexts round-trip (server ids
+#      deterministic and monotonic per connection, client ids adopted
+#      verbatim, malformed contexts answered per-message without
+#      killing the stream), tracez serves span trees, the shutdown
+#      exporters dump valid JSON, --obs-capacity 0 disables cleanly,
+#      and a TCP burst reconciles the obs span identities and prints
+#      the slowest span trees via hullload --trace-slowest.
 #
 # Invoked as:
 #   cmake -DHULLSERVED=<bin> -DHULLLOAD=<bin> -DWORK_DIR=<scratch>
@@ -201,6 +209,148 @@ file(READ "${WORK_DIR}/stream_statz.json" statz)
 if(NOT statz MATCHES "iph_session_appends_total")
   message(FATAL_ERROR
           "hullload --stream: snapshot lacks session counters:\n${statz}")
+endif()
+
+# --- Case 5: trace round trip over stdin + tracez + exporter dumps ----
+# Request 1 has no trace: the server stamps (conn 1) << 32 | 1 =
+# "100000001". Request 2 brings its own context, adopted VERBATIM.
+# Request 3's trace is malformed: answered per-message with an error,
+# stream survives. Request 4 is stamped with the NEXT server id
+# ("100000002" — errors never consume a sequence number). The tracez
+# command then serves the retained span trees, and --trace-out /
+# --tracez-out dump the flight recorder on shutdown.
+file(WRITE "${WORK_DIR}/trace.ndjson"
+"{\"id\":1,\"n\":64,\"workload\":\"disk\",\"seed\":7}
+{\"id\":2,\"n\":64,\"workload\":\"disk\",\"seed\":8,\"trace\":{\"id\":\"abc123\",\"span\":\"7\"}}
+{\"id\":3,\"n\":64,\"workload\":\"disk\",\"seed\":9,\"trace\":{\"id\":\"zzz\"}}
+{\"id\":4,\"n\":64,\"workload\":\"disk\",\"seed\":10}
+{\"cmd\":\"tracez\",\"order\":\"slowest\"}
+")
+execute_process(
+  COMMAND "${HULLSERVED}" --quiet --shards 1 --workers 1 --threads 2
+          --trace-out "${WORK_DIR}/chrome_trace.json"
+          --tracez-out "${WORK_DIR}/tracez.json"
+  INPUT_FILE "${WORK_DIR}/trace.ndjson"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "trace smoke: expected exit 0, got ${rc}\n${err}")
+endif()
+if(NOT out MATCHES "\"trace\":{\"id\":\"100000001\"}")
+  message(FATAL_ERROR
+          "trace smoke: first server-stamped id not 100000001:\n${out}")
+endif()
+if(NOT out MATCHES "\"trace\":{\"id\":\"abc123\",\"span\":\"7\"}")
+  message(FATAL_ERROR
+          "trace smoke: client trace context not adopted verbatim:\n${out}")
+endif()
+if(NOT out MATCHES "must be a 1-16 digit hex string")
+  message(FATAL_ERROR
+          "trace smoke: malformed trace not answered per-message:\n${out}")
+endif()
+if(NOT out MATCHES "\"trace\":{\"id\":\"100000002\"}")
+  message(FATAL_ERROR
+          "trace smoke: ids not monotonic after mid-stream error:\n${out}")
+endif()
+# Count ok RESPONSES by their hull payload — the tracez answer repeats
+# "status":"ok" inside every retained span tree, so that string
+# over-counts here.
+string(REGEX MATCHALL "\"hull\":" oks "${out}")
+list(LENGTH oks n_ok)
+if(NOT n_ok EQUAL 3)
+  message(FATAL_ERROR "trace smoke: expected 3 ok responses, got ${n_ok}:\n${out}")
+endif()
+# tracez answers in stream order with the three completed span trees.
+if(NOT out MATCHES "\"tracez\":{")
+  message(FATAL_ERROR "trace smoke: tracez answer missing:\n${out}")
+endif()
+if(NOT out MATCHES "\"published\":3")
+  message(FATAL_ERROR "trace smoke: tracez published != 3:\n${out}")
+endif()
+if(NOT out MATCHES "\"name\":\"queue_wait\"")
+  message(FATAL_ERROR "trace smoke: span tree lacks queue_wait:\n${out}")
+endif()
+# Shutdown dumps: the Chrome export and the machine-readable tracez doc.
+if(NOT EXISTS "${WORK_DIR}/chrome_trace.json")
+  message(FATAL_ERROR "trace smoke: --trace-out wrote nothing")
+endif()
+file(READ "${WORK_DIR}/chrome_trace.json" chrome)
+if(NOT chrome MATCHES "\"traceEvents\": ?\\[" OR
+   NOT chrome MATCHES "\"ph\": ?\"X\"")
+  message(FATAL_ERROR "trace smoke: Chrome trace malformed:\n${chrome}")
+endif()
+if(NOT EXISTS "${WORK_DIR}/tracez.json")
+  message(FATAL_ERROR "trace smoke: --tracez-out wrote nothing")
+endif()
+file(READ "${WORK_DIR}/tracez.json" tracez)
+if(NOT tracez MATCHES "\"traces\": ?\\[" OR
+   NOT tracez MATCHES "\"exemplars\": ?\\[")
+  message(FATAL_ERROR "trace smoke: tracez dump malformed:\n${tracez}")
+endif()
+
+# --- Case 6: tracing disabled answers tracez with an error ------------
+file(WRITE "${WORK_DIR}/notrace.ndjson"
+"{\"id\":1,\"n\":64,\"workload\":\"disk\",\"seed\":7}
+{\"cmd\":\"tracez\"}
+")
+execute_process(
+  COMMAND "${HULLSERVED}" --quiet --shards 1 --workers 1 --threads 2
+          --obs-capacity 0
+  INPUT_FILE "${WORK_DIR}/notrace.ndjson"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "notrace smoke: expected exit 0, got ${rc}\n${err}")
+endif()
+if(out MATCHES "\"trace\":{")
+  message(FATAL_ERROR
+          "notrace smoke: responses carry trace ids with obs off:\n${out}")
+endif()
+if(NOT out MATCHES "tracing disabled")
+  message(FATAL_ERROR
+          "notrace smoke: tracez should error when disabled:\n${out}")
+endif()
+
+# --- Case 7: TCP round trip: hullload --scrape --trace-slowest --------
+# A backgrounded server takes a small burst over TCP; hullload then
+# scrapes (reconciling the obs span identities along the serve
+# counters) and fetches the slowest span trees over the wire.
+set(SMOKE_PORT 19917)
+execute_process(
+  COMMAND sh -c "'${HULLSERVED}' --quiet --port ${SMOKE_PORT} \
+                 --shards 1 --workers 1 --threads 2 \
+                 </dev/null >/dev/null 2>&1 \
+                 & echo $! > '${WORK_DIR}/srv.pid'"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "tcp trace smoke: failed to launch server")
+endif()
+execute_process(COMMAND sh -c "sleep 1")
+execute_process(
+  COMMAND "${HULLLOAD}" --connect "127.0.0.1:${SMOKE_PORT}"
+          --clients 2 --requests 10 --n 64
+          --expect-all-ok --scrape --trace-slowest 3
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+execute_process(
+  COMMAND sh -c "kill -INT $(cat '${WORK_DIR}/srv.pid') 2>/dev/null; true")
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "tcp trace smoke: hullload expected exit 0, got ${rc}\n${err}")
+endif()
+# The scrape reconciled (exit 0) WITH the obs identities in play, and
+# the slowest span trees printed with the fixed span names.
+if(NOT err MATCHES "hullload tracez: ")
+  message(FATAL_ERROR "tcp trace smoke: no tracez summary\n${err}")
+endif()
+if(NOT err MATCHES "3 slowest")
+  message(FATAL_ERROR "tcp trace smoke: wrong slowest count\n${err}")
+endif()
+if(NOT err MATCHES "queue_wait" OR NOT err MATCHES "exec")
+  message(FATAL_ERROR "tcp trace smoke: span tree incomplete\n${err}")
 endif()
 
 message(STATUS "serve tools smoke ok")

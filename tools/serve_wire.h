@@ -29,6 +29,29 @@
 // The metrics "seed" is serialized as a decimal string: it is a full
 // 64-bit splitmix value and Json numbers are doubles.
 //
+// Tracing: a request may carry {"trace": {"id": "<hex>", "span":
+// "<hex>"?}} — the trace id (1-16 hex digits, no 0x; hex because Json
+// numbers are doubles and cannot hold a u64) is adopted verbatim as the
+// request's server-side identity, and the optional "span" names the
+// client's enclosing span (becomes the conceptual parent of the
+// server-side root span). Requests without one get a server-stamped id
+// (hullserved: connection << 32 | sequence, so ids are unique and
+// monotonic per connection). Every response echoes the identity back as
+// {"trace": {"id": "...", "span"?}}. A malformed "trace" field is a
+// per-message {"error": ...} like any bad line — the stream continues.
+//
+// {"cmd": "tracez", "limit": N?, "order": "recent" | "slowest"?}
+//   -> {"tracez": {"retained": .., "published": .., "dropped_spans": ..,
+//       "exemplars": [{"bucket_le_ms": .., "trace": {...}}, ...],
+//       "traces": [{"trace": "<hex>", "id": .., "kind": "request",
+//         "status": "ok", "backend": .., "e2e_ms": ..,
+//         "spans": [{"name": .., "span": .., "parent": ..,
+//                    "start_us": .., "dur_us": ..}, ...]}, ...]}}
+// answers from the server's flight recorder (obs/flight_recorder.h);
+// "limit" defaults to 16 (0 = everything retained), "order" defaults to
+// "recent". With tracing disabled (--obs-capacity 0) tracez is an
+// {"error": ...}.
+//
 // Introspection: a line carrying {"cmd": "statz"} is not a hull request
 // — the server answers it with a snapshot of its service-level metrics
 // registry (src/serve/stats.h), in stream order (the statz answer is
@@ -73,6 +96,8 @@
 
 #include "exec/backend.h"
 #include "geom/workloads.h"
+#include "obs/chrome_export.h"
+#include "obs/context.h"
 #include "serve/request.h"
 #include "session/manager.h"
 #include "stats/export.h"
@@ -136,6 +161,25 @@ inline bool request_from_json(const trace::Json& j, serve::Request* out,
       return false;
     }
   }
+  if (const trace::Json* tr = j.find("trace"); tr != nullptr) {
+    if (!tr->is_object()) {
+      *err = "\"trace\" must be an object";
+      return false;
+    }
+    const trace::Json* tid = tr->find("id");
+    if (tid == nullptr || !tid->is_string() ||
+        !obs::from_hex(tid->as_string(), &out->trace.trace_id)) {
+      *err = "\"trace\".\"id\" must be a 1-16 digit hex string";
+      return false;
+    }
+    if (const trace::Json* sp = tr->find("span"); sp != nullptr) {
+      if (!sp->is_string() ||
+          !obs::from_hex(sp->as_string(), &out->trace.parent_span)) {
+        *err = "\"trace\".\"span\" must be a 1-16 digit hex string";
+        return false;
+      }
+    }
+  }
   if (const double ms = j.get_num("deadline_ms", 0); ms > 0) {
     out->deadline = serve::Clock::now() +
                     std::chrono::microseconds(
@@ -180,6 +224,14 @@ inline trace::Json response_to_json(const serve::Response& r,
   m["seed"] = trace::Json(std::to_string(r.metrics.seed));
   m["backend"] = trace::Json(exec::backend_name(r.metrics.backend));
   o["metrics"] = std::move(m);
+  if (r.trace.has_id()) {
+    trace::Json t = trace::Json::object();
+    t["id"] = trace::Json(obs::to_hex(r.trace.trace_id));
+    if (r.trace.parent_span != 0) {
+      t["span"] = trace::Json(obs::to_hex(r.trace.parent_span));
+    }
+    o["trace"] = std::move(t);
+  }
   return o;
 }
 
@@ -202,6 +254,39 @@ inline trace::Json statz_response(const stats::RegistrySnapshot& snap,
   } else {
     o["statz"] = stats::to_json(snap);
   }
+  return o;
+}
+
+/// Decode a tracez command's arguments (after wire_command said
+/// cmd == "tracez"). Absent "limit" means 16; absent "order" means
+/// most-recent-first.
+inline bool tracez_args_from_json(const trace::Json& j, std::size_t* limit,
+                                  bool* slowest, std::string* err) {
+  *limit = 16;
+  *slowest = false;
+  if (const trace::Json* l = j.find("limit"); l != nullptr) {
+    if (!l->is_number() || l->as_double() < 0) {
+      *err = "\"limit\" must be a non-negative number";
+      return false;
+    }
+    *limit = static_cast<std::size_t>(l->as_double());
+  }
+  if (const trace::Json* o = j.find("order"); o != nullptr) {
+    if (!o->is_string() || (o->as_string() != "recent" &&
+                            o->as_string() != "slowest")) {
+      *err = "\"order\" must be \"recent\" or \"slowest\"";
+      return false;
+    }
+    *slowest = o->as_string() == "slowest";
+  }
+  return true;
+}
+
+/// Encode a tracez answer from the server's flight recorder.
+inline trace::Json tracez_response(const obs::FlightRecorder& rec,
+                                   std::size_t limit, bool slowest) {
+  trace::Json o = trace::Json::object();
+  o["tracez"] = obs::tracez_json(rec, limit, slowest);
   return o;
 }
 
