@@ -1,0 +1,57 @@
+#include "cluster/merge.h"
+
+#include <cstddef>
+#include <unordered_map>
+
+namespace iph::cluster {
+
+bool merge_snapshots(const std::vector<stats::RegistrySnapshot>& parts,
+                     stats::RegistrySnapshot* out, std::string* err) {
+  *out = stats::RegistrySnapshot{};
+  std::unordered_map<std::string, std::size_t> counter_at;
+  std::unordered_map<std::string, std::size_t> gauge_at;
+  std::unordered_map<std::string, std::size_t> hist_at;
+  for (const stats::RegistrySnapshot& part : parts) {
+    for (const auto& [name, value] : part.counters) {
+      const auto [it, fresh] =
+          counter_at.emplace(name, out->counters.size());
+      if (fresh) {
+        out->counters.emplace_back(name, value);
+      } else {
+        out->counters[it->second].second += value;
+      }
+    }
+    for (const auto& [name, value] : part.gauges) {
+      const auto [it, fresh] = gauge_at.emplace(name, out->gauges.size());
+      if (fresh) {
+        out->gauges.emplace_back(name, value);
+      } else {
+        out->gauges[it->second].second += value;
+      }
+    }
+    for (const auto& [name, hist] : part.histograms) {
+      const auto [it, fresh] = hist_at.emplace(name, out->histograms.size());
+      if (fresh) {
+        out->histograms.emplace_back(name, hist);
+        continue;
+      }
+      stats::HistogramSnapshot& acc = out->histograms[it->second].second;
+      if (acc.bounds != hist.bounds ||
+          acc.buckets.size() != hist.buckets.size()) {
+        if (err != nullptr) {
+          *err = "histogram \"" + name +
+                 "\": bucket bounds differ across snapshots";
+        }
+        return false;
+      }
+      for (std::size_t b = 0; b < acc.buckets.size(); ++b) {
+        acc.buckets[b] += hist.buckets[b];
+      }
+      acc.count += hist.count;
+      acc.sum += hist.sum;
+    }
+  }
+  return true;
+}
+
+}  // namespace iph::cluster

@@ -1,0 +1,75 @@
+// Protocol-level constants shared by the backend server (hullserved,
+// via tools/serve_wire.h) and the cluster router (src/cluster).
+//
+// Versioning: every response line carries {"v": 1}. Requests MAY carry
+// "v"; an absent "v" means "any version" (pre-versioning peers keep
+// working), while a request whose "v" exceeds kProtocolVersion is
+// answered with a structured reject — the peer asked for semantics this
+// server does not speak.
+//
+// Structured rejects: an {"error": ...} line additionally carries a
+// machine-readable {"reject": "<reason>"} so clients (and the router,
+// which must decide whether a failure is retryable) can distinguish an
+// unknown command or a cross-version peer from a genuinely malformed
+// line without parsing prose:
+//   bad_json      the line was not a JSON object
+//   bad_request   well-formed JSON, but not a valid request/command
+//   unknown_cmd   {"cmd": ...} named a command this server lacks
+//   version       the request's "v" exceeds kProtocolVersion
+//   no_backend    (router) every shard is marked down
+//   shard_down    (router) the session's pinned shard is marked down —
+//                 session traffic is never re-routed (affinity)
+//   retry_budget  (router) retries/deadline exhausted without an answer
+#pragma once
+
+#include <string>
+
+#include "trace/json.h"
+
+namespace iph::cluster {
+
+inline constexpr int kProtocolVersion = 1;
+
+namespace reject {
+inline constexpr const char* kBadJson = "bad_json";
+inline constexpr const char* kBadRequest = "bad_request";
+inline constexpr const char* kUnknownCmd = "unknown_cmd";
+inline constexpr const char* kVersion = "version";
+inline constexpr const char* kNoBackend = "no_backend";
+inline constexpr const char* kShardDown = "shard_down";
+inline constexpr const char* kRetryBudget = "retry_budget";
+}  // namespace reject
+
+/// Stamp the protocol version on a response object (all response
+/// encoders call this so every line a server emits is versioned).
+inline void stamp_version(trace::Json* o) {
+  (*o)["v"] = trace::Json(kProtocolVersion);
+}
+
+/// Build a structured error reply: {"error": msg, "reject": reason,
+/// "v": kProtocolVersion}.
+inline trace::Json make_error(const std::string& reason,
+                              const std::string& msg) {
+  trace::Json o = trace::Json::object();
+  o["error"] = trace::Json(msg);
+  o["reject"] = trace::Json(reason);
+  stamp_version(&o);
+  return o;
+}
+
+/// The "reject" reason of an error reply, or "" when the reply is not
+/// an error / carries no structured reason (pre-versioning server).
+inline std::string error_reject_reason(const trace::Json& reply) {
+  if (!reply.is_object() || reply.find("error") == nullptr) return "";
+  return reply.get_str("reject", "");
+}
+
+/// False when the request object pins a protocol version this build
+/// does not speak. Absent "v" is accepted (see file comment).
+inline bool version_ok(const trace::Json& request) {
+  const trace::Json* v = request.is_object() ? request.find("v") : nullptr;
+  if (v == nullptr || !v->is_number()) return true;
+  return v->as_double() <= static_cast<double>(kProtocolVersion);
+}
+
+}  // namespace iph::cluster

@@ -1,0 +1,60 @@
+#include "cluster/ring.h"
+
+#include <algorithm>
+
+#include "support/rng.h"
+
+namespace iph::cluster {
+
+HashRing::HashRing(std::size_t shards, std::size_t vnodes,
+                   std::uint64_t seed)
+    : vnodes_(vnodes), seed_(seed), up_(shards, true), up_count_(shards) {
+  rebuild();
+  rebuilds_ = 0;  // the initial build is not churn
+}
+
+void HashRing::set_up(std::size_t shard, bool up) {
+  if (shard >= up_.size() || up_[shard] == up) return;
+  up_[shard] = up;
+  up_count_ += up ? 1 : -1;
+  rebuild();
+}
+
+void HashRing::rebuild() {
+  points_.clear();
+  points_.reserve(up_count_ * vnodes_);
+  for (std::size_t s = 0; s < up_.size(); ++s) {
+    if (!up_[s]) continue;
+    for (std::size_t v = 0; v < vnodes_; ++v) {
+      points_.emplace_back(support::mix3(seed_, s, v), s);
+    }
+  }
+  std::sort(points_.begin(), points_.end());
+  ++rebuilds_;
+}
+
+bool HashRing::shard_for(std::uint64_t key, std::size_t* shard) const {
+  return shard_for_attempt(key, 0, shard);
+}
+
+bool HashRing::shard_for_attempt(std::uint64_t key, std::size_t attempt,
+                                 std::size_t* shard) const {
+  if (points_.empty() || attempt >= up_count_) return false;
+  // First point at or clockwise-after the key's position (wrapping).
+  auto it = std::lower_bound(points_.begin(), points_.end(),
+                             std::make_pair(key, std::size_t{0}));
+  std::vector<bool> seen(up_.size(), false);
+  std::size_t distinct = 0;
+  for (std::size_t walked = 0; walked < points_.size(); ++walked, ++it) {
+    if (it == points_.end()) it = points_.begin();
+    if (seen[it->second]) continue;
+    seen[it->second] = true;
+    if (distinct++ == attempt) {
+      *shard = it->second;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace iph::cluster

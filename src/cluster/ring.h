@@ -1,0 +1,62 @@
+// Consistent-hash ring over N shards with virtual nodes.
+//
+// Each shard owns `vnodes` points on a u64 circle (point positions are
+// support::mix3 of the ring seed, the shard index, and the vnode
+// index — deterministic, so every router over the same fleet agrees on
+// the mapping). A key routes to the first UP shard point clockwise
+// from hash(key). Marking a shard down rebuilds the sorted point array
+// without the downed shard's points: keys it owned redistribute to
+// their clockwise successors while every other key keeps its shard —
+// the consistent-hashing property that makes mark-down/mark-up cheap
+// for session-affine traffic (only the affected shard's keys move).
+//
+// shard_for_attempt(key, a) yields the a-th DISTINCT up shard walking
+// clockwise from the key's position: attempt 0 is the home shard, and
+// higher attempts are the deterministic sibling order the router
+// retries rejected stateless requests on.
+//
+// Not thread-safe; the router serializes access under its own mutex.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace iph::cluster {
+
+class HashRing {
+ public:
+  HashRing(std::size_t shards, std::size_t vnodes, std::uint64_t seed);
+
+  std::size_t shard_count() const { return up_.size(); }
+  bool up(std::size_t shard) const { return up_[shard]; }
+  std::size_t up_count() const { return up_count_; }
+  /// How many times the point array was rebuilt (mark-down/mark-up
+  /// churn — exported as a router counter).
+  std::uint64_t rebuilds() const { return rebuilds_; }
+
+  /// No-op when the shard is already in the requested state.
+  void set_up(std::size_t shard, bool up);
+
+  /// Home shard for `key`; false when every shard is down.
+  bool shard_for(std::uint64_t key, std::size_t* shard) const;
+
+  /// The `attempt`-th distinct up shard clockwise from `key` (attempt 0
+  /// == shard_for). False when fewer than attempt+1 shards are up.
+  bool shard_for_attempt(std::uint64_t key, std::size_t attempt,
+                         std::size_t* shard) const;
+
+ private:
+  void rebuild();
+
+  std::size_t vnodes_;
+  std::uint64_t seed_;
+  std::vector<bool> up_;
+  std::size_t up_count_;
+  std::uint64_t rebuilds_ = 0;
+  /// Sorted (position, shard) points of the UP shards only.
+  std::vector<std::pair<std::uint64_t, std::size_t>> points_;
+};
+
+}  // namespace iph::cluster

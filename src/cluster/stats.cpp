@@ -1,0 +1,49 @@
+#include "cluster/stats.h"
+
+#include <string>
+
+namespace iph::cluster {
+
+namespace {
+
+using stats::labeled;
+
+}  // namespace
+
+RouterStats::RouterStats(stats::Registry& registry, std::size_t shards)
+    : forwards(registry.counter(statnames::kForwards)),
+      retries_rejected_full(registry.counter(
+          labeled(statnames::kRetriesBase, "reason", "rejected_full"))),
+      retries_rejected_shutdown(registry.counter(labeled(
+          statnames::kRetriesBase, "reason", "rejected_shutdown"))),
+      retries_io(registry.counter(
+          labeled(statnames::kRetriesBase, "reason", "io"))),
+      rejected_no_backend(registry.counter(
+          labeled(statnames::kRejectedBase, "reason", "no_backend"))),
+      rejected_shard_down(registry.counter(
+          labeled(statnames::kRejectedBase, "reason", "shard_down"))),
+      rejected_retry_budget(registry.counter(
+          labeled(statnames::kRejectedBase, "reason", "retry_budget"))),
+      markdowns_admin(registry.counter(
+          labeled(statnames::kMarkdownsBase, "cause", "admin"))),
+      markdowns_io(registry.counter(
+          labeled(statnames::kMarkdownsBase, "cause", "io"))),
+      markdowns_probe(registry.counter(
+          labeled(statnames::kMarkdownsBase, "cause", "probe"))),
+      markups_admin(registry.counter(
+          labeled(statnames::kMarkupsBase, "cause", "admin"))),
+      markups_probe(registry.counter(
+          labeled(statnames::kMarkupsBase, "cause", "probe"))),
+      ring_rebuilds(registry.counter(statnames::kRingRebuilds)),
+      backends_up(registry.gauge(statnames::kBackendsUp)),
+      sessions_open(registry.gauge(statnames::kSessionsOpen)),
+      forward_ms(registry.histogram(statnames::kForwardMs,
+                                    stats::latency_bounds_ms())) {
+  routes.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    routes.push_back(&registry.counter(
+        labeled(statnames::kRoutesBase, "shard", std::to_string(s))));
+  }
+}
+
+}  // namespace iph::cluster

@@ -1,0 +1,791 @@
+// iph::cluster unit + integration tests.
+//
+// Three layers, mirroring the subsystem's own layering:
+//   * HashRing — determinism, coverage, and the consistent-hashing
+//     contract (marking a shard down moves ONLY that shard's keys).
+//   * merge_snapshots — fleet roll-ups add counters/gauges/le-buckets
+//     and reject bounds mismatches; round trips through the strict
+//     stats JSON codec.
+//   * Router — driven end to end over in-process FakeShard TCP
+//     backends that speak just enough of the serve_wire.h NDJSON
+//     protocol: routing by id, session affinity with sid rewriting,
+//     reject retries, io/admin/probe mark-down semantics, and the
+//     exactly-reconciled fleet statz answer.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/endpoint.h"
+#include "cluster/merge.h"
+#include "cluster/protocol.h"
+#include "cluster/ring.h"
+#include "cluster/router.h"
+#include "cluster/stats.h"
+#include "stats/export.h"
+#include "stats/stats.h"
+#include "support/rng.h"
+#include "support/linechan.h"
+#include "trace/json.h"
+
+namespace iph::cluster {
+namespace {
+
+using trace::Json;
+
+// ---------------------------------------------------------------------------
+// HashRing
+
+std::uint64_t test_key(std::uint64_t i) { return support::mix3(11, 7, i); }
+
+TEST(HashRing, DeterministicAcrossInstancesAndCoversAllShards) {
+  HashRing a(4, 64, /*seed=*/123);
+  HashRing b(4, 64, /*seed=*/123);
+  std::vector<std::size_t> hits(4, 0);
+  for (std::uint64_t i = 0; i < 2048; ++i) {
+    std::size_t sa = 0;
+    std::size_t sb = 0;
+    ASSERT_TRUE(a.shard_for(test_key(i), &sa));
+    ASSERT_TRUE(b.shard_for(test_key(i), &sb));
+    EXPECT_EQ(sa, sb);
+    ++hits[sa];
+  }
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_GT(hits[s], 0u) << "shard " << s << " owns no keys";
+  }
+}
+
+TEST(HashRing, MarkdownMovesOnlyTheDownedShardsKeys) {
+  HashRing ring(4, 64, /*seed=*/99);
+  std::vector<std::size_t> before(2048);
+  for (std::uint64_t i = 0; i < before.size(); ++i) {
+    ASSERT_TRUE(ring.shard_for(test_key(i), &before[i]));
+  }
+  ring.set_up(2, false);
+  EXPECT_EQ(ring.rebuilds(), 1u);
+  EXPECT_EQ(ring.up_count(), 3u);
+  for (std::uint64_t i = 0; i < before.size(); ++i) {
+    std::size_t now = 0;
+    ASSERT_TRUE(ring.shard_for(test_key(i), &now));
+    if (before[i] != 2) {
+      EXPECT_EQ(now, before[i]) << "key " << i << " moved although its "
+                                << "home shard stayed up";
+    } else {
+      EXPECT_NE(now, 2u);
+    }
+  }
+  ring.set_up(2, true);  // mark-up restores the original mapping exactly
+  EXPECT_EQ(ring.rebuilds(), 2u);
+  for (std::uint64_t i = 0; i < before.size(); ++i) {
+    std::size_t now = 0;
+    ASSERT_TRUE(ring.shard_for(test_key(i), &now));
+    EXPECT_EQ(now, before[i]);
+  }
+  ring.set_up(2, true);  // no-op: already up, no rebuild
+  EXPECT_EQ(ring.rebuilds(), 2u);
+}
+
+TEST(HashRing, AttemptWalkYieldsDistinctUpShards) {
+  HashRing ring(4, 64, /*seed=*/7);
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    std::vector<bool> seen(4, false);
+    for (std::size_t a = 0; a < 4; ++a) {
+      std::size_t s = 0;
+      ASSERT_TRUE(ring.shard_for_attempt(test_key(i), a, &s));
+      EXPECT_FALSE(seen[s]) << "attempt " << a << " repeated shard " << s;
+      seen[s] = true;
+    }
+    std::size_t s = 0;
+    EXPECT_FALSE(ring.shard_for_attempt(test_key(i), 4, &s));
+  }
+  ring.set_up(1, false);
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    for (std::size_t a = 0; a < 3; ++a) {
+      std::size_t s = 0;
+      ASSERT_TRUE(ring.shard_for_attempt(test_key(i), a, &s));
+      EXPECT_NE(s, 1u);
+    }
+    std::size_t s = 0;
+    EXPECT_FALSE(ring.shard_for_attempt(test_key(i), 3, &s));
+  }
+  ring.set_up(0, false);
+  ring.set_up(2, false);
+  ring.set_up(3, false);
+  std::size_t s = 0;
+  EXPECT_FALSE(ring.shard_for(1, &s));
+  EXPECT_EQ(ring.up_count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// merge_snapshots
+
+TEST(MergeSnapshots, AddsCountersGaugesAndLeBuckets) {
+  stats::Registry r1;
+  r1.counter("c").inc(3);
+  r1.gauge("g").set(5);
+  stats::Histogram& h1 = r1.histogram("h", stats::latency_bounds_ms());
+  h1.record(1.0);
+  h1.record(2.0);
+
+  stats::Registry r2;
+  r2.counter("c").inc(4);
+  r2.counter("only2").inc(7);
+  r2.gauge("g").set(-2);
+  r2.histogram("h", stats::latency_bounds_ms()).record(1.0);
+
+  stats::RegistrySnapshot fleet;
+  std::string err;
+  ASSERT_TRUE(merge_snapshots({r1.snapshot(), r2.snapshot()}, &fleet, &err))
+      << err;
+  EXPECT_EQ(fleet.counter_or0("c"), 7u);
+  EXPECT_EQ(fleet.counter_or0("only2"), 7u);
+  ASSERT_NE(fleet.gauge("g"), nullptr);
+  EXPECT_EQ(*fleet.gauge("g"), 3);  // gauges are extensive: they sum
+  // First-seen order: the first part's instruments lead the export.
+  ASSERT_FALSE(fleet.counters.empty());
+  EXPECT_EQ(fleet.counters.front().first, "c");
+
+  const stats::HistogramSnapshot* h = fleet.histogram("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 3u);
+  EXPECT_DOUBLE_EQ(h->sum, 4.0);
+  std::uint64_t bucket_total = 0;
+  for (std::uint64_t b : h->buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, 3u);
+  // The merged quantile answers for the whole fleet: all three samples
+  // are <= 2ms, so the p99 estimate cannot exceed the 2ms sample's
+  // bucket upper bound by more than one ladder step.
+  EXPECT_GT(h->quantile(0.5), 0.0);
+  EXPECT_LE(h->quantile(0.99), 4.0);
+}
+
+TEST(MergeSnapshots, RoundTripsThroughStrictJsonCodec) {
+  stats::Registry r1;
+  r1.counter("iph_serve_submitted_total").inc(10);
+  r1.histogram("lat", stats::latency_bounds_ms()).record(0.5);
+  stats::Registry r2;
+  r2.counter("iph_serve_submitted_total").inc(32);
+  r2.histogram("lat", stats::latency_bounds_ms()).record(8.0);
+
+  // The router's fleet_statz path: each backend's snapshot travels as
+  // statz JSON, is re-parsed, then merged.
+  std::vector<stats::RegistrySnapshot> parts(2);
+  std::string err;
+  ASSERT_TRUE(stats::from_json(stats::to_json(r1.snapshot()), parts[0], &err))
+      << err;
+  ASSERT_TRUE(stats::from_json(stats::to_json(r2.snapshot()), parts[1], &err))
+      << err;
+  stats::RegistrySnapshot fleet;
+  ASSERT_TRUE(merge_snapshots(parts, &fleet, &err)) << err;
+  EXPECT_EQ(fleet.counter_or0("iph_serve_submitted_total"), 42u);
+  const stats::HistogramSnapshot* h = fleet.histogram("lat");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 2u);
+  EXPECT_DOUBLE_EQ(h->sum, 8.5);
+}
+
+TEST(MergeSnapshots, RejectsHistogramBoundsMismatchNamingTheInstrument) {
+  stats::Registry r1;
+  r1.histogram("iph_forward_ms", {1.0, 2.0, 4.0}).record(1.0);
+  stats::Registry r2;
+  r2.histogram("iph_forward_ms", {1.0, 2.0}).record(1.0);
+  stats::RegistrySnapshot fleet;
+  std::string err;
+  EXPECT_FALSE(merge_snapshots({r1.snapshot(), r2.snapshot()}, &fleet, &err));
+  EXPECT_NE(err.find("iph_forward_ms"), std::string::npos)
+      << "error must name the mismatched instrument: " << err;
+}
+
+TEST(MergeSnapshots, MalformedSnapshotJsonIsRejectedByTheCodec) {
+  stats::Registry r;
+  r.counter("c").inc();
+  Json good = stats::to_json(r.snapshot());
+
+  Json bad_schema = good;
+  bad_schema["schema"] = Json("iph-stats-v0");
+  stats::RegistrySnapshot out;
+  std::string err;
+  EXPECT_FALSE(stats::from_json(bad_schema, out, &err));
+  EXPECT_FALSE(err.empty());
+
+  Json bad_counters = good;
+  bad_counters["counters"] = Json("not-an-object");
+  err.clear();
+  EXPECT_FALSE(stats::from_json(bad_counters, out, &err));
+  EXPECT_FALSE(err.empty());
+}
+
+// ---------------------------------------------------------------------------
+// protocol.h
+
+TEST(Protocol, VersionGateAcceptsAbsentAndCurrentRejectsNewer) {
+  Json none = Json::object();
+  EXPECT_TRUE(version_ok(none));
+  Json current = Json::object();
+  current["v"] = Json(kProtocolVersion);
+  EXPECT_TRUE(version_ok(current));
+  Json newer = Json::object();
+  newer["v"] = Json(kProtocolVersion + 1);
+  EXPECT_FALSE(version_ok(newer));
+  EXPECT_TRUE(version_ok(Json(3.0)));  // non-object: no pin to honor
+}
+
+TEST(Protocol, StructuredErrorsCarryReasonAndVersion) {
+  const Json e = make_error(reject::kUnknownCmd, "no such cmd");
+  EXPECT_EQ(e.get_str("error"), "no such cmd");
+  EXPECT_EQ(e.get_str("reject"), reject::kUnknownCmd);
+  EXPECT_EQ(static_cast<int>(e.get_num("v")), kProtocolVersion);
+  EXPECT_EQ(error_reject_reason(e), reject::kUnknownCmd);
+
+  Json ok = Json::object();
+  ok["status"] = Json("ok");
+  EXPECT_EQ(error_reject_reason(ok), "");
+  Json legacy = Json::object();  // pre-versioning server: prose only
+  legacy["error"] = Json("something");
+  EXPECT_EQ(error_reject_reason(legacy), "");
+}
+
+// ---------------------------------------------------------------------------
+// Router over FakeShard backends
+
+/// A minimal hullserved stand-in: a TCP listener answering the NDJSON
+/// subset the router exercises. Hull requests bump the serve counters
+/// (submitted always, completed when accepted) so fleet reconciliation
+/// is testable; every reply is tagged {"shard": tag} so tests can see
+/// where a line landed. reject_mode switches the shard to answering
+/// rejected_full / rejected_shutdown, modeling backpressure.
+class FakeShard {
+ public:
+  explicit FakeShard(std::size_t tag)
+      : tag_(tag),
+        submitted_(registry_.counter("iph_serve_submitted_total")),
+        completed_(registry_.counter("iph_serve_completed_total")) {
+    start(0);
+  }
+  ~FakeShard() { stop(); }
+
+  int port() const { return port_; }
+  std::uint64_t submitted() const { return submitted_.value(); }
+
+  /// 0 = accept, 1 = rejected_full, 2 = rejected_shutdown.
+  std::atomic<int> reject_mode{0};
+
+  void start(int port) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(listen_fd_, 0);
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    ASSERT_EQ(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof addr),
+              0);
+    ASSERT_EQ(::listen(listen_fd_, 16), 0);
+    socklen_t alen = sizeof addr;
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &alen);
+    port_ = ntohs(addr.sin_port);
+    stopped_.store(false);
+    accept_thread_ = std::thread([this] { accept_loop(); });
+  }
+
+  void stop() {
+    if (stopped_.exchange(true)) return;
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    accept_thread_.join();
+    std::vector<std::thread> conns;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+      conns.swap(conn_threads_);
+    }
+    for (auto& t : conns) t.join();
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      for (int fd : conn_fds_) ::close(fd);
+      conn_fds_.clear();
+    }
+  }
+
+ private:
+  void accept_loop() {
+    for (;;) {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) return;
+      std::lock_guard<std::mutex> lk(mu_);
+      conn_fds_.push_back(fd);
+      conn_threads_.emplace_back([this, fd] { serve(fd); });
+    }
+  }
+
+  void serve(int fd) {
+    support::LineChannel ch(fd, fd);
+    std::string line;
+    std::uint64_t next_sid = 1;
+    while (ch.read_line(&line)) {
+      Json j;
+      std::string err;
+      if (!Json::parse(line, &j, &err) || !j.is_object()) {
+        if (!ch.write_line(make_error(reject::kBadJson, "bad json").dump()))
+          return;
+        continue;
+      }
+      Json r = Json::object();
+      if (const Json* c = j.find("cmd")) {
+        const std::string cmd = c->as_string();
+        if (cmd == "statz") {
+          r["statz"] = stats::to_json(registry_.snapshot());
+        } else if (cmd == "session_open") {
+          r["sid"] = Json(next_sid++);
+          r["status"] = Json("ok");
+          r["shard"] = Json(static_cast<std::uint64_t>(tag_));
+        } else if (cmd == "session_append" || cmd == "session_close") {
+          r["sid"] = Json(j.get_num("sid"));
+          r["status"] = Json("ok");
+          r["shard"] = Json(static_cast<std::uint64_t>(tag_));
+        } else {
+          if (!ch.write_line(make_error(reject::kUnknownCmd, cmd).dump()))
+            return;
+          continue;
+        }
+      } else {
+        submitted_.inc();  // rejects count as submitted, like hullserved
+        const int mode = reject_mode.load();
+        if (mode == 0) {
+          completed_.inc();
+          r["status"] = Json("ok");
+        } else {
+          r["status"] = Json(mode == 1 ? "rejected_full" : "rejected_shutdown");
+        }
+        if (const Json* id = j.find("id")) r["id"] = Json(id->as_double());
+        r["shard"] = Json(static_cast<std::uint64_t>(tag_));
+      }
+      stamp_version(&r);
+      if (!ch.write_line(r.dump())) return;
+    }
+  }
+
+  const std::size_t tag_;
+  stats::Registry registry_;
+  stats::Counter& submitted_;
+  stats::Counter& completed_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopped_{true};
+  std::thread accept_thread_;
+  std::mutex mu_;
+  std::vector<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+};
+
+RouterConfig fleet_config(const std::vector<std::unique_ptr<FakeShard>>& fleet,
+                          int retries, int probe_ms) {
+  RouterConfig cfg;
+  for (const auto& f : fleet) {
+    cfg.endpoints.push_back(Endpoint{"127.0.0.1", f->port()});
+  }
+  cfg.retry_limit = retries;
+  cfg.probe_period_ms = probe_ms;
+  return cfg;
+}
+
+std::vector<std::unique_ptr<FakeShard>> make_fleet(std::size_t n) {
+  std::vector<std::unique_ptr<FakeShard>> fleet;
+  for (std::size_t i = 0; i < n; ++i) {
+    fleet.push_back(std::make_unique<FakeShard>(i));
+  }
+  return fleet;
+}
+
+Json send(Router::Conn& conn, const Json& j) {
+  Json reply;
+  std::string err;
+  EXPECT_TRUE(Json::parse(conn.handle_line(j.dump()), &reply, &err)) << err;
+  return reply;
+}
+
+Json request_line(std::uint64_t id) {
+  Json j = Json::object();
+  j["id"] = Json(id);
+  j["n"] = Json(16);
+  return j;
+}
+
+TEST(Router, RoutesByIdDeterministicallyAndCountsEverything) {
+  auto fleet = make_fleet(3);
+  Router router(fleet_config(fleet, /*retries=*/2, /*probe_ms=*/0));
+  std::map<std::uint64_t, std::uint64_t> homed;
+  {
+    Router::Conn conn(router);
+    for (std::uint64_t id = 1; id <= 30; ++id) {
+      const Json r = send(conn, request_line(id));
+      EXPECT_EQ(r.get_str("status"), "ok");
+      EXPECT_EQ(static_cast<int>(r.get_num("v")), kProtocolVersion);
+      homed[id] = static_cast<std::uint64_t>(r.get_num("shard"));
+    }
+  }
+  {
+    // Same ids on a fresh connection land on the same shards: routing
+    // keys on the request id, not on connection state.
+    Router::Conn conn(router);
+    for (std::uint64_t id = 1; id <= 30; ++id) {
+      const Json r = send(conn, request_line(id));
+      EXPECT_EQ(static_cast<std::uint64_t>(r.get_num("shard")), homed[id]);
+    }
+  }
+  const stats::RegistrySnapshot s = router.registry().snapshot();
+  EXPECT_EQ(s.counter_or0(statnames::kForwards), 60u);
+  std::uint64_t routed = 0;
+  std::uint64_t backend_submitted = 0;
+  for (std::size_t k = 0; k < fleet.size(); ++k) {
+    routed += s.counter_or0(
+        stats::labeled(statnames::kRoutesBase, "shard", std::to_string(k)));
+    backend_submitted += fleet[k]->submitted();
+  }
+  EXPECT_EQ(routed, 60u);
+  EXPECT_EQ(backend_submitted, 60u);  // forwards == fleet submitted
+  ASSERT_NE(s.gauge(statnames::kBackendsUp), nullptr);
+  EXPECT_EQ(*s.gauge(statnames::kBackendsUp), 3);
+}
+
+TEST(Router, RejectedRequestsRetryOnSiblingsThenSurfaceVerbatim) {
+  auto fleet = make_fleet(2);
+  fleet[0]->reject_mode.store(1);  // shard 0 sheds all hull requests
+  Router router(fleet_config(fleet, /*retries=*/2, /*probe_ms=*/0));
+  Router::Conn conn(router);
+  for (std::uint64_t id = 1; id <= 40; ++id) {
+    const Json r = send(conn, request_line(id));
+    // Every request succeeds: those homed on shard 0 retried to 1.
+    EXPECT_EQ(r.get_str("status"), "ok");
+    EXPECT_EQ(static_cast<std::uint64_t>(r.get_num("shard")), 1u);
+  }
+  const stats::RegistrySnapshot s = router.registry().snapshot();
+  const std::uint64_t retried = s.counter_or0(
+      stats::labeled(statnames::kRetriesBase, "reason", "rejected_full"));
+  EXPECT_GT(retried, 0u) << "no request homed on the rejecting shard";
+  EXPECT_EQ(s.counter_or0(statnames::kForwards), 40u + retried);
+  EXPECT_EQ(fleet[0]->submitted() + fleet[1]->submitted(), 40u + retried);
+
+  // Whole fleet shedding: the budget runs out and the backend's own
+  // reject reaches the client verbatim (backpressure propagates).
+  fleet[1]->reject_mode.store(2);
+  fleet[0]->reject_mode.store(2);
+  const Json r = send(conn, request_line(1000));
+  EXPECT_EQ(r.get_str("status"), "rejected_shutdown");
+}
+
+TEST(Router, SessionsPinRewriteSidsAndNeverRetry) {
+  auto fleet = make_fleet(2);
+  Router router(fleet_config(fleet, /*retries=*/2, /*probe_ms=*/0));
+  Router::Conn conn(router);
+
+  Json open = Json::object();
+  open["cmd"] = Json("session_open");
+  open["n"] = Json(8);
+  const Json r1 = send(conn, open);
+  ASSERT_EQ(r1.get_str("status"), "ok");
+  const auto sid1 = static_cast<std::uint64_t>(r1.get_num("sid"));
+  const auto pinned = static_cast<std::uint64_t>(r1.get_num("shard"));
+  const Json r2 = send(conn, open);
+  const auto sid2 = static_cast<std::uint64_t>(r2.get_num("sid"));
+  EXPECT_NE(sid1, sid2) << "router sids must be distinct across sessions";
+
+  Json append = Json::object();
+  append["cmd"] = Json("session_append");
+  append["sid"] = Json(sid1);
+  for (int i = 0; i < 5; ++i) {
+    const Json a = send(conn, append);
+    EXPECT_EQ(a.get_str("status"), "ok");
+    // Affinity: every append answers from the opening shard, and the
+    // client keeps seeing its router sid, not the backend's.
+    EXPECT_EQ(static_cast<std::uint64_t>(a.get_num("shard")), pinned);
+    EXPECT_EQ(static_cast<std::uint64_t>(a.get_num("sid")), sid1);
+  }
+  {
+    const stats::RegistrySnapshot s = router.registry().snapshot();
+    ASSERT_NE(s.gauge(statnames::kSessionsOpen), nullptr);
+    EXPECT_EQ(*s.gauge(statnames::kSessionsOpen), 2);
+    // Session traffic reconciles in routes{}, never in forwards.
+    EXPECT_EQ(s.counter_or0(statnames::kForwards), 0u);
+  }
+
+  // Down the pinned shard: appends are never re-routed — a structured
+  // shard_down reject comes back and the sibling sees no traffic.
+  const std::uint64_t before_other = fleet[1 - pinned]->submitted();
+  fleet[pinned]->stop();
+  const Json down = send(conn, append);
+  EXPECT_EQ(down.get_str("reject"), reject::kShardDown);
+  EXPECT_EQ(fleet[1 - pinned]->submitted(), before_other);
+
+  Json close = Json::object();
+  close["cmd"] = Json("session_close");
+  close["sid"] = Json(sid2);
+  if (static_cast<std::uint64_t>(r2.get_num("shard")) != pinned) {
+    // sid2 lives on the surviving shard: close it and check teardown.
+    const Json c = send(conn, close);
+    EXPECT_EQ(c.get_str("status"), "ok");
+    const Json again = send(conn, close);
+    EXPECT_EQ(again.get_str("status"), "closed");
+  }
+  Json unknown = Json::object();
+  unknown["cmd"] = Json("session_append");
+  unknown["sid"] = Json(std::uint64_t{999999});
+  EXPECT_EQ(send(conn, unknown).get_str("status"), "unknown");
+
+  const stats::RegistrySnapshot s = router.registry().snapshot();
+  EXPECT_GE(s.counter_or0(stats::labeled(statnames::kRejectedBase, "reason",
+                                         "shard_down")),
+            1u);
+  EXPECT_GE(s.counter_or0(stats::labeled(statnames::kMarkdownsBase, "cause",
+                                         "io")),
+            1u);
+}
+
+TEST(Router, IoFailureMarksDownRetriesAndAdminMarkupRestores) {
+  auto fleet = make_fleet(3);
+  Router router(fleet_config(fleet, /*retries=*/2, /*probe_ms=*/0));
+  Router::Conn probe_conn(router);
+  // Learn the id -> shard map while every backend is healthy.
+  std::uint64_t id_on_0 = 0;
+  for (std::uint64_t id = 1; id <= 64 && id_on_0 == 0; ++id) {
+    const Json r = send(probe_conn, request_line(id));
+    if (static_cast<std::uint64_t>(r.get_num("shard")) == 0) id_on_0 = id;
+  }
+  ASSERT_NE(id_on_0, 0u);
+
+  const int port0 = fleet[0]->port();
+  fleet[0]->stop();
+  // A fresh connection dials the dead shard, fails, marks it down and
+  // retries a sibling — the client still gets its answer.
+  Router::Conn conn(router);
+  const Json r = send(conn, request_line(id_on_0));
+  EXPECT_EQ(r.get_str("status"), "ok");
+  EXPECT_NE(static_cast<std::uint64_t>(r.get_num("shard")), 0u);
+  EXPECT_FALSE(router.shard_up(0));
+  {
+    const stats::RegistrySnapshot s = router.registry().snapshot();
+    EXPECT_EQ(s.counter_or0(
+                  stats::labeled(statnames::kRetriesBase, "reason", "io")),
+              1u);
+    EXPECT_EQ(s.counter_or0(
+                  stats::labeled(statnames::kMarkdownsBase, "cause", "io")),
+              1u);
+    ASSERT_NE(s.gauge(statnames::kBackendsUp), nullptr);
+    EXPECT_EQ(*s.gauge(statnames::kBackendsUp), 2);
+  }
+
+  // Once marked down the ring routes around it with no further retries.
+  const Json r2 = send(conn, request_line(id_on_0));
+  EXPECT_NE(static_cast<std::uint64_t>(r2.get_num("shard")), 0u);
+  {
+    const stats::RegistrySnapshot s = router.registry().snapshot();
+    EXPECT_EQ(s.counter_or0(
+                  stats::labeled(statnames::kRetriesBase, "reason", "io")),
+              1u);
+  }
+
+  // Bring the backend back on its old port and undrain: the id homes
+  // on shard 0 again (consistent-hash mapping restored exactly).
+  fleet[0]->start(port0);
+  ASSERT_TRUE(router.mark_up_admin(0));
+  EXPECT_TRUE(router.shard_up(0));
+  const Json r3 = send(conn, request_line(id_on_0));
+  EXPECT_EQ(r3.get_str("status"), "ok");
+  EXPECT_EQ(static_cast<std::uint64_t>(r3.get_num("shard")), 0u);
+}
+
+TEST(Router, WireProtocolAdminDrainRejectsAndVersionGate) {
+  auto fleet = make_fleet(2);
+  Router router(fleet_config(fleet, /*retries=*/1, /*probe_ms=*/0));
+  Router::Conn conn(router);
+
+  Json markdown = Json::object();
+  markdown["cmd"] = Json("markdown");
+  markdown["shard"] = Json(0);
+  const Json md = send(conn, markdown);
+  EXPECT_EQ(md.get_str("status"), "ok");
+  EXPECT_FALSE(md.find("up")->as_bool());
+  const std::uint64_t drained_before = fleet[0]->submitted();
+  for (std::uint64_t id = 1; id <= 20; ++id) {
+    const Json r = send(conn, request_line(id));
+    EXPECT_EQ(r.get_str("status"), "ok");
+    EXPECT_EQ(static_cast<std::uint64_t>(r.get_num("shard")), 1u);
+  }
+  EXPECT_EQ(fleet[0]->submitted(), drained_before)
+      << "admin-drained shard must see no new traffic";
+
+  // Malformed / unknown / cross-version lines all answer structurally.
+  Json parsed;
+  std::string err;
+  ASSERT_TRUE(Json::parse(conn.handle_line("{oops"), &parsed, &err));
+  EXPECT_EQ(parsed.get_str("reject"), reject::kBadJson);
+  ASSERT_TRUE(Json::parse(conn.handle_line("[1,2]"), &parsed, &err));
+  EXPECT_EQ(parsed.get_str("reject"), reject::kBadRequest);
+  Json unknown = Json::object();
+  unknown["cmd"] = Json("frobnicate");
+  EXPECT_EQ(send(conn, unknown).get_str("reject"), reject::kUnknownCmd);
+  Json pinned = request_line(5);
+  pinned["v"] = Json(kProtocolVersion + 7);
+  EXPECT_EQ(send(conn, pinned).get_str("reject"), reject::kVersion);
+  Json bad_shard = Json::object();
+  bad_shard["cmd"] = Json("markdown");
+  bad_shard["shard"] = Json(42);
+  EXPECT_EQ(send(conn, bad_shard).get_str("reject"), reject::kBadRequest);
+
+  // Drain the whole fleet: requests answer no_backend, router-minted.
+  markdown["shard"] = Json(1);
+  EXPECT_EQ(send(conn, markdown).get_str("status"), "ok");
+  EXPECT_EQ(send(conn, request_line(9)).get_str("reject"),
+            reject::kNoBackend);
+
+  Json markup = Json::object();
+  markup["cmd"] = Json("markup");
+  markup["shard"] = Json(0);
+  const Json mu = send(conn, markup);
+  EXPECT_EQ(mu.get_str("status"), "ok");
+  EXPECT_TRUE(mu.find("up")->as_bool());
+
+  const stats::RegistrySnapshot s = router.registry().snapshot();
+  EXPECT_EQ(s.counter_or0(stats::labeled(statnames::kMarkdownsBase, "cause",
+                                         "admin")),
+            2u);
+  EXPECT_EQ(s.counter_or0(stats::labeled(statnames::kMarkupsBase, "cause",
+                                         "admin")),
+            1u);
+  EXPECT_EQ(s.counter_or0(stats::labeled(statnames::kRejectedBase, "reason",
+                                         "no_backend")),
+            1u);
+  EXPECT_EQ(s.counter_or0(statnames::kRingRebuilds), 3u);
+}
+
+TEST(Router, FleetStatzMergesLiveBackendsAndFallsBackToCache) {
+  auto fleet = make_fleet(2);
+  Router router(fleet_config(fleet, /*retries=*/2, /*probe_ms=*/0));
+  Router::Conn conn(router);
+  for (std::uint64_t id = 1; id <= 10; ++id) {
+    EXPECT_EQ(send(conn, request_line(id)).get_str("status"), "ok");
+  }
+
+  const Json live = router.fleet_statz(/*prometheus=*/false);
+  ASSERT_NE(live.find("statz"), nullptr);
+  EXPECT_EQ(static_cast<int>(live.get_num("v")), kProtocolVersion);
+  const Json* f = live.find("fleet");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(static_cast<int>(f->get_num("backends")), 2);
+  EXPECT_EQ(static_cast<int>(f->get_num("up")), 2);
+  EXPECT_EQ(static_cast<int>(f->get_num("scraped_live")), 2);
+  EXPECT_EQ(static_cast<int>(f->get_num("scraped_cached")), 0);
+  stats::RegistrySnapshot merged;
+  std::string err;
+  ASSERT_TRUE(stats::from_json(*live.find("statz"), merged, &err)) << err;
+  // The roll-up reconciles exactly: router forwards == fleet submitted
+  // == fleet completed == the 10 client requests, in ONE scrape.
+  EXPECT_EQ(merged.counter_or0("iph_serve_submitted_total"), 10u);
+  EXPECT_EQ(merged.counter_or0("iph_serve_completed_total"), 10u);
+  EXPECT_EQ(merged.counter_or0(statnames::kForwards), 10u);
+
+  // Kill one backend: its last good snapshot keeps contributing, so
+  // the fleet totals don't dip mid-outage.
+  fleet[1]->stop();
+  const Json after = router.fleet_statz(/*prometheus=*/false);
+  const Json* f2 = after.find("fleet");
+  ASSERT_NE(f2, nullptr);
+  EXPECT_EQ(static_cast<int>(f2->get_num("scraped_live")), 1);
+  EXPECT_EQ(static_cast<int>(f2->get_num("scraped_cached")), 1);
+  stats::RegistrySnapshot merged2;
+  ASSERT_TRUE(stats::from_json(*after.find("statz"), merged2, &err)) << err;
+  EXPECT_EQ(merged2.counter_or0("iph_serve_submitted_total"), 10u);
+}
+
+TEST(Router, ProberMarksCrashedShardsDownAndRecoveredShardsUp) {
+  auto fleet = make_fleet(2);
+  Router router(fleet_config(fleet, /*retries=*/2, /*probe_ms=*/25));
+  const int port1 = fleet[1]->port();
+
+  auto wait_for = [&](bool want_up, std::size_t shard) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (router.shard_up(shard) != want_up &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return router.shard_up(shard) == want_up;
+  };
+
+  fleet[1]->stop();
+  EXPECT_TRUE(wait_for(false, 1)) << "prober never marked the dead shard down";
+  fleet[1]->start(port1);
+  EXPECT_TRUE(wait_for(true, 1)) << "prober never marked the shard back up";
+
+  // Administrative drain is sticky: the prober sees a healthy backend
+  // but must not undrain it — only mark_up_admin may.
+  ASSERT_TRUE(router.mark_down_admin(0));
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  EXPECT_FALSE(router.shard_up(0));
+  ASSERT_TRUE(router.mark_up_admin(0));
+  EXPECT_TRUE(router.shard_up(0));
+
+  const stats::RegistrySnapshot s = router.registry().snapshot();
+  EXPECT_GE(s.counter_or0(stats::labeled(statnames::kMarkdownsBase, "cause",
+                                         "probe")),
+            1u);
+  EXPECT_GE(s.counter_or0(stats::labeled(statnames::kMarkupsBase, "cause",
+                                         "probe")),
+            1u);
+}
+
+TEST(Router, ConnTeardownClosesItsSessionsGlobally) {
+  auto fleet = make_fleet(2);
+  Router router(fleet_config(fleet, /*retries=*/2, /*probe_ms=*/0));
+  std::uint64_t sid = 0;
+  {
+    Router::Conn conn(router);
+    Json open = Json::object();
+    open["cmd"] = Json("session_open");
+    const Json r = send(conn, open);
+    ASSERT_EQ(r.get_str("status"), "ok");
+    sid = static_cast<std::uint64_t>(r.get_num("sid"));
+    const stats::RegistrySnapshot s = router.registry().snapshot();
+    ASSERT_NE(s.gauge(statnames::kSessionsOpen), nullptr);
+    EXPECT_EQ(*s.gauge(statnames::kSessionsOpen), 1);
+  }  // conn gone: its sessions close, mirroring backend conn-EOF
+  Router::Conn other(router);
+  Json append = Json::object();
+  append["cmd"] = Json("session_append");
+  append["sid"] = Json(sid);
+  EXPECT_EQ(send(other, append).get_str("status"), "closed");
+  const stats::RegistrySnapshot s = router.registry().snapshot();
+  ASSERT_NE(s.gauge(statnames::kSessionsOpen), nullptr);
+  EXPECT_EQ(*s.gauge(statnames::kSessionsOpen), 0);
+}
+
+TEST(Endpoint, ParsesListsAndRejectsGarbage) {
+  std::vector<Endpoint> eps;
+  ASSERT_TRUE(parse_endpoint_list("127.0.0.1:7070,localhost:80", &eps));
+  ASSERT_EQ(eps.size(), 2u);
+  EXPECT_EQ(eps[0].host, "127.0.0.1");
+  EXPECT_EQ(eps[0].port, 7070);
+  EXPECT_EQ(eps[1].host, "localhost");
+  EXPECT_EQ(eps[1].port, 80);
+  EXPECT_FALSE(parse_endpoint_list("", &eps));
+  EXPECT_FALSE(parse_endpoint_list("noport", &eps));
+  EXPECT_FALSE(parse_endpoint_list("h:0,", &eps));
+  EXPECT_FALSE(parse_endpoint_list("h:99999", &eps));
+}
+
+}  // namespace
+}  // namespace iph::cluster

@@ -39,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/stats.h"
 #include "serve/stats.h"
 #include "session/stats.h"
 #include "stats/export.h"
@@ -266,9 +267,61 @@ std::string format_cells(double v) {
   return buf;
 }
 
+/// A row is a cluster row iff it carries a `backends` counter (the
+/// e16-style fleet benches); such rows get the scaling table below
+/// instead of the single-server serving columns.
+const Json* cluster_counters(const Json& row) {
+  const Json* counters = row.find("counters");
+  if (counters != nullptr && counters->find("backends") != nullptr) {
+    return counters;
+  }
+  return nullptr;
+}
+
+bool has_cluster_rows(const Json& doc) {
+  if (const Json* rows = doc.find("rows")) {
+    for (const Json& row : rows->items()) {
+      if (cluster_counters(row) != nullptr) return true;
+    }
+  }
+  return false;
+}
+
+/// Fleet scaling detail for cluster benches: aggregate throughput vs
+/// fleet size with the ideal-normalized inefficiency the e16 claim
+/// gates, plus the skew/churn documentation columns.
+void render_cluster_table(const Json& doc, std::FILE* out) {
+  std::fprintf(out, "\nCluster scaling (router + N backends):\n\n");
+  std::fprintf(out,
+               "| row | label | backends | qps | speedup | ideal | "
+               "inefficiency | p99 ms | hot share |\n");
+  std::fprintf(out, "|---|---|---|---|---|---|---|---|---|\n");
+  const Json* rows = doc.find("rows");
+  if (rows == nullptr) return;
+  for (const Json& row : rows->items()) {
+    const Json* c = cluster_counters(row);
+    if (c == nullptr) continue;
+    const Json* hot = c->find("hot_shard_share");
+    char hot_cell[32] = "-";
+    if (hot != nullptr) {
+      std::snprintf(hot_cell, sizeof hot_cell, "%.2f", hot->as_double());
+    }
+    std::fprintf(out,
+                 "| %s | %s | %.0f | %.0f | %.2fx | %.0f | %.2f | %.2f "
+                 "| %s |\n",
+                 row.get_str("name").c_str(), row.get_str("label").c_str(),
+                 c->get_num("backends"), c->get_num("qps"),
+                 c->get_num("speedup"), c->get_num("ideal"),
+                 c->get_num("scaling_inefficiency"), c->get_num("p99_ms"),
+                 hot_cell);
+  }
+}
+
 /// A row is a serving row iff it carries a `qps` counter (the e14-style
-/// latency/throughput benches); such rows get the serving table below.
+/// latency/throughput benches) and is not a cluster row; such rows get
+/// the serving table below.
 const Json* serving_counters(const Json& row) {
+  if (cluster_counters(row) != nullptr) return nullptr;
   const Json* counters = row.find("counters");
   if (counters != nullptr && counters->find("qps") != nullptr) {
     return counters;
@@ -357,6 +410,61 @@ void render_streaming_table(const Json& doc, std::FILE* out) {
 /// was ever touched (sessions opened — the open counter moves first).
 bool is_session_snapshot(const iph::stats::RegistrySnapshot& snap) {
   return snap.counter_or0(iph::session::statnames::kOpened) > 0;
+}
+
+/// A stats snapshot is a FLEET snapshot iff the router's forward
+/// counter is present — only the cluster router registers it, and a
+/// fleet_statz roll-up always merges the router's registry first.
+/// Checked before the session classification: a merged fleet snapshot
+/// may carry backend session counters too, and the fleet columns are
+/// the ones that tell the router story.
+bool is_fleet_snapshot(const iph::stats::RegistrySnapshot& snap) {
+  return snap.counter(iph::cluster::statnames::kForwards) != nullptr;
+}
+
+/// Router roll-up detail: the routing/retry/markdown counters the
+/// cluster smoke and hullload's router-aware scrape reconcile, next to
+/// the merged backend serving totals they must reconcile AGAINST.
+void render_fleet_stats_table(
+    const std::vector<std::pair<std::string, iph::stats::RegistrySnapshot>>&
+        stats,
+    std::FILE* out) {
+  namespace rn = iph::cluster::statnames;
+  namespace sn = iph::serve::statnames;
+  std::fprintf(out, "\nFleet stats (router roll-up):\n\n");
+  std::fprintf(out,
+               "| tag | forwards | fleet submitted | fleet completed | "
+               "retries | rejected | markdowns | markups | rebuilds | "
+               "forward p99 ms |\n");
+  std::fprintf(out, "|---|---|---|---|---|---|---|---|---|---|\n");
+  for (const auto& [tag, snap] : stats) {
+    std::uint64_t retries = 0, rejected = 0, markdowns = 0, markups = 0;
+    for (const auto& [name, v] : snap.counters) {
+      if (name.rfind(rn::kRetriesBase, 0) == 0) retries += v;
+      if (name.rfind(rn::kRejectedBase, 0) == 0) rejected += v;
+      if (name.rfind(rn::kMarkdownsBase, 0) == 0) markdowns += v;
+      if (name.rfind(rn::kMarkupsBase, 0) == 0) markups += v;
+    }
+    double fwd_p99 = 0;
+    if (const iph::stats::HistogramSnapshot* h =
+            snap.histogram(rn::kForwardMs)) {
+      fwd_p99 = h->quantile(0.99);
+    }
+    std::fprintf(
+        out,
+        "| %s | %llu | %llu | %llu | %llu | %llu | %llu | %llu | %llu "
+        "| %.2f |\n",
+        tag.c_str(),
+        static_cast<unsigned long long>(snap.counter_or0(rn::kForwards)),
+        static_cast<unsigned long long>(snap.counter_or0(sn::kSubmitted)),
+        static_cast<unsigned long long>(snap.counter_or0(sn::kCompleted)),
+        static_cast<unsigned long long>(retries),
+        static_cast<unsigned long long>(rejected),
+        static_cast<unsigned long long>(markdowns),
+        static_cast<unsigned long long>(markups),
+        static_cast<unsigned long long>(snap.counter_or0(rn::kRingRebuilds)),
+        fwd_p99);
+  }
 }
 
 /// Session-registry detail: the counters hullload --stream reconciles
@@ -529,17 +637,24 @@ void render_markdown(const std::vector<Loaded>& reports, std::FILE* out) {
         }
       }
     }
+    if (has_cluster_rows(r.doc)) render_cluster_table(r.doc, out);
     if (has_serving_rows(r.doc)) render_serving_table(r.doc, out);
     if (has_streaming_rows(r.doc)) render_streaming_table(r.doc, out);
     if (!r.stats.empty()) {
-      // Session snapshots (e15) get the streaming columns; everything
-      // else renders with the batch-serving columns (e14).
+      // Fleet roll-ups (e16) are classified FIRST — a merged fleet
+      // snapshot carries backend session counters too, but the router
+      // columns are its story. Session snapshots (e15) then get the
+      // streaming columns; everything else renders with the
+      // batch-serving columns (e14).
       std::vector<std::pair<std::string, iph::stats::RegistrySnapshot>>
-          serve_stats, session_stats;
+          serve_stats, session_stats, fleet_stats;
       for (const auto& entry : r.stats) {
-        (is_session_snapshot(entry.second) ? session_stats : serve_stats)
+        (is_fleet_snapshot(entry.second)       ? fleet_stats
+         : is_session_snapshot(entry.second)   ? session_stats
+                                               : serve_stats)
             .push_back(entry);
       }
+      if (!fleet_stats.empty()) render_fleet_stats_table(fleet_stats, out);
       if (!serve_stats.empty()) render_stats_table(serve_stats, out);
       if (!session_stats.empty()) {
         render_session_stats_table(session_stats, out);

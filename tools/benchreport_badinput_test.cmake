@@ -166,6 +166,50 @@ if(NOT err MATCHES "stream")
           "${err}")
 endif()
 
+# Case 6b: a cluster (e16-style) report renders the scaling table and
+# the fleet-stats roll-up columns — and cluster rows must NOT bleed
+# into the single-server serving table despite carrying `qps`.
+file(WRITE "${WORK_DIR}/cluster/BENCH_cluster.json"
+"{\"schema\": \"iph-bench-report-v1\", \"bench\": \"cluster\",
+  \"claims_enforced\": true, \"rows\": [
+    {\"name\": \"c/4\", \"function\": \"c\", \"args\": \"4\",
+     \"label\": \"scale\", \"x\": 4, \"wall_ms\": 400.0,
+     \"counters\": {\"backends\": 4, \"qps\": 2200, \"speedup\": 3.1,
+                    \"ideal\": 4, \"scaling_inefficiency\": 1.29,
+                    \"p99_ms\": 12.5}}],
+  \"claims\": [],
+  \"stats\": {\"scaling/B=4\": {\"schema\": \"iph-stats-v1\",
+    \"counters\": {\"iph_router_forwards_total\": 256,
+                   \"iph_router_retries_total{reason=\\\"io\\\"}\": 3,
+                   \"iph_router_markdowns_total{cause=\\\"io\\\"}\": 1,
+                   \"iph_router_ring_rebuilds_total\": 2,
+                   \"iph_serve_submitted_total\": 256,
+                   \"iph_serve_completed_total\": 253},
+    \"gauges\": {}, \"histograms\": {}}}}")
+execute_process(
+  COMMAND "${BENCHREPORT}" --check "${WORK_DIR}/cluster/BENCH_cluster.json"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "cluster report: expected exit 0, got ${rc}\nstderr: ${err}")
+endif()
+if(NOT out MATCHES "Cluster scaling")
+  message(FATAL_ERROR "cluster report: scaling table missing:\n${out}")
+endif()
+if(NOT out MATCHES "Fleet stats")
+  message(FATAL_ERROR "cluster report: fleet stats table missing:\n${out}")
+endif()
+if(out MATCHES "Serving latency/throughput")
+  message(FATAL_ERROR
+          "cluster report: cluster rows bled into the serving table:\n${out}")
+endif()
+if(NOT out MATCHES "1.29")
+  message(FATAL_ERROR
+          "cluster report: inefficiency column missing/wrong:\n${out}")
+endif()
+
 # Case 7: a malformed flight-recorder dump (tracez*.json missing its
 # "traces"/"exemplars" arrays) is broken input — exit 3, not a silently
 # skipped table.

@@ -2,6 +2,9 @@
 //
 //   hullload [options]                     drive an in-process HullService
 //   hullload --connect HOST:PORT [...]     drive a running hullserved
+//   hullload --endpoints H:P[,H:P...]      drive several targets at once
+//                                          (clients round-robin across
+//                                          them; --scrape merges)
 //
 // --clients C threads each issue --requests R queries of workload
 // --workload/--n (per-request generator seed = --seed + request id, so
@@ -32,6 +35,19 @@
 // plus a "served_backend" key ("pram" | "native" | "mixed") naming the
 // engine(s) that absorbed the run (the CI serve-smoke job uploads it
 // as an artifact).
+//
+// With --endpoints, --scrape scrapes EVERY target before and after,
+// diffs each pairwise and sums the diffs (src/cluster/merge.h) into
+// one fleet view the same identities run against. When the scraped
+// diff carries router counters (iph_router_forwards_total — the
+// target is a hullrouter, whose statz already rolls up its backends),
+// the identities account for re-routing: fleet submitted == client
+// requests + executed retries{rejected_*} (a retried request submits
+// once per attempt), per-reason backend rejects == surfaced client
+// rejects + retries with that reason, and router forwards == fleet
+// submitted (the load run is the fleet's only request traffic).
+// Completed == client ok either way: a retried request completes
+// exactly once.
 //
 // When the server runs a flight recorder (src/obs), --scrape also
 // reconciles the tracing counters: every completed request published
@@ -78,6 +94,8 @@
 #include <utility>
 #include <vector>
 
+#include "cluster/merge.h"
+#include "cluster/stats.h"
 #include "exec/backend.h"
 #include "geom/workloads.h"
 #include "obs/flight_recorder.h"
@@ -106,6 +124,10 @@ struct Options {
   std::uint64_t seed = 1;
   double deadline_ms = 0;
   std::string connect;  // empty = in-process
+  /// Multi-target mode (--endpoints): client c drives
+  /// targets[c % size]; --scrape scrapes and merges all of them.
+  /// --connect is the one-element special case.
+  std::vector<std::string> endpoints;
   /// Engine every request asks for ("default" lets the server pick —
   /// tagged on the wire / Request so the scrape reconciliation knows
   /// which backend-labeled counter must absorb the run).
@@ -129,7 +151,8 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s [--clients C] [--requests R] [--qps Q] [--n N]\n"
       "          [--workload W] [--seed S] [--deadline-ms D]\n"
-      "          [--connect HOST:PORT | --shards N --workers N --threads N\n"
+      "          [--connect HOST:PORT | --endpoints H:P[,H:P...] |\n"
+      "           --shards N --workers N --threads N\n"
       "           --capacity N --window-us U --no-large]\n"
       "          [--backend pram|native|default]\n"
       "          [--stream] [--append-points K]\n"
@@ -274,10 +297,11 @@ int connect_to(const std::string& hostport) {
   return fd;
 }
 
-Tally run_client_tcp(const Options& opt, int client,
-                     Clock::time_point start, std::atomic<bool>* failed) {
+Tally run_client_tcp(const Options& opt, const std::string& target,
+                     int client, Clock::time_point start,
+                     std::atomic<bool>* failed) {
   Tally t;
-  const int fd = connect_to(opt.connect);
+  const int fd = connect_to(target);
   if (fd < 0) {
     failed->store(true);
     return t;
@@ -407,10 +431,11 @@ Tally run_stream_inproc(iph::session::SessionManager& mgr,
 /// One streaming client over TCP. The session handshake (open, close)
 /// is synchronous; the append phase is closed loop or, with --qps,
 /// open loop with the same FIFO reader-thread pairing as batch mode.
-Tally run_stream_tcp(const Options& opt, int client,
-                     Clock::time_point start, std::atomic<bool>* failed) {
+Tally run_stream_tcp(const Options& opt, const std::string& target,
+                     int client, Clock::time_point start,
+                     std::atomic<bool>* failed) {
   Tally t;
-  const int fd = connect_to(opt.connect);
+  const int fd = connect_to(target);
   if (fd < 0) {
     failed->store(true);
     return t;
@@ -552,6 +577,22 @@ bool scrape_tcp(const std::string& hostport,
   return iph::tools::statz_from_json(j, out, err);
 }
 
+/// Scrape every target into `out` (one snapshot per target, in
+/// order). False (with the failing target named in *err) on any miss.
+bool scrape_targets(const std::vector<std::string>& targets,
+                    std::vector<iph::stats::RegistrySnapshot>* out,
+                    std::string* err) {
+  out->assign(targets.size(), {});
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    std::string why;
+    if (!scrape_tcp(targets[i], &(*out)[i], &why)) {
+      *err = targets[i] + ": " + why;
+      return false;
+    }
+  }
+  return true;
+}
+
 /// Cross-check the server-side snapshot diff against the client tally
 /// and print the side-by-side summary. Returns false (after printing
 /// why) when the accounting does not reconcile or p99s diverge beyond
@@ -583,6 +624,17 @@ bool check_scrape(const iph::stats::RegistrySnapshot& d, const Tally& total,
   *served_backend = srv_bk_native > 0
                         ? (srv_bk_pram > 0 ? "mixed" : "native")
                         : "pram";
+  // Router-aware mode, keyed off counter presence: a hullrouter's
+  // statz rolls its backends up with its own routing counters, and
+  // re-routing changes the submission identities (file comment).
+  namespace rn = iph::cluster::statnames;
+  const std::uint64_t* forwards = d.counter(rn::kForwards);
+  const std::uint64_t rt_full = d.counter_or0(
+      iph::stats::labeled(rn::kRetriesBase, "reason", "rejected_full"));
+  const std::uint64_t rt_shutdown = d.counter_or0(
+      iph::stats::labeled(rn::kRetriesBase, "reason", "rejected_shutdown"));
+  const std::uint64_t rt_io = d.counter_or0(
+      iph::stats::labeled(rn::kRetriesBase, "reason", "io"));
 
   std::fprintf(stderr,
                "hullload scrape: server submitted %llu  completed %llu  "
@@ -599,6 +651,15 @@ bool check_scrape(const iph::stats::RegistrySnapshot& d, const Tally& total,
   std::fprintf(stderr,
                "hullload scrape: e2e p99 server %.3f ms vs client %.3f ms\n",
                *server_p99, client_p99);
+  if (forwards != nullptr) {
+    std::fprintf(stderr,
+                 "hullload scrape: router forwards %llu  retries full %llu "
+                 "shutdown %llu io %llu\n",
+                 static_cast<unsigned long long>(*forwards),
+                 static_cast<unsigned long long>(rt_full),
+                 static_cast<unsigned long long>(rt_shutdown),
+                 static_cast<unsigned long long>(rt_io));
+  }
 
   bool ok = true;
   auto must_equal = [&](const char* what, std::uint64_t server,
@@ -619,12 +680,29 @@ bool check_scrape(const iph::stats::RegistrySnapshot& d, const Tally& total,
                  static_cast<unsigned long long>(total.errors));
     ok = false;
   }
-  must_equal("submitted", srv_submitted,
-             total.ok + total.rejected_full + total.rejected_shutdown +
-                 total.expired);
+  const std::uint64_t client_total = total.ok + total.rejected_full +
+                                     total.rejected_shutdown + total.expired;
+  if (forwards == nullptr) {
+    must_equal("submitted", srv_submitted, client_total);
+    must_equal("rejected_full", srv_rej_full, total.rejected_full);
+    must_equal("rejected_shutdown", srv_rej_shutdown,
+               total.rejected_shutdown);
+  } else {
+    // A retried request submits once per executed attempt but the
+    // client tallies exactly one answer; a rejected attempt is either
+    // retried (counted in retries{reason}) or surfaced (counted by the
+    // client). io retries forwarded nothing, so they appear in neither
+    // submitted nor the per-reason identities.
+    must_equal("fleet submitted vs client + retries", srv_submitted,
+               client_total + rt_full + rt_shutdown);
+    must_equal("router forwards vs fleet submitted", *forwards,
+               srv_submitted);
+    must_equal("rejected_full vs surfaced + retried", srv_rej_full,
+               total.rejected_full + rt_full);
+    must_equal("rejected_shutdown vs surfaced + retried", srv_rej_shutdown,
+               total.rejected_shutdown + rt_shutdown);
+  }
   must_equal("completed", srv_completed, total.ok);
-  must_equal("rejected_full", srv_rej_full, total.rejected_full);
-  must_equal("rejected_shutdown", srv_rej_shutdown, total.rejected_shutdown);
   must_equal("expired", srv_expired, total.expired);
   // Server-internal conservation: everything submitted terminated.
   must_equal("submitted vs terminal states", srv_submitted,
@@ -757,6 +835,13 @@ bool check_scrape_stream(const iph::stats::RegistrySnapshot& d,
              live != nullptr ? static_cast<std::uint64_t>(*live) : 1, 0);
   must_equal("aux_cells gauge",
              aux != nullptr ? static_cast<std::uint64_t>(*aux) : 1, 0);
+  // Behind a router (gauge presence-keyed like the obs checks): its
+  // sid map must agree that every session this run opened is closed.
+  namespace rn = iph::cluster::statnames;
+  if (const std::int64_t* rso = d.gauge(rn::kSessionsOpen)) {
+    must_equal("router sessions_open gauge",
+               static_cast<std::uint64_t>(*rso), 0);
+  }
   // Tracing conservation (manager.h contract): one kind=session trace
   // per append, with a rebuild child span iff that append rebuilt.
   // Presence-gated like the batch-mode obs checks.
@@ -916,6 +1001,19 @@ int main(int argc, char** argv) {
       opt.deadline_ms = std::atof(v);
     } else if (a == "--connect" && (v = next())) {
       opt.connect = v;
+    } else if (a == "--endpoints" && (v = next())) {
+      opt.endpoints.clear();
+      std::string item;
+      for (const char* p = v;; ++p) {
+        if (*p == ',' || *p == '\0') {
+          if (item.empty()) return usage(argv[0]);
+          opt.endpoints.push_back(item);
+          item.clear();
+          if (*p == '\0') break;
+        } else {
+          item.push_back(*p);
+        }
+      }
     } else if (a == "--backend" && (v = next())) {
       if (!iph::exec::parse_backend(v, &opt.backend)) return usage(argv[0]);
     } else if (a == "--shards" && (v = next())) {
@@ -965,7 +1063,17 @@ int main(int argc, char** argv) {
     }
   }
 
-  const bool inproc = opt.connect.empty();
+  // Load targets, round-robined across clients; --connect is the
+  // one-target case, and no target at all means in-process.
+  std::vector<std::string> targets = opt.endpoints;
+  if (targets.empty() && !opt.connect.empty()) {
+    targets.push_back(opt.connect);
+  }
+  const bool inproc = targets.empty();
+  std::string target_desc = inproc ? "in-process" : targets[0];
+  for (std::size_t i = 1; i < targets.size(); ++i) {
+    target_desc += "+" + targets[i];
+  }
   std::unique_ptr<HullService> svc;
   std::unique_ptr<iph::stats::Registry> stream_registry;
   std::unique_ptr<iph::obs::FlightRecorder> stream_flight;
@@ -991,11 +1099,12 @@ int main(int argc, char** argv) {
   // the cross-check robust to traffic the server saw before us (but the
   // run itself must be the server's only traffic).
   iph::stats::RegistrySnapshot scrape_before;
+  std::vector<iph::stats::RegistrySnapshot> scrape_before_tcp;
   if (opt.scrape && !inproc) {
     std::string err;
-    if (!scrape_tcp(opt.connect, &scrape_before, &err)) {
-      std::fprintf(stderr, "hullload: statz scrape of %s failed: %s\n",
-                   opt.connect.c_str(), err.c_str());
+    if (!scrape_targets(targets, &scrape_before_tcp, &err)) {
+      std::fprintf(stderr, "hullload: statz scrape failed: %s\n",
+                   err.c_str());
       return 3;
     }
   } else if (opt.scrape) {
@@ -1009,14 +1118,19 @@ int main(int argc, char** argv) {
   const auto start = Clock::now() + std::chrono::milliseconds(5);
   for (int c = 0; c < opt.clients; ++c) {
     threads.emplace_back([&, c] {
+      const std::string target =
+          inproc ? std::string()
+                 : targets[static_cast<std::size_t>(c) % targets.size()];
       if (opt.stream) {
         tallies[c] = inproc
                          ? run_stream_inproc(*mgr, opt, c, start)
-                         : run_stream_tcp(opt, c, start, &conn_failed);
+                         : run_stream_tcp(opt, target, c, start,
+                                          &conn_failed);
       } else {
         tallies[c] = inproc
                          ? run_client_inproc(*svc, opt, c, start)
-                         : run_client_tcp(opt, c, start, &conn_failed);
+                         : run_client_tcp(opt, target, c, start,
+                                          &conn_failed);
       }
     });
   }
@@ -1025,7 +1139,7 @@ int main(int argc, char** argv) {
       std::chrono::duration<double>(Clock::now() - start).count();
   if (conn_failed.load()) {
     std::fprintf(stderr, "hullload: connection to %s failed\n",
-                 opt.connect.c_str());
+                 target_desc.c_str());
     return 3;
   }
 
@@ -1042,8 +1156,7 @@ int main(int argc, char** argv) {
                  "hullload: %d sessions x %d appends of %zu points, %s "
                  "loop, %s, workload %s\n",
                  opt.clients, opt.requests, opt.append_points,
-                 opt.qps > 0 ? "open" : "closed",
-                 inproc ? "in-process" : opt.connect.c_str(),
+                 opt.qps > 0 ? "open" : "closed", target_desc.c_str(),
                  opt.workload.c_str());
     std::fprintf(stderr,
                  "  appends ok %llu  errors %llu  delta ops %llu  "
@@ -1065,8 +1178,7 @@ int main(int argc, char** argv) {
                  "hullload: %d clients x %d requests, %s loop, %s, "
                  "workload %s n=%zu\n",
                  opt.clients, opt.requests, opt.qps > 0 ? "open" : "closed",
-                 inproc ? "in-process" : opt.connect.c_str(),
-                 opt.workload.c_str(), opt.n);
+                 target_desc.c_str(), opt.workload.c_str(), opt.n);
     std::fprintf(stderr,
                  "  ok %llu  rejected_full %llu  rejected_shutdown %llu  "
                  "expired %llu  errors %llu\n",
@@ -1096,19 +1208,33 @@ int main(int argc, char** argv) {
   double server_p99 = 0;
   std::string served_backend;
   if (opt.scrape) {
-    iph::stats::RegistrySnapshot after;
+    iph::stats::RegistrySnapshot d;
     if (!inproc) {
+      std::vector<iph::stats::RegistrySnapshot> after;
       std::string err;
-      if (!scrape_tcp(opt.connect, &after, &err)) {
-        std::fprintf(stderr, "hullload: statz scrape of %s failed: %s\n",
-                     opt.connect.c_str(), err.c_str());
+      if (!scrape_targets(targets, &after, &err)) {
+        std::fprintf(stderr, "hullload: statz scrape failed: %s\n",
+                     err.c_str());
         return 3;
       }
+      // Per-target diffs first (each target's counters are its own
+      // monotone series), then one fleet sum over the diffs.
+      std::vector<iph::stats::RegistrySnapshot> diffs;
+      diffs.reserve(targets.size());
+      for (std::size_t i = 0; i < targets.size(); ++i) {
+        diffs.push_back(after[i].diff(scrape_before_tcp[i]));
+      }
+      if (!iph::cluster::merge_snapshots(diffs, &d, &err)) {
+        std::fprintf(stderr, "hullload: scrape merge failed: %s\n",
+                     err.c_str());
+        return 1;
+      }
     } else {
-      after = opt.stream ? stream_registry->snapshot()
-                         : svc->stats_registry().snapshot();
+      const iph::stats::RegistrySnapshot after =
+          opt.stream ? stream_registry->snapshot()
+                     : svc->stats_registry().snapshot();
+      d = after.diff(scrape_before);
     }
-    const iph::stats::RegistrySnapshot d = after.diff(scrape_before);
     if (opt.stream) {
       scrape_failed = !check_scrape_stream(d, total, opt, p99, &server_p99);
     } else {
@@ -1134,10 +1260,12 @@ int main(int argc, char** argv) {
     Json doc;
     bool have = false;
     if (!inproc) {
+      // First target only — against a router that IS the whole fleet
+      // (fleet_tracez), against plain backends it is a sample.
       std::string err;
-      if (!tracez_fetch_tcp(opt.connect, opt.trace_slowest, &doc, &err)) {
+      if (!tracez_fetch_tcp(targets[0], opt.trace_slowest, &doc, &err)) {
         std::fprintf(stderr, "hullload: tracez fetch of %s failed: %s\n",
-                     opt.connect.c_str(), err.c_str());
+                     targets[0].c_str(), err.c_str());
       } else {
         have = true;
       }
@@ -1162,7 +1290,7 @@ int main(int argc, char** argv) {
     j["clients"] = Json(opt.clients);
     j["requests_per_client"] = Json(opt.requests);
     j["mode"] = Json(opt.qps > 0 ? "open" : "closed");
-    j["target"] = Json(inproc ? "in-process" : opt.connect);
+    j["target"] = Json(target_desc);
     j["workload"] = Json(opt.workload);
     j["n"] = Json(static_cast<std::uint64_t>(opt.n));
     j["backend"] = Json(iph::exec::backend_name(opt.backend));

@@ -4,6 +4,11 @@
 //   hullserved --port P [options]     serve TCP on 127.0.0.1:P,
 //                                     one thread per connection
 //
+// --port 0 binds a kernel-picked free port; TCP mode always prints a
+// machine-readable "listening <port>" line to stdout so launchers
+// (serve_smoke, bench/e16_cluster, hullrouter wrappers) can start
+// backends without racing for fixed ports.
+//
 // Wire protocol: serve_wire.h (one JSON object per line, both ways).
 // Plain POSIX sockets, no dependencies beyond the repo's own libraries.
 //
@@ -111,6 +116,7 @@ void serve_stream(HullService& svc, SessionManager& mgr, int in_fd,
     std::size_t tracez_limit = 16;
     bool tracez_slowest = false;
     std::string error;
+    std::string error_reject = iph::cluster::reject::kBadRequest;
     std::string ready;
   };
   std::deque<Outgoing> queue;
@@ -129,8 +135,8 @@ void serve_stream(HullService& svc, SessionManager& mgr, int in_fd,
         queue.pop_front();
       }
       if (!out.error.empty()) {
-        Json err = Json::object();
-        err["error"] = Json(out.error);
+        const Json err =
+            iph::cluster::make_error(out.error_reject, out.error);
         if (!chan.write_line(err.dump())) return;
         continue;
       }
@@ -180,6 +186,13 @@ void serve_stream(HullService& svc, SessionManager& mgr, int in_fd,
     iph::serve::Request req;
     if (!Json::parse(line, &j, &err)) {
       out.error = "bad JSON: " + err;
+      out.error_reject = iph::cluster::reject::kBadJson;
+    } else if (!iph::cluster::version_ok(j)) {
+      out.error = "request pins protocol version " +
+                  std::to_string(static_cast<long long>(j.get_num("v", 0))) +
+                  "; this server speaks " +
+                  std::to_string(iph::cluster::kProtocolVersion);
+      out.error_reject = iph::cluster::reject::kVersion;
     } else if (iph::tools::wire_command(j, &cmd)) {
       if (cmd == "statz") {
         out.statz = true;
@@ -229,6 +242,7 @@ void serve_stream(HullService& svc, SessionManager& mgr, int in_fd,
         }
       } else {
         out.error = "unknown cmd \"" + cmd + "\"";
+        out.error_reject = iph::cluster::reject::kUnknownCmd;
       }
     } else if (!iph::tools::request_from_json(j, &req, &out.edge_above,
                                               &err)) {
@@ -373,6 +387,10 @@ int serve_tcp(HullService& svc, SessionManager& mgr, int port, bool quiet) {
   }
   socklen_t alen = sizeof addr;  // report the real port when P was 0
   ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &alen);
+  // Machine-readable (always, even under --quiet): with --port 0 this
+  // line is how a launcher learns the kernel-picked port.
+  std::printf("listening %d\n", ntohs(addr.sin_port));
+  std::fflush(stdout);
   if (!quiet) {
     std::fprintf(stderr, "hullserved: listening on 127.0.0.1:%d\n",
                  ntohs(addr.sin_port));

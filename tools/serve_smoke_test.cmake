@@ -22,8 +22,18 @@
 # Invoked as:
 #   cmake -DHULLSERVED=<bin> -DHULLLOAD=<bin> -DWORK_DIR=<scratch>
 #         -P serve_smoke_test.cmake
-if(NOT HULLSERVED OR NOT HULLLOAD OR NOT WORK_DIR)
-  message(FATAL_ERROR "need -DHULLSERVED=... -DHULLLOAD=... -DWORK_DIR=...")
+#   8. Cluster: hullrouter fronting 3 hullserved backends (--port 0,
+#      ports read from the "listening <port>" stdout contract). Wire
+#      admin drain/undrain + fleet statz over stdin mode; then over
+#      TCP a batch burst and a streaming-session burst through the
+#      router (both with exact router-aware scrape reconciliation), a
+#      backend killed mid-fleet with the next burst still all-ok
+#      (io retries + markdown visible in the router's shutdown statz
+#      dump), and a direct multi-target hullload --endpoints run.
+if(NOT HULLSERVED OR NOT HULLLOAD OR NOT HULLROUTER OR NOT WORK_DIR)
+  message(FATAL_ERROR
+          "need -DHULLSERVED=... -DHULLLOAD=... -DHULLROUTER=... "
+          "-DWORK_DIR=...")
 endif()
 
 file(REMOVE_RECURSE "${WORK_DIR}")
@@ -352,5 +362,241 @@ endif()
 if(NOT err MATCHES "queue_wait" OR NOT err MATCHES "exec")
   message(FATAL_ERROR "tcp trace smoke: span tree incomplete\n${err}")
 endif()
+
+# --- Case 8: cluster — hullrouter fronting three hullserved backends --
+# Three real backends on ephemeral ports, exercising the "listening
+# <port>" stdout contract end to end, then the router in both modes.
+function(iph_wait_listening outfile what resultvar)
+  set(port "")
+  foreach(try RANGE 0 100)
+    if(EXISTS "${outfile}")
+      file(READ "${outfile}" _out)
+      if(_out MATCHES "listening ([0-9]+)")
+        set(port "${CMAKE_MATCH_1}")
+        break()
+      endif()
+    endif()
+    execute_process(COMMAND sh -c "sleep 0.1")
+  endforeach()
+  if(port STREQUAL "")
+    message(FATAL_ERROR "cluster smoke: ${what} never printed its port")
+  endif()
+  set(${resultvar} "${port}" PARENT_SCOPE)
+endfunction()
+
+foreach(i RANGE 0 2)
+  execute_process(
+    COMMAND sh -c "'${HULLSERVED}' --quiet --port 0 \
+                   --shards 1 --workers 1 --threads 2 \
+                   </dev/null >'${WORK_DIR}/be${i}.out' 2>/dev/null \
+                   & echo $! > '${WORK_DIR}/be${i}.pid'"
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "cluster smoke: failed to launch backend ${i}")
+  endif()
+endforeach()
+iph_wait_listening("${WORK_DIR}/be0.out" "backend 0" BE0_PORT)
+iph_wait_listening("${WORK_DIR}/be1.out" "backend 1" BE1_PORT)
+iph_wait_listening("${WORK_DIR}/be2.out" "backend 2" BE2_PORT)
+set(ENDPOINTS
+    "127.0.0.1:${BE0_PORT},127.0.0.1:${BE1_PORT},127.0.0.1:${BE2_PORT}")
+
+# 8a. stdin mode: requests forward to the fleet, wire admin drain /
+# undrain answers inline, and the trailing statz is the merged fleet
+# roll-up in stream order — exactly this session's 3 forwards.
+file(WRITE "${WORK_DIR}/router.ndjson"
+"{\"id\":1,\"n\":64,\"workload\":\"disk\",\"seed\":7}
+{\"cmd\":\"markdown\",\"shard\":1}
+{\"id\":2,\"n\":64,\"workload\":\"disk\",\"seed\":8}
+{\"id\":3,\"n\":64,\"workload\":\"circle\",\"seed\":9}
+{\"cmd\":\"markup\",\"shard\":1}
+{\"cmd\":\"statz\"}
+")
+execute_process(
+  COMMAND "${HULLROUTER}" --quiet --endpoints "${ENDPOINTS}" --probe-ms 0
+  INPUT_FILE "${WORK_DIR}/router.ndjson"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "cluster smoke: router stdin expected exit 0, got "
+                      "${rc}\n${err}")
+endif()
+string(REGEX MATCHALL "\"hull\":" hulls "${out}")
+list(LENGTH hulls n_hull)
+if(NOT n_hull EQUAL 3)
+  message(FATAL_ERROR
+          "cluster smoke: expected 3 forwarded hulls, got ${n_hull}:\n${out}")
+endif()
+if(NOT out MATCHES "\"up\":false" OR NOT out MATCHES "\"up\":true")
+  message(FATAL_ERROR
+          "cluster smoke: admin drain/undrain replies missing:\n${out}")
+endif()
+if(NOT out MATCHES "\"statz\":")
+  message(FATAL_ERROR "cluster smoke: fleet statz answer missing:\n${out}")
+endif()
+# Exact roll-up: the router forwarded 3 requests and the MERGED backend
+# registries agree — fleet submitted == completed == router forwards.
+if(NOT out MATCHES "\"iph_router_forwards_total\":3")
+  message(FATAL_ERROR "cluster smoke: router forwards != 3:\n${out}")
+endif()
+if(NOT out MATCHES "\"iph_serve_submitted_total\":3" OR
+   NOT out MATCHES "\"iph_serve_completed_total\":3")
+  message(FATAL_ERROR
+          "cluster smoke: merged fleet counters not exact:\n${out}")
+endif()
+# Counter keys embed their label sets with escaped quotes; the dotted
+# regex segments stand for {cause=\" ... \"}":
+if(NOT out MATCHES "iph_router_markdowns_total.cause=..admin....:1")
+  message(FATAL_ERROR "cluster smoke: admin markdown not counted:\n${out}")
+endif()
+if(NOT out MATCHES "iph_router_markups_total.cause=..admin....:1")
+  message(FATAL_ERROR "cluster smoke: admin markup not counted:\n${out}")
+endif()
+if(NOT out MATCHES "\"backends\":3")
+  message(FATAL_ERROR "cluster smoke: fleet summary missing:\n${out}")
+endif()
+
+# 8b. TCP: router on an ephemeral port fronting the same fleet.
+execute_process(
+  COMMAND sh -c "'${HULLROUTER}' --port 0 --endpoints '${ENDPOINTS}' \
+                 --retries 2 --probe-ms 0 \
+                 --statz-out '${WORK_DIR}/router_statz.json' \
+                 --tracez-out '${WORK_DIR}/router_tracez.json' \
+                 </dev/null >'${WORK_DIR}/router.out' \
+                 2>'${WORK_DIR}/router.err' \
+                 & echo $! > '${WORK_DIR}/router.pid'"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "cluster smoke: failed to launch router")
+endif()
+iph_wait_listening("${WORK_DIR}/router.out" "router" ROUTER_PORT)
+
+# Batch burst through the router: every request ok and the router-aware
+# scrape reconciles router forwards against the merged fleet exactly.
+execute_process(
+  COMMAND "${HULLLOAD}" --connect "127.0.0.1:${ROUTER_PORT}"
+          --clients 2 --requests 10 --n 64
+          --expect-all-ok --json --scrape
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "cluster smoke: batch via router expected exit 0, got ${rc}\n"
+          "${out}\n${err}")
+endif()
+if(NOT out MATCHES "\"ok\":20" OR NOT out MATCHES "\"scrape_ok\":true")
+  message(FATAL_ERROR "cluster smoke: batch summary wrong:\n${out}")
+endif()
+if(NOT err MATCHES "router forwards")
+  message(FATAL_ERROR
+          "cluster smoke: scrape not router-aware:\n${err}")
+endif()
+
+# Streaming sessions through the router: affinity pins each session,
+# sids are router-minted, and the fleet scrape still reconciles the
+# session identities exactly. Tail latency via two hops is not a
+# protocol property — disable the p99 sanity ratio, keep exactness.
+execute_process(
+  COMMAND "${HULLLOAD}" --stream --connect "127.0.0.1:${ROUTER_PORT}"
+          --clients 2 --requests 6 --append-points 8 --n 64
+          --expect-all-ok --json --scrape --scrape-tol 0
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "cluster smoke: stream via router expected exit 0, got ${rc}\n"
+          "${out}\n${err}")
+endif()
+if(NOT out MATCHES "\"ok\":12" OR NOT out MATCHES "\"scrape_ok\":true")
+  message(FATAL_ERROR "cluster smoke: stream summary wrong:\n${out}")
+endif()
+
+# Kill backend 0 outright (no drain). The next burst must still come
+# back all-ok — requests that home on the dead shard are retried on
+# siblings — and the fleet scrape stays exact because the router serves
+# its cached snapshot of the dead backend.
+execute_process(
+  COMMAND sh -c "kill -9 $(cat '${WORK_DIR}/be0.pid') 2>/dev/null; true")
+execute_process(COMMAND sh -c "sleep 0.3")
+execute_process(
+  COMMAND "${HULLLOAD}" --connect "127.0.0.1:${ROUTER_PORT}"
+          --clients 2 --requests 10 --n 64
+          --expect-all-ok --json --scrape
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "cluster smoke: burst after backend kill expected exit 0, got "
+          "${rc}\n${out}\n${err}")
+endif()
+if(NOT out MATCHES "\"ok\":20" OR NOT out MATCHES "\"scrape_ok\":true")
+  message(FATAL_ERROR
+          "cluster smoke: post-kill summary wrong:\n${out}")
+endif()
+
+# Direct multi-target mode: hullload fans its clients over the two
+# surviving backends without the router and reconciles the summed diff.
+execute_process(
+  COMMAND "${HULLLOAD}"
+          --endpoints "127.0.0.1:${BE1_PORT},127.0.0.1:${BE2_PORT}"
+          --clients 2 --requests 6 --n 64
+          --expect-all-ok --json --scrape
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "cluster smoke: --endpoints run expected exit 0, got ${rc}\n"
+          "${out}\n${err}")
+endif()
+if(NOT out MATCHES "\"ok\":12" OR NOT out MATCHES "\"scrape_ok\":true")
+  message(FATAL_ERROR
+          "cluster smoke: --endpoints summary wrong:\n${out}")
+endif()
+
+# Graceful router shutdown dumps statz/tracez; the io retries and the
+# io markdown from the killed backend must be on the counters.
+execute_process(
+  COMMAND sh -c "kill -INT $(cat '${WORK_DIR}/router.pid') 2>/dev/null; true")
+# The router writes statz first, tracez second — wait for both.
+set(router_statz "")
+set(router_tracez "")
+foreach(try RANGE 0 100)
+  if(EXISTS "${WORK_DIR}/router_statz.json" AND
+     EXISTS "${WORK_DIR}/router_tracez.json")
+    file(READ "${WORK_DIR}/router_statz.json" router_statz)
+    file(READ "${WORK_DIR}/router_tracez.json" router_tracez)
+    if(router_statz MATCHES "iph_router_forwards_total" AND
+       router_tracez MATCHES "tracez")
+      break()
+    endif()
+  endif()
+  execute_process(COMMAND sh -c "sleep 0.1")
+endforeach()
+if(NOT router_statz MATCHES "iph_router_forwards_total")
+  message(FATAL_ERROR
+          "cluster smoke: router --statz-out dump missing or empty")
+endif()
+if(NOT router_statz MATCHES "iph_router_retries_total.reason=..io....: ?[1-9]")
+  message(FATAL_ERROR
+          "cluster smoke: io retries not counted:\n${router_statz}")
+endif()
+if(NOT router_statz MATCHES
+   "iph_router_markdowns_total.cause=..io....: ?[1-9]")
+  message(FATAL_ERROR
+          "cluster smoke: io markdown not counted:\n${router_statz}")
+endif()
+if(NOT router_tracez MATCHES "\"traces\": ?\\[")
+  message(FATAL_ERROR
+          "cluster smoke: router tracez dump malformed:\n${router_tracez}")
+endif()
+foreach(i RANGE 0 2)
+  execute_process(
+    COMMAND sh -c "kill -INT $(cat '${WORK_DIR}/be${i}.pid') 2>/dev/null; true")
+endforeach()
 
 message(STATUS "serve tools smoke ok")

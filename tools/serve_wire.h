@@ -84,16 +84,20 @@
 // issued; "closed" = issued and already closed — the distinction is
 // real because sids are monotonic. Malformed session lines (missing
 // sid, bad points) get {"error": ...} and the stream continues.
+//
+// Versioning (src/cluster/protocol.h): every response line carries
+// {"v": 1}. Requests may pin a "v"; a request pinning a version newer
+// than this build speaks is answered with a structured reject. Error
+// lines carry a machine-readable {"reject": "<reason>"} alongside the
+// prose — bad_json / bad_request / unknown_cmd / version from a
+// backend, plus the router-minted reasons listed in protocol.h.
 #pragma once
 
-#include <unistd.h>
-
-#include <cerrno>
 #include <cstdint>
 #include <string>
-#include <string_view>
 #include <vector>
 
+#include "cluster/protocol.h"
 #include "exec/backend.h"
 #include "geom/workloads.h"
 #include "obs/chrome_export.h"
@@ -101,9 +105,14 @@
 #include "serve/request.h"
 #include "session/manager.h"
 #include "stats/export.h"
+#include "support/linechan.h"
 #include "trace/json.h"
 
 namespace iph::tools {
+
+/// Both sides of the protocol speak through this (stdin/stdout or a
+/// connected socket); shared with the cluster router via support/.
+using LineChannel = support::LineChannel;
 
 /// Generate a named 2-d workload (geom/workloads.h family names:
 /// "circle", "disk", "square", ...). Returns false for unknown names.
@@ -232,6 +241,7 @@ inline trace::Json response_to_json(const serve::Response& r,
     }
     o["trace"] = std::move(t);
   }
+  cluster::stamp_version(&o);
   return o;
 }
 
@@ -254,6 +264,7 @@ inline trace::Json statz_response(const stats::RegistrySnapshot& snap,
   } else {
     o["statz"] = stats::to_json(snap);
   }
+  cluster::stamp_version(&o);
   return o;
 }
 
@@ -287,6 +298,7 @@ inline trace::Json tracez_response(const obs::FlightRecorder& rec,
                                    std::size_t limit, bool slowest) {
   trace::Json o = trace::Json::object();
   o["tracez"] = obs::tracez_json(rec, limit, slowest);
+  cluster::stamp_version(&o);
   return o;
 }
 
@@ -362,6 +374,7 @@ inline trace::Json session_open_response(session::SessionStatus st,
   if (st == session::SessionStatus::kOk) {
     o["backend"] = trace::Json(exec::backend_name(info.backend));
   }
+  cluster::stamp_version(&o);
   return o;
 }
 
@@ -373,7 +386,10 @@ inline trace::Json session_append_response(std::uint64_t sid,
   trace::Json o = trace::Json::object();
   o["sid"] = trace::Json(sid);
   o["status"] = trace::Json(session::session_status_name(st));
-  if (st != session::SessionStatus::kOk) return o;
+  if (st != session::SessionStatus::kOk) {
+    cluster::stamp_version(&o);
+    return o;
+  }
   trace::Json delta = trace::Json::array();
   for (const session::DeltaOp& op : res.ops) {
     trace::Json e = trace::Json::array();
@@ -387,6 +403,7 @@ inline trace::Json session_append_response(std::uint64_t sid,
   o["delta"] = std::move(delta);
   o["rebuilt"] = trace::Json(res.rebuilt);
   o["rebuild_ms"] = trace::Json(res.rebuild_ms);
+  cluster::stamp_version(&o);
   return o;
 }
 
@@ -425,7 +442,10 @@ inline trace::Json session_close_response(std::uint64_t sid,
   trace::Json o = trace::Json::object();
   o["sid"] = trace::Json(sid);
   o["status"] = trace::Json(session::session_status_name(st));
-  if (st != session::SessionStatus::kOk) return o;
+  if (st != session::SessionStatus::kOk) {
+    cluster::stamp_version(&o);
+    return o;
+  }
   trace::Json s = trace::Json::object();
   s["points"] = trace::Json(sum.points_seen);
   s["appends"] = trace::Json(sum.appends);
@@ -435,6 +455,7 @@ inline trace::Json session_close_response(std::uint64_t sid,
   s["upper"] = trace::Json(sum.upper_size);
   s["lower"] = trace::Json(sum.lower_size);
   o["summary"] = std::move(s);
+  cluster::stamp_version(&o);
   return o;
 }
 
@@ -449,57 +470,5 @@ inline bool statz_from_json(const trace::Json& j,
   }
   return stats::from_json(*s, *out, err);
 }
-
-/// Buffered line-at-a-time IO over a file descriptor (stdin/stdout or
-/// a connected socket — both sides of the protocol speak through this).
-class LineChannel {
- public:
-  explicit LineChannel(int in_fd, int out_fd) : in_(in_fd), out_(out_fd) {}
-
-  /// Next '\n'-terminated line (terminator stripped). At EOF a final
-  /// unterminated line is yielded once. False on EOF/error.
-  bool read_line(std::string* line) {
-    for (;;) {
-      if (const auto nl = buf_.find('\n'); nl != std::string::npos) {
-        line->assign(buf_, 0, nl);
-        buf_.erase(0, nl + 1);
-        return true;
-      }
-      char chunk[4096];
-      ssize_t got;
-      do {
-        got = ::read(in_, chunk, sizeof chunk);
-      } while (got < 0 && errno == EINTR);
-      if (got <= 0) {
-        if (buf_.empty()) return false;
-        line->swap(buf_);
-        buf_.clear();
-        return true;
-      }
-      buf_.append(chunk, static_cast<std::size_t>(got));
-    }
-  }
-
-  /// Write `s` plus '\n', riding out partial writes. False on error.
-  bool write_line(std::string_view s) {
-    std::string msg(s);
-    msg.push_back('\n');
-    std::size_t off = 0;
-    while (off < msg.size()) {
-      ssize_t put;
-      do {
-        put = ::write(out_, msg.data() + off, msg.size() - off);
-      } while (put < 0 && errno == EINTR);
-      if (put <= 0) return false;
-      off += static_cast<std::size_t>(put);
-    }
-    return true;
-  }
-
- private:
-  int in_;
-  int out_;
-  std::string buf_;
-};
 
 }  // namespace iph::tools
